@@ -1,0 +1,412 @@
+//! A single set-associative cache level.
+
+use serde::Serialize;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Cache-line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 8-way L1 data cache with 64-byte lines (i3-8109U).
+    pub fn l1d_default() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        }
+    }
+
+    /// A 256 KiB, 4-way private L2 with 64-byte lines (i3-8109U).
+    pub fn l2_default() -> Self {
+        CacheConfig {
+            size_bytes: 256 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
+    }
+
+    /// A 4 MiB, 16-way shared LLC with 64-byte lines — the paper's "4 MB
+    /// on-chip cache".
+    pub fn llc_default() -> Self {
+        CacheConfig {
+            size_bytes: 4 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Demand accesses (excludes prefetch fills).
+    pub accesses: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Demand hits on lines brought in by the prefetcher.
+    pub prefetch_hits: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Demand hits.
+    pub fn hits(&self) -> u64 {
+        self.accesses - self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; `0.0` when no accesses occurred.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per kilo-access (a stand-in for MPKI when instruction counts
+    /// are unavailable; the traced kernels report accesses, not
+    /// instructions).
+    pub fn mpka(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Logical timestamp of the last touch (LRU).
+    last_use: u64,
+    /// Set when the line was filled by the prefetcher and not yet
+    /// demand-hit.
+    prefetched: bool,
+    /// Set when the line has been written since it was filled
+    /// (write-back policy: evicting it costs a writeback).
+    dirty: bool,
+}
+
+/// One set-associative, write-allocate, LRU cache level.
+///
+/// # Example
+///
+/// ```
+/// use rtr_archsim::{Cache, CacheConfig};
+///
+/// let mut l1 = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 });
+/// assert!(!l1.access(0x0));  // cold miss
+/// assert!(l1.access(0x8));   // same line: hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the geometry is consistent: positive ways, power-of-two
+    /// line size, and a whole number of power-of-two sets.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.ways > 0, "cache needs at least one way");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let sets = config.sets();
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a positive power of two (got {sets})"
+        );
+        assert_eq!(
+            sets * config.ways * config.line_bytes,
+            config.size_bytes,
+            "size must equal sets * ways * line"
+        );
+        Cache {
+            config,
+            sets: vec![vec![Line::default(); config.ways]; sets],
+            clock: 0,
+            stats: CacheStats::default(),
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Demand statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics (contents are kept — useful for warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr >> self.line_shift;
+        (
+            (line_addr & self.set_mask) as usize,
+            line_addr >> self.set_mask.count_ones(),
+        )
+    }
+
+    /// A demand read. Returns `true` on hit; on miss the line is filled
+    /// (evicting the LRU way).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.demand(addr, false)
+    }
+
+    /// A demand write (write-allocate, write-back: the line is marked
+    /// dirty and costs a writeback when later evicted). Returns `true` on
+    /// hit.
+    pub fn access_write(&mut self, addr: u64) -> bool {
+        self.demand(addr, true)
+    }
+
+    fn demand(&mut self, addr: u64, is_write: bool) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let (set_idx, tag) = self.locate(addr);
+        let set = &mut self.sets[set_idx];
+        for line in set.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.last_use = self.clock;
+                line.dirty |= is_write;
+                if line.prefetched {
+                    line.prefetched = false;
+                    self.stats.prefetch_hits += 1;
+                }
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        self.stats.writebacks += Self::fill(set, tag, self.clock, false, is_write) as u64;
+        false
+    }
+
+    /// A prefetch fill: inserts the line without counting a demand access.
+    /// Returns `true` when the line was already present.
+    pub fn prefetch(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let (set_idx, tag) = self.locate(addr);
+        let set = &mut self.sets[set_idx];
+        if set.iter().any(|l| l.valid && l.tag == tag) {
+            return true;
+        }
+        self.stats.writebacks += Self::fill(set, tag, self.clock, true, false) as u64;
+        false
+    }
+
+    /// Returns `true` when the line containing `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.locate(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Fills the line, returning `true` when a dirty victim was evicted
+    /// (a write-back).
+    fn fill(set: &mut [Line], tag: u64, clock: u64, prefetched: bool, dirty: bool) -> bool {
+        // Prefer an invalid way; otherwise evict the LRU one.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_use + 1 } else { 0 })
+            .expect("cache set cannot be empty");
+        let wrote_back = victim.valid && victim.dirty;
+        *victim = Line {
+            tag,
+            valid: true,
+            last_use: clock,
+            prefetched,
+            dirty,
+        };
+        wrote_back
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64 B = 256 B.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x40));
+        assert!(c.access(0x40));
+        assert!(c.access(0x7f)); // same 64-byte line
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn set_mapping_separates_lines() {
+        let mut c = tiny();
+        // 0x00 → set 0; 0x40 → set 1 for 64 B lines and 2 sets.
+        assert!(!c.access(0x00));
+        assert!(!c.access(0x40));
+        assert!(c.access(0x00));
+        assert!(c.access(0x40));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // All map to set 0 (stride = line * sets = 128).
+        c.access(0x000);
+        c.access(0x080);
+        c.access(0x000); // touch A again; B is now LRU
+        c.access(0x100); // evicts B
+        assert!(c.access(0x000), "A must still be resident");
+        assert!(!c.access(0x080), "B must have been evicted");
+    }
+
+    #[test]
+    fn capacity_misses_on_large_working_set() {
+        let mut c = Cache::new(CacheConfig::l1d_default());
+        let lines = 4096u64; // 256 KiB of distinct lines through a 32 KiB L1
+        for rep in 0..4 {
+            for i in 0..lines {
+                c.access(i * 64);
+            }
+            if rep == 0 {
+                c.reset_stats();
+            }
+        }
+        // Working set 8x the cache: essentially everything misses.
+        assert!(c.stats().miss_ratio() > 0.95);
+    }
+
+    #[test]
+    fn small_working_set_hits_after_warmup() {
+        let mut c = Cache::new(CacheConfig::l1d_default());
+        let lines = 128u64; // 8 KiB, fits easily
+        for i in 0..lines {
+            c.access(i * 64);
+        }
+        c.reset_stats();
+        for _ in 0..10 {
+            for i in 0..lines {
+                c.access(i * 64);
+            }
+        }
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn prefetch_fills_avoid_demand_miss() {
+        let mut c = tiny();
+        assert!(!c.prefetch(0x40));
+        assert!(c.access(0x40));
+        assert_eq!(c.stats().misses, 0);
+        assert_eq!(c.stats().prefetch_hits, 1);
+        // Second touch is a regular hit, not another prefetch hit.
+        assert!(c.access(0x40));
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_existing_line_reports_present() {
+        let mut c = tiny();
+        c.access(0x40);
+        assert!(c.prefetch(0x40));
+    }
+
+    #[test]
+    fn default_configs_are_consistent() {
+        for config in [
+            CacheConfig::l1d_default(),
+            CacheConfig::l2_default(),
+            CacheConfig::llc_default(),
+        ] {
+            let c = Cache::new(config);
+            assert_eq!(c.config(), config);
+            assert!(config.sets().is_power_of_two());
+        }
+        assert_eq!(CacheConfig::llc_default().size_bytes, 4 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 300,
+            ways: 2,
+            line_bytes: 50,
+        });
+    }
+
+    #[test]
+    fn writebacks_count_dirty_evictions() {
+        let mut c = tiny();
+        // Dirty two lines in set 0 (stride 128 maps to the same set).
+        c.access_write(0x000);
+        c.access_write(0x080);
+        assert_eq!(c.stats().writebacks, 0);
+        // Two more fills to the same set evict both dirty lines.
+        c.access(0x100);
+        c.access(0x180);
+        assert_eq!(c.stats().writebacks, 2);
+        // Clean evictions cost nothing.
+        c.access(0x200);
+        assert_eq!(c.stats().writebacks, 2);
+    }
+
+    #[test]
+    fn reads_never_write_back() {
+        let mut c = Cache::new(CacheConfig::l1d_default());
+        for i in 0..10_000u64 {
+            c.access(i * 64);
+        }
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let mut c = tiny();
+        c.access(0x0);
+        c.access(0x0);
+        let s = c.stats();
+        assert_eq!(s.hits(), 1);
+        assert_eq!(s.miss_ratio(), 0.5);
+        assert_eq!(s.mpka(), 500.0);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+}

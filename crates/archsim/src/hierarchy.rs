@@ -1,0 +1,284 @@
+//! The full memory hierarchy: L1D → L2 → LLC with an optional prefetcher.
+
+use serde::Serialize;
+
+use crate::{Cache, CacheConfig, CacheStats, PrefetchStats, VldpPrefetcher};
+
+/// Summary of a traced run through the hierarchy.
+#[derive(Debug, Clone, Serialize)]
+pub struct HierarchyReport {
+    /// Stats per level, L1 first.
+    pub levels: Vec<CacheStats>,
+    /// Prefetcher stats, when one is attached.
+    pub prefetch: Option<PrefetchStats>,
+    /// Total demand accesses issued to the hierarchy.
+    pub accesses: u64,
+    /// Accesses that missed every level (went to memory).
+    pub memory_accesses: u64,
+}
+
+impl HierarchyReport {
+    /// Fraction of accesses that reached main memory.
+    pub fn memory_access_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.memory_accesses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A three-level inclusive cache hierarchy driven by address traces.
+///
+/// Mirrors the processor of the paper's §IV methodology: Intel Core
+/// i3-8109U with a 4 MB on-chip cache (here 32 KiB L1D + 256 KiB L2 +
+/// 4 MiB LLC, 64-byte lines, LRU). A [`VldpPrefetcher`] can be attached to
+/// the L2, matching where the paper's VLDP experiment operates.
+///
+/// # Example
+///
+/// ```
+/// use rtr_archsim::MemorySim;
+///
+/// let mut sim = MemorySim::i3_8109u();
+/// for i in 0..1000u64 {
+///     sim.read(i * 64);
+/// }
+/// let report = sim.report();
+/// assert_eq!(report.accesses, 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySim {
+    levels: Vec<Cache>,
+    prefetcher: Option<VldpPrefetcher>,
+    accesses: u64,
+    memory_accesses: u64,
+}
+
+impl MemorySim {
+    /// Builds a hierarchy from explicit per-level configs (L1 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn new(configs: &[CacheConfig]) -> Self {
+        assert!(!configs.is_empty(), "need at least one cache level");
+        MemorySim {
+            levels: configs.iter().map(|&c| Cache::new(c)).collect(),
+            prefetcher: None,
+            accesses: 0,
+            memory_accesses: 0,
+        }
+    }
+
+    /// The paper's modeled processor: i3-8109U-like L1D/L2/LLC.
+    pub fn i3_8109u() -> Self {
+        MemorySim::new(&[
+            CacheConfig::l1d_default(),
+            CacheConfig::l2_default(),
+            CacheConfig::llc_default(),
+        ])
+    }
+
+    /// Attaches a VLDP prefetcher (fills L2 and LLC).
+    pub fn with_vldp(mut self, degree: usize) -> Self {
+        self.prefetcher = Some(VldpPrefetcher::new(degree));
+        self
+    }
+
+    /// Returns `true` when a prefetcher is attached.
+    pub fn has_prefetcher(&self) -> bool {
+        self.prefetcher.is_some()
+    }
+
+    /// Number of cache levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Stats for level `i` (0 = L1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn level_stats(&self, i: usize) -> CacheStats {
+        self.levels[i].stats()
+    }
+
+    /// A demand read of `addr`.
+    pub fn read(&mut self, addr: u64) {
+        self.access(addr);
+    }
+
+    /// A demand write of `addr` (write-allocate, write-back: the L1 line
+    /// is marked dirty and its eventual eviction counts a writeback).
+    pub fn write(&mut self, addr: u64) {
+        self.access_inner(addr, true);
+    }
+
+    fn access(&mut self, addr: u64) {
+        self.access_inner(addr, false);
+    }
+
+    fn access_inner(&mut self, addr: u64, is_write: bool) {
+        self.accesses += 1;
+        let mut hit_level = None;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            let hit = if is_write && i == 0 {
+                level.access_write(addr)
+            } else {
+                level.access(addr)
+            };
+            if hit {
+                hit_level = Some(i);
+                break;
+            }
+        }
+        match hit_level {
+            // Fill the levels above the hit (inclusive hierarchy): already
+            // done by `access` counting misses and filling on the way down.
+            Some(_) => {}
+            None => self.memory_accesses += 1,
+        }
+
+        // Prefetch into L2 and below, keyed off the demand stream.
+        if let Some(pf) = &mut self.prefetcher {
+            let predictions = pf.observe(addr);
+            for p in predictions {
+                let mut redundant = true;
+                for level in self.levels.iter_mut().skip(1) {
+                    redundant &= level.prefetch(p);
+                }
+                if redundant {
+                    if let Some(pf) = &mut self.prefetcher {
+                        pf.note_redundant();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resets statistics on every level (contents stay warm).
+    pub fn reset_stats(&mut self) {
+        for level in &mut self.levels {
+            level.reset_stats();
+        }
+        self.accesses = 0;
+        self.memory_accesses = 0;
+    }
+
+    /// Produces the run summary.
+    pub fn report(&self) -> HierarchyReport {
+        HierarchyReport {
+            levels: self.levels.iter().map(|l| l.stats()).collect(),
+            prefetch: self.prefetcher.as_ref().map(|p| p.stats()),
+            accesses: self.accesses,
+            memory_accesses: self.memory_accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_propagate_down() {
+        let mut sim = MemorySim::i3_8109u();
+        sim.read(0x1000);
+        let r = sim.report();
+        assert_eq!(r.levels[0].misses, 1);
+        assert_eq!(r.levels[1].misses, 1);
+        assert_eq!(r.levels[2].misses, 1);
+        assert_eq!(r.memory_accesses, 1);
+        // Second read hits L1; lower levels see nothing.
+        sim.read(0x1000);
+        let r = sim.report();
+        assert_eq!(r.levels[0].accesses, 2);
+        assert_eq!(r.levels[1].accesses, 1);
+    }
+
+    #[test]
+    fn l2_catches_l1_capacity_misses() {
+        let mut sim = MemorySim::i3_8109u();
+        // 64 KiB working set: 2x L1, fits L2 easily.
+        let lines = 1024u64;
+        for _ in 0..3 {
+            for i in 0..lines {
+                sim.read(i * 64);
+            }
+        }
+        sim.reset_stats();
+        for i in 0..lines {
+            sim.read(i * 64);
+        }
+        let r = sim.report();
+        assert!(r.levels[0].miss_ratio() > 0.9, "L1 should thrash");
+        assert_eq!(r.levels[1].misses, 0, "L2 should absorb everything");
+        assert_eq!(r.memory_accesses, 0);
+    }
+
+    #[test]
+    fn vldp_reduces_l2_misses_on_streams() {
+        let run = |with_pf: bool| {
+            let mut sim = MemorySim::i3_8109u();
+            if with_pf {
+                sim = sim.with_vldp(2);
+            }
+            // Long streaming read: every line is new.
+            for i in 0..100_000u64 {
+                sim.read(i * 64);
+            }
+            sim.report()
+        };
+        let base = run(false);
+        let pf = run(true);
+        assert!(
+            (pf.levels[1].misses as f64) < base.levels[1].misses as f64 * 0.5,
+            "prefetcher should at least halve L2 misses on a stream: {} vs {}",
+            pf.levels[1].misses,
+            base.levels[1].misses
+        );
+        assert!(pf.prefetch.unwrap().issued > 0);
+    }
+
+    #[test]
+    fn random_accesses_defeat_prefetcher() {
+        let mut sim = MemorySim::i3_8109u().with_vldp(2);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            sim.read(x % (256 * 1024 * 1024));
+        }
+        let r = sim.report();
+        // Random walk over 256 MB: high L1 miss ratio survives prefetching.
+        assert!(r.levels[0].miss_ratio() > 0.8);
+    }
+
+    #[test]
+    fn report_ratios() {
+        let mut sim = MemorySim::new(&[CacheConfig::l1d_default()]);
+        sim.read(0);
+        sim.read(0);
+        let r = sim.report();
+        assert_eq!(r.accesses, 2);
+        assert_eq!(r.memory_access_ratio(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache level")]
+    fn empty_hierarchy_panics() {
+        let _ = MemorySim::new(&[]);
+    }
+
+    #[test]
+    fn write_behaves_like_read_in_model() {
+        let mut sim = MemorySim::i3_8109u();
+        sim.write(0x40);
+        assert!(sim.levels[0].contains(0x40));
+        sim.read(0x40);
+        assert_eq!(sim.report().levels[0].misses, 1);
+    }
+}

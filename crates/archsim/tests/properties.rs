@@ -1,0 +1,132 @@
+//! Property-based tests for the cache-hierarchy simulator.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use rtr_archsim::{Cache, CacheConfig, MemorySim, VldpPrefetcher};
+
+/// A reference fully-software LRU model for one cache set-associative
+/// geometry: per set, a queue of tags in recency order.
+struct ReferenceLru {
+    sets: Vec<VecDeque<u64>>,
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl ReferenceLru {
+    fn new(config: CacheConfig) -> Self {
+        ReferenceLru {
+            sets: vec![VecDeque::new(); config.sets()],
+            ways: config.ways,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: config.sets() as u64 - 1,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&t| t == tag) {
+            q.remove(pos);
+            q.push_back(tag);
+            true
+        } else {
+            if q.len() == self.ways {
+                q.pop_front();
+            }
+            q.push_back(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..16_384, 1..400)) {
+        let config = CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+        };
+        let mut cache = Cache::new(config);
+        let mut reference = ReferenceLru::new(config);
+        for &addr in &addrs {
+            let got = cache.access(addr);
+            let want = reference.access(addr);
+            prop_assert_eq!(got, want, "divergence at address {:#x}", addr);
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(addrs in prop::collection::vec(0u64..65_536, 1..300)) {
+        let mut cache = Cache::new(CacheConfig::l1d_default());
+        let mut hits = 0u64;
+        for &addr in &addrs {
+            if cache.access(addr) {
+                hits += 1;
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses, addrs.len() as u64);
+        prop_assert_eq!(stats.hits(), hits);
+        prop_assert!(stats.miss_ratio() >= 0.0 && stats.miss_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn immediate_rereference_always_hits(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cache = Cache::new(CacheConfig::l2_default());
+        for &addr in &addrs {
+            cache.access(addr);
+            prop_assert!(cache.access(addr), "re-reference missed at {:#x}", addr);
+            prop_assert!(cache.contains(addr));
+        }
+    }
+
+    #[test]
+    fn hierarchy_miss_counts_are_monotone(addrs in prop::collection::vec(0u64..(1 << 24), 1..300)) {
+        // A lower level can never see more accesses than the level above
+        // misses, and memory accesses equal the last level's misses.
+        let mut sim = MemorySim::i3_8109u();
+        for &addr in &addrs {
+            sim.read(addr);
+        }
+        let r = sim.report();
+        prop_assert_eq!(r.accesses, addrs.len() as u64);
+        prop_assert_eq!(r.levels[0].accesses, r.accesses);
+        prop_assert_eq!(r.levels[1].accesses, r.levels[0].misses);
+        prop_assert_eq!(r.levels[2].accesses, r.levels[1].misses);
+        prop_assert_eq!(r.memory_accesses, r.levels[2].misses);
+    }
+
+    #[test]
+    fn prefetcher_never_increases_demand_misses(stride in 1u64..8, len in 100usize..2000) {
+        let run = |with_pf: bool| {
+            let mut sim = MemorySim::i3_8109u();
+            if with_pf {
+                sim = sim.with_vldp(2);
+            }
+            for i in 0..len as u64 {
+                sim.read(i * stride * 64);
+            }
+            sim.report()
+        };
+        let base = run(false);
+        let pf = run(true);
+        // L1 is untouched by the L2 prefetcher; L2 misses must not grow.
+        prop_assert_eq!(base.levels[0].misses, pf.levels[0].misses);
+        prop_assert!(pf.levels[1].misses <= base.levels[1].misses);
+    }
+
+    #[test]
+    fn vldp_predictions_stay_in_page(addrs in prop::collection::vec(0u64..(1 << 20), 1..300)) {
+        let mut pf = VldpPrefetcher::new(4);
+        for &addr in &addrs {
+            for p in pf.observe(addr) {
+                prop_assert_eq!(p / 4096, addr / 4096, "prediction crossed a page");
+            }
+        }
+    }
+}

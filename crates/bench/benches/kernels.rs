@@ -1,0 +1,240 @@
+//! Criterion benchmarks: one group per suite kernel, on reduced
+//! representative inputsets (the full-size runs live in the `exp_*`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rtr_control::dmp::wheeled_robot_demo;
+use rtr_control::mpc::winding_reference;
+use rtr_control::{BayesOpt, BoConfig, Cem, CemConfig, Dmp, DmpConfig, Mpc, MpcConfig};
+use rtr_core::kernels::perception::PflKernel;
+use rtr_geom::{maps, Point3, RigidTransform};
+use rtr_harness::Profiler;
+use rtr_perception::{EkfSlam, EkfSlamConfig, Icp, IcpConfig, ParticleFilter, PflConfig, PflInit};
+use rtr_planning::{
+    blocks_world, firefight, movtar, ArmProblem, MovingTarget, MovtarConfig, Pp2d, Pp2dConfig,
+    Pp3d, Pp3dConfig, Prm, PrmConfig, Rrt, RrtConfig, RrtPp, RrtStar, SymbolicPlanner,
+};
+use rtr_sim::{scene, SimRng, SlamWorld, ThrowSim};
+
+fn bench_perception(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perception");
+    group.sample_size(10);
+
+    let map = maps::indoor_floor_plan(256, 0.1, 7);
+    let steps = PflKernel::drive_region(&map, 0, 1);
+    group.bench_function("01.pfl/300p", |b| {
+        b.iter_batched(
+            || {
+                ParticleFilter::new(
+                    PflConfig {
+                        particles: 300,
+                        init: PflInit::AroundPose {
+                            pose: steps[0].true_pose,
+                            pos_std: 0.8,
+                            theta_std: 0.4,
+                        },
+                        ..Default::default()
+                    },
+                    &map,
+                )
+            },
+            |mut pf| {
+                let mut profiler = Profiler::new();
+                black_box(pf.run(&steps, &mut profiler, None))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let world = SlamWorld::six_landmark_demo();
+    let mut rng = SimRng::seed_from(1);
+    let log = world.simulate_circuit(300, &mut rng);
+    group.bench_function("02.ekfslam/300steps", |b| {
+        b.iter(|| {
+            let mut ekf = EkfSlam::new(EkfSlamConfig::default());
+            let mut profiler = Profiler::new();
+            black_box(ekf.run(&log, None, &mut profiler))
+        })
+    });
+
+    let mut rng = SimRng::seed_from(6);
+    let room = scene::living_room(20_000, &mut rng);
+    let motion = RigidTransform::from_yaw_translation(0.03, Point3::new(0.05, -0.03, 0.01));
+    let scan1 = scene::scan_from(&room, &RigidTransform::identity(), 0.5, 0.002, &mut rng);
+    let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
+    group.bench_function("03.srec/20k-points", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(Icp::new(IcpConfig::default()).align(&scan2, &scan1, &mut profiler, None))
+        })
+    });
+    group.finish();
+}
+
+fn bench_grid_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid-planning");
+    group.sample_size(10);
+
+    let city = maps::city_blocks(256, 1.0, 3);
+    group.bench_function("04.pp2d/256-city", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(Pp2d::new(Pp2dConfig::car((4, 1), (241, 241))).plan(
+                &city,
+                &mut profiler,
+                None,
+            ))
+        })
+    });
+
+    let campus = maps::campus_3d(96, 96, 16, 1.0, 11);
+    group.bench_function("05.pp3d/96-campus", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(
+                Pp3d::new(Pp3dConfig {
+                    start: (1, 1, 10),
+                    goal: (94, 94, 10),
+                    weight: 1.0,
+                })
+                .plan(&campus, &mut profiler, None),
+            )
+        })
+    });
+
+    let (field, start, trajectory) = movtar::synthetic_scenario(64, 128, 7);
+    group.bench_function("06.movtar/64-env", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(
+                MovingTarget::new(MovtarConfig {
+                    start,
+                    target_trajectory: trajectory.clone(),
+                    epsilon: 2.0,
+                })
+                .plan(&field, &mut profiler),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_arm_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arm-planning");
+    group.sample_size(10);
+    let problem = ArmProblem::map_c(2);
+    let config = RrtConfig {
+        max_samples: 50_000,
+        seed: 2,
+        ..Default::default()
+    };
+
+    let prm = Prm::new(PrmConfig {
+        roadmap_size: 800,
+        neighbors: 10,
+        seed: 3,
+        kdtree_build: false,
+    });
+    let mut profiler = Profiler::new();
+    let roadmap = prm.build(&problem, &mut profiler);
+    group.bench_function("07.prm/online-query", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(prm.query(&problem, &roadmap, &mut profiler))
+        })
+    });
+    group.bench_function("08.rrt/map-c", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(Rrt::new(config.clone()).plan(&problem, &mut profiler, None))
+        })
+    });
+    group.bench_function("09.rrtstar/map-c", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(
+                RrtStar::new(RrtConfig {
+                    star_refine_factor: Some(4.0),
+                    ..config.clone()
+                })
+                .plan(&problem, &mut profiler, None),
+            )
+        })
+    });
+    group.bench_function("10.rrtpp/map-c", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(RrtPp::new(config.clone(), 6).plan(&problem, &mut profiler, None))
+        })
+    });
+    group.finish();
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbolic-planning");
+    group.sample_size(10);
+    let blkw = blocks_world(6);
+    let fext = firefight();
+    group.bench_function("11.sym-blkw/6-blocks", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(SymbolicPlanner::new(1.0).solve(&blkw, &mut profiler))
+        })
+    });
+    group.bench_function("12.sym-fext", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(SymbolicPlanner::new(1.0).solve(&fext, &mut profiler))
+        })
+    });
+    group.finish();
+}
+
+fn bench_control(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control");
+    group.sample_size(10);
+
+    let (demo, duration) = wheeled_robot_demo(400);
+    let dmp = Dmp::learn(&demo, duration, DmpConfig::default());
+    group.bench_function("13.dmp/rollout", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(dmp.rollout(duration, &mut profiler))
+        })
+    });
+
+    let reference = winding_reference(120);
+    group.bench_function("14.mpc/120-ref", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(Mpc::new(MpcConfig::default()).track(&reference, &mut profiler))
+        })
+    });
+
+    let sim = ThrowSim::new(2.0);
+    group.bench_function("15.cem/5x15", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(Cem::new(CemConfig::default()).learn(&sim, &mut profiler))
+        })
+    });
+    group.bench_function("16.bo/45-iters", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(BayesOpt::new(BoConfig::default()).learn(&sim, &mut profiler))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_perception,
+    bench_grid_planning,
+    bench_arm_planning,
+    bench_symbolic,
+    bench_control
+);
+criterion_main!(kernels);

@@ -1,0 +1,52 @@
+//! Criterion version of the paper's §VII / Fig. 21 library comparison at
+//! small scales (the full sweep is `exp_librarycomp`): tuned `pp2d`
+//! against the PythonRobotics-style and CppRobotics-style baselines on the
+//! `a_star.py` demo map.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rtr_baselines::{CRobAstar, PRobAstar};
+use rtr_geom::{maps, Footprint};
+use rtr_harness::Profiler;
+use rtr_planning::{Pp2d, Pp2dConfig};
+
+fn bench_librarycomp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig21-librarycomp");
+    group.sample_size(10);
+    for scale in [1usize, 2] {
+        let map = maps::pythonrobotics_map().upscaled(scale);
+        let start = (
+            maps::PYTHONROBOTICS_START.0 * scale,
+            maps::PYTHONROBOTICS_START.1 * scale,
+        );
+        let goal = (
+            maps::PYTHONROBOTICS_GOAL.0 * scale,
+            maps::PYTHONROBOTICS_GOAL.1 * scale,
+        );
+        group.bench_with_input(BenchmarkId::new("p-rob-style", scale), &scale, |b, _| {
+            b.iter(|| black_box(PRobAstar::plan(&map, start, goal)))
+        });
+        group.bench_with_input(BenchmarkId::new("c-rob-style", scale), &scale, |b, _| {
+            b.iter(|| black_box(CRobAstar::plan(&map, start, goal)))
+        });
+        group.bench_with_input(BenchmarkId::new("rtrbench", scale), &scale, |b, _| {
+            b.iter(|| {
+                let mut profiler = Profiler::new();
+                black_box(
+                    Pp2d::new(Pp2dConfig {
+                        start,
+                        goal,
+                        footprint: Footprint::new(map.resolution() * 0.5, map.resolution() * 0.5),
+                        weight: 1.0,
+                    })
+                    .plan(&map, &mut profiler, None),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(librarycomp, bench_librarycomp);
+criterion_main!(librarycomp);

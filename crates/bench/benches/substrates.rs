@@ -1,0 +1,129 @@
+//! Criterion benchmarks for the substrate operations the paper identifies
+//! as the kernels' architectural bottlenecks: grid ray casting, footprint
+//! collision checks, k-d-tree nearest-neighbor search, dense matrix
+//! operations, and the cache simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rtr_archsim::MemorySim;
+use rtr_geom::{cast_ray, maps, Footprint, KdTree, Pose2};
+use rtr_linalg::{Matrix, Vector};
+use rtr_sim::SimRng;
+
+fn bench_ray_casting(c: &mut Criterion) {
+    let map = maps::indoor_floor_plan(256, 0.1, 7);
+    let origin = map.cell_center(64, 64);
+    c.bench_function("substrate/ray-cast-360", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..360 {
+                let theta = (i as f64).to_radians();
+                total += cast_ray(&map, origin, theta, 10.0).distance;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_collision(c: &mut Criterion) {
+    let map = maps::city_blocks(256, 1.0, 3);
+    let car = Footprint::new(4.8, 1.8);
+    c.bench_function("substrate/footprint-check-1k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..1000 {
+                let pose = Pose2::new(
+                    (i % 250) as f64 + 2.0,
+                    ((i * 7) % 250) as f64 + 2.0,
+                    i as f64 * 0.1,
+                );
+                hits += car.collides(&map, &pose) as usize;
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(3);
+    let mut tree = KdTree::<5>::new();
+    for i in 0..20_000 {
+        let p = [
+            rng.uniform(-3.0, 3.0),
+            rng.uniform(-3.0, 3.0),
+            rng.uniform(-3.0, 3.0),
+            rng.uniform(-3.0, 3.0),
+            rng.uniform(-3.0, 3.0),
+        ];
+        tree.insert(p, i);
+    }
+    c.bench_function("substrate/kdtree-nn-100", |b| {
+        let mut qrng = SimRng::seed_from(9);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100 {
+                let q = [
+                    qrng.uniform(-3.0, 3.0),
+                    qrng.uniform(-3.0, 3.0),
+                    qrng.uniform(-3.0, 3.0),
+                    qrng.uniform(-3.0, 3.0),
+                    qrng.uniform(-3.0, 3.0),
+                ];
+                acc += tree.nearest(&q).unwrap().1;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_matrix_ops(c: &mut Criterion) {
+    // EKF-sized matrices: 15x15 = 3 pose + 6 landmarks x 2.
+    let a = Matrix::from_fn(15, 15, |r, q| ((r * 31 + q * 17) % 13) as f64 * 0.1 + 1.0);
+    let spd = {
+        let mut m = &a * &a.transpose();
+        for i in 0..15 {
+            m[(i, i)] += 15.0;
+        }
+        m
+    };
+    let v = Vector::from_fn(15, |i| i as f64 * 0.3);
+    c.bench_function("substrate/matrix-mul-15", |b| b.iter(|| black_box(&a * &a)));
+    c.bench_function("substrate/matrix-inverse-15", |b| {
+        b.iter(|| black_box(spd.inverse().unwrap()))
+    });
+    c.bench_function("substrate/cholesky-solve-15", |b| {
+        b.iter(|| black_box(spd.cholesky().unwrap().solve(&v).unwrap()))
+    });
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    c.bench_function("substrate/cache-sim-100k-stream", |b| {
+        b.iter(|| {
+            let mut sim = MemorySim::i3_8109u();
+            for i in 0..100_000u64 {
+                sim.read(i * 64);
+            }
+            black_box(sim.report().memory_accesses)
+        })
+    });
+    c.bench_function("substrate/cache-sim-100k-vldp", |b| {
+        b.iter(|| {
+            let mut sim = MemorySim::i3_8109u().with_vldp(2);
+            for i in 0..100_000u64 {
+                sim.read(i * 64);
+            }
+            black_box(sim.report().memory_accesses)
+        })
+    });
+}
+
+criterion_group!(
+    substrates,
+    bench_ray_casting,
+    bench_collision,
+    bench_kdtree,
+    bench_matrix_ops,
+    bench_cache_sim
+);
+criterion_main!(substrates);

@@ -1,0 +1,395 @@
+//! `13.dmp` — dynamic movement primitives.
+//!
+//! DMP "represents the problem using a virtual spring and damper system
+//! and adapts it to the planned path", with Gaussian basis functions and
+//! shape parameters "acquired through imitation learning and linear
+//! regression, typically through a single demonstration". The paper
+//! measures IPC < 1 "due to significant data dependency in the algorithm:
+//! the trajectory, velocity, and acceleration are all computed
+//! incrementally" — the rollout here is exactly that serial integration
+//! loop.
+
+use rtr_harness::Profiler;
+
+/// Configuration for [`Dmp`].
+#[derive(Debug, Clone, Copy)]
+pub struct DmpConfig {
+    /// Number of Gaussian basis functions per dimension.
+    pub basis_count: usize,
+    /// Spring constant α_z of the transformation system.
+    pub alpha_z: f64,
+    /// Damping β_z (critically damped at α_z/4).
+    pub beta_z: f64,
+    /// Canonical-system decay rate α_x.
+    pub alpha_x: f64,
+    /// Integration time step (seconds).
+    pub dt: f64,
+}
+
+impl Default for DmpConfig {
+    fn default() -> Self {
+        DmpConfig {
+            basis_count: 30,
+            alpha_z: 25.0,
+            beta_z: 6.25,
+            alpha_x: 4.0,
+            dt: 0.002,
+        }
+    }
+}
+
+/// A generated trajectory: positions, velocities and accelerations per
+/// time step (the paper's Fig. 15 outputs).
+#[derive(Debug, Clone)]
+pub struct DmpRollout {
+    /// Time stamps.
+    pub t: Vec<f64>,
+    /// Position per step and dimension (`[step][dim]`).
+    pub position: Vec<Vec<f64>>,
+    /// Velocity per step and dimension.
+    pub velocity: Vec<Vec<f64>>,
+    /// Acceleration per step and dimension.
+    pub acceleration: Vec<Vec<f64>>,
+}
+
+/// One learned movement primitive per trajectory dimension.
+#[derive(Debug, Clone)]
+struct DimensionModel {
+    weights: Vec<f64>,
+    y0: f64,
+    goal: f64,
+}
+
+/// The DMP kernel: learn from one demonstration, then generate smooth
+/// trajectories toward (possibly new) goals.
+///
+/// # Example
+///
+/// ```
+/// use rtr_control::{Dmp, DmpConfig};
+/// use rtr_harness::Profiler;
+///
+/// // Demonstrate a 1-D reach from 0 to 1 over one second.
+/// let demo: Vec<Vec<f64>> = (0..=100)
+///     .map(|i| vec![(i as f64 / 100.0).powi(2) * (3.0 - 2.0 * i as f64 / 100.0)])
+///     .collect();
+/// let dmp = Dmp::learn(&demo, 1.0, DmpConfig::default());
+/// let mut profiler = Profiler::new();
+/// let rollout = dmp.rollout(1.0, &mut profiler);
+/// let end = rollout.position.last().unwrap()[0];
+/// assert!((end - 1.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dmp {
+    config: DmpConfig,
+    dims: Vec<DimensionModel>,
+    /// Basis centers in canonical phase x ∈ (0, 1].
+    centers: Vec<f64>,
+    /// Basis widths.
+    widths: Vec<f64>,
+    /// Duration of the demonstration (sets the canonical time constant).
+    tau: f64,
+}
+
+impl Dmp {
+    /// Learns a DMP from a demonstration.
+    ///
+    /// `demo[t][d]` is the position of dimension `d` at uniformly spaced
+    /// times covering `duration` seconds. Velocities/accelerations are
+    /// estimated by finite differences; basis weights by locally weighted
+    /// regression (the paper's "imitation learning and linear regression
+    /// ... through a single demonstration").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demo has fewer than three samples, zero dimensions,
+    /// or inconsistent dimension counts.
+    pub fn learn(demo: &[Vec<f64>], duration: f64, config: DmpConfig) -> Self {
+        assert!(demo.len() >= 3, "demonstration needs at least 3 samples");
+        let ndim = demo[0].len();
+        assert!(ndim > 0, "demonstration needs at least one dimension");
+        assert!(
+            demo.iter().all(|s| s.len() == ndim),
+            "inconsistent demo dimensions"
+        );
+        assert!(duration > 0.0, "duration must be positive");
+
+        let steps = demo.len();
+        let demo_dt = duration / (steps - 1) as f64;
+        let tau = duration;
+
+        // Basis centers spread along the canonical trajectory
+        // x(t) = exp(-αx t / τ), with widths inversely proportional to the
+        // squared gap between consecutive centers.
+        let centers: Vec<f64> = (0..config.basis_count)
+            .map(|i| {
+                let t = i as f64 / (config.basis_count - 1).max(1) as f64;
+                (-config.alpha_x * t).exp()
+            })
+            .collect();
+        let widths: Vec<f64> = (0..config.basis_count)
+            .map(|i| {
+                let next = if i + 1 < centers.len() {
+                    centers[i + 1]
+                } else {
+                    centers[i]
+                };
+                let gap = (next - centers[i]).abs().max(1e-6);
+                1.0 / (gap * gap)
+            })
+            .collect();
+
+        let mut dims = Vec::with_capacity(ndim);
+        for d in 0..ndim {
+            let y: Vec<f64> = demo.iter().map(|s| s[d]).collect();
+            let y0 = y[0];
+            let goal = y[steps - 1];
+
+            // Finite-difference velocity and acceleration.
+            let mut yd = vec![0.0; steps];
+            let mut ydd = vec![0.0; steps];
+            for t in 1..steps - 1 {
+                yd[t] = (y[t + 1] - y[t - 1]) / (2.0 * demo_dt);
+            }
+            yd[0] = (y[1] - y[0]) / demo_dt;
+            yd[steps - 1] = (y[steps - 1] - y[steps - 2]) / demo_dt;
+            for t in 1..steps - 1 {
+                ydd[t] = (yd[t + 1] - yd[t - 1]) / (2.0 * demo_dt);
+            }
+
+            // Forcing-term targets at each demo sample.
+            let scale = goal - y0;
+            let mut num = vec![0.0; config.basis_count];
+            let mut den = vec![1e-10; config.basis_count];
+            for t in 0..steps {
+                let time = t as f64 * demo_dt;
+                let x = (-config.alpha_x * time / tau).exp();
+                let f_target = tau * tau * ydd[t]
+                    - config.alpha_z * (config.beta_z * (goal - y[t]) - tau * yd[t]);
+                // Locally weighted regression against ξ = x·(g − y0).
+                let xi = x * scale;
+                if xi.abs() < 1e-12 {
+                    continue;
+                }
+                for (b, (&c, &w)) in centers.iter().zip(widths.iter()).enumerate() {
+                    let psi = (-w * (x - c) * (x - c)).exp();
+                    num[b] += psi * xi * f_target;
+                    den[b] += psi * xi * xi;
+                }
+            }
+            let weights: Vec<f64> = num.iter().zip(den.iter()).map(|(n, d)| n / d).collect();
+            dims.push(DimensionModel { weights, y0, goal });
+        }
+
+        Dmp {
+            config,
+            dims,
+            centers,
+            widths,
+            tau,
+        }
+    }
+
+    /// Number of trajectory dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The goal position the primitive converges to, per dimension.
+    pub fn goals(&self) -> Vec<f64> {
+        self.dims.iter().map(|d| d.goal).collect()
+    }
+
+    /// Evaluates the forcing term for dimension `d` at phase `x`.
+    fn forcing(&self, d: &DimensionModel, x: f64) -> f64 {
+        let mut num = 0.0;
+        let mut den = 1e-10;
+        for (b, (&c, &w)) in self.centers.iter().zip(self.widths.iter()).enumerate() {
+            let psi = (-w * (x - c) * (x - c)).exp();
+            num += psi * d.weights[b];
+            den += psi;
+        }
+        (num / den) * x * (d.goal - d.y0)
+    }
+
+    /// Integrates the primitive for `duration` seconds.
+    ///
+    /// Profiler region: `integration` — the serial Euler loop where each
+    /// step's position/velocity/acceleration depends on the previous
+    /// step's (the paper's low-ILP data dependency).
+    pub fn rollout(&self, duration: f64, profiler: &mut Profiler) -> DmpRollout {
+        profiler.time("integration", || {
+            let steps = (duration / self.config.dt).ceil() as usize;
+            let ndim = self.dims.len();
+            let mut t_axis = Vec::with_capacity(steps + 1);
+            let mut pos = Vec::with_capacity(steps + 1);
+            let mut vel = Vec::with_capacity(steps + 1);
+            let mut acc = Vec::with_capacity(steps + 1);
+
+            let mut y: Vec<f64> = self.dims.iter().map(|d| d.y0).collect();
+            let mut z: Vec<f64> = vec![0.0; ndim];
+            let mut x = 1.0;
+
+            t_axis.push(0.0);
+            pos.push(y.clone());
+            vel.push(vec![0.0; ndim]);
+            acc.push(vec![0.0; ndim]);
+
+            for step in 1..=steps {
+                let dt = self.config.dt;
+                let mut a_row = Vec::with_capacity(ndim);
+                let mut v_row = Vec::with_capacity(ndim);
+                for (d, model) in self.dims.iter().enumerate() {
+                    let f = self.forcing(model, x);
+                    // τ ż = αz(βz(g − y) − z) + f;  τ ẏ = z.
+                    let zd = (self.config.alpha_z
+                        * (self.config.beta_z * (model.goal - y[d]) - z[d])
+                        + f)
+                        / self.tau;
+                    z[d] += zd * dt;
+                    let yd = z[d] / self.tau;
+                    y[d] += yd * dt;
+                    v_row.push(yd);
+                    a_row.push(zd / self.tau);
+                }
+                x += -self.config.alpha_x * x / self.tau * dt;
+                t_axis.push(step as f64 * dt);
+                pos.push(y.clone());
+                vel.push(v_row);
+                acc.push(a_row);
+            }
+
+            DmpRollout {
+                t: t_axis,
+                position: pos,
+                velocity: vel,
+                acceleration: acc,
+            }
+        })
+    }
+}
+
+/// Synthesizes the paper's Fig. 15 demonstration: a wheeled robot's ~15 m
+/// smooth advance over 1.5 s with a lateral S-curve, sampled at `steps`
+/// points. Returns `(demo, duration)`.
+pub fn wheeled_robot_demo(steps: usize) -> (Vec<Vec<f64>>, f64) {
+    let duration = 1.5;
+    let demo = (0..steps)
+        .map(|i| {
+            let s = i as f64 / (steps - 1) as f64;
+            // Min-jerk advance to 15 m.
+            let adv = 15.0 * (10.0 * s.powi(3) - 15.0 * s.powi(4) + 6.0 * s.powi(5));
+            // Lateral sway of ±0.5 m.
+            let sway = 0.5 * (2.0 * std::f64::consts::PI * s).sin();
+            vec![adv, sway]
+        })
+        .collect();
+    (demo, duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minjerk_demo() -> (Vec<Vec<f64>>, f64) {
+        let demo = (0..=200)
+            .map(|i| {
+                let s = i as f64 / 200.0;
+                vec![10.0 * s.powi(3) - 15.0 * s.powi(4) + 6.0 * s.powi(5)]
+            })
+            .collect();
+        (demo, 1.0)
+    }
+
+    #[test]
+    fn rollout_reaches_goal() {
+        let (demo, dur) = minjerk_demo();
+        let dmp = Dmp::learn(&demo, dur, DmpConfig::default());
+        let mut profiler = Profiler::new();
+        let rollout = dmp.rollout(dur * 1.5, &mut profiler);
+        let end = rollout.position.last().unwrap()[0];
+        assert!((end - 1.0).abs() < 0.02, "end {end}");
+    }
+
+    #[test]
+    fn rollout_tracks_demo_shape() {
+        let (demo, dur) = minjerk_demo();
+        let dmp = Dmp::learn(&demo, dur, DmpConfig::default());
+        let mut profiler = Profiler::new();
+        let rollout = dmp.rollout(dur, &mut profiler);
+        // Compare positions at matching normalized times.
+        let mut max_err: f64 = 0.0;
+        for (i, p) in rollout.position.iter().enumerate() {
+            let s = i as f64 / (rollout.position.len() - 1) as f64;
+            let demo_idx = (s * (demo.len() - 1) as f64).round() as usize;
+            max_err = max_err.max((p[0] - demo[demo_idx][0]).abs());
+        }
+        assert!(max_err < 0.1, "tracking error {max_err}");
+    }
+
+    #[test]
+    fn velocity_starts_and_ends_near_zero() {
+        let (demo, dur) = wheeled_robot_demo(300);
+        let dmp = Dmp::learn(&demo, dur, DmpConfig::default());
+        let mut profiler = Profiler::new();
+        let rollout = dmp.rollout(dur * 1.4, &mut profiler);
+        assert!(rollout.velocity[0].iter().all(|v| v.abs() < 1e-9));
+        let end_v = rollout.velocity.last().unwrap();
+        assert!(
+            end_v.iter().all(|v| v.abs() < 0.5),
+            "end velocity {end_v:?}"
+        );
+        // Peak velocity happens mid-trajectory (smooth bell profile).
+        let peak = rollout
+            .velocity
+            .iter()
+            .map(|v| v[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak > 10.0, "peak forward velocity {peak}");
+    }
+
+    #[test]
+    fn two_dimensional_demo_learns_both_dims() {
+        let (demo, dur) = wheeled_robot_demo(300);
+        let dmp = Dmp::learn(&demo, dur, DmpConfig::default());
+        assert_eq!(dmp.dimensions(), 2);
+        let goals = dmp.goals();
+        assert!((goals[0] - 15.0).abs() < 1e-9);
+        let mut profiler = Profiler::new();
+        let rollout = dmp.rollout(dur * 1.5, &mut profiler);
+        let end = rollout.position.last().unwrap();
+        assert!((end[0] - 15.0).abs() < 0.3, "x end {}", end[0]);
+        assert!(end[1].abs() < 0.2, "y end {}", end[1]);
+    }
+
+    #[test]
+    fn integration_region_accounts_for_rollout() {
+        let (demo, dur) = minjerk_demo();
+        let dmp = Dmp::learn(&demo, dur, DmpConfig::default());
+        let mut profiler = Profiler::new();
+        dmp.rollout(dur, &mut profiler);
+        assert_eq!(profiler.region_calls("integration"), 1);
+        profiler.freeze_total();
+        assert!(profiler.fraction("integration") > 0.5);
+    }
+
+    #[test]
+    fn goal_change_generalizes() {
+        // DMPs generalize to new goals by construction; emulate by scaling
+        // the demo and confirming convergence to the demo's own endpoint.
+        let (mut demo, dur) = minjerk_demo();
+        for s in &mut demo {
+            s[0] *= 3.0; // endpoint now 3.0
+        }
+        let dmp = Dmp::learn(&demo, dur, DmpConfig::default());
+        let mut profiler = Profiler::new();
+        let rollout = dmp.rollout(dur * 1.5, &mut profiler);
+        assert!((rollout.position.last().unwrap()[0] - 3.0).abs() < 0.06);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 samples")]
+    fn tiny_demo_panics() {
+        let _ = Dmp::learn(&[vec![0.0], vec![1.0]], 1.0, DmpConfig::default());
+    }
+}

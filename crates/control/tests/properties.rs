@@ -1,0 +1,93 @@
+//! Property-based tests for the control kernels' invariants.
+
+use proptest::prelude::*;
+use rtr_control::{Cem, CemConfig, Dmp, DmpConfig, GaussianProcess};
+use rtr_harness::Profiler;
+use rtr_sim::ThrowSim;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gp_interpolates_its_training_data(
+        ys in prop::collection::vec(-5.0..5.0f64, 3..10),
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, 0.7, 1.0, 1e-8).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            let (mean, var) = gp.predict(x);
+            prop_assert!((mean - y).abs() < 1e-2, "at {x:?}: {mean} vs {y}");
+            prop_assert!(var >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gp_variance_never_exceeds_prior(
+        ys in prop::collection::vec(-5.0..5.0f64, 3..8),
+        q in -20.0..20.0f64,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, 0.7, 1.0, 1e-6).unwrap();
+        let (_, var) = gp.predict(&[q]);
+        prop_assert!(var <= 1.0 + 1e-9, "posterior variance {var} above prior");
+    }
+
+    #[test]
+    fn dmp_converges_to_demo_endpoint(
+        end in -3.0..3.0f64,
+        wiggle in 0.0..0.5f64,
+    ) {
+        prop_assume!(end.abs() > 0.2);
+        // A smooth demo from 0 to `end` with a sinusoidal wiggle.
+        let demo: Vec<Vec<f64>> = (0..=150)
+            .map(|i| {
+                let s = i as f64 / 150.0;
+                let minjerk = 10.0 * s.powi(3) - 15.0 * s.powi(4) + 6.0 * s.powi(5);
+                vec![end * minjerk + wiggle * (s * std::f64::consts::PI).sin() * (1.0 - s)]
+            })
+            .collect();
+        let dmp = Dmp::learn(&demo, 1.0, DmpConfig::default());
+        let mut profiler = Profiler::new();
+        let rollout = dmp.rollout(1.5, &mut profiler);
+        let got = rollout.position.last().unwrap()[0];
+        prop_assert!((got - end).abs() < 0.12, "endpoint {got} vs goal {end}");
+    }
+
+    #[test]
+    fn cem_best_reward_never_degrades_with_more_iterations(
+        seed in 0u64..50,
+    ) {
+        let sim = ThrowSim::new(2.0);
+        let run = |iterations| {
+            let mut profiler = Profiler::new();
+            Cem::new(CemConfig {
+                seed,
+                iterations,
+                ..Default::default()
+            })
+            .learn(&sim, &mut profiler)
+            .best_reward
+        };
+        // Same seed: the first 3 iterations are a prefix of the first 6,
+        // so the best over 6 must be at least the best over 3.
+        prop_assert!(run(6) >= run(3) - 1e-12);
+    }
+
+    #[test]
+    fn cem_trace_length_matches_config(
+        iterations in 1usize..6,
+        samples in 1usize..20,
+    ) {
+        let sim = ThrowSim::new(2.0);
+        let mut profiler = Profiler::new();
+        let result = Cem::new(CemConfig {
+            iterations,
+            samples_per_iteration: samples,
+            elites: samples.min(3),
+            ..Default::default()
+        })
+        .learn(&sim, &mut profiler);
+        prop_assert_eq!(result.reward_trace.len(), iterations * samples);
+        prop_assert_eq!(result.evaluations as usize, iterations * samples);
+    }
+}

@@ -1,0 +1,313 @@
+//! Control-stage kernel adapters.
+
+use rtr_control::{
+    dmp::wheeled_robot_demo, mpc::winding_reference, BayesOpt, BoConfig, Cem, CemConfig, Dmp,
+    DmpConfig, Mpc, MpcConfig,
+};
+use rtr_harness::{Args, OptionSpec, Profiler};
+use rtr_sim::ThrowSim;
+
+use super::report;
+use crate::{Kernel, KernelError, KernelReport, Stage};
+
+/// `13.dmp`: dynamic movement primitives from a wheeled-robot demo.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DmpKernel;
+
+impl Kernel for DmpKernel {
+    fn name(&self) -> &'static str {
+        "13.dmp"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Control
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Fine-grained serialization"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "basis",
+                help: "Gaussian basis functions per dimension",
+            },
+            OptionSpec {
+                name: "dt",
+                help: "Integration step (seconds)",
+            },
+            OptionSpec {
+                name: "duration",
+                help: "Rollout duration (seconds)",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let basis = args.get_usize("basis", 30)?.max(2);
+        let dt = args.get_f64("dt", 0.0005)?;
+        let duration = args.get_f64("duration", 2.0)?;
+
+        let (demo, demo_duration) = wheeled_robot_demo(400);
+        let config = DmpConfig {
+            basis_count: basis,
+            dt,
+            ..Default::default()
+        };
+        let dmp = Dmp::learn(&demo, demo_duration, config);
+        let mut profiler = Profiler::new();
+        let roi = rtr_harness::Roi::enter(self.name());
+        let rollout = dmp.rollout(duration, &mut profiler);
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        let end = rollout.position.last().cloned().unwrap_or_default();
+        let goal_error = dmp
+            .goals()
+            .iter()
+            .zip(end.iter())
+            .map(|(g, e)| (g - e).abs())
+            .fold(0.0f64, f64::max);
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            vec![
+                ("steps".into(), rollout.t.len().to_string()),
+                ("goal error (m)".into(), format!("{goal_error:.4}")),
+                (
+                    "peak velocity (m/s)".into(),
+                    format!(
+                        "{:.2}",
+                        rollout
+                            .velocity
+                            .iter()
+                            .map(|v| v[0])
+                            .fold(f64::NEG_INFINITY, f64::max)
+                    ),
+                ),
+            ],
+        ))
+    }
+}
+
+/// `14.mpc`: model predictive control along a winding reference.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpcKernel;
+
+impl Kernel for MpcKernel {
+    fn name(&self) -> &'static str {
+        "14.mpc"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Control
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Optimization"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "length",
+                help: "Reference trajectory samples",
+            },
+            OptionSpec {
+                name: "horizon",
+                help: "Prediction horizon (steps)",
+            },
+            OptionSpec {
+                name: "iterations",
+                help: "Optimizer iterations per step",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let length = args.get_usize("length", 200)?.max(2);
+        let horizon = args.get_usize("horizon", 12)?.max(1);
+        let iterations = args.get_usize("iterations", 40)?.max(1);
+
+        let reference = winding_reference(length);
+        let config = MpcConfig {
+            horizon,
+            opt_iterations: iterations,
+            ..Default::default()
+        };
+        let mut profiler = Profiler::new();
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = Mpc::new(config).track(&reference, &mut profiler);
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            vec![
+                (
+                    "mean error (m)".into(),
+                    format!("{:.3}", result.mean_tracking_error),
+                ),
+                (
+                    "max error (m)".into(),
+                    format!("{:.3}", result.max_tracking_error),
+                ),
+                ("max speed (m/s)".into(), format!("{:.2}", result.max_speed)),
+                (
+                    "max accel (m/s²)".into(),
+                    format!("{:.2}", result.max_accel),
+                ),
+                ("opt iterations".into(), result.opt_iterations.to_string()),
+            ],
+        ))
+    }
+}
+
+/// `15.cem`: cross-entropy-method learning of the ball throw.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CemKernel;
+
+impl Kernel for CemKernel {
+    fn name(&self) -> &'static str {
+        "15.cem"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Control
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Sort"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "iterations",
+                help: "CEM iterations (paper: 5)",
+            },
+            OptionSpec {
+                name: "samples",
+                help: "Samples per iteration (paper: 15)",
+            },
+            OptionSpec {
+                name: "goal",
+                help: "Throw goal distance (m)",
+            },
+            OptionSpec {
+                name: "seed",
+                help: "Random seed",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let config = CemConfig {
+            iterations: args.get_usize("iterations", 5)?.max(1),
+            samples_per_iteration: args.get_usize("samples", 15)?.max(1),
+            seed: args.get_u64("seed", 0)?,
+            ..Default::default()
+        };
+        let sim = ThrowSim::new(args.get_f64("goal", 2.0)?.max(0.1));
+        let mut profiler = Profiler::new();
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = Cem::new(config).learn(&sim, &mut profiler);
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            vec![
+                ("best reward".into(), format!("{:.3}", result.best_reward)),
+                ("evaluations".into(), result.evaluations.to_string()),
+                (
+                    "first/last iter mean".into(),
+                    format!(
+                        "{:.3} / {:.3}",
+                        result.iteration_means.first().copied().unwrap_or(f64::NAN),
+                        result.iteration_means.last().copied().unwrap_or(f64::NAN)
+                    ),
+                ),
+            ],
+        ))
+    }
+}
+
+/// `16.bo`: Bayesian optimization of the ball throw.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoKernel;
+
+impl Kernel for BoKernel {
+    fn name(&self) -> &'static str {
+        "16.bo"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Control
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Sort"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "iterations",
+                help: "BO iterations (paper: 45)",
+            },
+            OptionSpec {
+                name: "candidates",
+                help: "Acquisition candidates per iteration",
+            },
+            OptionSpec {
+                name: "kappa",
+                help: "UCB exploration coefficient",
+            },
+            OptionSpec {
+                name: "goal",
+                help: "Throw goal distance (m)",
+            },
+            OptionSpec {
+                name: "seed",
+                help: "Random seed",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let config = BoConfig {
+            iterations: args.get_usize("iterations", 45)?.max(1),
+            candidates: args.get_usize("candidates", 500)?.max(1),
+            kappa: args.get_f64("kappa", 2.0)?,
+            seed: args.get_u64("seed", 0)?,
+            ..Default::default()
+        };
+        let sim = ThrowSim::new(args.get_f64("goal", 2.0)?.max(0.1));
+        let mut profiler = Profiler::new();
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = BayesOpt::new(config).learn(&sim, &mut profiler);
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            vec![
+                ("best reward".into(), format!("{:.3}", result.best_reward)),
+                ("evaluations".into(), result.evaluations.to_string()),
+                (
+                    "candidates scored".into(),
+                    result.candidates_scored.to_string(),
+                ),
+            ],
+        ))
+    }
+}

@@ -1,0 +1,137 @@
+//! The sixteen kernel adapters.
+
+pub mod control;
+pub mod perception;
+pub mod planning;
+
+use crate::{Kernel, KernelReport, Stage};
+use rtr_harness::{Args, Profiler};
+
+/// Returns all sixteen kernels in paper order (`01.pfl` … `16.bo`).
+pub fn registry() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(perception::PflKernel),
+        Box::new(perception::EkfSlamKernel),
+        Box::new(perception::SrecKernel),
+        Box::new(planning::Pp2dKernel),
+        Box::new(planning::Pp3dKernel),
+        Box::new(planning::MovtarKernel),
+        Box::new(planning::PrmKernel),
+        Box::new(planning::RrtKernel),
+        Box::new(planning::RrtStarKernel),
+        Box::new(planning::RrtPpKernel),
+        Box::new(planning::SymBlkwKernel),
+        Box::new(planning::SymFextKernel),
+        Box::new(control::DmpKernel),
+        Box::new(control::MpcKernel),
+        Box::new(control::CemKernel),
+        Box::new(control::BoKernel),
+    ]
+}
+
+/// Builds a [`KernelReport`] from a finished profiler and metric list.
+pub(crate) fn report(
+    name: &'static str,
+    stage: Stage,
+    mut profiler: Profiler,
+    roi_seconds: f64,
+    metrics: Vec<(String, String)>,
+) -> KernelReport {
+    profiler.freeze_total();
+    KernelReport {
+        name,
+        stage,
+        roi_seconds,
+        regions: profiler.report(),
+        metrics,
+    }
+}
+
+/// Builds an optional cache simulator from the shared `--trace` flag and,
+/// after the run, renders its report into metric rows.
+pub(crate) fn trace_sim(args: &Args) -> Option<rtr_archsim::MemorySim> {
+    args.get_flag("trace")
+        .then(rtr_archsim::MemorySim::i3_8109u)
+}
+
+/// Appends the traced-run cache statistics to a kernel's metric list.
+pub(crate) fn push_cache_metrics(
+    metrics: &mut Vec<(String, String)>,
+    mem: Option<rtr_archsim::MemorySim>,
+) {
+    if let Some(mem) = mem {
+        let report = mem.report();
+        metrics.push(("traced accesses".into(), report.accesses.to_string()));
+        for (name, level) in ["L1D", "L2", "LLC"].iter().zip(report.levels.iter()) {
+            metrics.push((
+                format!("{name} miss ratio"),
+                format!("{:.1}%", level.miss_ratio() * 100.0),
+            ));
+        }
+        metrics.push((
+            "memory access ratio".into(),
+            format!("{:.2}%", report.memory_access_ratio() * 100.0),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_match_paper_order() {
+        let names: Vec<&str> = registry().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "01.pfl",
+                "02.ekfslam",
+                "03.srec",
+                "04.pp2d",
+                "05.pp3d",
+                "06.movtar",
+                "07.prm",
+                "08.rrt",
+                "09.rrtstar",
+                "10.rrtpp",
+                "11.sym-blkw",
+                "12.sym-fext",
+                "13.dmp",
+                "14.mpc",
+                "15.cem",
+                "16.bo",
+            ]
+        );
+    }
+
+    #[test]
+    fn stages_match_table1() {
+        let kernels = registry();
+        let stage_of = |name: &str| {
+            kernels
+                .iter()
+                .find(|k| k.name() == name)
+                .map(|k| k.stage())
+                .unwrap()
+        };
+        assert_eq!(stage_of("01.pfl"), Stage::Perception);
+        assert_eq!(stage_of("03.srec"), Stage::Perception);
+        assert_eq!(stage_of("04.pp2d"), Stage::Planning);
+        assert_eq!(stage_of("12.sym-fext"), Stage::Planning);
+        assert_eq!(stage_of("13.dmp"), Stage::Control);
+        assert_eq!(stage_of("16.bo"), Stage::Control);
+    }
+
+    #[test]
+    fn every_kernel_documents_options_and_bottleneck() {
+        for kernel in registry() {
+            assert!(
+                !kernel.cli_options().is_empty(),
+                "{} has no CLI options",
+                kernel.name()
+            );
+            assert!(!kernel.table1_bottleneck().is_empty());
+        }
+    }
+}

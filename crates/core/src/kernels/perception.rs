@@ -1,0 +1,313 @@
+//! Perception-stage kernel adapters.
+
+use rtr_geom::{maps, Point2, Point3, Pose2, RigidTransform};
+use rtr_harness::{Args, OptionSpec, Profiler};
+use rtr_perception::{EkfSlam, EkfSlamConfig, Icp, IcpConfig, ParticleFilter, PflConfig, PflInit};
+use rtr_sim::{scene, DifferentialDrive, Lidar, OdometryModel, SimRng, SlamWorld};
+
+use super::report;
+use crate::{Kernel, KernelError, KernelReport, Stage};
+
+/// `01.pfl`: particle-filter localization in the procedural indoor map.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PflKernel;
+
+impl PflKernel {
+    /// Drives the simulated robot through region `region` (0–4) of the
+    /// indoor map, returning its sensor log. The five regions are the four
+    /// room quadrants plus the center, mirroring the paper's "five
+    /// different parts of the building".
+    pub fn drive_region(
+        map: &rtr_geom::GridMap2D,
+        region: usize,
+        seed: u64,
+    ) -> Vec<rtr_sim::TrajectoryStep> {
+        // Rooms sit on a 3.2 m pitch in the 256-cell (25.6 m) map; room
+        // interiors are (k·3.2, k·3.2+3.2). Drive a loop inside a room of
+        // the selected quadrant.
+        let offsets = [
+            (1.0, 1.0),
+            (1.0 + 12.8, 1.0),
+            (1.0, 1.0 + 12.8),
+            (1.0 + 12.8, 1.0 + 12.8),
+            (1.0 + 6.4, 1.0 + 6.4),
+        ];
+        let (ox, oy) = offsets[region % offsets.len()];
+        let lidar = Lidar::new(60, std::f64::consts::PI, 10.0, 0.02);
+        let odo = OdometryModel::new(0.03, 0.02);
+        let robot = DifferentialDrive::new(0.15, 1.5);
+        let mut rng = SimRng::seed_from(seed);
+        robot.drive(
+            map,
+            Pose2::new(ox, oy, 0.0),
+            &[
+                Point2::new(ox + 1.5, oy),
+                Point2::new(ox + 1.5, oy + 1.5),
+                Point2::new(ox, oy + 1.5),
+            ],
+            &lidar,
+            &odo,
+            120,
+            &mut rng,
+        )
+    }
+}
+
+impl Kernel for PflKernel {
+    fn name(&self) -> &'static str {
+        "01.pfl"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Perception
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Ray-casting"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "particles",
+                help: "Number of particles",
+            },
+            OptionSpec {
+                name: "region",
+                help: "Map region to localize in (0-4)",
+            },
+            OptionSpec {
+                name: "beams",
+                help: "Laser beams used per scan",
+            },
+            OptionSpec {
+                name: "seed",
+                help: "Random seed",
+            },
+            OptionSpec {
+                name: "trace",
+                help: "Feed grid probes to the cache simulator (flag)",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let particles = args.get_usize("particles", 500)?;
+        let region = args.get_usize("region", 0)?;
+        let beam_stride = (60 / args.get_usize("beams", 60)?.clamp(1, 60)).max(1);
+        let seed = args.get_u64("seed", 0)?;
+
+        let map = maps::indoor_floor_plan(256, 0.1, 7);
+        let steps = Self::drive_region(&map, region, seed);
+        let mut profiler = Profiler::new();
+        let mut pf = ParticleFilter::new(
+            PflConfig {
+                particles,
+                seed,
+                beam_stride,
+                init: PflInit::AroundPose {
+                    pose: steps[0].true_pose,
+                    pos_std: 0.8,
+                    theta_std: 0.4,
+                },
+                ..Default::default()
+            },
+            &map,
+        );
+        let mut mem = super::trace_sim(args);
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = pf.run(&steps, &mut profiler, mem.as_mut());
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        let mut metrics = vec![
+            (
+                "final error (m)".into(),
+                format!("{:.3}", result.final_error.unwrap_or(f64::NAN)),
+            ),
+            (
+                "spread (m)".into(),
+                format!("{:.3} -> {:.3}", result.initial_spread, result.final_spread),
+            ),
+            ("rays cast".into(), result.rays_cast.to_string()),
+            ("cells probed".into(), result.cells_probed.to_string()),
+            ("resamples".into(), result.resamples.to_string()),
+        ];
+        super::push_cache_metrics(&mut metrics, mem);
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            metrics,
+        ))
+    }
+}
+
+/// `02.ekfslam`: EKF-SLAM on the six-landmark demo world.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EkfSlamKernel;
+
+impl Kernel for EkfSlamKernel {
+    fn name(&self) -> &'static str {
+        "02.ekfslam"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Perception
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Matrix operations"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "steps",
+                help: "Drive steps around the landmark loop",
+            },
+            OptionSpec {
+                name: "landmarks",
+                help: "Number of landmarks (6 = paper setting)",
+            },
+            OptionSpec {
+                name: "seed",
+                help: "Random seed",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let steps = args.get_usize("steps", 300)?;
+        let n_landmarks = args.get_usize("landmarks", 6)?;
+        let seed = args.get_u64("seed", 0)?;
+
+        let world = if n_landmarks == 6 {
+            SlamWorld::six_landmark_demo()
+        } else {
+            // Spread extra landmarks around the same loop.
+            let landmarks = (0..n_landmarks)
+                .map(|i| {
+                    let a = i as f64 / n_landmarks as f64 * std::f64::consts::TAU;
+                    Point2::new(10.0 + 6.0 * a.cos(), 6.0 + 5.0 * a.sin())
+                })
+                .collect();
+            SlamWorld::new(landmarks, 12.0, 0.1, 0.02)
+        };
+        let mut rng = SimRng::seed_from(seed);
+        let log = world.simulate_circuit(steps, &mut rng);
+        let mut profiler = Profiler::new();
+        let mut ekf = EkfSlam::new(EkfSlamConfig {
+            max_landmarks: n_landmarks,
+            ..Default::default()
+        });
+
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = ekf.run(&log, Some(world.landmarks()), &mut profiler);
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            vec![
+                (
+                    "landmark RMSE (m)".into(),
+                    format!("{:.3}", result.landmark_rmse.unwrap_or(f64::NAN)),
+                ),
+                (
+                    "mean pose error (m)".into(),
+                    format!("{:.3}", result.mean_pose_error.unwrap_or(f64::NAN)),
+                ),
+                ("EKF updates".into(), result.updates.to_string()),
+                (
+                    "cov trace".into(),
+                    format!("{:.4}", result.covariance_trace),
+                ),
+            ],
+        ))
+    }
+}
+
+/// `03.srec`: ICP alignment of two synthetic living-room scans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SrecKernel;
+
+impl Kernel for SrecKernel {
+    fn name(&self) -> &'static str {
+        "03.srec"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Perception
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Point cloud operations, matrix operations"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "points",
+                help: "Scene point-cloud size",
+            },
+            OptionSpec {
+                name: "iterations",
+                help: "Maximum ICP iterations",
+            },
+            OptionSpec {
+                name: "seed",
+                help: "Random seed",
+            },
+            OptionSpec {
+                name: "trace",
+                help: "Feed k-d-tree visits to the cache simulator (flag)",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let points = args.get_usize("points", 40_000)?;
+        let iterations = args.get_usize("iterations", 30)?;
+        let seed = args.get_u64("seed", 6)?;
+
+        let mut rng = SimRng::seed_from(seed);
+        let room = scene::living_room(points, &mut rng);
+        let motion = RigidTransform::from_yaw_translation(0.04, Point3::new(0.06, -0.04, 0.01));
+        let scan1 = scene::scan_from(&room, &RigidTransform::identity(), 0.5, 0.002, &mut rng);
+        let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
+
+        let mut profiler = Profiler::new();
+        let mut mem = super::trace_sim(args);
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = Icp::new(IcpConfig {
+            max_iterations: iterations,
+            ..Default::default()
+        })
+        .align(&scan2, &scan1, &mut profiler, mem.as_mut());
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        let mut metrics = vec![
+            (
+                "error before (m)".into(),
+                format!("{:.4}", result.error_before),
+            ),
+            (
+                "error after (m)".into(),
+                format!("{:.4}", result.error_after),
+            ),
+            ("iterations".into(), result.iterations.to_string()),
+            ("NN queries".into(), result.nn_queries.to_string()),
+        ];
+        super::push_cache_metrics(&mut metrics, mem);
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            metrics,
+        ))
+    }
+}

@@ -1,0 +1,684 @@
+//! Planning-stage kernel adapters.
+
+use rtr_geom::maps;
+use rtr_harness::{Args, OptionSpec, Profiler};
+use rtr_planning::{
+    blocks_world, firefight, movtar, ArmProblem, MovingTarget, MovtarConfig, Pp2d, Pp2dConfig,
+    Pp3d, Pp3dConfig, Prm, PrmConfig, Rrt, RrtConfig, RrtPp, RrtStar, SymbolicPlanner,
+};
+
+use super::report;
+use crate::{Kernel, KernelError, KernelReport, Stage};
+
+/// Parses the paper's `--map` option (`map-f` or `map-c`) into an arm
+/// problem.
+fn arm_problem(args: &Args) -> Result<ArmProblem, KernelError> {
+    let seed = args.get_u64("seed", 2)?;
+    match args.get_str("map", "map-c").as_str() {
+        "map-f" => Ok(ArmProblem::map_f(seed)),
+        _ => Ok(ArmProblem::map_c(seed)),
+    }
+}
+
+fn rrt_config(args: &Args, default_samples: usize) -> Result<RrtConfig, KernelError> {
+    Ok(RrtConfig {
+        max_samples: args.get_usize("samples", default_samples)?,
+        epsilon: args.get_f64("epsilon", 0.3)?,
+        goal_bias: args.get_f64("bias", 0.05)?,
+        neighbor_radius: args.get_f64("radius", 0.9)?,
+        seed: args.get_u64("seed", 2)?,
+        star_refine_factor: Some(8.0),
+    })
+}
+
+fn arm_options() -> Vec<OptionSpec> {
+    vec![
+        OptionSpec {
+            name: "trace",
+            help: "Feed k-d-tree visits to the cache simulator (flag)",
+        },
+        OptionSpec {
+            name: "bias",
+            help: "Random number generation bias",
+        },
+        OptionSpec {
+            name: "epsilon",
+            help: "Epsilon (minimum movement)",
+        },
+        OptionSpec {
+            name: "map",
+            help: "Input map file (map-f | map-c)",
+        },
+        OptionSpec {
+            name: "radius",
+            help: "Neighborhood distance",
+        },
+        OptionSpec {
+            name: "samples",
+            help: "Maximum samples",
+        },
+        OptionSpec {
+            name: "seed",
+            help: "Random seed",
+        },
+    ]
+}
+
+/// `04.pp2d`: car path planning across the procedural city.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pp2dKernel;
+
+impl Kernel for Pp2dKernel {
+    fn name(&self) -> &'static str {
+        "04.pp2d"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Planning
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Collision detection"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "size",
+                help: "City map side length in cells",
+            },
+            OptionSpec {
+                name: "weight",
+                help: "Heuristic inflation (1.0 = A*)",
+            },
+            OptionSpec {
+                name: "seed",
+                help: "Map generation seed",
+            },
+            OptionSpec {
+                name: "map-file",
+                help: "MovingAI .map file (e.g. Boston_1_1024.map)",
+            },
+            OptionSpec {
+                name: "scen-file",
+                help: "MovingAI .scen file supplying start/goal",
+            },
+            OptionSpec {
+                name: "scen-index",
+                help: "Instance index within the .scen file",
+            },
+            OptionSpec {
+                name: "trace",
+                help: "Feed expansions to the cache simulator (flag)",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let size = args.get_usize("size", 512)?.max(64);
+        let weight = args.get_f64("weight", 1.0)?;
+        let seed = args.get_u64("seed", 3)?;
+
+        // With `--map-file`, plan on a real MovingAI map (the paper's
+        // Boston_1_1024 setting); otherwise on the procedural city.
+        let map_file = args.get_str("map-file", "");
+        let (map, start, goal) = if map_file.is_empty() {
+            let map = maps::city_blocks(size, 1.0, seed);
+            // Street-guaranteed endpoints: coordinates ≡ 1 modulo the
+            // block pitch, with footprint clearance from the map edge.
+            let block = (size / 16).max(8);
+            let mut g = (size - 7) / block * block + 1;
+            if g + 6 >= size {
+                g -= block;
+            }
+            (map, (4, 1), (g, g))
+        } else {
+            let text = std::fs::read_to_string(&map_file)
+                .map_err(|e| KernelError::Input(format!("{map_file}: {e}")))?;
+            let map = maps::parse_movingai(&text, 1.0).map_err(KernelError::Input)?;
+            let scen_file = args.get_str("scen-file", "");
+            let (start, goal) = if scen_file.is_empty() {
+                ((4, 4), (map.width() - 5, map.height() - 5))
+            } else {
+                let scen_text = std::fs::read_to_string(&scen_file)
+                    .map_err(|e| KernelError::Input(format!("{scen_file}: {e}")))?;
+                let scens = maps::parse_movingai_scen(&scen_text, map.height())
+                    .map_err(KernelError::Input)?;
+                let idx = args.get_usize("scen-index", scens.len().saturating_sub(1))?;
+                let scen = scens
+                    .get(idx)
+                    .ok_or_else(|| KernelError::Input(format!("scen index {idx} out of range")))?;
+                (scen.start, scen.goal)
+            };
+            (map, start, goal)
+        };
+        let config = Pp2dConfig {
+            weight,
+            ..Pp2dConfig::car(start, goal)
+        };
+        let mut profiler = Profiler::new();
+        let mut mem = super::trace_sim(args);
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = Pp2d::new(config)
+            .plan(&map, &mut profiler, mem.as_mut())
+            .ok_or(KernelError::Unsolvable("pp2d goal unreachable"))?;
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        let mut metrics = vec![
+            ("path cost (m)".into(), format!("{:.1}", result.cost)),
+            ("expanded".into(), result.expanded.to_string()),
+            (
+                "collision checks".into(),
+                result.collision_checks.to_string(),
+            ),
+            ("cells probed".into(), result.cells_probed.to_string()),
+        ];
+        super::push_cache_metrics(&mut metrics, mem);
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            metrics,
+        ))
+    }
+}
+
+/// `05.pp3d`: UAV path planning across the procedural campus.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pp3dKernel;
+
+impl Kernel for Pp3dKernel {
+    fn name(&self) -> &'static str {
+        "05.pp3d"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Planning
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Collision detection, graph search"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "size",
+                help: "Campus side length in cells",
+            },
+            OptionSpec {
+                name: "height",
+                help: "Airspace height in cells",
+            },
+            OptionSpec {
+                name: "weight",
+                help: "Heuristic inflation (1.0 = A*)",
+            },
+            OptionSpec {
+                name: "seed",
+                help: "Map generation seed",
+            },
+            OptionSpec {
+                name: "trace",
+                help: "Feed expansions to the cache simulator (flag)",
+            },
+            OptionSpec {
+                name: "vldp",
+                help: "Attach the VLDP prefetcher to the trace (flag)",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let size = args.get_usize("size", 128)?.max(16);
+        let height = args.get_usize("height", 16)?.max(4);
+        let weight = args.get_f64("weight", 1.0)?;
+        let seed = args.get_u64("seed", 11)?;
+
+        let map = maps::campus_3d(size, size, height, 1.0, seed);
+        let cruise = height * 2 / 3;
+        let config = Pp3dConfig {
+            start: (1, 1, cruise),
+            goal: (size - 2, size - 2, cruise),
+            weight,
+        };
+        let mut profiler = Profiler::new();
+        let mut mem = super::trace_sim(args);
+        if args.get_flag("vldp") {
+            mem = mem.map(|m| m.with_vldp(2));
+        }
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = Pp3d::new(config)
+            .plan(&map, &mut profiler, mem.as_mut())
+            .ok_or(KernelError::Unsolvable("pp3d goal unreachable"))?;
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        let mut metrics = vec![
+            ("path cost (m)".into(), format!("{:.1}", result.cost)),
+            ("expanded".into(), result.expanded.to_string()),
+            ("generated".into(), result.generated.to_string()),
+            (
+                "collision checks".into(),
+                result.collision_checks.to_string(),
+            ),
+        ];
+        super::push_cache_metrics(&mut metrics, mem);
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            metrics,
+        ))
+    }
+}
+
+/// `06.movtar`: catching a moving target with WA* and a backward-Dijkstra
+/// heuristic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MovtarKernel;
+
+impl Kernel for MovtarKernel {
+    fn name(&self) -> &'static str {
+        "06.movtar"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Planning
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Input-dependent"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "size",
+                help: "Environment side length in cells",
+            },
+            OptionSpec {
+                name: "horizon",
+                help: "Target trajectory length (steps)",
+            },
+            OptionSpec {
+                name: "epsilon",
+                help: "WA* heuristic inflation",
+            },
+            OptionSpec {
+                name: "seed",
+                help: "Environment seed",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let size = args.get_usize("size", 96)?.max(8);
+        let horizon = args.get_usize("horizon", size * 2)?;
+        let epsilon = args.get_f64("epsilon", 2.0)?.max(1.0);
+        let seed = args.get_u64("seed", 3)?;
+
+        let (field, start, trajectory) = movtar::synthetic_scenario(size, horizon, seed);
+        let mut profiler = Profiler::new();
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = MovingTarget::new(MovtarConfig {
+            start,
+            target_trajectory: trajectory,
+            epsilon,
+        })
+        .plan(&field, &mut profiler)
+        .ok_or(KernelError::Unsolvable("target escaped the horizon"))?;
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            vec![
+                ("catch time (steps)".into(), result.catch_time.to_string()),
+                ("path cost".into(), format!("{:.1}", result.cost)),
+                ("expanded".into(), result.expanded.to_string()),
+                ("heuristic cells".into(), result.heuristic_cells.to_string()),
+            ],
+        ))
+    }
+}
+
+/// `07.prm`: probabilistic roadmap for the 5-DoF arm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrmKernel;
+
+impl Kernel for PrmKernel {
+    fn name(&self) -> &'static str {
+        "07.prm"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Planning
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Graph search, L2-norm calculations"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "map",
+                help: "Workspace (map-f | map-c)",
+            },
+            OptionSpec {
+                name: "roadmap",
+                help: "Roadmap size (vertices)",
+            },
+            OptionSpec {
+                name: "neighbors",
+                help: "Connections attempted per vertex",
+            },
+            OptionSpec {
+                name: "seed",
+                help: "Random seed",
+            },
+            OptionSpec {
+                name: "kdtree",
+                help: "Build the roadmap with a k-d tree (flag)",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let problem = arm_problem(args)?;
+        let config = PrmConfig {
+            roadmap_size: args.get_usize("roadmap", 1200)?,
+            neighbors: args.get_usize("neighbors", 12)?,
+            seed: args.get_u64("seed", 2)?,
+            kdtree_build: args.get_flag("kdtree"),
+        };
+        let mut profiler = Profiler::new();
+        let prm = Prm::new(config);
+        let roadmap = prm.build(&problem, &mut profiler);
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = prm
+            .query(&problem, &roadmap, &mut profiler)
+            .ok_or(KernelError::Unsolvable("roadmap too sparse for query"))?;
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            vec![
+                ("path cost (rad)".into(), format!("{:.2}", result.cost)),
+                ("roadmap edges".into(), roadmap.edge_count.to_string()),
+                ("online expanded".into(), result.expanded.to_string()),
+                ("L2 evals".into(), result.l2_evals.to_string()),
+            ],
+        ))
+    }
+}
+
+/// `08.rrt`: rapidly-exploring random tree for the 5-DoF arm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RrtKernel;
+
+impl Kernel for RrtKernel {
+    fn name(&self) -> &'static str {
+        "08.rrt"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Planning
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Collision detection, nearest neighbor search"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        arm_options()
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let problem = arm_problem(args)?;
+        let config = rrt_config(args, 50_000)?;
+        let mut profiler = Profiler::new();
+        let mut mem = super::trace_sim(args);
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = Rrt::new(config)
+            .plan(&problem, &mut profiler, mem.as_mut())
+            .ok_or(KernelError::Unsolvable("rrt exhausted its samples"))?;
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        let mut metrics = vec![
+            ("path cost (rad)".into(), format!("{:.2}", result.cost)),
+            ("samples".into(), result.samples.to_string()),
+            ("tree size".into(), result.tree_size.to_string()),
+            ("NN queries".into(), result.nn_queries.to_string()),
+            (
+                "collision checks".into(),
+                result.collision_checks.to_string(),
+            ),
+        ];
+        super::push_cache_metrics(&mut metrics, mem);
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            metrics,
+        ))
+    }
+}
+
+/// `09.rrtstar`: asymptotically optimal RRT*.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RrtStarKernel;
+
+impl Kernel for RrtStarKernel {
+    fn name(&self) -> &'static str {
+        "09.rrtstar"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Planning
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Collision detection, nearest neighbor search"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        arm_options()
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let problem = arm_problem(args)?;
+        let config = rrt_config(args, 8_000)?;
+        let mut profiler = Profiler::new();
+        let mut mem = super::trace_sim(args);
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = RrtStar::new(config)
+            .plan(&problem, &mut profiler, mem.as_mut())
+            .ok_or(KernelError::Unsolvable("rrtstar never connected the goal"))?;
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        let mut metrics = vec![
+            ("path cost (rad)".into(), format!("{:.2}", result.base.cost)),
+            ("tree size".into(), result.base.tree_size.to_string()),
+            ("rewirings".into(), result.rewirings.to_string()),
+            (
+                "goal connections".into(),
+                result.goal_connections.to_string(),
+            ),
+            ("NN queries".into(), result.base.nn_queries.to_string()),
+        ];
+        super::push_cache_metrics(&mut metrics, mem);
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            metrics,
+        ))
+    }
+}
+
+/// `10.rrtpp`: RRT with shortcut post-processing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RrtPpKernel;
+
+impl Kernel for RrtPpKernel {
+    fn name(&self) -> &'static str {
+        "10.rrtpp"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Planning
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Collision detection, nearest neighbor search"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        let mut options = arm_options();
+        options.push(OptionSpec {
+            name: "passes",
+            help: "Shortcut post-processing passes",
+        });
+        options
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let problem = arm_problem(args)?;
+        let config = rrt_config(args, 50_000)?;
+        let passes = args.get_usize("passes", 6)? as u32;
+        let mut profiler = Profiler::new();
+        let mut mem = super::trace_sim(args);
+        let roi = rtr_harness::Roi::enter(self.name());
+        let result = RrtPp::new(config, passes)
+            .plan(&problem, &mut profiler, mem.as_mut())
+            .ok_or(KernelError::Unsolvable("rrt exhausted its samples"))?;
+        let roi_seconds = roi.exit().as_secs_f64();
+
+        let mut metrics = vec![
+            ("raw cost (rad)".into(), format!("{:.2}", result.raw_cost)),
+            (
+                "final cost (rad)".into(),
+                format!("{:.2}", result.base.cost),
+            ),
+            ("shortcuts".into(), result.shortcuts.to_string()),
+            ("passes".into(), result.passes.to_string()),
+        ];
+        super::push_cache_metrics(&mut metrics, mem);
+        Ok(report(
+            self.name(),
+            self.stage(),
+            profiler,
+            roi_seconds,
+            metrics,
+        ))
+    }
+}
+
+/// Shared implementation for the two symbolic kernels.
+fn run_symbolic(
+    kernel: &'static str,
+    stage: Stage,
+    domain: rtr_planning::Domain,
+    args: &Args,
+) -> Result<KernelReport, KernelError> {
+    let weight = args.get_f64("weight", 1.0)?;
+    let mut profiler = Profiler::new();
+    let roi = rtr_harness::Roi::enter(kernel);
+    let plan = SymbolicPlanner::new(weight)
+        .solve(&domain, &mut profiler)
+        .ok_or(KernelError::Unsolvable("no symbolic plan exists"))?;
+    let roi_seconds = roi.exit().as_secs_f64();
+    let valid = domain.validate_plan(&plan.actions);
+
+    Ok(report(
+        kernel,
+        stage,
+        profiler,
+        roi_seconds,
+        vec![
+            ("plan length".into(), plan.actions.len().to_string()),
+            ("plan valid".into(), valid.to_string()),
+            ("expanded".into(), plan.expanded.to_string()),
+            (
+                "mean branching".into(),
+                format!("{:.2}", plan.mean_branching),
+            ),
+            ("ground actions".into(), plan.ground_actions.to_string()),
+        ],
+    ))
+}
+
+/// `11.sym-blkw`: the blocks-world symbolic planning problem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymBlkwKernel;
+
+impl Kernel for SymBlkwKernel {
+    fn name(&self) -> &'static str {
+        "11.sym-blkw"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Planning
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Graph search, string manipulation"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![
+            OptionSpec {
+                name: "blocks",
+                help: "Number of blocks",
+            },
+            OptionSpec {
+                name: "weight",
+                help: "Goal-count heuristic weight",
+            },
+        ]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        let blocks = args.get_usize("blocks", 6)?.max(1);
+        run_symbolic(self.name(), self.stage(), blocks_world(blocks), args)
+    }
+}
+
+/// `12.sym-fext`: the firefighting symbolic planning problem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymFextKernel;
+
+impl Kernel for SymFextKernel {
+    fn name(&self) -> &'static str {
+        "12.sym-fext"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Planning
+    }
+
+    fn table1_bottleneck(&self) -> &'static str {
+        "Graph search, string manipulation"
+    }
+
+    fn cli_options(&self) -> Vec<OptionSpec> {
+        vec![OptionSpec {
+            name: "weight",
+            help: "Goal-count heuristic weight",
+        }]
+    }
+
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+        run_symbolic(self.name(), self.stage(), firefight(), args)
+    }
+}

@@ -1,0 +1,136 @@
+//! RTRBench-rs suite facade: the kernel registry and runners.
+//!
+//! This crate ties the 16 kernels into the uniform shape the paper's
+//! harness provides: every kernel has a name (`01.pfl` … `16.bo`), a
+//! pipeline stage, a set of command-line options with defaults (Fig. 20),
+//! and a runner that executes it on a representative inputset, marks the
+//! region of interest, and reports the per-region time breakdown behind
+//! Table I.
+//!
+//! # Example
+//!
+//! ```
+//! use rtr_core::{registry, Stage};
+//! use rtr_harness::Args;
+//!
+//! let kernels = registry();
+//! assert_eq!(kernels.len(), 16);
+//! let pfl = &kernels[0];
+//! assert_eq!(pfl.name(), "01.pfl");
+//! assert_eq!(pfl.stage(), Stage::Perception);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+
+use std::fmt;
+
+pub use kernels::registry;
+use rtr_harness::{Args, CliError, OptionSpec, RegionReport};
+
+/// The pipeline stage a kernel belongs to (the paper's Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Sensing → state/environment estimation.
+    Perception,
+    /// Path/motion/task planning.
+    Planning,
+    /// Trajectory generation and actuation.
+    Control,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Perception => write!(f, "Perception"),
+            Stage::Planning => write!(f, "Planning"),
+            Stage::Control => write!(f, "Control"),
+        }
+    }
+}
+
+/// The outcome of one kernel run under the harness.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Kernel name, e.g. `08.rrt`.
+    pub name: &'static str,
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Wall-clock seconds inside the region of interest.
+    pub roi_seconds: f64,
+    /// Region breakdown, sorted by descending time.
+    pub regions: Vec<RegionReport>,
+    /// Kernel-specific result metrics (e.g. path cost, RMSE), as
+    /// `(label, value)` pairs for the report tables.
+    pub metrics: Vec<(String, String)>,
+}
+
+impl KernelReport {
+    /// The region with the largest share — the measured Table I
+    /// bottleneck.
+    pub fn dominant_region(&self) -> Option<&RegionReport> {
+        self.regions.first()
+    }
+}
+
+/// Errors a kernel run can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// Command-line arguments failed to parse.
+    Cli(CliError),
+    /// The configured problem instance has no solution (e.g. the goal is
+    /// unreachable on the generated map).
+    Unsolvable(&'static str),
+    /// An external inputset (e.g. a MovingAI `.map`/`.scen` file) could
+    /// not be read or parsed.
+    Input(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Cli(e) => write!(f, "{e}"),
+            KernelError::Unsolvable(what) => write!(f, "problem instance unsolvable: {what}"),
+            KernelError::Input(what) => write!(f, "bad inputset: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<CliError> for KernelError {
+    fn from(e: CliError) -> Self {
+        KernelError::Cli(e)
+    }
+}
+
+/// A benchmark kernel: named, staged, configurable and runnable.
+///
+/// All sixteen of the paper's kernels implement this; [`registry`] returns
+/// them in paper order.
+pub trait Kernel {
+    /// The paper's kernel id, e.g. `04.pp2d`.
+    fn name(&self) -> &'static str;
+
+    /// Pipeline stage (Table I's second column).
+    fn stage(&self) -> Stage;
+
+    /// The bottleneck Table I lists for this kernel.
+    fn table1_bottleneck(&self) -> &'static str;
+
+    /// Command-line options the kernel accepts (for `--help`).
+    fn cli_options(&self) -> Vec<OptionSpec>;
+
+    /// Runs the kernel with the given arguments on its representative
+    /// inputset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Cli`] on malformed arguments and
+    /// [`KernelError::Unsolvable`] when the configured instance admits no
+    /// solution.
+    fn run(&self, args: &Args) -> Result<KernelReport, KernelError>;
+}

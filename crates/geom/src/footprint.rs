@@ -1,0 +1,241 @@
+//! Oriented-rectangle robot footprints and grid collision detection.
+//!
+//! The paper identifies collision detection as the dominant bottleneck of
+//! `04.pp2d` (> 65 % of execution time): the planner repeatedly checks
+//! whether an oriented car-shaped rectangle overlaps any occupied cell.
+//! The check "is fundamentally spatially-located: the occupancy grid cells
+//! that are checked during a collision detection are nearby each other",
+//! which this implementation preserves by sampling the footprint interior
+//! on a resolution-matched lattice.
+
+use crate::{GridMap2D, Point2, Pose2};
+
+/// A rectangular robot footprint (e.g. the paper's 4.8 m × 1.8 m car).
+///
+/// The rectangle is centered on the robot pose, with `length` along the
+/// robot's heading and `width` across it.
+///
+/// # Example
+///
+/// ```
+/// use rtr_geom::{Footprint, GridMap2D, Pose2};
+///
+/// let map = GridMap2D::new(100, 100, 0.5);
+/// let car = Footprint::new(4.8, 1.8);
+/// assert!(!car.collides(&map, &Pose2::new(25.0, 25.0, 0.3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Footprint {
+    length: f64,
+    width: f64,
+}
+
+impl Footprint {
+    /// Creates a footprint with the given metric dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are strictly positive and finite.
+    pub fn new(length: f64, width: f64) -> Self {
+        assert!(
+            length > 0.0 && length.is_finite() && width > 0.0 && width.is_finite(),
+            "footprint dimensions must be positive and finite"
+        );
+        Footprint { length, width }
+    }
+
+    /// A point footprint (fits within a single cell), used for the UAV of
+    /// `05.pp3d` ("we assume the UAV is small and fits in one resolution
+    /// unit").
+    pub fn point() -> Self {
+        Footprint {
+            length: f64::MIN_POSITIVE,
+            width: f64::MIN_POSITIVE,
+        }
+    }
+
+    /// Footprint length (along heading).
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Footprint width (across heading).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The four corners of the footprint at `pose`, in world coordinates.
+    pub fn corners(&self, pose: &Pose2) -> [Point2; 4] {
+        let hl = self.length * 0.5;
+        let hw = self.width * 0.5;
+        [
+            pose.transform_point(Point2::new(hl, hw)),
+            pose.transform_point(Point2::new(hl, -hw)),
+            pose.transform_point(Point2::new(-hl, -hw)),
+            pose.transform_point(Point2::new(-hl, hw)),
+        ]
+    }
+
+    /// Returns `true` when the footprint at `pose` overlaps any occupied
+    /// cell of `map` (or pokes outside the map).
+    ///
+    /// Equivalent to [`Footprint::collides_with`] with an empty visitor.
+    pub fn collides(&self, map: &GridMap2D, pose: &Pose2) -> bool {
+        self.collides_with(map, pose, |_, _| {})
+    }
+
+    /// Collision check that reports every probed cell to `visit`, for the
+    /// cache-characterization harness.
+    ///
+    /// The interior of the rectangle is sampled on a lattice with spacing
+    /// one grid resolution, guaranteeing no occupied cell strictly inside
+    /// the footprint is missed (cells are at least as large as the sample
+    /// spacing).
+    pub fn collides_with(
+        &self,
+        map: &GridMap2D,
+        pose: &Pose2,
+        mut visit: impl FnMut(i64, i64),
+    ) -> bool {
+        let res = map.resolution();
+        // Sample count along each dimension, including both edges.
+        let steps_l = (self.length / res).ceil().max(1.0) as usize + 1;
+        let steps_w = (self.width / res).ceil().max(1.0) as usize + 1;
+        let hl = self.length * 0.5;
+        let hw = self.width * 0.5;
+        for i in 0..steps_l {
+            let lx = -hl + self.length * i as f64 / (steps_l - 1).max(1) as f64;
+            for j in 0..steps_w {
+                let ly = -hw + self.width * j as f64 / (steps_w - 1).max(1) as f64;
+                let world = pose.transform_point(Point2::new(lx, ly));
+                let ix = (world.x / res).floor() as i64;
+                let iy = (world.y / res).floor() as i64;
+                visit(ix, iy);
+                if map.is_occupied(ix, iy) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of cell probes one collision check performs on `map` —
+    /// the "work unit" the characterization harness charges per check.
+    pub fn probe_count(&self, map: &GridMap2D) -> usize {
+        let res = map.resolution();
+        let steps_l = (self.length / res).ceil().max(1.0) as usize + 1;
+        let steps_w = (self.width / res).ceil().max(1.0) as usize + 1;
+        steps_l * steps_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn open_map() -> GridMap2D {
+        GridMap2D::new(100, 100, 0.5)
+    }
+
+    #[test]
+    fn free_space_no_collision() {
+        let map = open_map();
+        let car = Footprint::new(4.8, 1.8);
+        assert!(!car.collides(&map, &Pose2::new(25.0, 25.0, 0.0)));
+        assert!(!car.collides(&map, &Pose2::new(25.0, 25.0, 1.1)));
+    }
+
+    #[test]
+    fn collision_with_obstacle_under_center() {
+        let mut map = open_map();
+        map.set_occupied(50, 50, true); // world (25.0..25.5)²
+        let car = Footprint::new(4.8, 1.8);
+        assert!(car.collides(&map, &Pose2::new(25.25, 25.25, 0.0)));
+    }
+
+    #[test]
+    fn collision_at_footprint_edge_only() {
+        let mut map = open_map();
+        // Obstacle ahead of the robot at ~2.2 m; car half-length is 2.4 m.
+        map.set_occupied(54, 50, true); // x ∈ [27.0, 27.5)
+        let car = Footprint::new(4.8, 1.8);
+        assert!(car.collides(&map, &Pose2::new(25.0, 25.25, 0.0)));
+        // Turned sideways, the half-width 0.9 m no longer reaches it.
+        assert!(!car.collides(&map, &Pose2::new(25.0, 25.25, FRAC_PI_2)));
+    }
+
+    #[test]
+    fn rotation_changes_collision_result() {
+        let mut map = open_map();
+        // Obstacles left and right of the robot at ±1.5 m.
+        map.set_occupied(53, 50, true);
+        map.set_occupied(46, 50, true);
+        let long_thin = Footprint::new(4.0, 0.5);
+        let across = Pose2::new(25.0, 25.25, 0.0); // length spans obstacles
+        let along = Pose2::new(25.0, 25.25, FRAC_PI_2);
+        assert!(long_thin.collides(&map, &across));
+        assert!(!long_thin.collides(&map, &along));
+    }
+
+    #[test]
+    fn outside_map_collides() {
+        let map = open_map();
+        let car = Footprint::new(4.8, 1.8);
+        assert!(car.collides(&map, &Pose2::new(0.5, 25.0, 0.0)));
+        assert!(car.collides(&map, &Pose2::new(-10.0, -10.0, 0.0)));
+    }
+
+    #[test]
+    fn point_footprint_checks_single_cell() {
+        let mut map = open_map();
+        map.set_occupied(10, 10, true);
+        let p = Footprint::point();
+        assert!(p.collides(&map, &Pose2::new(5.25, 5.25, 0.0)));
+        assert!(!p.collides(&map, &Pose2::new(5.75, 5.25, 0.0)));
+        assert_eq!(p.probe_count(&map), 4); // 2x2 lattice of identical cells
+    }
+
+    #[test]
+    fn probe_count_scales_with_resolution() {
+        let coarse = GridMap2D::new(10, 10, 1.0);
+        let fine = GridMap2D::new(100, 100, 0.1);
+        let car = Footprint::new(4.8, 1.8);
+        assert!(car.probe_count(&fine) > car.probe_count(&coarse));
+    }
+
+    #[test]
+    fn visitor_cells_are_spatially_local() {
+        // The paper's premise: probed cells are near each other.
+        let map = open_map();
+        let car = Footprint::new(4.8, 1.8);
+        let mut min_x = i64::MAX;
+        let mut max_x = i64::MIN;
+        car.collides_with(&map, &Pose2::new(25.0, 25.0, 0.3), |ix, _| {
+            min_x = min_x.min(ix);
+            max_x = max_x.max(ix);
+        });
+        // All probes fall within the footprint's extent (≤ ~5 m / 0.5 m).
+        assert!((max_x - min_x) as f64 <= 5.0 / map.resolution() + 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_dimensions_panic() {
+        let _ = Footprint::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn corners_are_rectangle() {
+        let f = Footprint::new(4.0, 2.0);
+        let pose = Pose2::new(1.0, 2.0, 0.5);
+        let c = f.corners(&pose);
+        // Diagonals of a rectangle are equal.
+        let d1 = c[0].distance(c[2]);
+        let d2 = c[1].distance(c[3]);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((d1 - (16.0f64 + 4.0).sqrt()).abs() < 1e-12);
+    }
+}

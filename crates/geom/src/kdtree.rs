@@ -1,0 +1,438 @@
+//! Incremental k-d tree for nearest-neighbor search.
+//!
+//! Nearest-neighbor search is a first-class bottleneck in RTRBench: the
+//! paper measures up to 31 % of `08.rrt`'s and up to 49 % of
+//! `09.rrtstar`'s execution time in it, and attributes the cost to
+//! irregular memory accesses — "samples whose values (angles) are close
+//! could be allocated in distant memory locations". This implementation
+//! deliberately keeps that character: nodes live in insertion order in a
+//! flat arena while tree edges jump around it, exactly the allocation
+//! pattern the paper describes. A `visit` hook lets the characterization
+//! harness replay those jumps into the cache simulator.
+
+/// Node arena index.
+type NodeId = u32;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Offset of this node's point in the flat coordinate buffer.
+    point_start: usize,
+    /// Caller-supplied payload (e.g. tree-vertex id).
+    payload: usize,
+    left: Option<NodeId>,
+    right: Option<NodeId>,
+}
+
+/// An incremental k-d tree over `DIM`-dimensional `f64` points.
+///
+/// Supports point insertion (no deletion — RRT-family planners only grow),
+/// nearest-neighbor, k-nearest and radius queries.
+///
+/// # Example
+///
+/// ```
+/// use rtr_geom::KdTree;
+///
+/// let mut tree = KdTree::<2>::new();
+/// tree.insert([0.0, 0.0], 0);
+/// tree.insert([5.0, 5.0], 1);
+/// tree.insert([1.0, 1.0], 2);
+/// let (payload, dist2) = tree.nearest(&[0.9, 1.2]).unwrap();
+/// assert_eq!(payload, 2);
+/// assert!(dist2 < 0.1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KdTree<const DIM: usize> {
+    nodes: Vec<Node>,
+    coords: Vec<f64>,
+    root: Option<NodeId>,
+}
+
+impl<const DIM: usize> KdTree<DIM> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        KdTree {
+            nodes: Vec::new(),
+            coords: Vec::new(),
+            root: None,
+        }
+    }
+
+    /// Creates an empty tree with capacity for `n` points.
+    pub fn with_capacity(n: usize) -> Self {
+        KdTree {
+            nodes: Vec::with_capacity(n),
+            coords: Vec::with_capacity(n * DIM),
+            root: None,
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    #[inline]
+    fn point(&self, id: NodeId) -> &[f64] {
+        let start = self.nodes[id as usize].point_start;
+        &self.coords[start..start + DIM]
+    }
+
+    /// Inserts a point with an associated payload.
+    ///
+    /// Points are stored by value; duplicate points are allowed and are
+    /// returned in insertion order by ties in queries.
+    pub fn insert(&mut self, point: [f64; DIM], payload: usize) {
+        let point_start = self.coords.len();
+        self.coords.extend_from_slice(&point);
+        let new_id = self.nodes.len() as NodeId;
+        self.nodes.push(Node {
+            point_start,
+            payload,
+            left: None,
+            right: None,
+        });
+
+        let Some(mut cur) = self.root else {
+            self.root = Some(new_id);
+            return;
+        };
+        let mut depth = 0usize;
+        loop {
+            let axis = depth % DIM;
+            let go_left = point[axis] < self.point(cur)[axis];
+            let slot = if go_left {
+                self.nodes[cur as usize].left
+            } else {
+                self.nodes[cur as usize].right
+            };
+            match slot {
+                Some(child) => {
+                    cur = child;
+                    depth += 1;
+                }
+                None => {
+                    if go_left {
+                        self.nodes[cur as usize].left = Some(new_id);
+                    } else {
+                        self.nodes[cur as usize].right = Some(new_id);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Finds the nearest stored point to `query`.
+    ///
+    /// Returns `(payload, squared_distance)`, or `None` when empty.
+    pub fn nearest(&self, query: &[f64; DIM]) -> Option<(usize, f64)> {
+        self.nearest_with(query, |_| {})
+    }
+
+    /// Like [`KdTree::nearest`], invoking `visit(payload)` on every node
+    /// examined during the descent (cache-characterization hook).
+    pub fn nearest_with(
+        &self,
+        query: &[f64; DIM],
+        mut visit: impl FnMut(usize),
+    ) -> Option<(usize, f64)> {
+        let root = self.root?;
+        let mut best = (usize::MAX, f64::INFINITY);
+        self.nearest_rec(root, query, 0, &mut best, &mut visit);
+        Some(best)
+    }
+
+    fn nearest_rec(
+        &self,
+        node: NodeId,
+        query: &[f64; DIM],
+        depth: usize,
+        best: &mut (usize, f64),
+        visit: &mut impl FnMut(usize),
+    ) {
+        let n = &self.nodes[node as usize];
+        visit(n.payload);
+        let p = self.point(node);
+        let d2 = squared_distance(p, query);
+        if d2 < best.1 {
+            *best = (n.payload, d2);
+        }
+        let axis = depth % DIM;
+        let delta = query[axis] - p[axis];
+        let (near, far) = if delta < 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
+        if let Some(child) = near {
+            self.nearest_rec(child, query, depth + 1, best, visit);
+        }
+        // Only cross the splitting plane when the hypersphere reaches it.
+        if let Some(child) = far {
+            if delta * delta < best.1 {
+                self.nearest_rec(child, query, depth + 1, best, visit);
+            }
+        }
+    }
+
+    /// Finds the `k` nearest points, sorted by ascending distance.
+    ///
+    /// Returns `(payload, squared_distance)` pairs; fewer than `k` when the
+    /// tree is smaller.
+    pub fn k_nearest(&self, query: &[f64; DIM], k: usize) -> Vec<(usize, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        if let Some(root) = self.root {
+            self.k_nearest_rec(root, query, 0, k, &mut heap);
+        }
+        heap.sort_by(|a, b| a.0.total_cmp(&b.0));
+        heap.into_iter().map(|(d2, p)| (p, d2)).collect()
+    }
+
+    fn k_nearest_rec(
+        &self,
+        node: NodeId,
+        query: &[f64; DIM],
+        depth: usize,
+        k: usize,
+        // Max-heap emulated as a sorted-insert vec (k is small in practice).
+        heap: &mut Vec<(f64, usize)>,
+    ) {
+        let n = &self.nodes[node as usize];
+        let p = self.point(node);
+        let d2 = squared_distance(p, query);
+        if heap.len() < k {
+            heap.push((d2, n.payload));
+            heap.sort_by(|a, b| b.0.total_cmp(&a.0)); // max first
+        } else if d2 < heap[0].0 {
+            heap[0] = (d2, n.payload);
+            heap.sort_by(|a, b| b.0.total_cmp(&a.0));
+        }
+        let axis = depth % DIM;
+        let delta = query[axis] - p[axis];
+        let (near, far) = if delta < 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
+        if let Some(child) = near {
+            self.k_nearest_rec(child, query, depth + 1, k, heap);
+        }
+        if let Some(child) = far {
+            let worst = if heap.len() < k {
+                f64::INFINITY
+            } else {
+                heap[0].0
+            };
+            if delta * delta < worst {
+                self.k_nearest_rec(child, query, depth + 1, k, heap);
+            }
+        }
+    }
+
+    /// Finds all points within `radius` of `query`.
+    ///
+    /// Returns `(payload, squared_distance)` pairs in arbitrary order. Used
+    /// by RRT* to collect the rewiring neighborhood (the paper's "yellow
+    /// circle").
+    pub fn within_radius(&self, query: &[f64; DIM], radius: f64) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        if let Some(root) = self.root {
+            self.radius_rec(root, query, 0, r2, &mut out);
+        }
+        out
+    }
+
+    fn radius_rec(
+        &self,
+        node: NodeId,
+        query: &[f64; DIM],
+        depth: usize,
+        r2: f64,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        let n = &self.nodes[node as usize];
+        let p = self.point(node);
+        let d2 = squared_distance(p, query);
+        if d2 <= r2 {
+            out.push((n.payload, d2));
+        }
+        let axis = depth % DIM;
+        let delta = query[axis] - p[axis];
+        let (near, far) = if delta < 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
+        if let Some(child) = near {
+            self.radius_rec(child, query, depth + 1, r2, out);
+        }
+        if let Some(child) = far {
+            if delta * delta <= r2 {
+                self.radius_rec(child, query, depth + 1, r2, out);
+            }
+        }
+    }
+
+    /// Iterates over `(payload, point)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> + '_ {
+        self.nodes
+            .iter()
+            .map(move |n| (n.payload, &self.coords[n.point_start..n.point_start + DIM]))
+    }
+}
+
+#[inline]
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_nearest<const D: usize>(
+        points: &[[f64; D]],
+        query: &[f64; D],
+    ) -> Option<(usize, f64)> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, squared_distance(p, query)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree = KdTree::<3>::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.nearest(&[0.0; 3]), None);
+        assert!(tree.k_nearest(&[0.0; 3], 4).is_empty());
+        assert!(tree.within_radius(&[0.0; 3], 1.0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let mut tree = KdTree::<2>::new();
+        tree.insert([1.0, 2.0], 42);
+        assert_eq!(tree.nearest(&[0.0, 0.0]), Some((42, 5.0)));
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        // Deterministic pseudo-random points via an LCG.
+        let mut seed = 12345u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64 * 10.0 - 5.0
+        };
+        let points: Vec<[f64; 5]> = (0..300)
+            .map(|_| [next(), next(), next(), next(), next()])
+            .collect();
+        let mut tree = KdTree::<5>::new();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(*p, i);
+        }
+        for _ in 0..50 {
+            let q = [next(), next(), next(), next(), next()];
+            let (tp, td) = tree.nearest(&q).unwrap();
+            let (bp, bd) = brute_nearest(&points, &q).unwrap();
+            assert_eq!(tp, bp);
+            assert!((td - bd).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_nearest_sorted_and_complete() {
+        let mut tree = KdTree::<1>::new();
+        for i in 0..10 {
+            tree.insert([i as f64], i);
+        }
+        let got = tree.k_nearest(&[3.2], 3);
+        assert_eq!(got.len(), 3);
+        let ids: Vec<usize> = got.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ids, vec![3, 4, 2]);
+        // Distances ascend.
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn k_nearest_with_k_larger_than_len() {
+        let mut tree = KdTree::<2>::new();
+        tree.insert([0.0, 0.0], 0);
+        tree.insert([1.0, 0.0], 1);
+        assert_eq!(tree.k_nearest(&[0.0, 0.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn within_radius_exact_membership() {
+        let mut tree = KdTree::<2>::new();
+        for i in 0..10 {
+            tree.insert([i as f64, 0.0], i);
+        }
+        let mut got: Vec<usize> = tree
+            .within_radius(&[4.5, 0.0], 1.6)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn radius_boundary_is_inclusive() {
+        let mut tree = KdTree::<2>::new();
+        tree.insert([3.0, 4.0], 7);
+        let got = tree.within_radius(&[0.0, 0.0], 5.0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 7);
+    }
+
+    #[test]
+    fn duplicate_points_are_kept() {
+        let mut tree = KdTree::<2>::new();
+        tree.insert([1.0, 1.0], 0);
+        tree.insert([1.0, 1.0], 1);
+        assert_eq!(tree.within_radius(&[1.0, 1.0], 0.1).len(), 2);
+    }
+
+    #[test]
+    fn visitor_reports_visited_payloads() {
+        let mut tree = KdTree::<2>::new();
+        for i in 0..50 {
+            tree.insert([(i % 7) as f64, (i % 11) as f64], i);
+        }
+        let mut visits = 0usize;
+        tree.nearest_with(&[3.0, 5.0], |_| visits += 1);
+        assert!(visits >= 1);
+        assert!(visits <= 50);
+    }
+
+    #[test]
+    fn iter_yields_all_points() {
+        let mut tree = KdTree::<3>::new();
+        tree.insert([1.0, 2.0, 3.0], 9);
+        tree.insert([4.0, 5.0, 6.0], 8);
+        let all: Vec<(usize, Vec<f64>)> = tree.iter().map(|(p, c)| (p, c.to_vec())).collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], (9, vec![1.0, 2.0, 3.0]));
+    }
+}

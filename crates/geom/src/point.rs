@@ -1,0 +1,423 @@
+//! 2D/3D point and pose value types.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Normalizes an angle to the half-open interval `(-π, π]`.
+///
+/// Every heading/bearing computation in the suite funnels through this so
+/// that angular residuals (e.g. EKF innovation angles) never wrap.
+///
+/// # Example
+///
+/// ```
+/// use std::f64::consts::PI;
+/// let a = rtr_geom::normalize_angle(3.0 * PI);
+/// assert!((a - PI).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn normalize_angle(theta: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut a = theta % two_pi;
+    if a > std::f64::consts::PI {
+        a -= two_pi;
+    } else if a <= -std::f64::consts::PI {
+        a += two_pi;
+    }
+    a
+}
+
+/// A point (or free vector) in the plane.
+///
+/// # Example
+///
+/// ```
+/// use rtr_geom::Point2;
+/// let p = Point2::new(3.0, 4.0);
+/// assert_eq!(p.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// X coordinate (meters in world frames, cells in grid frames).
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean norm (distance from the origin).
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn distance_squared(&self, other: Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: Point2) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: Point2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z component of the 3D cross product (signed parallelogram area).
+    #[inline]
+    pub fn cross(&self, other: Point2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Rotates the point about the origin by `theta` radians.
+    #[inline]
+    pub fn rotated(&self, theta: f64) -> Point2 {
+        let (s, c) = theta.sin_cos();
+        Point2::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Angle of the vector from the origin, in `(-π, π]`.
+    #[inline]
+    pub fn angle(&self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign for Point2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign for Point2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point2 {
+        Point2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Neg for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn neg(self) -> Point2 {
+        Point2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+/// A point (or free vector) in 3D space.
+///
+/// # Example
+///
+/// ```
+/// use rtr_geom::Point3;
+/// let p = Point3::new(1.0, 2.0, 2.0);
+/// assert_eq!(p.norm(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+    /// Z coordinate.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// The origin.
+    pub const ORIGIN: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a point from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn distance_squared(&self, other: Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: Point3) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: Point3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(&self, other: Point3) -> Point3 {
+        Point3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Coordinates as an array, for interop with [`crate::KdTree`].
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn sub(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f64> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point3 {
+        Point3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Neg for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn neg(self) -> Point3 {
+        Point3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+/// A planar pose: position plus heading.
+///
+/// The particle filter's particles, the odometry readings and the
+/// differential-drive robot state are all `Pose2`s.
+///
+/// # Example
+///
+/// ```
+/// use rtr_geom::{Point2, Pose2};
+/// use std::f64::consts::FRAC_PI_2;
+///
+/// let pose = Pose2::new(1.0, 2.0, FRAC_PI_2);
+/// // A point one meter ahead of the robot lands one meter up in world frame.
+/// let world = pose.transform_point(Point2::new(1.0, 0.0));
+/// assert!((world.x - 1.0).abs() < 1e-12);
+/// assert!((world.y - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pose2 {
+    /// X position in meters.
+    pub x: f64,
+    /// Y position in meters.
+    pub y: f64,
+    /// Heading in radians, normalized to `(-π, π]` by [`Pose2::new`].
+    pub theta: f64,
+}
+
+impl Pose2 {
+    /// Creates a pose; the heading is normalized to `(-π, π]`.
+    #[inline]
+    pub fn new(x: f64, y: f64, theta: f64) -> Self {
+        Pose2 {
+            x,
+            y,
+            theta: normalize_angle(theta),
+        }
+    }
+
+    /// Position component.
+    #[inline]
+    pub fn position(&self) -> Point2 {
+        Point2::new(self.x, self.y)
+    }
+
+    /// Maps a point from the robot's local frame into the world frame.
+    #[inline]
+    pub fn transform_point(&self, local: Point2) -> Point2 {
+        let rotated = local.rotated(self.theta);
+        Point2::new(self.x + rotated.x, self.y + rotated.y)
+    }
+
+    /// Maps a world-frame point into the robot's local frame.
+    #[inline]
+    pub fn inverse_transform_point(&self, world: Point2) -> Point2 {
+        (world - self.position()).rotated(-self.theta)
+    }
+
+    /// Composes a relative motion `(dx, dy, dtheta)` expressed in the local
+    /// frame onto this pose — the odometry-integration primitive.
+    #[inline]
+    pub fn compose(&self, dx: f64, dy: f64, dtheta: f64) -> Pose2 {
+        let delta = Point2::new(dx, dy).rotated(self.theta);
+        Pose2::new(self.x + delta.x, self.y + delta.y, self.theta + dtheta)
+    }
+
+    /// Euclidean distance between positions (ignores heading).
+    #[inline]
+    pub fn distance(&self, other: &Pose2) -> f64 {
+        self.position().distance(other.position())
+    }
+}
+
+impl fmt::Display for Pose2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3} rad)", self.x, self.y, self.theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn normalize_angle_range() {
+        assert!((normalize_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert_eq!(normalize_angle(0.0), 0.0);
+        assert!((normalize_angle(2.0 * PI)).abs() < 1e-12);
+        let a = normalize_angle(-PI);
+        assert!((a - PI).abs() < 1e-12, "-pi should map to +pi, got {a}");
+    }
+
+    #[test]
+    fn point2_arithmetic() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, 5.0);
+        assert_eq!(a + b, Point2::new(4.0, 7.0));
+        assert_eq!(b - a, Point2::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Point2::new(2.0, 4.0));
+        assert_eq!(-a, Point2::new(-1.0, -2.0));
+        assert_eq!(a.dot(b), 13.0);
+        assert_eq!(a.cross(b), -1.0);
+    }
+
+    #[test]
+    fn point2_rotation_quarter_turn() {
+        let p = Point2::new(1.0, 0.0).rotated(FRAC_PI_2);
+        assert!(p.x.abs() < 1e-12);
+        assert!((p.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point3_cross_is_orthogonal() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(-2.0, 1.0, 0.5);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pose_transform_roundtrip() {
+        let pose = Pose2::new(2.0, -1.0, 0.7);
+        let local = Point2::new(3.0, 4.0);
+        let world = pose.transform_point(local);
+        let back = pose.inverse_transform_point(world);
+        assert!(back.distance(local) < 1e-12);
+    }
+
+    #[test]
+    fn pose_compose_pure_translation() {
+        let pose = Pose2::new(0.0, 0.0, FRAC_PI_2);
+        let next = pose.compose(1.0, 0.0, 0.0);
+        assert!(next.x.abs() < 1e-12);
+        assert!((next.y - 1.0).abs() < 1e-12);
+        assert_eq!(next.theta, FRAC_PI_2);
+    }
+
+    #[test]
+    fn pose_heading_is_normalized() {
+        let pose = Pose2::new(0.0, 0.0, 5.0 * PI);
+        assert!((pose.theta - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!format!("{}", Point2::ORIGIN).is_empty());
+        assert!(!format!("{}", Point3::ORIGIN).is_empty());
+        assert!(!format!("{}", Pose2::default()).is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use rtr_geom::{
+    cast_ray, normalize_angle, Aabb2, Footprint, GridMap2D, KdTree, Point2, Point3, Pose2,
+    RigidTransform,
+};
+
+fn finite_angle() -> impl Strategy<Value = f64> {
+    -100.0..100.0f64
+}
+
+proptest! {
+    #[test]
+    fn normalize_angle_is_in_range(theta in finite_angle()) {
+        let a = normalize_angle(theta);
+        prop_assert!(a > -std::f64::consts::PI - 1e-12);
+        prop_assert!(a <= std::f64::consts::PI + 1e-12);
+        // Same direction: sin/cos agree.
+        prop_assert!((a.sin() - theta.sin()).abs() < 1e-9);
+        prop_assert!((a.cos() - theta.cos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pose_transform_roundtrip(
+        x in -10.0..10.0f64,
+        y in -10.0..10.0f64,
+        theta in finite_angle(),
+        px in -10.0..10.0f64,
+        py in -10.0..10.0f64,
+    ) {
+        let pose = Pose2::new(x, y, theta);
+        let p = Point2::new(px, py);
+        let back = pose.inverse_transform_point(pose.transform_point(p));
+        prop_assert!(back.distance(p) < 1e-9);
+    }
+
+    #[test]
+    fn rotation_preserves_norm(px in -10.0..10.0f64, py in -10.0..10.0f64, theta in finite_angle()) {
+        let p = Point2::new(px, py);
+        prop_assert!((p.rotated(theta).norm() - p.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ray_distance_never_exceeds_max_range(
+        ox in 1.0..31.0f64,
+        oy in 1.0..31.0f64,
+        theta in finite_angle(),
+        max_range in 0.1..100.0f64,
+    ) {
+        let mut map = GridMap2D::new(32, 32, 1.0);
+        map.set_occupied(16, 16, true);
+        let hit = cast_ray(&map, Point2::new(ox, oy), theta, max_range);
+        prop_assert!(hit.distance <= max_range + 1e-12);
+        prop_assert!(hit.distance >= 0.0);
+        prop_assert!(hit.cells_visited >= 1);
+    }
+
+    #[test]
+    fn ray_hits_are_monotone_in_range(
+        ox in 1.0..31.0f64,
+        oy in 1.0..31.0f64,
+        theta in finite_angle(),
+    ) {
+        // Longer max range can only find the same or a farther hit.
+        let map = GridMap2D::new(32, 32, 1.0);
+        let near = cast_ray(&map, Point2::new(ox, oy), theta, 5.0);
+        let far = cast_ray(&map, Point2::new(ox, oy), theta, 50.0);
+        prop_assert!(near.distance <= far.distance + 1e-12);
+    }
+
+    #[test]
+    fn kdtree_nearest_matches_bruteforce(
+        points in prop::collection::vec(
+            (-10.0..10.0f64, -10.0..10.0f64, -10.0..10.0f64), 1..60),
+        q in (-10.0..10.0f64, -10.0..10.0f64, -10.0..10.0f64),
+    ) {
+        let mut tree = KdTree::<3>::new();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert([p.0, p.1, p.2], i);
+        }
+        let query = [q.0, q.1, q.2];
+        let (_, d2) = tree.nearest(&query).unwrap();
+        let best = points
+            .iter()
+            .map(|p| {
+                let dx = p.0 - q.0;
+                let dy = p.1 - q.1;
+                let dz = p.2 - q.2;
+                dx * dx + dy * dy + dz * dz
+            })
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((d2 - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kdtree_radius_matches_bruteforce(
+        points in prop::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 1..60),
+        q in (-5.0..5.0f64, -5.0..5.0f64),
+        radius in 0.1..5.0f64,
+    ) {
+        let mut tree = KdTree::<2>::new();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert([p.0, p.1], i);
+        }
+        let mut got: Vec<usize> = tree
+            .within_radius(&[q.0, q.1], radius)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                let dx = p.0 - q.0;
+                let dy = p.1 - q.1;
+                dx * dx + dy * dy <= radius * radius
+            })
+            .map(|(i, _)| i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn aabb_segment_agrees_with_dense_sampling(
+        bx in -5.0..5.0f64, by in -5.0..5.0f64,
+        w in 0.5..4.0f64, h in 0.5..4.0f64,
+        ax in -10.0..10.0f64, ay in -10.0..10.0f64,
+        cx in -10.0..10.0f64, cy in -10.0..10.0f64,
+    ) {
+        let b = Aabb2::from_center(Point2::new(bx, by), w, h);
+        let a = Point2::new(ax, ay);
+        let c = Point2::new(cx, cy);
+        let fast = b.intersects_segment(a, c);
+        // Dense sampling along the segment as ground truth (sufficient
+        // density relative to box size).
+        let slow = (0..=2000).any(|i| {
+            let t = i as f64 / 2000.0;
+            b.contains(a + (c - a) * t)
+        });
+        // Sampling can miss grazing hits; it must never find a hit the
+        // slab method missed.
+        if slow {
+            prop_assert!(fast, "sampling found hit, slab method missed it");
+        }
+    }
+
+    #[test]
+    fn footprint_collision_monotone_in_size(
+        x in 10.0..40.0f64,
+        y in 10.0..40.0f64,
+        theta in finite_angle(),
+    ) {
+        // If a small footprint collides, any larger one must too.
+        let mut map = GridMap2D::new(50, 50, 1.0);
+        for i in 0..50 {
+            map.set_occupied(i, 25, true);
+        }
+        let small = Footprint::new(2.0, 1.0);
+        let large = Footprint::new(4.0, 2.0);
+        let pose = Pose2::new(x, y, theta);
+        if small.collides(&map, &pose) {
+            prop_assert!(large.collides(&map, &pose));
+        }
+    }
+
+    #[test]
+    fn rigid_transform_preserves_distances(
+        yaw in finite_angle(),
+        tx in -5.0..5.0f64, ty in -5.0..5.0f64, tz in -5.0..5.0f64,
+        p1 in (-5.0..5.0f64, -5.0..5.0f64, -5.0..5.0f64),
+        p2 in (-5.0..5.0f64, -5.0..5.0f64, -5.0..5.0f64),
+    ) {
+        let t = RigidTransform::from_yaw_translation(yaw, Point3::new(tx, ty, tz));
+        let a = Point3::new(p1.0, p1.1, p1.2);
+        let b = Point3::new(p2.0, p2.1, p2.2);
+        prop_assert!((t.apply(a).distance(t.apply(b)) - a.distance(b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_upscale_preserves_occupancy_ratio(factor in 1usize..5) {
+        let mut map = GridMap2D::new(16, 16, 1.0);
+        map.fill_rect(2, 2, 7, 9);
+        map.fill_rect(10, 12, 14, 14);
+        let up = map.upscaled(factor);
+        prop_assert!((up.occupancy_ratio() - map.occupancy_ratio()).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #[test]
+    fn kdtree_k_nearest_matches_bruteforce(
+        points in prop::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 2..50),
+        q in (-5.0..5.0f64, -5.0..5.0f64),
+        k in 1usize..8,
+    ) {
+        let mut tree = KdTree::<2>::new();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert([p.0, p.1], i);
+        }
+        let got = tree.k_nearest(&[q.0, q.1], k);
+        let mut expect: Vec<(usize, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let dx = p.0 - q.0;
+                let dy = p.1 - q.1;
+                (i, dx * dx + dy * dy)
+            })
+            .collect();
+        expect.sort_by(|a, b| a.1.total_cmp(&b.1));
+        expect.truncate(k);
+        prop_assert_eq!(got.len(), expect.len());
+        // Distances agree pairwise (ids may differ under exact ties).
+        for (g, e) in got.iter().zip(expect.iter()) {
+            prop_assert!((g.1 - e.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inflated_map_contains_original(
+        cells in prop::collection::vec(prop::bool::weighted(0.1), 256),
+        radius in 0.0..4.0f64,
+    ) {
+        let mut map = GridMap2D::new(16, 16, 1.0);
+        for (i, &b) in cells.iter().enumerate() {
+            if b {
+                map.set_occupied(i % 16, i / 16, true);
+            }
+        }
+        let fat = map.inflated(radius);
+        for y in 0..16i64 {
+            for x in 0..16i64 {
+                if map.is_occupied(x, y) {
+                    prop_assert!(fat.is_occupied(x, y));
+                }
+            }
+        }
+        prop_assert!(fat.occupied_count() >= map.occupied_count());
+    }
+}

@@ -1,0 +1,41 @@
+//! Benchmark harness for RTRBench-rs.
+//!
+//! The paper stresses that kernels must be "easy to simulate": each one
+//! ships with a harness that supplies inputs, marks the region of interest
+//! (ROI) for the micro-architectural simulator, and exposes every
+//! configuration parameter on the command line (§IV, §VI, Fig. 20). This
+//! crate is that harness:
+//!
+//! - [`Roi`] — region-of-interest markers, the zsim-hook analogue. With no
+//!   simulator attached they are "safely executed: no effect on correctness
+//!   and virtually zero effect on performance".
+//! - [`Profiler`] — named-region wall-clock accounting, producing the
+//!   time-fraction breakdowns behind Table I and the per-kernel bottleneck
+//!   percentages.
+//! - [`Args`] — a dependency-free `--key value` command-line parser with
+//!   `--help` output in the style of the paper's Fig. 20.
+//! - [`Table`] — plain-text report tables for the experiment binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use rtr_harness::Profiler;
+//!
+//! let mut profiler = Profiler::new();
+//! let value = profiler.time("compute", || (0..1000).sum::<u64>());
+//! assert_eq!(value, 499_500);
+//! assert!(profiler.region_calls("compute") == 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cli;
+mod profiler;
+mod roi;
+mod table;
+
+pub use cli::{Args, CliError, OptionSpec};
+pub use profiler::{Profiler, RegionReport};
+pub use roi::Roi;
+pub use table::Table;

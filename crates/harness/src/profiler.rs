@@ -1,0 +1,224 @@
+//! Named-region wall-clock profiling.
+//!
+//! Every per-kernel bottleneck number in the paper ("67 % to 78 % of the
+//! entire execution time is spent in ray-casting", "more than 65 % ... in
+//! collision detection") is a *region time fraction*. The kernels in this
+//! suite wrap their candidate-bottleneck code in profiler regions and the
+//! experiment binaries print the fractions.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Accumulated timing for one named region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionReport {
+    /// Region name.
+    pub name: String,
+    /// Total time spent inside the region.
+    pub total: Duration,
+    /// Number of times the region was entered.
+    pub calls: u64,
+    /// Share of the profiler's reference total, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct RegionAcc {
+    total: Duration,
+    calls: u64,
+}
+
+/// A flat named-region profiler.
+///
+/// Regions are identified by `&'static str` names. Time spent in a region
+/// is attributed exclusively to that region (kernels keep their regions
+/// non-overlapping, matching how the paper attributes execution time).
+/// Fractions are computed against a *reference total*: the profiler's own
+/// observed span from construction (or [`Profiler::reset`]) to the moment
+/// of the query, so un-instrumented code shows up as a smaller fraction
+/// for every region rather than being silently ignored.
+///
+/// # Example
+///
+/// ```
+/// use rtr_harness::Profiler;
+///
+/// let mut p = Profiler::new();
+/// p.time("hot", || std::thread::sleep(std::time::Duration::from_millis(5)));
+/// p.time("cold", || ());
+/// assert!(p.fraction("hot") > p.fraction("cold"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    regions: HashMap<&'static str, RegionAcc>,
+    origin: Instant,
+    /// When set, used instead of `origin.elapsed()` as the denominator —
+    /// lets experiment code freeze the total at kernel completion.
+    frozen_total: Option<Duration>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::new()
+    }
+}
+
+impl Profiler {
+    /// Creates a profiler; the reference total starts accumulating now.
+    pub fn new() -> Self {
+        Profiler {
+            regions: HashMap::new(),
+            origin: Instant::now(),
+            frozen_total: None,
+        }
+    }
+
+    /// Clears all regions and restarts the reference total.
+    pub fn reset(&mut self) {
+        self.regions.clear();
+        self.origin = Instant::now();
+        self.frozen_total = None;
+    }
+
+    /// Runs `f`, attributing its wall-clock time to `name`.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(name, start.elapsed());
+        out
+    }
+
+    /// Directly adds a measured duration to `name` (for code that cannot be
+    /// wrapped in a closure).
+    pub fn add(&mut self, name: &'static str, elapsed: Duration) {
+        let acc = self.regions.entry(name).or_default();
+        acc.total += elapsed;
+        acc.calls += 1;
+    }
+
+    /// Freezes the reference total at the current elapsed span. Call when
+    /// the kernel's ROI ends so later queries don't dilute fractions.
+    pub fn freeze_total(&mut self) {
+        self.frozen_total = Some(self.origin.elapsed());
+    }
+
+    /// The reference total used for fractions.
+    pub fn total(&self) -> Duration {
+        self.frozen_total.unwrap_or_else(|| self.origin.elapsed())
+    }
+
+    /// Total time attributed to `name` (zero when never entered).
+    pub fn region_total(&self, name: &str) -> Duration {
+        self.regions
+            .get(name)
+            .map(|a| a.total)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Number of entries into `name`.
+    pub fn region_calls(&self, name: &str) -> u64 {
+        self.regions.get(name).map(|a| a.calls).unwrap_or(0)
+    }
+
+    /// Share of the reference total spent in `name`, in `[0, 1]`.
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.region_total(name).as_secs_f64() / total).min(1.0)
+    }
+
+    /// All regions, sorted by descending total time.
+    pub fn report(&self) -> Vec<RegionReport> {
+        let mut out: Vec<RegionReport> = self
+            .regions
+            .iter()
+            .map(|(&name, acc)| RegionReport {
+                name: name.to_owned(),
+                total: acc.total,
+                calls: acc.calls,
+                fraction: self.fraction(name),
+            })
+            .collect();
+        out.sort_by_key(|r| std::cmp::Reverse(r.total));
+        out
+    }
+
+    /// The region with the largest total time, if any — the kernel's
+    /// measured bottleneck for Table I.
+    pub fn dominant_region(&self) -> Option<RegionReport> {
+        self.report().into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates_and_counts() {
+        let mut p = Profiler::new();
+        for _ in 0..3 {
+            p.time("r", || std::thread::sleep(Duration::from_millis(1)));
+        }
+        assert_eq!(p.region_calls("r"), 3);
+        assert!(p.region_total("r") >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn unknown_region_is_zero() {
+        let p = Profiler::new();
+        assert_eq!(p.region_total("none"), Duration::ZERO);
+        assert_eq!(p.region_calls("none"), 0);
+        assert_eq!(p.fraction("none"), 0.0);
+    }
+
+    #[test]
+    fn fractions_reflect_relative_cost() {
+        let mut p = Profiler::new();
+        p.time("big", || std::thread::sleep(Duration::from_millis(20)));
+        p.time("small", || std::thread::sleep(Duration::from_millis(2)));
+        p.freeze_total();
+        assert!(p.fraction("big") > 0.5);
+        assert!(p.fraction("small") < 0.5);
+        assert!(p.fraction("big") <= 1.0);
+    }
+
+    #[test]
+    fn dominant_region_is_largest() {
+        let mut p = Profiler::new();
+        p.add("a", Duration::from_millis(5));
+        p.add("b", Duration::from_millis(50));
+        p.add("c", Duration::from_millis(1));
+        assert_eq!(p.dominant_region().unwrap().name, "b");
+        let names: Vec<String> = p.report().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn freeze_total_stops_dilution() {
+        let mut p = Profiler::new();
+        p.add("x", Duration::from_millis(10));
+        p.freeze_total();
+        let before = p.fraction("x");
+        std::thread::sleep(Duration::from_millis(10));
+        let after = p.fraction("x");
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut p = Profiler::new();
+        p.add("x", Duration::from_millis(10));
+        p.reset();
+        assert!(p.report().is_empty());
+        assert_eq!(p.region_total("x"), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_returns_closure_value() {
+        let mut p = Profiler::new();
+        assert_eq!(p.time("calc", || 6 * 7), 42);
+    }
+}

@@ -1,0 +1,107 @@
+//! Region-of-interest markers — the zsim-hook analogue.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Count of ROI entries across the process, mirroring how zsim hooks mark
+/// simulation phases. Exposed so tests (and an attached simulator shim) can
+/// observe that markers fired.
+static ROI_ENTERED: AtomicU64 = AtomicU64::new(0);
+static ROI_EXITED: AtomicU64 = AtomicU64::new(0);
+
+/// A region-of-interest guard.
+///
+/// In the paper, kernels bracket their measured phase with zsim hooks so
+/// the simulator knows which instructions to model; "without zsim ... the
+/// harness instructions will be safely executed: no effect on correctness
+/// and virtually zero effect on performance." `Roi` reproduces that
+/// contract: entering/leaving increments a pair of atomic counters and
+/// records wall-clock time, nothing else.
+///
+/// # Example
+///
+/// ```
+/// use rtr_harness::Roi;
+///
+/// let roi = Roi::enter("quickstart");
+/// let _sum: u64 = (0..10_000).sum();
+/// let elapsed = roi.exit();
+/// assert!(elapsed.as_nanos() > 0);
+/// ```
+#[derive(Debug)]
+pub struct Roi {
+    name: &'static str,
+    start: Instant,
+    exited: bool,
+}
+
+impl Roi {
+    /// Enters the region of interest.
+    pub fn enter(name: &'static str) -> Self {
+        ROI_ENTERED.fetch_add(1, Ordering::Relaxed);
+        Roi {
+            name,
+            start: Instant::now(),
+            exited: false,
+        }
+    }
+
+    /// The region's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Exits the region and returns its wall-clock duration.
+    pub fn exit(mut self) -> std::time::Duration {
+        self.exited = true;
+        ROI_EXITED.fetch_add(1, Ordering::Relaxed);
+        self.start.elapsed()
+    }
+
+    /// Number of ROI entries observed process-wide.
+    pub fn entered_count() -> u64 {
+        ROI_ENTERED.load(Ordering::Relaxed)
+    }
+
+    /// Number of ROI exits observed process-wide.
+    pub fn exited_count() -> u64 {
+        ROI_EXITED.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Roi {
+    fn drop(&mut self) {
+        if !self.exited {
+            // Dropping without an explicit exit still closes the region so
+            // counters stay balanced (e.g. on early return / panic).
+            ROI_EXITED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_exit_measures_time() {
+        let before_in = Roi::entered_count();
+        let before_out = Roi::exited_count();
+        let roi = Roi::enter("test");
+        assert_eq!(roi.name(), "test");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let d = roi.exit();
+        assert!(d.as_millis() >= 1);
+        assert_eq!(Roi::entered_count() - before_in, 1);
+        assert_eq!(Roi::exited_count() - before_out, 1);
+    }
+
+    #[test]
+    fn drop_balances_counters() {
+        let before_out = Roi::exited_count();
+        {
+            let _roi = Roi::enter("dropped");
+        }
+        assert_eq!(Roi::exited_count() - before_out, 1);
+    }
+}

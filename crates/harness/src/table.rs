@@ -1,0 +1,138 @@
+//! Plain-text report tables for the experiment binaries.
+
+use std::fmt;
+
+/// A simple left-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use rtr_harness::Table;
+///
+/// let mut t = Table::new(&["kernel", "stage", "bottleneck"]);
+/// t.row(&["01.pfl", "Perception", "Ray-casting"]);
+/// let text = t.to_string();
+/// assert!(text.contains("01.pfl"));
+/// assert!(text.contains("bottleneck"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept and
+    /// widen the table.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+
+    /// Appends a row of owned strings (convenient with `format!`).
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.column_count();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                write!(f, " {cell:<width$} |")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["wide-cell-content", "x"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines have identical width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn short_rows_pad_missing_cells() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["only-one"]);
+        let text = t.to_string();
+        assert!(text.contains("only-one"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn row_owned_accepts_formatted() {
+        let mut t = Table::new(&["n", "value"]);
+        t.row_owned(vec!["1".into(), format!("{:.2}", 12.3456)]);
+        assert!(t.to_string().contains("12.35"));
+    }
+
+    #[test]
+    fn empty_table_renders_headers() {
+        let t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        assert!(t.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,184 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+
+use crate::{LinalgError, Matrix, Vector};
+
+/// Eigenvalues and eigenvectors of a symmetric matrix.
+///
+/// Produced by [`symmetric_eigen`]; `values[i]` corresponds to the column
+/// `i` of `vectors`. Pairs are sorted by descending eigenvalue.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vector,
+    /// Orthonormal eigenvectors as matrix columns, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi rotation method.
+///
+/// The suite uses this for ICP's closed-form point-cloud alignment (Horn's
+/// quaternion method needs the dominant eigenvector of a symmetric 4×4
+/// matrix) and for sanity checks on EKF covariances. Jacobi is exact for
+/// symmetric inputs, unconditionally stable, and more than fast enough for
+/// the ≤ 10×10 matrices the kernels produce.
+///
+/// Only the lower triangle is read; the input is symmetrized internally.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::MalformedInput`] if `a` is not square.
+///
+/// # Example
+///
+/// ```
+/// use rtr_linalg::{symmetric_eigen, Matrix};
+///
+/// # fn main() -> Result<(), rtr_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let eig = symmetric_eigen(&a)?;
+/// assert!((eig.values[0] - 3.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::MalformedInput(
+            "eigendecomposition requires a square matrix",
+        ));
+    }
+    let n = a.rows();
+    // Work on the symmetrized copy.
+    let mut m = a.clone();
+    m.symmetrize_mut();
+    let mut v = Matrix::identity(n);
+
+    const MAX_SWEEPS: usize = 64;
+    for _ in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += m[(r, c)] * m[(r, c)];
+            }
+        }
+        if off.sqrt() < 1e-13 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Jacobi rotation zeroing (p, q).
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
+    let values = Vector::from_fn(n, |i| m[(order[i], order[i])]);
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    Ok(SymmetricEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_diagonal(&[3.0, 1.0, 2.0]);
+        let eig = symmetric_eigen(&a).unwrap();
+        assert!(eig
+            .values
+            .approx_eq(&Vector::from_slice(&[3.0, 2.0, 1.0]), 1e-12));
+    }
+
+    #[test]
+    fn reconstruction_v_lambda_vt() {
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.5], &[0.5, -0.5, 2.0]]).unwrap();
+        let eig = symmetric_eigen(&a).unwrap();
+        let lambda = Matrix::from_diagonal(eig.values.as_slice());
+        let reconstructed = &(&eig.vectors * &lambda) * &eig.vectors.transpose();
+        assert!(reconstructed.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn vectors_are_orthonormal() {
+        let a =
+            Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]).unwrap();
+        let eig = symmetric_eigen(&a).unwrap();
+        let vtv = &eig.vectors.transpose() * &eig.vectors;
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn known_tridiagonal_spectrum() {
+        // Eigenvalues of [[2,-1],[-1,2]]-type tridiagonal: 2 - 2cos(kπ/(n+1)).
+        let a =
+            Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]).unwrap();
+        let eig = symmetric_eigen(&a).unwrap();
+        let expected = [
+            2.0 + std::f64::consts::SQRT_2,
+            2.0,
+            2.0 - std::f64::consts::SQRT_2,
+        ];
+        for (got, want) in eig.values.iter().zip(expected.iter()) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_definition() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0], &[2.0, 1.0]]).unwrap();
+        let eig = symmetric_eigen(&a).unwrap();
+        for i in 0..2 {
+            let v = eig.vectors.column(i);
+            let av = a.mul_vector(&v).unwrap();
+            let lv = &v * eig.values[i];
+            assert!(av.approx_eq(&lv, 1e-10));
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let eig = symmetric_eigen(&Matrix::from_diagonal(&[7.0])).unwrap();
+        assert_eq!(eig.values[0], 7.0);
+        assert_eq!(eig.vectors[(0, 0)].abs(), 1.0);
+    }
+}

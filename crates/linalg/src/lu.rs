@@ -1,0 +1,235 @@
+//! LU factorization with partial pivoting.
+
+use crate::{LinalgError, Matrix, Vector};
+
+/// An LU factorization `P·A = L·U` of a square matrix, with partial
+/// (row) pivoting.
+///
+/// The factorization is computed once and can then solve any number of
+/// right-hand sides, compute the inverse, or the determinant. EKF-SLAM's
+/// innovation-covariance inversion and MPC's Newton steps are the primary
+/// consumers.
+///
+/// # Example
+///
+/// ```
+/// use rtr_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), rtr_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = a.lu()?;
+/// let x = lu.solve(&Vector::from_slice(&[3.0, 5.0]))?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strictly lower, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), used by the determinant.
+    perm_sign: f64,
+}
+
+/// Pivots with magnitude at or below this threshold are treated as zero,
+/// marking the matrix singular.
+const PIVOT_TOLERANCE: f64 = 1e-13;
+
+impl Lu {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::MalformedInput`] if `a` is not square.
+    /// - [`LinalgError::Singular`] if a pivot below tolerance is
+    ///   encountered.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::MalformedInput(
+                "LU factorization requires a square matrix",
+            ));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: bring the largest |entry| in column k to row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= PIVOT_TOLERANCE {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in (k + 1)..n {
+                    let ukc = lu[(k, c)];
+                    lu[(r, c)] -= factor * ukc;
+                }
+            }
+        }
+
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` differs from
+    /// the factorized dimension.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "LU solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward- and back-substitute.
+        let mut x = Vector::from_fn(n, |i| b[self.perm[i]]);
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` by solving against each canonical basis vector.
+    ///
+    /// # Errors
+    ///
+    /// This cannot fail once the factorization exists, but keeps a `Result`
+    /// return for uniformity with [`Matrix::inverse`].
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = Vector::zeros(n);
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+            e[c] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn well_conditioned() -> Matrix {
+        Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = well_conditioned();
+        let x_true = Vector::from_slice(&[1.0, -2.0, 3.0]);
+        let b = a.mul_vector(&x_true).unwrap();
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = well_conditioned();
+        let inv = a.inverse().unwrap();
+        let prod = &a * &inv;
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!((a.lu().unwrap().determinant() - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = a.lu().unwrap();
+        assert!((lu.determinant() - (-1.0)).abs() < 1e-12);
+        let x = lu.solve(&Vector::from_slice(&[2.0, 3.0])).unwrap();
+        assert_eq!(x.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.lu().unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(LinalgError::MalformedInput(_))));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let lu = Matrix::identity(2).lu().unwrap();
+        assert!(lu.solve(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutations() {
+        // A permutation matrix that is a single swap has determinant -1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
+        assert!((a.determinant().unwrap() + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,706 @@
+//! Dynamically sized, row-major `f64` matrix.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use crate::{Cholesky, LinalgError, Lu, Qr, Vector};
+
+/// A heap-allocated, row-major matrix of `f64` elements.
+///
+/// This type backs the EKF covariance updates, ICP cross-covariance
+/// estimation, MPC quadratic subproblems and Gaussian-process kernel
+/// matrices throughout the suite. Storage is a single contiguous `Vec<f64>`
+/// in row-major order so that row traversals are cache-friendly — the paper
+/// notes that matrix data "has a regular layout that is amenable to high
+/// ILP" and the layout here preserves that property.
+///
+/// # Example
+///
+/// ```
+/// use rtr_linalg::Matrix;
+///
+/// # fn main() -> Result<(), rtr_linalg::LinalgError> {
+/// let a = Matrix::identity(3);
+/// let b = &a * &a;
+/// assert!(b.approx_eq(&a, 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let i = rtr_linalg::Matrix::identity(2);
+    /// assert_eq!(i[(0, 0)], 1.0);
+    /// assert_eq!(i[(0, 1)], 0.0);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::MalformedInput`] if the rows have unequal
+    /// lengths.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), rtr_linalg::LinalgError> {
+    /// let m = rtr_linalg::Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+    /// assert_eq!(m[(1, 0)], 3.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        if rows.iter().any(|r| r.len() != ncols) {
+            return Err(LinalgError::MalformedInput("rows have unequal lengths"));
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from a flat row-major element vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::MalformedInput`] if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::MalformedInput(
+                "element count does not match shape",
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a square matrix with `diag` on the diagonal, zeros elsewhere.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` for a square matrix (including 0×0).
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows the row-major element storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrows the row-major element storage mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrows row `r` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new [`Vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn column(&self, c: usize) -> Vector {
+        assert!(c < self.cols, "column index out of bounds");
+        Vector::from_fn(self.rows, |r| self[(r, c)])
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Matrix–matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn mul_matrix(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matrix multiply",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        // i-k-j loop order keeps both operands streaming row-major.
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != v.len()`.
+    pub fn mul_vector(&self, v: &Vector) -> Result<Vector, LinalgError> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matrix-vector multiply",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok(Vector::from_fn(self.rows, |r| {
+            self.row(r)
+                .iter()
+                .zip(v.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        }))
+    }
+
+    /// Computes `self * rhs * selfᵀ`, the congruence transform used in every
+    /// EKF covariance propagation (`F P Fᵀ`, `H P Hᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when shapes are
+    /// incompatible.
+    pub fn congruence(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        self.mul_matrix(rhs)?.mul_matrix(&self.transpose())
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] for singular matrices and
+    /// [`LinalgError::MalformedInput`] for non-square ones.
+    pub fn lu(&self) -> Result<Lu, LinalgError> {
+        Lu::new(self)
+    }
+
+    /// Cholesky factorization (`A = L Lᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when the matrix is not
+    /// symmetric positive definite.
+    pub fn cholesky(&self) -> Result<Cholesky, LinalgError> {
+        Cholesky::new(self)
+    }
+
+    /// Householder QR factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::MalformedInput`] when `rows < cols`.
+    pub fn qr(&self) -> Result<Qr, LinalgError> {
+        Qr::new(self)
+    }
+
+    /// Solves `self * x = b` via LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors ([`LinalgError::Singular`],
+    /// [`LinalgError::MalformedInput`]) and dimension mismatches.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        self.lu()?.solve(b)
+    }
+
+    /// Computes the inverse via LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] for singular matrices.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.lu()?.inverse()
+    }
+
+    /// Determinant via LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::MalformedInput`] for non-square matrices.
+    pub fn determinant(&self) -> Result<f64, LinalgError> {
+        match self.lu() {
+            Ok(lu) => Ok(lu.determinant()),
+            Err(LinalgError::Singular) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Trace (sum of diagonal elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Copies the `rows × cols` block starting at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block extends past the matrix bounds.
+    pub fn block(&self, row: usize, col: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(
+            row + rows <= self.rows && col + cols <= self.cols,
+            "block out of bounds"
+        );
+        Matrix::from_fn(rows, cols, |r, c| self[(row + r, col + c)])
+    }
+
+    /// Overwrites the block starting at `(row, col)` with `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block extends past the matrix bounds.
+    pub fn set_block(&mut self, row: usize, col: usize, src: &Matrix) {
+        assert!(
+            row + src.rows <= self.rows && col + src.cols <= self.cols,
+            "set_block out of bounds"
+        );
+        for r in 0..src.rows {
+            for c in 0..src.cols {
+                self[(row + r, col + c)] = src[(r, c)];
+            }
+        }
+    }
+
+    /// Returns `true` when `self` and `other` have identical shape and all
+    /// elements are within `eps`.
+    pub fn approx_eq(&self, other: &Matrix, eps: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| crate::approx_eq(*a, *b, eps))
+    }
+
+    /// Returns `true` when the matrix equals its transpose within `eps`.
+    pub fn is_symmetric(&self, eps: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if !crate::approx_eq(self[(r, c)], self[(c, r)], eps) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Symmetrizes the matrix in place: `A ← (A + Aᵀ)/2`.
+    ///
+    /// EKF covariance updates drift from exact symmetry through floating
+    /// point error; kernels call this to restore the invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetrize_mut(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                let avg = 0.5 * (self[(r, c)] + self[(c, r)]);
+                self[(r, c)] = avg;
+                self[(c, r)] = avg;
+            }
+        }
+    }
+
+    /// Scales every element by `factor` in place.
+    pub fn scale_mut(&mut self, factor: f64) {
+        for x in &mut self.data {
+            *x *= factor;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}x{}]", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>12.6}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+macro_rules! impl_matrix_binop {
+    ($trait:ident, $method:ident, $op:tt, $name:literal) => {
+        impl $trait for &Matrix {
+            type Output = Matrix;
+            fn $method(self, rhs: &Matrix) -> Matrix {
+                assert_eq!(
+                    self.shape(),
+                    rhs.shape(),
+                    concat!($name, ": shape mismatch")
+                );
+                Matrix {
+                    rows: self.rows,
+                    cols: self.cols,
+                    data: self
+                        .data
+                        .iter()
+                        .zip(rhs.data.iter())
+                        .map(|(a, b)| a $op b)
+                        .collect(),
+                }
+            }
+        }
+        impl $trait for Matrix {
+            type Output = Matrix;
+            fn $method(self, rhs: Matrix) -> Matrix {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Matrix> for Matrix {
+            type Output = Matrix;
+            fn $method(self, rhs: &Matrix) -> Matrix {
+                (&self).$method(rhs)
+            }
+        }
+    };
+}
+
+impl_matrix_binop!(Add, add, +, "matrix add");
+impl_matrix_binop!(Sub, sub, -, "matrix sub");
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix add-assign: shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix sub-assign: shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+/// Matrix product; panics on dimension mismatch (use
+/// [`Matrix::mul_matrix`] for a fallible version).
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.mul_matrix(rhs)
+            .expect("matrix multiply shape mismatch")
+    }
+}
+
+/// Matrix–vector product; panics on dimension mismatch (use
+/// [`Matrix::mul_vector`] for a fallible version).
+impl Mul<&Vector> for &Matrix {
+    type Output = Vector;
+    fn mul(self, rhs: &Vector) -> Vector {
+        self.mul_vector(rhs)
+            .expect("matrix-vector multiply shape mismatch")
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale_mut(rhs);
+        out
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self * -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn constructors() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i.trace(), 3.0);
+
+        let d = Matrix::from_diagonal(&[1.0, 2.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::MalformedInput(_)));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_count() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn multiply_matches_hand_computation() {
+        let a = sample();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = &a * &b;
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
+    }
+
+    #[test]
+    fn multiply_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.mul_matrix(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = sample();
+        let i = Matrix::identity(2);
+        assert_eq!(&a * &i, a);
+        assert_eq!(&i * &a, a);
+    }
+
+    #[test]
+    fn mul_vector_matches() {
+        let a = sample();
+        let v = Vector::from_slice(&[1.0, 1.0]);
+        assert_eq!(a.mul_vector(&v).unwrap().as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn congruence_preserves_symmetry() {
+        let f = Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 1.0]]).unwrap();
+        let p = Matrix::from_rows(&[&[2.0, 0.3], &[0.3, 1.0]]).unwrap();
+        let out = f.congruence(&p).unwrap();
+        assert!(out.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let mut m = Matrix::zeros(3, 3);
+        let b = sample();
+        m.set_block(1, 1, &b);
+        assert_eq!(m.block(1, 1, 2, 2), b);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block out of bounds")]
+    fn block_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.block(1, 1, 2, 2);
+    }
+
+    #[test]
+    fn symmetrize_restores_symmetry() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[2.5, 1.0]]).unwrap();
+        m.symmetrize_mut();
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m[(0, 1)], 2.25);
+    }
+
+    #[test]
+    fn row_and_column_access() {
+        let m = sample();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(0).as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = sample();
+        let b = Matrix::identity(2);
+        assert_eq!((&a + &b)[(0, 0)], 2.0);
+        assert_eq!((&a - &b)[(1, 1)], 3.0);
+        assert_eq!((&a * 2.0)[(1, 0)], 6.0);
+        assert_eq!((-&a)[(0, 1)], -2.0);
+    }
+
+    #[test]
+    fn frobenius_norm_matches() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn determinant_of_singular_is_zero() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(m.determinant().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn is_symmetric_rejects_non_square() {
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn display_contains_shape() {
+        assert!(format!("{}", sample()).contains("[2x2]"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Householder QR factorization and least-squares solves.
+
+use crate::{LinalgError, Matrix, Vector};
+
+/// A QR factorization `A = Q·R` computed with Householder reflections.
+///
+/// The suite uses QR for least-squares problems: fitting DMP basis-function
+/// weights from a demonstration (`13.dmp` imitation learning) and the
+/// point-to-point alignment step inside ICP when the cross-covariance system
+/// is ill-conditioned.
+///
+/// `A` must be `m × n` with `m ≥ n`; `Q` is `m × m` orthogonal and `R` is
+/// `m × n` upper trapezoidal.
+///
+/// # Example
+///
+/// ```
+/// use rtr_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), rtr_linalg::LinalgError> {
+/// // Overdetermined: fit y = a + b*x to three points.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let y = Vector::from_slice(&[1.0, 3.0, 5.0]);
+/// let coeffs = a.qr()?.solve_least_squares(&y)?;
+/// assert!((coeffs[0] - 1.0).abs() < 1e-10); // intercept
+/// assert!((coeffs[1] - 2.0).abs() < 1e-10); // slope
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// `R`, stored in the upper triangle; Householder vectors below.
+    r: Matrix,
+    /// The scalar `beta` for each Householder reflection.
+    betas: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Qr {
+    /// Factorizes `a` (must have at least as many rows as columns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::MalformedInput`] when `a.rows() < a.cols()`.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::MalformedInput("QR requires rows >= cols"));
+        }
+        let mut r = a.clone();
+        let mut betas = vec![0.0; n];
+
+        for k in 0..n {
+            // Build the Householder vector for column k below the diagonal.
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                norm_sq += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = r[(k, k)] - alpha;
+            // v = [v0, r[k+1..m, k]]; normalize so v[0] = 1.
+            let mut v_norm_sq = v0 * v0;
+            for i in (k + 1)..m {
+                v_norm_sq += r[(i, k)] * r[(i, k)];
+            }
+            if v_norm_sq == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let beta = 2.0 * v0 * v0 / v_norm_sq;
+            // Store normalized v (with implicit v[0]=1) below the diagonal.
+            for i in (k + 1)..m {
+                r[(i, k)] /= v0;
+            }
+            betas[k] = beta;
+            r[(k, k)] = alpha;
+
+            // Apply the reflection to the remaining columns.
+            for c in (k + 1)..n {
+                let mut dot = r[(k, c)];
+                for i in (k + 1)..m {
+                    dot += r[(i, k)] * r[(i, c)];
+                }
+                let scale = beta * dot;
+                r[(k, c)] -= scale;
+                for i in (k + 1)..m {
+                    let vik = r[(i, k)];
+                    r[(i, c)] -= scale * vik;
+                }
+            }
+        }
+
+        Ok(Qr {
+            r,
+            betas,
+            rows: m,
+            cols: n,
+        })
+    }
+
+    /// Applies `Qᵀ` to a vector in place.
+    fn apply_q_transpose(&self, b: &mut Vector) {
+        for k in 0..self.cols {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut dot = b[k];
+            for i in (k + 1)..self.rows {
+                dot += self.r[(i, k)] * b[i];
+            }
+            let scale = beta * dot;
+            b[k] -= scale;
+            for i in (k + 1)..self.rows {
+                b[i] -= scale * self.r[(i, k)];
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// For square `A` this is an exact solve.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] when `b.len() != A.rows()`.
+    /// - [`LinalgError::Singular`] when `R` has a zero diagonal entry
+    ///   (rank-deficient system).
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "QR least squares",
+                lhs: (self.rows, self.cols),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut qtb = b.clone();
+        self.apply_q_transpose(&mut qtb);
+        let mut x = Vector::zeros(self.cols);
+        for i in (0..self.cols).rev() {
+            let mut sum = qtb[i];
+            for j in (i + 1)..self.cols {
+                sum -= self.r[(i, j)] * x[j];
+            }
+            let rii = self.r[(i, i)];
+            if rii.abs() <= 1e-13 {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = sum / rii;
+        }
+        Ok(x)
+    }
+
+    /// Copies out the upper-trapezoidal factor `R` (`cols × cols` upper
+    /// triangle is the meaningful part).
+    pub fn r(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.cols, |r, c| {
+            if c >= r {
+                self.r[(r, c)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Reconstructs the thin `Q` factor (`rows × cols`) explicitly.
+    ///
+    /// Primarily for testing (`QᵀQ = I`); solves never need the explicit Q.
+    pub fn thin_q(&self) -> Matrix {
+        let mut q = Matrix::zeros(self.rows, self.cols);
+        for c in 0..self.cols {
+            // Q e_c = apply reflections in reverse to the unit vector.
+            let mut v = Vector::zeros(self.rows);
+            v[c] = 1.0;
+            for k in (0..self.cols).rev() {
+                let beta = self.betas[k];
+                if beta == 0.0 {
+                    continue;
+                }
+                let mut dot = v[k];
+                for i in (k + 1)..self.rows {
+                    dot += self.r[(i, k)] * v[i];
+                }
+                let scale = beta * dot;
+                v[k] -= scale;
+                for i in (k + 1)..self.rows {
+                    v[i] -= scale * self.r[(i, k)];
+                }
+            }
+            for r in 0..self.rows {
+                q[(r, c)] = v[r];
+            }
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_solve_square_system() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let x_true = Vector::from_slice(&[0.5, -1.5]);
+        let b = a.mul_vector(&x_true).unwrap();
+        let x = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn least_squares_line_fit() {
+        // Points on y = 2x + 1 with symmetric noise that cancels.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let y = Vector::from_slice(&[1.1, 2.9, 5.1, 6.9]);
+        let coeffs = a.qr().unwrap().solve_least_squares(&y).unwrap();
+        assert!((coeffs[0] - 1.0).abs() < 0.1);
+        assert!((coeffs[1] - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn thin_q_is_orthonormal() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 7.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        let q = qr.thin_q();
+        let qtq = &q.transpose() * &q;
+        assert!(qtq.approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn q_times_r_reconstructs_a() {
+        let a = Matrix::from_rows(&[&[2.0, -1.0], &[0.0, 3.0], &[1.0, 1.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        let reconstructed = &qr.thin_q() * &qr.r();
+        assert!(reconstructed.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(matches!(
+            Matrix::zeros(2, 3).qr(),
+            Err(LinalgError::MalformedInput(_))
+        ));
+    }
+
+    #[test]
+    fn rank_deficient_rejected_at_solve() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        assert_eq!(
+            qr.solve_least_squares(&Vector::zeros(3)).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = Matrix::identity(3);
+        let qr = a.qr().unwrap();
+        assert!(qr.solve_least_squares(&Vector::zeros(2)).is_err());
+    }
+}

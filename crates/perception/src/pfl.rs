@@ -1,0 +1,522 @@
+//! `01.pfl` — particle-filter localization.
+//!
+//! Estimates a robot's pose in a known occupancy grid from noisy odometry
+//! and laser scans, exactly as the paper's Fig. 2 setting: particles are
+//! sampled uniformly over free space, updated with each odometry reading,
+//! re-weighted by matching ray-cast predictions against the sensed laser
+//! ranges, and resampled. Ray-casting is the measured bottleneck (67–78 %
+//! of execution time), so the measurement update is instrumented as its
+//! own profiler region and can optionally stream its grid probes into the
+//! cache simulator.
+
+use rtr_archsim::MemorySim;
+use rtr_geom::{cast_ray, cast_ray_with, GridMap2D, Pose2};
+use rtr_harness::Profiler;
+use rtr_sim::{LidarScan, OdometryModel, OdometryReading, SimRng, TrajectoryStep};
+
+/// How the particle set is initialized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PflInit {
+    /// Global localization: uniform over the map's free space — the
+    /// paper's Fig. 2-(a) "the robot could be anywhere in the environment".
+    GlobalUniform,
+    /// Pose tracking: Gaussian cloud around a rough initial guess.
+    AroundPose {
+        /// Center of the initial particle cloud.
+        pose: Pose2,
+        /// Position std dev (meters).
+        pos_std: f64,
+        /// Heading std dev (radians).
+        theta_std: f64,
+    },
+}
+
+/// Configuration for [`ParticleFilter`].
+#[derive(Debug, Clone)]
+pub struct PflConfig {
+    /// Number of particles.
+    pub particles: usize,
+    /// Initialization mode.
+    pub init: PflInit,
+    /// Std dev of the Gaussian sensor model comparing measured and
+    /// predicted ranges (meters).
+    pub sensor_sigma: f64,
+    /// Laser maximum range (must match the scans supplied to `run`).
+    pub max_range: f64,
+    /// Motion model used to diffuse particles with each odometry reading.
+    pub motion: OdometryModel,
+    /// Use every `beam_stride`-th beam of each scan (1 = all beams).
+    pub beam_stride: usize,
+    /// Effective-sample-size fraction below which the filter resamples.
+    pub resample_threshold: f64,
+    /// RNG seed (the filter owns its randomness for reproducibility).
+    pub seed: u64,
+}
+
+impl Default for PflConfig {
+    fn default() -> Self {
+        PflConfig {
+            particles: 1000,
+            init: PflInit::GlobalUniform,
+            sensor_sigma: 0.2,
+            max_range: 10.0,
+            motion: OdometryModel::new(0.05, 0.03),
+            beam_stride: 1,
+            resample_threshold: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a localization run.
+#[derive(Debug, Clone)]
+pub struct PflResult {
+    /// Weighted-mean pose estimate after the final step.
+    pub estimate: Pose2,
+    /// RMS particle spread (meters) around the estimate at the final step —
+    /// the paper's Fig. 2 convergence signal.
+    pub final_spread: f64,
+    /// RMS particle spread after initialization (before any update).
+    pub initial_spread: f64,
+    /// Position error against ground truth at the final step, when truth
+    /// was supplied.
+    pub final_error: Option<f64>,
+    /// Total rays cast over the run.
+    pub rays_cast: u64,
+    /// Total grid cells probed by ray casting.
+    pub cells_probed: u64,
+    /// Number of resampling rounds triggered.
+    pub resamples: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Particle {
+    pose: Pose2,
+    weight: f64,
+}
+
+/// The particle-filter localization kernel.
+///
+/// # Example
+///
+/// ```
+/// use rtr_perception::{ParticleFilter, PflConfig};
+/// use rtr_geom::maps;
+/// use rtr_harness::Profiler;
+///
+/// let map = maps::indoor_floor_plan(64, 0.1, 7);
+/// let mut pf = ParticleFilter::new(PflConfig { particles: 50, ..Default::default() }, &map);
+/// assert_eq!(pf.particle_count(), 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParticleFilter<'m> {
+    config: PflConfig,
+    map: &'m GridMap2D,
+    particles: Vec<Particle>,
+    rng: SimRng,
+    rays_cast: u64,
+    cells_probed: u64,
+    resamples: u64,
+}
+
+impl<'m> ParticleFilter<'m> {
+    /// Creates a filter with particles sampled uniformly over the map's
+    /// free space ("the robot could be anywhere in the environment").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `particles == 0`, `beam_stride == 0`, or the map has no
+    /// free cells.
+    pub fn new(config: PflConfig, map: &'m GridMap2D) -> Self {
+        assert!(config.particles > 0, "need at least one particle");
+        assert!(config.beam_stride > 0, "beam stride must be positive");
+        let mut rng = SimRng::seed_from(config.seed);
+        let w = map.world_width();
+        let h = map.world_height();
+        let uniform = 1.0 / config.particles as f64;
+        let mut particles = Vec::with_capacity(config.particles);
+        let mut attempts = 0usize;
+        while particles.len() < config.particles {
+            attempts += 1;
+            assert!(
+                attempts < config.particles * 10_000,
+                "map appears to have no free space"
+            );
+            let pose = match config.init {
+                PflInit::GlobalUniform => Pose2::new(
+                    rng.uniform(0.0, w),
+                    rng.uniform(0.0, h),
+                    rng.uniform(-std::f64::consts::PI, std::f64::consts::PI),
+                ),
+                PflInit::AroundPose {
+                    pose,
+                    pos_std,
+                    theta_std,
+                } => Pose2::new(
+                    pose.x + rng.gaussian(0.0, pos_std),
+                    pose.y + rng.gaussian(0.0, pos_std),
+                    pose.theta + rng.gaussian(0.0, theta_std),
+                ),
+            };
+            if !map.is_occupied_world(pose.position()) {
+                particles.push(Particle {
+                    pose,
+                    weight: uniform,
+                });
+            }
+        }
+        ParticleFilter {
+            config,
+            map,
+            particles,
+            rng,
+            rays_cast: 0,
+            cells_probed: 0,
+            resamples: 0,
+        }
+    }
+
+    /// Number of particles.
+    pub fn particle_count(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Current particle poses (for visualization / tests).
+    pub fn poses(&self) -> Vec<Pose2> {
+        self.particles.iter().map(|p| p.pose).collect()
+    }
+
+    /// Weighted-mean pose estimate.
+    pub fn estimate(&self) -> Pose2 {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut sin = 0.0;
+        let mut cos = 0.0;
+        let total: f64 = self.particles.iter().map(|p| p.weight).sum();
+        for p in &self.particles {
+            let w = p.weight / total;
+            x += w * p.pose.x;
+            y += w * p.pose.y;
+            sin += w * p.pose.theta.sin();
+            cos += w * p.pose.theta.cos();
+        }
+        Pose2::new(x, y, sin.atan2(cos))
+    }
+
+    /// RMS distance of particles from the weighted mean.
+    pub fn spread(&self) -> f64 {
+        let est = self.estimate();
+        let total: f64 = self.particles.iter().map(|p| p.weight).sum();
+        let var: f64 = self
+            .particles
+            .iter()
+            .map(|p| p.weight / total * p.pose.position().distance_squared(est.position()))
+            .sum();
+        var.sqrt()
+    }
+
+    /// Applies one odometry reading to all particles.
+    pub fn motion_update(&mut self, reading: &OdometryReading) {
+        let motion = self.config.motion;
+        for p in &mut self.particles {
+            p.pose = motion.sample_motion(&p.pose, reading, &mut self.rng);
+        }
+    }
+
+    /// Re-weights all particles against a laser scan. This is the
+    /// ray-casting bottleneck region.
+    ///
+    /// When `mem` is supplied, every grid-cell probe is replayed into the
+    /// cache simulator (one 1-byte cell per probe, row-major layout).
+    pub fn measurement_update(&mut self, scan: &LidarScan, mem: Option<&mut MemorySim>) {
+        let sigma = self.config.sensor_sigma;
+        let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+        let stride = self.config.beam_stride;
+        let width = self.map.width() as u64;
+        let mut mem = mem;
+
+        for p in &mut self.particles {
+            let mut log_w = 0.0;
+            for (angle, range) in scan.angles.iter().zip(scan.ranges.iter()).step_by(stride) {
+                self.rays_cast += 1;
+                let expected = if let Some(sim) = mem.as_deref_mut() {
+                    let hit = cast_ray_with(
+                        self.map,
+                        p.pose.position(),
+                        p.pose.theta + angle,
+                        self.config.max_range,
+                        |ix, iy| {
+                            // Grid cells are 1 byte each in a row-major Vec.
+                            let addr = (iy.max(0) as u64) * width + ix.max(0) as u64;
+                            sim.read(addr);
+                        },
+                    );
+                    self.cells_probed += hit.cells_visited as u64;
+                    hit.distance
+                } else {
+                    let hit = cast_ray(
+                        self.map,
+                        p.pose.position(),
+                        p.pose.theta + angle,
+                        self.config.max_range,
+                    );
+                    self.cells_probed += hit.cells_visited as u64;
+                    hit.distance
+                };
+                let err = range - expected;
+                log_w -= err * err * inv_two_sigma_sq;
+            }
+            // Particles inside obstacles predict 0 for every beam and decay.
+            p.weight *= log_w.exp().max(1e-300);
+        }
+
+        // Normalize.
+        let total: f64 = self.particles.iter().map(|p| p.weight).sum();
+        if total <= 0.0 || !total.is_finite() {
+            let uniform = 1.0 / self.particles.len() as f64;
+            for p in &mut self.particles {
+                p.weight = uniform;
+            }
+        } else {
+            for p in &mut self.particles {
+                p.weight /= total;
+            }
+        }
+    }
+
+    /// Low-variance resampling when the effective sample size drops below
+    /// the configured threshold. Returns `true` when resampling happened.
+    pub fn maybe_resample(&mut self) -> bool {
+        let ess: f64 = 1.0
+            / self
+                .particles
+                .iter()
+                .map(|p| p.weight * p.weight)
+                .sum::<f64>();
+        if ess >= self.config.resample_threshold * self.particles.len() as f64 {
+            return false;
+        }
+        self.resamples += 1;
+        let n = self.particles.len();
+        let step = 1.0 / n as f64;
+        let mut target = self.rng.uniform(0.0, step);
+        let mut cumulative = self.particles[0].weight;
+        let mut idx = 0usize;
+        let mut next = Vec::with_capacity(n);
+        for _ in 0..n {
+            while cumulative < target && idx + 1 < n {
+                idx += 1;
+                cumulative += self.particles[idx].weight;
+            }
+            next.push(Particle {
+                pose: self.particles[idx].pose,
+                weight: step,
+            });
+            target += step;
+        }
+        self.particles = next;
+        true
+    }
+
+    /// Runs the full filter over a recorded trajectory, attributing time to
+    /// the paper's regions: `motion_update`, `ray_casting`, `resample`.
+    pub fn run(
+        &mut self,
+        steps: &[TrajectoryStep],
+        profiler: &mut Profiler,
+        mut mem: Option<&mut MemorySim>,
+    ) -> PflResult {
+        let initial_spread = self.spread();
+        for (i, step) in steps.iter().enumerate() {
+            if i > 0 {
+                let reading = step.odometry;
+                profiler.time("motion_update", || self.motion_update(&reading));
+            }
+            // Manual timing: the closure would need simultaneous &mut self
+            // and &mut mem, so measure around the call instead.
+            let start = std::time::Instant::now();
+            self.measurement_update(&step.scan, mem.as_deref_mut());
+            profiler.add("ray_casting", start.elapsed());
+            profiler.time("resample", || self.maybe_resample());
+        }
+        let estimate = self.estimate();
+        PflResult {
+            estimate,
+            final_spread: self.spread(),
+            initial_spread,
+            final_error: steps
+                .last()
+                .map(|s| s.true_pose.position().distance(estimate.position())),
+            rays_cast: self.rays_cast,
+            cells_probed: self.cells_probed,
+            resamples: self.resamples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_geom::{maps, Point2};
+    use rtr_sim::{DifferentialDrive, Lidar};
+
+    fn drive_log(map: &GridMap2D, seed: u64) -> Vec<TrajectoryStep> {
+        let lidar = Lidar::new(36, std::f64::consts::PI, 10.0, 0.02);
+        let odo = OdometryModel::new(0.03, 0.02);
+        let robot = DifferentialDrive::new(0.15, 1.5);
+        let mut rng = SimRng::seed_from(seed);
+        // A square loop inside the first room (interior walls of the
+        // generated plan sit at multiples of 3.2 m), so the straight-line
+        // waypoint tracker never clips a wall.
+        robot.drive(
+            map,
+            Pose2::new(1.0, 1.0, 0.0),
+            &[
+                Point2::new(2.5, 1.0),
+                Point2::new(2.5, 2.5),
+                Point2::new(1.0, 2.5),
+            ],
+            &lidar,
+            &odo,
+            120,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn particles_initialize_in_free_space() {
+        let map = maps::indoor_floor_plan(128, 0.1, 7);
+        let pf = ParticleFilter::new(
+            PflConfig {
+                particles: 200,
+                ..Default::default()
+            },
+            &map,
+        );
+        for pose in pf.poses() {
+            assert!(!map.is_occupied_world(pose.position()));
+        }
+    }
+
+    #[test]
+    fn tracking_filter_converges_toward_truth() {
+        let map = maps::indoor_floor_plan(128, 0.1, 7);
+        let steps = drive_log(&map, 3);
+        let mut pf = ParticleFilter::new(
+            PflConfig {
+                particles: 400,
+                seed: 5,
+                init: PflInit::AroundPose {
+                    pose: steps[0].true_pose,
+                    pos_std: 0.5,
+                    theta_std: 0.3,
+                },
+                ..Default::default()
+            },
+            &map,
+        );
+        let mut profiler = Profiler::new();
+        let result = pf.run(&steps, &mut profiler, None);
+        assert!(result.resamples > 0, "expected at least one resample");
+        let err = result.final_error.unwrap();
+        assert!(err < 0.5, "estimate too far from truth: {err} m");
+    }
+
+    #[test]
+    fn global_localization_collapses_spread() {
+        // The Fig. 2 signal: uniformly initialized particles converge to a
+        // tight cluster once sensing starts, even if multimodality means
+        // the surviving mode is not always the true one.
+        let map = maps::indoor_floor_plan(128, 0.1, 7);
+        let steps = drive_log(&map, 3);
+        let mut pf = ParticleFilter::new(
+            PflConfig {
+                particles: 500,
+                seed: 8,
+                ..Default::default()
+            },
+            &map,
+        );
+        let mut profiler = Profiler::new();
+        let result = pf.run(&steps, &mut profiler, None);
+        assert!(
+            result.final_spread < result.initial_spread * 0.2,
+            "spread should collapse: {} -> {}",
+            result.initial_spread,
+            result.final_spread
+        );
+    }
+
+    #[test]
+    fn ray_casting_dominates_profile() {
+        let map = maps::indoor_floor_plan(128, 0.1, 7);
+        let steps = drive_log(&map, 4);
+        let mut pf = ParticleFilter::new(
+            PflConfig {
+                particles: 300,
+                seed: 1,
+                ..Default::default()
+            },
+            &map,
+        );
+        let mut profiler = Profiler::new();
+        pf.run(&steps, &mut profiler, None);
+        profiler.freeze_total();
+        let rc = profiler.fraction("ray_casting");
+        assert!(rc > 0.5, "ray casting fraction only {rc}");
+        assert_eq!(profiler.dominant_region().unwrap().name, "ray_casting");
+    }
+
+    #[test]
+    fn traced_run_feeds_cache_simulator() {
+        let map = maps::indoor_floor_plan(64, 0.1, 7);
+        let steps = drive_log(&map, 5);
+        let mut pf = ParticleFilter::new(
+            PflConfig {
+                particles: 30,
+                seed: 2,
+                ..Default::default()
+            },
+            &map,
+        );
+        let mut profiler = Profiler::new();
+        let mut mem = MemorySim::i3_8109u();
+        let result = pf.run(&steps[..5.min(steps.len())], &mut profiler, Some(&mut mem));
+        let report = mem.report();
+        assert!(report.accesses > 0);
+        assert_eq!(report.accesses, result.cells_probed);
+        // Ray casting is spatially local: L1 should absorb most probes.
+        assert!(report.levels[0].miss_ratio() < 0.5);
+    }
+
+    #[test]
+    fn weights_stay_normalized() {
+        let map = maps::indoor_floor_plan(64, 0.1, 7);
+        let mut pf = ParticleFilter::new(
+            PflConfig {
+                particles: 100,
+                ..Default::default()
+            },
+            &map,
+        );
+        let lidar = Lidar::new(18, std::f64::consts::PI, 10.0, 0.0);
+        let mut rng = SimRng::seed_from(0);
+        let scan = lidar.scan(&map, &Pose2::new(3.2, 3.2, 0.0), &mut rng);
+        pf.measurement_update(&scan, None);
+        let total: f64 = pf.particles.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one particle")]
+    fn zero_particles_panics() {
+        let map = maps::indoor_floor_plan(64, 0.1, 7);
+        let _ = ParticleFilter::new(
+            PflConfig {
+                particles: 0,
+                ..Default::default()
+            },
+            &map,
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! `04.pp2d` — 2D path planning for a car-sized robot.
+//!
+//! Models "a self-driving car navigating in a city": A* over an
+//! 8-connected occupancy grid with a Euclidean heuristic, where every
+//! candidate move collision-checks the car's 4.8 m × 1.8 m footprint
+//! oriented along the motion direction. The paper measures collision
+//! detection at more than 65 % of execution time; the check is the
+//! [`rtr_geom::Footprint`] lattice probe, instrumented so its time and its
+//! grid accesses are attributable.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+use rtr_archsim::MemorySim;
+use rtr_geom::{Footprint, GridMap2D, Pose2};
+use rtr_harness::Profiler;
+
+use crate::search::{weighted_astar_traced, SearchResult, SearchSpace};
+
+/// Configuration for [`Pp2d`].
+#[derive(Debug, Clone)]
+pub struct Pp2dConfig {
+    /// Start cell.
+    pub start: (usize, usize),
+    /// Goal cell.
+    pub goal: (usize, usize),
+    /// Robot footprint (the paper's car is 4.8 m × 1.8 m).
+    pub footprint: Footprint,
+    /// Heuristic inflation (1.0 = optimal A*).
+    pub weight: f64,
+}
+
+impl Pp2dConfig {
+    /// The paper's car scenario between two cells.
+    pub fn car(start: (usize, usize), goal: (usize, usize)) -> Self {
+        Pp2dConfig {
+            start,
+            goal,
+            footprint: Footprint::new(4.8, 1.8),
+            weight: 1.0,
+        }
+    }
+}
+
+/// Result of a 2D planning run.
+#[derive(Debug, Clone)]
+pub struct Pp2dResult {
+    /// Cell path from start to goal.
+    pub path: Vec<(usize, usize)>,
+    /// Path cost in meters.
+    pub cost: f64,
+    /// Nodes expanded by the search.
+    pub expanded: u64,
+    /// Collision checks performed.
+    pub collision_checks: u64,
+    /// Grid-cell probes performed by collision checks.
+    pub cells_probed: u64,
+}
+
+/// Search-space adapter: 8-connected grid moves gated by footprint checks.
+struct CarSpace<'a> {
+    map: &'a GridMap2D,
+    goal: (i64, i64),
+    footprint: Footprint,
+    collision_time: Cell<Duration>,
+    collision_checks: Cell<u64>,
+    cells_probed: Cell<u64>,
+}
+
+impl CarSpace<'_> {
+    /// Footprint check for occupying `cell` while heading `theta`.
+    fn pose_free(&self, cell: (i64, i64), theta: f64) -> bool {
+        let start = Instant::now();
+        let res = self.map.resolution();
+        let pose = Pose2::new(
+            (cell.0 as f64 + 0.5) * res,
+            (cell.1 as f64 + 0.5) * res,
+            theta,
+        );
+        let mut probes = 0u64;
+        let collides = self
+            .footprint
+            .collides_with(self.map, &pose, |_, _| probes += 1);
+        self.collision_time
+            .set(self.collision_time.get() + start.elapsed());
+        self.collision_checks.set(self.collision_checks.get() + 1);
+        self.cells_probed.set(self.cells_probed.get() + probes);
+        !collides
+    }
+}
+
+/// The eight grid moves with their metric costs (unit resolution).
+const MOVES: [(i64, i64); 8] = [
+    (1, 0),
+    (-1, 0),
+    (0, 1),
+    (0, -1),
+    (1, 1),
+    (1, -1),
+    (-1, 1),
+    (-1, -1),
+];
+
+impl SearchSpace for CarSpace<'_> {
+    type Node = (i64, i64);
+
+    fn successors(&self, node: (i64, i64), out: &mut Vec<((i64, i64), f64)>) {
+        let res = self.map.resolution();
+        for (dx, dy) in MOVES {
+            let next = (node.0 + dx, node.1 + dy);
+            if !self.map.in_bounds(next.0, next.1) {
+                continue;
+            }
+            let theta = (dy as f64).atan2(dx as f64);
+            if self.pose_free(next, theta) {
+                let step = ((dx * dx + dy * dy) as f64).sqrt() * res;
+                out.push((next, step));
+            }
+        }
+    }
+
+    fn heuristic(&self, node: (i64, i64)) -> f64 {
+        let dx = (self.goal.0 - node.0) as f64;
+        let dy = (self.goal.1 - node.1) as f64;
+        (dx * dx + dy * dy).sqrt() * self.map.resolution()
+    }
+
+    fn is_goal(&self, node: (i64, i64)) -> bool {
+        node == self.goal
+    }
+}
+
+/// The 2D path-planning kernel.
+///
+/// # Example
+///
+/// ```
+/// use rtr_planning::{Pp2d, Pp2dConfig};
+/// use rtr_geom::{Footprint, GridMap2D};
+/// use rtr_harness::Profiler;
+///
+/// let map = GridMap2D::new(64, 64, 1.0);
+/// let config = Pp2dConfig {
+///     start: (5, 5),
+///     goal: (50, 50),
+///     footprint: Footprint::new(2.0, 1.0),
+///     weight: 1.0,
+/// };
+/// let mut profiler = Profiler::new();
+/// let result = Pp2d::new(config).plan(&map, &mut profiler, None).unwrap();
+/// assert_eq!(*result.path.last().unwrap(), (50, 50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pp2d {
+    config: Pp2dConfig,
+}
+
+impl Pp2d {
+    /// Creates the kernel.
+    pub fn new(config: Pp2dConfig) -> Self {
+        Pp2d { config }
+    }
+
+    /// Plans a path on `map`. Returns `None` when the goal is unreachable
+    /// (or start/goal are themselves in collision).
+    ///
+    /// Profiler regions: `collision_detection` (footprint probes) and
+    /// `graph_search` (everything else in the search loop). When `mem` is
+    /// supplied, expanded nodes are replayed into the cache simulator as
+    /// row-major cell reads.
+    pub fn plan(
+        &self,
+        map: &GridMap2D,
+        profiler: &mut Profiler,
+        mut mem: Option<&mut MemorySim>,
+    ) -> Option<Pp2dResult> {
+        let space = CarSpace {
+            map,
+            goal: (self.config.goal.0 as i64, self.config.goal.1 as i64),
+            footprint: self.config.footprint,
+            collision_time: Cell::new(Duration::ZERO),
+            collision_checks: Cell::new(0),
+            cells_probed: Cell::new(0),
+        };
+        let start = (self.config.start.0 as i64, self.config.start.1 as i64);
+        // Reject trivially invalid endpoints (any heading blocked).
+        if !space.pose_free(start, 0.0) || !space.pose_free(space.goal, 0.0) {
+            return None;
+        }
+
+        let width = map.width() as u64;
+        let wall = Instant::now();
+        let result: Option<SearchResult<(i64, i64)>> =
+            weighted_astar_traced(&space, start, self.config.weight, &mut |n| {
+                if let Some(sim) = mem.as_deref_mut() {
+                    sim.read((n.1.max(0) as u64) * width + n.0.max(0) as u64);
+                }
+            });
+        let total = wall.elapsed();
+        let collision = space.collision_time.get();
+        profiler.add("collision_detection", collision);
+        profiler.add("graph_search", total.saturating_sub(collision));
+
+        result.map(|r| Pp2dResult {
+            path: r
+                .path
+                .iter()
+                .map(|&(x, y)| (x as usize, y as usize))
+                .collect(),
+            cost: r.cost,
+            expanded: r.expanded,
+            collision_checks: space.collision_checks.get(),
+            cells_probed: space.cells_probed.get(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_geom::maps;
+
+    fn small_footprint() -> Footprint {
+        Footprint::new(1.0, 1.0)
+    }
+
+    #[test]
+    fn straight_line_in_open_map() {
+        let map = GridMap2D::new(32, 32, 1.0);
+        let config = Pp2dConfig {
+            start: (5, 16),
+            goal: (25, 16),
+            footprint: small_footprint(),
+            weight: 1.0,
+        };
+        let mut profiler = Profiler::new();
+        let r = Pp2d::new(config).plan(&map, &mut profiler, None).unwrap();
+        assert_eq!(r.path.first(), Some(&(5, 16)));
+        assert_eq!(r.path.last(), Some(&(25, 16)));
+        assert!((r.cost - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detours_around_wall() {
+        let mut map = GridMap2D::new(32, 32, 1.0);
+        for y in 0..28 {
+            map.set_occupied(16, y, true);
+        }
+        let config = Pp2dConfig {
+            start: (5, 5),
+            goal: (27, 5),
+            footprint: small_footprint(),
+            weight: 1.0,
+        };
+        let mut profiler = Profiler::new();
+        let r = Pp2d::new(config).plan(&map, &mut profiler, None).unwrap();
+        // Must climb above y=27 to clear the wall (footprint needs margin).
+        assert!(r.path.iter().any(|&(_, y)| y >= 27));
+        assert!(r.cost > 22.0);
+    }
+
+    #[test]
+    fn unreachable_goal_returns_none() {
+        let mut map = GridMap2D::new(16, 16, 1.0);
+        for y in 0..16 {
+            map.set_occupied(8, y, true);
+        }
+        let config = Pp2dConfig {
+            start: (2, 8),
+            goal: (14, 8),
+            footprint: small_footprint(),
+            weight: 1.0,
+        };
+        let mut profiler = Profiler::new();
+        assert!(Pp2d::new(config).plan(&map, &mut profiler, None).is_none());
+    }
+
+    #[test]
+    fn start_in_collision_returns_none() {
+        let mut map = GridMap2D::new(16, 16, 1.0);
+        map.set_occupied(2, 8, true);
+        let config = Pp2dConfig {
+            start: (2, 8),
+            goal: (14, 8),
+            footprint: small_footprint(),
+            weight: 1.0,
+        };
+        let mut profiler = Profiler::new();
+        assert!(Pp2d::new(config).plan(&map, &mut profiler, None).is_none());
+    }
+
+    #[test]
+    fn car_footprint_needs_wider_gaps() {
+        // A 1-cell gap passes a 0.8 m robot but not the 1.8 m-wide car.
+        let mut map = GridMap2D::new(40, 40, 1.0);
+        for y in 0..40usize {
+            if y != 19 {
+                map.set_occupied(20, y, true);
+            }
+        }
+        let small = Pp2dConfig {
+            start: (5, 19),
+            goal: (35, 19),
+            footprint: Footprint::new(0.8, 0.8),
+            weight: 1.0,
+        };
+        let mut profiler = Profiler::new();
+        assert!(Pp2d::new(small).plan(&map, &mut profiler, None).is_some());
+        let car = Pp2dConfig::car((5, 19), (35, 19));
+        assert!(Pp2d::new(car).plan(&map, &mut profiler, None).is_none());
+    }
+
+    #[test]
+    fn collision_detection_dominates_profile_on_city_map() {
+        let map = maps::city_blocks(256, 1.0, 3);
+        let config = Pp2dConfig::car((4, 1), (241, 241));
+        let mut profiler = Profiler::new();
+        let r = Pp2d::new(config).plan(&map, &mut profiler, None);
+        assert!(r.is_some(), "city map should be traversable on streets");
+        profiler.freeze_total();
+        let frac = profiler.fraction("collision_detection");
+        assert!(frac > 0.5, "collision fraction only {frac}");
+    }
+
+    #[test]
+    fn weighted_search_expands_fewer_nodes() {
+        let map = maps::city_blocks(128, 1.0, 3);
+        let mut profiler = Profiler::new();
+        let optimal = Pp2d::new(Pp2dConfig {
+            weight: 1.0,
+            ..Pp2dConfig::car((4, 1), (121, 121))
+        })
+        .plan(&map, &mut profiler, None)
+        .unwrap();
+        let greedy = Pp2d::new(Pp2dConfig {
+            weight: 3.0,
+            ..Pp2dConfig::car((4, 1), (121, 121))
+        })
+        .plan(&map, &mut profiler, None)
+        .unwrap();
+        assert!(greedy.expanded <= optimal.expanded);
+        assert!(greedy.cost <= 3.0 * optimal.cost + 1e-9);
+    }
+
+    #[test]
+    fn traced_plan_reports_accesses() {
+        let map = GridMap2D::new(64, 64, 1.0);
+        let config = Pp2dConfig {
+            start: (5, 5),
+            goal: (60, 60),
+            footprint: small_footprint(),
+            weight: 1.0,
+        };
+        let mut profiler = Profiler::new();
+        let mut mem = MemorySim::i3_8109u();
+        let r = Pp2d::new(config)
+            .plan(&map, &mut profiler, Some(&mut mem))
+            .unwrap();
+        assert_eq!(mem.report().accesses, r.expanded);
+    }
+
+    #[test]
+    fn path_is_continuous() {
+        // (1, 1) and (121, 121) are always street cells (coordinates ≡ 1
+        // modulo the 8-cell block pitch of a 128-cell city).
+        let map = maps::city_blocks(128, 1.0, 9);
+        let config = Pp2dConfig::car((4, 1), (121, 121));
+        let mut profiler = Profiler::new();
+        let r = Pp2d::new(config).plan(&map, &mut profiler, None).unwrap();
+        for w in r.path.windows(2) {
+            let dx = (w[1].0 as i64 - w[0].0 as i64).abs();
+            let dy = (w[1].1 as i64 - w[0].1 as i64).abs();
+            assert!(dx <= 1 && dy <= 1 && (dx + dy) > 0);
+        }
+    }
+}

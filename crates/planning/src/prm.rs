@@ -1,0 +1,445 @@
+//! `07.prm` — probabilistic roadmaps for high-DoF arm planning.
+//!
+//! PRM "has offline and online phases. In the offline phase, it takes
+//! random samples from the configuration space of the robot, then tests
+//! whether they are collision-free, and finally connects nearby samples to
+//! form a graph. In the online phase, PRM adds the start and goal
+//! configurations to the graph, and accomplishes the planning by searching
+//! the graph with an algorithm like A*." The paper stresses that only the
+//! online phase is on the critical path and that "frequent L2-norm
+//! calculations ... to calculate the distance of samples in n-dimension
+//! space" are a bottleneck — every distance evaluation here is counted.
+
+use std::cell::Cell;
+
+use rtr_harness::Profiler;
+use rtr_sim::SimRng;
+
+use crate::rrt::{config_distance, ArmProblem, Config};
+use crate::search::{astar, SearchSpace};
+
+/// Configuration for [`Prm`].
+#[derive(Debug, Clone)]
+pub struct PrmConfig {
+    /// Roadmap size (collision-free samples kept).
+    pub roadmap_size: usize,
+    /// Neighbors each sample attempts to connect to.
+    pub neighbors: usize,
+    /// RNG seed for the offline sampling.
+    pub seed: u64,
+    /// Use a k-d tree for the offline neighbor queries instead of the
+    /// brute-force scan. Produces the same roadmap (k-nearest is exact);
+    /// only the build cost changes — the offline phase "is paid only once
+    /// and is done offline", so both strategies ship.
+    pub kdtree_build: bool,
+}
+
+impl Default for PrmConfig {
+    fn default() -> Self {
+        PrmConfig {
+            roadmap_size: 1500,
+            neighbors: 10,
+            seed: 0,
+            kdtree_build: false,
+        }
+    }
+}
+
+/// Result of an online PRM query.
+#[derive(Debug, Clone)]
+pub struct PrmResult {
+    /// Joint-space path from start to goal.
+    pub path: Vec<Config>,
+    /// Joint-space path length.
+    pub cost: f64,
+    /// A* expansions during the online search.
+    pub expanded: u64,
+    /// L2-norm evaluations during the online phase (connection + search).
+    pub l2_evals: u64,
+}
+
+/// A built roadmap: the product of PRM's offline phase, reusable across
+/// queries (that is the point of PRM — "it is paid only once and is done
+/// offline").
+#[derive(Debug, Clone)]
+pub struct Roadmap {
+    nodes: Vec<Config>,
+    adjacency: Vec<Vec<(usize, f64)>>,
+    /// Collision checks spent building (offline statistics).
+    pub offline_collision_checks: u64,
+    /// Edges in the roadmap.
+    pub edge_count: usize,
+}
+
+impl Roadmap {
+    /// Number of roadmap vertices.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the roadmap has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Online search space: roadmap vertices plus virtual start (`len`) and
+/// goal (`len + 1`) nodes with their connection edges.
+struct QuerySpace<'a> {
+    roadmap: &'a Roadmap,
+    start_edges: &'a [(usize, f64)],
+    goal_edges_rev: &'a [(usize, f64)],
+    start: Config,
+    goal: Config,
+    l2_evals: &'a Cell<u64>,
+}
+
+const START_ID: usize = usize::MAX - 1;
+const GOAL_ID: usize = usize::MAX;
+
+impl QuerySpace<'_> {
+    fn config_of(&self, id: usize) -> Config {
+        match id {
+            START_ID => self.start,
+            GOAL_ID => self.goal,
+            _ => self.roadmap.nodes[id],
+        }
+    }
+}
+
+impl SearchSpace for QuerySpace<'_> {
+    type Node = usize;
+
+    fn successors(&self, node: usize, out: &mut Vec<(usize, f64)>) {
+        match node {
+            START_ID => out.extend_from_slice(self.start_edges),
+            GOAL_ID => {}
+            _ => {
+                out.extend_from_slice(&self.roadmap.adjacency[node]);
+                // Edges into the goal from its connected roadmap nodes.
+                for &(rm, cost) in self.goal_edges_rev {
+                    if rm == node {
+                        out.push((GOAL_ID, cost));
+                    }
+                }
+            }
+        }
+    }
+
+    fn heuristic(&self, node: usize) -> f64 {
+        self.l2_evals.set(self.l2_evals.get() + 1);
+        config_distance(&self.config_of(node), &self.goal)
+    }
+
+    fn is_goal(&self, node: usize) -> bool {
+        node == GOAL_ID
+    }
+}
+
+/// The PRM kernel.
+///
+/// # Example
+///
+/// ```
+/// use rtr_planning::{ArmProblem, Prm, PrmConfig};
+/// use rtr_harness::Profiler;
+///
+/// let problem = ArmProblem::map_f(1);
+/// let mut profiler = Profiler::new();
+/// let prm = Prm::new(PrmConfig { roadmap_size: 400, ..Default::default() });
+/// let roadmap = prm.build(&problem, &mut profiler);
+/// let result = prm.query(&problem, &roadmap, &mut profiler).expect("solvable");
+/// assert!(problem.path_valid(&result.path));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prm {
+    config: PrmConfig,
+}
+
+impl Prm {
+    /// Creates the kernel.
+    pub fn new(config: PrmConfig) -> Self {
+        Prm { config }
+    }
+
+    /// Offline phase: samples the configuration space and connects
+    /// neighbors. Profiler region: `offline_build`.
+    pub fn build(&self, problem: &ArmProblem, profiler: &mut Profiler) -> Roadmap {
+        profiler.time("offline_build", || {
+            let mut rng = SimRng::seed_from(self.config.seed);
+            let mut collision_checks = 0u64;
+
+            // Rejection-sample collision-free vertices.
+            let mut nodes: Vec<Config> = Vec::with_capacity(self.config.roadmap_size);
+            while nodes.len() < self.config.roadmap_size {
+                let candidate = problem.sample(&mut rng);
+                collision_checks += 1;
+                if !problem.in_collision(&candidate) {
+                    nodes.push(candidate);
+                }
+            }
+
+            // Connect each vertex to its k nearest. Brute force by
+            // default (offline cost the paper explicitly discounts); a
+            // k-d-tree variant is available for large roadmaps.
+            let index = self.config.kdtree_build.then(|| {
+                let mut tree = rtr_geom::KdTree::<{ crate::rrt::DOF }>::with_capacity(nodes.len());
+                for (i, n) in nodes.iter().enumerate() {
+                    tree.insert(*n, i);
+                }
+                tree
+            });
+            let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nodes.len()];
+            let mut edge_count = 0usize;
+            for i in 0..nodes.len() {
+                let candidates: Vec<(usize, f64)> = match &index {
+                    Some(tree) => tree
+                        .k_nearest(&nodes[i], self.config.neighbors + 1)
+                        .into_iter()
+                        .map(|(j, d2)| (j, d2.sqrt()))
+                        .filter(|&(j, _)| j != i)
+                        .collect(),
+                    None => {
+                        let mut all: Vec<(usize, f64)> = (0..nodes.len())
+                            .filter(|&j| j != i)
+                            .map(|j| (j, config_distance(&nodes[i], &nodes[j])))
+                            .collect();
+                        all.sort_by(|a, b| a.1.total_cmp(&b.1));
+                        all
+                    }
+                };
+                for &(j, dist) in candidates.iter().take(self.config.neighbors) {
+                    if adjacency[i].iter().any(|&(n, _)| n == j) {
+                        continue;
+                    }
+                    collision_checks += 1;
+                    if problem.motion_free(&nodes[i], &nodes[j]) {
+                        adjacency[i].push((j, dist));
+                        adjacency[j].push((i, dist));
+                        edge_count += 1;
+                    }
+                }
+            }
+
+            Roadmap {
+                nodes,
+                adjacency,
+                offline_collision_checks: collision_checks,
+                edge_count,
+            }
+        })
+    }
+
+    /// Online phase: connects start/goal to the roadmap and runs A*.
+    /// Profiler regions: `online_connect` and `graph_search`.
+    ///
+    /// Returns `None` when start/goal cannot be connected or no roadmap
+    /// path exists (e.g. the roadmap is too sparse for `Map-C`'s narrow
+    /// passages).
+    pub fn query(
+        &self,
+        problem: &ArmProblem,
+        roadmap: &Roadmap,
+        profiler: &mut Profiler,
+    ) -> Option<PrmResult> {
+        if roadmap.is_empty()
+            || problem.in_collision(&problem.start)
+            || problem.in_collision(&problem.goal)
+        {
+            return None;
+        }
+        let l2_evals = Cell::new(0u64);
+
+        let connect = |config: &Config, l2: &Cell<u64>| -> Vec<(usize, f64)> {
+            let mut candidates: Vec<(usize, f64)> = roadmap
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(j, n)| {
+                    l2.set(l2.get() + 1);
+                    (j, config_distance(config, n))
+                })
+                .collect();
+            candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
+            candidates
+                .into_iter()
+                .take(self.config.neighbors * 2)
+                .filter(|&(j, _)| problem.motion_free(config, &roadmap.nodes[j]))
+                .take(self.config.neighbors)
+                .collect()
+        };
+        let (start_edges, goal_edges_rev) = profiler.time("online_connect", || {
+            (
+                connect(&problem.start, &l2_evals),
+                connect(&problem.goal, &l2_evals),
+            )
+        });
+        if start_edges.is_empty() || goal_edges_rev.is_empty() {
+            return None;
+        }
+
+        let space = QuerySpace {
+            roadmap,
+            start_edges: &start_edges,
+            goal_edges_rev: &goal_edges_rev,
+            start: problem.start,
+            goal: problem.goal,
+            l2_evals: &l2_evals,
+        };
+        let result = profiler.time("graph_search", || astar(&space, START_ID))?;
+
+        let path: Vec<Config> = result.path.iter().map(|&id| space.config_of(id)).collect();
+        Some(PrmResult {
+            cost: problem.path_cost(&path),
+            path,
+            expanded: result.expanded,
+            l2_evals: l2_evals.get(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_connected_roadmap_in_free_space() {
+        let problem = ArmProblem::map_f(1);
+        let mut profiler = Profiler::new();
+        let roadmap = Prm::new(PrmConfig {
+            roadmap_size: 300,
+            ..Default::default()
+        })
+        .build(&problem, &mut profiler);
+        assert_eq!(roadmap.len(), 300);
+        assert!(roadmap.edge_count > 300, "roadmap too sparse");
+    }
+
+    #[test]
+    fn query_solves_free_space() {
+        let problem = ArmProblem::map_f(1);
+        let mut profiler = Profiler::new();
+        let prm = Prm::new(PrmConfig {
+            roadmap_size: 400,
+            ..Default::default()
+        });
+        let roadmap = prm.build(&problem, &mut profiler);
+        let r = prm
+            .query(&problem, &roadmap, &mut profiler)
+            .expect("solvable");
+        assert!(problem.path_valid(&r.path));
+        assert!(r.l2_evals > 0);
+    }
+
+    #[test]
+    fn query_solves_cluttered_space() {
+        let problem = ArmProblem::map_c(2);
+        let mut profiler = Profiler::new();
+        let prm = Prm::new(PrmConfig {
+            roadmap_size: 1200,
+            neighbors: 12,
+            seed: 3,
+            kdtree_build: false,
+        });
+        let roadmap = prm.build(&problem, &mut profiler);
+        let r = prm.query(&problem, &roadmap, &mut profiler);
+        assert!(r.is_some(), "Map-C query failed with a 1200-node roadmap");
+        assert!(problem.path_valid(&r.unwrap().path));
+    }
+
+    #[test]
+    fn roadmap_is_reusable_across_queries() {
+        let mut problem = ArmProblem::map_f(4);
+        let mut profiler = Profiler::new();
+        let prm = Prm::new(PrmConfig {
+            roadmap_size: 400,
+            ..Default::default()
+        });
+        let roadmap = prm.build(&problem, &mut profiler);
+        let first = prm.query(&problem, &roadmap, &mut profiler).unwrap();
+        // New query on the same roadmap with swapped endpoints.
+        std::mem::swap(&mut problem.start, &mut problem.goal);
+        let second = prm.query(&problem, &roadmap, &mut profiler).unwrap();
+        assert!((first.cost - second.cost).abs() < 1e-9, "symmetric query");
+    }
+
+    #[test]
+    fn offline_dominates_online() {
+        // "The offline process could be significantly lengthy, but it is
+        // paid only once": building must cost far more than a query.
+        let problem = ArmProblem::map_f(5);
+        let mut profiler = Profiler::new();
+        let prm = Prm::new(PrmConfig {
+            roadmap_size: 600,
+            ..Default::default()
+        });
+        let roadmap = prm.build(&problem, &mut profiler);
+        prm.query(&problem, &roadmap, &mut profiler).unwrap();
+        let offline = profiler.region_total("offline_build");
+        let online =
+            profiler.region_total("online_connect") + profiler.region_total("graph_search");
+        assert!(
+            offline > online * 2,
+            "offline {offline:?} vs online {online:?}"
+        );
+    }
+
+    #[test]
+    fn kdtree_build_produces_equivalent_roadmap() {
+        let problem = ArmProblem::map_f(8);
+        let mut profiler = Profiler::new();
+        let base_config = PrmConfig {
+            roadmap_size: 400,
+            neighbors: 8,
+            seed: 4,
+            kdtree_build: false,
+        };
+        let brute = Prm::new(base_config.clone()).build(&problem, &mut profiler);
+        let kd = Prm::new(PrmConfig {
+            kdtree_build: true,
+            ..base_config
+        })
+        .build(&problem, &mut profiler);
+        // Same samples (same seed), same k-nearest sets → same edges.
+        assert_eq!(brute.len(), kd.len());
+        assert_eq!(brute.edge_count, kd.edge_count);
+        // And queries agree.
+        let prm = Prm::new(PrmConfig {
+            kdtree_build: true,
+            roadmap_size: 400,
+            neighbors: 8,
+            seed: 4,
+        });
+        let a = prm.query(&problem, &brute, &mut profiler).unwrap();
+        let b = prm.query(&problem, &kd, &mut profiler).unwrap();
+        assert!((a.cost - b.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_roadmap_query_is_none() {
+        let problem = ArmProblem::map_f(6);
+        let roadmap = Roadmap {
+            nodes: Vec::new(),
+            adjacency: Vec::new(),
+            offline_collision_checks: 0,
+            edge_count: 0,
+        };
+        let mut profiler = Profiler::new();
+        assert!(Prm::new(PrmConfig::default())
+            .query(&problem, &roadmap, &mut profiler)
+            .is_none());
+    }
+
+    #[test]
+    fn path_cost_at_least_direct_distance() {
+        let problem = ArmProblem::map_f(7);
+        let mut profiler = Profiler::new();
+        let prm = Prm::new(PrmConfig {
+            roadmap_size: 500,
+            ..Default::default()
+        });
+        let roadmap = prm.build(&problem, &mut profiler);
+        let r = prm.query(&problem, &roadmap, &mut profiler).unwrap();
+        assert!(r.cost >= config_distance(&problem.start, &problem.goal) - 1e-9);
+    }
+}

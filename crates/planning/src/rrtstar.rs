@@ -1,0 +1,379 @@
+//! `09.rrtstar` — asymptotically optimal RRT*.
+//!
+//! RRT* "improves path quality by rewiring the tree: when a random sample
+//! is added to the tree, near neighbors are evaluated and the connections
+//! change if the addition of the new node can reduce the path cost" (the
+//! paper's Fig. 11). The price is that the planner keeps sampling for its
+//! whole budget instead of stopping at the first connection — the paper
+//! measures RRT* "significantly slower (up to 8×) ... but generates
+//! shorter paths (1.6× on average)" than RRT, with the nearest-neighbor
+//! share of execution growing to ~49 % because of the per-sample
+//! neighborhood queries.
+
+use rtr_archsim::MemorySim;
+use rtr_harness::Profiler;
+use rtr_sim::SimRng;
+
+use crate::rrt::{config_distance, steer, ArmProblem, Config, RrtConfig, RrtResult, Tree};
+
+/// Result of an RRT* run (same shape as RRT's, plus rewiring stats).
+#[derive(Debug, Clone)]
+pub struct RrtStarResult {
+    /// The underlying path/cost/counters.
+    pub base: RrtResult,
+    /// Rewiring operations that actually changed a parent.
+    pub rewirings: u64,
+    /// Goal connections found over the run (the best one is returned).
+    pub goal_connections: u64,
+}
+
+/// The RRT* kernel.
+///
+/// # Example
+///
+/// ```
+/// use rtr_planning::{ArmProblem, RrtConfig, RrtStar};
+/// use rtr_harness::Profiler;
+///
+/// let problem = ArmProblem::map_f(1);
+/// let mut profiler = Profiler::new();
+/// let result = RrtStar::new(RrtConfig { max_samples: 4000, ..Default::default() })
+///     .plan(&problem, &mut profiler, None)
+///     .expect("solvable");
+/// assert!(problem.path_valid(&result.base.path));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RrtStar {
+    config: RrtConfig,
+}
+
+impl RrtStar {
+    /// Creates the kernel.
+    pub fn new(config: RrtConfig) -> Self {
+        RrtStar { config }
+    }
+
+    /// Runs RRT* for the full sample budget, returning the best goal path
+    /// found (or `None` if the goal was never connected).
+    ///
+    /// Profiler regions: `sampling`, `nn_search` (nearest + neighborhood
+    /// queries), `collision_detection` (extension, parent-choice and
+    /// rewiring checks).
+    pub fn plan(
+        &self,
+        problem: &ArmProblem,
+        profiler: &mut Profiler,
+        mut mem: Option<&mut MemorySim>,
+    ) -> Option<RrtStarResult> {
+        if problem.in_collision(&problem.start) || problem.in_collision(&problem.goal) {
+            return None;
+        }
+        let mut rng = SimRng::seed_from(self.config.seed);
+        let mut tree = Tree::new(problem.start);
+        let mut nn_queries = 0u64;
+        let mut collision_checks = 0u64;
+        let mut rewirings = 0u64;
+        let mut goal_connections = 0u64;
+        // Best goal attachment: (tree node holding the goal config's
+        // parent, cost through it).
+        let mut best_goal: Option<(usize, f64)> = None;
+        let mut first_connection: Option<usize> = None;
+        let mut samples_used = 0usize;
+
+        for sample_idx in 0..self.config.max_samples {
+            if let (Some(factor), Some(first)) = (self.config.star_refine_factor, first_connection)
+            {
+                let budget = ((first as f64 * factor) as usize).max(first + 50);
+                if sample_idx >= budget {
+                    break;
+                }
+            }
+            samples_used = sample_idx + 1;
+            let target = profiler.time("sampling", || {
+                if rng.chance(self.config.goal_bias) {
+                    problem.goal
+                } else {
+                    problem.sample(&mut rng)
+                }
+            });
+
+            // Nearest node.
+            let nn_start = std::time::Instant::now();
+            nn_queries += 1;
+            let (nearest_id, _) = nearest(&tree, &target, mem.as_deref_mut());
+            profiler.add("nn_search", nn_start.elapsed());
+
+            let new_config = steer(&tree.nodes[nearest_id], &target, self.config.epsilon);
+
+            let col_start = std::time::Instant::now();
+            collision_checks += 1;
+            let free = problem.motion_free(&tree.nodes[nearest_id], &new_config);
+            profiler.add("collision_detection", col_start.elapsed());
+            if !free {
+                continue;
+            }
+
+            // Neighborhood query (the paper's yellow circle).
+            let nn_start = std::time::Instant::now();
+            nn_queries += 1;
+            let neighbors = neighborhood(
+                &tree,
+                &new_config,
+                self.config.neighbor_radius,
+                mem.as_deref_mut(),
+            );
+            profiler.add("nn_search", nn_start.elapsed());
+
+            // Choose the cheapest collision-free parent among neighbors.
+            let mut parent = nearest_id;
+            let mut parent_cost =
+                tree.costs[nearest_id] + config_distance(&tree.nodes[nearest_id], &new_config);
+            for &(candidate, _) in &neighbors {
+                let through =
+                    tree.costs[candidate] + config_distance(&tree.nodes[candidate], &new_config);
+                if through < parent_cost {
+                    let col_start = std::time::Instant::now();
+                    collision_checks += 1;
+                    let free = problem.motion_free(&tree.nodes[candidate], &new_config);
+                    profiler.add("collision_detection", col_start.elapsed());
+                    if free {
+                        parent = candidate;
+                        parent_cost = through;
+                    }
+                }
+            }
+            let new_id = tree.add(new_config, parent);
+
+            // Rewire neighbors through the new node when cheaper.
+            for &(neighbor, _) in &neighbors {
+                if neighbor == parent {
+                    continue;
+                }
+                let through =
+                    tree.costs[new_id] + config_distance(&new_config, &tree.nodes[neighbor]);
+                if through + 1e-12 < tree.costs[neighbor] {
+                    let col_start = std::time::Instant::now();
+                    collision_checks += 1;
+                    let free = problem.motion_free(&new_config, &tree.nodes[neighbor]);
+                    profiler.add("collision_detection", col_start.elapsed());
+                    if free {
+                        let delta = tree.costs[neighbor] - through;
+                        tree.parents[neighbor] = new_id;
+                        propagate_cost_reduction(&mut tree, neighbor, delta);
+                        rewirings += 1;
+                    }
+                }
+            }
+
+            // Track the best goal connection but keep optimizing.
+            if config_distance(&new_config, &problem.goal) <= problem.goal_tolerance {
+                let col_start = std::time::Instant::now();
+                collision_checks += 1;
+                let free = problem.motion_free(&new_config, &problem.goal);
+                profiler.add("collision_detection", col_start.elapsed());
+                if free {
+                    goal_connections += 1;
+                    if first_connection.is_none() {
+                        first_connection = Some(sample_idx + 1);
+                    }
+                    let cost = tree.costs[new_id] + config_distance(&new_config, &problem.goal);
+                    if best_goal.is_none_or(|(_, c)| cost < c) {
+                        best_goal = Some((new_id, cost));
+                    }
+                }
+            }
+        }
+
+        let (attach_id, _) = best_goal?;
+        // Re-derive the final cost from the tree: rewiring may have
+        // improved the attachment node's cost-to-come since recording.
+        let mut path = tree.path_to(attach_id);
+        path.push(problem.goal);
+        Some(RrtStarResult {
+            base: RrtResult {
+                cost: problem.path_cost(&path),
+                path,
+                samples: samples_used,
+                tree_size: tree.nodes.len(),
+                nn_queries,
+                collision_checks,
+            },
+            rewirings,
+            goal_connections,
+        })
+    }
+}
+
+fn nearest(tree: &Tree, target: &Config, mem: Option<&mut MemorySim>) -> (usize, f64) {
+    match mem {
+        Some(sim) => tree
+            .index
+            .nearest_with(target, |payload| sim.read(payload as u64 * 40))
+            .expect("tree non-empty"),
+        None => tree.index.nearest(target).expect("tree non-empty"),
+    }
+}
+
+fn neighborhood(
+    tree: &Tree,
+    center: &Config,
+    radius: f64,
+    mem: Option<&mut MemorySim>,
+) -> Vec<(usize, f64)> {
+    let found = tree.index.within_radius(center, radius);
+    if let Some(sim) = mem {
+        for &(payload, _) in &found {
+            sim.read(payload as u64 * 40);
+        }
+    }
+    found
+}
+
+/// After rewiring `root` to a cheaper parent, every descendant's
+/// cost-to-come drops by the same delta.
+fn propagate_cost_reduction(tree: &mut Tree, root: usize, delta: f64) {
+    tree.costs[root] -= delta;
+    // Children are nodes whose parent chain passes through `root`; with
+    // the flat arena we scan once per rewiring (trees stay modest here).
+    let mut stack = vec![root];
+    while let Some(current) = stack.pop() {
+        for id in 0..tree.nodes.len() {
+            if tree.parents[id] == current && id != current {
+                tree.costs[id] -= delta;
+                stack.push(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rrt::Rrt;
+
+    fn small_budget() -> RrtConfig {
+        RrtConfig {
+            max_samples: 3_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_valid_path() {
+        let problem = ArmProblem::map_f(1);
+        let mut profiler = Profiler::new();
+        let r = RrtStar::new(small_budget())
+            .plan(&problem, &mut profiler, None)
+            .expect("solvable");
+        assert!(problem.path_valid(&r.base.path));
+        assert!(r.goal_connections >= 1);
+    }
+
+    #[test]
+    fn cheaper_than_rrt_on_same_problem() {
+        // The paper's headline: RRT* paths are shorter (1.6× on average).
+        let mut star_total = 0.0;
+        let mut rrt_total = 0.0;
+        for seed in 0..3 {
+            let problem = ArmProblem::map_f(10 + seed);
+            let mut p = Profiler::new();
+            let rrt = Rrt::new(RrtConfig {
+                seed,
+                ..Default::default()
+            })
+            .plan(&problem, &mut p, None)
+            .expect("solvable");
+            let star = RrtStar::new(RrtConfig {
+                seed,
+                max_samples: 4_000,
+                ..Default::default()
+            })
+            .plan(&problem, &mut p, None)
+            .expect("solvable");
+            star_total += star.base.cost;
+            rrt_total += rrt.cost;
+        }
+        assert!(
+            star_total < rrt_total,
+            "RRT* ({star_total:.2}) should beat RRT ({rrt_total:.2}) in cost"
+        );
+    }
+
+    #[test]
+    fn does_more_work_than_rrt() {
+        let problem = ArmProblem::map_f(2);
+        let mut p = Profiler::new();
+        let rrt = Rrt::new(RrtConfig::default())
+            .plan(&problem, &mut p, None)
+            .unwrap();
+        let star = RrtStar::new(small_budget())
+            .plan(&problem, &mut p, None)
+            .unwrap();
+        assert!(star.base.collision_checks > rrt.collision_checks);
+        assert!(star.base.nn_queries > rrt.nn_queries);
+    }
+
+    #[test]
+    fn rewiring_happens() {
+        let problem = ArmProblem::map_f(3);
+        let mut p = Profiler::new();
+        let r = RrtStar::new(small_budget())
+            .plan(&problem, &mut p, None)
+            .unwrap();
+        assert!(r.rewirings > 0, "no rewiring in {} samples", r.base.samples);
+    }
+
+    #[test]
+    fn tree_costs_stay_consistent_after_rewiring() {
+        // Cost bookkeeping invariant: every node's recorded cost equals
+        // the sum of edge lengths along its parent chain.
+        let problem = ArmProblem::map_c(4);
+        let mut p = Profiler::new();
+        let config = RrtConfig {
+            max_samples: 2_000,
+            ..Default::default()
+        };
+        // Re-run the planner but inspect internals through the result: the
+        // returned path cost must equal the recomputed edge-sum cost.
+        let r = RrtStar::new(config).plan(&problem, &mut p, None);
+        if let Some(r) = r {
+            let recomputed = problem.path_cost(&r.base.path);
+            assert!((recomputed - r.base.cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refine_factor_bounds_work() {
+        let problem = ArmProblem::map_f(6);
+        let mut p = Profiler::new();
+        let full = RrtStar::new(RrtConfig {
+            max_samples: 5_000,
+            ..Default::default()
+        })
+        .plan(&problem, &mut p, None)
+        .expect("solvable");
+        let bounded = RrtStar::new(RrtConfig {
+            max_samples: 5_000,
+            star_refine_factor: Some(4.0),
+            ..Default::default()
+        })
+        .plan(&problem, &mut p, None)
+        .expect("solvable");
+        assert!(bounded.base.samples <= full.base.samples);
+        assert!(bounded.base.collision_checks <= full.base.collision_checks);
+        assert!(problem.path_valid(&bounded.base.path));
+    }
+
+    #[test]
+    fn solves_cluttered_map() {
+        let problem = ArmProblem::map_c(5);
+        let mut p = Profiler::new();
+        let r = RrtStar::new(RrtConfig {
+            max_samples: 12_000,
+            ..Default::default()
+        })
+        .plan(&problem, &mut p, None)
+        .expect("map-c solvable");
+        assert!(problem.path_valid(&r.base.path));
+    }
+}

@@ -1,0 +1,534 @@
+//! Best-first graph search: Dijkstra, A* and Weighted A*.
+//!
+//! The paper's grid planners (`04.pp2d`, `05.pp3d`, `06.movtar`), the PRM
+//! online phase and the symbolic planner all reduce to best-first search.
+//! The engine here is shared by all of them; it exposes an expansion hook
+//! so traced kernels can replay node accesses into the cache simulator,
+//! reproducing the "irregular traversal ... hard to parallelize" behaviour
+//! the paper highlights for graph search.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+
+/// A search problem over an implicitly defined graph.
+///
+/// Implementations enumerate successors on demand; the engine never
+/// materializes the full graph (the paper's 3D and time-expanded graphs
+/// would not fit).
+pub trait SearchSpace {
+    /// Node identifier. Kept `Copy` so the open/closed bookkeeping stays
+    /// allocation-free per expansion.
+    type Node: Copy + Eq + Hash;
+
+    /// Appends `(successor, edge_cost)` pairs of `node` to `out`.
+    ///
+    /// `out` arrives cleared. Edge costs must be non-negative.
+    fn successors(&self, node: Self::Node, out: &mut Vec<(Self::Node, f64)>);
+
+    /// Admissible estimate of the remaining cost from `node` to a goal.
+    ///
+    /// Return `0.0` to degrade A* to Dijkstra.
+    fn heuristic(&self, node: Self::Node) -> f64;
+
+    /// Returns `true` when `node` satisfies the goal condition.
+    fn is_goal(&self, node: Self::Node) -> bool;
+}
+
+/// Outcome of a successful search.
+#[derive(Debug, Clone)]
+pub struct SearchResult<N> {
+    /// Start-to-goal node sequence, inclusive.
+    pub path: Vec<N>,
+    /// Total path cost.
+    pub cost: f64,
+    /// Nodes expanded (popped with final g-value).
+    pub expanded: u64,
+    /// Successor edges generated.
+    pub generated: u64,
+}
+
+/// Open-list entry ordered by ascending f-value (max-heap inverted).
+struct OpenEntry<N> {
+    f: f64,
+    g: f64,
+    node: N,
+}
+
+impl<N> PartialEq for OpenEntry<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f
+    }
+}
+impl<N> Eq for OpenEntry<N> {}
+impl<N> PartialOrd for OpenEntry<N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<N> Ord for OpenEntry<N> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; tie-break on larger g (deeper first),
+        // which is the standard A* tie-breaking that reduces expansions.
+        other
+            .f
+            .total_cmp(&self.f)
+            .then_with(|| self.g.total_cmp(&other.g))
+    }
+}
+
+/// A* search (`weight = 1`). See [`weighted_astar`].
+pub fn astar<S: SearchSpace>(space: &S, start: S::Node) -> Option<SearchResult<S::Node>> {
+    weighted_astar(space, start, 1.0)
+}
+
+/// Dijkstra search (ignores the space's heuristic).
+pub fn dijkstra<S: SearchSpace>(space: &S, start: S::Node) -> Option<SearchResult<S::Node>> {
+    weighted_astar_impl(space, start, 0.0, &mut |_| {})
+}
+
+/// Weighted A*: node priority is `g + weight·h`.
+///
+/// `weight = 1` is optimal A*; `weight > 1` inflates the heuristic for
+/// speed at the cost of up to `weight`-suboptimal paths — exactly the
+/// `06.movtar` trade-off the paper describes ("the final path cost could
+/// become ε times higher than the shortest path cost").
+///
+/// Returns `None` when the goal is unreachable.
+///
+/// # Panics
+///
+/// Panics if `weight` is negative or NaN.
+///
+/// # Example
+///
+/// ```
+/// use rtr_planning::search::{weighted_astar, SearchSpace};
+///
+/// // A 1D line where the goal is at 5.
+/// struct Line;
+/// impl SearchSpace for Line {
+///     type Node = i64;
+///     fn successors(&self, n: i64, out: &mut Vec<(i64, f64)>) {
+///         out.push((n + 1, 1.0));
+///         out.push((n - 1, 1.0));
+///     }
+///     fn heuristic(&self, n: i64) -> f64 { (5 - n).abs() as f64 }
+///     fn is_goal(&self, n: i64) -> bool { n == 5 }
+/// }
+/// let result = weighted_astar(&Line, 0, 1.0).unwrap();
+/// assert_eq!(result.cost, 5.0);
+/// assert_eq!(result.path.len(), 6);
+/// ```
+pub fn weighted_astar<S: SearchSpace>(
+    space: &S,
+    start: S::Node,
+    weight: f64,
+) -> Option<SearchResult<S::Node>> {
+    weighted_astar_impl(space, start, weight, &mut |_| {})
+}
+
+/// Like [`weighted_astar`], invoking `on_expand` with each node popped from
+/// the open list — the hook traced kernels use to feed the cache simulator.
+pub fn weighted_astar_traced<S: SearchSpace>(
+    space: &S,
+    start: S::Node,
+    weight: f64,
+    on_expand: &mut dyn FnMut(&S::Node),
+) -> Option<SearchResult<S::Node>> {
+    weighted_astar_impl(space, start, weight, on_expand)
+}
+
+fn weighted_astar_impl<S: SearchSpace>(
+    space: &S,
+    start: S::Node,
+    weight: f64,
+    on_expand: &mut dyn FnMut(&S::Node),
+) -> Option<SearchResult<S::Node>> {
+    assert!(weight >= 0.0, "heuristic weight must be non-negative");
+
+    let mut open = BinaryHeap::new();
+    // node → (best g, parent)
+    let mut best: HashMap<S::Node, (f64, Option<S::Node>)> = HashMap::new();
+    let mut closed: HashMap<S::Node, ()> = HashMap::new();
+    let mut succ_buf: Vec<(S::Node, f64)> = Vec::new();
+    let mut expanded = 0u64;
+    let mut generated = 0u64;
+
+    best.insert(start, (0.0, None));
+    open.push(OpenEntry {
+        f: weight * space.heuristic(start),
+        g: 0.0,
+        node: start,
+    });
+
+    while let Some(OpenEntry { g, node, .. }) = open.pop() {
+        // Skip stale entries (lazy decrease-key).
+        match best.get(&node) {
+            Some(&(best_g, _)) if g > best_g => continue,
+            _ => {}
+        }
+        if closed.contains_key(&node) {
+            continue;
+        }
+        closed.insert(node, ());
+        expanded += 1;
+        on_expand(&node);
+
+        if space.is_goal(node) {
+            // Reconstruct the path.
+            let mut path = vec![node];
+            let mut cur = node;
+            while let Some(&(_, Some(parent))) = best.get(&cur) {
+                path.push(parent);
+                cur = parent;
+            }
+            path.reverse();
+            return Some(SearchResult {
+                path,
+                cost: g,
+                expanded,
+                generated,
+            });
+        }
+
+        succ_buf.clear();
+        space.successors(node, &mut succ_buf);
+        for &(next, edge_cost) in &succ_buf {
+            debug_assert!(edge_cost >= 0.0, "negative edge cost");
+            generated += 1;
+            if closed.contains_key(&next) {
+                continue;
+            }
+            let tentative = g + edge_cost;
+            let improved = match best.get(&next) {
+                Some(&(existing, _)) => tentative < existing,
+                None => true,
+            };
+            if improved {
+                best.insert(next, (tentative, Some(node)));
+                open.push(OpenEntry {
+                    f: tentative + weight * space.heuristic(next),
+                    g: tentative,
+                    node: next,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// One solution from an anytime search, with its suboptimality bound.
+#[derive(Debug, Clone)]
+pub struct AnytimeSolution<N> {
+    /// The weight the solution was found with (its suboptimality bound).
+    pub weight: f64,
+    /// The search result at that weight.
+    pub result: SearchResult<N>,
+}
+
+/// Anytime weighted A* in the spirit of ARA* (the paper's SBPL lineage):
+/// runs Weighted A* with a decreasing weight schedule, keeping every
+/// improving solution. The first entry arrives fast with a loose bound;
+/// the last entry found within the schedule is the tightest.
+///
+/// Returns the improving solutions in discovery order (empty when even
+/// the loosest weight finds no path). This simple formulation re-searches
+/// per weight rather than repairing, trading efficiency for clarity; the
+/// bound semantics match ARA*'s.
+///
+/// # Panics
+///
+/// Panics if `initial_weight < 1`, `step <= 0`, or `final_weight < 1`.
+///
+/// # Example
+///
+/// ```
+/// use rtr_planning::search::{anytime_weighted_astar, SearchSpace};
+///
+/// struct Line;
+/// impl SearchSpace for Line {
+///     type Node = i64;
+///     fn successors(&self, n: i64, out: &mut Vec<(i64, f64)>) {
+///         out.push((n + 1, 1.0));
+///         out.push((n - 1, 1.0));
+///     }
+///     fn heuristic(&self, n: i64) -> f64 { (9 - n).abs() as f64 }
+///     fn is_goal(&self, n: i64) -> bool { n == 9 }
+/// }
+/// let solutions = anytime_weighted_astar(&Line, 0, 3.0, 1.0, 1.0);
+/// assert_eq!(solutions.last().unwrap().weight, 1.0);
+/// assert_eq!(solutions.last().unwrap().result.cost, 9.0);
+/// ```
+pub fn anytime_weighted_astar<S: SearchSpace>(
+    space: &S,
+    start: S::Node,
+    initial_weight: f64,
+    step: f64,
+    final_weight: f64,
+) -> Vec<AnytimeSolution<S::Node>> {
+    assert!(initial_weight >= 1.0, "initial weight must be >= 1");
+    assert!(final_weight >= 1.0, "final weight must be >= 1");
+    assert!(step > 0.0, "weight step must be positive");
+
+    let mut solutions: Vec<AnytimeSolution<S::Node>> = Vec::new();
+    let mut weight = initial_weight.max(final_weight);
+    loop {
+        if let Some(result) = weighted_astar(space, start, weight) {
+            match solutions.last_mut() {
+                Some(prev) if result.cost >= prev.result.cost - 1e-12 => {
+                    // No cheaper path, but completing the tighter search
+                    // still tightens the bound on the best-so-far (the
+                    // ARA* bound-update rule).
+                    prev.weight = prev.weight.min(weight);
+                }
+                _ => solutions.push(AnytimeSolution { weight, result }),
+            }
+        } else if solutions.is_empty() {
+            return solutions; // Unreachable at the loosest bound: give up.
+        }
+        if weight <= final_weight {
+            return solutions;
+        }
+        weight = (weight - step).max(final_weight);
+    }
+}
+
+/// Multi-source Dijkstra over an explicit successor function, returning the
+/// cost-to-come for every reached node.
+///
+/// This is the *backward Dijkstra* heuristic precomputation of `06.movtar`:
+/// seeded from the goal set, it labels the whole reachable space with exact
+/// goal distances in one sweep.
+pub fn dijkstra_flood<N, F>(sources: &[N], mut successors: F) -> HashMap<N, f64>
+where
+    N: Copy + Eq + Hash,
+    F: FnMut(N, &mut Vec<(N, f64)>),
+{
+    let mut dist: HashMap<N, f64> = HashMap::new();
+    let mut open = BinaryHeap::new();
+    for &s in sources {
+        dist.insert(s, 0.0);
+        open.push(OpenEntry {
+            f: 0.0,
+            g: 0.0,
+            node: s,
+        });
+    }
+    let mut buf = Vec::new();
+    while let Some(OpenEntry { g, node, .. }) = open.pop() {
+        if let Some(&d) = dist.get(&node) {
+            if g > d {
+                continue;
+            }
+        }
+        buf.clear();
+        successors(node, &mut buf);
+        for &(next, cost) in &buf {
+            let tentative = g + cost;
+            let improved = dist.get(&next).is_none_or(|&d| tentative < d);
+            if improved {
+                dist.insert(next, tentative);
+                open.push(OpenEntry {
+                    f: tentative,
+                    g: tentative,
+                    node: next,
+                });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small weighted digraph fixed in an adjacency list.
+    struct Fixture {
+        adj: Vec<Vec<(usize, f64)>>,
+        goal: usize,
+        h: Vec<f64>,
+    }
+
+    impl SearchSpace for Fixture {
+        type Node = usize;
+        fn successors(&self, n: usize, out: &mut Vec<(usize, f64)>) {
+            out.extend_from_slice(&self.adj[n]);
+        }
+        fn heuristic(&self, n: usize) -> f64 {
+            self.h[n]
+        }
+        fn is_goal(&self, n: usize) -> bool {
+            n == self.goal
+        }
+    }
+
+    fn diamond() -> Fixture {
+        // 0 → 1 (1), 0 → 2 (4), 1 → 3 (5), 2 → 3 (1): best 0-2-3 = 5.
+        Fixture {
+            adj: vec![
+                vec![(1, 1.0), (2, 4.0)],
+                vec![(3, 5.0)],
+                vec![(3, 1.0)],
+                vec![],
+            ],
+            goal: 3,
+            h: vec![0.0; 4],
+        }
+    }
+
+    #[test]
+    fn dijkstra_finds_cheapest_path() {
+        let result = dijkstra(&diamond(), 0).unwrap();
+        assert_eq!(result.cost, 5.0);
+        assert_eq!(result.path, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn astar_with_admissible_heuristic_matches_dijkstra() {
+        let mut fx = diamond();
+        fx.h = vec![4.0, 5.0, 1.0, 0.0]; // admissible
+        let a = astar(&fx, 0).unwrap();
+        let d = dijkstra(&fx, 0).unwrap();
+        assert_eq!(a.cost, d.cost);
+        assert!(a.expanded <= d.expanded);
+    }
+
+    #[test]
+    fn weighted_astar_bounded_suboptimality() {
+        // Build a grid-ish chain with a tempting greedy detour.
+        struct Grid;
+        impl SearchSpace for Grid {
+            type Node = (i64, i64);
+            fn successors(&self, (x, y): (i64, i64), out: &mut Vec<((i64, i64), f64)>) {
+                for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+                    let n = (x + dx, y + dy);
+                    if (0..=20).contains(&n.0) && (0..=20).contains(&n.1) {
+                        out.push((n, 1.0));
+                    }
+                }
+            }
+            fn heuristic(&self, (x, y): (i64, i64)) -> f64 {
+                ((20 - x).abs() + (10 - y).abs()) as f64
+            }
+            fn is_goal(&self, n: (i64, i64)) -> bool {
+                n == (20, 10)
+            }
+        }
+        let optimal = astar(&Grid, (0, 0)).unwrap();
+        let eps = 3.0;
+        let fast = weighted_astar(&Grid, (0, 0), eps).unwrap();
+        assert!(fast.cost <= eps * optimal.cost + 1e-9);
+        assert!(fast.expanded <= optimal.expanded);
+    }
+
+    #[test]
+    fn unreachable_goal_returns_none() {
+        let fx = Fixture {
+            adj: vec![vec![], vec![]],
+            goal: 1,
+            h: vec![0.0, 0.0],
+        };
+        assert!(astar(&fx, 0).is_none());
+    }
+
+    #[test]
+    fn start_is_goal() {
+        let fx = Fixture {
+            adj: vec![vec![]],
+            goal: 0,
+            h: vec![0.0],
+        };
+        let r = astar(&fx, 0).unwrap();
+        assert_eq!(r.cost, 0.0);
+        assert_eq!(r.path, vec![0]);
+        assert_eq!(r.expanded, 1);
+    }
+
+    #[test]
+    fn traced_expansion_order_starts_at_start() {
+        let mut order = Vec::new();
+        weighted_astar_traced(&diamond(), 0, 1.0, &mut |n| order.push(*n));
+        assert_eq!(order[0], 0);
+        assert!(order.contains(&3));
+    }
+
+    #[test]
+    fn counts_are_plausible() {
+        let r = dijkstra(&diamond(), 0).unwrap();
+        assert!(r.expanded >= 3);
+        assert!(r.generated >= r.expanded - 1);
+    }
+
+    #[test]
+    fn dijkstra_flood_multi_source() {
+        // Line graph 0-1-2-3-4 with unit edges, sources {0, 4}.
+        let dist = dijkstra_flood(&[0i64, 4], |n, out| {
+            for next in [n - 1, n + 1] {
+                if (0..=4).contains(&next) {
+                    out.push((next, 1.0));
+                }
+            }
+        });
+        assert_eq!(dist[&0], 0.0);
+        assert_eq!(dist[&2], 2.0);
+        assert_eq!(dist[&3], 1.0);
+        assert_eq!(dist.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = weighted_astar(&diamond(), 0, -1.0);
+    }
+
+    #[test]
+    fn anytime_converges_to_optimal() {
+        // Grid where greedy WA* takes a worse corridor first.
+        struct Trap;
+        impl SearchSpace for Trap {
+            type Node = (i64, i64);
+            fn successors(&self, (x, y): (i64, i64), out: &mut Vec<((i64, i64), f64)>) {
+                for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+                    let n = (x + dx, y + dy);
+                    // A wall at x=5 except a gap far from the goal line.
+                    let blocked = n.0 == 5 && n.1 != 8;
+                    if (0..=10).contains(&n.0) && (0..=10).contains(&n.1) && !blocked {
+                        out.push((n, 1.0));
+                    }
+                }
+            }
+            fn heuristic(&self, (x, y): (i64, i64)) -> f64 {
+                ((10 - x).abs() + y.abs()) as f64
+            }
+            fn is_goal(&self, n: (i64, i64)) -> bool {
+                n == (10, 0)
+            }
+        }
+        let solutions = anytime_weighted_astar(&Trap, (0, 0), 5.0, 2.0, 1.0);
+        assert!(!solutions.is_empty());
+        // Costs strictly improve, final equals optimal A*.
+        for w in solutions.windows(2) {
+            assert!(w[1].result.cost < w[0].result.cost);
+        }
+        let optimal = astar(&Trap, (0, 0)).unwrap();
+        let last = solutions.last().unwrap();
+        assert_eq!(last.weight, 1.0);
+        assert_eq!(last.result.cost, optimal.cost);
+        // Every intermediate respects its bound.
+        for s in &solutions {
+            assert!(s.result.cost <= s.weight * optimal.cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn anytime_unreachable_is_empty() {
+        let fx = Fixture {
+            adj: vec![vec![], vec![]],
+            goal: 1,
+            h: vec![0.0, 0.0],
+        };
+        assert!(anytime_weighted_astar(&fx, 0, 3.0, 1.0, 1.0).is_empty());
+    }
+}

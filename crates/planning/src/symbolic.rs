@@ -1,0 +1,772 @@
+//! `11.sym-blkw` / `12.sym-fext` — STRIPS-style symbolic planning.
+//!
+//! "In symbolic planning, the problem is represented using high-level,
+//! human-readable symbols. ... The problem is ultimately represented as a
+//! graph search and the planner computes a sequence of actions to reach
+//! the goal state from the initial state." The kernel's two dominant
+//! operations are graph search over the state space and *string
+//! manipulation inside nodes* — facts here are literal strings
+//! (`"On(A,B)"`), matched and rewritten on every expansion, exactly the
+//! workload the paper says string-matching accelerators could absorb.
+//!
+//! Two domains reproduce the paper's:
+//! [`blocks_world`] (Fig. 13) and [`firefight`] (Fig. 14, the MIT summer-
+//! school challenge). The firefighting domain "has more valid actions"
+//! and therefore a higher branching factor — the paper's ~3.2× parallelism
+//! observation — which [`SymbolicPlanner`] exposes via per-plan branching
+//! statistics and a crossbeam-parallel expansion helper.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use rtr_harness::Profiler;
+
+use crate::search::{weighted_astar, SearchSpace};
+
+/// A ground fact, e.g. `On(A,B)`.
+pub type Fact = String;
+
+/// A planning state: the set of facts that hold.
+pub type State = BTreeSet<Fact>;
+
+/// A lifted action schema with `?0`, `?1`, … parameter placeholders.
+#[derive(Debug, Clone)]
+pub struct ActionSchema {
+    /// Schema name, e.g. `Move`.
+    pub name: &'static str,
+    /// Number of parameters.
+    pub params: usize,
+    /// Require pairwise-distinct parameter bindings.
+    pub distinct: bool,
+    /// Positive preconditions (patterns).
+    pub pre: Vec<String>,
+    /// Negative preconditions (patterns that must NOT hold).
+    pub npre: Vec<String>,
+    /// Added facts (patterns).
+    pub add: Vec<String>,
+    /// Deleted facts (patterns).
+    pub del: Vec<String>,
+}
+
+/// A fully instantiated action.
+#[derive(Debug, Clone)]
+pub struct GroundAction {
+    /// Human-readable instance name, e.g. `Move(A,B,Table)`.
+    pub name: String,
+    pre: Vec<Fact>,
+    npre: Vec<Fact>,
+    add: Vec<Fact>,
+    del: Vec<Fact>,
+}
+
+impl GroundAction {
+    /// Returns `true` when the action is applicable in `state`.
+    pub fn applicable(&self, state: &State) -> bool {
+        self.pre.iter().all(|f| state.contains(f)) && self.npre.iter().all(|f| !state.contains(f))
+    }
+
+    /// Applies the action (preconditions assumed to hold).
+    pub fn apply(&self, state: &State) -> State {
+        let mut next = state.clone();
+        for f in &self.del {
+            next.remove(f);
+        }
+        for f in &self.add {
+            next.insert(f.clone());
+        }
+        next
+    }
+}
+
+/// A symbolic planning problem: symbols, schemas, initial state and goal.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Object symbols (e.g. block names, locations).
+    pub symbols: Vec<String>,
+    /// Action schemas.
+    pub schemas: Vec<ActionSchema>,
+    /// Facts holding initially.
+    pub init: Vec<Fact>,
+    /// Facts required in the goal state.
+    pub goal: Vec<Fact>,
+}
+
+impl Domain {
+    /// Grounds every schema over all symbol bindings — the string-heavy
+    /// instantiation step.
+    pub fn ground(&self) -> Vec<GroundAction> {
+        let mut out = Vec::new();
+        for schema in &self.schemas {
+            let mut binding = vec![0usize; schema.params];
+            self.ground_rec(schema, 0, &mut binding, &mut out);
+        }
+        out
+    }
+
+    fn ground_rec(
+        &self,
+        schema: &ActionSchema,
+        depth: usize,
+        binding: &mut Vec<usize>,
+        out: &mut Vec<GroundAction>,
+    ) {
+        if depth == schema.params {
+            if schema.distinct {
+                for i in 0..binding.len() {
+                    for j in (i + 1)..binding.len() {
+                        if binding[i] == binding[j] {
+                            return;
+                        }
+                    }
+                }
+            }
+            let subst = |pattern: &str| -> Fact {
+                let mut fact = pattern.to_owned();
+                // Substitute longest placeholders first so ?1 does not
+                // clobber ?10.
+                for p in (0..schema.params).rev() {
+                    fact = fact.replace(&format!("?{p}"), &self.symbols[binding[p]]);
+                }
+                fact
+            };
+            let args: Vec<&str> = binding.iter().map(|&i| self.symbols[i].as_str()).collect();
+            out.push(GroundAction {
+                name: format!("{}({})", schema.name, args.join(",")),
+                pre: schema.pre.iter().map(|p| subst(p)).collect(),
+                npre: schema.npre.iter().map(|p| subst(p)).collect(),
+                add: schema.add.iter().map(|p| subst(p)).collect(),
+                del: schema.del.iter().map(|p| subst(p)).collect(),
+            });
+            return;
+        }
+        for s in 0..self.symbols.len() {
+            binding[depth] = s;
+            self.ground_rec(schema, depth + 1, binding, out);
+        }
+    }
+
+    /// The initial state as a set.
+    pub fn initial_state(&self) -> State {
+        self.init.iter().cloned().collect()
+    }
+
+    /// Returns `true` when `state` satisfies the goal.
+    pub fn is_goal(&self, state: &State) -> bool {
+        self.goal.iter().all(|f| state.contains(f))
+    }
+
+    /// Checks that `plan` is executable from the initial state and reaches
+    /// the goal (used by tests and the harness).
+    pub fn validate_plan(&self, plan: &[String]) -> bool {
+        let actions = self.ground();
+        let by_name: HashMap<&str, &GroundAction> =
+            actions.iter().map(|a| (a.name.as_str(), a)).collect();
+        let mut state = self.initial_state();
+        for step in plan {
+            let Some(action) = by_name.get(step.as_str()) else {
+                return false;
+            };
+            if !action.applicable(&state) {
+                return false;
+            }
+            state = action.apply(&state);
+        }
+        self.is_goal(&state)
+    }
+}
+
+/// A solved plan with its search statistics.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Action-instance names in execution order.
+    pub actions: Vec<String>,
+    /// States expanded by the search.
+    pub expanded: u64,
+    /// Average number of applicable actions per expanded state — the
+    /// branching factor behind the paper's `sym-fext` parallelism claim.
+    pub mean_branching: f64,
+    /// Ground actions in the domain.
+    pub ground_actions: usize,
+}
+
+/// State-interning search space: states are arbitrary fact sets, but the
+/// search engine requires `Copy` nodes, so states live in an arena and the
+/// engine sees `usize` ids.
+struct SymbolicSpace<'a> {
+    actions: &'a [GroundAction],
+    goal: &'a [Fact],
+    arena: RefCell<Vec<Rc<State>>>,
+    ids: RefCell<HashMap<Rc<State>, usize>>,
+    string_time: Cell<Duration>,
+    expansions: Cell<u64>,
+    applicable_total: Cell<u64>,
+}
+
+impl<'a> SymbolicSpace<'a> {
+    fn new(actions: &'a [GroundAction], goal: &'a [Fact], init: State) -> Self {
+        let init = Rc::new(init);
+        let space = SymbolicSpace {
+            actions,
+            goal,
+            arena: RefCell::new(vec![init.clone()]),
+            ids: RefCell::new(HashMap::new()),
+            string_time: Cell::new(Duration::ZERO),
+            expansions: Cell::new(0),
+            applicable_total: Cell::new(0),
+        };
+        space.ids.borrow_mut().insert(init, 0);
+        space
+    }
+
+    fn intern(&self, state: State) -> usize {
+        let state = Rc::new(state);
+        if let Some(&id) = self.ids.borrow().get(&state) {
+            return id;
+        }
+        let mut arena = self.arena.borrow_mut();
+        let id = arena.len();
+        arena.push(state.clone());
+        self.ids.borrow_mut().insert(state, id);
+        id
+    }
+
+    fn state(&self, id: usize) -> Rc<State> {
+        self.arena.borrow()[id].clone()
+    }
+}
+
+impl SearchSpace for SymbolicSpace<'_> {
+    type Node = usize;
+
+    fn successors(&self, node: usize, out: &mut Vec<(usize, f64)>) {
+        let state = self.state(node);
+        self.expansions.set(self.expansions.get() + 1);
+        let start = Instant::now();
+        let mut applicable = 0u64;
+        for action in self.actions {
+            if action.applicable(&state) {
+                applicable += 1;
+                let next = action.apply(&state);
+                out.push((self.intern(next), 1.0));
+            }
+        }
+        self.string_time
+            .set(self.string_time.get() + start.elapsed());
+        self.applicable_total
+            .set(self.applicable_total.get() + applicable);
+    }
+
+    fn heuristic(&self, node: usize) -> f64 {
+        let state = self.state(node);
+        self.goal.iter().filter(|f| !state.contains(*f)).count() as f64
+    }
+
+    fn is_goal(&self, node: usize) -> bool {
+        let state = self.state(node);
+        self.goal.iter().all(|f| state.contains(f))
+    }
+}
+
+/// The symbolic planning kernel.
+///
+/// # Example
+///
+/// ```
+/// use rtr_planning::{blocks_world, SymbolicPlanner};
+/// use rtr_harness::Profiler;
+///
+/// let domain = blocks_world(3);
+/// let mut profiler = Profiler::new();
+/// let plan = SymbolicPlanner::new(1.0).solve(&domain, &mut profiler).expect("solvable");
+/// assert!(domain.validate_plan(&plan.actions));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymbolicPlanner {
+    /// Goal-count heuristic weight (1.0 ≈ A*; larger is greedier).
+    weight: f64,
+}
+
+impl SymbolicPlanner {
+    /// Creates a planner with the given heuristic weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative.
+    pub fn new(weight: f64) -> Self {
+        assert!(weight >= 0.0, "weight must be non-negative");
+        SymbolicPlanner { weight }
+    }
+
+    /// Solves `domain`, returning the plan, or `None` when no plan exists.
+    ///
+    /// Profiler regions: `grounding` (schema instantiation),
+    /// `graph_search` (state-space search minus fact matching) and
+    /// `string_ops` (precondition matching + effect rewriting).
+    pub fn solve(&self, domain: &Domain, profiler: &mut Profiler) -> Option<Plan> {
+        let actions = profiler.time("grounding", || domain.ground());
+        let space = SymbolicSpace::new(&actions, &domain.goal, domain.initial_state());
+
+        let wall = Instant::now();
+        let result = weighted_astar(&space, 0usize, self.weight);
+        let total = wall.elapsed();
+        let strings = space.string_time.get();
+        profiler.add("string_ops", strings);
+        profiler.add("graph_search", total.saturating_sub(strings));
+
+        let result = result?;
+        // Recover action labels by re-matching consecutive states.
+        let mut plan_actions = Vec::with_capacity(result.path.len().saturating_sub(1));
+        for w in result.path.windows(2) {
+            let from = space.state(w[0]);
+            let to = space.state(w[1]);
+            let action = actions
+                .iter()
+                .find(|a| a.applicable(&from) && a.apply(&from) == *to)
+                .expect("edge action must exist");
+            plan_actions.push(action.name.clone());
+        }
+
+        let expansions = space.expansions.get().max(1);
+        Some(Plan {
+            actions: plan_actions,
+            expanded: result.expanded,
+            mean_branching: space.applicable_total.get() as f64 / expansions as f64,
+            ground_actions: actions.len(),
+        })
+    }
+}
+
+/// Evaluates the applicable-action sets of `states` in parallel with
+/// `threads` crossbeam threads.
+///
+/// "Every action translates into an edge in the graph representation of
+/// the problem, and the neighbors of every node at every step can be
+/// evaluated in parallel" — this helper is the kernel's parallel neighbor
+/// expansion, used by the `sym-fext` parallelism experiment.
+pub fn expand_states_parallel(
+    actions: &[GroundAction],
+    states: &[State],
+    threads: usize,
+) -> Vec<Vec<usize>> {
+    assert!(threads > 0, "need at least one thread");
+    let mut results: Vec<Vec<usize>> = vec![Vec::new(); states.len()];
+    let chunk = states.len().div_ceil(threads);
+    if chunk == 0 {
+        return results;
+    }
+    crossbeam::thread::scope(|scope| {
+        for (state_chunk, result_chunk) in states.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (state, result) in state_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *result = actions
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.applicable(state))
+                        .map(|(i, _)| i)
+                        .collect();
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+}
+
+/// The paper's Fig. 13 blocks-world domain with `n` blocks.
+///
+/// Initially every block sits on the table; the goal is the single stack
+/// `B1` on `B2` on … on `Bn` (top to bottom).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn blocks_world(n: usize) -> Domain {
+    assert!(n > 0, "need at least one block");
+    let mut symbols: Vec<String> = (1..=n).map(|i| format!("B{i}")).collect();
+    symbols.push("Table".to_owned());
+
+    let mut init: Vec<Fact> = Vec::new();
+    for b in 0..n {
+        init.push(format!("On(B{},Table)", b + 1));
+        init.push(format!("Clear(B{})", b + 1));
+        init.push(format!("Block(B{})", b + 1));
+    }
+
+    // Goal stack: B1 on B2 on ... on Bn on Table.
+    let mut goal: Vec<Fact> = (1..n).map(|i| format!("On(B{},B{})", i, i + 1)).collect();
+    goal.push(format!("On(B{n},Table)"));
+
+    let schemas = vec![
+        // Move a clear block b from x onto a clear block y.
+        ActionSchema {
+            name: "Move",
+            params: 3,
+            distinct: true,
+            pre: vec![
+                "On(?0,?1)".into(),
+                "Clear(?0)".into(),
+                "Clear(?2)".into(),
+                "Block(?0)".into(),
+                "Block(?2)".into(),
+            ],
+            npre: vec![],
+            add: vec!["On(?0,?2)".into(), "Clear(?1)".into()],
+            del: vec!["On(?0,?1)".into(), "Clear(?2)".into()],
+        },
+        // Move a clear block b from block x onto the table.
+        ActionSchema {
+            name: "MoveToTable",
+            params: 2,
+            distinct: true,
+            pre: vec![
+                "On(?0,?1)".into(),
+                "Clear(?0)".into(),
+                "Block(?0)".into(),
+                "Block(?1)".into(),
+            ],
+            npre: vec![],
+            add: vec!["On(?0,Table)".into(), "Clear(?1)".into()],
+            del: vec!["On(?0,?1)".into()],
+        },
+    ];
+
+    Domain {
+        symbols,
+        schemas,
+        init,
+        goal,
+    }
+}
+
+/// The paper's Fig. 14 firefighting domain: a rover carries a quadcopter
+/// between locations; the quad refills its tank at the water source `W`,
+/// flies over the fire `F`, and must pour water three times
+/// (`ExtThree(F)`), recharging between flights.
+pub fn firefight() -> Domain {
+    let symbols: Vec<String> = ["A", "B", "C", "W", "F"]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+
+    let init: Vec<Fact> = vec![
+        "Loc(A)".into(),
+        "Loc(B)".into(),
+        "Loc(C)".into(),
+        "Loc(W)".into(),
+        "Loc(F)".into(),
+        "At(R,A)".into(),
+        "OnRob(Q)".into(),
+        "BatFull(Q)".into(),
+        "EmptyTank(Q)".into(),
+        "Poured0(F)".into(),
+    ];
+    let goal: Vec<Fact> = vec!["ExtThree(F)".into()];
+
+    let mut schemas = vec![
+        // The rover drives between locations (carrying the quad if landed).
+        ActionSchema {
+            name: "MoveToLoc",
+            params: 2,
+            distinct: true,
+            pre: vec!["Loc(?0)".into(), "Loc(?1)".into(), "At(R,?0)".into()],
+            npre: vec![],
+            add: vec!["At(R,?1)".into()],
+            del: vec!["At(R,?0)".into()],
+        },
+        // Take off from the rover (consumes the battery charge).
+        ActionSchema {
+            name: "TakeOff",
+            params: 1,
+            distinct: false,
+            pre: vec![
+                "Loc(?0)".into(),
+                "At(R,?0)".into(),
+                "OnRob(Q)".into(),
+                "BatFull(Q)".into(),
+            ],
+            npre: vec![],
+            add: vec!["InAir(Q)".into(), "At(Q,?0)".into(), "BatLow(Q)".into()],
+            del: vec!["OnRob(Q)".into(), "BatFull(Q)".into()],
+        },
+        // Fly between locations.
+        ActionSchema {
+            name: "FlyTo",
+            params: 2,
+            distinct: true,
+            pre: vec![
+                "Loc(?0)".into(),
+                "Loc(?1)".into(),
+                "InAir(Q)".into(),
+                "At(Q,?0)".into(),
+            ],
+            npre: vec![],
+            add: vec!["At(Q,?1)".into()],
+            del: vec!["At(Q,?0)".into()],
+        },
+        // Land on the rover (must be co-located).
+        ActionSchema {
+            name: "Land",
+            params: 1,
+            distinct: false,
+            pre: vec![
+                "Loc(?0)".into(),
+                "At(R,?0)".into(),
+                "At(Q,?0)".into(),
+                "InAir(Q)".into(),
+            ],
+            npre: vec![],
+            add: vec!["OnRob(Q)".into()],
+            del: vec!["InAir(Q)".into(), "At(Q,?0)".into()],
+        },
+        // Recharge while docked.
+        ActionSchema {
+            name: "Charge",
+            params: 0,
+            distinct: false,
+            pre: vec!["OnRob(Q)".into(), "BatLow(Q)".into()],
+            npre: vec![],
+            add: vec!["BatFull(Q)".into()],
+            del: vec!["BatLow(Q)".into()],
+        },
+        // Fill the tank while docked at the water source (Fig. 14's
+        // FillWater: Quad(x), OnRob(x), EmptyTank(x), At(R,W)).
+        ActionSchema {
+            name: "FillWater",
+            params: 0,
+            distinct: false,
+            pre: vec!["OnRob(Q)".into(), "EmptyTank(Q)".into(), "At(R,W)".into()],
+            npre: vec![],
+            add: vec!["FullTank(Q)".into()],
+            del: vec!["EmptyTank(Q)".into()],
+        },
+    ];
+
+    // Pour actions advance the extinguish counter.
+    for (from, to) in [
+        ("Poured0(F)", "Poured1(F)"),
+        ("Poured1(F)", "Poured2(F)"),
+        ("Poured2(F)", "ExtThree(F)"),
+    ] {
+        schemas.push(ActionSchema {
+            name: match from {
+                "Poured0(F)" => "PourWater1",
+                "Poured1(F)" => "PourWater2",
+                _ => "PourWater3",
+            },
+            params: 0,
+            distinct: false,
+            pre: vec![
+                "InAir(Q)".into(),
+                "At(Q,F)".into(),
+                "FullTank(Q)".into(),
+                from.into(),
+            ],
+            npre: vec![],
+            add: vec![to.into(), "EmptyTank(Q)".into()],
+            del: vec![from.into(), "FullTank(Q)".into()],
+        });
+    }
+
+    Domain {
+        symbols,
+        schemas,
+        init,
+        goal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_block_world_matches_paper_sketch() {
+        let domain = blocks_world(3);
+        let mut profiler = Profiler::new();
+        let plan = SymbolicPlanner::new(1.0)
+            .solve(&domain, &mut profiler)
+            .unwrap();
+        assert!(domain.validate_plan(&plan.actions));
+        // Stacking three table blocks takes exactly two moves.
+        assert_eq!(plan.actions.len(), 2);
+    }
+
+    #[test]
+    fn five_block_world_solvable() {
+        let domain = blocks_world(5);
+        let mut profiler = Profiler::new();
+        let plan = SymbolicPlanner::new(1.5)
+            .solve(&domain, &mut profiler)
+            .unwrap();
+        assert!(domain.validate_plan(&plan.actions));
+        assert!(plan.actions.len() >= 4);
+    }
+
+    #[test]
+    fn firefight_plan_pours_three_times() {
+        let domain = firefight();
+        let mut profiler = Profiler::new();
+        let plan = SymbolicPlanner::new(1.0)
+            .solve(&domain, &mut profiler)
+            .unwrap();
+        assert!(domain.validate_plan(&plan.actions));
+        let pours = plan
+            .actions
+            .iter()
+            .filter(|a| a.starts_with("PourWater"))
+            .count();
+        assert_eq!(pours, 3);
+        // Refills and recharges are forced between pours.
+        assert!(
+            plan.actions
+                .iter()
+                .filter(|a| a.starts_with("FillWater"))
+                .count()
+                >= 3
+        );
+        assert!(
+            plan.actions
+                .iter()
+                .filter(|a| a.starts_with("Charge"))
+                .count()
+                >= 2
+        );
+    }
+
+    #[test]
+    fn fext_branches_wider_than_blkw() {
+        // The paper's §V.12 finding: sym-fext has ~3.2x the parallelism
+        // because it has more applicable actions per state.
+        let mut profiler = Profiler::new();
+        let blkw = SymbolicPlanner::new(1.0)
+            .solve(&blocks_world(3), &mut profiler)
+            .unwrap();
+        let fext = SymbolicPlanner::new(1.0)
+            .solve(&firefight(), &mut profiler)
+            .unwrap();
+        assert!(
+            fext.mean_branching > blkw.mean_branching,
+            "fext {} vs blkw {}",
+            fext.mean_branching,
+            blkw.mean_branching
+        );
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        let domain = blocks_world(3);
+        assert!(!domain.validate_plan(&["Move(B1,Table,B9)".to_owned()]));
+        assert!(!domain.validate_plan(&["Move(B1,B2,B3)".to_owned()])); // inapplicable
+        assert!(!domain.validate_plan(&[])); // goal not satisfied initially
+    }
+
+    #[test]
+    fn unsolvable_domain_returns_none() {
+        let mut domain = blocks_world(2);
+        domain.goal.push("On(B1,B9)".to_owned()); // impossible fact
+        let mut profiler = Profiler::new();
+        assert!(SymbolicPlanner::new(1.0)
+            .solve(&domain, &mut profiler)
+            .is_none());
+    }
+
+    #[test]
+    fn grounding_respects_distinctness() {
+        let domain = blocks_world(2);
+        let actions = domain.ground();
+        assert!(actions.iter().all(|a| {
+            // No action moves a block onto itself.
+            !a.name.contains("(B1,B1") && !a.name.contains(",B1,B1")
+        }));
+    }
+
+    #[test]
+    fn parallel_expansion_matches_serial() {
+        let domain = firefight();
+        let actions = domain.ground();
+        // Collect a few reachable states.
+        let mut states = vec![domain.initial_state()];
+        for _ in 0..3 {
+            let last = states.last().unwrap().clone();
+            if let Some(a) = actions.iter().find(|a| a.applicable(&last)) {
+                states.push(a.apply(&last));
+            }
+        }
+        let serial = expand_states_parallel(&actions, &states, 1);
+        let parallel = expand_states_parallel(&actions, &states, 4);
+        assert_eq!(serial, parallel);
+        assert!(serial.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn profiler_regions_recorded() {
+        let domain = blocks_world(4);
+        let mut profiler = Profiler::new();
+        SymbolicPlanner::new(1.0)
+            .solve(&domain, &mut profiler)
+            .unwrap();
+        assert!(profiler.region_calls("grounding") == 1);
+        assert!(profiler.region_total("string_ops") > Duration::ZERO);
+    }
+
+    #[test]
+    fn negative_preconditions_gate_actions() {
+        // A domain where an action is blocked while a fact holds.
+        let domain = Domain {
+            symbols: vec!["D".into()],
+            schemas: vec![
+                ActionSchema {
+                    name: "Open",
+                    params: 1,
+                    distinct: false,
+                    pre: vec!["Door(?0)".into()],
+                    npre: vec!["Locked(?0)".into()],
+                    add: vec!["Open(?0)".into()],
+                    del: vec![],
+                },
+                ActionSchema {
+                    name: "Unlock",
+                    params: 1,
+                    distinct: false,
+                    pre: vec!["Door(?0)".into(), "Locked(?0)".into()],
+                    npre: vec![],
+                    add: vec![],
+                    del: vec!["Locked(?0)".into()],
+                },
+            ],
+            init: vec!["Door(D)".into(), "Locked(D)".into()],
+            goal: vec!["Open(D)".into()],
+        };
+        let mut profiler = Profiler::new();
+        let plan = SymbolicPlanner::new(1.0)
+            .solve(&domain, &mut profiler)
+            .unwrap();
+        // Must unlock before opening.
+        assert_eq!(
+            plan.actions,
+            vec!["Unlock(D)".to_owned(), "Open(D)".to_owned()]
+        );
+        assert!(domain.validate_plan(&plan.actions));
+    }
+
+    #[test]
+    fn ground_action_application_is_pure() {
+        let domain = blocks_world(3);
+        let actions = domain.ground();
+        let state = domain.initial_state();
+        let applicable: Vec<_> = actions.iter().filter(|a| a.applicable(&state)).collect();
+        assert!(!applicable.is_empty());
+        let snapshot = state.clone();
+        let _ = applicable[0].apply(&state);
+        assert_eq!(state, snapshot, "apply must not mutate its input");
+    }
+
+    #[test]
+    fn blocks_world_goal_is_a_tower() {
+        let domain = blocks_world(4);
+        assert!(domain.goal.contains(&"On(B1,B2)".to_owned()));
+        assert!(domain.goal.contains(&"On(B4,Table)".to_owned()));
+    }
+}

@@ -1,0 +1,198 @@
+//! Synthetic indoor scene scans for ICP (`03.srec`).
+//!
+//! Stands in for the ICL-NUIM `living_room` RGB-D dataset: a procedurally
+//! furnished room is sampled into a dense point cloud, and two "camera
+//! scans" of it are produced by transforming and subsampling the cloud with
+//! noise. ICP's job — reconciling two clouds of the same scene taken from
+//! different camera poses — is exercised identically.
+
+use rtr_geom::{Point3, PointCloud, RigidTransform};
+
+use crate::SimRng;
+
+/// Generates a dense point cloud of a furnished room.
+///
+/// The room has four walls, a floor, a ceiling, and a handful of box-shaped
+/// furniture items; `points_target` controls the approximate cloud size
+/// (the paper's living-room clouds are on the order of 10⁵ points).
+///
+/// # Example
+///
+/// ```
+/// use rtr_sim::{scene, SimRng};
+///
+/// let mut rng = SimRng::seed_from(5);
+/// let cloud = scene::living_room(20_000, &mut rng);
+/// assert!(cloud.len() >= 18_000);
+/// ```
+pub fn living_room(points_target: usize, rng: &mut SimRng) -> PointCloud {
+    // Room extents: 5 m × 4 m × 2.5 m.
+    let (w, d, h) = (5.0, 4.0, 2.5);
+
+    // Surfaces as (origin, edge_u, edge_v) patches.
+    let mut patches: Vec<(Point3, Point3, Point3)> = vec![
+        // Floor and ceiling.
+        (
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(w, 0.0, 0.0),
+            Point3::new(0.0, d, 0.0),
+        ),
+        (
+            Point3::new(0.0, 0.0, h),
+            Point3::new(w, 0.0, 0.0),
+            Point3::new(0.0, d, 0.0),
+        ),
+        // Walls.
+        (
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(w, 0.0, 0.0),
+            Point3::new(0.0, 0.0, h),
+        ),
+        (
+            Point3::new(0.0, d, 0.0),
+            Point3::new(w, 0.0, 0.0),
+            Point3::new(0.0, 0.0, h),
+        ),
+        (
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(0.0, d, 0.0),
+            Point3::new(0.0, 0.0, h),
+        ),
+        (
+            Point3::new(w, 0.0, 0.0),
+            Point3::new(0.0, d, 0.0),
+            Point3::new(0.0, 0.0, h),
+        ),
+    ];
+
+    // Furniture: a sofa, a table and a cabinet as boxes (top + sides).
+    let boxes = [
+        (Point3::new(0.5, 0.4, 0.0), Point3::new(2.0, 1.0, 0.8)), // sofa
+        (Point3::new(2.8, 1.5, 0.0), Point3::new(1.2, 0.8, 0.5)), // table
+        (Point3::new(4.3, 0.2, 0.0), Point3::new(0.6, 0.5, 1.8)), // cabinet
+    ];
+    for (origin, size) in boxes {
+        let (bw, bd, bh) = (size.x, size.y, size.z);
+        patches.push((
+            Point3::new(origin.x, origin.y, origin.z + bh),
+            Point3::new(bw, 0.0, 0.0),
+            Point3::new(0.0, bd, 0.0),
+        ));
+        patches.push((origin, Point3::new(bw, 0.0, 0.0), Point3::new(0.0, 0.0, bh)));
+        patches.push((
+            Point3::new(origin.x, origin.y + bd, origin.z),
+            Point3::new(bw, 0.0, 0.0),
+            Point3::new(0.0, 0.0, bh),
+        ));
+        patches.push((origin, Point3::new(0.0, bd, 0.0), Point3::new(0.0, 0.0, bh)));
+        patches.push((
+            Point3::new(origin.x + bw, origin.y, origin.z),
+            Point3::new(0.0, bd, 0.0),
+            Point3::new(0.0, 0.0, bh),
+        ));
+    }
+
+    // Distribute samples across patches proportionally to area.
+    let areas: Vec<f64> = patches.iter().map(|(_, u, v)| u.cross(*v).norm()).collect();
+    let total_area: f64 = areas.iter().sum();
+    let mut cloud = PointCloud::new();
+    for ((origin, u, v), area) in patches.iter().zip(areas.iter()) {
+        let n = ((points_target as f64) * area / total_area).round() as usize;
+        for _ in 0..n {
+            let a = rng.uniform(0.0, 1.0);
+            let b = rng.uniform(0.0, 1.0);
+            cloud.push(*origin + *u * a + *v * b);
+        }
+    }
+    cloud
+}
+
+/// Produces a "camera scan": a noisy subsample of `scene`, expressed in a
+/// camera frame displaced by `camera_pose` from the world frame.
+///
+/// Two scans of the same scene from different `camera_pose`s are exactly
+/// the ICP input pair — the second scan's points land in a different frame,
+/// and ICP must recover the relative transform.
+pub fn scan_from(
+    scene: &PointCloud,
+    camera_pose: &RigidTransform,
+    keep_ratio: f64,
+    noise_std: f64,
+    rng: &mut SimRng,
+) -> PointCloud {
+    let keep = keep_ratio.clamp(0.0, 1.0);
+    let inv = camera_pose.inverse();
+    let mut out = PointCloud::new();
+    for p in scene.iter() {
+        if !rng.chance(keep) {
+            continue;
+        }
+        let in_cam = inv.apply(*p);
+        out.push(Point3::new(
+            in_cam.x + rng.gaussian(0.0, noise_std),
+            in_cam.y + rng.gaussian(0.0, noise_std),
+            in_cam.z + rng.gaussian(0.0, noise_std),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn room_size_close_to_target() {
+        let mut rng = SimRng::seed_from(1);
+        let cloud = living_room(10_000, &mut rng);
+        let n = cloud.len() as i64;
+        assert!((n - 10_000).abs() < 500, "got {n}");
+    }
+
+    #[test]
+    fn room_points_inside_bounds() {
+        let mut rng = SimRng::seed_from(2);
+        let cloud = living_room(5_000, &mut rng);
+        for p in cloud.iter() {
+            assert!((-1e-9..=5.0 + 1e-9).contains(&p.x));
+            assert!((-1e-9..=4.0 + 1e-9).contains(&p.y));
+            assert!((-1e-9..=2.5 + 1e-9).contains(&p.z));
+        }
+    }
+
+    #[test]
+    fn scan_keep_ratio_subsamples() {
+        let mut rng = SimRng::seed_from(3);
+        let cloud = living_room(10_000, &mut rng);
+        let scan = scan_from(&cloud, &RigidTransform::identity(), 0.5, 0.0, &mut rng);
+        let ratio = scan.len() as f64 / cloud.len() as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn identity_noiseless_scan_is_subset_geometry() {
+        let mut rng = SimRng::seed_from(4);
+        let cloud = living_room(2_000, &mut rng);
+        let scan = scan_from(&cloud, &RigidTransform::identity(), 1.0, 0.0, &mut rng);
+        assert_eq!(scan.len(), cloud.len());
+        assert!(cloud.rmse(&scan) < 1e-12);
+    }
+
+    #[test]
+    fn displaced_camera_shifts_points() {
+        let mut rng = SimRng::seed_from(5);
+        let cloud = living_room(2_000, &mut rng);
+        let pose = RigidTransform::from_yaw_translation(0.2, Point3::new(0.5, -0.3, 0.1));
+        let scan = scan_from(&cloud, &pose, 1.0, 0.0, &mut rng);
+        // Transforming the scan back by the camera pose recovers the scene.
+        let restored = scan.transformed(&pose);
+        assert!(cloud.rmse(&restored) < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = living_room(3_000, &mut SimRng::seed_from(9));
+        let b = living_room(3_000, &mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,222 @@
+//! Landmark world for EKF-SLAM.
+//!
+//! Models the paper's Fig. 3 setting: a robot drives through an environment
+//! with point landmarks, constantly reading its (Gaussian-noisy) distance
+//! and bearing to each visible landmark.
+
+use rtr_geom::{normalize_angle, Point2, Pose2};
+
+use crate::SimRng;
+
+/// One range-bearing observation of a landmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeBearing {
+    /// Index of the observed landmark (data association is assumed known,
+    /// as in the paper's synthetic setting).
+    pub landmark_id: usize,
+    /// Measured distance to the landmark (meters).
+    pub range: f64,
+    /// Measured bearing relative to the robot heading (radians).
+    pub bearing: f64,
+}
+
+/// One simulation step: the control the robot applied, the ground truth
+/// pose it reached, and the landmark observations it collected there.
+#[derive(Debug, Clone)]
+pub struct SlamStep {
+    /// Commanded forward velocity (m/step).
+    pub v: f64,
+    /// Commanded angular velocity (rad/step).
+    pub omega: f64,
+    /// Ground-truth pose after applying the control (for scoring only).
+    pub true_pose: Pose2,
+    /// Noisy range-bearing observations at the new pose.
+    pub observations: Vec<RangeBearing>,
+}
+
+/// A world of point landmarks traversed by a unicycle robot.
+///
+/// # Example
+///
+/// ```
+/// use rtr_sim::{SimRng, SlamWorld};
+///
+/// let world = SlamWorld::six_landmark_demo();
+/// let mut rng = SimRng::seed_from(1);
+/// let steps = world.simulate_circuit(100, &mut rng);
+/// assert_eq!(steps.len(), 100);
+/// assert!(steps.iter().any(|s| !s.observations.is_empty()));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlamWorld {
+    landmarks: Vec<Point2>,
+    sensor_range: f64,
+    range_noise: f64,
+    bearing_noise: f64,
+}
+
+impl SlamWorld {
+    /// Creates a world from landmark positions and sensor parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensor_range` is not positive or either noise is
+    /// negative.
+    pub fn new(
+        landmarks: Vec<Point2>,
+        sensor_range: f64,
+        range_noise: f64,
+        bearing_noise: f64,
+    ) -> Self {
+        assert!(sensor_range > 0.0, "sensor range must be positive");
+        assert!(
+            range_noise >= 0.0 && bearing_noise >= 0.0,
+            "noise must be non-negative"
+        );
+        SlamWorld {
+            landmarks,
+            sensor_range,
+            range_noise,
+            bearing_noise,
+        }
+    }
+
+    /// The paper's synthetic setting: six landmarks around a ~20 m loop
+    /// (Fig. 3-a), sensed with Gaussian noise.
+    pub fn six_landmark_demo() -> Self {
+        SlamWorld::new(
+            vec![
+                Point2::new(5.0, 2.0),
+                Point2::new(10.0, 4.0),
+                Point2::new(15.0, 2.0),
+                Point2::new(15.0, 9.0),
+                Point2::new(10.0, 11.0),
+                Point2::new(5.0, 9.0),
+            ],
+            12.0,
+            0.1,
+            0.02,
+        )
+    }
+
+    /// Ground-truth landmark positions (used only for scoring estimates).
+    pub fn landmarks(&self) -> &[Point2] {
+        &self.landmarks
+    }
+
+    /// Observations of all landmarks within sensor range from `pose`.
+    pub fn observe(&self, pose: &Pose2, rng: &mut SimRng) -> Vec<RangeBearing> {
+        self.landmarks
+            .iter()
+            .enumerate()
+            .filter_map(|(id, lm)| {
+                let offset = *lm - pose.position();
+                let range = offset.norm();
+                if range > self.sensor_range {
+                    return None;
+                }
+                Some(RangeBearing {
+                    landmark_id: id,
+                    range: (range + rng.gaussian(0.0, self.range_noise)).max(0.0),
+                    bearing: normalize_angle(
+                        offset.angle() - pose.theta + rng.gaussian(0.0, self.bearing_noise),
+                    ),
+                })
+            })
+            .collect()
+    }
+
+    /// Simulates `steps` steps of a circular drive through the landmark
+    /// field, starting at the loop's left edge.
+    ///
+    /// The unicycle controls `(v, ω)` are handed to the consumer exactly as
+    /// the EKF receives them — the filter never sees the true poses.
+    pub fn simulate_circuit(&self, steps: usize, rng: &mut SimRng) -> Vec<SlamStep> {
+        let mut pose = Pose2::new(7.0, 5.5, 0.0);
+        let v = 0.25;
+        let omega = 2.0 * std::f64::consts::PI / steps.max(1) as f64;
+        (0..steps)
+            .map(|_| {
+                pose = pose.compose(v, 0.0, omega);
+                SlamStep {
+                    v,
+                    omega,
+                    true_pose: pose,
+                    observations: self.observe(&pose, rng),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_respect_sensor_range() {
+        let world = SlamWorld::new(
+            vec![Point2::new(1.0, 0.0), Point2::new(100.0, 0.0)],
+            10.0,
+            0.0,
+            0.0,
+        );
+        let mut rng = SimRng::seed_from(0);
+        let obs = world.observe(&Pose2::new(0.0, 0.0, 0.0), &mut rng);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].landmark_id, 0);
+    }
+
+    #[test]
+    fn noiseless_observation_is_exact() {
+        let world = SlamWorld::new(vec![Point2::new(3.0, 4.0)], 10.0, 0.0, 0.0);
+        let mut rng = SimRng::seed_from(0);
+        let obs = world.observe(&Pose2::new(0.0, 0.0, 0.0), &mut rng);
+        assert!((obs[0].range - 5.0).abs() < 1e-12);
+        assert!((obs[0].bearing - (4.0f64).atan2(3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bearing_is_relative_to_heading() {
+        let world = SlamWorld::new(vec![Point2::new(0.0, 5.0)], 10.0, 0.0, 0.0);
+        let mut rng = SimRng::seed_from(0);
+        let obs = world.observe(&Pose2::new(0.0, 0.0, std::f64::consts::FRAC_PI_2), &mut rng);
+        assert!(obs[0].bearing.abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_closes_loop() {
+        let world = SlamWorld::six_landmark_demo();
+        let mut rng = SimRng::seed_from(7);
+        let steps = world.simulate_circuit(200, &mut rng);
+        let first = steps.first().unwrap().true_pose;
+        let last = steps.last().unwrap().true_pose;
+        // A full 2π of turning brings the robot back near its start.
+        assert!(first.distance(&last) < 2.0, "loop did not close");
+    }
+
+    #[test]
+    fn demo_world_sees_all_landmarks_over_circuit() {
+        let world = SlamWorld::six_landmark_demo();
+        let mut rng = SimRng::seed_from(3);
+        let steps = world.simulate_circuit(100, &mut rng);
+        let mut seen = vec![false; world.landmarks().len()];
+        for step in &steps {
+            for obs in &step.observations {
+                seen[obs.landmark_id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unseen landmarks: {seen:?}");
+    }
+
+    #[test]
+    fn noise_perturbs_ranges() {
+        let world = SlamWorld::new(vec![Point2::new(5.0, 0.0)], 10.0, 0.2, 0.0);
+        let mut rng = SimRng::seed_from(1);
+        let ranges: Vec<f64> = (0..50)
+            .map(|_| world.observe(&Pose2::default(), &mut rng)[0].range)
+            .collect();
+        let distinct = ranges.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(distinct > 40);
+    }
+}

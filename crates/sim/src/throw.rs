@@ -1,0 +1,222 @@
+//! Ball-throwing physics — the V-REP stand-in for `15.cem` and `16.bo`.
+//!
+//! The paper trains a 2-DoF arm to throw a ball at a goal inside the V-REP
+//! robot simulator. The learning kernels only observe a scalar reward per
+//! sampled parameter vector, so a closed-form physics model preserves the
+//! optimization workload exactly: sample parameters → simulate throw →
+//! reward = closeness of the landing point to the goal.
+
+use rtr_geom::Point2;
+
+use crate::PlanarArm;
+
+/// Throw parameters the learners optimize: the two joint angles at release
+/// and the release speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrowParams {
+    /// Shoulder joint angle (radians).
+    pub shoulder: f64,
+    /// Elbow joint angle, relative to the upper arm (radians).
+    pub elbow: f64,
+    /// Ball speed at release (m/s), clamped to the simulator's max.
+    pub speed: f64,
+}
+
+/// A deterministic ball-throwing simulator.
+///
+/// The arm is anchored at `(0, base_height)`. The ball is released at the
+/// end-effector, moving along the final link's direction, then follows
+/// ballistic flight until it lands (`y = 0`). The reward is the negative
+/// absolute distance between the landing point and the goal — higher is
+/// better, zero is a perfect hit.
+///
+/// # Example
+///
+/// ```
+/// use rtr_sim::{ThrowParams, ThrowSim};
+///
+/// let sim = ThrowSim::new(2.0);
+/// let reward = sim.reward(&ThrowParams { shoulder: 0.8, elbow: -0.3, speed: 4.0 });
+/// assert!(reward <= 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThrowSim {
+    arm: PlanarArm<2>,
+    goal_x: f64,
+    gravity: f64,
+    max_speed: f64,
+}
+
+impl ThrowSim {
+    /// Creates a simulator with the goal `goal_x` meters from the base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `goal_x` is not positive and finite.
+    pub fn new(goal_x: f64) -> Self {
+        assert!(goal_x > 0.0 && goal_x.is_finite(), "goal must be positive");
+        ThrowSim {
+            // Upper arm 0.4 m, forearm 0.3 m, shoulder 0.5 m off the ground.
+            arm: PlanarArm::new(Point2::new(0.0, 0.5), [0.4, 0.3]),
+            goal_x,
+            gravity: 9.81,
+            max_speed: 10.0,
+        }
+    }
+
+    /// The goal distance.
+    pub fn goal_x(&self) -> f64 {
+        self.goal_x
+    }
+
+    /// Maximum release speed the simulator allows.
+    pub fn max_speed(&self) -> f64 {
+        self.max_speed
+    }
+
+    /// Simulates a throw and returns the landing x coordinate.
+    ///
+    /// Throws whose release velocity points downward into the ground land
+    /// immediately below the release point.
+    pub fn landing_x(&self, params: &ThrowParams) -> f64 {
+        let config = [params.shoulder, params.elbow];
+        let release = self.arm.end_effector(&config);
+        let dir = params.shoulder + params.elbow;
+        let speed = params.speed.clamp(0.0, self.max_speed);
+        let vx = speed * dir.cos();
+        let vy = speed * dir.sin();
+
+        // Solve release.y + vy·t − g/2·t² = 0 for the positive root.
+        let a = -0.5 * self.gravity;
+        let b = vy;
+        let c = release.y.max(0.0);
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return release.x;
+        }
+        let t = (-b - disc.sqrt()) / (2.0 * a); // positive root (a < 0)
+        if !t.is_finite() || t < 0.0 {
+            return release.x;
+        }
+        release.x + vx * t
+    }
+
+    /// Reward of a throw: `−|landing − goal|`. Zero is a perfect hit.
+    pub fn reward(&self, params: &ThrowParams) -> f64 {
+        -(self.landing_x(params) - self.goal_x).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_4;
+
+    #[test]
+    fn forty_five_degree_throw_goes_farthest() {
+        let sim = ThrowSim::new(3.0);
+        let at = |angle: f64| {
+            sim.landing_x(&ThrowParams {
+                shoulder: angle,
+                elbow: 0.0,
+                speed: 6.0,
+            })
+        };
+        let low = at(0.1);
+        let best = at(FRAC_PI_4);
+        let high = at(1.4);
+        assert!(best > low, "45° ({best}) should beat flat ({low})");
+        assert!(best > high, "45° ({best}) should beat vertical ({high})");
+    }
+
+    #[test]
+    fn faster_throw_lands_farther() {
+        let sim = ThrowSim::new(3.0);
+        let at = |speed: f64| {
+            sim.landing_x(&ThrowParams {
+                shoulder: FRAC_PI_4,
+                elbow: 0.0,
+                speed,
+            })
+        };
+        assert!(at(6.0) > at(3.0));
+        assert!(at(3.0) > at(1.0));
+    }
+
+    #[test]
+    fn speed_is_clamped() {
+        let sim = ThrowSim::new(3.0);
+        let capped = sim.landing_x(&ThrowParams {
+            shoulder: FRAC_PI_4,
+            elbow: 0.0,
+            speed: 1e6,
+        });
+        let max = sim.landing_x(&ThrowParams {
+            shoulder: FRAC_PI_4,
+            elbow: 0.0,
+            speed: sim.max_speed(),
+        });
+        assert_eq!(capped, max);
+    }
+
+    #[test]
+    fn reward_is_maximal_at_goal() {
+        let sim = ThrowSim::new(2.0);
+        // Scan speeds to find one that lands close to the goal; its reward
+        // must dominate clearly-off throws.
+        let mut best = f64::NEG_INFINITY;
+        for i in 1..100 {
+            let params = ThrowParams {
+                shoulder: FRAC_PI_4,
+                elbow: 0.0,
+                speed: i as f64 * 0.1,
+            };
+            best = best.max(sim.reward(&params));
+        }
+        assert!(best > -0.2, "scan should find a near-hit, best {best}");
+        let bad = sim.reward(&ThrowParams {
+            shoulder: FRAC_PI_4,
+            elbow: 0.0,
+            speed: 0.1,
+        });
+        assert!(best > bad);
+    }
+
+    #[test]
+    fn reward_never_positive() {
+        let sim = ThrowSim::new(2.0);
+        for i in 0..50 {
+            let params = ThrowParams {
+                shoulder: i as f64 * 0.1 - 2.5,
+                elbow: (i % 7) as f64 * 0.2 - 0.6,
+                speed: (i % 10) as f64,
+            };
+            assert!(sim.reward(&params) <= 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_speed_drops_at_release_point() {
+        let sim = ThrowSim::new(2.0);
+        let params = ThrowParams {
+            shoulder: 0.3,
+            elbow: 0.2,
+            speed: 0.0,
+        };
+        let release_x = PlanarArm::<2>::new(Point2::new(0.0, 0.5), [0.4, 0.3])
+            .end_effector(&[0.3, 0.2])
+            .x;
+        assert!((sim.landing_x(&params) - release_x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let sim = ThrowSim::new(2.5);
+        let p = ThrowParams {
+            shoulder: 0.7,
+            elbow: -0.1,
+            speed: 5.0,
+        };
+        assert_eq!(sim.landing_x(&p), sim.landing_x(&p));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use rtr_geom::{Aabb2, GridMap2D, Point2, Pose2};
+use rtr_sim::{Lidar, OdometryModel, PlanarArm, SimRng, ThrowParams, ThrowSim};
+
+proptest! {
+    #[test]
+    fn gaussian_with_zero_std_is_exact(seed in 0u64..1000, mean in -100.0..100.0f64) {
+        let mut rng = SimRng::seed_from(seed);
+        prop_assert_eq!(rng.gaussian(mean, 0.0), mean);
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in 0u64..10_000) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..20 {
+            prop_assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn lidar_ranges_bounded(
+        x in 1.0..9.0f64,
+        y in 1.0..9.0f64,
+        theta in -3.0..3.0f64,
+        noise in 0.0..0.5f64,
+        seed in 0u64..100,
+    ) {
+        let map = GridMap2D::new(100, 100, 0.1);
+        let lidar = Lidar::new(24, std::f64::consts::PI, 6.0, noise);
+        let mut rng = SimRng::seed_from(seed);
+        let scan = lidar.scan(&map, &Pose2::new(x, y, theta), &mut rng);
+        prop_assert_eq!(scan.len(), 24);
+        prop_assert!(scan.ranges.iter().all(|&r| (0.0..=6.0).contains(&r)));
+    }
+
+    #[test]
+    fn odometry_true_delta_roundtrip(
+        x1 in -5.0..5.0f64, y1 in -5.0..5.0f64, t1 in -3.0..3.0f64,
+        x2 in -5.0..5.0f64, y2 in -5.0..5.0f64, t2 in -3.0..3.0f64,
+    ) {
+        // Applying the exact delta to the first pose recovers the second.
+        let from = Pose2::new(x1, y1, t1);
+        let to = Pose2::new(x2, y2, t2);
+        let d = OdometryModel::true_delta(&from, &to);
+        let recovered = from.compose(d.dx, d.dy, d.dtheta);
+        prop_assert!(recovered.distance(&to) < 1e-9);
+        prop_assert!((rtr_geom::normalize_angle(recovered.theta - to.theta)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arm_end_effector_within_reach(
+        q in prop::array::uniform5(-3.0..3.0f64),
+        bx in 0.1..0.4f64,
+        by in 0.1..0.4f64,
+    ) {
+        let base = Point2::new(bx, by);
+        let arm = PlanarArm::<5>::new(base, [0.04; 5]);
+        let ee = arm.end_effector(&q);
+        prop_assert!(base.distance(ee) <= arm.reach() + 1e-12);
+    }
+
+    #[test]
+    fn arm_collision_is_monotone_in_obstacles(
+        q in prop::array::uniform5(-3.0..3.0f64),
+        ox in 0.0..0.4f64,
+        oy in 0.0..0.4f64,
+    ) {
+        // Adding an obstacle can only turn free into colliding, never the
+        // reverse.
+        let arm = PlanarArm::<5>::new(Point2::new(0.25, 0.25), [0.04; 5]);
+        let empty: Vec<Aabb2> = Vec::new();
+        let with_box = vec![Aabb2::new(
+            Point2::new(ox, oy),
+            Point2::new(ox + 0.1, oy + 0.1),
+        )];
+        if arm.in_collision(&q, &empty, 0.5) {
+            prop_assert!(arm.in_collision(&q, &with_box, 0.5));
+        }
+    }
+
+    #[test]
+    fn throw_landing_moves_with_speed(
+        shoulder in 0.2..1.2f64,
+        elbow in -0.5..0.5f64,
+        speed in 1.0..8.0f64,
+    ) {
+        // Throwing upward-forward: more speed never lands shorter.
+        prop_assume!(shoulder + elbow > 0.1 && shoulder + elbow < 1.4);
+        let sim = ThrowSim::new(2.0);
+        let near = sim.landing_x(&ThrowParams { shoulder, elbow, speed });
+        let far = sim.landing_x(&ThrowParams { shoulder, elbow, speed: speed + 1.0 });
+        prop_assert!(far >= near - 1e-9);
+    }
+
+    #[test]
+    fn throw_reward_is_negative_distance(
+        shoulder in -1.0..1.5f64,
+        elbow in -1.0..1.0f64,
+        speed in 0.0..10.0f64,
+        goal in 0.5..5.0f64,
+    ) {
+        let sim = ThrowSim::new(goal);
+        let p = ThrowParams { shoulder, elbow, speed };
+        let reward = sim.reward(&p);
+        prop_assert!(reward <= 0.0);
+        prop_assert!((reward + (sim.landing_x(&p) - goal).abs()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! Ball-throw learning: `15.cem` vs `16.bo` on the projectile simulator
+//! that stands in for the paper's V-REP scene.
+//!
+//! Prints the reward-over-samples curves of the paper's Figs. 18 and 19 as
+//! ASCII sparklines, and contrasts the two learners' compute profiles.
+//!
+//! ```text
+//! cargo run --release --example ball_throw_learning
+//! ```
+
+use rtrbench::control::{BayesOpt, BoConfig, Cem, CemConfig};
+use rtrbench::harness::Profiler;
+use rtrbench::sim::ThrowSim;
+
+/// Renders rewards (≤ 0, higher is better) as a coarse ASCII sparkline.
+fn sparkline(rewards: &[f64]) -> String {
+    const LEVELS: &[u8] = b" .:-=+*#%@";
+    let lo = rewards.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = rewards.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    rewards
+        .iter()
+        .map(|r| {
+            let idx = ((r - lo) / span * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx] as char
+        })
+        .collect()
+}
+
+fn main() {
+    let sim = ThrowSim::new(2.0);
+    println!("ball-throwing robot: goal at {:.1} m\n", sim.goal_x());
+
+    // --- CEM: 5 iterations x 15 samples (the paper's configuration).
+    let mut cem_profiler = Profiler::new();
+    let cem = Cem::new(CemConfig::default()).learn(&sim, &mut cem_profiler);
+    println!("CEM  (5 x 15 samples, Fig. 18):");
+    println!("  rewards |{}|", sparkline(&cem.reward_trace));
+    println!(
+        "  best reward {:.3} (shoulder {:.2} rad, elbow {:.2} rad, speed {:.2} m/s)",
+        cem.best_reward, cem.best_params.shoulder, cem.best_params.elbow, cem.best_params.speed
+    );
+
+    // --- BO: 45 iterations with a GP + UCB (the paper's configuration).
+    let mut bo_profiler = Profiler::new();
+    let bo = BayesOpt::new(BoConfig::default()).learn(&sim, &mut bo_profiler);
+    println!("\nBO   (45 iterations, Fig. 19):");
+    println!("  rewards |{}|", sparkline(&bo.reward_trace));
+    println!(
+        "  best reward {:.3} ({} candidates scored)",
+        bo.best_reward, bo.candidates_scored
+    );
+
+    // --- Compute comparison (the paper: BO is far more intensive and its
+    // sort is ~6x CEM's).
+    let work = |p: &Profiler| -> f64 { p.report().iter().map(|r| r.total.as_secs_f64()).sum() };
+    println!(
+        "\ncompute: CEM {:.3} ms vs BO {:.3} ms",
+        work(&cem_profiler) * 1e3,
+        work(&bo_profiler) * 1e3
+    );
+    println!(
+        "sort time: CEM {:.1} µs vs BO {:.1} µs",
+        cem_profiler.region_total("sort").as_secs_f64() * 1e6,
+        bo_profiler.region_total("sort").as_secs_f64() * 1e6
+    );
+}

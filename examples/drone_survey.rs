@@ -1,0 +1,78 @@
+//! Drone survey: 3D path planning over the procedural campus (`05.pp3d`)
+//! plus a moving-target interception (`06.movtar`).
+//!
+//! A UAV visits a ring of survey waypoints over the campus, then drops to
+//! 2D pursuit mode to intercept a ground vehicle whose route is known —
+//! the paper's "catching a moving target" problem with the backward-
+//! Dijkstra heuristic.
+//!
+//! ```text
+//! cargo run --release --example drone_survey
+//! ```
+
+use rtrbench::geom::maps;
+use rtrbench::harness::Profiler;
+use rtrbench::planning::{movtar, MovingTarget, MovtarConfig, Pp3d, Pp3dConfig};
+
+fn main() {
+    let size = 96usize;
+    let map = maps::campus_3d(size, size, 16, 1.0, 11);
+    println!(
+        "campus: {size} m x {size} m x 16 m, {} occupied cells",
+        map.occupied_count()
+    );
+
+    // --- Survey: fly a ring of waypoints at cruise altitude.
+    let cruise = 10usize;
+    let waypoints = [
+        (1, 1, cruise),
+        (size - 2, 1, cruise),
+        (size - 2, size - 2, cruise),
+        (1, size - 2, cruise),
+        (1, 1, cruise),
+    ];
+    let mut profiler = Profiler::new();
+    let mut total_cost = 0.0;
+    let mut total_expanded = 0u64;
+    for leg in waypoints.windows(2) {
+        let plan = Pp3d::new(Pp3dConfig {
+            start: leg[0],
+            goal: leg[1],
+            weight: 1.5,
+        })
+        .plan(&map, &mut profiler, None)
+        .expect("campus airspace is connected");
+        println!(
+            "leg {:?} -> {:?}: {:.1} m, {} expansions",
+            leg[0], leg[1], plan.cost, plan.expanded
+        );
+        total_cost += plan.cost;
+        total_expanded += plan.expanded;
+    }
+    println!("survey total: {total_cost:.1} m over {total_expanded} expansions\n");
+
+    // --- Pursuit: intercept a ground vehicle with a known route.
+    let (field, start, trajectory) = movtar::synthetic_scenario(96, 192, 3);
+    let result = MovingTarget::new(MovtarConfig {
+        start,
+        target_trajectory: trajectory,
+        epsilon: 2.0,
+    })
+    .plan(&field, &mut profiler)
+    .expect("target catchable");
+    println!(
+        "intercepted target at t={} (path cost {:.1}, {} expansions, {} heuristic cells)",
+        result.catch_time, result.cost, result.expanded, result.heuristic_cells
+    );
+
+    profiler.freeze_total();
+    println!("\ntime breakdown:");
+    for region in profiler.report() {
+        println!(
+            "  {:<22} {:>9.1} ms  ({:>4.1}%)",
+            region.name,
+            region.total.as_secs_f64() * 1e3,
+            region.fraction * 100.0
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: enumerate the suite and run three kernels — one per
+//! pipeline stage — with their default, paper-representative inputsets.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rtrbench::harness::{Args, Table};
+use rtrbench::suite::registry;
+
+fn main() {
+    let kernels = registry();
+    println!("RTRBench-rs: {} kernels\n", kernels.len());
+
+    let mut listing = Table::new(&["kernel", "stage", "Table I bottleneck"]);
+    for kernel in &kernels {
+        listing.row_owned(vec![
+            kernel.name().to_owned(),
+            kernel.stage().to_string(),
+            kernel.table1_bottleneck().to_owned(),
+        ]);
+    }
+    println!("{listing}");
+
+    // One kernel per stage, scaled down a little so the example is snappy.
+    let runs: [(&str, &[&str]); 3] = [
+        ("02.ekfslam", &["--steps", "200"]),
+        ("11.sym-blkw", &["--blocks", "5"]),
+        ("15.cem", &["--iterations", "5"]),
+    ];
+    for (name, tokens) in runs {
+        let kernel = kernels
+            .iter()
+            .find(|k| k.name() == name)
+            .expect("kernel registered");
+        let args = Args::parse_tokens(tokens).expect("valid tokens");
+        match kernel.run(&args) {
+            Ok(report) => {
+                println!(
+                    "{} [{}] — ROI {:.3} s, dominant region: {}",
+                    report.name,
+                    report.stage,
+                    report.roi_seconds,
+                    report
+                        .dominant_region()
+                        .map(|r| format!("{} ({:.0}%)", r.name, r.fraction * 100.0))
+                        .unwrap_or_else(|| "n/a".into()),
+                );
+                for (metric, value) in &report.metrics {
+                    println!("    {metric}: {value}");
+                }
+            }
+            Err(err) => println!("{name} failed: {err}"),
+        }
+        println!();
+    }
+}

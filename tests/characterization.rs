@@ -1,0 +1,127 @@
+//! Integration test: the paper's headline characterization claims hold in
+//! shape at test scale.
+//!
+//! These are the qualitative versions of the §V per-kernel findings; the
+//! quantitative versions (with paper-matching configurations) live in the
+//! `rtr-bench` experiment binaries and EXPERIMENTS.md.
+
+use rtrbench::control::{BayesOpt, BoConfig, Cem, CemConfig};
+use rtrbench::harness::Profiler;
+use rtrbench::planning::{
+    blocks_world, firefight, ArmProblem, Rrt, RrtConfig, RrtStar, SymbolicPlanner,
+};
+use rtrbench::sim::ThrowSim;
+
+#[test]
+fn rrtstar_pays_compute_for_shorter_paths() {
+    // §V.09: "RRT* is significantly slower ... but generates shorter
+    // paths ... as compared to RRT."
+    let mut star_cost = 0.0;
+    let mut rrt_cost = 0.0;
+    let mut star_checks = 0u64;
+    let mut rrt_checks = 0u64;
+    for seed in 0..3u64 {
+        let problem = ArmProblem::map_f(50 + seed);
+        let mut p = Profiler::new();
+        let rrt = Rrt::new(RrtConfig {
+            seed,
+            ..Default::default()
+        })
+        .plan(&problem, &mut p, None)
+        .expect("solvable");
+        let star = RrtStar::new(RrtConfig {
+            seed,
+            max_samples: 3000,
+            ..Default::default()
+        })
+        .plan(&problem, &mut p, None)
+        .expect("solvable");
+        star_cost += star.base.cost;
+        rrt_cost += rrt.cost;
+        star_checks += star.base.collision_checks;
+        rrt_checks += rrt.collision_checks;
+    }
+    assert!(star_cost < rrt_cost, "star {star_cost} vs rrt {rrt_cost}");
+    assert!(
+        star_checks > rrt_checks * 4,
+        "star should do much more work: {star_checks} vs {rrt_checks}"
+    );
+}
+
+#[test]
+fn firefighting_domain_branches_wider_than_blocks_world() {
+    // §V.12: "sym-fext exhibits a higher level of parallelism (~3.2x)
+    // since it has more valid actions."
+    let mut profiler = Profiler::new();
+    let blkw = SymbolicPlanner::new(1.0)
+        .solve(&blocks_world(3), &mut profiler)
+        .expect("solvable");
+    let fext = SymbolicPlanner::new(1.0)
+        .solve(&firefight(), &mut profiler)
+        .expect("solvable");
+    let ratio = fext.mean_branching / blkw.mean_branching;
+    assert!(
+        ratio > 1.3,
+        "fext/blkw branching ratio {ratio:.2} (expected well above 1)"
+    );
+}
+
+#[test]
+fn bo_outworks_cem_and_its_sort_is_heavier() {
+    // §V.16: BO is computationally more intensive than CEM and its sort
+    // is more time-consuming.
+    let sim = ThrowSim::new(2.0);
+    let mut p_cem = Profiler::new();
+    let mut p_bo = Profiler::new();
+    Cem::new(CemConfig::default()).learn(&sim, &mut p_cem);
+    BayesOpt::new(BoConfig {
+        iterations: 20,
+        ..Default::default()
+    })
+    .learn(&sim, &mut p_bo);
+
+    let work = |p: &Profiler| -> f64 { p.report().iter().map(|r| r.total.as_secs_f64()).sum() };
+    assert!(work(&p_bo) > work(&p_cem) * 3.0);
+    assert!(p_bo.region_total("sort") > p_cem.region_total("sort"));
+}
+
+#[test]
+fn learning_curves_improve() {
+    // Figs. 18 & 19: reward improves over learning for both methods.
+    let sim = ThrowSim::new(2.0);
+    let mut p = Profiler::new();
+    let cem = Cem::new(CemConfig::default()).learn(&sim, &mut p);
+    assert!(cem.iteration_means.last().unwrap() > cem.iteration_means.first().unwrap());
+
+    let bo = BayesOpt::new(BoConfig {
+        iterations: 30,
+        ..Default::default()
+    })
+    .learn(&sim, &mut p);
+    let early = bo.reward_trace[..5].iter().sum::<f64>() / 5.0;
+    let late_window = &bo.reward_trace[bo.reward_trace.len() - 5..];
+    let late = late_window.iter().sum::<f64>() / 5.0;
+    assert!(
+        late > early,
+        "BO rewards should trend upward: {early} -> {late}"
+    );
+}
+
+#[test]
+fn traced_rrt_nn_search_misses_in_cache() {
+    // §V.08: the nearest-neighbor search's irregular accesses produce a
+    // double-digit L1D miss ratio once the tree outgrows the cache.
+    use rtrbench::archsim::MemorySim;
+    let problem = ArmProblem::map_c(60);
+    let mut profiler = Profiler::new();
+    let mut mem = MemorySim::i3_8109u();
+    Rrt::new(RrtConfig {
+        max_samples: 30_000,
+        goal_bias: 0.0,
+        ..Default::default()
+    })
+    .plan(&problem, &mut profiler, Some(&mut mem));
+    let report = mem.report();
+    assert!(report.accesses > 50_000, "too few traced accesses");
+    assert!(report.levels[0].miss_ratio() > 0.01);
+}

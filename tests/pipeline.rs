@@ -1,0 +1,89 @@
+//! Integration test: the full perception → planning → control pipeline on
+//! one robot and one map, crossing every substrate crate.
+
+use rtrbench::control::{Mpc, MpcConfig};
+use rtrbench::geom::{maps, Footprint, Point2, Pose2};
+use rtrbench::harness::Profiler;
+use rtrbench::perception::{ParticleFilter, PflConfig, PflInit};
+use rtrbench::planning::{Pp2d, Pp2dConfig};
+use rtrbench::sim::{DifferentialDrive, Lidar, OdometryModel, SimRng};
+
+#[test]
+fn perceive_plan_control_round_trip() {
+    let map = maps::indoor_floor_plan(128, 0.1, 7);
+
+    // Perception: localize from a noisy initial guess.
+    let lidar = Lidar::new(40, std::f64::consts::PI, 10.0, 0.02);
+    let odometry = OdometryModel::new(0.03, 0.02);
+    let robot = DifferentialDrive::new(0.15, 1.5);
+    let mut rng = SimRng::seed_from(9);
+    let log = robot.drive(
+        &map,
+        Pose2::new(1.0, 1.0, 0.0),
+        &[Point2::new(2.5, 1.0), Point2::new(2.5, 2.5)],
+        &lidar,
+        &odometry,
+        100,
+        &mut rng,
+    );
+    let mut profiler = Profiler::new();
+    let mut filter = ParticleFilter::new(
+        PflConfig {
+            particles: 250,
+            seed: 1,
+            init: PflInit::AroundPose {
+                pose: Pose2::new(1.3, 0.8, 0.2),
+                pos_std: 0.5,
+                theta_std: 0.3,
+            },
+            ..Default::default()
+        },
+        &map,
+    );
+    let loc = filter.run(&log, &mut profiler, None);
+    let error = loc.final_error.expect("ground truth available");
+    assert!(error < 0.6, "localization error {error} m");
+
+    // Planning: from the *estimated* cell to a goal across the building.
+    let start_cell = map
+        .world_to_cell(loc.estimate.position())
+        .expect("estimate on the map");
+    let plan = Pp2d::new(Pp2dConfig {
+        start: start_cell,
+        goal: (110, 110),
+        footprint: Footprint::new(0.5, 0.4),
+        weight: 1.5,
+    })
+    .plan(&map, &mut profiler, None)
+    .expect("goal reachable through doorways");
+    assert_eq!(*plan.path.last().unwrap(), (110, 110));
+    assert!(plan.cost > 5.0);
+
+    // Control: track the planned path.
+    let reference: Vec<Point2> = plan
+        .path
+        .iter()
+        .step_by(3)
+        .map(|&(x, y)| map.cell_center(x, y))
+        .collect();
+    let tracking = Mpc::new(MpcConfig {
+        v_max: 1.5,
+        opt_iterations: 15,
+        ..Default::default()
+    })
+    .track(&reference, &mut profiler);
+    assert!(
+        tracking.mean_tracking_error < 0.8,
+        "tracking error {}",
+        tracking.mean_tracking_error
+    );
+    assert!(tracking.max_speed <= 1.5 + 1e-9);
+
+    // The three stages all left their profiler regions behind.
+    for region in ["ray_casting", "collision_detection", "optimize"] {
+        assert!(
+            profiler.region_calls(region) > 0,
+            "missing pipeline region {region}"
+        );
+    }
+}
