@@ -1,11 +1,9 @@
 //! The full memory hierarchy: L1D → L2 → LLC with an optional prefetcher.
 
-use serde::Serialize;
-
 use crate::{Cache, CacheConfig, CacheStats, PrefetchStats, VldpPrefetcher};
 
 /// Summary of a traced run through the hierarchy.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HierarchyReport {
     /// Stats per level, L1 first.
     pub levels: Vec<CacheStats>,

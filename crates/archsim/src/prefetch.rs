@@ -10,10 +10,8 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
-
 /// Counters describing prefetcher behaviour.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PrefetchStats {
     /// Prefetch requests issued.
     pub issued: u64,

@@ -136,6 +136,7 @@ fn bench_arm_planning(c: &mut Criterion) {
         neighbors: 10,
         seed: 3,
         kdtree_build: false,
+        threads: 1,
     });
     let mut profiler = Profiler::new();
     let roadmap = prm.build(&problem, &mut profiler);
@@ -229,12 +230,154 @@ fn bench_control(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sequential-vs-parallel variants of the four parallelized hot loops.
+///
+/// `seq` is the exact legacy path (`threads = 1`); `par4` runs the same
+/// workload on four pool workers. Outputs are bit-identical (see the
+/// `determinism` integration test); only the wall clock may differ.
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    let variants = [("seq", 1usize), ("par4", 4)];
+
+    let map = maps::indoor_floor_plan(256, 0.1, 7);
+    let steps = PflKernel::drive_region(&map, 0, 1);
+    for (label, threads) in variants {
+        group.bench_function(format!("01.pfl/600p-{label}"), |b| {
+            b.iter_batched(
+                || {
+                    ParticleFilter::new(
+                        PflConfig {
+                            particles: 600,
+                            threads,
+                            init: PflInit::AroundPose {
+                                pose: steps[0].true_pose,
+                                pos_std: 0.8,
+                                theta_std: 0.4,
+                            },
+                            ..Default::default()
+                        },
+                        &map,
+                    )
+                },
+                |mut pf| {
+                    let mut profiler = Profiler::new();
+                    black_box(pf.run(&steps, &mut profiler, None))
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    let problem = ArmProblem::map_c(2);
+    for (label, threads) in variants {
+        group.bench_function(format!("07.prm/build-800-{label}"), |b| {
+            b.iter(|| {
+                let mut profiler = Profiler::new();
+                black_box(
+                    Prm::new(PrmConfig {
+                        roadmap_size: 800,
+                        neighbors: 10,
+                        seed: 3,
+                        kdtree_build: true,
+                        threads,
+                    })
+                    .build(&problem, &mut profiler),
+                )
+            })
+        });
+    }
+
+    let mut rng = SimRng::seed_from(6);
+    let room = scene::living_room(20_000, &mut rng);
+    let motion = RigidTransform::from_yaw_translation(0.03, Point3::new(0.05, -0.03, 0.01));
+    let scan1 = scene::scan_from(&room, &RigidTransform::identity(), 0.5, 0.002, &mut rng);
+    let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
+    for (label, threads) in variants {
+        group.bench_function(format!("03.srec/20k-points-{label}"), |b| {
+            b.iter(|| {
+                let mut profiler = Profiler::new();
+                black_box(
+                    Icp::new(IcpConfig {
+                        threads,
+                        ..Default::default()
+                    })
+                    .align(&scan2, &scan1, &mut profiler, None),
+                )
+            })
+        });
+    }
+
+    let sim = ThrowSim::new(2.0);
+    for (label, threads) in variants {
+        group.bench_function(format!("15.cem/10x200-{label}"), |b| {
+            b.iter(|| {
+                let mut profiler = Profiler::new();
+                black_box(
+                    Cem::new(CemConfig {
+                        iterations: 10,
+                        samples_per_iteration: 200,
+                        threads,
+                        ..Default::default()
+                    })
+                    .learn(&sim, &mut profiler),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Blocked-vs-reference matrix products at the sizes where the cache
+/// blocking engages (`Matrix::BLOCK_THRESHOLD` and up).
+fn bench_linalg(c: &mut Criterion) {
+    use rtr_linalg::Matrix;
+
+    let mut group = c.benchmark_group("linalg");
+    group.sample_size(10);
+
+    let dense = |rows: usize, cols: usize, seed: u64| {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                m[(i, j)] = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            }
+        }
+        m
+    };
+
+    for n in [128usize, 256] {
+        let a = dense(n, n, 1);
+        let b = dense(n, n, 2);
+        group.bench_function(format!("mul_matrix/blocked-{n}"), |bch| {
+            bch.iter(|| black_box(a.mul_matrix(&b).unwrap()))
+        });
+        group.bench_function(format!("mul_matrix/reference-{n}"), |bch| {
+            bch.iter(|| black_box(a.mul_matrix_reference(&b).unwrap()))
+        });
+    }
+
+    // The EKF-sized congruence fast path: A·B·Aᵀ without materializing Bᵀ.
+    let a = dense(23, 23, 3);
+    let b = dense(23, 23, 4);
+    group.bench_function("congruence/23", |bch| {
+        bch.iter(|| black_box(a.congruence(&b).unwrap()))
+    });
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     bench_perception,
     bench_grid_planning,
     bench_arm_planning,
     bench_symbolic,
-    bench_control
+    bench_control,
+    bench_parallel,
+    bench_linalg
 );
 criterion_main!(kernels);

@@ -46,7 +46,7 @@ struct SeedRun {
 
 /// Runs all planners on one problem; `None` when any fails (the seed is
 /// then skipped so averages compare like with like).
-fn run_seed(problem: &ArmProblem, seed: u64) -> Option<SeedRun> {
+fn run_seed(problem: &ArmProblem, seed: u64, threads: usize) -> Option<SeedRun> {
     let config = RrtConfig {
         seed,
         max_samples: 100_000,
@@ -60,6 +60,7 @@ fn run_seed(problem: &ArmProblem, seed: u64) -> Option<SeedRun> {
         neighbors: 12,
         seed,
         kdtree_build: false,
+        threads,
     });
     let roadmap = prm.build(problem, &mut prm_profiler);
     let online = std::time::Instant::now();
@@ -108,6 +109,7 @@ fn run_seed(problem: &ArmProblem, seed: u64) -> Option<SeedRun> {
 fn main() {
     let args = Args::parse_env().expect("valid arguments");
     let seeds = args.get_u64("seeds", 5).expect("numeric seeds");
+    let threads = args.get_usize("threads", 0).expect("numeric threads");
     println!("EXP-F8..12: arm planners on Map-F / Map-C, averaged over {seeds} seeds\n");
 
     for (map_name, make) in [
@@ -119,7 +121,7 @@ fn main() {
         let mut skipped = 0usize;
         for seed in 0..seeds {
             let problem = make(100 + seed);
-            match run_seed(&problem, seed) {
+            match run_seed(&problem, seed, threads) {
                 Some(mut run) => {
                     accs[0].add(run.prm.0, run.prm.1, &mut run.prm.2);
                     accs[1].add(run.rrt.0, run.rrt.1, &mut run.rrt.2);

@@ -8,10 +8,12 @@
 
 use rtr_core::kernels::perception::PflKernel;
 use rtr_geom::maps;
-use rtr_harness::{Profiler, Table};
+use rtr_harness::{Args, Profiler, Table};
 use rtr_perception::{ParticleFilter, PflConfig, PflInit};
 
 fn main() {
+    let args = Args::parse_env().unwrap_or_default();
+    let threads = args.get_usize("threads", 0).unwrap_or(0);
     println!("EXP-PFL: particle-filter localization across five map regions\n");
     let map = maps::indoor_floor_plan(256, 0.1, 7);
     let mut table = Table::new(&[
@@ -31,6 +33,7 @@ fn main() {
             PflConfig {
                 particles: 800,
                 seed: region as u64,
+                threads,
                 init: PflInit::AroundPose {
                     pose: steps[0].true_pose,
                     pos_std: 0.8,

@@ -10,10 +10,12 @@
 
 use rtr_bench::sparkline;
 use rtr_control::{BayesOpt, BoConfig, Cem, CemConfig};
-use rtr_harness::{Profiler, Table};
+use rtr_harness::{Args, Profiler, Table};
 use rtr_sim::ThrowSim;
 
 fn main() {
+    let args = Args::parse_env().unwrap_or_default();
+    let threads = args.get_usize("threads", 0).unwrap_or(0);
     println!("EXP-F17/18/19: ball-throwing reinforcement learning\n");
     let sim = ThrowSim::new(2.0);
     println!(
@@ -23,7 +25,11 @@ fn main() {
 
     // Fig. 18: CEM, 5 iterations x 15 samples.
     let mut p_cem = Profiler::new();
-    let cem = Cem::new(CemConfig::default()).learn(&sim, &mut p_cem);
+    let cem = Cem::new(CemConfig {
+        threads,
+        ..Default::default()
+    })
+    .learn(&sim, &mut p_cem);
     println!(
         "\nFig. 18 — CEM rewards over {} samples:",
         cem.reward_trace.len()

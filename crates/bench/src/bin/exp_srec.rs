@@ -9,11 +9,13 @@
 
 use rtr_archsim::MemorySim;
 use rtr_geom::{Point3, RigidTransform};
-use rtr_harness::{Profiler, Table};
+use rtr_harness::{Args, Profiler, Table};
 use rtr_perception::{Icp, IcpConfig};
 use rtr_sim::{scene, SimRng};
 
 fn main() {
+    let args = Args::parse_env().unwrap_or_default();
+    let threads = args.get_usize("threads", 0).unwrap_or(0);
     println!("EXP-F4: ICP scene reconstruction of the synthetic living room\n");
     let mut rng = SimRng::seed_from(6);
     let room = scene::living_room(60_000, &mut rng);
@@ -28,7 +30,11 @@ fn main() {
 
     // Wall-clock characterization run.
     let mut profiler = Profiler::new();
-    let result = Icp::new(IcpConfig::default()).align(&scan2, &scan1, &mut profiler, None);
+    let result = Icp::new(IcpConfig {
+        threads,
+        ..Default::default()
+    })
+    .align(&scan2, &scan1, &mut profiler, None);
     profiler.freeze_total();
     println!(
         "\nreconstruction: mean correspondence error {:.4} m -> {:.4} m in {} iterations",

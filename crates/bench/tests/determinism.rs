@@ -1,0 +1,203 @@
+//! Bit-identity of the parallel kernel hot loops.
+//!
+//! The worker pool's contract (see `rtr_harness::Pool`) is that thread
+//! count is a pure performance knob: for every seed and every thread
+//! count the parallel kernels must produce outputs that are
+//! **bit-identical** to the sequential (`threads = 1`) legacy path —
+//! floating-point values compared via `to_bits`, not with tolerances.
+//! These properties pin that contract for the four parallelized kernels
+//! (PFL, PRM, ICP, CEM) across threads {1, 2, 4, 8}.
+
+use proptest::prelude::*;
+use rtr_control::{Cem, CemConfig};
+use rtr_core::kernels::perception::PflKernel;
+use rtr_geom::{maps, GridMap2D, Point3, RigidTransform};
+use rtr_harness::Profiler;
+use rtr_perception::{Icp, IcpConfig, ParticleFilter, PflConfig, PflInit};
+use rtr_planning::{ArmProblem, Prm, PrmConfig};
+use rtr_sim::{scene, SimRng, ThrowSim};
+use std::sync::OnceLock;
+
+/// Strategy: one of the thread counts under test (1 is the legacy
+/// baseline itself, so equality there is the sanity case).
+fn threads_strategy() -> impl Strategy<Value = usize> {
+    (0u32..4).prop_map(|e| 1usize << e)
+}
+
+fn indoor_map() -> &'static GridMap2D {
+    static MAP: OnceLock<GridMap2D> = OnceLock::new();
+    MAP.get_or_init(|| maps::indoor_floor_plan(256, 0.1, 7))
+}
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn pfl_is_bit_identical_across_thread_counts(
+        seed in 0u64..1 << 32,
+        region in 0usize..5,
+        particles in 60usize..200,
+        threads in threads_strategy(),
+    ) {
+        let map = indoor_map();
+        let steps = PflKernel::drive_region(map, region, seed);
+        let steps = &steps[..40.min(steps.len())];
+        let run = |threads: usize| {
+            let config = PflConfig {
+                particles,
+                seed,
+                beam_stride: 6,
+                threads,
+                init: PflInit::AroundPose {
+                    pose: steps[0].true_pose,
+                    pos_std: 0.8,
+                    theta_std: 0.4,
+                },
+                ..Default::default()
+            };
+            let mut profiler = Profiler::new();
+            ParticleFilter::new(config, map).run(steps, &mut profiler, None)
+        };
+        let seq = run(1);
+        let par = run(threads);
+        prop_assert_eq!(bits(seq.estimate.x), bits(par.estimate.x));
+        prop_assert_eq!(bits(seq.estimate.y), bits(par.estimate.y));
+        prop_assert_eq!(bits(seq.estimate.theta), bits(par.estimate.theta));
+        prop_assert_eq!(bits(seq.final_spread), bits(par.final_spread));
+        prop_assert_eq!(bits(seq.initial_spread), bits(par.initial_spread));
+        prop_assert_eq!(seq.final_error.map(bits), par.final_error.map(bits));
+        prop_assert_eq!(seq.rays_cast, par.rays_cast);
+        prop_assert_eq!(seq.cells_probed, par.cells_probed);
+        prop_assert_eq!(seq.resamples, par.resamples);
+    }
+
+    #[test]
+    fn prm_roadmap_is_bit_identical_across_thread_counts(
+        seed in 0u64..1 << 32,
+        roadmap_size in 80usize..160,
+        neighbors in 4usize..9,
+        kdtree_build in prop::bool::ANY,
+        threads in threads_strategy(),
+    ) {
+        let problem = ArmProblem::map_c(seed);
+        let build = |threads: usize| {
+            let prm = Prm::new(PrmConfig {
+                roadmap_size,
+                neighbors,
+                seed,
+                kdtree_build,
+                threads,
+            });
+            let mut profiler = Profiler::new();
+            prm.build(&problem, &mut profiler)
+        };
+        let seq = build(1);
+        let par = build(threads);
+        prop_assert_eq!(seq.len(), par.len());
+        prop_assert_eq!(seq.edge_count, par.edge_count);
+        prop_assert_eq!(
+            seq.offline_collision_checks,
+            par.offline_collision_checks
+        );
+        for i in 0..seq.len() {
+            let a = seq.neighbors(i);
+            let b = par.neighbors(i);
+            prop_assert_eq!(a.len(), b.len(), "vertex {} degree", i);
+            for (&(ja, ca), &(jb, cb)) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(ja, jb);
+                prop_assert_eq!(bits(ca), bits(cb));
+            }
+        }
+    }
+
+    #[test]
+    fn icp_is_bit_identical_across_thread_counts(
+        seed in 0u64..1 << 32,
+        points in 1500usize..3000,
+        threads in threads_strategy(),
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let room = scene::living_room(points, &mut rng);
+        let motion =
+            RigidTransform::from_yaw_translation(0.04, Point3::new(0.06, -0.04, 0.01));
+        let scan1 =
+            scene::scan_from(&room, &RigidTransform::identity(), 0.5, 0.002, &mut rng);
+        let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
+        prop_assume!(!scan1.is_empty() && !scan2.is_empty());
+        let run = |threads: usize| {
+            let mut profiler = Profiler::new();
+            Icp::new(IcpConfig {
+                max_iterations: 10,
+                threads,
+                ..Default::default()
+            })
+            .align(&scan2, &scan1, &mut profiler, None)
+        };
+        let seq = run(1);
+        let par = run(threads);
+        prop_assert_eq!(bits(seq.error_before), bits(par.error_before));
+        prop_assert_eq!(bits(seq.error_after), bits(par.error_after));
+        prop_assert_eq!(seq.iterations, par.iterations);
+        prop_assert_eq!(seq.nn_queries, par.nn_queries);
+        for r in 0..3 {
+            for c in 0..3 {
+                prop_assert_eq!(
+                    bits(seq.transform.rotation[r][c]),
+                    bits(par.transform.rotation[r][c])
+                );
+            }
+        }
+        prop_assert_eq!(
+            bits(seq.transform.translation.x),
+            bits(par.transform.translation.x)
+        );
+        prop_assert_eq!(
+            bits(seq.transform.translation.y),
+            bits(par.transform.translation.y)
+        );
+        prop_assert_eq!(
+            bits(seq.transform.translation.z),
+            bits(par.transform.translation.z)
+        );
+    }
+
+    #[test]
+    fn cem_is_bit_identical_across_thread_counts(
+        seed in 0u64..1 << 32,
+        iterations in 2usize..6,
+        samples in 8usize..24,
+        threads in threads_strategy(),
+    ) {
+        let sim = ThrowSim::new(2.0);
+        let run = |threads: usize| {
+            let mut profiler = Profiler::new();
+            Cem::new(CemConfig {
+                iterations,
+                samples_per_iteration: samples,
+                elites: 4.min(samples),
+                seed,
+                threads,
+                ..Default::default()
+            })
+            .learn(&sim, &mut profiler)
+        };
+        let seq = run(1);
+        let par = run(threads);
+        prop_assert_eq!(bits(seq.best_reward), bits(par.best_reward));
+        prop_assert_eq!(bits(seq.best_params.shoulder), bits(par.best_params.shoulder));
+        prop_assert_eq!(bits(seq.best_params.elbow), bits(par.best_params.elbow));
+        prop_assert_eq!(bits(seq.best_params.speed), bits(par.best_params.speed));
+        prop_assert_eq!(seq.evaluations, par.evaluations);
+        prop_assert_eq!(seq.reward_trace.len(), par.reward_trace.len());
+        for (a, b) in seq.reward_trace.iter().zip(par.reward_trace.iter()) {
+            prop_assert_eq!(bits(*a), bits(*b));
+        }
+        for (a, b) in seq.iteration_means.iter().zip(par.iteration_means.iter()) {
+            prop_assert_eq!(bits(*a), bits(*b));
+        }
+    }
+}

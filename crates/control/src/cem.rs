@@ -8,7 +8,7 @@
 //! rewards as "a non-trivial execution bottleneck ... around one-third of
 //! the entire execution time"; the sort here is its own profiler region.
 
-use rtr_harness::Profiler;
+use rtr_harness::{Pool, Profiler};
 use rtr_sim::{SimRng, ThrowParams, ThrowSim};
 
 /// Configuration for [`Cem`].
@@ -26,6 +26,11 @@ pub struct CemConfig {
     pub min_std: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for rollout evaluation (`1` = sequential legacy
+    /// path, `0` = one per hardware thread). Sampling, elite sort, and
+    /// distribution refits stay sequential, so results are bit-identical
+    /// for every thread count.
+    pub threads: usize,
 }
 
 impl Default for CemConfig {
@@ -37,6 +42,7 @@ impl Default for CemConfig {
             initial_std: [0.6, 0.6, 2.0],
             min_std: 0.01,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -101,6 +107,7 @@ impl Cem {
     /// collection), `sort` (elite selection — the paper's bottleneck) and
     /// `update` (distribution refitting).
     pub fn learn(&self, sim: &ThrowSim, profiler: &mut Profiler) -> CemResult {
+        let pool = Pool::new(self.config.threads);
         let mut rng = SimRng::seed_from(self.config.seed);
         // Policy distribution: mean/std per parameter. Start centered on a
         // generic overhand throw.
@@ -129,16 +136,13 @@ impl Cem {
                     .collect()
             });
 
-            // Collect rewards.
+            // Collect rewards: each rollout is an independent pure
+            // physics simulation, so it runs on the pool (inline when
+            // `threads == 1`) with outputs kept in draw order.
             let mut scored: Vec<(f64, ThrowParams)> = profiler.time("simulate", || {
-                population
-                    .iter()
-                    .map(|p| {
-                        evaluations += 1;
-                        (sim.reward(p), *p)
-                    })
-                    .collect()
+                pool.par_map(&population, |_, p| (sim.reward(p), *p))
             });
+            evaluations += scored.len() as u64;
             for (r, p) in &scored {
                 reward_trace.push(*r);
                 if *r > best_reward {

@@ -202,6 +202,7 @@ impl Kernel for CemKernel {
                 name: "seed",
                 help: "Random seed",
             },
+            super::threads_option(),
         ]
     }
 
@@ -210,6 +211,7 @@ impl Kernel for CemKernel {
             iterations: args.get_usize("iterations", 5)?.max(1),
             samples_per_iteration: args.get_usize("samples", 15)?.max(1),
             seed: args.get_u64("seed", 0)?,
+            threads: super::threads_arg(args)?,
             ..Default::default()
         };
         let sim = ThrowSim::new(args.get_f64("goal", 2.0)?.max(0.1));

@@ -4,8 +4,23 @@ pub mod control;
 pub mod perception;
 pub mod planning;
 
-use crate::{Kernel, KernelReport, Stage};
-use rtr_harness::{Args, Profiler};
+use crate::{Kernel, KernelError, KernelReport, Stage};
+use rtr_harness::{Args, OptionSpec, Profiler};
+
+/// The shared `--threads` CLI option for kernels with a deterministic
+/// parallel hot loop (`01.pfl`, `03.srec`, `07.prm`, `15.cem`).
+pub(crate) fn threads_option() -> OptionSpec {
+    OptionSpec {
+        name: "threads",
+        help: "Worker threads (0 = all hardware threads, 1 = sequential)",
+    }
+}
+
+/// Parses `--threads`; the default `0` means one worker per available
+/// hardware thread. Results are bit-identical for every setting.
+pub(crate) fn threads_arg(args: &Args) -> Result<usize, KernelError> {
+    Ok(args.get_usize("threads", 0)?)
+}
 
 /// Returns all sixteen kernels in paper order (`01.pfl` … `16.bo`).
 pub fn registry() -> Vec<Box<dyn Kernel>> {

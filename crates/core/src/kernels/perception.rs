@@ -88,6 +88,7 @@ impl Kernel for PflKernel {
                 name: "trace",
                 help: "Feed grid probes to the cache simulator (flag)",
             },
+            super::threads_option(),
         ]
     }
 
@@ -105,6 +106,7 @@ impl Kernel for PflKernel {
                 particles,
                 seed,
                 beam_stride,
+                threads: super::threads_arg(args)?,
                 init: PflInit::AroundPose {
                     pose: steps[0].true_pose,
                     pos_std: 0.8,
@@ -265,6 +267,7 @@ impl Kernel for SrecKernel {
                 name: "trace",
                 help: "Feed k-d-tree visits to the cache simulator (flag)",
             },
+            super::threads_option(),
         ]
     }
 
@@ -284,6 +287,7 @@ impl Kernel for SrecKernel {
         let roi = rtr_harness::Roi::enter(self.name());
         let result = Icp::new(IcpConfig {
             max_iterations: iterations,
+            threads: super::threads_arg(args)?,
             ..Default::default()
         })
         .align(&scan2, &scan1, &mut profiler, mem.as_mut());

@@ -385,6 +385,7 @@ impl Kernel for PrmKernel {
                 name: "kdtree",
                 help: "Build the roadmap with a k-d tree (flag)",
             },
+            super::threads_option(),
         ]
     }
 
@@ -395,6 +396,7 @@ impl Kernel for PrmKernel {
             neighbors: args.get_usize("neighbors", 12)?,
             seed: args.get_u64("seed", 2)?,
             kdtree_build: args.get_flag("kdtree"),
+            threads: super::threads_arg(args)?,
         };
         let mut profiler = Profiler::new();
         let prm = Prm::new(config);

@@ -15,6 +15,10 @@
 //! - [`Args`] — a dependency-free `--key value` command-line parser with
 //!   `--help` output in the style of the paper's Fig. 20.
 //! - [`Table`] — plain-text report tables for the experiment binaries.
+//! - [`Pool`] — deterministic scoped worker pool for the kernel hot
+//!   loops: fixed chunk decomposition, order-preserving `par_map`, and
+//!   per-chunk seed streams, so parallel runs stay bit-identical to
+//!   sequential runs at any thread count.
 //!
 //! # Example
 //!
@@ -31,11 +35,13 @@
 #![warn(missing_docs)]
 
 mod cli;
+mod pool;
 mod profiler;
 mod roi;
 mod table;
 
 pub use cli::{Args, CliError, OptionSpec};
+pub use pool::{chunk_boundaries, chunk_seed, Pool};
 pub use profiler::{Profiler, RegionReport};
 pub use roi::Roi;
 pub use table::Table;

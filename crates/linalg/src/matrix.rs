@@ -203,6 +203,12 @@ impl Matrix {
 
     /// Matrix–matrix product.
     ///
+    /// Dispatches on size: small products use the streaming i-k-j kernel
+    /// ([`Matrix::mul_matrix_reference`]); once every dimension reaches
+    /// [`Matrix::BLOCK_THRESHOLD`] the cache-blocked kernel takes over.
+    /// Both kernels accumulate each output element over ascending `k` with
+    /// the same zero-skip, so results are bit-identical regardless of path.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
@@ -214,7 +220,38 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        // i-k-j loop order keeps both operands streaming row-major.
+        if self.rows.min(self.cols).min(rhs.cols) < Self::BLOCK_THRESHOLD {
+            Ok(self.mul_unblocked(rhs))
+        } else {
+            Ok(self.mul_blocked(rhs))
+        }
+    }
+
+    /// Dimensions at which [`Matrix::mul_matrix`] switches from the
+    /// streaming kernel to the cache-blocked kernel.
+    pub const BLOCK_THRESHOLD: usize = 64;
+
+    /// The unblocked i-k-j product kernel, kept public as the reference
+    /// implementation for benchmarks and validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn mul_matrix_reference(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matrix multiply",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(self.mul_unblocked(rhs))
+    }
+
+    // i-k-j loop order keeps both operands streaming row-major; the
+    // independent per-column accumulators vectorize without reassociating
+    // any floating-point sum.
+    fn mul_unblocked(&self, rhs: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -227,6 +264,135 @@ impl Matrix {
                 for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
                     *o += aik * b;
                 }
+            }
+        }
+        out
+    }
+
+    // Cache-blocked i-k-j: the output columns are processed in bands of
+    // BLOCK_J (so the matching column band of `rhs` stays cache resident
+    // and every output row makes a single pass through it), and the inner
+    // dimension is register-blocked four `k` values at a time, quartering
+    // the traffic on the output row.
+    //
+    // For each output element the additions still happen one at a time in
+    // ascending `k` with the same zero-skip, so the accumulation order —
+    // and hence every rounding — matches `mul_unblocked` exactly.
+    fn mul_blocked(&self, rhs: &Matrix) -> Matrix {
+        const BLOCK_J: usize = 256;
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for jj in (0..rhs.cols).step_by(BLOCK_J) {
+            let j_end = (jj + BLOCK_J).min(rhs.cols);
+            for i in 0..self.rows {
+                let a_row = self.row(i);
+                let out_seg = &mut out.row_mut(i)[jj..j_end];
+                let mut k = 0;
+                while k + 4 <= self.cols {
+                    let a = [a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]];
+                    if a.iter().all(|&x| x != 0.0) {
+                        let r0 = &rhs.row(k)[jj..j_end];
+                        let r1 = &rhs.row(k + 1)[jj..j_end];
+                        let r2 = &rhs.row(k + 2)[jj..j_end];
+                        let r3 = &rhs.row(k + 3)[jj..j_end];
+                        for ((((o, &b0), &b1), &b2), &b3) in out_seg
+                            .iter_mut()
+                            .zip(r0.iter())
+                            .zip(r1.iter())
+                            .zip(r2.iter())
+                            .zip(r3.iter())
+                        {
+                            let mut acc = *o;
+                            acc += a[0] * b0;
+                            acc += a[1] * b1;
+                            acc += a[2] * b2;
+                            acc += a[3] * b3;
+                            *o = acc;
+                        }
+                    } else {
+                        // A zero among the four: fall back to per-k passes
+                        // so the skipped terms match the streaming kernel.
+                        for (dk, &aik) in a.iter().enumerate() {
+                            if aik == 0.0 {
+                                continue;
+                            }
+                            let rhs_seg = &rhs.row(k + dk)[jj..j_end];
+                            for (o, &b) in out_seg.iter_mut().zip(rhs_seg.iter()) {
+                                *o += aik * b;
+                            }
+                        }
+                    }
+                    k += 4;
+                }
+                for (k, &aik) in (k..self.cols).zip(a_row[k..].iter()) {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let rhs_seg = &rhs.row(k)[jj..j_end];
+                    for (o, &b) in out_seg.iter_mut().zip(rhs_seg.iter()) {
+                        *o += aik * b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `self * rhs_tᵀ` without materializing the transpose: the
+    /// rows of `rhs_t` are used directly as contiguous dot-product
+    /// operands (the "transposed-RHS" fast path). Accumulation per output
+    /// element is the same ascending-`k` zero-skip sum as
+    /// [`Matrix::mul_matrix`], so `a.mul_transposed(&b)` is bit-identical
+    /// to `a.mul_matrix(&b.transpose())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs_t.cols()`.
+    pub fn mul_transposed(&self, rhs_t: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs_t.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matrix multiply (transposed rhs)",
+                lhs: self.shape(),
+                rhs: rhs_t.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs_t.rows);
+        // Four output columns at a time: the four dot products are
+        // independent accumulator chains, which hides the FP-add latency
+        // a single strict-order dot is bound by, and the four `rhs_t` rows
+        // stay hot while every output row streams past them.
+        let mut jj = 0;
+        while jj + 4 <= rhs_t.rows {
+            for i in 0..self.rows {
+                let a_row = self.row(i);
+                let b0 = &rhs_t.row(jj)[..a_row.len()];
+                let b1 = &rhs_t.row(jj + 1)[..a_row.len()];
+                let b2 = &rhs_t.row(jj + 2)[..a_row.len()];
+                let b3 = &rhs_t.row(jj + 3)[..a_row.len()];
+                let mut acc = [0.0f64; 4];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a != 0.0 {
+                        acc[0] += a * b0[k];
+                        acc[1] += a * b1[k];
+                        acc[2] += a * b2[k];
+                        acc[3] += a * b3[k];
+                    }
+                }
+                out.row_mut(i)[jj..jj + 4].copy_from_slice(&acc);
+            }
+            jj += 4;
+        }
+        for j in jj..rhs_t.rows {
+            for i in 0..self.rows {
+                let a_row = self.row(i);
+                let b_row = &rhs_t.row(j)[..a_row.len()];
+                let mut acc = 0.0;
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a != 0.0 {
+                        acc += a * b_row[k];
+                    }
+                }
+                out.row_mut(i)[j] = acc;
             }
         }
         Ok(out)
@@ -262,7 +428,18 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] when shapes are
     /// incompatible.
     pub fn congruence(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
-        self.mul_matrix(rhs)?.mul_matrix(&self.transpose())
+        // `(self * rhs) * selfᵀ`: the second factor is already stored
+        // row-major as `self`, so at EKF-scale sizes the transposed-RHS
+        // path multiplies against it directly instead of materializing
+        // the transpose. Past the interleaved-dot crossover the blocked
+        // saxpy kernel wins even with the extra transpose. Both paths
+        // produce bit-identical results.
+        let m = self.mul_matrix(rhs)?;
+        if self.rows < 48 {
+            m.mul_transposed(self)
+        } else {
+            m.mul_matrix(&self.transpose())
+        }
     }
 
     /// LU factorization with partial pivoting.
@@ -702,5 +879,63 @@ mod tests {
     #[test]
     fn display_contains_shape() {
         assert!(format!("{}", sample()).contains("[2x2]"));
+    }
+
+    /// Deterministic pseudo-random matrix for the kernel-equivalence tests.
+    fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+    }
+
+    #[test]
+    fn blocked_product_is_bit_identical_to_reference() {
+        for &(m, k, n) in &[(64, 64, 64), (65, 64, 97), (96, 130, 71), (128, 128, 128)] {
+            let a = dense(m, k, 1);
+            let b = dense(k, n, 2);
+            let blocked = a.mul_matrix(&b).unwrap();
+            let reference = a.mul_matrix_reference(&b).unwrap();
+            assert_eq!(blocked.shape(), reference.shape());
+            for (x, y) in blocked.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "shape ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_product_handles_zero_entries() {
+        let mut a = dense(80, 80, 3);
+        for k in 0..80 {
+            a[(k % 80, k)] = 0.0;
+        }
+        let b = dense(80, 80, 4);
+        let blocked = a.mul_matrix(&b).unwrap();
+        let reference = a.mul_matrix_reference(&b).unwrap();
+        for (x, y) in blocked.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn mul_transposed_matches_explicit_transpose() {
+        let a = dense(40, 33, 5);
+        let b = dense(27, 33, 6);
+        let fast = a.mul_transposed(&b).unwrap();
+        let reference = a.mul_matrix_reference(&b.transpose()).unwrap();
+        assert_eq!(fast.shape(), (40, 27));
+        for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn mul_transposed_rejects_mismatched_inner_dims() {
+        assert!(Matrix::zeros(3, 4)
+            .mul_transposed(&Matrix::zeros(5, 3))
+            .is_err());
     }
 }

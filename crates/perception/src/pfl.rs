@@ -11,7 +11,7 @@
 
 use rtr_archsim::MemorySim;
 use rtr_geom::{cast_ray, cast_ray_with, GridMap2D, Pose2};
-use rtr_harness::Profiler;
+use rtr_harness::{Pool, Profiler};
 use rtr_sim::{LidarScan, OdometryModel, OdometryReading, SimRng, TrajectoryStep};
 
 /// How the particle set is initialized.
@@ -51,6 +51,12 @@ pub struct PflConfig {
     pub resample_threshold: f64,
     /// RNG seed (the filter owns its randomness for reproducibility).
     pub seed: u64,
+    /// Worker threads for the ray-casting region: `1` is the exact legacy
+    /// sequential path, `0` means one thread per hardware thread. Results
+    /// are bit-identical for every setting (the per-particle computation
+    /// is pure; weight application and normalization stay sequential in
+    /// particle order).
+    pub threads: usize,
 }
 
 impl Default for PflConfig {
@@ -64,6 +70,7 @@ impl Default for PflConfig {
             beam_stride: 1,
             resample_threshold: 0.5,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -114,6 +121,7 @@ pub struct ParticleFilter<'m> {
     map: &'m GridMap2D,
     particles: Vec<Particle>,
     rng: SimRng,
+    pool: Pool,
     rays_cast: u64,
     cells_probed: u64,
     resamples: u64,
@@ -165,11 +173,13 @@ impl<'m> ParticleFilter<'m> {
                 });
             }
         }
+        let pool = Pool::new(config.threads);
         ParticleFilter {
             config,
             map,
             particles,
             rng,
+            pool,
             rays_cast: 0,
             cells_probed: 0,
             resamples: 0,
@@ -226,25 +236,35 @@ impl<'m> ParticleFilter<'m> {
     /// Re-weights all particles against a laser scan. This is the
     /// ray-casting bottleneck region.
     ///
+    /// Ray casting is parallelized over particles when the filter was
+    /// configured with more than one thread. Each particle's beam loop is
+    /// pure and produces `(log_w, rays, cells)`; the weight update,
+    /// counter accumulation and normalization then run sequentially in
+    /// particle order, so results are bit-identical to the single-thread
+    /// path for any thread count.
+    ///
     /// When `mem` is supplied, every grid-cell probe is replayed into the
-    /// cache simulator (one 1-byte cell per probe, row-major layout).
+    /// cache simulator (one 1-byte cell per probe, row-major layout); the
+    /// simulator is shared mutable state, so the traced path always runs
+    /// sequentially.
     pub fn measurement_update(&mut self, scan: &LidarScan, mem: Option<&mut MemorySim>) {
         let sigma = self.config.sensor_sigma;
         let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
         let stride = self.config.beam_stride;
+        let max_range = self.config.max_range;
         let width = self.map.width() as u64;
-        let mut mem = mem;
+        let map = self.map;
 
-        for p in &mut self.particles {
-            let mut log_w = 0.0;
-            for (angle, range) in scan.angles.iter().zip(scan.ranges.iter()).step_by(stride) {
-                self.rays_cast += 1;
-                let expected = if let Some(sim) = mem.as_deref_mut() {
+        if let Some(sim) = mem {
+            for p in &mut self.particles {
+                let mut log_w = 0.0;
+                for (angle, range) in scan.angles.iter().zip(scan.ranges.iter()).step_by(stride) {
+                    self.rays_cast += 1;
                     let hit = cast_ray_with(
-                        self.map,
+                        map,
                         p.pose.position(),
                         p.pose.theta + angle,
-                        self.config.max_range,
+                        max_range,
                         |ix, iy| {
                             // Grid cells are 1 byte each in a row-major Vec.
                             let addr = (iy.max(0) as u64) * width + ix.max(0) as u64;
@@ -252,22 +272,32 @@ impl<'m> ParticleFilter<'m> {
                         },
                     );
                     self.cells_probed += hit.cells_visited as u64;
-                    hit.distance
-                } else {
-                    let hit = cast_ray(
-                        self.map,
-                        p.pose.position(),
-                        p.pose.theta + angle,
-                        self.config.max_range,
-                    );
-                    self.cells_probed += hit.cells_visited as u64;
-                    hit.distance
-                };
-                let err = range - expected;
-                log_w -= err * err * inv_two_sigma_sq;
+                    let err = range - hit.distance;
+                    log_w -= err * err * inv_two_sigma_sq;
+                }
+                // Particles inside obstacles predict 0 for every beam and
+                // decay.
+                p.weight *= log_w.exp().max(1e-300);
             }
-            // Particles inside obstacles predict 0 for every beam and decay.
-            p.weight *= log_w.exp().max(1e-300);
+        } else {
+            let scored = self.pool.par_map(&self.particles, |_, p| {
+                let mut log_w = 0.0;
+                let mut rays = 0u64;
+                let mut cells = 0u64;
+                for (angle, range) in scan.angles.iter().zip(scan.ranges.iter()).step_by(stride) {
+                    rays += 1;
+                    let hit = cast_ray(map, p.pose.position(), p.pose.theta + angle, max_range);
+                    cells += hit.cells_visited as u64;
+                    let err = range - hit.distance;
+                    log_w -= err * err * inv_two_sigma_sq;
+                }
+                (log_w, rays, cells)
+            });
+            for (p, (log_w, rays, cells)) in self.particles.iter_mut().zip(scored) {
+                self.rays_cast += rays;
+                self.cells_probed += cells;
+                p.weight *= log_w.exp().max(1e-300);
+            }
         }
 
         // Normalize.

@@ -13,7 +13,7 @@
 
 use rtr_archsim::MemorySim;
 use rtr_geom::{KdTree, Point3, PointCloud, RigidTransform};
-use rtr_harness::Profiler;
+use rtr_harness::{Pool, Profiler};
 use rtr_linalg::{symmetric_eigen, Matrix};
 
 /// Configuration for [`Icp`].
@@ -27,6 +27,11 @@ pub struct IcpConfig {
     /// Reject correspondences farther than this (meters); `INFINITY`
     /// disables gating.
     pub max_correspondence_distance: f64,
+    /// Worker threads for the correspondence search (`1` = sequential
+    /// legacy path, `0` = one per hardware thread). Results are
+    /// bit-identical for every thread count; traced runs (with a memory
+    /// simulator attached) always execute sequentially.
+    pub threads: usize,
 }
 
 impl Default for IcpConfig {
@@ -35,6 +40,7 @@ impl Default for IcpConfig {
             max_iterations: 50,
             convergence_epsilon: 1e-5,
             max_correspondence_distance: f64::INFINITY,
+            threads: 1,
         }
     }
 }
@@ -73,15 +79,23 @@ pub struct IcpResult {
 /// let result = icp.align(&source, &target, &mut profiler, None);
 /// assert!(result.error_after < result.error_before);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Icp {
     config: IcpConfig,
+    pool: Pool,
+}
+
+impl Default for Icp {
+    fn default() -> Self {
+        Icp::new(IcpConfig::default())
+    }
 }
 
 impl Icp {
     /// Creates the kernel.
     pub fn new(config: IcpConfig) -> Self {
-        Icp { config }
+        let pool = Pool::new(config.threads);
+        Icp { config, pool }
     }
 
     /// Aligns `source` onto `target`, returning the recovered transform.
@@ -104,11 +118,13 @@ impl Icp {
         assert!(!source.is_empty() && !target.is_empty(), "empty cloud");
 
         let tree = profiler.time("kdtree_build", || {
-            let mut tree = KdTree::<3>::with_capacity(target.len());
-            for (i, p) in target.points().iter().enumerate() {
-                tree.insert(p.to_array(), i);
-            }
-            tree
+            let items: Vec<([f64; 3], usize)> = target
+                .points()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.to_array(), i))
+                .collect();
+            KdTree::<3>::build_balanced(&items)
         });
 
         let mut transform = RigidTransform::identity();
@@ -125,21 +141,38 @@ impl Icp {
             let start = std::time::Instant::now();
             let mut pairs: Vec<(Point3, Point3)> = Vec::with_capacity(moved.len());
             let mut error_sum = 0.0;
-            for p in moved.iter() {
-                nn_queries += 1;
-                let found = if let Some(sim) = mem.as_deref_mut() {
-                    tree.nearest_with(&p.to_array(), |payload| {
+            if let Some(sim) = mem.as_deref_mut() {
+                // Traced runs share one cache simulator and must replay
+                // node visits in query order, so they stay sequential.
+                for p in moved.iter() {
+                    nn_queries += 1;
+                    let found = tree.nearest_with(&p.to_array(), |payload| {
                         // Nodes are ~32 bytes in an insertion-order arena.
                         sim.read(payload as u64 * 32);
-                    })
-                } else {
+                    });
+                    let (idx, d2) = found.expect("target cloud is non-empty");
+                    let dist = d2.sqrt();
+                    error_sum += dist;
+                    if dist <= self.config.max_correspondence_distance {
+                        pairs.push((*p, target.points()[idx]));
+                    }
+                }
+            } else {
+                // Pure per-point lookups run on the pool (inline when
+                // `threads == 1`); the error reduction and pair assembly
+                // stay sequential in point order, so the result is
+                // bit-identical to the legacy loop.
+                let found = self.pool.par_map(moved.points(), |_, p| {
                     tree.nearest(&p.to_array())
-                };
-                let (idx, d2) = found.expect("target cloud is non-empty");
-                let dist = d2.sqrt();
-                error_sum += dist;
-                if dist <= self.config.max_correspondence_distance {
-                    pairs.push((*p, target.points()[idx]));
+                        .expect("target cloud is non-empty")
+                });
+                for (p, (idx, d2)) in moved.iter().zip(found) {
+                    nn_queries += 1;
+                    let dist = d2.sqrt();
+                    error_sum += dist;
+                    if dist <= self.config.max_correspondence_distance {
+                        pairs.push((*p, target.points()[idx]));
+                    }
                 }
             }
             profiler.add("nn_search", start.elapsed());
@@ -161,14 +194,14 @@ impl Icp {
             transform = delta.compose(&transform);
         }
 
-        // Final error with the converged transform.
+        // Final error with the converged transform (sequential sum keeps
+        // the reduction order fixed).
         let moved = source.transformed(&transform);
-        let mut error_sum = 0.0;
-        for p in moved.iter() {
+        let distances = self.pool.par_map(moved.points(), |_, p| {
             let (_, d2) = tree.nearest(&p.to_array()).expect("non-empty");
-            error_sum += d2.sqrt();
-        }
-        let error_after = error_sum / moved.len() as f64;
+            d2.sqrt()
+        });
+        let error_after = distances.iter().sum::<f64>() / moved.len() as f64;
 
         IcpResult {
             transform,

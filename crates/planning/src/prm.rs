@@ -12,7 +12,7 @@
 
 use std::cell::Cell;
 
-use rtr_harness::Profiler;
+use rtr_harness::{Pool, Profiler};
 use rtr_sim::SimRng;
 
 use crate::rrt::{config_distance, ArmProblem, Config};
@@ -32,6 +32,13 @@ pub struct PrmConfig {
     /// only the build cost changes — the offline phase "is paid only once
     /// and is done offline", so both strategies ship.
     pub kdtree_build: bool,
+    /// Worker threads for the offline neighbor search and edge collision
+    /// checks: `1` is the exact legacy sequential path, `0` means one
+    /// thread per hardware thread. The roadmap (and every counter) is
+    /// bit-identical for every setting: sampling and the edge-commit loop
+    /// stay sequential, only the pure per-node candidate/collision
+    /// computations fan out.
+    pub threads: usize,
 }
 
 impl Default for PrmConfig {
@@ -41,6 +48,7 @@ impl Default for PrmConfig {
             neighbors: 10,
             seed: 0,
             kdtree_build: false,
+            threads: 1,
         }
     }
 }
@@ -80,6 +88,11 @@ impl Roadmap {
     /// Returns `true` when the roadmap has no vertices.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Neighbors `(vertex, edge cost)` of vertex `i`, in insertion order.
+    pub fn neighbors(&self, i: usize) -> &[(usize, f64)] {
+        &self.adjacency[i]
     }
 }
 
@@ -181,42 +194,83 @@ impl Prm {
 
             // Connect each vertex to its k nearest. Brute force by
             // default (offline cost the paper explicitly discounts); a
-            // k-d-tree variant is available for large roadmaps.
+            // k-d-tree variant is available for large roadmaps. Both the
+            // k-nearest searches and the per-edge collision checks are
+            // pure functions of the sampled nodes, so they fan out over
+            // the pool; the edge-commit loop below stays sequential, which
+            // keeps the adjacency lists and counters in legacy order.
             let index = self.config.kdtree_build.then(|| {
-                let mut tree = rtr_geom::KdTree::<{ crate::rrt::DOF }>::with_capacity(nodes.len());
-                for (i, n) in nodes.iter().enumerate() {
-                    tree.insert(*n, i);
-                }
-                tree
+                let items: Vec<(Config, usize)> =
+                    nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+                rtr_geom::KdTree::<{ crate::rrt::DOF }>::build_balanced(&items)
             });
-            let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nodes.len()];
-            let mut edge_count = 0usize;
-            for i in 0..nodes.len() {
-                let candidates: Vec<(usize, f64)> = match &index {
+            let k = self.config.neighbors;
+            let pool = Pool::new(self.config.threads);
+            let near_of = |i: usize, node: &Config| -> Vec<(usize, f64)> {
+                match &index {
                     Some(tree) => tree
-                        .k_nearest(&nodes[i], self.config.neighbors + 1)
+                        .k_nearest(node, k + 1)
                         .into_iter()
                         .map(|(j, d2)| (j, d2.sqrt()))
                         .filter(|&(j, _)| j != i)
+                        .take(k)
                         .collect(),
                     None => {
                         let mut all: Vec<(usize, f64)> = (0..nodes.len())
                             .filter(|&j| j != i)
-                            .map(|j| (j, config_distance(&nodes[i], &nodes[j])))
+                            .map(|j| (j, config_distance(node, &nodes[j])))
                             .collect();
                         all.sort_by(|a, b| a.1.total_cmp(&b.1));
+                        all.truncate(k);
                         all
                     }
-                };
-                for &(j, dist) in candidates.iter().take(self.config.neighbors) {
-                    if adjacency[i].iter().any(|&(n, _)| n == j) {
-                        continue;
+                }
+            };
+            let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nodes.len()];
+            let mut edge_count = 0usize;
+            let mut commit = |i: usize,
+                              j: usize,
+                              dist: f64,
+                              free: bool,
+                              adjacency: &mut Vec<Vec<(usize, f64)>>| {
+                if adjacency[i].iter().any(|&(n, _)| n == j) {
+                    return;
+                }
+                collision_checks += 1;
+                if free {
+                    adjacency[i].push((j, dist));
+                    adjacency[j].push((i, dist));
+                    edge_count += 1;
+                }
+            };
+            if pool.threads() == 1 {
+                // Legacy path: collision checks stay lazy, so pairs the
+                // dedup skips are never evaluated.
+                for i in 0..nodes.len() {
+                    for (j, dist) in near_of(i, &nodes[i]) {
+                        let skip = adjacency[i].iter().any(|&(n, _)| n == j);
+                        if !skip {
+                            let free = problem.motion_free(&nodes[i], &nodes[j]);
+                            commit(i, j, dist, free, &mut adjacency);
+                        }
                     }
-                    collision_checks += 1;
-                    if problem.motion_free(&nodes[i], &nodes[j]) {
-                        adjacency[i].push((j, dist));
-                        adjacency[j].push((i, dist));
-                        edge_count += 1;
+                }
+            } else {
+                // Parallel path: candidate search and collision checks are
+                // pure per-node work, evaluated eagerly across the pool
+                // (mutual pairs cost one redundant check per side — wall
+                // clock still wins). The commit loop consumes the results
+                // in node order, so adjacency lists, edge count, and the
+                // collision-check counter match the legacy path exactly.
+                let scored: Vec<Vec<(usize, f64, bool)>> = pool.par_map(&nodes, |i, node| {
+                    near_of(i, node)
+                        .into_iter()
+                        .map(|(j, dist)| (j, dist, problem.motion_free(node, &nodes[j])))
+                        .collect()
+                });
+                for (i, cands) in scored.iter().enumerate() {
+                    for &(j, dist, free) in cands {
+                        commit(i, j, dist, free, &mut adjacency);
                     }
                 }
             }
@@ -340,6 +394,7 @@ mod tests {
             neighbors: 12,
             seed: 3,
             kdtree_build: false,
+            threads: 1,
         });
         let roadmap = prm.build(&problem, &mut profiler);
         let r = prm.query(&problem, &roadmap, &mut profiler);
@@ -393,6 +448,7 @@ mod tests {
             neighbors: 8,
             seed: 4,
             kdtree_build: false,
+            threads: 1,
         };
         let brute = Prm::new(base_config.clone()).build(&problem, &mut profiler);
         let kd = Prm::new(PrmConfig {
@@ -409,6 +465,7 @@ mod tests {
             roadmap_size: 400,
             neighbors: 8,
             seed: 4,
+            threads: 1,
         });
         let a = prm.query(&problem, &brute, &mut profiler).unwrap();
         let b = prm.query(&problem, &kd, &mut profiler).unwrap();

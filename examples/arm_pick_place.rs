@@ -34,6 +34,7 @@ fn main() {
         neighbors: 12,
         seed: 3,
         kdtree_build: false,
+        threads: 1,
     });
     let t0 = std::time::Instant::now();
     let roadmap = prm.build(&problem, &mut profiler);

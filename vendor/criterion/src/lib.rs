@@ -1,0 +1,398 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! Provides the harness surface the bench targets use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — with a compact median-of-samples timer instead of upstream's
+//! full statistical pipeline.
+//!
+//! In addition to the human-readable table printed on exit, every bench
+//! binary writes a machine-readable `BENCH_<name>.json` in the working
+//! directory mapping each benchmark to its median ns/iter, tagged with
+//! the thread count (`RTR_THREADS` env var, else available parallelism).
+//!
+//! Tuning knobs (environment variables):
+//! - `RTR_BENCH_SAMPLES` — samples per benchmark (default 10).
+//! - `RTR_BENCH_SAMPLE_MS` — target wall time per sample in milliseconds
+//!   (default 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// How `iter_batched` amortizes setup cost; kept for API compatibility
+/// (this implementation times one input per routine call regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap; upstream batches many per allocation.
+    SmallInput,
+    /// Inputs are expensive; one per routine call.
+    LargeInput,
+    /// Exactly one input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier of the form `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark name; accepted by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Renders the final benchmark name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    target_sample: Duration,
+    /// Median nanoseconds per iteration, filled in by the `iter*` call.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median ns per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many calls fit in one target sample window?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.median_ns = median(&mut per_iter);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            // One timed call per sample: batched setup means the routine is
+            // expected to be expensive relative to timer resolution.
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_iter.push(start.elapsed().as_nanos() as f64);
+        }
+        self.median_ns = median(&mut per_iter);
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+/// One finished measurement.
+struct Record {
+    name: String,
+    median_ns: f64,
+}
+
+/// The benchmark harness: registers measurements and emits the summary.
+pub struct Criterion {
+    samples: usize,
+    target_sample: Duration,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: env_usize("RTR_BENCH_SAMPLES", 10),
+            target_sample: Duration::from_millis(env_usize("RTR_BENCH_SAMPLE_MS", 2) as u64),
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder-style sample-count override.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_name();
+        let mut b = Bencher {
+            samples: self.samples,
+            target_sample: self.target_sample,
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        eprintln!("bench {name:<48} {:>14.1} ns/iter", b.median_ns);
+        self.records.push(Record {
+            name,
+            median_ns: b.median_ns,
+        });
+        self
+    }
+
+    /// Opens a named group; benchmarks in it are reported as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+            samples: None,
+        }
+    }
+
+    /// Prints the closing summary and writes `BENCH_<name>.json`.
+    pub fn final_summary(&self) {
+        let stem = bench_stem();
+        let threads = std::env::var("RTR_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let mut json = String::new();
+        let _ = write!(
+            json,
+            "{{\n  \"bench\": \"{stem}\",\n  \"threads\": {threads},\n  \"results\": ["
+        );
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                json,
+                "{sep}\n    {{ \"name\": \"{}\", \"median_ns\": {:.1} }}",
+                r.name.replace('\\', "\\\\").replace('"', "\\\""),
+                r.median_ns
+            );
+        }
+        let _ = write!(json, "\n  ]\n}}\n");
+        let path = format!("BENCH_{stem}.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!(
+                "wrote {path} ({} results, threads={threads})",
+                self.records.len()
+            ),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// Derives the bench name from the executable path, stripping the
+/// `-<metadata hash>` suffix cargo appends to bench binaries.
+fn bench_stem() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, tail)) if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix and sample count.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    prefix: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.prefix, id.into_name());
+        let saved = self.criterion.samples;
+        if let Some(n) = self.samples {
+            self.criterion.samples = n;
+        }
+        self.criterion.bench_function(name, f);
+        self.criterion.samples = saved;
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; results are recorded as they run).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a bench binary from [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn bencher_records_positive_time() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_batched_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::new("param", 8), &8usize, |b, &n| {
+                b.iter_batched(
+                    || vec![1u64; n],
+                    |v| v.iter().sum::<u64>(),
+                    BatchSize::LargeInput,
+                );
+            });
+            g.finish();
+        }
+        assert_eq!(c.records[0].name, "grp/param/8");
+    }
+
+    #[test]
+    fn stem_strips_cargo_hash() {
+        // Can't easily fake argv; exercise the suffix rule directly.
+        assert_eq!(
+            match "kernels-0123456789abcdef".rsplit_once('-') {
+                Some((base, tail))
+                    if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                    base.to_string(),
+                _ => "kernels-0123456789abcdef".to_string(),
+            },
+            "kernels"
+        );
+    }
+}

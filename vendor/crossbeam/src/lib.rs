@@ -1,0 +1,125 @@
+//! Offline stand-in for the `crossbeam` crate (0.8 API subset).
+//!
+//! Only the scoped-thread API the suite uses is provided, implemented as
+//! a thin shim over [`std::thread::scope`] (stabilized in Rust 1.63, after
+//! crossbeam's scoped threads were designed). Semantics match what the
+//! suite relies on: spawned threads may borrow from the enclosing stack
+//! frame and are all joined before `scope` returns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle to a scoped thread; mirrors
+    /// `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let this = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&this)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads.
+    ///
+    /// Returns `Err` with the panic payload when the closure or any
+    /// unjoined spawned thread panicked, matching crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1usize, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn join_returns_thread_result() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|_| 6 * 7);
+            h.join().expect("thread ok")
+        })
+        .expect("no panics");
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let count = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            s.spawn(|inner| {
+                count.fetch_add(1, Ordering::Relaxed);
+                inner.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+}

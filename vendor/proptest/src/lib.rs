@@ -1,0 +1,486 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment has no crates.io access, so RTRBench-rs vendors
+//! the slice of proptest its property suites use: the [`proptest!`] macro,
+//! [`Strategy`] with `prop_map`/`prop_flat_map`, range/tuple/array/vec/bool
+//! strategies, [`Just`], [`ProptestConfig`], and the `prop_assert!` family.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports its case index; cases are
+//!   fully deterministic (fixed per-case seeds), so any failure reproduces
+//!   exactly by re-running the test.
+//! - **Case count** defaults to 64 (overridable with the `PROPTEST_CASES`
+//!   environment variable or `ProptestConfig::with_cases`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration: how many random cases each property executes.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Failure raised by `prop_assert!`-family macros inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    rejected: bool,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: false,
+        }
+    }
+
+    /// Creates a rejection (`prop_assume!` miss): the case is skipped, not
+    /// counted as a failure.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: true,
+        }
+    }
+
+    /// Whether this error is a rejection rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        self.rejected
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The deterministic RNG driving case generation.
+pub type TestRng = StdRng;
+
+/// Returns the fixed, per-case generator: case `i` of every property uses
+/// the same stream on every run and platform.
+pub fn test_rng(case: u32) -> TestRng {
+    StdRng::seed_from_u64(0x5052_4F50_5445_5354 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns for
+    /// it (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy producing one fixed value (cloned per case).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.start as f64..self.end as f64) as f32
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+pub mod prop {
+    //! Strategy constructors, mirroring proptest's `prop` module tree.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Size specification for [`vec`]: an exact `usize` or a
+        /// half-open `Range<usize>`.
+        pub trait IntoSizeRange {
+            /// Returns the `[lo, hi)` length bounds.
+            fn bounds(self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(self) -> (usize, usize) {
+                (self, self + 1)
+            }
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn bounds(self) -> (usize, usize) {
+                (self.start, self.end)
+            }
+        }
+
+        /// Strategy for `Vec`s whose length is drawn from `size` and whose
+        /// elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (lo, hi) = size.bounds();
+            assert!(lo < hi, "empty size range");
+            VecStrategy { element, lo, hi }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.lo + 1 == self.hi {
+                    self.lo
+                } else {
+                    rng.gen_range(self.lo..self.hi)
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod array {
+        //! Fixed-size array strategies.
+
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `[T; N]` with every element drawn from `element`.
+        pub struct UniformArray<S, const N: usize> {
+            element: S,
+        }
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+            type Value = [S::Value; N];
+            fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+                std::array::from_fn(|_| self.element.generate(rng))
+            }
+        }
+
+        macro_rules! uniform_fns {
+            ($($name:ident $n:literal),*) => {$(
+                /// Array strategy of the arity in the function name.
+                pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                    UniformArray { element }
+                }
+            )*};
+        }
+
+        uniform_fns!(
+            uniform2 2, uniform3 3, uniform4 4, uniform5 5, uniform6 6, uniform7 7, uniform8 8
+        );
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy for a fair coin flip.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// A fair coin flip.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+
+        /// Strategy returning `true` with probability `p`.
+        pub fn weighted(p: f64) -> Weighted {
+            Weighted { p }
+        }
+
+        /// See [`weighted`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Weighted {
+            p: f64,
+        }
+
+        impl Strategy for Weighted {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.gen_bool(self.p)
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_rng(__case);
+                $( let $pat = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                let __result: ::core::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = __result {
+                    if e.is_rejection() {
+                        continue;
+                    }
+                    panic!("property failed at case {}/{}: {}", __case, __config.cases, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body, failing the case (not the
+/// whole process) with context when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Skips the current case when the assumption does not hold, moving on to
+/// the next generated case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = prop::collection::vec(0u64..100, 3..10);
+        let mut a = crate::test_rng(5);
+        let mut b = crate::test_rng(5);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let s =
+            (0usize..10).prop_flat_map(|n| (Just(n), prop::collection::vec(0.0..1.0f64, n + 1)));
+        let (n, v) = s.generate(&mut crate::test_rng(0));
+        assert_eq!(v.len(), n + 1);
+        let doubled = (0usize..10).prop_map(|x| x * 2);
+        assert_eq!(doubled.generate(&mut crate::test_rng(1)) % 2, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0..3.0f64, n in 1usize..5, b in prop::bool::ANY) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(usize::from(b) <= 1);
+        }
+
+        #[test]
+        fn tuples_and_arrays(p in (-1.0..1.0f64, -1.0..1.0f64), q in prop::array::uniform5(0.0..1.0f64)) {
+            prop_assert!(p.0 < 1.0 && p.1 < 1.0);
+            prop_assert_eq!(q.len(), 5);
+        }
+
+        #[test]
+        fn weighted_bools_generate(flags in prop::collection::vec(prop::bool::weighted(0.1), 64)) {
+            let trues = flags.iter().filter(|&&f| f).count();
+            prop_assert!(trues < 40, "improbably many trues: {}", trues);
+        }
+    }
+}
