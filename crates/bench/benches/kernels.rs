@@ -7,11 +7,15 @@ use std::hint::black_box;
 
 use rtr_control::dmp::wheeled_robot_demo;
 use rtr_control::mpc::winding_reference;
-use rtr_control::{BayesOpt, BoConfig, Cem, CemConfig, Dmp, DmpConfig, Mpc, MpcConfig};
+use rtr_control::{
+    BayesOpt, BoConfig, Cem, CemConfig, Dmp, DmpConfig, GaussianProcess, Mpc, MpcConfig,
+};
 use rtr_core::kernels::perception::PflKernel;
-use rtr_geom::{maps, Point3, RigidTransform};
+use rtr_geom::{maps, Point2, Point3, RigidTransform};
 use rtr_harness::Profiler;
-use rtr_perception::{EkfSlam, EkfSlamConfig, Icp, IcpConfig, ParticleFilter, PflConfig, PflInit};
+use rtr_perception::{
+    EkfSlam, EkfSlamConfig, EkfUpdateMode, Icp, IcpConfig, ParticleFilter, PflConfig, PflInit,
+};
 use rtr_planning::{
     blocks_world, firefight, movtar, ArmProblem, MovingTarget, MovtarConfig, Pp2d, Pp2dConfig,
     Pp3d, Pp3dConfig, Prm, PrmConfig, Rrt, RrtConfig, RrtPp, RrtStar, SymbolicPlanner,
@@ -328,6 +332,114 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Dense-legacy vs block-sparse EKF-SLAM updates at the paper's
+/// 6-landmark setting and at 50 landmarks (state dimension 103), where
+/// the sparse update's O(6·dim²) row recombination pulls clear of the
+/// legacy chain of dense temporaries. Outputs are bit-identical (see the
+/// `equivalence` integration test); only the wall clock may differ.
+fn bench_ekf_dense_vs_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ekf_dense_vs_sparse");
+    group.sample_size(10);
+
+    for n_landmarks in [6usize, 50] {
+        let world = if n_landmarks == 6 {
+            SlamWorld::six_landmark_demo()
+        } else {
+            let landmarks = (0..n_landmarks)
+                .map(|i| {
+                    let a = i as f64 / n_landmarks as f64 * std::f64::consts::TAU;
+                    Point2::new(10.0 + 6.0 * a.cos(), 6.0 + 5.0 * a.sin())
+                })
+                .collect();
+            SlamWorld::new(landmarks, 12.0, 0.1, 0.02)
+        };
+        let mut rng = SimRng::seed_from(1);
+        let log = world.simulate_circuit(150, &mut rng);
+        let variants = [
+            ("dense", EkfUpdateMode::DenseLegacy),
+            ("sparse", EkfUpdateMode::SparseWorkspace),
+        ];
+        for (label, update_mode) in variants {
+            group.bench_function(format!("{n_landmarks}lm-{label}"), |b| {
+                b.iter(|| {
+                    let mut ekf = EkfSlam::new(EkfSlamConfig {
+                        max_landmarks: n_landmarks,
+                        update_mode,
+                        ..Default::default()
+                    });
+                    let mut profiler = Profiler::new();
+                    black_box(ekf.run(&log, None, &mut profiler))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Allocating vs workspace-backed fast paths: GP posterior query sweeps
+/// and MPC tracking runs. Bit-identical outputs (see the `equivalence`
+/// integration test); the workspace variants skip the per-iteration heap
+/// traffic.
+fn bench_workspace(c: &mut Criterion) {
+    use rtr_linalg::Workspace;
+
+    let mut group = c.benchmark_group("workspace");
+    group.sample_size(10);
+
+    // 200 GP posterior queries against a fixed 40-point training set —
+    // the shape of `16.bo`'s acquisition loop between refits.
+    let mut rng = SimRng::seed_from(9);
+    let xs: Vec<Vec<f64>> = (0..40)
+        .map(|_| vec![rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (x[0] * 1.3).sin() + 0.25 * x[1] * x[1])
+        .collect();
+    let gp = GaussianProcess::fit(&xs, &ys, 0.9, 1.0, 1e-6).expect("jittered kernel is SPD");
+    let queries: Vec<[f64; 2]> = (0..200)
+        .map(|_| [rng.uniform(-2.5, 2.5), rng.uniform(-2.5, 2.5)])
+        .collect();
+    group.bench_function("gp-predict/alloc", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                let (mean, var) = gp.predict(q);
+                acc += mean + var;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("gp-predict/workspace", |b| {
+        let mut ws = Workspace::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                let (mean, var) = gp.predict_with(q, &mut ws);
+                acc += mean + var;
+            }
+            black_box(acc)
+        })
+    });
+
+    let reference = winding_reference(60);
+    for (label, use_workspace) in [("alloc", false), ("workspace", true)] {
+        group.bench_function(format!("mpc-track/{label}"), |b| {
+            b.iter(|| {
+                let mut profiler = Profiler::new();
+                black_box(
+                    Mpc::new(MpcConfig {
+                        use_workspace,
+                        ..Default::default()
+                    })
+                    .track(&reference, &mut profiler),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Blocked-vs-reference matrix products at the sizes where the cache
 /// blocking engages (`Matrix::BLOCK_THRESHOLD` and up).
 fn bench_linalg(c: &mut Criterion) {
@@ -378,6 +490,8 @@ criterion_group!(
     bench_symbolic,
     bench_control,
     bench_parallel,
+    bench_ekf_dense_vs_sparse,
+    bench_workspace,
     bench_linalg
 );
 criterion_main!(kernels);

@@ -63,6 +63,11 @@ fn run_seed(problem: &ArmProblem, seed: u64, threads: usize) -> Option<SeedRun> 
         threads,
     });
     let roadmap = prm.build(problem, &mut prm_profiler);
+    println!(
+        "  seed {seed}: PRM build edge checks {} counted / {} motion_free sweeps \
+         (parallel dedup shares mutual k-NN pairs)",
+        roadmap.offline_collision_checks, roadmap.motion_free_evals
+    );
     let online = std::time::Instant::now();
     let prm_result = prm.query(problem, &roadmap, &mut prm_profiler)?;
     prm_profiler.freeze_total();

@@ -1,0 +1,181 @@
+//! Bit-identity of the workspace/sparse fast paths against their
+//! allocating/dense legacy twins.
+//!
+//! The allocation-free rewrites (EKF-SLAM's block-sparse update, the GP's
+//! pooled posterior queries, MPC's scratch-buffer solver) carry the same
+//! contract as the thread-count knob in `determinism.rs`: they are pure
+//! performance switches. For every seed and problem size the fast path
+//! must reproduce the legacy output **bit for bit** (`to_bits`, no
+//! tolerances), and its workspace must stop allocating after warmup.
+
+use proptest::prelude::*;
+use rtr_control::mpc::winding_reference;
+use rtr_control::{GaussianProcess, Mpc, MpcConfig};
+use rtr_geom::Point2;
+use rtr_harness::Profiler;
+use rtr_linalg::Workspace;
+use rtr_perception::{EkfSlam, EkfSlamConfig, EkfSlamResult, EkfUpdateMode};
+use rtr_sim::{SimRng, SlamWorld};
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+fn ring_world(n_landmarks: usize) -> SlamWorld {
+    let landmarks = (0..n_landmarks)
+        .map(|i| {
+            let a = i as f64 / n_landmarks as f64 * std::f64::consts::TAU;
+            Point2::new(10.0 + 6.0 * a.cos(), 6.0 + 5.0 * a.sin())
+        })
+        .collect();
+    SlamWorld::new(landmarks, 12.0, 0.1, 0.02)
+}
+
+fn run_ekf(
+    world: &SlamWorld,
+    seed: u64,
+    steps: usize,
+    n_landmarks: usize,
+    mode: EkfUpdateMode,
+) -> (EkfSlam, EkfSlamResult) {
+    let mut rng = SimRng::seed_from(seed);
+    let log = world.simulate_circuit(steps, &mut rng);
+    let mut ekf = EkfSlam::new(EkfSlamConfig {
+        max_landmarks: n_landmarks,
+        update_mode: mode,
+        ..Default::default()
+    });
+    let mut profiler = Profiler::new();
+    let result = ekf.run(&log, Some(world.landmarks()), &mut profiler);
+    (ekf, result)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn ekf_sparse_update_is_bit_identical_to_dense(
+        seed in 0u64..1 << 32,
+        n_landmarks in 4usize..24,
+        steps in 40usize..120,
+    ) {
+        let world = ring_world(n_landmarks);
+        let (dense, dense_r) =
+            run_ekf(&world, seed, steps, n_landmarks, EkfUpdateMode::DenseLegacy);
+        let (sparse, sparse_r) =
+            run_ekf(&world, seed, steps, n_landmarks, EkfUpdateMode::SparseWorkspace);
+
+        prop_assert_eq!(dense_r.updates, sparse_r.updates);
+        prop_assert_eq!(bits(dense_r.covariance_trace), bits(sparse_r.covariance_trace));
+        prop_assert_eq!(
+            dense_r.landmark_rmse.map(bits),
+            sparse_r.landmark_rmse.map(bits)
+        );
+        prop_assert_eq!(
+            dense_r.mean_pose_error.map(bits),
+            sparse_r.mean_pose_error.map(bits)
+        );
+        let (dp, sp) = (dense.pose(), sparse.pose());
+        prop_assert_eq!(bits(dp.x), bits(sp.x));
+        prop_assert_eq!(bits(dp.y), bits(sp.y));
+        prop_assert_eq!(bits(dp.theta), bits(sp.theta));
+        for id in 0..n_landmarks {
+            match (dense.landmark(id), sparse.landmark(id)) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(bits(a.x), bits(b.x), "landmark {} x", id);
+                    prop_assert_eq!(bits(a.y), bits(b.y), "landmark {} y", id);
+                    let (ca, cb) = (
+                        dense.landmark_covariance(id).unwrap(),
+                        sparse.landmark_covariance(id).unwrap(),
+                    );
+                    for (ea, eb) in ca.as_slice().iter().zip(cb.as_slice()) {
+                        prop_assert_eq!(bits(*ea), bits(*eb), "landmark {} cov", id);
+                    }
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "landmark {} seen mismatch: {:?} vs {:?}", id, a, b),
+            }
+        }
+        // The legacy path never touches the pool; the sparse path warms it.
+        prop_assert_eq!(dense.workspace_allocations(), 0);
+        prop_assert!(sparse.workspace_allocations() > 0);
+    }
+
+    #[test]
+    fn gp_workspace_queries_match_allocating_predict(
+        seed in 0u64..1 << 32,
+        n_train in 3usize..24,
+        n_query in 1usize..40,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let xs: Vec<Vec<f64>> = (0..n_train)
+            .map(|_| vec![rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (x[0] * 1.3).sin() + 0.25 * x[1] * x[1])
+            .collect();
+        let gp = GaussianProcess::fit(&xs, &ys, 0.9, 1.0, 1e-6).expect("jittered kernel is SPD");
+        let mut ws = Workspace::new();
+        for _ in 0..n_query {
+            let x = [rng.uniform(-2.5, 2.5), rng.uniform(-2.5, 2.5)];
+            let (m0, v0) = gp.predict(&x);
+            let (m1, v1) = gp.predict_with(&x, &mut ws);
+            prop_assert_eq!(bits(m0), bits(m1));
+            prop_assert_eq!(bits(v0), bits(v1));
+        }
+        // k_star + forward-solve buffer: two allocations for the whole
+        // query sweep, however many queries ran.
+        prop_assert_eq!(ws.allocations(), 2);
+    }
+
+    #[test]
+    fn mpc_workspace_solver_matches_legacy(
+        n in 40usize..90,
+        horizon in 6usize..14,
+        opt_iterations in 10usize..40,
+    ) {
+        let reference = winding_reference(n);
+        let run = |use_workspace: bool| {
+            let mut profiler = Profiler::new();
+            Mpc::new(MpcConfig {
+                horizon,
+                opt_iterations,
+                use_workspace,
+                ..Default::default()
+            })
+            .track(&reference, &mut profiler)
+        };
+        let ws = run(true);
+        let legacy = run(false);
+        prop_assert_eq!(ws.trace.len(), legacy.trace.len());
+        for (a, b) in ws.trace.iter().zip(legacy.trace.iter()) {
+            prop_assert_eq!(bits(a.x), bits(b.x));
+            prop_assert_eq!(bits(a.y), bits(b.y));
+        }
+        prop_assert_eq!(bits(ws.mean_tracking_error), bits(legacy.mean_tracking_error));
+        prop_assert_eq!(bits(ws.max_tracking_error), bits(legacy.max_tracking_error));
+        prop_assert_eq!(bits(ws.max_speed), bits(legacy.max_speed));
+        prop_assert_eq!(bits(ws.max_accel), bits(legacy.max_accel));
+        prop_assert_eq!(ws.opt_iterations, legacy.opt_iterations);
+        // Gradient buffer + proposal growth + window growth, all in the
+        // first control step.
+        prop_assert!(ws.workspace_allocations <= 3);
+        prop_assert_eq!(legacy.workspace_allocations, 0);
+    }
+}
+
+/// Allocation regression at full kernel scale: a long EKF run must not
+/// allocate any more than a short one once the pool is warm.
+#[test]
+fn ekf_workspace_allocations_plateau_at_scale() {
+    let world = ring_world(12);
+    let (short, _) = run_ekf(&world, 7, 30, 12, EkfUpdateMode::SparseWorkspace);
+    let (long, _) = run_ekf(&world, 7, 240, 12, EkfUpdateMode::SparseWorkspace);
+    assert!(short.workspace_allocations() > 0);
+    assert_eq!(
+        short.workspace_allocations(),
+        long.workspace_allocations(),
+        "EKF workspace must stop allocating after warmup"
+    );
+}

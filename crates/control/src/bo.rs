@@ -11,6 +11,7 @@
 //! isolates it.
 
 use rtr_harness::Profiler;
+use rtr_linalg::Workspace;
 use rtr_sim::{SimRng, ThrowParams, ThrowSim};
 
 use crate::GaussianProcess;
@@ -99,7 +100,18 @@ fn to_params(x: &[f64; 3]) -> ThrowParams {
 
 /// Normalizes a point into the unit cube for GP conditioning.
 fn normalize(x: &[f64; 3]) -> Vec<f64> {
-    (0..3).map(|d| (x[d] - LO[d]) / (HI[d] - LO[d])).collect()
+    let mut out = [0.0; 3];
+    normalize_into(x, &mut out);
+    out.to_vec()
+}
+
+/// Allocation-free [`normalize`]: writes the unit-cube coordinates into a
+/// caller-owned stack buffer (the acquisition loop normalizes hundreds of
+/// candidates per iteration).
+fn normalize_into(x: &[f64; 3], out: &mut [f64; 3]) {
+    for d in 0..3 {
+        out[d] = (x[d] - LO[d]) / (HI[d] - LO[d]);
+    }
 }
 
 impl BayesOpt {
@@ -128,6 +140,11 @@ impl BayesOpt {
         let mut ys: Vec<f64> = Vec::new();
         let mut reward_trace = Vec::new();
         let mut candidates_scored = 0u64;
+        // Scratch pool for GP posterior queries: the acquisition loop runs
+        // `candidates` predictions per refit, all against the same training
+        // set, so after the first query of each iteration every buffer is a
+        // pool hit.
+        let mut ws = Workspace::new();
 
         let sample_point = |rng: &mut SimRng| -> [f64; 3] {
             [
@@ -158,10 +175,12 @@ impl BayesOpt {
             // metadata BO keeps per candidate (point, μ, σ², UCB) — the
             // paper's "more metadata is kept with BO".
             let mut scored: Vec<([f64; 3], f64, f64, f64)> = profiler.time("acquisition", || {
+                let mut unit = [0.0; 3];
                 (0..self.config.candidates)
                     .map(|_| {
                         let x = sample_point(&mut rng);
-                        let (mu, var) = gp.predict(&normalize(&x));
+                        normalize_into(&x, &mut unit);
+                        let (mu, var) = gp.predict_with(&unit, &mut ws);
                         candidates_scored += 1;
                         (x, mu, var, mu + self.config.kappa * var.sqrt())
                     })

@@ -6,7 +6,7 @@
 //! paper's Bayesian-optimization kernel "computationally ... more
 //! intensive" than CEM.
 
-use rtr_linalg::{Cholesky, LinalgError, Matrix, Vector};
+use rtr_linalg::{Cholesky, LinalgError, Matrix, Vector, Workspace};
 
 /// An exact Gaussian-process regressor with an RBF (squared-exponential)
 /// kernel.
@@ -121,6 +121,36 @@ impl GaussianProcess {
         let var = (self.kernel(x, x) - v.norm_squared()).max(0.0);
         (mean, var)
     }
+
+    /// Posterior mean and variance at `x`, drawing the kernel-vector and
+    /// forward-solve buffers from `ws` instead of allocating them.
+    ///
+    /// Bit-identical to [`GaussianProcess::predict`] — same kernel
+    /// evaluations, dot product and forward substitution — but a query
+    /// loop over a fixed training set performs zero heap allocations after
+    /// its first call (the acquisition loop in `16.bo` runs hundreds of
+    /// queries per refit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s dimension differs from the training inputs'.
+    pub fn predict_with(&self, x: &[f64], ws: &mut Workspace) -> (f64, f64) {
+        assert_eq!(x.len(), self.train_x[0].len(), "query dimension mismatch");
+        let n = self.train_x.len();
+        let mut k_star = ws.vector(n);
+        for i in 0..n {
+            k_star[i] = self.kernel(&self.train_x[i], x);
+        }
+        let mean = self.y_mean + k_star.dot(&self.alpha);
+        let mut v = ws.vector(n);
+        self.chol
+            .solve_lower_into(&k_star, &mut v)
+            .expect("dimension fixed by training set");
+        let var = (self.kernel(x, x) - v.norm_squared()).max(0.0);
+        ws.recycle_vector(k_star);
+        ws.recycle_vector(v);
+        (mean, var)
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +214,23 @@ mod tests {
     #[test]
     fn mismatched_lengths_rejected() {
         assert!(GaussianProcess::fit(&[vec![0.0]], &[1.0, 2.0], 1.0, 1.0, 1e-6).is_err());
+    }
+
+    #[test]
+    fn predict_with_is_bit_identical_and_allocation_free_after_warmup() {
+        let (xs, ys) = quad_data();
+        let gp = GaussianProcess::fit(&xs, &ys, 0.5, 1.0, 1e-8).unwrap();
+        let mut ws = Workspace::new();
+        for q in 0..64 {
+            let x = [q as f64 * 0.037 - 0.3];
+            let (m0, v0) = gp.predict(&x);
+            let (m1, v1) = gp.predict_with(&x, &mut ws);
+            assert_eq!(m0.to_bits(), m1.to_bits(), "mean differs at query {q}");
+            assert_eq!(v0.to_bits(), v1.to_bits(), "variance differs at query {q}");
+        }
+        // k_star + v: two buffers for the whole query sweep.
+        assert_eq!(ws.allocations(), 2);
+        assert_eq!(ws.handouts(), 128);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use rtr_geom::{normalize_angle, Point2, Pose2};
 use rtr_harness::Profiler;
+use rtr_linalg::Workspace;
 
 /// Configuration for [`Mpc`].
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +32,11 @@ pub struct MpcConfig {
     pub w_tracking: f64,
     /// Weight on control effort (the "state change" penalty).
     pub w_effort: f64,
+    /// Route the per-step solver through reusable scratch buffers so the
+    /// inner optimize loop performs zero heap allocations after the first
+    /// control step. `false` selects the legacy allocating solver —
+    /// bit-identical results, retained for the equivalence suite.
+    pub use_workspace: bool,
 }
 
 impl Default for MpcConfig {
@@ -44,6 +50,7 @@ impl Default for MpcConfig {
             opt_iterations: 40,
             w_tracking: 1.0,
             w_effort: 0.05,
+            use_workspace: true,
         }
     }
 }
@@ -70,6 +77,24 @@ pub struct MpcResult {
     pub max_accel: f64,
     /// Optimizer iterations executed in total.
     pub opt_iterations: u64,
+    /// Fresh scratch-buffer allocations performed by the workspace-backed
+    /// solver over the whole run (always 0 in legacy allocating mode,
+    /// which bypasses the pool). Plateaus after the first control step —
+    /// the allocation-regression tests assert it stays at the warmup
+    /// count no matter how long the reference is.
+    pub workspace_allocations: usize,
+}
+
+/// Reusable solver scratch: a [`Workspace`] pool for the flattened
+/// gradient plus a tuple buffer for the projected proposal (tuples cannot
+/// live in the `f64` pool).
+#[derive(Debug, Default, Clone)]
+struct SolveScratch {
+    ws: Workspace,
+    proposal: Vec<(f64, f64)>,
+    /// Times the tuple buffer's capacity had to grow (counts as an
+    /// allocation for the regression tests).
+    growths: usize,
 }
 
 /// The MPC kernel.
@@ -179,6 +204,73 @@ impl Mpc {
         iterations
     }
 
+    /// Workspace-backed twin of [`Mpc::optimize`]: same central-difference
+    /// gradients, projected step and backtracking — bit-identical cost
+    /// trajectory — but the gradient lives in a pooled flat buffer and the
+    /// proposal in a reused tuple buffer, so after the first control step
+    /// the loop never touches the heap.
+    fn optimize_ws(
+        &self,
+        s0: CarState,
+        controls: &mut [(f64, f64)],
+        refs: &[Point2],
+        scratch: &mut SolveScratch,
+    ) -> u64 {
+        let h = 1e-4;
+        let mut step_size = 0.4;
+        let mut best = self.horizon_cost(s0, controls, refs);
+        let mut iterations = 0u64;
+        let n = controls.len();
+        // Flattened gradient: (∂/∂a_k, ∂/∂ω_k) at [2k, 2k+1]. Every slot
+        // is rewritten each iteration before it is read, so the buffer is
+        // taken once per solve and never re-zeroed.
+        let mut grad = scratch.ws.vector(2 * n);
+        for _ in 0..self.config.opt_iterations {
+            iterations += 1;
+            for k in 0..n {
+                let orig = controls[k];
+                controls[k].0 = orig.0 + h;
+                let up = self.horizon_cost(s0, controls, refs);
+                controls[k].0 = orig.0 - h;
+                let down = self.horizon_cost(s0, controls, refs);
+                controls[k].0 = orig.0;
+                grad[2 * k] = (up - down) / (2.0 * h);
+
+                controls[k].1 = orig.1 + h;
+                let up = self.horizon_cost(s0, controls, refs);
+                controls[k].1 = orig.1 - h;
+                let down = self.horizon_cost(s0, controls, refs);
+                controls[k].1 = orig.1;
+                grad[2 * k + 1] = (up - down) / (2.0 * h);
+            }
+            if scratch.proposal.capacity() < n {
+                scratch.growths += 1;
+            }
+            scratch.proposal.clear();
+            scratch
+                .proposal
+                .extend(controls.iter().enumerate().map(|(k, &(a, w))| {
+                    (
+                        (a - step_size * grad[2 * k]).clamp(-self.config.a_max, self.config.a_max),
+                        (w - step_size * grad[2 * k + 1])
+                            .clamp(-self.config.steer_max, self.config.steer_max),
+                    )
+                }));
+            let cost = self.horizon_cost(s0, &scratch.proposal, refs);
+            if cost < best {
+                best = cost;
+                controls.copy_from_slice(&scratch.proposal);
+            } else {
+                step_size *= 0.5;
+                if step_size < 1e-6 {
+                    break;
+                }
+            }
+        }
+        scratch.ws.recycle_vector(grad);
+        iterations
+    }
+
     /// Tracks `reference` from its first point, running one optimization
     /// per control step (receding horizon) until the end of the reference
     /// is approached.
@@ -202,6 +294,10 @@ impl Mpc {
         let mut max_speed: f64 = 0.0;
         let mut max_accel: f64 = 0.0;
         let mut opt_iterations = 0u64;
+        let use_ws = self.config.use_workspace;
+        let mut scratch = SolveScratch::default();
+        let mut window: Vec<Point2> = Vec::new();
+        let mut window_growths = 0usize;
 
         // Progress along the reference: advance the window to the closest
         // reference point ahead of the car.
@@ -220,12 +316,28 @@ impl Mpc {
             {
                 break;
             }
-            let window: Vec<Point2> = (0..self.config.horizon)
-                .map(|k| reference[(ref_idx + 1 + k).min(reference.len() - 1)])
-                .collect();
+            if use_ws {
+                if window.capacity() < self.config.horizon {
+                    window_growths += 1;
+                }
+                window.clear();
+                window.extend(
+                    (0..self.config.horizon)
+                        .map(|k| reference[(ref_idx + 1 + k).min(reference.len() - 1)]),
+                );
+            } else {
+                window = (0..self.config.horizon)
+                    .map(|k| reference[(ref_idx + 1 + k).min(reference.len() - 1)])
+                    .collect();
+            }
 
-            opt_iterations +=
-                profiler.time("optimize", || self.optimize(state, &mut controls, &window));
+            opt_iterations += profiler.time("optimize", || {
+                if use_ws {
+                    self.optimize_ws(state, &mut controls, &window, &mut scratch)
+                } else {
+                    self.optimize(state, &mut controls, &window)
+                }
+            });
 
             let (a, omega) = controls[0];
             profiler.time("simulate", || {
@@ -257,6 +369,11 @@ impl Mpc {
             max_speed,
             max_accel,
             opt_iterations,
+            workspace_allocations: if use_ws {
+                scratch.ws.allocations() + scratch.growths + window_growths
+            } else {
+                0
+            },
         }
     }
 }
@@ -344,6 +461,55 @@ mod tests {
         let rough = run(3);
         let fine = run(60);
         assert!(fine <= rough * 1.5 + 0.05, "fine {fine} vs rough {rough}");
+    }
+
+    #[test]
+    fn workspace_solver_is_bit_identical_to_legacy() {
+        let reference = winding_reference(80);
+        let run = |use_workspace: bool| {
+            let mut profiler = Profiler::new();
+            Mpc::new(MpcConfig {
+                use_workspace,
+                ..Default::default()
+            })
+            .track(&reference, &mut profiler)
+        };
+        let ws = run(true);
+        let legacy = run(false);
+        assert_eq!(ws.trace.len(), legacy.trace.len());
+        for (a, b) in ws.trace.iter().zip(legacy.trace.iter()) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+        }
+        assert_eq!(
+            ws.mean_tracking_error.to_bits(),
+            legacy.mean_tracking_error.to_bits()
+        );
+        assert_eq!(
+            ws.max_tracking_error.to_bits(),
+            legacy.max_tracking_error.to_bits()
+        );
+        assert_eq!(ws.max_speed.to_bits(), legacy.max_speed.to_bits());
+        assert_eq!(ws.max_accel.to_bits(), legacy.max_accel.to_bits());
+        assert_eq!(ws.opt_iterations, legacy.opt_iterations);
+        assert!(ws.workspace_allocations > 0);
+        assert_eq!(legacy.workspace_allocations, 0);
+    }
+
+    #[test]
+    fn workspace_allocations_plateau_with_reference_length() {
+        let run = |n: usize| {
+            let mut profiler = Profiler::new();
+            Mpc::new(MpcConfig::default())
+                .track(&winding_reference(n), &mut profiler)
+                .workspace_allocations
+        };
+        let short = run(30);
+        let long = run(120);
+        // One gradient buffer, one proposal growth, one window growth —
+        // all during the first control step, regardless of run length.
+        assert_eq!(short, 3, "warmup allocations");
+        assert_eq!(long, short, "allocations must not scale with steps");
     }
 
     #[test]

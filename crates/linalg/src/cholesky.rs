@@ -113,6 +113,29 @@ impl Cholesky {
         Ok(x)
     }
 
+    /// In-place twin of [`Cholesky::solve`]: forward-substitutes into `out`
+    /// and back-substitutes in place. The backward pass consumes each
+    /// `y[i]` exactly once before overwriting it with `x[i]`, so the
+    /// operand sequence — and hence every rounding — matches the
+    /// two-buffer version bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` or
+    /// `out.len()` differs from the factorized dimension.
+    pub fn solve_into(&self, b: &Vector, out: &mut Vector) -> Result<(), LinalgError> {
+        self.solve_lower_into(b, out)?;
+        let n = self.dim();
+        for i in (0..n).rev() {
+            let mut sum = out[i];
+            for j in (i + 1)..n {
+                sum -= self.l[(j, i)] * out[j];
+            }
+            out[i] = sum / self.l[(i, i)];
+        }
+        Ok(())
+    }
+
     /// Solves `L·y = b` (forward substitution only).
     ///
     /// Gaussian-process log-likelihoods need the half-solve to compute
@@ -140,6 +163,32 @@ impl Cholesky {
             y[i] = sum / self.l[(i, i)];
         }
         Ok(y)
+    }
+
+    /// In-place twin of [`Cholesky::solve_lower`]: forward-substitutes
+    /// `L·y = b` into `out`, bit-identical to the allocating version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` or
+    /// `out.len()` differs from the factorized dimension.
+    pub fn solve_lower_into(&self, b: &Vector, out: &mut Vector) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if b.len() != n || out.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Cholesky forward solve (into)",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.l[(i, j)] * out[j];
+            }
+            out[i] = sum / self.l[(i, i)];
+        }
+        Ok(())
     }
 
     /// Log-determinant of `A`, computed as `2·Σ log L(i,i)`.

@@ -16,6 +16,8 @@
 //!   determinant.
 //! - [`Cholesky`] — factorization of symmetric positive-definite matrices.
 //! - [`Qr`] — Householder QR factorization and least-squares solves.
+//! - [`Workspace`] — recycled scratch-buffer pool backing the `*_into`
+//!   in-place operations, so kernel hot loops run allocation-free.
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@ mod lu;
 mod matrix;
 mod qr;
 mod vector;
+mod workspace;
 
 pub use cholesky::Cholesky;
 pub use eigen::{symmetric_eigen, SymmetricEigen};
@@ -50,6 +53,7 @@ pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
 pub use vector::Vector;
+pub use workspace::Workspace;
 
 /// Comparison tolerance used by approximate-equality helpers in this crate.
 pub const DEFAULT_EPSILON: f64 = 1e-9;

@@ -137,6 +137,43 @@ impl Lu {
         Ok(x)
     }
 
+    /// In-place twin of [`Lu::solve`]: permutes `b` into `out`, then
+    /// forward- and back-substitutes in place with the identical operand
+    /// sequence, so the result is bit-identical to the allocating version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` or
+    /// `out.len()` differs from the factorized dimension.
+    pub fn solve_into(&self, b: &Vector, out: &mut Vector) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if b.len() != n || out.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "LU solve (into)",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        for i in 0..n {
+            out[i] = b[self.perm[i]];
+        }
+        for i in 1..n {
+            let mut sum = out[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * out[j];
+            }
+            out[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = out[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * out[j];
+            }
+            out[i] = sum / self.lu[(i, i)];
+        }
+        Ok(())
+    }
+
     /// Computes `A⁻¹` by solving against each canonical basis vector.
     ///
     /// # Errors

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
-use crate::{Cholesky, LinalgError, Lu, Qr, Vector};
+use crate::{Cholesky, LinalgError, Lu, Qr, Vector, Workspace};
 
 /// A heap-allocated, row-major matrix of `f64` elements.
 ///
@@ -201,6 +201,28 @@ impl Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
     }
 
+    /// Writes the transpose into a caller-provided matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `out` is not
+    /// `self.cols() × self.rows()`.
+    pub fn transpose_into(&self, out: &mut Matrix) -> Result<(), LinalgError> {
+        if out.rows != self.cols || out.cols != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "transpose (into)",
+                lhs: self.shape(),
+                rhs: out.shape(),
+            });
+        }
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out[(r, c)] = self[(c, r)];
+            }
+        }
+        Ok(())
+    }
+
     /// Matrix–matrix product.
     ///
     /// Dispatches on size: small products use the streaming i-k-j kernel
@@ -253,6 +275,13 @@ impl Matrix {
     // any floating-point sum.
     fn mul_unblocked(&self, rhs: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.mul_unblocked_into(rhs, &mut out);
+        out
+    }
+
+    // Accumulates `self * rhs` into `out`, which must be pre-zeroed with
+    // shape (self.rows, rhs.cols).
+    fn mul_unblocked_into(&self, rhs: &Matrix, out: &mut Matrix) {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
@@ -266,7 +295,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     // Cache-blocked i-k-j: the output columns are processed in bands of
@@ -279,8 +307,15 @@ impl Matrix {
     // ascending `k` with the same zero-skip, so the accumulation order —
     // and hence every rounding — matches `mul_unblocked` exactly.
     fn mul_blocked(&self, rhs: &Matrix) -> Matrix {
-        const BLOCK_J: usize = 256;
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.mul_blocked_into(rhs, &mut out);
+        out
+    }
+
+    // Accumulates `self * rhs` into `out`, which must be pre-zeroed with
+    // shape (self.rows, rhs.cols).
+    fn mul_blocked_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        const BLOCK_J: usize = 256;
         for jj in (0..rhs.cols).step_by(BLOCK_J) {
             let j_end = (jj + BLOCK_J).min(rhs.cols);
             for i in 0..self.rows {
@@ -334,7 +369,36 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// Matrix–matrix product into a caller-provided output, the in-place
+    /// twin of [`Matrix::mul_matrix`].
+    ///
+    /// `out` is zero-filled and then accumulated through exactly the same
+    /// size dispatch and per-element summation order as the allocating
+    /// version, so the result is bit-identical; only the heap traffic
+    /// differs. Hot loops pair this with a [`crate::Workspace`] so the
+    /// output buffer is recycled across iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs.rows()` or `out` is not `self.rows() × rhs.cols()`.
+    pub fn mul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.cols != rhs.rows || out.rows != self.rows || out.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matrix multiply (into)",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        if self.rows.min(self.cols).min(rhs.cols) < Self::BLOCK_THRESHOLD {
+            self.mul_unblocked_into(rhs, out);
+        } else {
+            self.mul_blocked_into(rhs, out);
+        }
+        Ok(())
     }
 
     /// Computes `self * rhs_tᵀ` without materializing the transpose: the
@@ -349,14 +413,28 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] if
     /// `self.cols() != rhs_t.cols()`.
     pub fn mul_transposed(&self, rhs_t: &Matrix) -> Result<Matrix, LinalgError> {
-        if self.cols != rhs_t.cols {
+        let mut out = Matrix::zeros(self.rows, rhs_t.rows);
+        self.mul_transposed_into(rhs_t, &mut out)?;
+        Ok(out)
+    }
+
+    /// In-place twin of [`Matrix::mul_transposed`]: writes `self * rhs_tᵀ`
+    /// into `out` with the identical accumulation order, so the result is
+    /// bit-identical to the allocating version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs_t.cols()` or `out` is not
+    /// `self.rows() × rhs_t.rows()`.
+    pub fn mul_transposed_into(&self, rhs_t: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.cols != rhs_t.cols || out.rows != self.rows || out.cols != rhs_t.rows {
             return Err(LinalgError::DimensionMismatch {
                 op: "matrix multiply (transposed rhs)",
                 lhs: self.shape(),
                 rhs: rhs_t.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs_t.rows);
         // Four output columns at a time: the four dot products are
         // independent accumulator chains, which hides the FP-add latency
         // a single strict-order dot is bound by, and the four `rhs_t` rows
@@ -395,7 +473,7 @@ impl Matrix {
                 out.row_mut(i)[j] = acc;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix–vector product.
@@ -420,6 +498,32 @@ impl Matrix {
         }))
     }
 
+    /// Matrix–vector product into a caller-provided output, bit-identical
+    /// to [`Matrix::mul_vector`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != v.len()`
+    /// or `out.len() != self.rows()`.
+    pub fn mul_vector_into(&self, v: &Vector, out: &mut Vector) -> Result<(), LinalgError> {
+        if self.cols != v.len() || out.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matrix-vector multiply (into)",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        for r in 0..self.rows {
+            out[r] = self
+                .row(r)
+                .iter()
+                .zip(v.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+        }
+        Ok(())
+    }
+
     /// Computes `self * rhs * selfᵀ`, the congruence transform used in every
     /// EKF covariance propagation (`F P Fᵀ`, `H P Hᵀ`).
     ///
@@ -440,6 +544,40 @@ impl Matrix {
         } else {
             m.mul_matrix(&self.transpose())
         }
+    }
+
+    /// In-place twin of [`Matrix::congruence`]: computes `self * rhs * selfᵀ`
+    /// into `out`, drawing every temporary from `ws` so repeated calls (one
+    /// per EKF predict step, say) allocate nothing after the first.
+    ///
+    /// Follows the same size dispatch and summation order as the allocating
+    /// version, so the result is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when shapes are
+    /// incompatible or `out` is not `self.rows() × self.rows()`.
+    pub fn congruence_into(
+        &self,
+        rhs: &Matrix,
+        ws: &mut Workspace,
+        out: &mut Matrix,
+    ) -> Result<(), LinalgError> {
+        let mut m = ws.matrix(self.rows, rhs.cols);
+        let result = self.mul_into(rhs, &mut m).and_then(|()| {
+            if self.rows < 48 {
+                m.mul_transposed_into(self, out)
+            } else {
+                let mut t = ws.matrix(self.cols, self.rows);
+                let r = self
+                    .transpose_into(&mut t)
+                    .and_then(|()| m.mul_into(&t, out));
+                ws.recycle_matrix(t);
+                r
+            }
+        });
+        ws.recycle_matrix(m);
+        result
     }
 
     /// LU factorization with partial pivoting.
@@ -598,6 +736,29 @@ impl Matrix {
         for x in &mut self.data {
             *x *= factor;
         }
+    }
+
+    /// `self += alpha * rhs`, the matrix AXPY update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled_assign(&mut self, alpha: f64, rhs: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix add-scaled-assign: shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Consumes the matrix, returning the row-major element storage (the
+    /// inverse of [`Matrix::from_vec`]); [`crate::Workspace`] uses this to
+    /// recycle buffers without copying.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
     }
 }
 
@@ -936,6 +1097,49 @@ mod tests {
     fn mul_transposed_rejects_mismatched_inner_dims() {
         assert!(Matrix::zeros(3, 4)
             .mul_transposed(&Matrix::zeros(5, 3))
+            .is_err());
+    }
+
+    #[test]
+    fn mul_into_dispatches_blocked_kernel_bit_identically() {
+        // 96³ crosses BLOCK_THRESHOLD, so this exercises mul_blocked_into.
+        let a = dense(96, 96, 7);
+        let b = dense(96, 96, 8);
+        let reference = a.mul_matrix(&b).unwrap();
+        let mut out = Matrix::zeros(96, 96);
+        a.mul_into(&b, &mut out).unwrap();
+        for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn congruence_into_matches_both_dispatch_branches() {
+        let mut ws = Workspace::new();
+        // n = 24 takes the transposed-RHS path, n = 56 the transpose path.
+        for &n in &[24usize, 56] {
+            let f = dense(n, n, 9);
+            let p = dense(n, n, 10);
+            let reference = f.congruence(&p).unwrap();
+            let mut out = Matrix::zeros(n, n);
+            f.congruence_into(&p, &mut ws, &mut out).unwrap();
+            for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn into_apis_reject_wrong_output_shapes() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(4, 2);
+        assert!(a.mul_into(&b, &mut Matrix::zeros(3, 3)).is_err());
+        assert!(a.transpose_into(&mut Matrix::zeros(3, 4)).is_err());
+        assert!(a
+            .mul_transposed_into(&Matrix::zeros(2, 4), &mut Matrix::zeros(2, 2))
+            .is_err());
+        assert!(a
+            .mul_vector_into(&Vector::zeros(4), &mut Vector::zeros(2))
             .is_err());
     }
 }

@@ -5,7 +5,26 @@
 //! inputs.
 
 use proptest::prelude::*;
-use rtr_linalg::{Matrix, Vector};
+use rtr_linalg::{Matrix, Vector, Workspace};
+
+/// Bitwise matrix equality: the in-place API contract is exact, not
+/// approximate.
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Bitwise vector equality.
+fn vbits_equal(a: &Vector, b: &Vector) -> bool {
+    a.len() == b.len()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
 
 /// Strategy: a well-scaled random vector of length `n`.
 fn vector(n: usize) -> impl Strategy<Value = Vector> {
@@ -128,5 +147,106 @@ proptest! {
         prop_assert!(out.is_symmetric(1e-8));
         // An SPD matrix congruence-transformed by an invertible F stays PD.
         prop_assert!(out.cholesky().is_ok());
+    }
+
+    #[test]
+    fn mul_into_is_bit_identical(a in dominant_matrix(5), b in dominant_matrix(5)) {
+        let reference = a.mul_matrix(&b).unwrap();
+        let mut ws = Workspace::new();
+        let mut out = ws.matrix(5, 5);
+        // Dirty the buffer through one round trip: mul_into must zero it.
+        out[(2, 3)] = 99.0;
+        a.mul_into(&b, &mut out).unwrap();
+        prop_assert!(bits_equal(&out, &reference));
+    }
+
+    #[test]
+    fn mul_transposed_into_is_bit_identical(a in dominant_matrix(4), b in dominant_matrix(4)) {
+        let reference = a.mul_transposed(&b).unwrap();
+        let mut out = Matrix::zeros(4, 4);
+        a.mul_transposed_into(&b, &mut out).unwrap();
+        prop_assert!(bits_equal(&out, &reference));
+    }
+
+    #[test]
+    fn transpose_into_is_bit_identical(a in dominant_matrix(4)) {
+        let mut out = Matrix::zeros(4, 4);
+        a.transpose_into(&mut out).unwrap();
+        prop_assert!(bits_equal(&out, &a.transpose()));
+    }
+
+    #[test]
+    fn congruence_into_is_bit_identical(f in dominant_matrix(4), p in spd_matrix(4)) {
+        let reference = f.congruence(&p).unwrap();
+        let mut ws = Workspace::new();
+        let mut out = ws.matrix(4, 4);
+        f.congruence_into(&p, &mut ws, &mut out).unwrap();
+        prop_assert!(bits_equal(&out, &reference));
+    }
+
+    #[test]
+    fn mul_vector_into_is_bit_identical(a in dominant_matrix(5), x in vector(5)) {
+        let reference = a.mul_vector(&x).unwrap();
+        let mut out = Vector::zeros(5);
+        a.mul_vector_into(&x, &mut out).unwrap();
+        prop_assert!(vbits_equal(&out, &reference));
+    }
+
+    #[test]
+    fn add_scaled_assign_matches_axpy_semantics(
+        a in dominant_matrix(3),
+        b in dominant_matrix(3),
+        alpha in -2.0..2.0f64,
+    ) {
+        let mut out = a.clone();
+        out.add_scaled_assign(alpha, &b);
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = a[(r, c)] + alpha * b[(r, c)];
+                prop_assert_eq!(out[(r, c)].to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_into_is_bit_identical(a in spd_matrix(5), x in vector(5)) {
+        let b = a.mul_vector(&x).unwrap();
+        let chol = a.cholesky().unwrap();
+        let reference = chol.solve(&b).unwrap();
+        let mut out = Vector::zeros(5);
+        chol.solve_into(&b, &mut out).unwrap();
+        prop_assert!(vbits_equal(&out, &reference));
+
+        let lower_ref = chol.solve_lower(&b).unwrap();
+        chol.solve_lower_into(&b, &mut out).unwrap();
+        prop_assert!(vbits_equal(&out, &lower_ref));
+    }
+
+    #[test]
+    fn lu_solve_into_is_bit_identical(a in dominant_matrix(5), x in vector(5)) {
+        let b = a.mul_vector(&x).unwrap();
+        let lu = a.lu().unwrap();
+        let reference = lu.solve(&b).unwrap();
+        let mut out = Vector::zeros(5);
+        lu.solve_into(&b, &mut out).unwrap();
+        prop_assert!(vbits_equal(&out, &reference));
+    }
+
+    #[test]
+    fn workspace_reuse_never_perturbs_results(
+        a in dominant_matrix(4),
+        b in dominant_matrix(4),
+    ) {
+        // Two rounds through the same workspace: the recycled (dirty)
+        // buffers must give the same bits as the first round.
+        let mut ws = Workspace::new();
+        let mut first = ws.matrix(4, 4);
+        a.mul_into(&b, &mut first).unwrap();
+        let reference = first.clone();
+        ws.recycle_matrix(first);
+        let mut second = ws.matrix(4, 4);
+        a.mul_into(&b, &mut second).unwrap();
+        prop_assert!(bits_equal(&second, &reference));
+        prop_assert_eq!(ws.allocations(), 1);
     }
 }

@@ -12,8 +12,30 @@
 
 use rtr_geom::{normalize_angle, Point2, Pose2};
 use rtr_harness::Profiler;
-use rtr_linalg::{Matrix, Vector};
+use rtr_linalg::{Matrix, Vector, Workspace};
 use rtr_sim::SlamStep;
+
+/// Selects the covariance-update implementation of [`EkfSlam`].
+///
+/// Both modes produce bit-identical filter states — the sparse path skips
+/// only terms whose `H` factor is a structural zero (`x + 0.0 == x`
+/// exactly) and keeps the surviving terms in the legacy summation order,
+/// a contract enforced by the dense-vs-sparse equivalence proptest in
+/// `rtr-bench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EkfUpdateMode {
+    /// The original full-matrix update: every per-landmark product runs
+    /// over all `dim × dim` covariance entries and allocates fresh
+    /// temporaries. Kept verbatim as the equivalence reference and the
+    /// `ekf_dense_vs_sparse` bench baseline.
+    DenseLegacy,
+    /// Block-sparse update exploiting the two nonzero column blocks of the
+    /// observation Jacobian (robot pose + one landmark), with every
+    /// temporary drawn from a recycled [`Workspace`]: O(dim²) per landmark
+    /// and allocation-free after warmup.
+    #[default]
+    SparseWorkspace,
+}
 
 /// Configuration for [`EkfSlam`].
 #[derive(Debug, Clone)]
@@ -30,6 +52,8 @@ pub struct EkfSlamConfig {
     pub r_bearing: f64,
     /// Initial pose of the filter (the paper's robot knows its start).
     pub initial_pose: Pose2,
+    /// Which covariance-update path to run (bit-identical either way).
+    pub update_mode: EkfUpdateMode,
 }
 
 impl Default for EkfSlamConfig {
@@ -41,6 +65,7 @@ impl Default for EkfSlamConfig {
             r_range: 0.05,
             r_bearing: 0.002,
             initial_pose: Pose2::new(7.0, 5.5, 0.0),
+            update_mode: EkfUpdateMode::default(),
         }
     }
 }
@@ -90,6 +115,8 @@ pub struct EkfSlam {
     cov: Matrix,
     /// Which landmark slots have been initialized.
     seen: Vec<bool>,
+    /// Recycled scratch buffers for the workspace update path.
+    ws: Workspace,
     updates: u64,
 }
 
@@ -111,8 +138,18 @@ impl EkfSlam {
             config,
             state,
             cov,
+            ws: Workspace::new(),
             updates: 0,
         }
+    }
+
+    /// Fresh heap allocations the workspace update path has performed.
+    ///
+    /// Plateaus after the first predict/update pair — the invariant the
+    /// allocation-regression test asserts. Always zero in
+    /// [`EkfUpdateMode::DenseLegacy`] (that path never touches the pool).
+    pub fn workspace_allocations(&self) -> usize {
+        self.ws.allocations()
     }
 
     /// State dimension (3 + 2·max_landmarks).
@@ -152,6 +189,15 @@ impl EkfSlam {
         self.state[1] += v * theta.sin();
         self.state[2] = normalize_angle(self.state[2] + omega);
 
+        match self.config.update_mode {
+            EkfUpdateMode::DenseLegacy => self.predict_cov_dense(v, theta, profiler),
+            EkfUpdateMode::SparseWorkspace => self.predict_cov_workspace(v, theta, profiler),
+        }
+    }
+
+    /// Legacy covariance propagation: allocates the Jacobian, the noise
+    /// matrix and the product fresh every step.
+    fn predict_cov_dense(&mut self, v: f64, theta: f64, profiler: &mut Profiler) {
         let dim = self.dim();
         // Jacobian: identity with the pose block replaced.
         let mut f = Matrix::identity(dim);
@@ -173,10 +219,39 @@ impl EkfSlam {
         self.cov = new_cov;
     }
 
+    /// Workspace covariance propagation: same arithmetic as the dense path
+    /// (`congruence_into` replicates the `congruence` dispatch and
+    /// summation order), with every buffer recycled across steps.
+    fn predict_cov_workspace(&mut self, v: f64, theta: f64, profiler: &mut Profiler) {
+        let dim = self.dim();
+        let ws = &mut self.ws;
+        let cov = &self.cov;
+        let mut f = ws.matrix(dim, dim);
+        for i in 0..dim {
+            f[(i, i)] = 1.0;
+        }
+        f[(0, 2)] = -v * theta.sin();
+        f[(1, 2)] = v * theta.cos();
+        let mut q = ws.matrix(dim, dim);
+        q[(0, 0)] = self.config.q_trans;
+        q[(1, 1)] = self.config.q_trans;
+        q[(2, 2)] = self.config.q_rot;
+
+        let mut p = ws.matrix(dim, dim);
+        profiler.time("matrix_ops", || {
+            f.congruence_into(cov, ws, &mut p).expect("shape");
+            p += &q;
+            p.symmetrize_mut();
+        });
+        let old = std::mem::replace(&mut self.cov, p);
+        self.ws.recycle_matrix(old);
+        self.ws.recycle_matrix(f);
+        self.ws.recycle_matrix(q);
+    }
+
     /// EKF update with one range-bearing observation of landmark `id`.
     pub fn update(&mut self, id: usize, range: f64, bearing: f64, profiler: &mut Profiler) {
         assert!(id < self.config.max_landmarks, "landmark id out of range");
-        let dim = self.dim();
         let lx_idx = 3 + 2 * id;
         let ly_idx = lx_idx + 1;
 
@@ -199,10 +274,38 @@ impl EkfSlam {
         // Measurement prediction and innovation.
         let predicted_range = sqrt_q;
         let predicted_bearing = normalize_angle(dy.atan2(dx) - self.state[2]);
-        let innovation = Vector::from_slice(&[
+        let innovation = [
             range - predicted_range,
             normalize_angle(bearing - predicted_bearing),
-        ]);
+        ];
+
+        match self.config.update_mode {
+            EkfUpdateMode::DenseLegacy => {
+                self.update_dense(lx_idx, ly_idx, dx, dy, q, sqrt_q, innovation, profiler);
+            }
+            EkfUpdateMode::SparseWorkspace => {
+                self.update_sparse(lx_idx, ly_idx, dx, dy, q, sqrt_q, innovation, profiler);
+            }
+        }
+        self.state[2] = normalize_angle(self.state[2]);
+        self.updates += 1;
+    }
+
+    /// Legacy dense update: full `dim × dim` products per landmark.
+    #[allow(clippy::too_many_arguments)]
+    fn update_dense(
+        &mut self,
+        lx_idx: usize,
+        ly_idx: usize,
+        dx: f64,
+        dy: f64,
+        q: f64,
+        sqrt_q: f64,
+        innovation: [f64; 2],
+        profiler: &mut Profiler,
+    ) {
+        let dim = self.dim();
+        let innovation = Vector::from_slice(&innovation);
 
         // Jacobian H (2 × dim): nonzero only on pose and this landmark.
         let mut h = Matrix::zeros(2, dim);
@@ -235,8 +338,214 @@ impl EkfSlam {
 
         let correction = gain.mul_vector(&innovation).expect("shape");
         self.state += &correction;
-        self.state[2] = normalize_angle(self.state[2]);
-        self.updates += 1;
+    }
+
+    /// Block-sparse workspace update.
+    ///
+    /// `H` is nonzero only in five columns (robot pose + this landmark), so
+    /// every product against it needs only those rows/columns of `P`. The
+    /// dense kernels already skip zero multiplier entries, which makes the
+    /// equivalence argument exact rather than approximate: each surviving
+    /// term below is the same product the dense path computes, in the same
+    /// ascending-`k` position of the same accumulator. The dense path's
+    /// extra terms all carry a structural `+0.0` from `H` (or from `KH` at
+    /// structural columns, which is always `+0.0` because every accumulator
+    /// starts at `+0.0` and `(+0.0) + (±0.0) == +0.0`), and adding `±0.0`
+    /// to a non-negative-zero float never changes its bits. The
+    /// dense-vs-sparse proptest in `rtr-bench` enforces this bit-identity.
+    #[allow(clippy::too_many_arguments)]
+    fn update_sparse(
+        &mut self,
+        lx_idx: usize,
+        ly_idx: usize,
+        dx: f64,
+        dy: f64,
+        q: f64,
+        sqrt_q: f64,
+        innovation: [f64; 2],
+        profiler: &mut Profiler,
+    ) {
+        let dim = self.dim();
+        // The five columns where H can be nonzero, ascending (lx_idx ≥ 3).
+        let active = [0usize, 1, 2, lx_idx, ly_idx];
+        let h0 = [-dx / sqrt_q, -dy / sqrt_q, 0.0, dx / sqrt_q, dy / sqrt_q];
+        let h1 = [dy / q, -dx / q, -1.0, -dy / q, dx / q];
+        let (r_range, r_bearing) = (self.config.r_range, self.config.r_bearing);
+
+        let cov = &self.cov;
+        let ws = &mut self.ws;
+        let (gain, new_cov) = profiler.time("matrix_ops", || {
+            // hp = H·P: only the five active rows of P contribute; same
+            // ascending-k saxpy order and zero skip as the dense kernel.
+            let mut hp = ws.matrix(2, dim);
+            for i in 0..2 {
+                let hvals = if i == 0 { h0 } else { h1 };
+                for (t, &c) in active.iter().enumerate() {
+                    let a = hvals[t];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let src = cov.row(c);
+                    for (o, &b) in hp.row_mut(i).iter_mut().zip(src.iter()) {
+                        *o += a * b;
+                    }
+                }
+            }
+
+            // Dense copy of H's two rows, for the full-k passes below that
+            // replicate the dense path's term-for-term accumulation.
+            let mut hd = ws.matrix(2, dim);
+            for (t, &c) in active.iter().enumerate() {
+                hd[(0, c)] = h0[t];
+                hd[(1, c)] = h1[t];
+            }
+
+            // s = hp·Hᵀ + R, replicating mul_transposed's full-k dot (the
+            // skip there is on hp's entries, not H's) plus the elementwise
+            // R add.
+            let mut s = [0.0f64; 4];
+            for j in 0..2 {
+                for i in 0..2 {
+                    let mut acc = 0.0;
+                    let hrow = hd.row(j);
+                    for (k, &a) in hp.row(i).iter().enumerate() {
+                        if a != 0.0 {
+                            acc += a * hrow[k];
+                        }
+                    }
+                    s[i * 2 + j] = acc;
+                }
+            }
+            s[0] += r_range;
+            s[1] += 0.0;
+            s[2] += 0.0;
+            s[3] += r_bearing;
+
+            // 2×2 LU inverse with partial pivoting: the Lu::new / Lu::solve
+            // arithmetic specialized to n = 2 on stack storage (same 1e-13
+            // pivot tolerance).
+            let mut lu = s;
+            let mut perm = [0usize, 1];
+            if lu[2].abs() > lu[0].abs() {
+                lu.swap(0, 2);
+                lu.swap(1, 3);
+                perm.swap(0, 1);
+            }
+            assert!(lu[0].abs() > 1e-13, "innovation covariance is SPD");
+            let factor = lu[2] / lu[0];
+            lu[2] = factor;
+            lu[3] -= factor * lu[1];
+            assert!(lu[3].abs() > 1e-13, "innovation covariance is SPD");
+            let mut s_inv = [0.0f64; 4];
+            for c in 0..2 {
+                let e = [(c == 0) as u8 as f64, (c == 1) as u8 as f64];
+                let mut x = [e[perm[0]], e[perm[1]]];
+                x[1] -= lu[2] * x[0];
+                x[1] /= lu[3];
+                x[0] = (x[0] - lu[1] * x[1]) / lu[0];
+                s_inv[c] = x[0];
+                s_inv[2 + c] = x[1];
+            }
+
+            // pht = P·Hᵀ: per row of P, only the five active columns carry
+            // nonzero Hᵀ rows; skip on P's entry matches the dense kernel.
+            let mut pht = ws.matrix(dim, 2);
+            for i in 0..dim {
+                let crow = cov.row(i);
+                let prow = pht.row_mut(i);
+                for (t, &c) in active.iter().enumerate() {
+                    let a = crow[c];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    prow[0] += a * h0[t];
+                    prow[1] += a * h1[t];
+                }
+            }
+
+            // K = pht·S⁻¹ (exact small product, same skip).
+            let mut gain = ws.matrix(dim, 2);
+            for i in 0..dim {
+                let prow = pht.row(i);
+                let grow = gain.row_mut(i);
+                for l in 0..2 {
+                    let a = prow[l];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    grow[0] += a * s_inv[l * 2];
+                    grow[1] += a * s_inv[l * 2 + 1];
+                }
+            }
+
+            // P ← (I − KH)·P, row by row. Row i of (I − KH) is nonzero only
+            // at the active columns and the diagonal, so each row of the new
+            // P is a ≤6-term combination of rows of the old P — the O(dim²)
+            // core of the sparse update.
+            let mut p = ws.matrix(dim, dim);
+            for i in 0..dim {
+                let k0 = gain[(i, 0)];
+                let k1 = gain[(i, 1)];
+                // Merged ascending walk of active ∪ {i}.
+                let mut cols = [0usize; 6];
+                let mut ncols = 0;
+                let mut inserted = false;
+                for &c in &active {
+                    if !inserted && i < c {
+                        cols[ncols] = i;
+                        ncols += 1;
+                        inserted = true;
+                    }
+                    if c == i {
+                        inserted = true;
+                    }
+                    cols[ncols] = c;
+                    ncols += 1;
+                }
+                if !inserted {
+                    cols[ncols] = i;
+                    ncols += 1;
+                }
+                for &c in &cols[..ncols] {
+                    // (KH)[i][c] with the dense kernel's j-ascending skip.
+                    let mut kh = 0.0;
+                    if k0 != 0.0 {
+                        kh += k0 * hd[(0, c)];
+                    }
+                    if k1 != 0.0 {
+                        kh += k1 * hd[(1, c)];
+                    }
+                    let coef = if c == i { 1.0 - kh } else { 0.0 - kh };
+                    if coef == 0.0 {
+                        continue;
+                    }
+                    let src = cov.row(c);
+                    for (o, &b) in p.row_mut(i).iter_mut().zip(src.iter()) {
+                        *o += coef * b;
+                    }
+                }
+            }
+            p.symmetrize_mut();
+
+            ws.recycle_matrix(hp);
+            ws.recycle_matrix(hd);
+            ws.recycle_matrix(pht);
+            (gain, p)
+        });
+
+        let old = std::mem::replace(&mut self.cov, new_cov);
+        self.ws.recycle_matrix(old);
+
+        let mut innov = self.ws.vector(2);
+        innov[0] = innovation[0];
+        innov[1] = innovation[1];
+        let mut correction = self.ws.vector(dim);
+        gain.mul_vector_into(&innov, &mut correction)
+            .expect("shape");
+        self.state += &correction;
+        self.ws.recycle_vector(innov);
+        self.ws.recycle_vector(correction);
+        self.ws.recycle_matrix(gain);
     }
 
     /// Runs the filter over a recorded drive; `true_landmarks` (when given)
@@ -390,5 +699,48 @@ mod tests {
         assert!((ekf.pose().x - 1.0).abs() < 1e-12);
         // Pose uncertainty grew.
         assert!(ekf.cov[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn sparse_update_is_bit_identical_to_dense() {
+        let world = SlamWorld::six_landmark_demo();
+        let mut rng = SimRng::seed_from(11);
+        let log = world.simulate_circuit(120, &mut rng);
+        let mut profiler = Profiler::new();
+        let mut dense = EkfSlam::new(EkfSlamConfig {
+            update_mode: EkfUpdateMode::DenseLegacy,
+            ..Default::default()
+        });
+        let mut sparse = EkfSlam::new(EkfSlamConfig {
+            update_mode: EkfUpdateMode::SparseWorkspace,
+            ..Default::default()
+        });
+        dense.run(&log, None, &mut profiler);
+        sparse.run(&log, None, &mut profiler);
+        for (a, b) in dense.state.iter().zip(sparse.state.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in dense.cov.as_slice().iter().zip(sparse.cov.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(dense.workspace_allocations(), 0);
+        assert!(sparse.workspace_allocations() > 0);
+    }
+
+    #[test]
+    fn workspace_allocations_plateau_after_first_step() {
+        let world = SlamWorld::six_landmark_demo();
+        let mut rng = SimRng::seed_from(12);
+        let log = world.simulate_circuit(60, &mut rng);
+        let mut profiler = Profiler::new();
+        let mut ekf = EkfSlam::new(EkfSlamConfig::default());
+        ekf.run(&log[..5], None, &mut profiler);
+        let warm = ekf.workspace_allocations();
+        ekf.run(&log[5..], None, &mut profiler);
+        assert_eq!(
+            ekf.workspace_allocations(),
+            warm,
+            "EKF hot loop allocated after warmup"
+        );
     }
 }

@@ -73,8 +73,15 @@ pub struct PrmResult {
 pub struct Roadmap {
     nodes: Vec<Config>,
     adjacency: Vec<Vec<(usize, f64)>>,
-    /// Collision checks spent building (offline statistics).
+    /// Collision checks spent building (offline statistics). Counted per
+    /// candidate pair surviving the adjacency dedup — identical across
+    /// thread counts and build strategies.
     pub offline_collision_checks: u64,
+    /// Actual `motion_free` interpolation sweeps performed while building.
+    /// The parallel build memoizes each undirected pair, so mutual k-NN
+    /// candidates cost one sweep instead of two: this counter is what the
+    /// dedup saves, while `offline_collision_checks` stays legacy-exact.
+    pub motion_free_evals: u64,
     /// Edges in the roadmap.
     pub edge_count: usize,
 }
@@ -228,6 +235,7 @@ impl Prm {
             };
             let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nodes.len()];
             let mut edge_count = 0usize;
+            let mut motion_free_evals = 0u64;
             let mut commit = |i: usize,
                               j: usize,
                               dist: f64,
@@ -250,26 +258,44 @@ impl Prm {
                     for (j, dist) in near_of(i, &nodes[i]) {
                         let skip = adjacency[i].iter().any(|&(n, _)| n == j);
                         if !skip {
+                            motion_free_evals += 1;
                             let free = problem.motion_free(&nodes[i], &nodes[j]);
                             commit(i, j, dist, free, &mut adjacency);
                         }
                     }
                 }
             } else {
-                // Parallel path: candidate search and collision checks are
-                // pure per-node work, evaluated eagerly across the pool
-                // (mutual pairs cost one redundant check per side — wall
-                // clock still wins). The commit loop consumes the results
-                // in node order, so adjacency lists, edge count, and the
-                // collision-check counter match the legacy path exactly.
-                let scored: Vec<Vec<(usize, f64, bool)>> = pool.par_map(&nodes, |i, node| {
-                    near_of(i, node)
-                        .into_iter()
-                        .map(|(j, dist)| (j, dist, problem.motion_free(node, &nodes[j])))
-                        .collect()
+                // Parallel path: candidate search fans out first, then the
+                // distinct undirected pairs (first-encounter order) are
+                // collision-checked across the pool exactly once each —
+                // mutual k-NN candidates share one `motion_free` sweep
+                // instead of paying one per direction. The sequential
+                // commit loop replays the legacy iteration order against
+                // the memoized verdicts, so adjacency lists, edge count,
+                // and the collision-check counter match the legacy path
+                // exactly (a blocked mutual pair is still *counted* twice,
+                // as the lazy path would, but evaluated once).
+                let cands: Vec<Vec<(usize, f64)>> =
+                    pool.par_map(&nodes, |i, node| near_of(i, node));
+                let mut seen = std::collections::HashSet::new();
+                let mut pairs: Vec<(usize, usize)> = Vec::new();
+                for (i, cand) in cands.iter().enumerate() {
+                    for &(j, _) in cand {
+                        let key = (i.min(j), i.max(j));
+                        if seen.insert(key) {
+                            pairs.push(key);
+                        }
+                    }
+                }
+                motion_free_evals += pairs.len() as u64;
+                let verdicts: Vec<bool> = pool.par_map(&pairs, |_, &(a, b)| {
+                    problem.motion_free(&nodes[a], &nodes[b])
                 });
-                for (i, cands) in scored.iter().enumerate() {
-                    for &(j, dist, free) in cands {
+                let free_of: std::collections::HashMap<(usize, usize), bool> =
+                    pairs.iter().copied().zip(verdicts).collect();
+                for (i, cand) in cands.iter().enumerate() {
+                    for &(j, dist) in cand {
+                        let free = free_of[&(i.min(j), i.max(j))];
                         commit(i, j, dist, free, &mut adjacency);
                     }
                 }
@@ -279,6 +305,7 @@ impl Prm {
                 nodes,
                 adjacency,
                 offline_collision_checks: collision_checks,
+                motion_free_evals,
                 edge_count,
             }
         })
@@ -473,12 +500,47 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_dedups_mutual_pairs() {
+        let problem = ArmProblem::map_c(9);
+        let cfg = |threads| PrmConfig {
+            roadmap_size: 300,
+            neighbors: 8,
+            seed: 5,
+            kdtree_build: false,
+            threads,
+        };
+        let mut profiler = Profiler::new();
+        let seq = Prm::new(cfg(1)).build(&problem, &mut profiler);
+        let par = Prm::new(cfg(4)).build(&problem, &mut profiler);
+        // The roadmap and the legacy counter are bit-identical...
+        assert_eq!(seq.len(), par.len());
+        assert_eq!(seq.edge_count, par.edge_count);
+        assert_eq!(
+            seq.offline_collision_checks, par.offline_collision_checks,
+            "collision-check counter must not depend on thread count"
+        );
+        for i in 0..seq.len() {
+            assert_eq!(seq.neighbors(i), par.neighbors(i), "adjacency at {i}");
+        }
+        // ...while the deduped build sweeps each undirected pair once: on
+        // a cluttered map some mutual candidates are blocked, which the
+        // lazy sequential path pays for twice.
+        assert!(
+            par.motion_free_evals < seq.motion_free_evals,
+            "dedup saved nothing: {} vs {}",
+            par.motion_free_evals,
+            seq.motion_free_evals
+        );
+    }
+
+    #[test]
     fn empty_roadmap_query_is_none() {
         let problem = ArmProblem::map_f(6);
         let roadmap = Roadmap {
             nodes: Vec::new(),
             adjacency: Vec::new(),
             offline_collision_checks: 0,
+            motion_free_evals: 0,
             edge_count: 0,
         };
         let mut profiler = Profiler::new();

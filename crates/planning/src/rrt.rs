@@ -216,6 +216,11 @@ pub struct RrtResult {
 pub(crate) struct Tree {
     pub nodes: Vec<Config>,
     pub parents: Vec<usize>,
+    /// Child adjacency, mirror of `parents`: `children[p]` lists exactly
+    /// the ids whose parent is `p` (the root is never its own child).
+    /// Kept in sync by `add`/`reparent` so RRT*'s cost propagation can
+    /// walk just the rewired subtree instead of scanning the whole arena.
+    pub children: Vec<Vec<usize>>,
     pub costs: Vec<f64>,
     pub index: KdTree<DOF>,
 }
@@ -227,6 +232,7 @@ impl Tree {
         Tree {
             nodes: vec![root],
             parents: vec![0],
+            children: vec![Vec::new()],
             costs: vec![0.0],
             index,
         }
@@ -237,9 +243,24 @@ impl Tree {
         let cost = self.costs[parent] + config_distance(&self.nodes[parent], &config);
         self.nodes.push(config);
         self.parents.push(parent);
+        self.children.push(Vec::new());
+        self.children[parent].push(id);
         self.costs.push(cost);
         self.index.insert(config, id);
         id
+    }
+
+    /// Moves `node` under `new_parent`, keeping the child adjacency in
+    /// sync. The caller is responsible for cost bookkeeping.
+    pub fn reparent(&mut self, node: usize, new_parent: usize) {
+        let old_parent = self.parents[node];
+        let slot = self.children[old_parent]
+            .iter()
+            .position(|&c| c == node)
+            .expect("child adjacency out of sync with parents");
+        self.children[old_parent].swap_remove(slot);
+        self.parents[node] = new_parent;
+        self.children[new_parent].push(node);
     }
 
     pub fn path_to(&self, mut id: usize) -> Vec<Config> {

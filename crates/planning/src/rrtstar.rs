@@ -158,7 +158,7 @@ impl RrtStar {
                     profiler.add("collision_detection", col_start.elapsed());
                     if free {
                         let delta = tree.costs[neighbor] - through;
-                        tree.parents[neighbor] = new_id;
+                        tree.reparent(neighbor, new_id);
                         propagate_cost_reduction(&mut tree, neighbor, delta);
                         rewirings += 1;
                     }
@@ -231,15 +231,34 @@ fn neighborhood(
 
 /// After rewiring `root` to a cheaper parent, every descendant's
 /// cost-to-come drops by the same delta.
+///
+/// Walks only the rewired subtree through the tree's child adjacency —
+/// O(subtree) per rewiring instead of the old O(tree × subtree) arena
+/// scan, which made late-stage rewirings quadratic in tree size. The scan
+/// implementation survives as [`propagate_cost_reduction_scan`] for the
+/// equivalence proptest.
 fn propagate_cost_reduction(tree: &mut Tree, root: usize, delta: f64) {
-    tree.costs[root] -= delta;
-    // Children are nodes whose parent chain passes through `root`; with
-    // the flat arena we scan once per rewiring (trees stay modest here).
+    let costs = &mut tree.costs;
+    let children = &tree.children;
+    costs[root] -= delta;
+    let mut stack: Vec<usize> = children[root].to_vec();
+    while let Some(current) = stack.pop() {
+        costs[current] -= delta;
+        stack.extend_from_slice(&children[current]);
+    }
+}
+
+/// The pre-adjacency-list propagation: one full arena scan per visited
+/// node, operating on the raw parent/cost arrays. Kept (test-only) as the
+/// oracle the proptest checks the subtree walk against.
+#[cfg(test)]
+fn propagate_cost_reduction_scan(parents: &[usize], costs: &mut [f64], root: usize, delta: f64) {
+    costs[root] -= delta;
     let mut stack = vec![root];
     while let Some(current) = stack.pop() {
-        for id in 0..tree.nodes.len() {
-            if tree.parents[id] == current && id != current {
-                tree.costs[id] -= delta;
+        for (id, &parent) in parents.iter().enumerate() {
+            if parent == current && id != current {
+                costs[id] -= delta;
                 stack.push(id);
             }
         }
@@ -362,6 +381,67 @@ mod tests {
         assert!(bounded.base.samples <= full.base.samples);
         assert!(bounded.base.collision_checks <= full.base.collision_checks);
         assert!(problem.path_valid(&bounded.base.path));
+    }
+
+    mod propagation {
+        use super::super::*;
+        use proptest::prelude::*;
+        use std::f64::consts::PI;
+
+        /// `true` when `candidate` sits in `node`'s subtree (including
+        /// `node` itself) — reparenting onto such a candidate would cut a
+        /// cycle into the tree, which neither implementation defends
+        /// against.
+        fn in_subtree(parents: &[usize], node: usize, mut candidate: usize) -> bool {
+            loop {
+                if candidate == node {
+                    return true;
+                }
+                if parents[candidate] == candidate {
+                    return false;
+                }
+                candidate = parents[candidate];
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn subtree_walk_matches_arena_scan(
+                seed in 0u64..500,
+                n in 2usize..48,
+                ops in 1usize..10,
+            ) {
+                let mut rng = SimRng::seed_from(seed);
+                let mut tree = Tree::new([0.0; crate::rrt::DOF]);
+                for _ in 1..n {
+                    let parent = rng.below(tree.nodes.len());
+                    let mut c = [0.0; crate::rrt::DOF];
+                    for v in &mut c {
+                        *v = rng.uniform(-PI, PI);
+                    }
+                    tree.add(c, parent);
+                }
+                // Mirror arrays driven by the legacy full-scan oracle.
+                let mut oracle_parents = tree.parents.clone();
+                let mut oracle_costs = tree.costs.clone();
+                for _ in 0..ops {
+                    let node = 1 + rng.below(tree.nodes.len() - 1);
+                    let new_parent = rng.below(tree.nodes.len());
+                    if in_subtree(&tree.parents, node, new_parent) {
+                        continue;
+                    }
+                    let delta = rng.uniform(0.01, 0.5);
+                    tree.reparent(node, new_parent);
+                    propagate_cost_reduction(&mut tree, node, delta);
+                    oracle_parents[node] = new_parent;
+                    propagate_cost_reduction_scan(&oracle_parents, &mut oracle_costs, node, delta);
+                    prop_assert_eq!(&tree.parents, &oracle_parents);
+                    for (id, (a, b)) in tree.costs.iter().zip(oracle_costs.iter()).enumerate() {
+                        prop_assert_eq!(a.to_bits(), b.to_bits(), "cost diverged at node {}", id);
+                    }
+                }
+            }
+        }
     }
 
     #[test]
