@@ -440,6 +440,194 @@ fn bench_workspace(c: &mut Criterion) {
     group.finish();
 }
 
+/// Legacy node-arena vs bucketed-SoA k-d tree layouts, single thread:
+/// raw nearest-neighbor sweeps over an ICP-sized point set, plus the full
+/// `03.srec` alignment whose `nn_search` region the layout dominates.
+/// Answers are bit-identical across layouts (see the `kdtree` integration
+/// test); only the memory behavior differs.
+fn bench_kdtree_layout(c: &mut Criterion) {
+    use rtr_geom::{KdLayout, KdTree};
+
+    let mut group = c.benchmark_group("kdtree_layout");
+    group.sample_size(10);
+    let variants = [
+        ("legacy", KdLayout::NodeLegacy),
+        ("bucket", KdLayout::BucketSoA),
+    ];
+
+    let mut rng = SimRng::seed_from(3);
+    let items: Vec<([f64; 3], usize)> = (0..20_000)
+        .map(|i| {
+            (
+                [
+                    rng.uniform(-10.0, 10.0),
+                    rng.uniform(-10.0, 10.0),
+                    rng.uniform(-10.0, 10.0),
+                ],
+                i,
+            )
+        })
+        .collect();
+    let queries: Vec<[f64; 3]> = (0..2_000)
+        .map(|_| {
+            [
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(-10.0, 10.0),
+            ]
+        })
+        .collect();
+    for (label, layout) in variants {
+        let tree = KdTree::<3>::build_balanced_in(layout, &items);
+        group.bench_function(format!("nearest-20k/{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for q in &queries {
+                    acc += tree.nearest(q).expect("non-empty").1;
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    // Bucket-size sweep at the same workload (incremental build so the
+    // non-default bucket sizes exercise the scapegoat-rebuild path too).
+    for bucket in [4usize, 8, 16, 32, 64] {
+        let mut tree = KdTree::<3>::new_in(KdLayout::BucketSoA).with_bucket_size(bucket);
+        for &(p, id) in &items {
+            tree.insert(p, id);
+        }
+        group.bench_function(format!("nearest-20k/bucket-{bucket}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for q in &queries {
+                    acc += tree.nearest(q).expect("non-empty").1;
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    let mut rng = SimRng::seed_from(6);
+    let room = scene::living_room(20_000, &mut rng);
+    let motion = RigidTransform::from_yaw_translation(0.03, Point3::new(0.05, -0.03, 0.01));
+    let scan1 = scene::scan_from(&room, &RigidTransform::identity(), 0.5, 0.002, &mut rng);
+    let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
+    for (label, kd_layout) in variants {
+        group.bench_function(format!("icp-align/{label}"), |b| {
+            b.iter(|| {
+                let mut profiler = Profiler::new();
+                black_box(
+                    Icp::new(IcpConfig {
+                        kd_layout,
+                        ..Default::default()
+                    })
+                    .align(&scan2, &scan1, &mut profiler, None),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The batched correspondence fan-out inside ICP: raw `batch_nearest_into`
+/// sweeps and the full alignment, sequential vs four pool workers on the
+/// default bucketed layout. Bit-identical results for every thread count
+/// (see the `kdtree` and `determinism` integration tests).
+fn bench_icp_batch_nn(c: &mut Criterion) {
+    use rtr_geom::KdTree;
+    use rtr_harness::Pool;
+
+    let mut group = c.benchmark_group("icp_batch_nn");
+    group.sample_size(10);
+    let variants = [("seq", 1usize), ("par4", 4)];
+
+    let mut rng = SimRng::seed_from(6);
+    let room = scene::living_room(20_000, &mut rng);
+    let motion = RigidTransform::from_yaw_translation(0.03, Point3::new(0.05, -0.03, 0.01));
+    let scan1 = scene::scan_from(&room, &RigidTransform::identity(), 0.5, 0.002, &mut rng);
+    let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
+
+    let items: Vec<([f64; 3], usize)> = scan1
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ([p.x, p.y, p.z], i))
+        .collect();
+    let tree = KdTree::<3>::build_balanced(&items);
+    let queries: Vec<[f64; 3]> = scan2.iter().map(|p| [p.x, p.y, p.z]).collect();
+    for (label, threads) in variants {
+        let pool = Pool::new(threads);
+        group.bench_function(format!("batch-nearest/{label}"), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                tree.batch_nearest_into(&queries, &pool, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    for (label, threads) in variants {
+        group.bench_function(format!("align/{label}"), |b| {
+            b.iter(|| {
+                let mut profiler = Profiler::new();
+                black_box(
+                    Icp::new(IcpConfig {
+                        threads,
+                        ..Default::default()
+                    })
+                    .align(&scan2, &scan1, &mut profiler, None),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// RRT*'s per-sample neighborhood query: the allocating `within_radius`
+/// against the buffer-reusing `within_radius_into` the planner now calls,
+/// over an RRT*-sized 5-D configuration tree.
+fn bench_rrtstar_neighborhood(c: &mut Criterion) {
+    use rtr_geom::KdTree;
+
+    let mut group = c.benchmark_group("rrtstar_neighborhood");
+    group.sample_size(10);
+
+    let mut rng = SimRng::seed_from(4);
+    let pi = std::f64::consts::PI;
+    let mut conf = || {
+        let mut c = [0.0; 5];
+        for v in &mut c {
+            *v = rng.uniform(-pi, pi);
+        }
+        c
+    };
+    let items: Vec<([f64; 5], usize)> = (0..20_000).map(|i| (conf(), i)).collect();
+    let queries: Vec<[f64; 5]> = (0..2_000).map(|_| conf()).collect();
+    let tree = KdTree::<5>::build_balanced(&items);
+    let radius = 0.9; // the paper's `--radius` default
+
+    group.bench_function("within-radius/alloc", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += tree.within_radius(q, radius).len();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("within-radius/reuse", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                tree.within_radius_into(q, radius, &mut buf);
+                acc += buf.len();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 /// Blocked-vs-reference matrix products at the sizes where the cache
 /// blocking engages (`Matrix::BLOCK_THRESHOLD` and up).
 fn bench_linalg(c: &mut Criterion) {
@@ -492,6 +680,9 @@ criterion_group!(
     bench_parallel,
     bench_ekf_dense_vs_sparse,
     bench_workspace,
+    bench_kdtree_layout,
+    bench_icp_batch_nn,
+    bench_rrtstar_neighborhood,
     bench_linalg
 );
 criterion_main!(kernels);

@@ -1,0 +1,260 @@
+//! Layout and batching equivalence for the bucketed SoA k-d tree.
+//!
+//! `KdLayout::BucketSoA` is a pure performance switch over the legacy
+//! pointer-chasing node arena: for every point set — balanced builds,
+//! incremental inserts interleaved with queries, rebuild-boundary floods —
+//! nearest, k-nearest and radius queries must reproduce the
+//! `KdLayout::NodeLegacy` answers **bit for bit** (`to_bits`, no
+//! tolerances). The pooled batch entry points carry the same contract
+//! against their sequential twins for every thread count.
+
+use proptest::prelude::*;
+use rtr_geom::{KdLayout, KdTree};
+use rtr_harness::Pool;
+use rtr_sim::SimRng;
+
+fn build_pair(
+    seed: u64,
+    initial: usize,
+    inserts: usize,
+    bucket: usize,
+) -> (KdTree<3>, KdTree<3>, SimRng) {
+    let mut rng = SimRng::seed_from(seed);
+    let items: Vec<([f64; 3], usize)> = (0..initial)
+        .map(|i| {
+            (
+                [
+                    rng.uniform(-10.0, 10.0),
+                    rng.uniform(-10.0, 10.0),
+                    rng.uniform(-10.0, 10.0),
+                ],
+                i,
+            )
+        })
+        .collect();
+    let mut legacy = KdTree::<3>::new_in(KdLayout::NodeLegacy);
+    let mut bucketed = KdTree::<3>::new_in(KdLayout::BucketSoA).with_bucket_size(bucket);
+    for &(p, id) in &items {
+        legacy.insert(p, id);
+        bucketed.insert(p, id);
+    }
+    for j in 0..inserts {
+        let p = [
+            rng.uniform(-10.0, 10.0),
+            rng.uniform(-10.0, 10.0),
+            rng.uniform(-10.0, 10.0),
+        ];
+        legacy.insert(p, initial + j);
+        bucketed.insert(p, initial + j);
+    }
+    (legacy, bucketed, rng)
+}
+
+fn assert_same_pairs(a: &[(usize, f64)], b: &[(usize, f64)], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: result counts differ");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.0, y.0, "{what}: payloads differ");
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "{what}: distance bits differ");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn layouts_agree_on_every_query_kind(
+        seed in 0u64..1_000,
+        initial in 0usize..200,
+        inserts in 0usize..60,
+        bucket_idx in 0usize..5,
+        k in 1usize..12,
+        radius in 0.5f64..8.0,
+    ) {
+        let bucket = [1usize, 2, 8, 16, 64][bucket_idx];
+        let (legacy, bucketed, mut rng) = build_pair(seed, initial, inserts, bucket);
+        prop_assert_eq!(legacy.len(), bucketed.len());
+        for _ in 0..8 {
+            let q = [
+                rng.uniform(-12.0, 12.0),
+                rng.uniform(-12.0, 12.0),
+                rng.uniform(-12.0, 12.0),
+            ];
+            match (legacy.nearest(&q), bucketed.nearest(&q)) {
+                (None, None) => {}
+                (Some((pa, da)), Some((pb, db))) => {
+                    prop_assert_eq!(pa, pb);
+                    prop_assert_eq!(da.to_bits(), db.to_bits());
+                }
+                (a, b) => prop_assert!(false, "nearest disagreed: {:?} vs {:?}", a, b),
+            }
+            assert_same_pairs(&legacy.k_nearest(&q, k), &bucketed.k_nearest(&q, k), "k_nearest");
+            assert_same_pairs(
+                &legacy.within_radius(&q, radius),
+                &bucketed.within_radius(&q, radius),
+                "within_radius",
+            );
+        }
+    }
+
+    #[test]
+    fn layouts_agree_with_queries_interleaved_between_inserts(
+        seed in 0u64..1_000,
+        rounds in 1usize..12,
+        per_round in 1usize..24,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut legacy = KdTree::<3>::new_in(KdLayout::NodeLegacy);
+        let mut bucketed = KdTree::<3>::new_in(KdLayout::BucketSoA);
+        let mut id = 0usize;
+        for _ in 0..rounds {
+            for _ in 0..per_round {
+                let p = [
+                    rng.uniform(-5.0, 5.0),
+                    rng.uniform(-5.0, 5.0),
+                    rng.uniform(-5.0, 5.0),
+                ];
+                legacy.insert(p, id);
+                bucketed.insert(p, id);
+                id += 1;
+            }
+            let q = [
+                rng.uniform(-6.0, 6.0),
+                rng.uniform(-6.0, 6.0),
+                rng.uniform(-6.0, 6.0),
+            ];
+            let (pa, da) = legacy.nearest(&q).expect("non-empty");
+            let (pb, db) = bucketed.nearest(&q).expect("non-empty");
+            prop_assert_eq!(pa, pb);
+            prop_assert_eq!(da.to_bits(), db.to_bits());
+            assert_same_pairs(&legacy.k_nearest(&q, 5), &bucketed.k_nearest(&q, 5), "k_nearest");
+        }
+    }
+
+    #[test]
+    fn sorted_insert_floods_cross_rebuild_boundaries_without_divergence(
+        bucket_idx in 0usize..3,
+        n in 256usize..768,
+    ) {
+        let bucket = [1usize, 4, 16][bucket_idx];
+        // Monotone inserts force the pathological deep-spine shape that
+        // trips BucketSoA's scapegoat rebuild; answers must not change.
+        let mut legacy = KdTree::<1>::new_in(KdLayout::NodeLegacy);
+        let mut bucketed = KdTree::<1>::new_in(KdLayout::BucketSoA).with_bucket_size(bucket);
+        for i in 0..n {
+            let p = [i as f64 * 0.25];
+            legacy.insert(p, i);
+            bucketed.insert(p, i);
+        }
+        prop_assert!(bucketed.rebuilds() > 0, "flood never crossed a rebuild boundary");
+        for q in [-1.0, 0.0, 3.3, n as f64 * 0.125, n as f64 * 0.25 + 1.0] {
+            let (pa, da) = legacy.nearest(&[q]).expect("non-empty");
+            let (pb, db) = bucketed.nearest(&[q]).expect("non-empty");
+            prop_assert_eq!(pa, pb);
+            prop_assert_eq!(da.to_bits(), db.to_bits());
+            assert_same_pairs(
+                &legacy.within_radius(&[q], 2.0),
+                &bucketed.within_radius(&[q], 2.0),
+                "within_radius",
+            );
+        }
+    }
+
+    #[test]
+    fn batch_queries_match_sequential_for_all_thread_counts(
+        seed in 0u64..1_000,
+        n in 1usize..300,
+        queries in 1usize..80,
+        k in 1usize..8,
+        layout_idx in 0usize..2,
+    ) {
+        let layout = [KdLayout::NodeLegacy, KdLayout::BucketSoA][layout_idx];
+        let mut rng = SimRng::seed_from(seed);
+        let items: Vec<([f64; 3], usize)> = (0..n)
+            .map(|i| {
+                (
+                    [
+                        rng.uniform(-10.0, 10.0),
+                        rng.uniform(-10.0, 10.0),
+                        rng.uniform(-10.0, 10.0),
+                    ],
+                    i,
+                )
+            })
+            .collect();
+        let tree = KdTree::<3>::build_balanced_in(layout, &items);
+        let qs: Vec<[f64; 3]> = (0..queries)
+            .map(|_| {
+                [
+                    rng.uniform(-12.0, 12.0),
+                    rng.uniform(-12.0, 12.0),
+                    rng.uniform(-12.0, 12.0),
+                ]
+            })
+            .collect();
+        let seq_nearest: Vec<Option<(usize, f64)>> = qs.iter().map(|q| tree.nearest(q)).collect();
+        let seq_knn: Vec<Vec<(usize, f64)>> = qs.iter().map(|q| tree.k_nearest(q, k)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let batch_nearest = tree.batch_nearest(&qs, &pool);
+            prop_assert_eq!(batch_nearest.len(), seq_nearest.len());
+            for (a, b) in batch_nearest.iter().zip(seq_nearest.iter()) {
+                match (a, b) {
+                    (None, None) => {}
+                    (Some((pa, da)), Some((pb, db))) => {
+                        prop_assert_eq!(pa, pb, "threads={}", threads);
+                        prop_assert_eq!(da.to_bits(), db.to_bits(), "threads={}", threads);
+                    }
+                    _ => prop_assert!(false, "batch_nearest disagreed at threads={}", threads),
+                }
+            }
+            let batch_knn = tree.batch_k_nearest(&qs, k, &pool);
+            prop_assert_eq!(batch_knn.len(), seq_knn.len());
+            for (a, b) in batch_knn.iter().zip(seq_knn.iter()) {
+                assert_same_pairs(a, b, "batch_k_nearest");
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_into_reuses_buffers_across_repeated_fanouts() {
+    let mut rng = SimRng::seed_from(42);
+    let items: Vec<([f64; 3], usize)> = (0..400)
+        .map(|i| {
+            (
+                [
+                    rng.uniform(-10.0, 10.0),
+                    rng.uniform(-10.0, 10.0),
+                    rng.uniform(-10.0, 10.0),
+                ],
+                i,
+            )
+        })
+        .collect();
+    let tree = KdTree::<3>::build_balanced(&items);
+    let qs: Vec<[f64; 3]> = (0..64)
+        .map(|_| {
+            [
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(-10.0, 10.0),
+            ]
+        })
+        .collect();
+    let pool = Pool::new(4);
+    let mut nn = Vec::new();
+    let mut knn = Vec::new();
+    tree.batch_nearest_into(&qs, &pool, &mut nn);
+    tree.batch_k_nearest_into(&qs, 6, &pool, &mut knn);
+    let nn_cap = nn.capacity();
+    let knn_caps: Vec<usize> = knn.iter().map(|v| v.capacity()).collect();
+    for _ in 0..5 {
+        tree.batch_nearest_into(&qs, &pool, &mut nn);
+        tree.batch_k_nearest_into(&qs, 6, &pool, &mut knn);
+    }
+    assert_eq!(nn.capacity(), nn_cap, "batch_nearest_into must reuse");
+    for (v, cap) in knn.iter().zip(knn_caps.iter()) {
+        assert!(v.capacity() <= *cap, "inner k-NN buffers must be reused");
+    }
+    assert_eq!(nn, qs.iter().map(|q| tree.nearest(q)).collect::<Vec<_>>());
+}

@@ -167,6 +167,16 @@ impl PointCloud {
         }
     }
 
+    /// Writes `transform` applied to every point of `self` into `out`,
+    /// reusing `out`'s storage — the allocation-free twin of
+    /// [`PointCloud::transformed`] for per-iteration hot loops (ICP
+    /// re-poses the source cloud every iteration).
+    pub fn transform_into(&self, transform: &RigidTransform, out: &mut PointCloud) {
+        out.points.clear();
+        out.points
+            .extend(self.points.iter().map(|p| transform.apply(*p)));
+    }
+
     /// Root-mean-square point-to-point distance to an equally sized cloud
     /// with index correspondence. The reconstruction-quality metric of
     /// `03.srec`.
@@ -276,6 +286,22 @@ mod tests {
         let a = PointCloud::from_points(vec![Point3::ORIGIN]);
         let b = PointCloud::new();
         let _ = a.rmse(&b);
+    }
+
+    #[test]
+    fn transform_into_matches_transformed_and_reuses_storage() {
+        let t = RigidTransform::from_yaw_translation(0.4, Point3::new(1.0, 0.0, -0.5));
+        let cloud: PointCloud = (0..16)
+            .map(|i| Point3::new(i as f64, (i * i) as f64 * 0.1, 2.0))
+            .collect();
+        let mut out = PointCloud::new();
+        cloud.transform_into(&t, &mut out);
+        assert_eq!(out, cloud.transformed(&t));
+        let cap = out.points.capacity();
+        for _ in 0..4 {
+            cloud.transform_into(&t, &mut out);
+        }
+        assert_eq!(out.points.capacity(), cap, "storage must be reused");
     }
 
     #[test]

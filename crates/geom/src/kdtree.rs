@@ -4,29 +4,104 @@
 //! paper measures up to 31 % of `08.rrt`'s and up to 49 % of
 //! `09.rrtstar`'s execution time in it, and attributes the cost to
 //! irregular memory accesses — "samples whose values (angles) are close
-//! could be allocated in distant memory locations". This implementation
-//! deliberately keeps that character: nodes live in insertion order in a
-//! flat arena while tree edges jump around it, exactly the allocation
-//! pattern the paper describes. A `visit` hook lets the characterization
-//! harness replay those jumps into the cache simulator.
+//! could be allocated in distant memory locations". The tree ships two
+//! storage layouts behind [`KdLayout`]:
+//!
+//! - [`KdLayout::NodeLegacy`] keeps that character on purpose: one node
+//!   per point, nodes living in a flat arena in creation order while tree
+//!   edges jump around it — exactly the allocation pattern the paper
+//!   describes. The characterization harness replays those jumps into the
+//!   cache simulator via the `visit` hook.
+//! - [`KdLayout::BucketSoA`] (the default) is the tuned layout: leaves
+//!   bucket ~16 points whose coordinates are packed contiguously and
+//!   scanned linearly, so the bottom of every descent — where most of the
+//!   time goes — runs on streaming loads instead of pointer chases.
+//!   Incremental [`KdTree::insert`] splits overfull leaves on their
+//!   widest axis and rebuilds the whole index (scapegoat style) when an
+//!   insert descends far past the balanced depth, so RRT/RRT*'s growing
+//!   tree stays balanced without bulk construction.
+//!
+//! Both layouts implement the same *canonical* query semantics — nearest
+//! and k-nearest break distance ties toward the smallest payload, radius
+//! results come back sorted by `(payload, distance)` — so every query is
+//! bit-identical across layouts (enforced by proptests in
+//! `crates/bench/tests/kdtree.rs`). Queries come in three flavors:
+//! allocating ([`KdTree::k_nearest`]), caller-scratch
+//! ([`KdTree::k_nearest_into`] and friends, allocation-free once the
+//! buffer is warm), and batched ([`KdTree::batch_nearest_into`] /
+//! [`KdTree::batch_k_nearest_into`]), which fan independent queries over
+//! the deterministic `rtr-harness` worker pool with fixed chunking —
+//! results are written by index, so they too are identical for every
+//! thread count.
+
+use rtr_harness::Pool;
+
+/// Default number of points per [`KdLayout::BucketSoA`] leaf.
+///
+/// 16 points × 3–5 dims × 8 bytes keeps a leaf within a handful of cache
+/// lines; see EXPERIMENTS.md for the sweep that picked it.
+pub const KD_BUCKET: usize = 16;
+
+/// Storage layout / traversal mode for [`KdTree`].
+///
+/// A pure performance knob, like the worker-pool thread count: every
+/// query answers bit-identically under either layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KdLayout {
+    /// Node-per-point arena with pointer-chasing edges — the seed layout,
+    /// kept alive for the equivalence suite and the paper's
+    /// irregular-access characterization.
+    NodeLegacy,
+    /// Leaf-bucketed structure-of-arrays index: packed leaf scans,
+    /// rebuild-on-imbalance inserts. The default.
+    #[default]
+    BucketSoA,
+}
 
 /// Node arena index.
 type NodeId = u32;
 
+/// One point of the [`KdLayout::NodeLegacy`] index.
 #[derive(Debug, Clone)]
 struct Node {
-    /// Offset of this node's point in the flat coordinate buffer.
-    point_start: usize,
-    /// Caller-supplied payload (e.g. tree-vertex id).
-    payload: usize,
+    /// Index of this node's point in the shared SoA arena.
+    point: u32,
     left: Option<NodeId>,
     right: Option<NodeId>,
+}
+
+/// Child edge of the bucketed index.
+#[derive(Debug, Clone, Copy)]
+enum BucketRef {
+    /// Index into `KdTree::inners`.
+    Inner(u32),
+    /// Index into `KdTree::leaves`.
+    Leaf(u32),
+}
+
+/// Interior splitting plane of the bucketed index. Both children are
+/// always present (a split never produces an empty side).
+#[derive(Debug, Clone)]
+struct BucketInner {
+    axis: u32,
+    split: f64,
+    children: [BucketRef; 2],
+}
+
+/// Bucketed leaf: point ids plus their coordinates re-packed contiguously
+/// so the leaf scan is a linear walk over `len × DIM` doubles.
+#[derive(Debug, Clone, Default)]
+struct BucketLeaf {
+    ids: Vec<u32>,
+    pts: Vec<f64>,
 }
 
 /// An incremental k-d tree over `DIM`-dimensional `f64` points.
 ///
 /// Supports point insertion (no deletion — RRT-family planners only grow),
-/// nearest-neighbor, k-nearest and radius queries.
+/// nearest-neighbor, k-nearest and radius queries, each with an `_into`
+/// variant that reuses caller scratch and a `batch_*` variant that fans
+/// independent queries over a worker pool.
 ///
 /// # Example
 ///
@@ -41,116 +116,214 @@ struct Node {
 /// assert_eq!(payload, 2);
 /// assert!(dist2 < 0.1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct KdTree<const DIM: usize> {
-    nodes: Vec<Node>,
+    layout: KdLayout,
+    bucket: usize,
+    /// Insertion-order SoA arena shared by both layouts: point `i` lives
+    /// at `coords[i * DIM..]` with payload `payloads[i]`.
     coords: Vec<f64>,
+    payloads: Vec<usize>,
+    // --- NodeLegacy index ---
+    nodes: Vec<Node>,
     root: Option<NodeId>,
+    // --- BucketSoA index ---
+    inners: Vec<BucketInner>,
+    leaves: Vec<BucketLeaf>,
+    broot: Option<BucketRef>,
+    rebuilds: u64,
+}
+
+impl<const DIM: usize> Default for KdTree<DIM> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<const DIM: usize> KdTree<DIM> {
-    /// Creates an empty tree.
+    /// Creates an empty tree with the default layout ([`KdLayout::BucketSoA`]).
     pub fn new() -> Self {
+        Self::new_in(KdLayout::default())
+    }
+
+    /// Creates an empty tree with an explicit layout.
+    pub fn new_in(layout: KdLayout) -> Self {
         KdTree {
-            nodes: Vec::new(),
+            layout,
+            bucket: KD_BUCKET,
             coords: Vec::new(),
+            payloads: Vec::new(),
+            nodes: Vec::new(),
             root: None,
+            inners: Vec::new(),
+            leaves: Vec::new(),
+            broot: None,
+            rebuilds: 0,
         }
     }
 
-    /// Creates an empty tree with capacity for `n` points.
+    /// Creates an empty default-layout tree with capacity for `n` points.
     pub fn with_capacity(n: usize) -> Self {
-        KdTree {
-            nodes: Vec::with_capacity(n),
-            coords: Vec::with_capacity(n * DIM),
-            root: None,
-        }
+        Self::with_capacity_in(KdLayout::default(), n)
     }
 
-    /// Builds a balanced tree from a batch of `(point, payload)` pairs by
-    /// recursive median split (`select_nth_unstable` per level, O(n log n)
-    /// total).
-    ///
-    /// Incremental [`KdTree::insert`] on sorted or clustered inputs
-    /// degenerates toward a linked list; bulk construction guarantees
-    /// `⌈log₂ n⌉` depth, which is what the PRM / ICP batch workloads want
-    /// when all points are known up front. The resulting tree answers every
-    /// query identically to an incrementally built one (queries never rely
-    /// on the insertion split rule), and construction is deterministic for
-    /// a given input order.
-    pub fn build_balanced(items: &[([f64; DIM], usize)]) -> Self {
-        let mut tree = Self::with_capacity(items.len());
-        let mut order: Vec<usize> = (0..items.len()).collect();
-        tree.root = tree.build_rec(items, &mut order, 0);
+    /// Creates an empty tree with an explicit layout and capacity for `n`
+    /// points.
+    pub fn with_capacity_in(layout: KdLayout, n: usize) -> Self {
+        let mut tree = Self::new_in(layout);
+        tree.coords.reserve(n * DIM);
+        tree.payloads.reserve(n);
+        match layout {
+            KdLayout::NodeLegacy => tree.nodes.reserve(n),
+            KdLayout::BucketSoA => tree.leaves.reserve(n / KD_BUCKET + 1),
+        }
         tree
     }
 
-    fn build_rec(
-        &mut self,
-        items: &[([f64; DIM], usize)],
-        order: &mut [usize],
-        depth: usize,
-    ) -> Option<NodeId> {
+    /// Sets the leaf bucket size (builder style; [`KdLayout::BucketSoA`]
+    /// only — ignored by the legacy layout). Must be called before any
+    /// point is inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bucket` is zero or the tree already holds points.
+    pub fn with_bucket_size(mut self, bucket: usize) -> Self {
+        assert!(bucket >= 1, "bucket size must be at least 1");
+        assert!(
+            self.is_empty(),
+            "bucket size must be set before the first insert"
+        );
+        self.bucket = bucket;
+        self
+    }
+
+    /// Builds a balanced default-layout tree from `(point, payload)` pairs
+    /// by recursive median split (`select_nth_unstable` per level,
+    /// O(n log n) total).
+    ///
+    /// Incremental [`KdTree::insert`] on sorted or clustered inputs would
+    /// degenerate toward a linked list under the legacy layout (the
+    /// bucketed layout rebuilds itself); bulk construction guarantees
+    /// logarithmic depth up front, which is what the PRM / ICP batch
+    /// workloads want when all points are known. Construction is
+    /// deterministic for a given input order, and queries answer
+    /// identically to an incrementally built tree.
+    pub fn build_balanced(items: &[([f64; DIM], usize)]) -> Self {
+        Self::build_balanced_in(KdLayout::default(), items)
+    }
+
+    /// [`KdTree::build_balanced`] with an explicit layout.
+    pub fn build_balanced_in(layout: KdLayout, items: &[([f64; DIM], usize)]) -> Self {
+        let mut tree = Self::with_capacity_in(layout, items.len());
+        for (point, payload) in items {
+            tree.coords.extend_from_slice(point);
+            tree.payloads.push(*payload);
+        }
+        match layout {
+            KdLayout::NodeLegacy => {
+                let mut order: Vec<u32> = (0..items.len() as u32).collect();
+                tree.root = tree.legacy_build_rec(&mut order, 0);
+            }
+            KdLayout::BucketSoA => tree.bucket_build_all(),
+        }
+        tree
+    }
+
+    /// The storage layout this tree was constructed with.
+    pub fn layout(&self) -> KdLayout {
+        self.layout
+    }
+
+    /// Leaf bucket size of the [`KdLayout::BucketSoA`] index.
+    pub fn bucket_size(&self) -> usize {
+        self.bucket
+    }
+
+    /// How many times incremental inserts have triggered a full
+    /// rebuild-on-imbalance of the bucketed index.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Returns `true` when the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Iterates over `(payload, point)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> + '_ {
+        self.payloads
+            .iter()
+            .zip(self.coords.chunks_exact(DIM.max(1)))
+            .map(|(&payload, point)| (payload, point))
+    }
+
+    #[inline]
+    fn arena_point(&self, id: u32) -> &[f64] {
+        &self.coords[id as usize * DIM..id as usize * DIM + DIM]
+    }
+
+    /// Inserts a point with an associated payload.
+    ///
+    /// Points are stored by value; duplicate points are allowed. Under the
+    /// bucketed layout an insert may split a leaf on its widest axis, and
+    /// an insert that descends past roughly twice the balanced depth
+    /// rebuilds the whole index (O(n log n), amortized O(log² n) per
+    /// insert — see [`KdTree::rebuilds`]).
+    pub fn insert(&mut self, point: [f64; DIM], payload: usize) {
+        let id = self.payloads.len() as u32;
+        self.coords.extend_from_slice(&point);
+        self.payloads.push(payload);
+        match self.layout {
+            KdLayout::NodeLegacy => self.legacy_insert(id, &point),
+            KdLayout::BucketSoA => self.bucket_insert(id, &point),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // NodeLegacy index maintenance
+    // ------------------------------------------------------------------
+
+    fn legacy_build_rec(&mut self, order: &mut [u32], depth: usize) -> Option<NodeId> {
         if order.is_empty() {
             return None;
         }
         let axis = depth % DIM;
         let mid = order.len() / 2;
+        let coords = &self.coords;
         order.select_nth_unstable_by(mid, |&a, &b| {
-            items[a].0[axis]
-                .total_cmp(&items[b].0[axis])
+            coords[a as usize * DIM + axis]
+                .total_cmp(&coords[b as usize * DIM + axis])
                 .then(a.cmp(&b))
         });
-        let (point, payload) = items[order[mid]];
-        let point_start = self.coords.len();
-        self.coords.extend_from_slice(&point);
+        let point = order[mid];
         let id = self.nodes.len() as NodeId;
         self.nodes.push(Node {
-            point_start,
-            payload,
+            point,
             left: None,
             right: None,
         });
         let (lo, rest) = order.split_at_mut(mid);
-        let left = self.build_rec(items, lo, depth + 1);
-        let right = self.build_rec(items, &mut rest[1..], depth + 1);
+        let left = self.legacy_build_rec(lo, depth + 1);
+        let right = self.legacy_build_rec(&mut rest[1..], depth + 1);
         let n = &mut self.nodes[id as usize];
         n.left = left;
         n.right = right;
         Some(id)
     }
 
-    /// Number of stored points.
-    pub fn len(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// Returns `true` when the tree holds no points.
-    pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
-    }
-
-    #[inline]
-    fn point(&self, id: NodeId) -> &[f64] {
-        let start = self.nodes[id as usize].point_start;
-        &self.coords[start..start + DIM]
-    }
-
-    /// Inserts a point with an associated payload.
-    ///
-    /// Points are stored by value; duplicate points are allowed and are
-    /// returned in insertion order by ties in queries.
-    pub fn insert(&mut self, point: [f64; DIM], payload: usize) {
-        let point_start = self.coords.len();
-        self.coords.extend_from_slice(&point);
+    fn legacy_insert(&mut self, id: u32, point: &[f64; DIM]) {
         let new_id = self.nodes.len() as NodeId;
         self.nodes.push(Node {
-            point_start,
-            payload,
+            point: id,
             left: None,
             right: None,
         });
-
         let Some(mut cur) = self.root else {
             self.root = Some(new_id);
             return;
@@ -158,7 +331,8 @@ impl<const DIM: usize> KdTree<DIM> {
         let mut depth = 0usize;
         loop {
             let axis = depth % DIM;
-            let go_left = point[axis] < self.point(cur)[axis];
+            let cur_point = self.nodes[cur as usize].point;
+            let go_left = point[axis] < self.arena_point(cur_point)[axis];
             let slot = if go_left {
                 self.nodes[cur as usize].left
             } else {
@@ -181,27 +355,225 @@ impl<const DIM: usize> KdTree<DIM> {
         }
     }
 
+    // ------------------------------------------------------------------
+    // BucketSoA index maintenance
+    // ------------------------------------------------------------------
+
+    /// Rebuilds the bucketed index over the whole arena.
+    fn bucket_build_all(&mut self) {
+        self.inners.clear();
+        self.leaves.clear();
+        if self.payloads.is_empty() {
+            self.broot = None;
+            return;
+        }
+        let mut ids: Vec<u32> = (0..self.payloads.len() as u32).collect();
+        let root = self.bucket_build_rec(&mut ids);
+        self.broot = Some(root);
+    }
+
+    fn bucket_build_rec(&mut self, ids: &mut [u32]) -> BucketRef {
+        debug_assert!(!ids.is_empty());
+        if ids.len() <= self.bucket {
+            return self.push_leaf(ids);
+        }
+        let Some(axis) = self.widest_axis(ids) else {
+            // Every axis has zero spread: all points identical. A split
+            // could never separate them, so the leaf overflows its bucket.
+            return self.push_leaf(ids);
+        };
+        let mid = ids.len() / 2;
+        let coords = &self.coords;
+        // Key on (coordinate, id): deterministic, and it preserves the
+        // plane invariant — left coords ≤ split, right coords ≥ split —
+        // that the pruning bounds rely on.
+        ids.select_nth_unstable_by(mid, |&a, &b| {
+            coords[a as usize * DIM + axis]
+                .total_cmp(&coords[b as usize * DIM + axis])
+                .then(a.cmp(&b))
+        });
+        let split = self.coords[ids[mid] as usize * DIM + axis];
+        let (lo, hi) = ids.split_at_mut(mid);
+        let left = self.bucket_build_rec(lo);
+        let right = self.bucket_build_rec(hi);
+        let idx = self.inners.len() as u32;
+        self.inners.push(BucketInner {
+            axis: axis as u32,
+            split,
+            children: [left, right],
+        });
+        BucketRef::Inner(idx)
+    }
+
+    /// The axis with the largest coordinate spread over `ids`, or `None`
+    /// when every axis has zero spread (all points identical).
+    fn widest_axis(&self, ids: &[u32]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let mut best_spread = 0.0f64;
+        for axis in 0..DIM {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &id in ids {
+                let c = self.coords[id as usize * DIM + axis];
+                lo = lo.min(c);
+                hi = hi.max(c);
+            }
+            let spread = hi - lo;
+            if spread > best_spread {
+                best_spread = spread;
+                best = Some(axis);
+            }
+        }
+        best
+    }
+
+    /// Appends a new leaf holding `ids`, packing their coordinates.
+    fn push_leaf(&mut self, ids: &[u32]) -> BucketRef {
+        let mut leaf = BucketLeaf {
+            ids: Vec::with_capacity(ids.len().max(self.bucket + 1)),
+            pts: Vec::with_capacity(ids.len().max(self.bucket + 1) * DIM),
+        };
+        for &id in ids {
+            leaf.ids.push(id);
+            leaf.pts.extend_from_slice(self.arena_point(id));
+        }
+        let idx = self.leaves.len() as u32;
+        self.leaves.push(leaf);
+        BucketRef::Leaf(idx)
+    }
+
+    fn bucket_insert(&mut self, id: u32, point: &[f64; DIM]) {
+        let Some(mut cur) = self.broot else {
+            let leaf = self.push_leaf(&[id]);
+            self.broot = Some(leaf);
+            return;
+        };
+        let cap = self.bucket;
+        let mut depth = 0usize;
+        let mut parent: Option<(u32, usize)> = None;
+        loop {
+            match cur {
+                BucketRef::Inner(i) => {
+                    let n = &self.inners[i as usize];
+                    let side = usize::from(point[n.axis as usize] >= n.split);
+                    parent = Some((i, side));
+                    cur = n.children[side];
+                    depth += 1;
+                }
+                BucketRef::Leaf(l) => {
+                    let leaf = &mut self.leaves[l as usize];
+                    leaf.ids.push(id);
+                    leaf.pts.extend_from_slice(point);
+                    if leaf.ids.len() > cap && self.split_leaf(l, parent) {
+                        depth += 1;
+                    }
+                    break;
+                }
+            }
+        }
+        if depth > self.depth_limit() {
+            self.rebuilds += 1;
+            self.bucket_build_all();
+        }
+    }
+
+    /// Splits overfull leaf `l` on its widest axis, reusing `l` as the
+    /// left child. Returns `false` (leaving the leaf overfull) when every
+    /// axis has zero spread.
+    fn split_leaf(&mut self, l: u32, parent: Option<(u32, usize)>) -> bool {
+        let mut ids = std::mem::take(&mut self.leaves[l as usize].ids);
+        let Some(axis) = self.widest_axis(&ids) else {
+            self.leaves[l as usize].ids = ids;
+            return false;
+        };
+        let mid = ids.len() / 2;
+        let coords = &self.coords;
+        ids.select_nth_unstable_by(mid, |&a, &b| {
+            coords[a as usize * DIM + axis]
+                .total_cmp(&coords[b as usize * DIM + axis])
+                .then(a.cmp(&b))
+        });
+        let split = self.coords[ids[mid] as usize * DIM + axis];
+        let right_ids = ids.split_off(mid);
+        self.refill_leaf(l, ids);
+        let right = self.push_leaf(&right_ids);
+        let inner = self.inners.len() as u32;
+        self.inners.push(BucketInner {
+            axis: axis as u32,
+            split,
+            children: [BucketRef::Leaf(l), right],
+        });
+        match parent {
+            Some((p, side)) => self.inners[p as usize].children[side] = BucketRef::Inner(inner),
+            None => self.broot = Some(BucketRef::Inner(inner)),
+        }
+        true
+    }
+
+    /// Re-packs leaf `l` to hold exactly `ids` (which it previously owned).
+    fn refill_leaf(&mut self, l: u32, ids: Vec<u32>) {
+        let mut pts = std::mem::take(&mut self.leaves[l as usize].pts);
+        pts.clear();
+        for &id in &ids {
+            pts.extend_from_slice(self.arena_point(id));
+        }
+        let leaf = &mut self.leaves[l as usize];
+        leaf.ids = ids;
+        leaf.pts = pts;
+    }
+
+    /// Scapegoat-style depth budget: roughly twice the depth of a
+    /// perfectly balanced bucket tree, plus constant slack so small trees
+    /// never thrash.
+    fn depth_limit(&self) -> usize {
+        let buckets = self.payloads.len() / self.bucket + 1;
+        2 * (usize::BITS - buckets.leading_zeros()) as usize + 8
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
     /// Finds the nearest stored point to `query`.
     ///
     /// Returns `(payload, squared_distance)`, or `None` when empty.
+    /// Distance ties break toward the smallest payload — canonical across
+    /// layouts, so both answer bit-identically.
     pub fn nearest(&self, query: &[f64; DIM]) -> Option<(usize, f64)> {
         self.nearest_with(query, |_| {})
     }
 
-    /// Like [`KdTree::nearest`], invoking `visit(payload)` on every node
-    /// examined during the descent (cache-characterization hook).
+    /// [`KdTree::nearest`] writing through a caller slot; pairs with the
+    /// other `_into` variants for scratch-reusing call sites.
+    pub fn nearest_into(&self, query: &[f64; DIM], out: &mut Option<(usize, f64)>) {
+        *out = self.nearest(query);
+    }
+
+    /// Like [`KdTree::nearest`], invoking `visit(payload)` on every point
+    /// examined during the descent (cache-characterization hook). Under
+    /// the bucketed layout every point scanned in a visited leaf is
+    /// reported, in leaf-storage order.
     pub fn nearest_with(
         &self,
         query: &[f64; DIM],
         mut visit: impl FnMut(usize),
     ) -> Option<(usize, f64)> {
-        let root = self.root?;
+        if self.is_empty() {
+            return None;
+        }
         let mut best = (usize::MAX, f64::INFINITY);
-        self.nearest_rec(root, query, 0, &mut best, &mut visit);
+        match self.layout {
+            KdLayout::NodeLegacy => {
+                self.legacy_nearest_rec(self.root?, query, 0, &mut best, &mut visit);
+            }
+            KdLayout::BucketSoA => {
+                self.bucket_nearest_rec(self.broot?, query, &mut best, &mut visit);
+            }
+        }
         Some(best)
     }
 
-    fn nearest_rec(
+    fn legacy_nearest_rec(
         &self,
         node: NodeId,
         query: &[f64; DIM],
@@ -210,11 +582,12 @@ impl<const DIM: usize> KdTree<DIM> {
         visit: &mut impl FnMut(usize),
     ) {
         let n = &self.nodes[node as usize];
-        visit(n.payload);
-        let p = self.point(node);
+        let payload = self.payloads[n.point as usize];
+        visit(payload);
+        let p = self.arena_point(n.point);
         let d2 = squared_distance(p, query);
-        if d2 < best.1 {
-            *best = (n.payload, d2);
+        if closer(payload, d2, best) {
+            *best = (payload, d2);
         }
         let axis = depth % DIM;
         let delta = query[axis] - p[axis];
@@ -224,17 +597,52 @@ impl<const DIM: usize> KdTree<DIM> {
             (n.right, n.left)
         };
         if let Some(child) = near {
-            self.nearest_rec(child, query, depth + 1, best, visit);
+            self.legacy_nearest_rec(child, query, depth + 1, best, visit);
         }
-        // Only cross the splitting plane when the hypersphere reaches it.
+        // Cross the splitting plane when the hypersphere reaches it; `<=`
+        // (not `<`) so an exact tie on the far side can still win on the
+        // payload tie-break.
         if let Some(child) = far {
-            if delta * delta < best.1 {
-                self.nearest_rec(child, query, depth + 1, best, visit);
+            if delta * delta <= best.1 {
+                self.legacy_nearest_rec(child, query, depth + 1, best, visit);
             }
         }
     }
 
-    /// Finds the `k` nearest points, sorted by ascending distance.
+    fn bucket_nearest_rec(
+        &self,
+        node: BucketRef,
+        query: &[f64; DIM],
+        best: &mut (usize, f64),
+        visit: &mut impl FnMut(usize),
+    ) {
+        match node {
+            BucketRef::Leaf(l) => {
+                let leaf = &self.leaves[l as usize];
+                for (slot, &id) in leaf.ids.iter().enumerate() {
+                    let payload = self.payloads[id as usize];
+                    visit(payload);
+                    let p = &leaf.pts[slot * DIM..slot * DIM + DIM];
+                    let d2 = squared_distance(p, query);
+                    if closer(payload, d2, best) {
+                        *best = (payload, d2);
+                    }
+                }
+            }
+            BucketRef::Inner(i) => {
+                let n = &self.inners[i as usize];
+                let delta = query[n.axis as usize] - n.split;
+                let (near, far) = if delta < 0.0 { (0, 1) } else { (1, 0) };
+                self.bucket_nearest_rec(n.children[near], query, best, visit);
+                if delta * delta <= best.1 {
+                    self.bucket_nearest_rec(n.children[far], query, best, visit);
+                }
+            }
+        }
+    }
+
+    /// Finds the `k` nearest points, sorted by ascending
+    /// `(squared_distance, payload)`.
     ///
     /// Returns `(payload, squared_distance)` pairs; fewer than `k` when the
     /// tree is smaller. Allocates the result; hot loops should prefer
@@ -247,40 +655,53 @@ impl<const DIM: usize> KdTree<DIM> {
 
     /// Allocation-free [`KdTree::k_nearest`]: clears `out` and fills it with
     /// the `k` nearest `(payload, squared_distance)` pairs in ascending
-    /// distance order, reusing the buffer's capacity.
+    /// `(distance, payload)` order, reusing the buffer's capacity.
     ///
-    /// During the search `out` doubles as a bounded binary max-heap keyed on
-    /// distance, so each candidate costs O(log k) instead of the O(k log k)
-    /// re-sort the previous implementation paid, and no memory is allocated
-    /// once the buffer has grown to `k` entries.
+    /// During the search `out` doubles as a bounded binary max-heap keyed
+    /// on `(distance, payload)`, so each candidate costs O(log k) and no
+    /// memory is allocated once the buffer has grown to `k` entries.
     pub fn k_nearest_into(&self, query: &[f64; DIM], k: usize, out: &mut Vec<(usize, f64)>) {
         out.clear();
-        if k == 0 {
+        if k == 0 || self.is_empty() {
             return;
         }
-        if let Some(root) = self.root {
-            self.k_nearest_rec(root, query, 0, k, out);
+        match self.layout {
+            KdLayout::NodeLegacy => {
+                if let Some(root) = self.root {
+                    self.legacy_k_nearest_rec(root, query, 0, k, out);
+                }
+            }
+            KdLayout::BucketSoA => {
+                if let Some(root) = self.broot {
+                    self.bucket_k_nearest_rec(root, query, k, out);
+                }
+            }
         }
-        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     }
 
-    fn k_nearest_rec(
+    #[inline]
+    fn offer_k(heap: &mut Vec<(usize, f64)>, k: usize, payload: usize, d2: f64) {
+        if heap.len() < k {
+            heap_push(heap, (payload, d2));
+        } else if closer(payload, d2, &heap[0]) {
+            heap_replace_root(heap, (payload, d2));
+        }
+    }
+
+    fn legacy_k_nearest_rec(
         &self,
         node: NodeId,
         query: &[f64; DIM],
         depth: usize,
         k: usize,
-        // Bounded binary max-heap on squared distance (root = worst kept).
+        // Bounded binary max-heap on (d², payload) (root = worst kept).
         heap: &mut Vec<(usize, f64)>,
     ) {
         let n = &self.nodes[node as usize];
-        let p = self.point(node);
+        let p = self.arena_point(n.point);
         let d2 = squared_distance(p, query);
-        if heap.len() < k {
-            heap_push(heap, (n.payload, d2));
-        } else if d2 < heap[0].1 {
-            heap_replace_root(heap, (n.payload, d2));
-        }
+        Self::offer_k(heap, k, self.payloads[n.point as usize], d2);
         let axis = depth % DIM;
         let delta = query[axis] - p[axis];
         let (near, far) = if delta < 0.0 {
@@ -289,16 +710,39 @@ impl<const DIM: usize> KdTree<DIM> {
             (n.right, n.left)
         };
         if let Some(child) = near {
-            self.k_nearest_rec(child, query, depth + 1, k, heap);
+            self.legacy_k_nearest_rec(child, query, depth + 1, k, heap);
         }
         if let Some(child) = far {
-            let worst = if heap.len() < k {
-                f64::INFINITY
-            } else {
-                heap[0].1
-            };
-            if delta * delta < worst {
-                self.k_nearest_rec(child, query, depth + 1, k, heap);
+            if heap.len() < k || delta * delta <= heap[0].1 {
+                self.legacy_k_nearest_rec(child, query, depth + 1, k, heap);
+            }
+        }
+    }
+
+    fn bucket_k_nearest_rec(
+        &self,
+        node: BucketRef,
+        query: &[f64; DIM],
+        k: usize,
+        heap: &mut Vec<(usize, f64)>,
+    ) {
+        match node {
+            BucketRef::Leaf(l) => {
+                let leaf = &self.leaves[l as usize];
+                for (slot, &id) in leaf.ids.iter().enumerate() {
+                    let p = &leaf.pts[slot * DIM..slot * DIM + DIM];
+                    let d2 = squared_distance(p, query);
+                    Self::offer_k(heap, k, self.payloads[id as usize], d2);
+                }
+            }
+            BucketRef::Inner(i) => {
+                let n = &self.inners[i as usize];
+                let delta = query[n.axis as usize] - n.split;
+                let (near, far) = if delta < 0.0 { (0, 1) } else { (1, 0) };
+                self.bucket_k_nearest_rec(n.children[near], query, k, heap);
+                if heap.len() < k || delta * delta <= heap[0].1 {
+                    self.bucket_k_nearest_rec(n.children[far], query, k, heap);
+                }
             }
         }
     }
@@ -309,19 +753,42 @@ impl<const DIM: usize> KdTree<DIM> {
     /// returned (membership is `d² <= radius²`, and the subtree pruning
     /// test uses the same `<=` so boundary points are never skipped).
     ///
-    /// Returns `(payload, squared_distance)` pairs in arbitrary order. Used
-    /// by RRT* to collect the rewiring neighborhood (the paper's "yellow
-    /// circle").
+    /// Returns `(payload, squared_distance)` pairs sorted by ascending
+    /// `(payload, distance)` — canonical across layouts. Used by RRT* to
+    /// collect the rewiring neighborhood (the paper's "yellow circle");
+    /// that hot loop should use [`KdTree::within_radius_into`].
     pub fn within_radius(&self, query: &[f64; DIM], radius: f64) -> Vec<(usize, f64)> {
         let mut out = Vec::new();
-        let r2 = radius * radius;
-        if let Some(root) = self.root {
-            self.radius_rec(root, query, 0, r2, &mut out);
-        }
+        self.within_radius_into(query, radius, &mut out);
         out
     }
 
-    fn radius_rec(
+    /// Allocation-free [`KdTree::within_radius`]: clears `out` and fills it,
+    /// reusing the buffer's capacity.
+    pub fn within_radius_into(
+        &self,
+        query: &[f64; DIM],
+        radius: f64,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        out.clear();
+        let r2 = radius * radius;
+        match self.layout {
+            KdLayout::NodeLegacy => {
+                if let Some(root) = self.root {
+                    self.legacy_radius_rec(root, query, 0, r2, out);
+                }
+            }
+            KdLayout::BucketSoA => {
+                if let Some(root) = self.broot {
+                    self.bucket_radius_rec(root, query, r2, out);
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    }
+
+    fn legacy_radius_rec(
         &self,
         node: NodeId,
         query: &[f64; DIM],
@@ -330,10 +797,10 @@ impl<const DIM: usize> KdTree<DIM> {
         out: &mut Vec<(usize, f64)>,
     ) {
         let n = &self.nodes[node as usize];
-        let p = self.point(node);
+        let p = self.arena_point(n.point);
         let d2 = squared_distance(p, query);
         if d2 <= r2 {
-            out.push((n.payload, d2));
+            out.push((self.payloads[n.point as usize], d2));
         }
         let axis = depth % DIM;
         let delta = query[axis] - p[axis];
@@ -343,30 +810,142 @@ impl<const DIM: usize> KdTree<DIM> {
             (n.right, n.left)
         };
         if let Some(child) = near {
-            self.radius_rec(child, query, depth + 1, r2, out);
+            self.legacy_radius_rec(child, query, depth + 1, r2, out);
         }
         if let Some(child) = far {
             if delta * delta <= r2 {
-                self.radius_rec(child, query, depth + 1, r2, out);
+                self.legacy_radius_rec(child, query, depth + 1, r2, out);
             }
         }
     }
 
-    /// Iterates over `(payload, point)` pairs in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> + '_ {
-        self.nodes
-            .iter()
-            .map(move |n| (n.payload, &self.coords[n.point_start..n.point_start + DIM]))
+    fn bucket_radius_rec(
+        &self,
+        node: BucketRef,
+        query: &[f64; DIM],
+        r2: f64,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        match node {
+            BucketRef::Leaf(l) => {
+                let leaf = &self.leaves[l as usize];
+                for (slot, &id) in leaf.ids.iter().enumerate() {
+                    let p = &leaf.pts[slot * DIM..slot * DIM + DIM];
+                    let d2 = squared_distance(p, query);
+                    if d2 <= r2 {
+                        out.push((self.payloads[id as usize], d2));
+                    }
+                }
+            }
+            BucketRef::Inner(i) => {
+                let n = &self.inners[i as usize];
+                let delta = query[n.axis as usize] - n.split;
+                let (near, far) = if delta < 0.0 { (0, 1) } else { (1, 0) };
+                self.bucket_radius_rec(n.children[near], query, r2, out);
+                if delta * delta <= r2 {
+                    self.bucket_radius_rec(n.children[far], query, r2, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Batched queries
+    // ------------------------------------------------------------------
+
+    /// Answers one [`KdTree::nearest`] per query, fanning the independent
+    /// searches over `pool` with fixed chunking.
+    ///
+    /// Each output slot is written by index, so the result is
+    /// element-for-element identical to the sequential loop for every
+    /// thread count ([`Pool::sequential`] *is* the sequential loop).
+    /// Allocates the output; hot loops should reuse a buffer through
+    /// [`KdTree::batch_nearest_into`].
+    pub fn batch_nearest(
+        &self,
+        queries: &[[f64; DIM]],
+        pool: &Pool,
+    ) -> Vec<Option<(usize, f64)>> {
+        let mut out = Vec::new();
+        self.batch_nearest_into(queries, pool, &mut out);
+        out
+    }
+
+    /// Allocation-free [`KdTree::batch_nearest`]: resizes `out` to
+    /// `queries.len()` (reusing its capacity) and fills every slot.
+    pub fn batch_nearest_into(
+        &self,
+        queries: &[[f64; DIM]],
+        pool: &Pool,
+        out: &mut Vec<Option<(usize, f64)>>,
+    ) {
+        out.clear();
+        out.resize(queries.len(), None);
+        pool.par_chunks_mut(out, |_, start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.nearest(&queries[start + off]);
+            }
+        });
+    }
+
+    /// Answers one [`KdTree::k_nearest`] per query over `pool`; same
+    /// determinism contract as [`KdTree::batch_nearest`].
+    pub fn batch_k_nearest(
+        &self,
+        queries: &[[f64; DIM]],
+        k: usize,
+        pool: &Pool,
+    ) -> Vec<Vec<(usize, f64)>> {
+        let mut out = Vec::new();
+        self.batch_k_nearest_into(queries, k, pool, &mut out);
+        out
+    }
+
+    /// Buffer-reusing [`KdTree::batch_k_nearest`]: keeps both the outer
+    /// vector and every per-query inner buffer alive across calls, so a
+    /// steady-state caller (ICP iterations, PRM candidate sweeps) stops
+    /// allocating entirely after the first batch.
+    pub fn batch_k_nearest_into(
+        &self,
+        queries: &[[f64; DIM]],
+        k: usize,
+        pool: &Pool,
+        out: &mut Vec<Vec<(usize, f64)>>,
+    ) {
+        out.truncate(queries.len());
+        while out.len() < queries.len() {
+            out.push(Vec::with_capacity(k));
+        }
+        pool.par_chunks_mut(out, |_, start, chunk| {
+            for (off, buf) in chunk.iter_mut().enumerate() {
+                self.k_nearest_into(&queries[start + off], k, buf);
+            }
+        });
     }
 }
 
-/// Pushes onto the distance-keyed max-heap, sifting the new entry up.
+/// Canonical "candidate beats incumbent" order: smaller squared distance
+/// first, smaller payload on exact ties. Shared by both layouts so their
+/// answers are bit-identical.
+#[inline]
+fn closer(payload: usize, d2: f64, best: &(usize, f64)) -> bool {
+    d2 < best.1 || (d2 == best.1 && payload < best.0)
+}
+
+/// `a` orders strictly after `b` under the canonical `(d², payload)` key
+/// (max-heap comparison).
+#[inline]
+fn heap_after(a: (usize, f64), b: (usize, f64)) -> bool {
+    a.1 > b.1 || (a.1 == b.1 && a.0 > b.0)
+}
+
+/// Pushes onto the `(d², payload)`-keyed max-heap, sifting the new entry up.
 fn heap_push(heap: &mut Vec<(usize, f64)>, item: (usize, f64)) {
     heap.push(item);
     let mut child = heap.len() - 1;
     while child > 0 {
         let parent = (child - 1) / 2;
-        if heap[parent].1 >= heap[child].1 {
+        if !heap_after(heap[child], heap[parent]) {
             break;
         }
         heap.swap(parent, child);
@@ -384,12 +963,12 @@ fn heap_replace_root(heap: &mut [(usize, f64)], item: (usize, f64)) {
             break;
         }
         let right = left + 1;
-        let bigger = if right < heap.len() && heap[right].1 > heap[left].1 {
+        let bigger = if right < heap.len() && heap_after(heap[right], heap[left]) {
             right
         } else {
             left
         };
-        if heap[parent].1 >= heap[bigger].1 {
+        if !heap_after(heap[bigger], heap[parent]) {
             break;
         }
         heap.swap(parent, bigger);
@@ -412,6 +991,8 @@ fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
 mod tests {
     use super::*;
 
+    const LAYOUTS: [KdLayout; 2] = [KdLayout::NodeLegacy, KdLayout::BucketSoA];
+
     fn brute_nearest<const D: usize>(
         points: &[[f64; D]],
         query: &[f64; D],
@@ -425,19 +1006,29 @@ mod tests {
 
     #[test]
     fn empty_tree_queries() {
-        let tree = KdTree::<3>::new();
-        assert!(tree.is_empty());
-        assert_eq!(tree.nearest(&[0.0; 3]), None);
-        assert!(tree.k_nearest(&[0.0; 3], 4).is_empty());
-        assert!(tree.within_radius(&[0.0; 3], 1.0).is_empty());
+        for layout in LAYOUTS {
+            let tree = KdTree::<3>::new_in(layout);
+            assert!(tree.is_empty());
+            assert_eq!(tree.nearest(&[0.0; 3]), None);
+            assert!(tree.k_nearest(&[0.0; 3], 4).is_empty());
+            assert!(tree.within_radius(&[0.0; 3], 1.0).is_empty());
+        }
+    }
+
+    #[test]
+    fn default_layout_is_bucketed() {
+        assert_eq!(KdTree::<2>::new().layout(), KdLayout::BucketSoA);
+        assert_eq!(KdLayout::default(), KdLayout::BucketSoA);
     }
 
     #[test]
     fn single_point() {
-        let mut tree = KdTree::<2>::new();
-        tree.insert([1.0, 2.0], 42);
-        assert_eq!(tree.nearest(&[0.0, 0.0]), Some((42, 5.0)));
-        assert_eq!(tree.len(), 1);
+        for layout in LAYOUTS {
+            let mut tree = KdTree::<2>::new_in(layout);
+            tree.insert([1.0, 2.0], 42);
+            assert_eq!(tree.nearest(&[0.0, 0.0]), Some((42, 5.0)));
+            assert_eq!(tree.len(), 1);
+        }
     }
 
     #[test]
@@ -453,83 +1044,148 @@ mod tests {
         let points: Vec<[f64; 5]> = (0..300)
             .map(|_| [next(), next(), next(), next(), next()])
             .collect();
-        let mut tree = KdTree::<5>::new();
-        for (i, p) in points.iter().enumerate() {
-            tree.insert(*p, i);
-        }
-        for _ in 0..50 {
-            let q = [next(), next(), next(), next(), next()];
-            let (tp, td) = tree.nearest(&q).unwrap();
-            let (bp, bd) = brute_nearest(&points, &q).unwrap();
-            assert_eq!(tp, bp);
-            assert!((td - bd).abs() < 1e-12);
+        let queries: Vec<[f64; 5]> = (0..50)
+            .map(|_| [next(), next(), next(), next(), next()])
+            .collect();
+        for layout in LAYOUTS {
+            let mut tree = KdTree::<5>::new_in(layout);
+            for (i, p) in points.iter().enumerate() {
+                tree.insert(*p, i);
+            }
+            for q in &queries {
+                let (tp, td) = tree.nearest(q).unwrap();
+                let (bp, bd) = brute_nearest(&points, q).unwrap();
+                assert_eq!(tp, bp);
+                assert!((td - bd).abs() < 1e-12);
+            }
         }
     }
 
     #[test]
     fn k_nearest_sorted_and_complete() {
-        let mut tree = KdTree::<1>::new();
-        for i in 0..10 {
-            tree.insert([i as f64], i);
+        for layout in LAYOUTS {
+            let mut tree = KdTree::<1>::new_in(layout);
+            for i in 0..10 {
+                tree.insert([i as f64], i);
+            }
+            let got = tree.k_nearest(&[3.2], 3);
+            assert_eq!(got.len(), 3);
+            let ids: Vec<usize> = got.iter().map(|(p, _)| *p).collect();
+            assert_eq!(ids, vec![3, 4, 2]);
+            // Distances ascend.
+            assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
         }
-        let got = tree.k_nearest(&[3.2], 3);
-        assert_eq!(got.len(), 3);
-        let ids: Vec<usize> = got.iter().map(|(p, _)| *p).collect();
-        assert_eq!(ids, vec![3, 4, 2]);
-        // Distances ascend.
-        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
     }
 
     #[test]
     fn k_nearest_with_k_larger_than_len() {
-        let mut tree = KdTree::<2>::new();
-        tree.insert([0.0, 0.0], 0);
-        tree.insert([1.0, 0.0], 1);
-        assert_eq!(tree.k_nearest(&[0.0, 0.0], 10).len(), 2);
+        for layout in LAYOUTS {
+            let mut tree = KdTree::<2>::new_in(layout);
+            tree.insert([0.0, 0.0], 0);
+            tree.insert([1.0, 0.0], 1);
+            assert_eq!(tree.k_nearest(&[0.0, 0.0], 10).len(), 2);
+        }
+    }
+
+    #[test]
+    fn distance_ties_break_toward_smaller_payload() {
+        for layout in LAYOUTS {
+            let mut tree = KdTree::<1>::new_in(layout);
+            // Payloads out of insertion order to make the tie-break visible.
+            tree.insert([1.0], 9);
+            tree.insert([-1.0], 2);
+            tree.insert([3.0], 5);
+            // 1.0 and -1.0 are both at distance 1 from the origin.
+            assert_eq!(tree.nearest(&[0.0]), Some((2, 1.0)));
+            let two = tree.k_nearest(&[0.0], 2);
+            assert_eq!(two, vec![(2, 1.0), (9, 1.0)]);
+        }
     }
 
     #[test]
     fn within_radius_exact_membership() {
-        let mut tree = KdTree::<2>::new();
-        for i in 0..10 {
-            tree.insert([i as f64, 0.0], i);
+        for layout in LAYOUTS {
+            let mut tree = KdTree::<2>::new_in(layout);
+            for i in 0..10 {
+                tree.insert([i as f64, 0.0], i);
+            }
+            let got: Vec<usize> = tree
+                .within_radius(&[4.5, 0.0], 1.6)
+                .into_iter()
+                .map(|(p, _)| p)
+                .collect();
+            // Canonical order: ascending payload, no caller-side sort needed.
+            assert_eq!(got, vec![3, 4, 5, 6]);
         }
-        let mut got: Vec<usize> = tree
-            .within_radius(&[4.5, 0.0], 1.6)
-            .into_iter()
-            .map(|(p, _)| p)
-            .collect();
-        got.sort_unstable();
-        assert_eq!(got, vec![3, 4, 5, 6]);
     }
 
     #[test]
     fn radius_boundary_is_inclusive() {
+        for layout in LAYOUTS {
+            let mut tree = KdTree::<2>::new_in(layout);
+            tree.insert([3.0, 4.0], 7);
+            let got = tree.within_radius(&[0.0, 0.0], 5.0);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].0, 7);
+        }
+    }
+
+    #[test]
+    fn within_radius_into_reuses_buffer() {
         let mut tree = KdTree::<2>::new();
-        tree.insert([3.0, 4.0], 7);
-        let got = tree.within_radius(&[0.0, 0.0], 5.0);
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].0, 7);
+        for i in 0..64 {
+            tree.insert([(i % 8) as f64, (i / 8) as f64], i);
+        }
+        let mut buf = Vec::new();
+        tree.within_radius_into(&[3.5, 3.5], 2.0, &mut buf);
+        assert!(!buf.is_empty());
+        let cap = buf.capacity();
+        for _ in 0..8 {
+            tree.within_radius_into(&[3.5, 3.5], 2.0, &mut buf);
+        }
+        assert_eq!(buf.capacity(), cap, "buffer must be reused");
     }
 
     #[test]
     fn duplicate_points_are_kept() {
+        for layout in LAYOUTS {
+            let mut tree = KdTree::<2>::new_in(layout);
+            tree.insert([1.0, 1.0], 0);
+            tree.insert([1.0, 1.0], 1);
+            assert_eq!(tree.within_radius(&[1.0, 1.0], 0.1).len(), 2);
+        }
+    }
+
+    #[test]
+    fn duplicate_flood_overflows_bucket_gracefully() {
+        // All-identical points can never be separated by a splitting
+        // plane; the leaf must absorb them without splitting or spinning.
         let mut tree = KdTree::<2>::new();
-        tree.insert([1.0, 1.0], 0);
-        tree.insert([1.0, 1.0], 1);
-        assert_eq!(tree.within_radius(&[1.0, 1.0], 0.1).len(), 2);
+        for i in 0..100 {
+            tree.insert([2.0, 3.0], i);
+        }
+        assert_eq!(tree.len(), 100);
+        assert_eq!(tree.within_radius(&[2.0, 3.0], 0.5).len(), 100);
+        let (payload, d2) = tree.nearest(&[2.0, 3.1]).unwrap();
+        assert_eq!(payload, 0, "duplicate tie must break toward payload 0");
+        assert!((d2 - 0.01).abs() < 1e-12);
+        // A later distinct point still splits the mixed leaf fine.
+        tree.insert([5.0, 5.0], 100);
+        assert_eq!(tree.nearest(&[5.1, 5.0]).unwrap().0, 100);
     }
 
     #[test]
     fn visitor_reports_visited_payloads() {
-        let mut tree = KdTree::<2>::new();
-        for i in 0..50 {
-            tree.insert([(i % 7) as f64, (i % 11) as f64], i);
+        for layout in LAYOUTS {
+            let mut tree = KdTree::<2>::new_in(layout);
+            for i in 0..50 {
+                tree.insert([(i % 7) as f64, (i % 11) as f64], i);
+            }
+            let mut visits = 0usize;
+            tree.nearest_with(&[3.0, 5.0], |_| visits += 1);
+            assert!(visits >= 1);
+            assert!(visits <= 50);
         }
-        let mut visits = 0usize;
-        tree.nearest_with(&[3.0, 5.0], |_| visits += 1);
-        assert!(visits >= 1);
-        assert!(visits <= 50);
     }
 
     fn lcg_points<const D: usize>(n: usize, seed: u64) -> Vec<[f64; D]> {
@@ -548,61 +1204,120 @@ mod tests {
         let points = lcg_points::<3>(500, 99);
         let items: Vec<([f64; 3], usize)> =
             points.iter().enumerate().map(|(i, p)| (*p, i)).collect();
-        let balanced = KdTree::build_balanced(&items);
-        let mut incremental = KdTree::<3>::new();
-        for (p, i) in &items {
-            incremental.insert(*p, *i);
+        for layout in LAYOUTS {
+            let balanced = KdTree::build_balanced_in(layout, &items);
+            let mut incremental = KdTree::<3>::new_in(layout);
+            for (p, i) in &items {
+                incremental.insert(*p, *i);
+            }
+            assert_eq!(balanced.len(), incremental.len());
+            for q in lcg_points::<3>(60, 7) {
+                // Canonical tie-breaks make the answers exactly equal; no
+                // set-comparison slack needed.
+                assert_eq!(balanced.nearest(&q), incremental.nearest(&q));
+                assert_eq!(balanced.k_nearest(&q, 8), incremental.k_nearest(&q, 8));
+                assert_eq!(
+                    balanced.within_radius(&q, 2.0),
+                    incremental.within_radius(&q, 2.0)
+                );
+            }
         }
-        assert_eq!(balanced.len(), incremental.len());
-        for q in lcg_points::<3>(60, 7) {
-            assert_eq!(balanced.nearest(&q), incremental.nearest(&q));
-            let mut a = balanced.k_nearest(&q, 8);
-            let mut b = incremental.k_nearest(&q, 8);
-            // Tie order may differ between builds; compare as sets.
-            a.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
-            b.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
-            assert_eq!(a, b);
-            let mut ra: Vec<usize> = balanced
-                .within_radius(&q, 2.0)
-                .iter()
-                .map(|p| p.0)
-                .collect();
-            let mut rb: Vec<usize> = incremental
-                .within_radius(&q, 2.0)
-                .iter()
-                .map(|p| p.0)
-                .collect();
-            ra.sort_unstable();
-            rb.sort_unstable();
-            assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn layouts_answer_identically() {
+        let points = lcg_points::<3>(400, 41);
+        let items: Vec<([f64; 3], usize)> =
+            points.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        let legacy = KdTree::build_balanced_in(KdLayout::NodeLegacy, &items);
+        let bucket = KdTree::build_balanced_in(KdLayout::BucketSoA, &items);
+        for q in lcg_points::<3>(80, 13) {
+            assert_eq!(legacy.nearest(&q), bucket.nearest(&q));
+            assert_eq!(legacy.k_nearest(&q, 6), bucket.k_nearest(&q, 6));
+            assert_eq!(legacy.within_radius(&q, 1.5), bucket.within_radius(&q, 1.5));
         }
     }
 
     #[test]
     fn balanced_build_is_logarithmically_deep() {
-        // Sorted input: incremental insertion degenerates to a list, the
-        // balanced build must not.
+        // Sorted input: legacy incremental insertion degenerates to a
+        // list, the balanced build must not.
         let items: Vec<([f64; 1], usize)> = (0..1024).map(|i| ([i as f64], i)).collect();
-        let tree = KdTree::build_balanced(&items);
-        let mut max_depth = 0usize;
-        // Probe depth via the visit hook: nearest() walks one root-to-leaf
-        // path plus bounded backtracking, so visit count bounds depth.
-        for q in [[-1.0], [512.3], [2000.0]] {
-            let mut visits = 0usize;
-            tree.nearest_with(&q, |_| visits += 1);
-            max_depth = max_depth.max(visits);
+        for layout in LAYOUTS {
+            let tree = KdTree::build_balanced_in(layout, &items);
+            let mut max_visits = 0usize;
+            // Probe via the visit hook: nearest() walks one root-to-leaf
+            // path plus bounded backtracking, so the visit count bounds
+            // depth (legacy) / leaf fan-out (bucketed).
+            for q in [[-1.0], [512.3], [2000.0]] {
+                let mut visits = 0usize;
+                tree.nearest_with(&q, |_| visits += 1);
+                max_visits = max_visits.max(visits);
+            }
+            assert!(
+                max_visits <= 64,
+                "visited {max_visits} points in a 1024-point balanced tree ({layout:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_inserts_trigger_rebuild_and_stay_shallow() {
+        // Adversarial input for incremental insertion: ascending 1-D
+        // points. The bucketed index must notice the imbalance and
+        // rebuild itself back to logarithmic depth.
+        let mut tree = KdTree::<1>::new();
+        for i in 0..2048 {
+            tree.insert([i as f64], i);
         }
         assert!(
-            max_depth <= 64,
-            "visited {max_depth} nodes in a 1024-point balanced tree"
+            tree.rebuilds() > 0,
+            "sorted inserts must trip rebuild-on-imbalance"
         );
+        let mut visits = 0usize;
+        tree.nearest_with(&[2047.5], |_| visits += 1);
+        assert!(
+            visits <= 96,
+            "visited {visits} points after rebuild of a 2048-point tree"
+        );
+        // Correctness survives the rebuilds.
+        assert_eq!(tree.nearest(&[1000.2]).unwrap().0, 1000);
+        assert_eq!(tree.len(), 2048);
+    }
+
+    #[test]
+    fn custom_bucket_sizes_answer_identically() {
+        let points = lcg_points::<2>(300, 5);
+        let reference = {
+            let mut t = KdTree::<2>::new_in(KdLayout::NodeLegacy);
+            for (i, p) in points.iter().enumerate() {
+                t.insert(*p, i);
+            }
+            t
+        };
+        for bucket in [1usize, 2, 4, 8, 32, 128] {
+            let mut t = KdTree::<2>::new().with_bucket_size(bucket);
+            for (i, p) in points.iter().enumerate() {
+                t.insert(*p, i);
+            }
+            for q in lcg_points::<2>(20, 77) {
+                assert_eq!(t.nearest(&q), reference.nearest(&q), "bucket={bucket}");
+                assert_eq!(
+                    t.k_nearest(&q, 5),
+                    reference.k_nearest(&q, 5),
+                    "bucket={bucket}"
+                );
+            }
+        }
     }
 
     #[test]
     fn balanced_build_of_empty_and_tiny_inputs() {
-        assert!(KdTree::<2>::build_balanced(&[]).is_empty());
-        let one = KdTree::build_balanced(&[([1.0, 2.0], 5)]);
-        assert_eq!(one.nearest(&[0.0, 0.0]), Some((5, 5.0)));
+        for layout in LAYOUTS {
+            assert!(KdTree::<2>::build_balanced_in(layout, &[]).is_empty());
+            let one = KdTree::build_balanced_in(layout, &[([1.0, 2.0], 5)]);
+            assert_eq!(one.nearest(&[0.0, 0.0]), Some((5, 5.0)));
+        }
     }
 
     #[test]
@@ -610,19 +1325,22 @@ mod tests {
         let points = lcg_points::<2>(200, 3);
         let items: Vec<([f64; 2], usize)> =
             points.iter().enumerate().map(|(i, p)| (*p, i)).collect();
-        let tree = KdTree::build_balanced(&items);
-        for q in lcg_points::<2>(25, 11) {
-            let got = tree.k_nearest(&q, 10);
-            let mut brute: Vec<(usize, f64)> = points
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (i, squared_distance(p, &q)))
-                .collect();
-            brute.sort_by(|a, b| a.1.total_cmp(&b.1));
-            brute.truncate(10);
-            assert_eq!(got.len(), brute.len());
-            for (g, b) in got.iter().zip(&brute) {
-                assert_eq!(g.1.to_bits(), b.1.to_bits());
+        for layout in LAYOUTS {
+            let tree = KdTree::build_balanced_in(layout, &items);
+            for q in lcg_points::<2>(25, 11) {
+                let got = tree.k_nearest(&q, 10);
+                let mut brute: Vec<(usize, f64)> = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, squared_distance(p, &q)))
+                    .collect();
+                brute.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                brute.truncate(10);
+                assert_eq!(got.len(), brute.len());
+                for (g, b) in got.iter().zip(&brute) {
+                    assert_eq!(g.0, b.0);
+                    assert_eq!(g.1.to_bits(), b.1.to_bits());
+                }
             }
         }
     }
@@ -630,35 +1348,82 @@ mod tests {
     #[test]
     fn k_nearest_into_reuses_buffer_and_sorts() {
         let items: Vec<([f64; 1], usize)> = (0..32).map(|i| ([i as f64], i)).collect();
+        for layout in LAYOUTS {
+            let tree = KdTree::build_balanced_in(layout, &items);
+            let mut buf = Vec::new();
+            tree.k_nearest_into(&[10.2], 4, &mut buf);
+            assert_eq!(
+                buf.iter().map(|p| p.0).collect::<Vec<_>>(),
+                vec![10, 11, 9, 12]
+            );
+            let cap = buf.capacity();
+            tree.k_nearest_into(&[3.9], 4, &mut buf);
+            assert_eq!(buf.capacity(), cap, "buffer must be reused, not reallocated");
+            assert_eq!(
+                buf.iter().map(|p| p.0).collect::<Vec<_>>(),
+                vec![4, 3, 5, 2]
+            );
+            tree.k_nearest_into(&[0.0], 0, &mut buf);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn batch_nearest_matches_sequential_for_all_thread_counts() {
+        let points = lcg_points::<3>(600, 21);
+        let items: Vec<([f64; 3], usize)> =
+            points.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        let queries = lcg_points::<3>(97, 8);
+        for layout in LAYOUTS {
+            let tree = KdTree::build_balanced_in(layout, &items);
+            let reference: Vec<Option<(usize, f64)>> =
+                queries.iter().map(|q| tree.nearest(q)).collect();
+            for threads in [1usize, 2, 4, 8] {
+                let pool = Pool::new(threads);
+                assert_eq!(tree.batch_nearest(&queries, &pool), reference);
+                let got_k = tree.batch_k_nearest(&queries, 5, &pool);
+                for (q, got) in queries.iter().zip(&got_k) {
+                    assert_eq!(got, &tree.k_nearest(q, 5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_into_buffers_plateau() {
+        let points = lcg_points::<2>(256, 31);
+        let items: Vec<([f64; 2], usize)> =
+            points.iter().enumerate().map(|(i, p)| (*p, i)).collect();
         let tree = KdTree::build_balanced(&items);
-        let mut buf = Vec::new();
-        tree.k_nearest_into(&[10.2], 4, &mut buf);
+        let queries = lcg_points::<2>(64, 9);
+        let pool = Pool::sequential();
+        let mut nn = Vec::new();
+        let mut knn = Vec::new();
+        tree.batch_nearest_into(&queries, &pool, &mut nn);
+        tree.batch_k_nearest_into(&queries, 4, &pool, &mut knn);
+        let nn_cap = nn.capacity();
+        let knn_caps: Vec<usize> = knn.iter().map(Vec::capacity).collect();
+        for _ in 0..4 {
+            tree.batch_nearest_into(&queries, &pool, &mut nn);
+            tree.batch_k_nearest_into(&queries, 4, &pool, &mut knn);
+        }
+        assert_eq!(nn.capacity(), nn_cap, "batch_nearest buffer must plateau");
         assert_eq!(
-            buf.iter().map(|p| p.0).collect::<Vec<_>>(),
-            vec![10, 11, 9, 12]
+            knn.iter().map(Vec::capacity).collect::<Vec<usize>>(),
+            knn_caps,
+            "batch_k_nearest inner buffers must plateau"
         );
-        let cap = buf.capacity();
-        tree.k_nearest_into(&[3.9], 4, &mut buf);
-        assert_eq!(
-            buf.capacity(),
-            cap,
-            "buffer must be reused, not reallocated"
-        );
-        assert_eq!(
-            buf.iter().map(|p| p.0).collect::<Vec<_>>(),
-            vec![4, 3, 5, 2]
-        );
-        tree.k_nearest_into(&[0.0], 0, &mut buf);
-        assert!(buf.is_empty());
     }
 
     #[test]
     fn iter_yields_all_points() {
-        let mut tree = KdTree::<3>::new();
-        tree.insert([1.0, 2.0, 3.0], 9);
-        tree.insert([4.0, 5.0, 6.0], 8);
-        let all: Vec<(usize, Vec<f64>)> = tree.iter().map(|(p, c)| (p, c.to_vec())).collect();
-        assert_eq!(all.len(), 2);
-        assert_eq!(all[0], (9, vec![1.0, 2.0, 3.0]));
+        for layout in LAYOUTS {
+            let mut tree = KdTree::<3>::new_in(layout);
+            tree.insert([1.0, 2.0, 3.0], 9);
+            tree.insert([4.0, 5.0, 6.0], 8);
+            let all: Vec<(usize, Vec<f64>)> = tree.iter().map(|(p, c)| (p, c.to_vec())).collect();
+            assert_eq!(all.len(), 2);
+            assert_eq!(all[0], (9, vec![1.0, 2.0, 3.0]));
+        }
     }
 }

@@ -53,6 +53,45 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
     let mut m = a.clone();
     m.symmetrize_mut();
     let mut v = Matrix::identity(n);
+    jacobi_eigen_in_place(&mut m, &mut v)?;
+
+    // Sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
+    let values = Vector::from_fn(n, |i| m[(order[i], order[i])]);
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    Ok(SymmetricEigen { values, vectors })
+}
+
+/// Allocation-free core of [`symmetric_eigen`]: runs cyclic Jacobi sweeps
+/// on caller-owned buffers (the Workspace convention's in-place entry
+/// point).
+///
+/// On entry `m` must be the symmetrized input and `v` the same-sized
+/// identity; on return `m` is (near-)diagonal with the **unsorted**
+/// eigenvalues on its diagonal and column `i` of `v` is the eigenvector
+/// for `m[(i, i)]`. Callers that need the dominant pair — ICP's Horn
+/// quaternion step — scan the diagonal instead of paying
+/// [`symmetric_eigen`]'s sorted, allocating packaging; the sweep sequence
+/// is identical, so diagonal and rotation values match the allocating path
+/// bit for bit.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::MalformedInput`] if `m` is not square or `v`'s
+/// shape differs from `m`'s.
+pub fn jacobi_eigen_in_place(m: &mut Matrix, v: &mut Matrix) -> Result<(), LinalgError> {
+    if !m.is_square() {
+        return Err(LinalgError::MalformedInput(
+            "eigendecomposition requires a square matrix",
+        ));
+    }
+    if v.rows() != m.rows() || v.cols() != m.cols() {
+        return Err(LinalgError::MalformedInput(
+            "eigenvector buffer shape must match the input matrix",
+        ));
+    }
+    let n = m.rows();
 
     const MAX_SWEEPS: usize = 64;
     for _ in 0..MAX_SWEEPS {
@@ -101,13 +140,7 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
             }
         }
     }
-
-    // Sort by descending eigenvalue.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
-    let values = Vector::from_fn(n, |i| m[(order[i], order[i])]);
-    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
-    Ok(SymmetricEigen { values, vectors })
+    Ok(())
 }
 
 #[cfg(test)]
@@ -173,6 +206,29 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+        assert!(jacobi_eigen_in_place(&mut Matrix::zeros(2, 3), &mut Matrix::zeros(2, 3)).is_err());
+        assert!(jacobi_eigen_in_place(&mut Matrix::zeros(3, 3), &mut Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn in_place_sweeps_match_allocating_path_bitwise() {
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.5], &[0.5, -0.5, 2.0]]).unwrap();
+        let eig = symmetric_eigen(&a).unwrap();
+        let mut m = a.clone();
+        m.symmetrize_mut();
+        let mut v = Matrix::identity(3);
+        jacobi_eigen_in_place(&mut m, &mut v).unwrap();
+        // The in-place diagonal is unsorted; match each eigenpair by value.
+        for c in 0..3 {
+            let lambda = m[(c, c)];
+            let sorted_col = (0..3)
+                .find(|&i| eig.values[i].to_bits() == lambda.to_bits())
+                .expect("every unsorted eigenvalue appears in the sorted output");
+            for r in 0..3 {
+                assert_eq!(v[(r, c)].to_bits(), eig.vectors[(r, sorted_col)].to_bits());
+            }
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod vector;
 mod workspace;
 
 pub use cholesky::Cholesky;
-pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use eigen::{jacobi_eigen_in_place, symmetric_eigen, SymmetricEigen};
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;

@@ -102,6 +102,22 @@ struct Particle {
     weight: f64,
 }
 
+/// Persistent buffers backing [`ParticleFilter::maybe_resample`].
+///
+/// Low-variance resampling needs a cumulative-weight prefix array, the
+/// chosen source index per output slot, and a particle buffer to write the
+/// survivors into. All three are reused across calls (the particle buffer
+/// swaps with the live set each round), so steady-state resampling is
+/// allocation-free: `grows` counts the rounds where any buffer had to
+/// expand, which plateaus at 1 after the warmup round.
+#[derive(Debug, Clone, Default)]
+struct ResampleScratch {
+    cumulative: Vec<f64>,
+    indices: Vec<usize>,
+    next: Vec<Particle>,
+    grows: u64,
+}
+
 /// The particle-filter localization kernel.
 ///
 /// # Example
@@ -125,6 +141,7 @@ pub struct ParticleFilter<'m> {
     rays_cast: u64,
     cells_probed: u64,
     resamples: u64,
+    resample_scratch: ResampleScratch,
 }
 
 impl<'m> ParticleFilter<'m> {
@@ -183,7 +200,15 @@ impl<'m> ParticleFilter<'m> {
             rays_cast: 0,
             cells_probed: 0,
             resamples: 0,
+            resample_scratch: ResampleScratch::default(),
         }
+    }
+
+    /// Number of resampling rounds that had to grow the persistent
+    /// resampling scratch. Plateaus at 1 (the warmup round) no matter how
+    /// many times the filter resamples afterward.
+    pub fn resample_scratch_allocations(&self) -> u64 {
+        self.resample_scratch.grows
     }
 
     /// Number of particles.
@@ -330,21 +355,47 @@ impl<'m> ParticleFilter<'m> {
         let n = self.particles.len();
         let step = 1.0 / n as f64;
         let mut target = self.rng.uniform(0.0, step);
+
+        let scratch = &mut self.resample_scratch;
+        if scratch.cumulative.capacity() < n
+            || scratch.indices.capacity() < n
+            || scratch.next.capacity() < n
+        {
+            scratch.grows += 1;
+        }
+
+        // Cumulative-weight prefix array. Built left to right with the same
+        // addition order the legacy inline accumulator used, so every
+        // prefix value — and therefore every `prefix < target` comparison
+        // below — is bit-identical to the historical path.
+        scratch.cumulative.clear();
         let mut cumulative = self.particles[0].weight;
+        scratch.cumulative.push(cumulative);
+        for p in &self.particles[1..] {
+            cumulative += p.weight;
+            scratch.cumulative.push(cumulative);
+        }
+
+        // Source index per output slot.
+        scratch.indices.clear();
         let mut idx = 0usize;
-        let mut next = Vec::with_capacity(n);
         for _ in 0..n {
-            while cumulative < target && idx + 1 < n {
+            while scratch.cumulative[idx] < target && idx + 1 < n {
                 idx += 1;
-                cumulative += self.particles[idx].weight;
             }
-            next.push(Particle {
-                pose: self.particles[idx].pose,
-                weight: step,
-            });
+            scratch.indices.push(idx);
             target += step;
         }
-        self.particles = next;
+
+        // Gather survivors into the persistent particle buffer, then swap
+        // it with the live set; the retired set becomes next round's
+        // buffer, so steady-state resampling allocates nothing.
+        scratch.next.clear();
+        scratch.next.extend(scratch.indices.iter().map(|&i| Particle {
+            pose: self.particles[i].pose,
+            weight: step,
+        }));
+        std::mem::swap(&mut self.particles, &mut scratch.next);
         true
     }
 
@@ -535,6 +586,84 @@ mod tests {
         pf.measurement_update(&scan, None);
         let total: f64 = pf.particles.iter().map(|p| p.weight).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_resampling_matches_legacy_inline_bitwise() {
+        let map = maps::indoor_floor_plan(64, 0.1, 7);
+        let mut pf = ParticleFilter::new(
+            PflConfig {
+                particles: 64,
+                seed: 11,
+                resample_threshold: 1.1, // force a resample regardless of ESS
+                ..Default::default()
+            },
+            &map,
+        );
+        // Skew the weights so resampling actually reshuffles.
+        let lidar = Lidar::new(18, std::f64::consts::PI, 10.0, 0.0);
+        let mut rng = SimRng::seed_from(0);
+        let scan = lidar.scan(&map, &Pose2::new(3.2, 3.2, 0.0), &mut rng);
+        pf.measurement_update(&scan, None);
+
+        // Replay the pre-scratch algorithm on a clone (same RNG state).
+        let mut legacy = pf.clone();
+        let n = legacy.particles.len();
+        let step = 1.0 / n as f64;
+        let mut target = legacy.rng.uniform(0.0, step);
+        let mut cumulative = legacy.particles[0].weight;
+        let mut idx = 0usize;
+        let mut next = Vec::with_capacity(n);
+        for _ in 0..n {
+            while cumulative < target && idx + 1 < n {
+                idx += 1;
+                cumulative += legacy.particles[idx].weight;
+            }
+            next.push(Particle {
+                pose: legacy.particles[idx].pose,
+                weight: step,
+            });
+            target += step;
+        }
+        legacy.particles = next;
+
+        assert!(pf.maybe_resample(), "threshold > 1 must always resample");
+        for (a, b) in pf.particles.iter().zip(legacy.particles.iter()) {
+            assert_eq!(a.pose.x.to_bits(), b.pose.x.to_bits());
+            assert_eq!(a.pose.y.to_bits(), b.pose.y.to_bits());
+            assert_eq!(a.pose.theta.to_bits(), b.pose.theta.to_bits());
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn resampling_scratch_plateaus_after_warmup() {
+        let map = maps::indoor_floor_plan(128, 0.1, 7);
+        let steps = drive_log(&map, 3);
+        let mut pf = ParticleFilter::new(
+            PflConfig {
+                particles: 400,
+                seed: 5,
+                init: PflInit::AroundPose {
+                    pose: steps[0].true_pose,
+                    pos_std: 0.5,
+                    theta_std: 0.3,
+                },
+                ..Default::default()
+            },
+            &map,
+        );
+        let mut profiler = Profiler::new();
+        let result = pf.run(&steps, &mut profiler, None);
+        assert!(
+            result.resamples > 1,
+            "need repeated resampling to observe the plateau"
+        );
+        assert_eq!(
+            pf.resample_scratch_allocations(),
+            1,
+            "only the warmup round may grow the scratch"
+        );
     }
 
     #[test]

@@ -10,11 +10,19 @@
 //! and the traced k-d-tree visits reproduce exactly that access pattern.
 //! The rigid-alignment step uses Horn's closed-form quaternion method,
 //! whose "massive matrix operations" are the kernel's second bottleneck.
+//!
+//! Both bottlenecks carry the suite's fast-path conventions: the
+//! correspondence chase runs as a batched k-d-tree fan-out over the worker
+//! pool into persistent buffers ([`IcpConfig::threads`], bit-identical for
+//! every thread count), and the Horn solve draws its 4×4 scratch from a
+//! reusable [`Workspace`] ([`IcpConfig::use_workspace`], bit-identical to
+//! the allocating twin) — so after the first iteration an alignment stops
+//! allocating entirely outside the initial tree build.
 
 use rtr_archsim::MemorySim;
-use rtr_geom::{KdTree, Point3, PointCloud, RigidTransform};
+use rtr_geom::{KdLayout, KdTree, Point3, PointCloud, RigidTransform};
 use rtr_harness::{Pool, Profiler};
-use rtr_linalg::{symmetric_eigen, Matrix};
+use rtr_linalg::{jacobi_eigen_in_place, symmetric_eigen, Matrix, Workspace};
 
 /// Configuration for [`Icp`].
 #[derive(Debug, Clone)]
@@ -32,6 +40,13 @@ pub struct IcpConfig {
     /// bit-identical for every thread count; traced runs (with a memory
     /// simulator attached) always execute sequentially.
     pub threads: usize,
+    /// Draw the Horn-step scratch from the persistent [`Workspace`]
+    /// (default). `false` selects the allocating legacy twin; both produce
+    /// bit-identical transforms.
+    pub use_workspace: bool,
+    /// Storage layout of the target k-d tree; a pure performance knob
+    /// (both layouts answer queries bit-identically).
+    pub kd_layout: KdLayout,
 }
 
 impl Default for IcpConfig {
@@ -41,6 +56,8 @@ impl Default for IcpConfig {
             convergence_epsilon: 1e-5,
             max_correspondence_distance: f64::INFINITY,
             threads: 1,
+            use_workspace: true,
+            kd_layout: KdLayout::default(),
         }
     }
 }
@@ -58,6 +75,23 @@ pub struct IcpResult {
     pub iterations: usize,
     /// Nearest-neighbor queries issued (the irregular-access count).
     pub nn_queries: u64,
+    /// Fresh heap allocations the Horn-step workspace has performed over
+    /// this kernel's lifetime (0 under the legacy allocating path; plateaus
+    /// after the first solve otherwise).
+    pub workspace_allocations: usize,
+}
+
+/// Persistent scratch reused across iterations and across `align` calls:
+/// the re-posed source cloud, the query/result buffers of the batched
+/// correspondence search, the gated pair list, and the Horn-step matrix
+/// workspace.
+#[derive(Debug, Clone, Default)]
+struct IcpScratch {
+    moved: PointCloud,
+    queries: Vec<[f64; 3]>,
+    nn: Vec<Option<(usize, f64)>>,
+    pairs: Vec<(Point3, Point3)>,
+    ws: Workspace,
 }
 
 /// The ICP scene-reconstruction kernel.
@@ -74,7 +108,7 @@ pub struct IcpResult {
 ///     .collect();
 /// let shift = RigidTransform::from_yaw_translation(0.0, Point3::new(0.05, 0.0, 0.0));
 /// let source = target.transformed(&shift.inverse());
-/// let icp = Icp::new(IcpConfig::default());
+/// let mut icp = Icp::new(IcpConfig::default());
 /// let mut profiler = Profiler::new();
 /// let result = icp.align(&source, &target, &mut profiler, None);
 /// assert!(result.error_after < result.error_before);
@@ -83,6 +117,7 @@ pub struct IcpResult {
 pub struct Icp {
     config: IcpConfig,
     pool: Pool,
+    scratch: IcpScratch,
 }
 
 impl Default for Icp {
@@ -95,27 +130,36 @@ impl Icp {
     /// Creates the kernel.
     pub fn new(config: IcpConfig) -> Self {
         let pool = Pool::new(config.threads);
-        Icp { config, pool }
+        Icp {
+            config,
+            pool,
+            scratch: IcpScratch::default(),
+        }
     }
 
     /// Aligns `source` onto `target`, returning the recovered transform.
     ///
     /// Profiler regions: `kdtree_build`, `nn_search` (the memory-bound
     /// correspondence chase), `matrix_ops` (cross-covariance + Horn
-    /// eigen-solve). When `mem` is supplied every k-d-tree node visit is
-    /// replayed into the cache simulator (one 32-byte node per visit).
+    /// eigen-solve). When `mem` is supplied every k-d-tree point visit is
+    /// replayed into the cache simulator (one 32-byte record per visit)
+    /// and the search runs sequentially to keep the access stream ordered.
     ///
     /// # Panics
     ///
     /// Panics if either cloud is empty.
     pub fn align(
-        &self,
+        &mut self,
         source: &PointCloud,
         target: &PointCloud,
         profiler: &mut Profiler,
         mut mem: Option<&mut MemorySim>,
     ) -> IcpResult {
         assert!(!source.is_empty() && !target.is_empty(), "empty cloud");
+
+        let config = self.config.clone();
+        let pool = self.pool;
+        let scratch = &mut self.scratch;
 
         let tree = profiler.time("kdtree_build", || {
             let items: Vec<([f64; 3], usize)> = target
@@ -124,7 +168,7 @@ impl Icp {
                 .enumerate()
                 .map(|(i, p)| (p.to_array(), i))
                 .collect();
-            KdTree::<3>::build_balanced(&items)
+            KdTree::<3>::build_balanced_in(config.kd_layout, &items)
         });
 
         let mut transform = RigidTransform::identity();
@@ -133,75 +177,91 @@ impl Icp {
         let mut last_error = f64::INFINITY;
         let mut iterations = 0usize;
 
-        for _ in 0..self.config.max_iterations {
+        for _ in 0..config.max_iterations {
             iterations += 1;
-            let moved = source.transformed(&transform);
+            source.transform_into(&transform, &mut scratch.moved);
 
             // Correspondence search: irregular tree chases.
             let start = std::time::Instant::now();
-            let mut pairs: Vec<(Point3, Point3)> = Vec::with_capacity(moved.len());
+            scratch.pairs.clear();
             let mut error_sum = 0.0;
             if let Some(sim) = mem.as_deref_mut() {
                 // Traced runs share one cache simulator and must replay
-                // node visits in query order, so they stay sequential.
-                for p in moved.iter() {
+                // point visits in query order, so they stay sequential.
+                for p in scratch.moved.iter() {
                     nn_queries += 1;
                     let found = tree.nearest_with(&p.to_array(), |payload| {
-                        // Nodes are ~32 bytes in an insertion-order arena.
+                        // Point records are ~32 bytes in an
+                        // insertion-order arena.
                         sim.read(payload as u64 * 32);
                     });
                     let (idx, d2) = found.expect("target cloud is non-empty");
                     let dist = d2.sqrt();
                     error_sum += dist;
-                    if dist <= self.config.max_correspondence_distance {
-                        pairs.push((*p, target.points()[idx]));
+                    if dist <= config.max_correspondence_distance {
+                        scratch.pairs.push((*p, target.points()[idx]));
                     }
                 }
             } else {
-                // Pure per-point lookups run on the pool (inline when
-                // `threads == 1`); the error reduction and pair assembly
-                // stay sequential in point order, so the result is
-                // bit-identical to the legacy loop.
-                let found = self.pool.par_map(moved.points(), |_, p| {
-                    tree.nearest(&p.to_array())
-                        .expect("target cloud is non-empty")
-                });
-                for (p, (idx, d2)) in moved.iter().zip(found) {
+                // Pure per-point lookups fan out over the pool into the
+                // persistent result buffer (inline when `threads == 1`);
+                // the error reduction and pair assembly stay sequential in
+                // point order, so the result is bit-identical to the
+                // legacy loop for every thread count.
+                scratch.queries.clear();
+                scratch
+                    .queries
+                    .extend(scratch.moved.iter().map(|p| p.to_array()));
+                tree.batch_nearest_into(&scratch.queries, &pool, &mut scratch.nn);
+                for (p, found) in scratch.moved.iter().zip(&scratch.nn) {
                     nn_queries += 1;
+                    let (idx, d2) = found.expect("target cloud is non-empty");
                     let dist = d2.sqrt();
                     error_sum += dist;
-                    if dist <= self.config.max_correspondence_distance {
-                        pairs.push((*p, target.points()[idx]));
+                    if dist <= config.max_correspondence_distance {
+                        scratch.pairs.push((*p, target.points()[idx]));
                     }
                 }
             }
             profiler.add("nn_search", start.elapsed());
 
-            let mean_error = error_sum / moved.len() as f64;
+            let mean_error = error_sum / scratch.moved.len() as f64;
             if error_before.is_none() {
                 error_before = Some(mean_error);
             }
-            if (last_error - mean_error).abs() < self.config.convergence_epsilon {
+            if (last_error - mean_error).abs() < config.convergence_epsilon {
                 break;
             }
             last_error = mean_error;
-            if pairs.len() < 3 {
+            if scratch.pairs.len() < 3 {
                 break; // Not enough constraints to estimate a transform.
             }
 
             // Closed-form rigid alignment (Horn): the matrix-op bottleneck.
-            let delta = profiler.time("matrix_ops", || best_rigid_transform(&pairs));
+            let delta = profiler.time("matrix_ops", || {
+                if config.use_workspace {
+                    best_rigid_transform_ws(&scratch.pairs, &mut scratch.ws)
+                } else {
+                    best_rigid_transform(&scratch.pairs)
+                }
+            });
             transform = delta.compose(&transform);
         }
 
         // Final error with the converged transform (sequential sum keeps
         // the reduction order fixed).
-        let moved = source.transformed(&transform);
-        let distances = self.pool.par_map(moved.points(), |_, p| {
-            let (_, d2) = tree.nearest(&p.to_array()).expect("non-empty");
-            d2.sqrt()
-        });
-        let error_after = distances.iter().sum::<f64>() / moved.len() as f64;
+        source.transform_into(&transform, &mut scratch.moved);
+        scratch.queries.clear();
+        scratch
+            .queries
+            .extend(scratch.moved.iter().map(|p| p.to_array()));
+        tree.batch_nearest_into(&scratch.queries, &pool, &mut scratch.nn);
+        let mut error_sum = 0.0;
+        for found in &scratch.nn {
+            let (_, d2) = found.expect("target cloud is non-empty");
+            error_sum += d2.sqrt();
+        }
+        let error_after = error_sum / scratch.moved.len() as f64;
 
         IcpResult {
             transform,
@@ -209,13 +269,21 @@ impl Icp {
             error_after,
             iterations,
             nn_queries,
+            workspace_allocations: scratch.ws.allocations(),
         }
+    }
+
+    /// Fresh heap allocations the Horn-step workspace has performed so far
+    /// (plateaus at 2 — the 4×4 Jacobi matrix and rotation accumulator —
+    /// after the first solve).
+    pub fn workspace_allocations(&self) -> usize {
+        self.scratch.ws.allocations()
     }
 }
 
-/// Least-squares rigid transform mapping `pairs.0` onto `pairs.1` (Horn's
-/// quaternion method).
-fn best_rigid_transform(pairs: &[(Point3, Point3)]) -> RigidTransform {
+/// Centroids and 3×3 cross-covariance of the paired points — the shared,
+/// allocation-free front half of both Horn solvers.
+fn horn_cross_covariance(pairs: &[(Point3, Point3)]) -> (Point3, Point3, [[f64; 3]; 3]) {
     let n = pairs.len() as f64;
     let mut src_centroid = Point3::ORIGIN;
     let mut dst_centroid = Point3::ORIGIN;
@@ -226,7 +294,6 @@ fn best_rigid_transform(pairs: &[(Point3, Point3)]) -> RigidTransform {
     src_centroid = src_centroid * (1.0 / n);
     dst_centroid = dst_centroid * (1.0 / n);
 
-    // Cross-covariance.
     let mut s = [[0.0f64; 3]; 3];
     for (p, q) in pairs {
         let a = *p - src_centroid;
@@ -239,24 +306,31 @@ fn best_rigid_transform(pairs: &[(Point3, Point3)]) -> RigidTransform {
             }
         }
     }
+    (src_centroid, dst_centroid, s)
+}
 
-    // Horn's 4×4 symmetric matrix whose dominant eigenvector is the
-    // optimal quaternion.
+/// Entries of Horn's 4×4 symmetric matrix whose dominant eigenvector is
+/// the optimal quaternion, row-major.
+fn horn_matrix_entries(s: &[[f64; 3]; 3]) -> [[f64; 4]; 4] {
     let (sxx, sxy, sxz) = (s[0][0], s[0][1], s[0][2]);
     let (syx, syy, syz) = (s[1][0], s[1][1], s[1][2]);
     let (szx, szy, szz) = (s[2][0], s[2][1], s[2][2]);
-    let n_mat = Matrix::from_rows(&[
-        &[sxx + syy + szz, syz - szy, szx - sxz, sxy - syx],
-        &[syz - szy, sxx - syy - szz, sxy + syx, szx + sxz],
-        &[szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy],
-        &[sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz],
-    ])
-    .expect("fixed shape");
+    [
+        [sxx + syy + szz, syz - szy, szx - sxz, sxy - syx],
+        [syz - szy, sxx - syy - szz, sxy + syx, szx + sxz],
+        [szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy],
+        [sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz],
+    ]
+}
 
-    let eig = symmetric_eigen(&n_mat).expect("square input");
-    let q = eig.vectors.column(0); // dominant eigenvector
-    let (w, x, y, z) = (q[0], q[1], q[2], q[3]);
-
+/// Assembles the rigid transform from the optimal quaternion and the
+/// paired centroids — the shared back half of both Horn solvers.
+fn horn_assemble(
+    q: (f64, f64, f64, f64),
+    src_centroid: Point3,
+    dst_centroid: Point3,
+) -> RigidTransform {
+    let (w, x, y, z) = q;
     // Quaternion → rotation matrix.
     let rotation = [
         [
@@ -286,6 +360,58 @@ fn best_rigid_transform(pairs: &[(Point3, Point3)]) -> RigidTransform {
         rotation,
         translation: dst_centroid - rotated,
     }
+}
+
+/// Least-squares rigid transform mapping `pairs.0` onto `pairs.1` (Horn's
+/// quaternion method) — the allocating legacy twin of
+/// [`best_rigid_transform_ws`].
+fn best_rigid_transform(pairs: &[(Point3, Point3)]) -> RigidTransform {
+    let (src_centroid, dst_centroid, s) = horn_cross_covariance(pairs);
+    let entries = horn_matrix_entries(&s);
+    let rows: Vec<&[f64]> = entries.iter().map(|r| r.as_slice()).collect();
+    let n_mat = Matrix::from_rows(&rows).expect("fixed shape");
+
+    let eig = symmetric_eigen(&n_mat).expect("square input");
+    let q = eig.vectors.column(0); // dominant eigenvector
+    horn_assemble((q[0], q[1], q[2], q[3]), src_centroid, dst_centroid)
+}
+
+/// Workspace twin of [`best_rigid_transform`]: the 4×4 Jacobi solve runs
+/// on matrices drawn from `ws` via [`jacobi_eigen_in_place`], so the
+/// steady-state solve performs no heap allocation. The sweep sequence is
+/// identical to `symmetric_eigen`'s, and the dominant diagonal entry is
+/// selected exactly as its stable descending sort would, so the recovered
+/// transform matches the legacy twin bit for bit.
+fn best_rigid_transform_ws(pairs: &[(Point3, Point3)], ws: &mut Workspace) -> RigidTransform {
+    let (src_centroid, dst_centroid, s) = horn_cross_covariance(pairs);
+    let entries = horn_matrix_entries(&s);
+    let mut n_mat = ws.matrix(4, 4);
+    for (r, row) in entries.iter().enumerate() {
+        for (c, &value) in row.iter().enumerate() {
+            n_mat[(r, c)] = value;
+        }
+    }
+    // Mirror the allocating path's op sequence exactly (a no-op on this
+    // already-symmetric matrix, since mirrored entries share bits).
+    n_mat.symmetrize_mut();
+    let mut v = ws.matrix(4, 4);
+    for i in 0..4 {
+        v[(i, i)] = 1.0;
+    }
+    jacobi_eigen_in_place(&mut n_mat, &mut v).expect("fixed 4×4 shape");
+
+    // First strict maximum of the diagonal — the same column a stable
+    // descending sort puts first.
+    let mut best = 0usize;
+    for i in 1..4 {
+        if n_mat[(i, i)].total_cmp(&n_mat[(best, best)]).is_gt() {
+            best = i;
+        }
+    }
+    let q = (v[(0, best)], v[(1, best)], v[(2, best)], v[(3, best)]);
+    ws.recycle_matrix(n_mat);
+    ws.recycle_matrix(v);
+    horn_assemble(q, src_centroid, dst_centroid)
 }
 
 #[cfg(test)]
@@ -407,6 +533,103 @@ mod tests {
         for p in &points {
             assert!(recovered.apply(*p).distance(truth.apply(*p)) < 1e-9);
         }
+    }
+
+    #[test]
+    fn workspace_horn_matches_legacy_bitwise() {
+        let truth = RigidTransform::from_yaw_translation(0.3, Point3::new(0.4, -1.1, 0.2));
+        let points: Vec<Point3> = (0..40)
+            .map(|i| Point3::new((i % 7) as f64 * 0.4, (i % 5) as f64 * 0.9, i as f64 * 0.05))
+            .collect();
+        let pairs: Vec<(Point3, Point3)> = points.iter().map(|p| (*p, truth.apply(*p))).collect();
+        let legacy = best_rigid_transform(&pairs);
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let fast = best_rigid_transform_ws(&pairs, &mut ws);
+            for r in 0..3 {
+                for c in 0..3 {
+                    assert_eq!(fast.rotation[r][c].to_bits(), legacy.rotation[r][c].to_bits());
+                }
+            }
+            assert_eq!(fast.translation.x.to_bits(), legacy.translation.x.to_bits());
+            assert_eq!(fast.translation.y.to_bits(), legacy.translation.y.to_bits());
+            assert_eq!(fast.translation.z.to_bits(), legacy.translation.z.to_bits());
+        }
+        // Two 4×4 buffers, however many solves ran.
+        assert_eq!(ws.allocations(), 2);
+    }
+
+    #[test]
+    fn workspace_mode_matches_legacy_alignment_bitwise() {
+        let mut rng = SimRng::seed_from(12);
+        let room = scene::living_room(4_000, &mut rng);
+        let motion = RigidTransform::from_yaw_translation(0.03, Point3::new(0.04, -0.02, 0.01));
+        let scan1 = scene::scan_from(&room, &RigidTransform::identity(), 0.5, 0.002, &mut rng);
+        let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
+        let run = |use_workspace: bool| {
+            let mut profiler = Profiler::new();
+            Icp::new(IcpConfig {
+                use_workspace,
+                ..Default::default()
+            })
+            .align(&scan2, &scan1, &mut profiler, None)
+        };
+        let fast = run(true);
+        let legacy = run(false);
+        assert_eq!(fast.iterations, legacy.iterations);
+        assert_eq!(fast.error_after.to_bits(), legacy.error_after.to_bits());
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(
+                    fast.transform.rotation[r][c].to_bits(),
+                    legacy.transform.rotation[r][c].to_bits()
+                );
+            }
+        }
+        assert!(fast.workspace_allocations > 0);
+        assert_eq!(legacy.workspace_allocations, 0);
+    }
+
+    #[test]
+    fn kd_layouts_align_identically() {
+        let mut rng = SimRng::seed_from(14);
+        let room = scene::living_room(4_000, &mut rng);
+        let motion = RigidTransform::from_yaw_translation(0.02, Point3::new(0.05, 0.01, 0.0));
+        let scan1 = scene::scan_from(&room, &RigidTransform::identity(), 0.5, 0.002, &mut rng);
+        let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
+        let run = |kd_layout: KdLayout| {
+            let mut profiler = Profiler::new();
+            Icp::new(IcpConfig {
+                kd_layout,
+                ..Default::default()
+            })
+            .align(&scan2, &scan1, &mut profiler, None)
+        };
+        let bucket = run(KdLayout::BucketSoA);
+        let legacy = run(KdLayout::NodeLegacy);
+        assert_eq!(bucket.iterations, legacy.iterations);
+        assert_eq!(bucket.nn_queries, legacy.nn_queries);
+        assert_eq!(bucket.error_before.to_bits(), legacy.error_before.to_bits());
+        assert_eq!(bucket.error_after.to_bits(), legacy.error_after.to_bits());
+    }
+
+    #[test]
+    fn workspace_allocations_plateau_across_aligns() {
+        let mut rng = SimRng::seed_from(9);
+        let room = scene::living_room(3_000, &mut rng);
+        let motion = RigidTransform::from_yaw_translation(0.03, Point3::new(0.05, 0.0, 0.0));
+        let scan1 = scene::scan_from(&room, &RigidTransform::identity(), 0.5, 0.002, &mut rng);
+        let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
+        let mut icp = Icp::new(IcpConfig::default());
+        let mut profiler = Profiler::new();
+        let first = icp.align(&scan2, &scan1, &mut profiler, None);
+        assert!(first.workspace_allocations > 0);
+        let second = icp.align(&scan2, &scan1, &mut profiler, None);
+        assert_eq!(
+            second.workspace_allocations, first.workspace_allocations,
+            "Horn workspace must stop allocating after the first align"
+        );
+        assert_eq!(icp.workspace_allocations(), first.workspace_allocations);
     }
 
     #[test]

@@ -275,8 +275,29 @@ impl Prm {
                 // and the collision-check counter match the legacy path
                 // exactly (a blocked mutual pair is still *counted* twice,
                 // as the lazy path would, but evaluated once).
-                let cands: Vec<Vec<(usize, f64)>> =
-                    pool.par_map(&nodes, |i, node| near_of(i, node));
+                let cands: Vec<Vec<(usize, f64)>> = match &index {
+                    // With a k-d index the whole candidate generation is
+                    // one batched fan-out: the tree chunks the node list
+                    // over the pool itself (fixed chunking, results in
+                    // query order) instead of paying one pool task per
+                    // node. The per-node transformation below mirrors
+                    // `near_of`'s k-d branch expression for expression,
+                    // so the candidate lists are bit-identical to it.
+                    Some(tree) => tree
+                        .batch_k_nearest(&nodes, k + 1, &pool)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, found)| {
+                            found
+                                .into_iter()
+                                .map(|(j, d2)| (j, d2.sqrt()))
+                                .filter(|&(j, _)| j != i)
+                                .take(k)
+                                .collect()
+                        })
+                        .collect(),
+                    None => pool.par_map(&nodes, |i, node| near_of(i, node)),
+                };
                 let mut seen = std::collections::HashSet::new();
                 let mut pairs: Vec<(usize, usize)> = Vec::new();
                 for (i, cand) in cands.iter().enumerate() {
@@ -531,6 +552,41 @@ mod tests {
             par.motion_free_evals,
             seq.motion_free_evals
         );
+    }
+
+    #[test]
+    fn batched_kdtree_build_matches_sequential_for_all_thread_counts() {
+        let problem = ArmProblem::map_f(10);
+        let cfg = |threads| PrmConfig {
+            roadmap_size: 300,
+            neighbors: 8,
+            seed: 6,
+            kdtree_build: true,
+            threads,
+        };
+        let mut profiler = Profiler::new();
+        let seq = Prm::new(cfg(1)).build(&problem, &mut profiler);
+        for threads in [2, 4, 8] {
+            let par = Prm::new(cfg(threads)).build(&problem, &mut profiler);
+            assert_eq!(seq.edge_count, par.edge_count, "threads={threads}");
+            assert_eq!(
+                seq.offline_collision_checks, par.offline_collision_checks,
+                "threads={threads}"
+            );
+            for i in 0..seq.len() {
+                let a = seq.neighbors(i);
+                let b = par.neighbors(i);
+                assert_eq!(a.len(), b.len(), "adjacency len at {i}, threads={threads}");
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.0, y.0, "neighbor id at {i}, threads={threads}");
+                    assert_eq!(
+                        x.1.to_bits(),
+                        y.1.to_bits(),
+                        "edge cost bits at {i}, threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

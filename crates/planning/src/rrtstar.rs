@@ -69,7 +69,11 @@ impl RrtStar {
             return None;
         }
         let mut rng = SimRng::seed_from(self.config.seed);
-        let mut tree = Tree::new(problem.start);
+        let mut tree = Tree::new_in(self.config.kd_layout, problem.start);
+        // Per-sample neighborhood results land in this reused buffer;
+        // after a few samples its capacity plateaus and the ~49 %-of-time
+        // NN region runs allocation-free.
+        let mut neighbors: Vec<(usize, f64)> = Vec::new();
         let mut nn_queries = 0u64;
         let mut collision_checks = 0u64;
         let mut rewirings = 0u64;
@@ -116,11 +120,12 @@ impl RrtStar {
             // Neighborhood query (the paper's yellow circle).
             let nn_start = std::time::Instant::now();
             nn_queries += 1;
-            let neighbors = neighborhood(
+            neighborhood_into(
                 &tree,
                 &new_config,
                 self.config.neighbor_radius,
                 mem.as_deref_mut(),
+                &mut neighbors,
             );
             profiler.add("nn_search", nn_start.elapsed());
 
@@ -214,19 +219,22 @@ fn nearest(tree: &Tree, target: &Config, mem: Option<&mut MemorySim>) -> (usize,
     }
 }
 
-fn neighborhood(
+/// Radius query into a caller-owned buffer (`out` is cleared first). The
+/// plan loop reuses one buffer across samples, so the per-sample `Vec`
+/// allocation the neighborhood query used to pay is gone after warmup.
+fn neighborhood_into(
     tree: &Tree,
     center: &Config,
     radius: f64,
     mem: Option<&mut MemorySim>,
-) -> Vec<(usize, f64)> {
-    let found = tree.index.within_radius(center, radius);
+    out: &mut Vec<(usize, f64)>,
+) {
+    tree.index.within_radius_into(center, radius, out);
     if let Some(sim) = mem {
-        for &(payload, _) in &found {
+        for &(payload, _) in out.iter() {
             sim.read(payload as u64 * 40);
         }
     }
-    found
 }
 
 /// After rewiring `root` to a cheaper parent, every descendant's
@@ -412,7 +420,7 @@ mod tests {
                 ops in 1usize..10,
             ) {
                 let mut rng = SimRng::seed_from(seed);
-                let mut tree = Tree::new([0.0; crate::rrt::DOF]);
+                let mut tree = Tree::new_in(rtr_geom::KdLayout::default(), [0.0; crate::rrt::DOF]);
                 for _ in 1..n {
                     let parent = rng.below(tree.nodes.len());
                     let mut c = [0.0; crate::rrt::DOF];
@@ -442,6 +450,79 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn kd_layouts_plan_identically() {
+        use rtr_geom::KdLayout;
+        let problem = ArmProblem::map_f(7);
+        let mut p = Profiler::new();
+        let legacy = RrtStar::new(RrtConfig {
+            max_samples: 2_000,
+            kd_layout: KdLayout::NodeLegacy,
+            ..Default::default()
+        })
+        .plan(&problem, &mut p, None)
+        .expect("solvable");
+        let bucket = RrtStar::new(RrtConfig {
+            max_samples: 2_000,
+            kd_layout: KdLayout::BucketSoA,
+            ..Default::default()
+        })
+        .plan(&problem, &mut p, None)
+        .expect("solvable");
+        assert_eq!(legacy.base.samples, bucket.base.samples);
+        assert_eq!(legacy.base.cost.to_bits(), bucket.base.cost.to_bits());
+        assert_eq!(legacy.rewirings, bucket.rewirings);
+        assert_eq!(legacy.base.collision_checks, bucket.base.collision_checks);
+        for (a, b) in legacy.base.path.iter().zip(bucket.base.path.iter()) {
+            for i in 0..crate::rrt::DOF {
+                assert_eq!(a[i].to_bits(), b[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_buffer_plateaus_after_warmup() {
+        use std::f64::consts::PI;
+        let mut rng = SimRng::seed_from(9);
+        let mut tree = Tree::new_in(rtr_geom::KdLayout::default(), [0.0; crate::rrt::DOF]);
+        for _ in 1..512 {
+            let parent = rng.below(tree.nodes.len());
+            let mut c = [0.0; crate::rrt::DOF];
+            for v in &mut c {
+                *v = rng.uniform(-PI, PI);
+            }
+            tree.add(c, parent);
+        }
+        let queries: Vec<Config> = (0..32)
+            .map(|_| {
+                let mut q = [0.0; crate::rrt::DOF];
+                for v in &mut q {
+                    *v = rng.uniform(-1.0, 1.0);
+                }
+                q
+            })
+            .collect();
+        let mut buf: Vec<(usize, f64)> = Vec::new();
+        // Warmup pass grows the buffer to the largest neighborhood seen.
+        for q in &queries {
+            neighborhood_into(&tree, q, 2.0, None, &mut buf);
+        }
+        assert!(!buf.is_empty(), "radius too small to exercise the buffer");
+        let cap = buf.capacity();
+        // Replaying the same workload must not grow it again, and every
+        // result must match the allocating twin.
+        for (i, q) in queries.iter().enumerate() {
+            let expected = tree.index.within_radius(q, 2.0);
+            neighborhood_into(&tree, q, 2.0, None, &mut buf);
+            assert_eq!(buf, expected, "query {i} diverged from allocating twin");
+        }
+        assert_eq!(
+            buf.capacity(),
+            cap,
+            "replaying the workload must reuse the buffer"
+        );
     }
 
     #[test]
