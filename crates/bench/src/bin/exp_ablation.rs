@@ -139,7 +139,7 @@ fn ablate_vldp_degree() {
         if degree > 0 {
             mem = mem.with_vldp(degree);
         }
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         Pp3d::new(config.clone())
             .plan(&map, &mut profiler, Some(&mut mem))
             .expect("flyable");
@@ -170,7 +170,7 @@ fn ablate_particles() {
     let steps = PflKernel::drive_region(&map, 0, 1);
     let mut table = Table::new(&["particles", "final error (m)", "time (ms)"]);
     for &particles in &[50usize, 200, 800, 3200] {
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let mut filter = ParticleFilter::new(
             PflConfig {
                 particles,

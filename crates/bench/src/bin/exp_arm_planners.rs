@@ -54,7 +54,7 @@ fn run_seed(problem: &ArmProblem, seed: u64, threads: usize) -> Option<SeedRun> 
     };
 
     // PRM: the online phase is the critical-path time (§V.07).
-    let mut prm_profiler = Profiler::new();
+    let mut prm_profiler = Profiler::timed();
     let prm = Prm::new(PrmConfig {
         roadmap_size: 1500,
         neighbors: 12,
@@ -77,13 +77,13 @@ fn run_seed(problem: &ArmProblem, seed: u64, threads: usize) -> Option<SeedRun> 
         prm_profiler,
     );
 
-    let mut rrt_profiler = Profiler::new();
+    let mut rrt_profiler = Profiler::timed();
     let t = std::time::Instant::now();
     let rrt = Rrt::new(config.clone()).plan(problem, &mut rrt_profiler, None)?;
     rrt_profiler.freeze_total();
     let rrt_run = (t.elapsed().as_secs_f64() * 1e3, rrt.cost, rrt_profiler);
 
-    let mut star_profiler = Profiler::new();
+    let mut star_profiler = Profiler::timed();
     let t = std::time::Instant::now();
     let star = RrtStar::new(RrtConfig {
         star_refine_factor: Some(4.0), // refinement bounded so the slowdown stays in the paper's "up to 8x" regime
@@ -97,7 +97,7 @@ fn run_seed(problem: &ArmProblem, seed: u64, threads: usize) -> Option<SeedRun> 
         star_profiler,
     );
 
-    let mut pp_profiler = Profiler::new();
+    let mut pp_profiler = Profiler::timed();
     let t = std::time::Instant::now();
     let pp = RrtPp::new(config, 6).plan(problem, &mut pp_profiler, None)?;
     pp_profiler.freeze_total();
@@ -178,7 +178,7 @@ fn main() {
     // §V.08 cache characterization of the NN search.
     println!("=== traced RRT nearest-neighbor search (Map-C) ===");
     let problem = ArmProblem::map_c(7);
-    let mut profiler = Profiler::new();
+    let mut profiler = Profiler::timed();
     let mut mem = MemorySim::i3_8109u();
     Rrt::new(RrtConfig {
         max_samples: 100_000,

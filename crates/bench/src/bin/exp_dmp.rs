@@ -15,7 +15,7 @@ fn main() {
     println!("EXP-F15: dynamic movement primitives (Fig. 15)\n");
     let (demo, duration) = wheeled_robot_demo(400);
     let dmp = Dmp::learn(&demo, duration, DmpConfig::default());
-    let mut profiler = Profiler::new();
+    let mut profiler = Profiler::timed();
     let rollout = dmp.rollout(duration, &mut profiler);
 
     // Fig. 15 left: trajectory (reference vs DMP) — sampled table.

@@ -17,7 +17,7 @@ fn main() {
     let log = world.simulate_circuit(300, &mut rng);
 
     let mut ekf = EkfSlam::new(EkfSlamConfig::default());
-    let mut profiler = Profiler::new();
+    let mut profiler = Profiler::timed();
     let result = ekf.run(&log, Some(world.landmarks()), &mut profiler);
     profiler.freeze_total();
 

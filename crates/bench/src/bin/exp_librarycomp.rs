@@ -52,7 +52,7 @@ fn main() {
         let (p_res, p_time) = time_once(|| PRobAstar::plan(&map, start, goal));
         let (c_res, c_time) = time_once(|| CRobAstar::plan(&map, start, goal));
         let (r_res, r_time) = time_once(|| {
-            let mut profiler = Profiler::new();
+            let mut profiler = Profiler::timed();
             // Point-like footprint: the baselines are point planners.
             Pp2d::new(Pp2dConfig {
                 start,
@@ -125,7 +125,7 @@ fn spatial_comparison() {
             .align(&scan1, &scan2)
         });
         let (_, tuned_t) = time_once(|| {
-            let mut profiler = Profiler::new();
+            let mut profiler = Profiler::timed();
             Icp::new(IcpConfig {
                 max_iterations: 10,
                 threads,
@@ -160,7 +160,12 @@ fn spatial_comparison() {
         "\nPRM k-NN candidate generation, {} nodes, k = {k}:",
         nodes.len()
     );
-    let mut knn_table = Table::new(&["threads", "P-Rob sort-all (s)", "RTRBench k-d (s)", "speedup"]);
+    let mut knn_table = Table::new(&[
+        "threads",
+        "P-Rob sort-all (s)",
+        "RTRBench k-d (s)",
+        "speedup",
+    ]);
     for threads in [1usize, 4] {
         let (_, naive_t) = time_once(|| PRobKnn { threads }.k_nearest_all(&nodes, k));
         let (_, tuned_t) = time_once(|| {

@@ -23,7 +23,7 @@ fn main() {
     let mut shares = Vec::new();
     for &size in &[16usize, 24, 32, 48, 64, 96, 128] {
         let (field, start, trajectory) = movtar::synthetic_scenario(size, size * 2, 7);
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let Some(result) = MovingTarget::new(MovtarConfig {
             start,
             target_trajectory: trajectory,
@@ -66,7 +66,7 @@ fn main() {
     let (field, start, trajectory) = movtar::synthetic_scenario(64, 128, 7);
     let mut sweep = Table::new(&["epsilon", "path cost", "expanded"]);
     for &eps in &[1.0, 1.5, 2.0, 3.0, 5.0] {
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         if let Some(result) = MovingTarget::new(MovtarConfig {
             start,
             target_trajectory: trajectory.clone(),

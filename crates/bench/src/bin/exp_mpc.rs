@@ -15,7 +15,7 @@ fn main() {
     println!("EXP-F16: model predictive control along a winding road\n");
     let reference = winding_reference(400); // a 200 m reference
     let config = MpcConfig::default();
-    let mut profiler = Profiler::new();
+    let mut profiler = Profiler::timed();
     let result = Mpc::new(config).track(&reference, &mut profiler);
     profiler.freeze_total();
 

@@ -28,7 +28,7 @@ fn main() {
     let mut shares = Vec::new();
     for region in 0..5 {
         let steps = PflKernel::drive_region(&map, region, region as u64 + 1);
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let mut filter = ParticleFilter::new(
             PflConfig {
                 particles: 800,

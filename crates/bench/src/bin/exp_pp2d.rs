@@ -26,7 +26,7 @@ fn main() {
         goal -= block;
     }
 
-    let mut profiler = Profiler::new();
+    let mut profiler = Profiler::timed();
     let result = Pp2d::new(Pp2dConfig::car(start, (goal, goal)))
         .plan(&map, &mut profiler, None)
         .expect("city streets are connected");

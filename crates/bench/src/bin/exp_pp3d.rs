@@ -25,7 +25,7 @@ fn main() {
     };
 
     // Wall-clock characterization.
-    let mut profiler = Profiler::new();
+    let mut profiler = Profiler::timed();
     let result = Pp3d::new(config.clone())
         .plan(&map, &mut profiler, None)
         .expect("airspace is connected");
@@ -55,7 +55,7 @@ fn main() {
         if with_vldp {
             mem = mem.with_vldp(2);
         }
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         Pp3d::new(config.clone())
             .plan(&map, &mut profiler, Some(&mut mem))
             .expect("airspace is connected");

@@ -24,7 +24,7 @@ fn main() {
     );
 
     // Fig. 18: CEM, 5 iterations x 15 samples.
-    let mut p_cem = Profiler::new();
+    let mut p_cem = Profiler::timed();
     let cem = Cem::new(CemConfig {
         threads,
         ..Default::default()
@@ -43,7 +43,7 @@ fn main() {
     println!("  best reward: {:.3}", cem.best_reward);
 
     // Fig. 19: BO, 45 iterations.
-    let mut p_bo = Profiler::new();
+    let mut p_bo = Profiler::timed();
     let bo = BayesOpt::new(BoConfig::default()).learn(&sim, &mut p_bo);
     println!(
         "\nFig. 19 — BO rewards over {} evaluations:",

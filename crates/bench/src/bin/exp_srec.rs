@@ -29,7 +29,7 @@ fn main() {
     );
 
     // Wall-clock characterization run.
-    let mut profiler = Profiler::new();
+    let mut profiler = Profiler::timed();
     let result = Icp::new(IcpConfig {
         threads,
         ..Default::default()
@@ -52,7 +52,7 @@ fn main() {
     // Traced run: the memory-boundedness evidence (paper: > 68 % of time
     // waiting for memory on the modeled i3-8109U).
     let mut mem = MemorySim::i3_8109u();
-    let mut profiler = Profiler::new();
+    let mut profiler = Profiler::timed();
     Icp::new(IcpConfig {
         max_iterations: 5,
         ..Default::default()

@@ -13,7 +13,7 @@ use rtr_planning::symbolic::expand_states_parallel;
 use rtr_planning::{blocks_world, firefight, Domain, SymbolicPlanner};
 
 fn characterize(name: &str, domain: &Domain) -> (f64, f64) {
-    let mut profiler = Profiler::new();
+    let mut profiler = Profiler::timed();
     let plan = SymbolicPlanner::new(1.0)
         .solve(domain, &mut profiler)
         .expect("domain solvable");

@@ -201,3 +201,39 @@ proptest! {
         }
     }
 }
+
+/// The symbolic planner interns states in ordered maps precisely so that
+/// its tie-breaking never depends on a hash seed. Two runs in the same
+/// process would already diverge if interning went through `HashMap`
+/// (each instance draws a fresh `RandomState`), so repeat-and-compare is
+/// a real regression test for the `nondet-iter` contract, not a tautology.
+#[test]
+fn symbolic_planner_is_run_to_run_deterministic() {
+    use rtr_planning::symbolic::{blocks_world, firefight};
+    use rtr_planning::SymbolicPlanner;
+
+    for (name, domain) in [
+        ("blocks_world", blocks_world(5)),
+        ("firefight", firefight()),
+    ] {
+        let solve = || {
+            let mut profiler = Profiler::new();
+            SymbolicPlanner::new(1.0)
+                .solve(&domain, &mut profiler)
+                .unwrap_or_else(|| panic!("{name} should be solvable"))
+        };
+        let a = solve();
+        let b = solve();
+        assert_eq!(a.actions, b.actions, "{name}: plans must match exactly");
+        assert_eq!(
+            a.expanded, b.expanded,
+            "{name}: expansion counts must match"
+        );
+        assert_eq!(bits(a.mean_branching), bits(b.mean_branching));
+        assert_eq!(a.ground_actions, b.ground_actions);
+        assert!(
+            domain.validate_plan(&a.actions),
+            "{name}: plan must execute"
+        );
+    }
+}

@@ -56,7 +56,7 @@ impl Kernel for DmpKernel {
             ..Default::default()
         };
         let dmp = Dmp::learn(&demo, demo_duration, config);
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let roi = rtr_harness::Roi::enter(self.name());
         let rollout = dmp.rollout(duration, &mut profiler);
         let roi_seconds = roi.exit().as_secs_f64();
@@ -137,7 +137,7 @@ impl Kernel for MpcKernel {
             opt_iterations: iterations,
             ..Default::default()
         };
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let roi = rtr_harness::Roi::enter(self.name());
         let result = Mpc::new(config).track(&reference, &mut profiler);
         let roi_seconds = roi.exit().as_secs_f64();
@@ -215,7 +215,7 @@ impl Kernel for CemKernel {
             ..Default::default()
         };
         let sim = ThrowSim::new(args.get_f64("goal", 2.0)?.max(0.1));
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let roi = rtr_harness::Roi::enter(self.name());
         let result = Cem::new(config).learn(&sim, &mut profiler);
         let roi_seconds = roi.exit().as_secs_f64();
@@ -292,7 +292,7 @@ impl Kernel for BoKernel {
             ..Default::default()
         };
         let sim = ThrowSim::new(args.get_f64("goal", 2.0)?.max(0.1));
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let roi = rtr_harness::Roi::enter(self.name());
         let result = BayesOpt::new(config).learn(&sim, &mut profiler);
         let roi_seconds = roi.exit().as_secs_f64();

@@ -100,7 +100,7 @@ impl Kernel for PflKernel {
 
         let map = maps::indoor_floor_plan(256, 0.1, 7);
         let steps = Self::drive_region(&map, region, seed);
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let mut pf = ParticleFilter::new(
             PflConfig {
                 particles,
@@ -198,7 +198,7 @@ impl Kernel for EkfSlamKernel {
         };
         let mut rng = SimRng::seed_from(seed);
         let log = world.simulate_circuit(steps, &mut rng);
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let mut ekf = EkfSlam::new(EkfSlamConfig {
             max_landmarks: n_landmarks,
             ..Default::default()
@@ -282,7 +282,7 @@ impl Kernel for SrecKernel {
         let scan1 = scene::scan_from(&room, &RigidTransform::identity(), 0.5, 0.002, &mut rng);
         let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
 
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let mut mem = super::trace_sim(args);
         let roi = rtr_harness::Roi::enter(self.name());
         let result = Icp::new(IcpConfig {

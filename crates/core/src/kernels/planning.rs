@@ -157,7 +157,7 @@ impl Kernel for Pp2dKernel {
             weight,
             ..Pp2dConfig::car(start, goal)
         };
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let mut mem = super::trace_sim(args);
         let roi = rtr_harness::Roi::enter(self.name());
         let result = Pp2d::new(config)
@@ -244,7 +244,7 @@ impl Kernel for Pp3dKernel {
             goal: (size - 2, size - 2, cruise),
             weight,
         };
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let mut mem = super::trace_sim(args);
         if args.get_flag("vldp") {
             mem = mem.map(|m| m.with_vldp(2));
@@ -321,7 +321,7 @@ impl Kernel for MovtarKernel {
         let seed = args.get_u64("seed", 3)?;
 
         let (field, start, trajectory) = movtar::synthetic_scenario(size, horizon, seed);
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let roi = rtr_harness::Roi::enter(self.name());
         let result = MovingTarget::new(MovtarConfig {
             start,
@@ -399,7 +399,7 @@ impl Kernel for PrmKernel {
             kdtree_build: args.get_flag("kdtree"),
             threads: super::threads_arg(args)?,
         };
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let prm = Prm::new(config);
         let roadmap = prm.build(&problem, &mut profiler);
         let roi = rtr_harness::Roi::enter(self.name());
@@ -447,7 +447,7 @@ impl Kernel for RrtKernel {
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
         let problem = arm_problem(args)?;
         let config = rrt_config(args, 50_000)?;
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let mut mem = super::trace_sim(args);
         let roi = rtr_harness::Roi::enter(self.name());
         let result = Rrt::new(config)
@@ -500,7 +500,7 @@ impl Kernel for RrtStarKernel {
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
         let problem = arm_problem(args)?;
         let config = rrt_config(args, 8_000)?;
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let mut mem = super::trace_sim(args);
         let roi = rtr_harness::Roi::enter(self.name());
         let result = RrtStar::new(config)
@@ -559,7 +559,7 @@ impl Kernel for RrtPpKernel {
         let problem = arm_problem(args)?;
         let config = rrt_config(args, 50_000)?;
         let passes = args.get_usize("passes", 6)? as u32;
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let mut mem = super::trace_sim(args);
         let roi = rtr_harness::Roi::enter(self.name());
         let result = RrtPp::new(config, passes)
@@ -595,7 +595,7 @@ fn run_symbolic(
     args: &Args,
 ) -> Result<KernelReport, KernelError> {
     let weight = args.get_f64("weight", 1.0)?;
-    let mut profiler = Profiler::new();
+    let mut profiler = Profiler::timed();
     let roi = rtr_harness::Roi::enter(kernel);
     let plan = SymbolicPlanner::new(weight)
         .solve(&domain, &mut profiler)

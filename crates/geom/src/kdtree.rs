@@ -765,12 +765,7 @@ impl<const DIM: usize> KdTree<DIM> {
 
     /// Allocation-free [`KdTree::within_radius`]: clears `out` and fills it,
     /// reusing the buffer's capacity.
-    pub fn within_radius_into(
-        &self,
-        query: &[f64; DIM],
-        radius: f64,
-        out: &mut Vec<(usize, f64)>,
-    ) {
+    pub fn within_radius_into(&self, query: &[f64; DIM], radius: f64, out: &mut Vec<(usize, f64)>) {
         out.clear();
         let r2 = radius * radius;
         match self.layout {
@@ -861,11 +856,7 @@ impl<const DIM: usize> KdTree<DIM> {
     /// thread count ([`Pool::sequential`] *is* the sequential loop).
     /// Allocates the output; hot loops should reuse a buffer through
     /// [`KdTree::batch_nearest_into`].
-    pub fn batch_nearest(
-        &self,
-        queries: &[[f64; DIM]],
-        pool: &Pool,
-    ) -> Vec<Option<(usize, f64)>> {
+    pub fn batch_nearest(&self, queries: &[[f64; DIM]], pool: &Pool) -> Vec<Option<(usize, f64)>> {
         let mut out = Vec::new();
         self.batch_nearest_into(queries, pool, &mut out);
         out
@@ -1358,7 +1349,11 @@ mod tests {
             );
             let cap = buf.capacity();
             tree.k_nearest_into(&[3.9], 4, &mut buf);
-            assert_eq!(buf.capacity(), cap, "buffer must be reused, not reallocated");
+            assert_eq!(
+                buf.capacity(),
+                cap,
+                "buffer must be reused, not reallocated"
+            );
             assert_eq!(
                 buf.iter().map(|p| p.0).collect::<Vec<_>>(),
                 vec![4, 3, 5, 2]

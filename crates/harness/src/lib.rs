@@ -42,6 +42,6 @@ mod table;
 
 pub use cli::{Args, CliError, OptionSpec};
 pub use pool::{chunk_boundaries, chunk_seed, Pool};
-pub use profiler::{Profiler, RegionReport};
+pub use profiler::{HotRegion, Profiler, RegionReport};
 pub use roi::Roi;
 pub use table::Table;

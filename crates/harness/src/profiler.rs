@@ -6,6 +6,7 @@
 //! suite wrap their candidate-bottleneck code in profiler regions and the
 //! experiment binaries print the fractions.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -48,6 +49,16 @@ struct RegionAcc {
 /// p.time("cold", || ());
 /// assert!(p.fraction("hot") > p.fraction("cold"));
 /// ```
+/// # Hot-loop timing
+///
+/// Per-iteration clock reads inside kernel hot loops are themselves a
+/// perturbation (a syscall or vDSO read per iteration). They are
+/// therefore **off by default**: [`Profiler::new`] builds a profiler
+/// whose [`Profiler::hot_start`]/[`Profiler::hot_add`] hooks are no-ops,
+/// and kernels route every in-loop measurement through those hooks.
+/// Experiment binaries that want the per-region breakdown construct the
+/// profiler with [`Profiler::timed`] instead. Coarse once-per-solve
+/// measurements ([`Profiler::time`], [`Profiler::span`]) always measure.
 #[derive(Debug, Clone)]
 pub struct Profiler {
     regions: HashMap<&'static str, RegionAcc>,
@@ -55,6 +66,8 @@ pub struct Profiler {
     /// When set, used instead of `origin.elapsed()` as the denominator —
     /// lets experiment code freeze the total at kernel completion.
     frozen_total: Option<Duration>,
+    /// Whether per-iteration hot-loop hooks read the clock.
+    hot: bool,
 }
 
 impl Default for Profiler {
@@ -64,16 +77,63 @@ impl Default for Profiler {
 }
 
 impl Profiler {
-    /// Creates a profiler; the reference total starts accumulating now.
+    /// Creates a profiler with hot-loop timing **off** (the default for
+    /// kernel runs: no per-iteration clock reads perturb the loop).
     pub fn new() -> Self {
         Profiler {
             regions: HashMap::new(),
             origin: Instant::now(),
             frozen_total: None,
+            hot: false,
         }
     }
 
-    /// Clears all regions and restarts the reference total.
+    /// Creates a profiler with hot-loop timing **on** — used by the
+    /// experiment binaries and bottleneck tests that report per-region
+    /// fractions.
+    pub fn timed() -> Self {
+        Profiler {
+            hot: true,
+            ..Profiler::new()
+        }
+    }
+
+    /// Whether per-iteration hot-loop hooks are live.
+    pub fn hot_timing(&self) -> bool {
+        self.hot
+    }
+
+    /// Starts a hot-loop measurement: `Some(start)` when hot timing is
+    /// on, `None` (no clock read) otherwise. Pair with
+    /// [`Profiler::hot_add`].
+    pub fn hot_start(&self) -> Option<Instant> {
+        if self.hot {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Completes a hot-loop measurement started by
+    /// [`Profiler::hot_start`]; a `None` start is a no-op.
+    pub fn hot_add(&mut self, name: &'static str, start: Option<Instant>) {
+        if let Some(s) = start {
+            self.add(name, s.elapsed());
+        }
+    }
+
+    /// Runs `f` and returns its result together with the measured wall
+    /// time, *without* attributing it to a region. For coarse
+    /// once-per-solve measurement that stays on even when hot-loop
+    /// timing is off.
+    pub fn span<R>(&mut self, f: impl FnOnce() -> R) -> (R, Duration) {
+        let start = Instant::now();
+        let out = f();
+        (out, start.elapsed())
+    }
+
+    /// Clears all regions and restarts the reference total; the
+    /// hot-timing knob is preserved.
     pub fn reset(&mut self) {
         self.regions.clear();
         self.origin = Instant::now();
@@ -94,6 +154,14 @@ impl Profiler {
         let acc = self.regions.entry(name).or_default();
         acc.total += elapsed;
         acc.calls += 1;
+    }
+
+    /// Merges a pre-aggregated measurement (e.g. a [`HotRegion`] drained
+    /// after a solve) into `name`.
+    pub fn add_many(&mut self, name: &'static str, total: Duration, calls: u64) {
+        let acc = self.regions.entry(name).or_default();
+        acc.total += total;
+        acc.calls += calls;
     }
 
     /// Freezes the reference total at the current elapsed span. Call when
@@ -141,7 +209,9 @@ impl Profiler {
                 fraction: self.fraction(name),
             })
             .collect();
-        out.sort_by_key(|r| std::cmp::Reverse(r.total));
+        // Name is the tie-break so report order never depends on hash
+        // iteration order.
+        out.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.name.cmp(&b.name)));
         out
     }
 
@@ -149,6 +219,75 @@ impl Profiler {
     /// measured bottleneck for Table I.
     pub fn dominant_region(&self) -> Option<RegionReport> {
         self.report().into_iter().next()
+    }
+}
+
+/// A hot-loop accumulator for contexts that only hold `&self`.
+///
+/// Search-space structs (`pp2d` collision checks, `pfl` ray casts, the
+/// symbolic successor generator) are called through shared references,
+/// so they cannot reach a `&mut Profiler` per iteration. They own a
+/// `HotRegion` instead: `Cell`-based interior mutability, the same
+/// off-by-default knob as [`Profiler::hot_start`], and a
+/// [`HotRegion::drain_into`] that merges the aggregate into a profiler
+/// after the solve.
+#[derive(Debug, Default)]
+pub struct HotRegion {
+    enabled: bool,
+    total: Cell<Duration>,
+    calls: Cell<u64>,
+}
+
+impl HotRegion {
+    /// A disabled region: `start`/`add` never read the clock.
+    pub fn new() -> Self {
+        HotRegion::default()
+    }
+
+    /// An enabled region, for bottleneck-fraction runs. Pass
+    /// `profiler.hot_timing()` to inherit the profiler's knob.
+    pub fn timed(enabled: bool) -> Self {
+        HotRegion {
+            enabled,
+            ..HotRegion::default()
+        }
+    }
+
+    /// Starts one measurement (`None` when disabled — no clock read).
+    pub fn start(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Completes a measurement started by [`HotRegion::start`].
+    pub fn add(&self, start: Option<Instant>) {
+        if let Some(s) = start {
+            self.total.set(self.total.get() + s.elapsed());
+            self.calls.set(self.calls.get() + 1);
+        }
+    }
+
+    /// Accumulated time.
+    pub fn total(&self) -> Duration {
+        self.total.get()
+    }
+
+    /// Number of completed measurements.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Merges the aggregate into `profiler` under `name` and clears the
+    /// accumulator.
+    pub fn drain_into(&self, profiler: &mut Profiler, name: &'static str) {
+        if self.calls.get() > 0 {
+            profiler.add_many(name, self.total.get(), self.calls.get());
+        }
+        self.total.set(Duration::ZERO);
+        self.calls.set(0);
     }
 }
 
@@ -220,5 +359,77 @@ mod tests {
     fn time_returns_closure_value() {
         let mut p = Profiler::new();
         assert_eq!(p.time("calc", || 6 * 7), 42);
+    }
+
+    #[test]
+    fn hot_hooks_are_noops_by_default() {
+        let mut p = Profiler::new();
+        assert!(!p.hot_timing());
+        let start = p.hot_start();
+        assert!(start.is_none());
+        p.hot_add("hot", start);
+        assert_eq!(p.region_calls("hot"), 0);
+        assert_eq!(p.region_total("hot"), Duration::ZERO);
+    }
+
+    #[test]
+    fn hot_hooks_measure_when_timed() {
+        let mut p = Profiler::timed();
+        assert!(p.hot_timing());
+        let start = p.hot_start();
+        assert!(start.is_some());
+        std::thread::sleep(Duration::from_millis(1));
+        p.hot_add("hot", start);
+        assert_eq!(p.region_calls("hot"), 1);
+        assert!(p.region_total("hot") >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn span_measures_even_without_hot_timing() {
+        let mut p = Profiler::new();
+        let (out, elapsed) = p.span(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            7
+        });
+        assert_eq!(out, 7);
+        assert!(elapsed >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn reset_preserves_hot_knob() {
+        let mut p = Profiler::timed();
+        p.add("x", Duration::from_millis(1));
+        p.reset();
+        assert!(p.hot_timing());
+        assert!(p.report().is_empty());
+    }
+
+    #[test]
+    fn hot_region_respects_knob_and_drains() {
+        let off = HotRegion::new();
+        off.add(off.start());
+        assert_eq!(off.calls(), 0);
+
+        let on = HotRegion::timed(true);
+        let s = on.start();
+        std::thread::sleep(Duration::from_millis(1));
+        on.add(s);
+        assert_eq!(on.calls(), 1);
+        assert!(on.total() >= Duration::from_millis(1));
+
+        let mut p = Profiler::timed();
+        on.drain_into(&mut p, "region");
+        assert_eq!(p.region_calls("region"), 1);
+        assert_eq!(on.calls(), 0, "drain clears the accumulator");
+        assert_eq!(on.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn add_many_merges_aggregates() {
+        let mut p = Profiler::new();
+        p.add_many("r", Duration::from_millis(30), 3);
+        p.add_many("r", Duration::from_millis(10), 1);
+        assert_eq!(p.region_calls("r"), 4);
+        assert_eq!(p.region_total("r"), Duration::from_millis(40));
     }
 }

@@ -1,0 +1,39 @@
+//! `rtr-lint`: workspace invariant checker for the RTRBench suite.
+//!
+//! Statically enforces the determinism and allocation-free contracts
+//! recorded in `ROADMAP.md`, using a purpose-built lexical scrubber
+//! (no external parser dependencies — the build stays offline):
+//!
+//! - **R1 `nondet-iter`** — `HashMap`/`HashSet` are flagged in kernel
+//!   crates, where iteration order could reach benchmark outputs.
+//! - **R2 `wall-clock`** — `Instant::now`/`SystemTime` belong to the
+//!   `harness`/`bench` crates only; kernels must not read the clock.
+//! - **R3 `hot-alloc`** — inside `*_into` functions and `*Scratch`
+//!   impls, heap allocation (`Vec::new`, `vec![`, `.to_vec()`,
+//!   `.collect()`, `Box::new`, `.clone()`) is forbidden.
+//! - **R4 `unsafe-hygiene`** — crate roots carry
+//!   `#![forbid(unsafe_code)]`; any future `unsafe` block needs a
+//!   `// SAFETY:` comment.
+//! - **R5 `par-rng`** — closures passed to `par_map`/`par_chunks_mut`
+//!   may only derive RNG state via `chunk_seed`.
+//!
+//! Findings can be suppressed with an annotation carrying a written
+//! reason:
+//!
+//! ```text
+//! // rtr-lint: allow(nondet-iter) -- keyed lookups only, never iterated
+//! ```
+//!
+//! The annotation covers its own line and the following line. A
+//! malformed annotation (unknown rule, missing `-- reason`) is itself
+//! reported as an `allow-syntax` finding that cannot be allowed.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use lexer::{scrub, Allow, Scrubbed, Span};
+pub use report::{Finding, Json, Report};
+pub use rules::{crate_of, lint_source, CLOCK_CRATES, KERNEL_CRATES, RULES};

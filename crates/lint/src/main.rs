@@ -1,0 +1,164 @@
+//! `rtr-lint` CLI: walks every `crates/*/src/**/*.rs` file, runs the
+//! rule engine, prints human-readable findings, and writes
+//! `LINT_report.json`.
+//!
+//! ```text
+//! rtr-lint [--root <dir>] [--report <path>] [--deny]
+//! ```
+//!
+//! `--deny` turns any un-allowed finding into a non-zero exit (the CI
+//! gate). Allowed findings are always reported with their reasons but
+//! never fail the run.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rtr_lint::{lint_source, Finding, Report};
+
+struct Args {
+    root: PathBuf,
+    report: Option<PathBuf>,
+    deny: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut report = None;
+    let mut deny = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a directory argument")?);
+            }
+            "--report" => {
+                report = Some(PathBuf::from(
+                    it.next().ok_or("--report needs a path argument")?,
+                ));
+            }
+            "--deny" => deny = true,
+            "--help" | "-h" => {
+                println!("usage: rtr-lint [--root <dir>] [--report <path>] [--deny]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args { root, report, deny })
+}
+
+/// Collects every `.rs` file under `crates/*/src/`, sorted so output and
+/// the JSON report are stable across filesystems.
+fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk(&src, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rtr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = match collect_sources(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("rtr-lint: cannot walk {}/crates: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut scanned = 0u64;
+    for path in &files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rtr-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rel = path
+            .strip_prefix(&args.root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scanned += 1;
+        findings.extend(lint_source(&rel, &source));
+    }
+
+    let report = Report {
+        version: 1,
+        files_scanned: scanned,
+        findings,
+    };
+
+    let violations = report.violations().count();
+    let allowed = report.allowed().count();
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "rtr-lint: {scanned} files scanned, {violations} violation{}, {allowed} allowed",
+        if violations == 1 { "" } else { "s" }
+    );
+    if allowed > 0 {
+        println!("allow annotations in effect:");
+        for f in report.allowed() {
+            println!(
+                "  {}:{} [{}] -- {}",
+                f.file,
+                f.line,
+                f.rule,
+                f.allowed.as_deref().unwrap_or("")
+            );
+        }
+    }
+
+    let report_path = args
+        .report
+        .unwrap_or_else(|| args.root.join("LINT_report.json"));
+    if let Err(e) = std::fs::write(&report_path, report.to_json()) {
+        eprintln!("rtr-lint: cannot write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+    println!("report written to {}", report_path.display());
+
+    if args.deny && violations > 0 {
+        eprintln!("rtr-lint: --deny set and {violations} un-allowed finding(s) present");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

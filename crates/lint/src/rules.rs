@@ -1,0 +1,444 @@
+//! The rule engine: five lexical rules, each the static form of a
+//! ROADMAP contract, plus the `allow-syntax` meta rule.
+//!
+//! | id | contract |
+//! |------------------|-----------------------------------------------|
+//! | `nondet-iter`    | kernel outputs never depend on hash iteration |
+//! | `wall-clock`     | kernels never read the wall clock directly    |
+//! | `hot-alloc`      | `*_into` / `*Scratch` steady state is heap-free |
+//! | `unsafe-hygiene` | crate roots forbid `unsafe`; opt-outs justify |
+//! | `par-rng`        | parallel closures derive RNG via `chunk_seed` |
+//!
+//! Rules are scoped by crate (see [`crate_of`]): `nondet-iter` guards the
+//! kernel crates, `wall-clock` everything except the measurement crates
+//! (`harness`, `bench`), the rest the whole workspace.
+
+use crate::lexer::{
+    fn_spans, impl_spans, line_of, matching_delim, scrub, token_positions, Scrubbed, Span,
+};
+use crate::report::Finding;
+
+/// Crates whose outputs are benchmark kernel results: hash-iteration
+/// order must never reach them (ROADMAP determinism contract).
+pub const KERNEL_CRATES: [&str; 6] = ["control", "core", "geom", "perception", "planning", "sim"];
+
+/// Crates that own measurement: the only places wall-clock reads live.
+pub const CLOCK_CRATES: [&str; 2] = ["bench", "harness"];
+
+/// All rule identifiers, as used in `allow(<rule>)` annotations.
+pub const RULES: [&str; 5] = [
+    "nondet-iter",
+    "wall-clock",
+    "hot-alloc",
+    "unsafe-hygiene",
+    "par-rng",
+];
+
+/// Extracts the crate name from a workspace-relative path like
+/// `crates/planning/src/rrtstar.rs`.
+pub fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// Returns `true` when `path` is a crate root (`src/lib.rs` or
+/// `src/main.rs` of a workspace crate), where `unsafe-hygiene` demands
+/// `#![forbid(unsafe_code)]`.
+pub fn is_crate_root(path: &str) -> bool {
+    crate_of(path).is_some() && (path.ends_with("/src/lib.rs") || path.ends_with("/src/main.rs"))
+}
+
+/// Lints one file. `path` must be workspace-relative (it selects which
+/// rules apply); `source` is the file text. Returns findings with allow
+/// suppression already applied.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let scrubbed = scrub(source);
+    let krate = crate_of(path).unwrap_or("");
+    let mut raw: Vec<Finding> = Vec::new();
+
+    if KERNEL_CRATES.contains(&krate) {
+        rule_nondet_iter(path, &scrubbed, &mut raw);
+    }
+    if !CLOCK_CRATES.contains(&krate) {
+        rule_wall_clock(path, &scrubbed, &mut raw);
+    }
+    rule_hot_alloc(path, &scrubbed, &mut raw);
+    rule_unsafe_hygiene(path, &scrubbed, &mut raw);
+    rule_par_rng(path, &scrubbed, &mut raw);
+
+    // Dedup overlapping-span double reports, then sort by line.
+    raw.sort_by(|a, b| (a.line, &a.rule, &a.message).cmp(&(b.line, &b.rule, &b.message)));
+    raw.dedup_by(|a, b| a.line == b.line && a.rule == b.rule && a.message == b.message);
+
+    apply_allows(path, &scrubbed, raw)
+}
+
+/// Marks findings covered by an allow annotation (same line or the line
+/// below the annotation) and emits `allow-syntax` findings for
+/// annotations that name an unknown rule or omit the `-- <reason>`.
+fn apply_allows(path: &str, scrubbed: &Scrubbed, mut findings: Vec<Finding>) -> Vec<Finding> {
+    for allow in &scrubbed.allows {
+        if allow.reason.is_empty() {
+            findings.push(Finding {
+                rule: "allow-syntax".to_owned(),
+                file: path.to_owned(),
+                line: allow.line,
+                message: format!(
+                    "allow({}) annotation is missing its `-- <reason>` justification",
+                    allow.rule
+                ),
+                allowed: None,
+            });
+            continue;
+        }
+        if !RULES.contains(&allow.rule.as_str()) {
+            findings.push(Finding {
+                rule: "allow-syntax".to_owned(),
+                file: path.to_owned(),
+                line: allow.line,
+                message: format!("allow({}) names an unknown rule", allow.rule),
+                allowed: None,
+            });
+            continue;
+        }
+        for finding in &mut findings {
+            if finding.rule == allow.rule
+                && (finding.line == allow.line || finding.line == allow.line + 1)
+            {
+                finding.allowed = Some(allow.reason.clone());
+            }
+        }
+    }
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    findings
+}
+
+fn push(
+    out: &mut Vec<Finding>,
+    rule: &str,
+    path: &str,
+    text: &str,
+    offset: usize,
+    message: String,
+) {
+    out.push(Finding {
+        rule: rule.to_owned(),
+        file: path.to_owned(),
+        line: line_of(text, offset),
+        message,
+        allowed: None,
+    });
+}
+
+/// R1 — `nondet-iter`: `HashMap`/`HashSet` in a kernel crate. Hash-seed
+/// randomization makes their iteration order differ run to run; any
+/// kernel-crate use must either switch to `BTreeMap`/`BTreeSet` or carry
+/// an allow annotation proving the map is never iterated.
+fn rule_nondet_iter(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    for token in ["HashMap", "HashSet"] {
+        for at in token_positions(&s.text, token) {
+            push(
+                out,
+                "nondet-iter",
+                path,
+                &s.text,
+                at,
+                format!("{token} in kernel crate: iteration order is nondeterministic (use BTreeMap/BTreeSet or justify with an allow)"),
+            );
+        }
+    }
+}
+
+/// R2 — `wall-clock`: `Instant::now` / `SystemTime` outside
+/// `harness`/`bench`. Kernels must take timing through the harness
+/// profiler hooks (`Profiler::hot_start`/`hot_add`, `Profiler::span`,
+/// `HotRegion`), which the measurement knob can turn off.
+fn rule_wall_clock(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    for needle in ["Instant::now", "SystemTime"] {
+        for at in token_positions(&s.text, needle) {
+            push(
+                out,
+                "wall-clock",
+                path,
+                &s.text,
+                at,
+                format!(
+                    "{needle} in a kernel crate: route timing through the harness profiler hooks"
+                ),
+            );
+        }
+    }
+}
+
+/// Heap-allocating expressions forbidden inside hot spans. Each entry is
+/// `(needle, ident_boundary_matters)` — dotted needles carry their own
+/// boundary.
+const ALLOC_NEEDLES: [&str; 7] = [
+    "Vec::new",
+    "vec!",
+    ".to_vec()",
+    ".collect()",
+    ".collect::",
+    "Box::new",
+    ".clone()",
+];
+
+/// R3 — `hot-alloc`: allocation inside the span of a `*_into` function or
+/// a `*Scratch` impl. Constructors (`fn new`, `fn default`, `fn with_*`)
+/// inside Scratch impls are exempt: warmup may allocate, steady state may
+/// not (ROADMAP workspace convention).
+fn rule_hot_alloc(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    let mut hot: Vec<Span> = fn_spans(&s.text, |n| n.ends_with("_into"))
+        .into_iter()
+        .map(|(_, span)| span)
+        .collect();
+    let scratch_impls = impl_spans(&s.text, |header| {
+        header
+            .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .any(|word| word.ends_with("Scratch") && !word.is_empty())
+    });
+    // Constructor sub-spans are exempt from the Scratch-impl scan.
+    let mut exempt: Vec<Span> = Vec::new();
+    for imp in &scratch_impls {
+        let body = &s.text[imp.start..imp.end];
+        for (_, span) in fn_spans(body, |n| {
+            n == "new" || n == "default" || n.starts_with("with_")
+        }) {
+            exempt.push(Span {
+                start: imp.start + span.start,
+                end: imp.start + span.end,
+            });
+        }
+        hot.push(*imp);
+    }
+
+    for span in &hot {
+        let body = &s.text[span.start..span.end];
+        for needle in ALLOC_NEEDLES {
+            let hits = if needle.starts_with('.') || needle.ends_with('!') {
+                find_all(body, needle)
+            } else {
+                token_positions(body, needle)
+            };
+            for rel in hits {
+                let at = span.start + rel;
+                if exempt.iter().any(|e| e.contains(at)) {
+                    continue;
+                }
+                push(
+                    out,
+                    "hot-alloc",
+                    path,
+                    &s.text,
+                    at,
+                    format!(
+                        "{needle} inside an allocation-free hot span (*_into fn or *Scratch impl)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Plain substring occurrences (for dotted/macro needles that carry their
+/// own boundary characters).
+fn find_all(text: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find(needle) {
+        out.push(from + pos);
+        from += pos + needle.len();
+    }
+    out
+}
+
+/// R4 — `unsafe-hygiene`: every crate root carries
+/// `#![forbid(unsafe_code)]`; any `unsafe` block anywhere (possible only
+/// where that attribute was dropped, or in bin targets) needs a
+/// `// SAFETY:` comment on its own or the preceding line.
+fn rule_unsafe_hygiene(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    if is_crate_root(path) {
+        let compact: String = s.text.chars().filter(|c| !c.is_whitespace()).collect();
+        if !compact.contains("#![forbid(unsafe_code)]") {
+            out.push(Finding {
+                rule: "unsafe-hygiene".to_owned(),
+                file: path.to_owned(),
+                line: 1,
+                message: "crate root is missing #![forbid(unsafe_code)]".to_owned(),
+                allowed: None,
+            });
+        }
+    }
+    let lines: Vec<&str> = s.original.lines().collect();
+    for at in token_positions(&s.text, "unsafe") {
+        let line = line_of(&s.text, at);
+        let documented = [line, line.saturating_sub(1)]
+            .iter()
+            .filter(|&&l| l >= 1)
+            .any(|&l| lines.get(l - 1).is_some_and(|t| t.contains("SAFETY:")));
+        if !documented {
+            push(
+                out,
+                "unsafe-hygiene",
+                path,
+                &s.text,
+                at,
+                "unsafe without a // SAFETY: comment on the same or preceding line".to_owned(),
+            );
+        }
+    }
+}
+
+/// R5 — `par-rng`: inside the argument span of a
+/// `par_map(...)`/`par_chunks_mut(...)` call, RNG state may only be
+/// derived via `chunk_seed` (ROADMAP threading contract: per-chunk seed
+/// streams keep parallel runs bit-identical at any thread count).
+fn rule_par_rng(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    let bytes = s.text.as_bytes();
+    for entry in ["par_map", "par_chunks_mut"] {
+        for at in token_positions(&s.text, entry) {
+            // Find the call's opening paren.
+            let mut j = at + entry.len();
+            while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'\n' || bytes[j] == b'\r') {
+                j += 1;
+            }
+            if j >= bytes.len() || bytes[j] != b'(' {
+                continue;
+            }
+            let Some(close) = matching_delim(&s.text, j, b'(', b')') else {
+                continue;
+            };
+            let call = &s.text[j..close];
+            for ctor in ["seed_from", "thread_rng", "from_entropy"] {
+                for rel in token_positions(call, ctor) {
+                    // The constructor's own argument span may launder the
+                    // seed through `chunk_seed` — that is the contract.
+                    let abs = j + rel;
+                    let arg_open = abs + ctor.len();
+                    let justified = bytes.get(arg_open) == Some(&b'(')
+                        && matching_delim(&s.text, arg_open, b'(', b')')
+                            .is_some_and(|end| s.text[arg_open..end].contains("chunk_seed"));
+                    if !justified {
+                        push(
+                            out,
+                            "par-rng",
+                            path,
+                            &s.text,
+                            abs,
+                            format!("{ctor} inside a {entry} closure must derive its seed via chunk_seed"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(src: &str) -> Vec<Finding> {
+        lint_source("crates/planning/src/x.rs", src)
+    }
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(crate_of("crates/geom/src/kdtree.rs"), Some("geom"));
+        assert_eq!(crate_of("src/lib.rs"), None);
+        assert!(is_crate_root("crates/lint/src/lib.rs"));
+        assert!(is_crate_root("crates/lint/src/main.rs"));
+        assert!(!is_crate_root("crates/lint/src/rules.rs"));
+    }
+
+    #[test]
+    fn hashmap_flagged_in_kernel_not_in_harness() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(kernel(src).len(), 1);
+        assert!(lint_source("crates/harness/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_measurement_crates() {
+        let src = "let t = std::time::Instant::now();\n";
+        let f = kernel(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+        assert!(lint_source("crates/harness/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_flagged_only_inside_hot_spans() {
+        let src =
+            "fn cold() { let v = vec![1]; }\nfn mul_into(o: &mut V) { let v = Vec::new(); }\n";
+        let f = kernel(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "hot-alloc");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn scratch_constructors_are_exempt() {
+        let src = "impl IcpScratch {\n  fn new() -> Self { Self { v: Vec::new() } }\n  fn step(&mut self) { self.v = x.to_vec(); }\n}\n";
+        let f = kernel(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains(".to_vec()"));
+    }
+
+    #[test]
+    fn allow_suppresses_and_requires_reason() {
+        let ok = "// rtr-lint: allow(nondet-iter) -- lookups only, never iterated\nuse std::collections::HashMap;\n";
+        let f = kernel(ok);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed.is_some());
+
+        let bad = "use std::collections::HashMap; // rtr-lint: allow(nondet-iter)\n";
+        let f = kernel(bad);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f
+            .iter()
+            .any(|x| x.rule == "allow-syntax" && x.allowed.is_none()));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let f = kernel("let x = 1; // rtr-lint: allow(made-up) -- because\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "allow-syntax");
+    }
+
+    #[test]
+    fn missing_forbid_flagged_on_crate_roots_only() {
+        let f = lint_source("crates/geom/src/lib.rs", "pub mod x;\n");
+        assert!(f.iter().any(|x| x.message.contains("forbid(unsafe_code)")));
+        let f = lint_source("crates/geom/src/x.rs", "pub mod y;\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = "#![forbid(unsafe_code)]\nfn f() { unsafe { g() } }\n";
+        let f = lint_source("crates/geom/src/lib.rs", bad);
+        assert_eq!(f.len(), 1);
+        let good = "#![forbid(unsafe_code)]\n// SAFETY: g has no preconditions\nfn f() { unsafe { g() } }\n";
+        assert!(lint_source("crates/geom/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn par_rng_requires_chunk_seed() {
+        let bad = "pool.par_map(&xs, |i, x| { let mut rng = SimRng::seed_from(7); x })\n";
+        let f = kernel(bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "par-rng");
+        let good =
+            "pool.par_map(&xs, |i, x| { let mut rng = SimRng::seed_from(chunk_seed(s, i as u64)); x })\n";
+        assert!(kernel(good).is_empty());
+    }
+
+    #[test]
+    fn rng_outside_parallel_closures_is_fine() {
+        assert!(kernel("let mut rng = SimRng::seed_from(self.config.seed);\n").is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: R1 findings covered by allow annotations must pass --deny.
+// rtr-lint: allow(nondet-iter) -- keyed lookups only, never iterated
+use std::collections::HashMap;
+
+fn build() {
+    // rtr-lint: allow(nondet-iter) -- membership queries only, order never observed
+    let mut open: HashMap<u32, f64> = HashMap::new();
+    open.insert(1, 0.5);
+}

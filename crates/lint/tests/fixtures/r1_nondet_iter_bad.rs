@@ -1,0 +1,10 @@
+// Fixture: R1 must flag HashMap/HashSet in a kernel crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn build() {
+    let mut open: HashMap<u32, f64> = HashMap::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    open.insert(1, 0.5);
+    seen.insert(1);
+}

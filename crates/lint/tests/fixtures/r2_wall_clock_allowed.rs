@@ -1,0 +1,6 @@
+// Fixture: an annotated wall-clock read passes --deny.
+fn solve_iteration() -> u64 {
+    // rtr-lint: allow(wall-clock) -- one-shot startup stamp, outside the measured loop
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,8 @@
+// Fixture: R2 must flag wall-clock reads in a kernel crate.
+use std::time::Instant;
+
+fn solve_iteration() -> f64 {
+    let t0 = Instant::now();
+    let _wall = std::time::SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,29 @@
+// Fixture: R3 must flag heap allocation inside *_into fns and *Scratch
+// impls, but not in cold code.
+fn cold_setup() -> Vec<f64> {
+    let v = vec![0.0; 128]; // fine: not a hot span
+    v.to_vec() // fine: not a hot span
+}
+
+fn mul_into(out: &mut [f64], a: &[f64]) {
+    let tmp = Vec::new(); // flagged
+    let copy = a.to_vec(); // flagged
+    let boxed = Box::new(copy); // flagged
+    let gathered: Vec<f64> = a.iter().copied().collect(); // flagged (.collect::)
+    out[0] = boxed[0] + gathered[0] + tmp.len() as f64;
+}
+
+struct IcpScratch {
+    buf: Vec<f64>,
+}
+
+impl IcpScratch {
+    fn new(n: usize) -> Self {
+        // Constructors are exempt: warmup may allocate.
+        Self { buf: vec![0.0; n] }
+    }
+
+    fn step(&mut self, pts: &[f64]) {
+        self.buf = pts.to_vec(); // flagged: steady state must reuse buf
+    }
+}

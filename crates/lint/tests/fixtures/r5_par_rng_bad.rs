@@ -1,0 +1,12 @@
+// Fixture: R5 flags RNG construction inside parallel closures unless the
+// seed is derived via chunk_seed.
+fn scatter(pool: &Pool, xs: &[f64], seed: u64) {
+    let bad: Vec<f64> = pool.par_map(xs, |i, x| {
+        let mut rng = SimRng::seed_from(42); // flagged: fixed seed per chunk
+        x + rng.next_f64()
+    });
+    let good: Vec<f64> = pool.par_map(xs, |i, x| {
+        let mut rng = SimRng::seed_from(chunk_seed(seed, i as u64)); // fine
+        x + rng.next_f64()
+    });
+}

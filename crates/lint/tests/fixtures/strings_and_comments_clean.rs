@@ -1,0 +1,17 @@
+// Fixture: rule-triggering tokens inside comments and literals must NOT
+// be flagged. Mentioning HashMap, Instant::now, or SystemTime here is
+// harmless, as is /* vec![ inside a block comment */.
+fn describe() -> &'static str {
+    let a = "HashMap and HashSet live in std::collections";
+    let b = "Instant::now() reads the monotonic clock";
+    let c = r#"raw: SystemTime::now and Box::new and .collect()"#;
+    let d = 'H'; // a char, not a HashMap
+    let _ = (a, b, c, d);
+    "clean"
+}
+
+fn mul_into(out: &mut [f64]) {
+    // Even inside a hot span: ".to_vec()" in a string is not an allocation.
+    let label = ".to_vec() would be flagged outside this literal";
+    out[0] = label.len() as f64;
+}

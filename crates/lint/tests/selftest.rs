@@ -1,0 +1,126 @@
+//! Self-tests: every seeded fixture violation must be flagged, every
+//! annotated fixture must pass, and the JSON report must round-trip.
+//!
+//! Fixtures live under `tests/fixtures/` and are linted as text with a
+//! virtual workspace path (which selects the rule set), so they never
+//! need to compile.
+
+use rtr_lint::{lint_source, Finding, Report};
+
+/// Lints a fixture as if it lived in the planning (kernel) crate.
+fn kernel(source: &str) -> Vec<Finding> {
+    lint_source("crates/planning/src/fixture.rs", source)
+}
+
+fn violations(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| f.allowed.is_none()).collect()
+}
+
+#[test]
+fn r1_bad_fixture_is_flagged() {
+    let f = kernel(include_str!("fixtures/r1_nondet_iter_bad.rs"));
+    let v = violations(&f);
+    assert!(v.len() >= 4, "expected HashMap+HashSet uses flagged: {f:?}");
+    assert!(v.iter().all(|x| x.rule == "nondet-iter"));
+    assert!(v.iter().any(|x| x.message.contains("HashMap")));
+    assert!(v.iter().any(|x| x.message.contains("HashSet")));
+}
+
+#[test]
+fn r1_allowed_fixture_passes_deny() {
+    let f = kernel(include_str!("fixtures/r1_nondet_iter_allowed.rs"));
+    assert!(!f.is_empty(), "findings should still be reported");
+    assert!(
+        violations(&f).is_empty(),
+        "all findings must be allowed: {f:?}"
+    );
+    assert!(f
+        .iter()
+        .all(|x| x.allowed.as_deref().is_some_and(|r| !r.is_empty())));
+}
+
+#[test]
+fn r2_bad_fixture_is_flagged() {
+    let f = kernel(include_str!("fixtures/r2_wall_clock_bad.rs"));
+    let v = violations(&f);
+    assert_eq!(v.len(), 2, "Instant::now and SystemTime: {f:?}");
+    assert!(v.iter().all(|x| x.rule == "wall-clock"));
+}
+
+#[test]
+fn r2_fixtures_are_clean_in_measurement_crates() {
+    let src = include_str!("fixtures/r2_wall_clock_bad.rs");
+    assert!(lint_source("crates/harness/src/fixture.rs", src).is_empty());
+    assert!(lint_source("crates/bench/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn r2_allowed_fixture_passes_deny() {
+    let f = kernel(include_str!("fixtures/r2_wall_clock_allowed.rs"));
+    assert_eq!(f.len(), 1);
+    assert!(f[0].allowed.is_some());
+}
+
+#[test]
+fn r3_bad_fixture_flags_hot_spans_only() {
+    let f = kernel(include_str!("fixtures/r3_hot_alloc_bad.rs"));
+    let v = violations(&f);
+    assert!(v.iter().all(|x| x.rule == "hot-alloc"), "{f:?}");
+    // mul_into: Vec::new, .to_vec(), Box::new, .collect(); Scratch::step: .to_vec()
+    assert_eq!(v.len(), 5, "{v:?}");
+    // Nothing from cold_setup (lines 3-6) or the exempt constructor.
+    assert!(v.iter().all(|x| x.line >= 8), "{v:?}");
+    assert!(
+        !v.iter().any(|x| (20..=23).contains(&x.line)),
+        "Scratch constructor must be exempt: {v:?}"
+    );
+}
+
+#[test]
+fn r4_bad_fixture_flags_missing_forbid_and_undocumented_unsafe() {
+    let src = include_str!("fixtures/r4_unsafe_bad.rs");
+    // Linted as a crate root so the forbid check applies.
+    let f = lint_source("crates/planning/src/lib.rs", src);
+    let v = violations(&f);
+    assert!(v
+        .iter()
+        .any(|x| x.message.contains("forbid(unsafe_code)") && x.line == 1));
+    assert!(v
+        .iter()
+        .any(|x| x.message.contains("SAFETY") && x.line == 5));
+    // The documented unsafe block must not be flagged.
+    assert!(!v.iter().any(|x| x.line == 10), "{v:?}");
+    assert_eq!(v.len(), 2, "{v:?}");
+}
+
+#[test]
+fn r5_bad_fixture_flags_non_chunk_seeded_rng() {
+    let f = kernel(include_str!("fixtures/r5_par_rng_bad.rs"));
+    let v = violations(&f);
+    assert_eq!(v.len(), 1, "{f:?}");
+    assert_eq!(v[0].rule, "par-rng");
+    assert_eq!(v[0].line, 5);
+}
+
+#[test]
+fn tokens_in_strings_and_comments_are_ignored() {
+    let f = kernel(include_str!("fixtures/strings_and_comments_clean.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn fixture_findings_round_trip_through_the_report() {
+    let mut findings = Vec::new();
+    findings.extend(kernel(include_str!("fixtures/r1_nondet_iter_bad.rs")));
+    findings.extend(kernel(include_str!("fixtures/r1_nondet_iter_allowed.rs")));
+    findings.extend(kernel(include_str!("fixtures/r2_wall_clock_bad.rs")));
+    let report = Report {
+        version: 1,
+        files_scanned: 3,
+        findings,
+    };
+    let parsed = Report::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed, report);
+    assert!(parsed.violations().count() > 0);
+    assert!(parsed.allowed().count() > 0);
+}

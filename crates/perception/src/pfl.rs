@@ -391,10 +391,12 @@ impl<'m> ParticleFilter<'m> {
         // it with the live set; the retired set becomes next round's
         // buffer, so steady-state resampling allocates nothing.
         scratch.next.clear();
-        scratch.next.extend(scratch.indices.iter().map(|&i| Particle {
-            pose: self.particles[i].pose,
-            weight: step,
-        }));
+        scratch
+            .next
+            .extend(scratch.indices.iter().map(|&i| Particle {
+                pose: self.particles[i].pose,
+                weight: step,
+            }));
         std::mem::swap(&mut self.particles, &mut scratch.next);
         true
     }
@@ -411,14 +413,16 @@ impl<'m> ParticleFilter<'m> {
         for (i, step) in steps.iter().enumerate() {
             if i > 0 {
                 let reading = step.odometry;
-                profiler.time("motion_update", || self.motion_update(&reading));
+                let mu_start = profiler.hot_start();
+                self.motion_update(&reading);
+                profiler.hot_add("motion_update", mu_start);
             }
-            // Manual timing: the closure would need simultaneous &mut self
-            // and &mut mem, so measure around the call instead.
-            let start = std::time::Instant::now();
+            let start = profiler.hot_start();
             self.measurement_update(&step.scan, mem.as_deref_mut());
-            profiler.add("ray_casting", start.elapsed());
-            profiler.time("resample", || self.maybe_resample());
+            profiler.hot_add("ray_casting", start);
+            let rs_start = profiler.hot_start();
+            self.maybe_resample();
+            profiler.hot_add("resample", rs_start);
         }
         let estimate = self.estimate();
         PflResult {
@@ -540,7 +544,7 @@ mod tests {
             },
             &map,
         );
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         pf.run(&steps, &mut profiler, None);
         profiler.freeze_total();
         let rc = profiler.fraction("ray_casting");

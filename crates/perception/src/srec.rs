@@ -182,7 +182,7 @@ impl Icp {
             source.transform_into(&transform, &mut scratch.moved);
 
             // Correspondence search: irregular tree chases.
-            let start = std::time::Instant::now();
+            let start = profiler.hot_start();
             scratch.pairs.clear();
             let mut error_sum = 0.0;
             if let Some(sim) = mem.as_deref_mut() {
@@ -223,7 +223,7 @@ impl Icp {
                     }
                 }
             }
-            profiler.add("nn_search", start.elapsed());
+            profiler.hot_add("nn_search", start);
 
             let mean_error = error_sum / scratch.moved.len() as f64;
             if error_before.is_none() {
@@ -238,13 +238,13 @@ impl Icp {
             }
 
             // Closed-form rigid alignment (Horn): the matrix-op bottleneck.
-            let delta = profiler.time("matrix_ops", || {
-                if config.use_workspace {
-                    best_rigid_transform_ws(&scratch.pairs, &mut scratch.ws)
-                } else {
-                    best_rigid_transform(&scratch.pairs)
-                }
-            });
+            let mo_start = profiler.hot_start();
+            let delta = if config.use_workspace {
+                best_rigid_transform_ws(&scratch.pairs, &mut scratch.ws)
+            } else {
+                best_rigid_transform(&scratch.pairs)
+            };
+            profiler.hot_add("matrix_ops", mo_start);
             transform = delta.compose(&transform);
         }
 
@@ -496,7 +496,7 @@ mod tests {
         let motion = RigidTransform::from_yaw_translation(0.03, Point3::new(0.05, 0.0, 0.0));
         let scan1 = scene::scan_from(&room, &RigidTransform::identity(), 0.6, 0.002, &mut rng);
         let scan2 = scene::scan_from(&room, &motion, 0.6, 0.002, &mut rng);
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         Icp::new(IcpConfig::default()).align(&scan2, &scan1, &mut profiler, None);
         profiler.freeze_total();
         assert_eq!(profiler.dominant_region().unwrap().name, "nn_search");
@@ -548,7 +548,10 @@ mod tests {
             let fast = best_rigid_transform_ws(&pairs, &mut ws);
             for r in 0..3 {
                 for c in 0..3 {
-                    assert_eq!(fast.rotation[r][c].to_bits(), legacy.rotation[r][c].to_bits());
+                    assert_eq!(
+                        fast.rotation[r][c].to_bits(),
+                        legacy.rotation[r][c].to_bits()
+                    );
                 }
             }
             assert_eq!(fast.translation.x.to_bits(), legacy.translation.x.to_bits());

@@ -11,6 +11,7 @@
 //! to 62 % of the end-to-end latency, which the `heuristic_calc` region
 //! exposes.
 
+// rtr-lint: allow(nondet-iter) -- heuristic table is read by key, never iterated
 use std::collections::HashMap;
 
 use rtr_harness::Profiler;
@@ -116,6 +117,7 @@ const MOVES: [(i64, i64); 9] = [
 struct TimeSpace<'a> {
     field: &'a CostField,
     trajectory: &'a [(usize, usize)],
+    // rtr-lint: allow(nondet-iter) -- get()-only lookups, order never observed
     heuristic: &'a HashMap<(i64, i64), f64>,
     epsilon_floor: f64,
 }

@@ -9,11 +9,10 @@
 //! grid accesses are attributable.
 
 use std::cell::Cell;
-use std::time::{Duration, Instant};
 
 use rtr_archsim::MemorySim;
 use rtr_geom::{Footprint, GridMap2D, Pose2};
-use rtr_harness::Profiler;
+use rtr_harness::{HotRegion, Profiler};
 
 use crate::search::{weighted_astar_traced, SearchResult, SearchSpace};
 
@@ -62,7 +61,7 @@ struct CarSpace<'a> {
     map: &'a GridMap2D,
     goal: (i64, i64),
     footprint: Footprint,
-    collision_time: Cell<Duration>,
+    collision: HotRegion,
     collision_checks: Cell<u64>,
     cells_probed: Cell<u64>,
 }
@@ -70,7 +69,7 @@ struct CarSpace<'a> {
 impl CarSpace<'_> {
     /// Footprint check for occupying `cell` while heading `theta`.
     fn pose_free(&self, cell: (i64, i64), theta: f64) -> bool {
-        let start = Instant::now();
+        let start = self.collision.start();
         let res = self.map.resolution();
         let pose = Pose2::new(
             (cell.0 as f64 + 0.5) * res,
@@ -81,8 +80,7 @@ impl CarSpace<'_> {
         let collides = self
             .footprint
             .collides_with(self.map, &pose, |_, _| probes += 1);
-        self.collision_time
-            .set(self.collision_time.get() + start.elapsed());
+        self.collision.add(start);
         self.collision_checks.set(self.collision_checks.get() + 1);
         self.cells_probed.set(self.cells_probed.get() + probes);
         !collides
@@ -165,9 +163,12 @@ impl Pp2d {
     /// (or start/goal are themselves in collision).
     ///
     /// Profiler regions: `collision_detection` (footprint probes) and
-    /// `graph_search` (everything else in the search loop). When `mem` is
-    /// supplied, expanded nodes are replayed into the cache simulator as
-    /// row-major cell reads.
+    /// `graph_search` (everything else in the search loop). The per-check
+    /// breakdown needs the hot-timing knob ([`Profiler::timed`]); with a
+    /// plain [`Profiler::new`] the solve stays free of per-iteration
+    /// clock reads and the whole wall time lands in `graph_search`. When
+    /// `mem` is supplied, expanded nodes are replayed into the cache
+    /// simulator as row-major cell reads.
     pub fn plan(
         &self,
         map: &GridMap2D,
@@ -178,7 +179,7 @@ impl Pp2d {
             map,
             goal: (self.config.goal.0 as i64, self.config.goal.1 as i64),
             footprint: self.config.footprint,
-            collision_time: Cell::new(Duration::ZERO),
+            collision: HotRegion::timed(profiler.hot_timing()),
             collision_checks: Cell::new(0),
             cells_probed: Cell::new(0),
         };
@@ -189,16 +190,15 @@ impl Pp2d {
         }
 
         let width = map.width() as u64;
-        let wall = Instant::now();
-        let result: Option<SearchResult<(i64, i64)>> =
+        let (result, total): (Option<SearchResult<(i64, i64)>>, _) = profiler.span(|| {
             weighted_astar_traced(&space, start, self.config.weight, &mut |n| {
                 if let Some(sim) = mem.as_deref_mut() {
                     sim.read((n.1.max(0) as u64) * width + n.0.max(0) as u64);
                 }
-            });
-        let total = wall.elapsed();
-        let collision = space.collision_time.get();
-        profiler.add("collision_detection", collision);
+            })
+        });
+        let collision = space.collision.total();
+        space.collision.drain_into(profiler, "collision_detection");
         profiler.add("graph_search", total.saturating_sub(collision));
 
         result.map(|r| Pp2dResult {
@@ -314,7 +314,7 @@ mod tests {
     fn collision_detection_dominates_profile_on_city_map() {
         let map = maps::city_blocks(256, 1.0, 3);
         let config = Pp2dConfig::car((4, 1), (241, 241));
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         let r = Pp2d::new(config).plan(&map, &mut profiler, None);
         assert!(r.is_some(), "city map should be traversable on streets");
         profiler.freeze_total();

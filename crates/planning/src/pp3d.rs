@@ -9,11 +9,10 @@
 //! third of the data misses, which the traced variant reproduces.
 
 use std::cell::Cell;
-use std::time::{Duration, Instant};
 
 use rtr_archsim::MemorySim;
 use rtr_geom::GridMap3D;
-use rtr_harness::Profiler;
+use rtr_harness::{HotRegion, Profiler};
 
 use crate::search::{weighted_astar_traced, SearchSpace};
 
@@ -46,7 +45,7 @@ pub struct Pp3dResult {
 struct UavSpace<'a> {
     map: &'a GridMap3D,
     goal: (i64, i64, i64),
-    collision_time: Cell<Duration>,
+    collision: HotRegion,
     collision_checks: Cell<u64>,
 }
 
@@ -55,7 +54,7 @@ impl SearchSpace for UavSpace<'_> {
 
     fn successors(&self, node: (i64, i64, i64), out: &mut Vec<((i64, i64, i64), f64)>) {
         let res = self.map.resolution();
-        let start = Instant::now();
+        let start = self.collision.start();
         let mut checks = 0u64;
         for dz in -1i64..=1 {
             for dy in -1i64..=1 {
@@ -72,8 +71,7 @@ impl SearchSpace for UavSpace<'_> {
                 }
             }
         }
-        self.collision_time
-            .set(self.collision_time.get() + start.elapsed());
+        self.collision.add(start);
         self.collision_checks
             .set(self.collision_checks.get() + checks);
     }
@@ -145,22 +143,22 @@ impl Pp3d {
         let space = UavSpace {
             map,
             goal,
-            collision_time: Cell::new(Duration::ZERO),
+            collision: HotRegion::timed(profiler.hot_timing()),
             collision_checks: Cell::new(0),
         };
 
         let (w, h) = (map.width() as u64, map.height() as u64);
-        let wall = Instant::now();
-        let result = weighted_astar_traced(&space, start, self.config.weight, &mut |n| {
-            if let Some(sim) = mem.as_deref_mut() {
-                let cell_index =
-                    (n.2.max(0) as u64 * h + n.1.max(0) as u64) * w + n.0.max(0) as u64;
-                sim.read(cell_index * 16);
-            }
+        let (result, total) = profiler.span(|| {
+            weighted_astar_traced(&space, start, self.config.weight, &mut |n| {
+                if let Some(sim) = mem.as_deref_mut() {
+                    let cell_index =
+                        (n.2.max(0) as u64 * h + n.1.max(0) as u64) * w + n.0.max(0) as u64;
+                    sim.read(cell_index * 16);
+                }
+            })
         });
-        let total = wall.elapsed();
-        let collision = space.collision_time.get();
-        profiler.add("collision_detection", collision);
+        let collision = space.collision.total();
+        space.collision.drain_into(profiler, "collision_detection");
         profiler.add("graph_search", total.saturating_sub(collision));
 
         result.map(|r| Pp3dResult {

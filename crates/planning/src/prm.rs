@@ -298,7 +298,7 @@ impl Prm {
                         .collect(),
                     None => pool.par_map(&nodes, |i, node| near_of(i, node)),
                 };
-                let mut seen = std::collections::HashSet::new();
+                let mut seen = std::collections::BTreeSet::new();
                 let mut pairs: Vec<(usize, usize)> = Vec::new();
                 for (i, cand) in cands.iter().enumerate() {
                     for &(j, _) in cand {
@@ -312,7 +312,7 @@ impl Prm {
                 let verdicts: Vec<bool> = pool.par_map(&pairs, |_, &(a, b)| {
                     problem.motion_free(&nodes[a], &nodes[b])
                 });
-                let free_of: std::collections::HashMap<(usize, usize), bool> =
+                let free_of: std::collections::BTreeMap<(usize, usize), bool> =
                     pairs.iter().copied().zip(verdicts).collect();
                 for (i, cand) in cands.iter().enumerate() {
                     for &(j, dist) in cand {

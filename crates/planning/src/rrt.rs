@@ -329,16 +329,16 @@ impl Rrt {
 
         #[allow(clippy::explicit_counter_loop)] // nn_queries also counts goal checks below
         for sample_idx in 0..self.config.max_samples {
-            let target = profiler.time("sampling", || {
-                if rng.chance(self.config.goal_bias) {
-                    problem.goal
-                } else {
-                    problem.sample(&mut rng)
-                }
-            });
+            let sample_start = profiler.hot_start();
+            let target = if rng.chance(self.config.goal_bias) {
+                problem.goal
+            } else {
+                problem.sample(&mut rng)
+            };
+            profiler.hot_add("sampling", sample_start);
 
             // Nearest neighbor in the tree.
-            let nn_start = std::time::Instant::now();
+            let nn_start = profiler.hot_start();
             nn_queries += 1;
             let (nearest_id, _) = if let Some(sim) = mem.as_deref_mut() {
                 tree.index
@@ -349,14 +349,14 @@ impl Rrt {
             } else {
                 tree.index.nearest(&target).expect("tree is non-empty")
             };
-            profiler.add("nn_search", nn_start.elapsed());
+            profiler.hot_add("nn_search", nn_start);
 
             // Steer and collision-check the new edge.
             let new_config = steer(&tree.nodes[nearest_id], &target, self.config.epsilon);
-            let col_start = std::time::Instant::now();
+            let col_start = profiler.hot_start();
             collision_checks += 1;
             let free = problem.motion_free(&tree.nodes[nearest_id], &new_config);
-            profiler.add("collision_detection", col_start.elapsed());
+            profiler.hot_add("collision_detection", col_start);
             if !free {
                 continue;
             }
@@ -364,10 +364,10 @@ impl Rrt {
 
             // Goal connection test.
             if config_distance(&new_config, &problem.goal) <= problem.goal_tolerance {
-                let col_start = std::time::Instant::now();
+                let col_start = profiler.hot_start();
                 collision_checks += 1;
                 let free = problem.motion_free(&new_config, &problem.goal);
-                profiler.add("collision_detection", col_start.elapsed());
+                profiler.hot_add("collision_detection", col_start);
                 if free {
                     let goal_id = tree.add(problem.goal, new_id);
                     let path = tree.path_to(goal_id);
@@ -432,7 +432,8 @@ mod tests {
     #[test]
     fn collision_and_nn_are_the_top_regions() {
         let problem = ArmProblem::map_c(4);
-        let mut profiler = Profiler::new();
+        // timed(): region fractions only exist with hot timing on.
+        let mut profiler = Profiler::timed();
         Rrt::new(RrtConfig {
             max_samples: 50_000,
             ..Default::default()

@@ -68,22 +68,25 @@ impl RrtPp {
         let mut base = Rrt::new(self.config.clone()).plan(problem, profiler, mem)?;
         let raw_cost = base.cost;
 
-        let start = std::time::Instant::now();
-        let mut path = base.path.clone();
-        let mut shortcuts = 0u64;
-        let mut passes = 0u32;
-        let mut extra_checks = 0u64;
-        for _ in 0..self.max_passes {
-            passes += 1;
-            let (next, cut, checks) = shortcut_pass(problem, &path);
-            extra_checks += checks;
-            path = next;
-            shortcuts += cut;
-            if cut == 0 {
-                break; // Converged: no pair can be connected directly.
+        // Once-per-solve coarse measurement: stays on even when the
+        // per-iteration hot-loop timing knob is off.
+        let (path, shortcuts, passes, extra_checks) = profiler.time("post_process", || {
+            let mut path = base.path.clone();
+            let mut shortcuts = 0u64;
+            let mut passes = 0u32;
+            let mut extra_checks = 0u64;
+            for _ in 0..self.max_passes {
+                passes += 1;
+                let (next, cut, checks) = shortcut_pass(problem, &path);
+                extra_checks += checks;
+                path = next;
+                shortcuts += cut;
+                if cut == 0 {
+                    break; // Converged: no pair can be connected directly.
+                }
             }
-        }
-        profiler.add("post_process", start.elapsed());
+            (path, shortcuts, passes, extra_checks)
+        });
 
         base.collision_checks += extra_checks;
         base.cost = problem.path_cost(&path);

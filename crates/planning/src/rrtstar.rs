@@ -93,32 +93,32 @@ impl RrtStar {
                 }
             }
             samples_used = sample_idx + 1;
-            let target = profiler.time("sampling", || {
-                if rng.chance(self.config.goal_bias) {
-                    problem.goal
-                } else {
-                    problem.sample(&mut rng)
-                }
-            });
+            let sample_start = profiler.hot_start();
+            let target = if rng.chance(self.config.goal_bias) {
+                problem.goal
+            } else {
+                problem.sample(&mut rng)
+            };
+            profiler.hot_add("sampling", sample_start);
 
             // Nearest node.
-            let nn_start = std::time::Instant::now();
+            let nn_start = profiler.hot_start();
             nn_queries += 1;
             let (nearest_id, _) = nearest(&tree, &target, mem.as_deref_mut());
-            profiler.add("nn_search", nn_start.elapsed());
+            profiler.hot_add("nn_search", nn_start);
 
             let new_config = steer(&tree.nodes[nearest_id], &target, self.config.epsilon);
 
-            let col_start = std::time::Instant::now();
+            let col_start = profiler.hot_start();
             collision_checks += 1;
             let free = problem.motion_free(&tree.nodes[nearest_id], &new_config);
-            profiler.add("collision_detection", col_start.elapsed());
+            profiler.hot_add("collision_detection", col_start);
             if !free {
                 continue;
             }
 
             // Neighborhood query (the paper's yellow circle).
-            let nn_start = std::time::Instant::now();
+            let nn_start = profiler.hot_start();
             nn_queries += 1;
             neighborhood_into(
                 &tree,
@@ -127,7 +127,7 @@ impl RrtStar {
                 mem.as_deref_mut(),
                 &mut neighbors,
             );
-            profiler.add("nn_search", nn_start.elapsed());
+            profiler.hot_add("nn_search", nn_start);
 
             // Choose the cheapest collision-free parent among neighbors.
             let mut parent = nearest_id;
@@ -137,10 +137,10 @@ impl RrtStar {
                 let through =
                     tree.costs[candidate] + config_distance(&tree.nodes[candidate], &new_config);
                 if through < parent_cost {
-                    let col_start = std::time::Instant::now();
+                    let col_start = profiler.hot_start();
                     collision_checks += 1;
                     let free = problem.motion_free(&tree.nodes[candidate], &new_config);
-                    profiler.add("collision_detection", col_start.elapsed());
+                    profiler.hot_add("collision_detection", col_start);
                     if free {
                         parent = candidate;
                         parent_cost = through;
@@ -157,10 +157,10 @@ impl RrtStar {
                 let through =
                     tree.costs[new_id] + config_distance(&new_config, &tree.nodes[neighbor]);
                 if through + 1e-12 < tree.costs[neighbor] {
-                    let col_start = std::time::Instant::now();
+                    let col_start = profiler.hot_start();
                     collision_checks += 1;
                     let free = problem.motion_free(&new_config, &tree.nodes[neighbor]);
-                    profiler.add("collision_detection", col_start.elapsed());
+                    profiler.hot_add("collision_detection", col_start);
                     if free {
                         let delta = tree.costs[neighbor] - through;
                         tree.reparent(neighbor, new_id);
@@ -172,10 +172,10 @@ impl RrtStar {
 
             // Track the best goal connection but keep optimizing.
             if config_distance(&new_config, &problem.goal) <= problem.goal_tolerance {
-                let col_start = std::time::Instant::now();
+                let col_start = profiler.hot_start();
                 collision_checks += 1;
                 let free = problem.motion_free(&new_config, &problem.goal);
-                profiler.add("collision_detection", col_start.elapsed());
+                profiler.hot_add("collision_detection", col_start);
                 if free {
                     goal_connections += 1;
                     if first_connection.is_none() {

@@ -8,6 +8,7 @@
 //! the paper highlights for graph search.
 
 use std::cmp::Ordering;
+// rtr-lint: allow(nondet-iter) -- maps below are keyed-lookup only, never iterated
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
 
@@ -148,8 +149,12 @@ fn weighted_astar_impl<S: SearchSpace>(
     assert!(weight >= 0.0, "heuristic weight must be non-negative");
 
     let mut open = BinaryHeap::new();
-    // node → (best g, parent)
+    // node → (best g, parent). Accessed by key only (get/insert); iteration
+    // order never reaches the search result, so hash maps are safe here and
+    // keep generic nodes to a Hash + Eq bound.
+    // rtr-lint: allow(nondet-iter) -- keyed get/insert only, order never observed
     let mut best: HashMap<S::Node, (f64, Option<S::Node>)> = HashMap::new();
+    // rtr-lint: allow(nondet-iter) -- membership test only, order never observed
     let mut closed: HashMap<S::Node, ()> = HashMap::new();
     let mut succ_buf: Vec<(S::Node, f64)> = Vec::new();
     let mut expanded = 0u64;
@@ -300,11 +305,13 @@ pub fn anytime_weighted_astar<S: SearchSpace>(
 /// This is the *backward Dijkstra* heuristic precomputation of `06.movtar`:
 /// seeded from the goal set, it labels the whole reachable space with exact
 /// goal distances in one sweep.
+// rtr-lint: allow(nondet-iter) -- callers read the table by key, never by order
 pub fn dijkstra_flood<N, F>(sources: &[N], mut successors: F) -> HashMap<N, f64>
 where
     N: Copy + Eq + Hash,
     F: FnMut(N, &mut Vec<(N, f64)>),
 {
+    // rtr-lint: allow(nondet-iter) -- keyed get/insert only, order never observed
     let mut dist: HashMap<N, f64> = HashMap::new();
     let mut open = BinaryHeap::new();
     for &s in sources {

@@ -17,11 +17,10 @@
 //! statistics and a crossbeam-parallel expansion helper.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
-use std::time::{Duration, Instant};
 
-use rtr_harness::Profiler;
+use rtr_harness::{HotRegion, Profiler};
 
 use crate::search::{weighted_astar, SearchSpace};
 
@@ -161,7 +160,7 @@ impl Domain {
     /// the goal (used by tests and the harness).
     pub fn validate_plan(&self, plan: &[String]) -> bool {
         let actions = self.ground();
-        let by_name: HashMap<&str, &GroundAction> =
+        let by_name: BTreeMap<&str, &GroundAction> =
             actions.iter().map(|a| (a.name.as_str(), a)).collect();
         let mut state = self.initial_state();
         for step in plan {
@@ -198,21 +197,23 @@ struct SymbolicSpace<'a> {
     actions: &'a [GroundAction],
     goal: &'a [Fact],
     arena: RefCell<Vec<Rc<State>>>,
-    ids: RefCell<HashMap<Rc<State>, usize>>,
-    string_time: Cell<Duration>,
+    // BTreeMap keeps interning order-independent of any hash seed — state
+    // ids are part of the search's observable behavior.
+    ids: RefCell<BTreeMap<Rc<State>, usize>>,
+    strings: HotRegion,
     expansions: Cell<u64>,
     applicable_total: Cell<u64>,
 }
 
 impl<'a> SymbolicSpace<'a> {
-    fn new(actions: &'a [GroundAction], goal: &'a [Fact], init: State) -> Self {
+    fn new(actions: &'a [GroundAction], goal: &'a [Fact], init: State, timed: bool) -> Self {
         let init = Rc::new(init);
         let space = SymbolicSpace {
             actions,
             goal,
             arena: RefCell::new(vec![init.clone()]),
-            ids: RefCell::new(HashMap::new()),
-            string_time: Cell::new(Duration::ZERO),
+            ids: RefCell::new(BTreeMap::new()),
+            strings: HotRegion::timed(timed),
             expansions: Cell::new(0),
             applicable_total: Cell::new(0),
         };
@@ -243,7 +244,7 @@ impl SearchSpace for SymbolicSpace<'_> {
     fn successors(&self, node: usize, out: &mut Vec<(usize, f64)>) {
         let state = self.state(node);
         self.expansions.set(self.expansions.get() + 1);
-        let start = Instant::now();
+        let start = self.strings.start();
         let mut applicable = 0u64;
         for action in self.actions {
             if action.applicable(&state) {
@@ -252,8 +253,7 @@ impl SearchSpace for SymbolicSpace<'_> {
                 out.push((self.intern(next), 1.0));
             }
         }
-        self.string_time
-            .set(self.string_time.get() + start.elapsed());
+        self.strings.add(start);
         self.applicable_total
             .set(self.applicable_total.get() + applicable);
     }
@@ -303,16 +303,23 @@ impl SymbolicPlanner {
     ///
     /// Profiler regions: `grounding` (schema instantiation),
     /// `graph_search` (state-space search minus fact matching) and
-    /// `string_ops` (precondition matching + effect rewriting).
+    /// `string_ops` (precondition matching + effect rewriting). The
+    /// string/search split needs the hot-timing knob
+    /// ([`Profiler::timed`]); a plain [`Profiler::new`] keeps the solve
+    /// loop free of per-expansion clock reads and attributes the whole
+    /// search wall time to `graph_search`.
     pub fn solve(&self, domain: &Domain, profiler: &mut Profiler) -> Option<Plan> {
         let actions = profiler.time("grounding", || domain.ground());
-        let space = SymbolicSpace::new(&actions, &domain.goal, domain.initial_state());
+        let space = SymbolicSpace::new(
+            &actions,
+            &domain.goal,
+            domain.initial_state(),
+            profiler.hot_timing(),
+        );
 
-        let wall = Instant::now();
-        let result = weighted_astar(&space, 0usize, self.weight);
-        let total = wall.elapsed();
-        let strings = space.string_time.get();
-        profiler.add("string_ops", strings);
+        let (result, total) = profiler.span(|| weighted_astar(&space, 0usize, self.weight));
+        let strings = space.strings.total();
+        space.strings.drain_into(profiler, "string_ops");
         profiler.add("graph_search", total.saturating_sub(strings));
 
         let result = result?;
@@ -703,12 +710,24 @@ mod tests {
     #[test]
     fn profiler_regions_recorded() {
         let domain = blocks_world(4);
-        let mut profiler = Profiler::new();
+        let mut profiler = Profiler::timed();
         SymbolicPlanner::new(1.0)
             .solve(&domain, &mut profiler)
             .unwrap();
         assert!(profiler.region_calls("grounding") == 1);
-        assert!(profiler.region_total("string_ops") > Duration::ZERO);
+        assert!(profiler.region_total("string_ops") > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn hot_timing_off_skips_string_ops_but_keeps_wall_time() {
+        let domain = blocks_world(4);
+        let mut profiler = Profiler::new();
+        SymbolicPlanner::new(1.0)
+            .solve(&domain, &mut profiler)
+            .unwrap();
+        assert_eq!(profiler.region_calls("string_ops"), 0);
+        // Aggregate solve wall time is still attributed.
+        assert!(profiler.region_calls("graph_search") >= 1);
     }
 
     #[test]

@@ -26,7 +26,9 @@ fn perceive_plan_control_round_trip() {
         100,
         &mut rng,
     );
-    let mut profiler = Profiler::new();
+    // timed(): the final assertions check that each stage left its hot
+    // profiler regions behind, which requires the hot-timing knob on.
+    let mut profiler = Profiler::timed();
     let mut filter = ParticleFilter::new(
         PflConfig {
             particles: 250,

@@ -319,6 +319,7 @@ impl BenchmarkGroup<'_> {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
         pub fn $name() {
             let mut criterion: $crate::Criterion = $cfg;
             $($target(&mut criterion);)+
