@@ -53,6 +53,10 @@ pub struct CacheStats {
     pub accesses: u64,
     /// Demand misses.
     pub misses: u64,
+    /// Demand write accesses (stores); reads are `accesses - writes`.
+    pub writes: u64,
+    /// Demand write misses; read misses are `misses - write_misses`.
+    pub write_misses: u64,
     /// Demand hits on lines brought in by the prefetcher.
     pub prefetch_hits: u64,
     /// Dirty lines written back on eviction.
@@ -63,6 +67,16 @@ impl CacheStats {
     /// Demand hits.
     pub fn hits(&self) -> u64 {
         self.accesses - self.misses
+    }
+
+    /// Demand read accesses (loads).
+    pub fn reads(&self) -> u64 {
+        self.accesses - self.writes
+    }
+
+    /// Demand read misses.
+    pub fn read_misses(&self) -> u64 {
+        self.misses - self.write_misses
     }
 
     /// Miss ratio in `[0, 1]`; `0.0` when no accesses occurred.
@@ -119,6 +133,9 @@ pub struct Cache {
     stats: CacheStats,
     line_shift: u32,
     set_mask: u64,
+    /// Line address of the dirty victim evicted by the most recent fill,
+    /// consumed by the hierarchy to propagate the write-back downward.
+    pending_writeback: Option<u64>,
 }
 
 impl Cache {
@@ -151,6 +168,7 @@ impl Cache {
             stats: CacheStats::default(),
             line_shift: config.line_bytes.trailing_zeros(),
             set_mask: sets as u64 - 1,
+            pending_writeback: None,
         }
     }
 
@@ -194,6 +212,8 @@ impl Cache {
     fn demand(&mut self, addr: u64, is_write: bool) -> bool {
         self.clock += 1;
         self.stats.accesses += 1;
+        self.stats.writes += is_write as u64;
+        self.pending_writeback = None;
         let (set_idx, tag) = self.locate(addr);
         let set = &mut self.sets[set_idx];
         for line in set.iter_mut() {
@@ -208,7 +228,9 @@ impl Cache {
             }
         }
         self.stats.misses += 1;
-        self.stats.writebacks += Self::fill(set, tag, self.clock, false, is_write) as u64;
+        self.stats.write_misses += is_write as u64;
+        let victim = Self::fill(set, tag, self.clock, false, is_write);
+        self.note_victim(victim, set_idx);
         false
     }
 
@@ -216,13 +238,38 @@ impl Cache {
     /// Returns `true` when the line was already present.
     pub fn prefetch(&mut self, addr: u64) -> bool {
         self.clock += 1;
+        self.pending_writeback = None;
         let (set_idx, tag) = self.locate(addr);
         let set = &mut self.sets[set_idx];
         if set.iter().any(|l| l.valid && l.tag == tag) {
             return true;
         }
-        self.stats.writebacks += Self::fill(set, tag, self.clock, true, false) as u64;
+        let victim = Self::fill(set, tag, self.clock, true, false);
+        self.note_victim(victim, set_idx);
         false
+    }
+
+    /// Absorbs a write-back arriving from the level above: when the line is
+    /// resident it is marked dirty in place (no demand access is counted)
+    /// and `true` is returned; when it is absent the write-back must travel
+    /// further down and `false` is returned.
+    pub fn absorb_writeback(&mut self, addr: u64) -> bool {
+        let (set_idx, tag) = self.locate(addr);
+        for line in self.sets[set_idx].iter_mut() {
+            if line.valid && line.tag == tag {
+                line.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The line address of the dirty victim evicted by the most recent
+    /// `access`/`access_write`/`prefetch` call, if any. Consuming it clears
+    /// the slot; the hierarchy uses this to forward the write-back to the
+    /// next level down.
+    pub fn take_writeback(&mut self) -> Option<u64> {
+        self.pending_writeback.take()
     }
 
     /// Returns `true` when the line containing `addr` is resident.
@@ -231,15 +278,23 @@ impl Cache {
         self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
     }
 
-    /// Fills the line, returning `true` when a dirty victim was evicted
-    /// (a write-back).
-    fn fill(set: &mut [Line], tag: u64, clock: u64, prefetched: bool, dirty: bool) -> bool {
+    fn note_victim(&mut self, victim_tag: Option<u64>, set_idx: usize) {
+        if let Some(tag) = victim_tag {
+            self.stats.writebacks += 1;
+            let line_addr = (tag << self.set_mask.count_ones()) | set_idx as u64;
+            self.pending_writeback = Some(line_addr << self.line_shift);
+        }
+    }
+
+    /// Fills the line, returning the victim's tag when a dirty victim was
+    /// evicted (a write-back).
+    fn fill(set: &mut [Line], tag: u64, clock: u64, prefetched: bool, dirty: bool) -> Option<u64> {
         // Prefer an invalid way; otherwise evict the LRU one.
         let victim = set
             .iter_mut()
             .min_by_key(|l| if l.valid { l.last_use + 1 } else { 0 })
             .expect("cache set cannot be empty");
-        let wrote_back = victim.valid && victim.dirty;
+        let wrote_back = (victim.valid && victim.dirty).then_some(victim.tag);
         *victim = Line {
             tag,
             valid: true,
@@ -394,6 +449,49 @@ mod tests {
             c.access(i * 64);
         }
         assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn write_stats_are_split_from_reads() {
+        let mut c = tiny();
+        c.access(0x000); // read miss
+        c.access_write(0x000); // write hit
+        c.access_write(0x400); // write miss (set 0, new line)
+        let s = c.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads(), 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.write_misses, 1);
+        assert_eq!(s.read_misses(), 1);
+    }
+
+    #[test]
+    fn take_writeback_reconstructs_victim_address() {
+        let mut c = tiny();
+        // Dirty line at 0x080 (set 0), then fill set 0 twice more so the
+        // LRU dirty victim is evicted.
+        c.access_write(0x080);
+        c.access(0x000);
+        assert_eq!(c.take_writeback(), None, "clean fill evicts nothing");
+        c.access(0x100); // evicts 0x080 (LRU, dirty)
+        assert_eq!(c.take_writeback(), Some(0x080));
+        assert_eq!(c.take_writeback(), None, "consumed");
+    }
+
+    #[test]
+    fn absorb_writeback_marks_resident_line_dirty() {
+        let mut c = tiny();
+        c.access(0x040); // clean resident line
+        assert!(c.absorb_writeback(0x040));
+        assert!(!c.absorb_writeback(0x200), "absent line is not absorbed");
+        // The absorbed line is now dirty: evicting it costs a writeback.
+        c.access(0x0c0);
+        c.access(0x140); // set 1 full; next fill evicts
+        c.access(0x1c0);
+        assert!(c.stats().writebacks >= 1);
+        // Absorbing is not a demand access.
+        assert_eq!(c.stats().accesses, 4);
     }
 
     #[test]

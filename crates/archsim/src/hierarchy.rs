@@ -11,8 +11,14 @@ pub struct HierarchyReport {
     pub prefetch: Option<PrefetchStats>,
     /// Total demand accesses issued to the hierarchy.
     pub accesses: u64,
+    /// Demand loads issued to the hierarchy.
+    pub reads: u64,
+    /// Demand stores issued to the hierarchy.
+    pub writes: u64,
     /// Accesses that missed every level (went to memory).
     pub memory_accesses: u64,
+    /// Dirty evictions that fell out of the last level (DRAM writes).
+    pub memory_writebacks: u64,
 }
 
 impl HierarchyReport {
@@ -22,6 +28,15 @@ impl HierarchyReport {
             0.0
         } else {
             self.memory_accesses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of demand accesses that were stores.
+    pub fn write_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.accesses as f64
         }
     }
 }
@@ -50,7 +65,9 @@ pub struct MemorySim {
     levels: Vec<Cache>,
     prefetcher: Option<VldpPrefetcher>,
     accesses: u64,
+    writes: u64,
     memory_accesses: u64,
+    memory_writebacks: u64,
 }
 
 impl MemorySim {
@@ -65,7 +82,9 @@ impl MemorySim {
             levels: configs.iter().map(|&c| Cache::new(c)).collect(),
             prefetcher: None,
             accesses: 0,
+            writes: 0,
             memory_accesses: 0,
+            memory_writebacks: 0,
         }
     }
 
@@ -120,40 +139,59 @@ impl MemorySim {
 
     fn access_inner(&mut self, addr: u64, is_write: bool) {
         self.accesses += 1;
-        let mut hit_level = None;
-        for (i, level) in self.levels.iter_mut().enumerate() {
-            let hit = if is_write && i == 0 {
-                level.access_write(addr)
+        self.writes += is_write as u64;
+        let mut hit = false;
+        for i in 0..self.levels.len() {
+            let level_hit = if is_write && i == 0 {
+                self.levels[i].access_write(addr)
             } else {
-                level.access(addr)
+                self.levels[i].access(addr)
             };
-            if hit {
-                hit_level = Some(i);
+            // A miss fills this level; its dirty victim (if any) becomes a
+            // write-back that the next level down must absorb.
+            if let Some(victim) = self.levels[i].take_writeback() {
+                self.writeback_into(i + 1, victim);
+            }
+            if level_hit {
+                hit = true;
                 break;
             }
         }
-        match hit_level {
-            // Fill the levels above the hit (inclusive hierarchy): already
-            // done by `access` counting misses and filling on the way down.
-            Some(_) => {}
-            None => self.memory_accesses += 1,
+        if !hit {
+            self.memory_accesses += 1;
         }
 
         // Prefetch into L2 and below, keyed off the demand stream.
-        if let Some(pf) = &mut self.prefetcher {
-            let predictions = pf.observe(addr);
-            for p in predictions {
-                let mut redundant = true;
-                for level in self.levels.iter_mut().skip(1) {
-                    redundant &= level.prefetch(p);
+        let predictions = match &mut self.prefetcher {
+            Some(pf) => pf.observe(addr),
+            None => return,
+        };
+        for p in predictions {
+            let mut redundant = true;
+            for j in 1..self.levels.len() {
+                redundant &= self.levels[j].prefetch(p);
+                if let Some(victim) = self.levels[j].take_writeback() {
+                    self.writeback_into(j + 1, victim);
                 }
-                if redundant {
-                    if let Some(pf) = &mut self.prefetcher {
-                        pf.note_redundant();
-                    }
+            }
+            if redundant {
+                if let Some(pf) = &mut self.prefetcher {
+                    pf.note_redundant();
                 }
             }
         }
+    }
+
+    /// Forwards a dirty-eviction write-back starting at `level`, walking
+    /// down until a level absorbs it or it falls out to memory.
+    fn writeback_into(&mut self, mut level: usize, addr: u64) {
+        while level < self.levels.len() {
+            if self.levels[level].absorb_writeback(addr) {
+                return;
+            }
+            level += 1;
+        }
+        self.memory_writebacks += 1;
     }
 
     /// Resets statistics on every level (contents stay warm).
@@ -162,7 +200,9 @@ impl MemorySim {
             level.reset_stats();
         }
         self.accesses = 0;
+        self.writes = 0;
         self.memory_accesses = 0;
+        self.memory_writebacks = 0;
     }
 
     /// Produces the run summary.
@@ -171,8 +211,23 @@ impl MemorySim {
             levels: self.levels.iter().map(|l| l.stats()).collect(),
             prefetch: self.prefetcher.as_ref().map(|p| p.stats()),
             accesses: self.accesses,
+            reads: self.accesses - self.writes,
+            writes: self.writes,
             memory_accesses: self.memory_accesses,
+            memory_writebacks: self.memory_writebacks,
         }
+    }
+}
+
+impl rtr_trace::MemTrace for MemorySim {
+    #[inline]
+    fn read(&mut self, addr: u64) {
+        MemorySim::read(self, addr);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64) {
+        MemorySim::write(self, addr);
     }
 }
 
@@ -272,11 +327,102 @@ mod tests {
     }
 
     #[test]
-    fn write_behaves_like_read_in_model() {
+    fn write_allocates_marks_dirty_and_splits_stats() {
         let mut sim = MemorySim::i3_8109u();
-        sim.write(0x40);
+        sim.write(0x40); // write miss: allocate in every level, dirty in L1
         assert!(sim.levels[0].contains(0x40));
-        sim.read(0x40);
-        assert_eq!(sim.report().levels[0].misses, 1);
+        sim.read(0x40); // hit
+        let r = sim.report();
+        assert_eq!(r.levels[0].misses, 1);
+        assert_eq!((r.reads, r.writes), (1, 1));
+        assert_eq!(r.write_ratio(), 0.5);
+        assert_eq!(r.levels[0].writes, 1);
+        assert_eq!(r.levels[0].write_misses, 1);
+        // Only L1 sees the store; lower levels allocate via plain fills.
+        assert_eq!(r.levels[1].writes, 0);
+    }
+
+    /// Two tiny levels so eviction scripts are easy to reason about:
+    /// L1 = 2 sets x 2 ways, L2 = 4 sets x 4 ways (64 B lines).
+    fn tiny_two_level() -> MemorySim {
+        MemorySim::new(&[
+            CacheConfig {
+                size_bytes: 256,
+                ways: 2,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
+        ])
+    }
+
+    #[test]
+    fn dirty_eviction_script_counts_writebacks_per_level() {
+        let mut sim = tiny_two_level();
+        // Dirty one L1 line, then stream three more lines through its set
+        // (stride 128 maps to L1 set 0) to force the dirty eviction.
+        sim.write(0x000);
+        sim.read(0x080);
+        sim.read(0x100); // evicts dirty 0x000 from L1
+        sim.read(0x180);
+        let r = sim.report();
+        assert_eq!(r.levels[0].writebacks, 1, "exactly one dirty L1 victim");
+        // L2 still holds the line (inclusive fill on the original miss), so
+        // it absorbs the write-back without reaching memory.
+        assert_eq!(r.levels[1].writebacks, 0);
+        assert_eq!(r.memory_writebacks, 0);
+        assert!(sim.levels[1].contains(0x000));
+    }
+
+    #[test]
+    fn writeback_propagates_through_inclusive_hierarchy_to_memory() {
+        let mut sim = tiny_two_level();
+        sim.write(0x000);
+        // Thrash both levels: 32 distinct lines in L1 set 0 / L2 set 0
+        // (stride 256 maps to set 0 of both levels).
+        for i in 1..=32u64 {
+            sim.read(i * 256);
+        }
+        let r = sim.report();
+        // The dirty line was first evicted from L1 (absorbed by L2 while
+        // still resident), then from L2, whose dirty eviction reaches DRAM.
+        assert!(r.levels[0].writebacks >= 1);
+        assert_eq!(r.levels[1].writebacks, 1);
+        assert_eq!(r.memory_writebacks, 1);
+        assert!(!sim.levels[1].contains(0x000));
+    }
+
+    #[test]
+    fn clean_workload_never_writes_back_to_memory() {
+        let mut sim = tiny_two_level();
+        for i in 0..1000u64 {
+            sim.read(i * 64);
+        }
+        let r = sim.report();
+        assert_eq!(r.writes, 0);
+        assert_eq!(r.memory_writebacks, 0);
+        assert!(r.levels.iter().all(|l| l.writebacks == 0));
+    }
+
+    #[test]
+    fn memory_sim_implements_mem_trace() {
+        use rtr_trace::MemTrace;
+
+        fn emit<T: MemTrace + ?Sized>(trace: &mut T) {
+            trace.read(0x40);
+            trace.write(0x40);
+        }
+
+        let mut sim = MemorySim::i3_8109u();
+        assert!(MemTrace::enabled(&sim));
+        emit(&mut sim);
+        let dynamic: &mut dyn MemTrace = &mut sim;
+        emit(dynamic);
+        let r = sim.report();
+        assert_eq!(r.accesses, 4);
+        assert_eq!((r.reads, r.writes), (2, 2));
     }
 }

@@ -21,6 +21,7 @@ use rtr_planning::{
     Pp3d, Pp3dConfig, Prm, PrmConfig, Rrt, RrtConfig, RrtPp, RrtStar, SymbolicPlanner,
 };
 use rtr_sim::{scene, SimRng, SlamWorld, ThrowSim};
+use rtr_trace::NullTrace;
 
 fn bench_perception(c: &mut Criterion) {
     let mut group = c.benchmark_group("perception");
@@ -46,7 +47,7 @@ fn bench_perception(c: &mut Criterion) {
             },
             |mut pf| {
                 let mut profiler = Profiler::new();
-                black_box(pf.run(&steps, &mut profiler, None))
+                black_box(pf.run(&steps, &mut profiler, &mut NullTrace))
             },
             BatchSize::LargeInput,
         )
@@ -59,7 +60,7 @@ fn bench_perception(c: &mut Criterion) {
         b.iter(|| {
             let mut ekf = EkfSlam::new(EkfSlamConfig::default());
             let mut profiler = Profiler::new();
-            black_box(ekf.run(&log, None, &mut profiler))
+            black_box(ekf.run(&log, None, &mut profiler, &mut NullTrace))
         })
     });
 
@@ -71,7 +72,12 @@ fn bench_perception(c: &mut Criterion) {
     group.bench_function("03.srec/20k-points", |b| {
         b.iter(|| {
             let mut profiler = Profiler::new();
-            black_box(Icp::new(IcpConfig::default()).align(&scan2, &scan1, &mut profiler, None))
+            black_box(Icp::new(IcpConfig::default()).align(
+                &scan2,
+                &scan1,
+                &mut profiler,
+                &mut NullTrace,
+            ))
         })
     });
     group.finish();
@@ -88,7 +94,7 @@ fn bench_grid_planning(c: &mut Criterion) {
             black_box(Pp2d::new(Pp2dConfig::car((4, 1), (241, 241))).plan(
                 &city,
                 &mut profiler,
-                None,
+                &mut NullTrace,
             ))
         })
     });
@@ -103,7 +109,7 @@ fn bench_grid_planning(c: &mut Criterion) {
                     goal: (94, 94, 10),
                     weight: 1.0,
                 })
-                .plan(&campus, &mut profiler, None),
+                .plan(&campus, &mut profiler, &mut NullTrace),
             )
         })
     });
@@ -118,7 +124,7 @@ fn bench_grid_planning(c: &mut Criterion) {
                     target_trajectory: trajectory.clone(),
                     epsilon: 2.0,
                 })
-                .plan(&field, &mut profiler),
+                .plan(&field, &mut profiler, &mut NullTrace),
             )
         })
     });
@@ -147,13 +153,13 @@ fn bench_arm_planning(c: &mut Criterion) {
     group.bench_function("07.prm/online-query", |b| {
         b.iter(|| {
             let mut profiler = Profiler::new();
-            black_box(prm.query(&problem, &roadmap, &mut profiler))
+            black_box(prm.query(&problem, &roadmap, &mut profiler, &mut NullTrace))
         })
     });
     group.bench_function("08.rrt/map-c", |b| {
         b.iter(|| {
             let mut profiler = Profiler::new();
-            black_box(Rrt::new(config.clone()).plan(&problem, &mut profiler, None))
+            black_box(Rrt::new(config.clone()).plan(&problem, &mut profiler, &mut NullTrace))
         })
     });
     group.bench_function("09.rrtstar/map-c", |b| {
@@ -164,14 +170,14 @@ fn bench_arm_planning(c: &mut Criterion) {
                     star_refine_factor: Some(4.0),
                     ..config.clone()
                 })
-                .plan(&problem, &mut profiler, None),
+                .plan(&problem, &mut profiler, &mut NullTrace),
             )
         })
     });
     group.bench_function("10.rrtpp/map-c", |b| {
         b.iter(|| {
             let mut profiler = Profiler::new();
-            black_box(RrtPp::new(config.clone(), 6).plan(&problem, &mut profiler, None))
+            black_box(RrtPp::new(config.clone(), 6).plan(&problem, &mut profiler, &mut NullTrace))
         })
     });
     group.finish();
@@ -185,13 +191,13 @@ fn bench_symbolic(c: &mut Criterion) {
     group.bench_function("11.sym-blkw/6-blocks", |b| {
         b.iter(|| {
             let mut profiler = Profiler::new();
-            black_box(SymbolicPlanner::new(1.0).solve(&blkw, &mut profiler))
+            black_box(SymbolicPlanner::new(1.0).solve(&blkw, &mut profiler, &mut NullTrace))
         })
     });
     group.bench_function("12.sym-fext", |b| {
         b.iter(|| {
             let mut profiler = Profiler::new();
-            black_box(SymbolicPlanner::new(1.0).solve(&fext, &mut profiler))
+            black_box(SymbolicPlanner::new(1.0).solve(&fext, &mut profiler, &mut NullTrace))
         })
     });
     group.finish();
@@ -206,7 +212,7 @@ fn bench_control(c: &mut Criterion) {
     group.bench_function("13.dmp/rollout", |b| {
         b.iter(|| {
             let mut profiler = Profiler::new();
-            black_box(dmp.rollout(duration, &mut profiler))
+            black_box(dmp.rollout(duration, &mut profiler, &mut NullTrace))
         })
     });
 
@@ -214,7 +220,11 @@ fn bench_control(c: &mut Criterion) {
     group.bench_function("14.mpc/120-ref", |b| {
         b.iter(|| {
             let mut profiler = Profiler::new();
-            black_box(Mpc::new(MpcConfig::default()).track(&reference, &mut profiler))
+            black_box(Mpc::new(MpcConfig::default()).track(
+                &reference,
+                &mut profiler,
+                &mut NullTrace,
+            ))
         })
     });
 
@@ -222,13 +232,73 @@ fn bench_control(c: &mut Criterion) {
     group.bench_function("15.cem/5x15", |b| {
         b.iter(|| {
             let mut profiler = Profiler::new();
-            black_box(Cem::new(CemConfig::default()).learn(&sim, &mut profiler))
+            black_box(Cem::new(CemConfig::default()).learn(&sim, &mut profiler, &mut NullTrace))
         })
     });
     group.bench_function("16.bo/45-iters", |b| {
         b.iter(|| {
             let mut profiler = Profiler::new();
-            black_box(BayesOpt::new(BoConfig::default()).learn(&sim, &mut profiler))
+            black_box(BayesOpt::new(BoConfig::default()).learn(&sim, &mut profiler, &mut NullTrace))
+        })
+    });
+    group.finish();
+}
+
+/// The cost of the tracing seam itself, on one integration-bound and one
+/// optimization-bound kernel.
+///
+/// `null` is the default path every untraced caller takes: the sink's
+/// `enabled()` returns a constant `false`, so the emission blocks must
+/// fold away and `null` must match the historical untraced timings.
+/// `counting` pays for the emission loops but does no cache modeling;
+/// `simulated` replays the stream through the i3-8109U hierarchy and
+/// bounds what `--trace` costs (it is *not* expected to be cheap).
+fn bench_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterization");
+    group.sample_size(10);
+
+    let (demo, duration) = wheeled_robot_demo(400);
+    let dmp = Dmp::learn(&demo, duration, DmpConfig::default());
+    group.bench_function("13.dmp/null", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(dmp.rollout(duration, &mut profiler, &mut NullTrace))
+        })
+    });
+    group.bench_function("13.dmp/counting", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            let mut counts = rtr_trace::CountingTrace::default();
+            let rollout = dmp.rollout(duration, &mut profiler, &mut counts);
+            black_box((rollout, counts))
+        })
+    });
+    group.bench_function("13.dmp/simulated", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            let mut sim = rtr_archsim::MemorySim::i3_8109u();
+            let rollout = dmp.rollout(duration, &mut profiler, &mut sim);
+            black_box((rollout, sim.report()))
+        })
+    });
+
+    let reference = winding_reference(120);
+    group.bench_function("14.mpc/null", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            black_box(Mpc::new(MpcConfig::default()).track(
+                &reference,
+                &mut profiler,
+                &mut NullTrace,
+            ))
+        })
+    });
+    group.bench_function("14.mpc/simulated", |b| {
+        b.iter(|| {
+            let mut profiler = Profiler::new();
+            let mut sim = rtr_archsim::MemorySim::i3_8109u();
+            let result = Mpc::new(MpcConfig::default()).track(&reference, &mut profiler, &mut sim);
+            black_box((result, sim.report()))
         })
     });
     group.finish();
@@ -266,7 +336,7 @@ fn bench_parallel(c: &mut Criterion) {
                 },
                 |mut pf| {
                     let mut profiler = Profiler::new();
-                    black_box(pf.run(&steps, &mut profiler, None))
+                    black_box(pf.run(&steps, &mut profiler, &mut NullTrace))
                 },
                 BatchSize::LargeInput,
             )
@@ -306,7 +376,7 @@ fn bench_parallel(c: &mut Criterion) {
                         threads,
                         ..Default::default()
                     })
-                    .align(&scan2, &scan1, &mut profiler, None),
+                    .align(&scan2, &scan1, &mut profiler, &mut NullTrace),
                 )
             })
         });
@@ -324,7 +394,7 @@ fn bench_parallel(c: &mut Criterion) {
                         threads,
                         ..Default::default()
                     })
-                    .learn(&sim, &mut profiler),
+                    .learn(&sim, &mut profiler, &mut NullTrace),
                 )
             })
         });
@@ -368,7 +438,7 @@ fn bench_ekf_dense_vs_sparse(c: &mut Criterion) {
                         ..Default::default()
                     });
                     let mut profiler = Profiler::new();
-                    black_box(ekf.run(&log, None, &mut profiler))
+                    black_box(ekf.run(&log, None, &mut profiler, &mut NullTrace))
                 })
             });
         }
@@ -432,7 +502,7 @@ fn bench_workspace(c: &mut Criterion) {
                         use_workspace,
                         ..Default::default()
                     })
-                    .track(&reference, &mut profiler),
+                    .track(&reference, &mut profiler, &mut NullTrace),
                 )
             })
         });
@@ -522,7 +592,7 @@ fn bench_kdtree_layout(c: &mut Criterion) {
                         kd_layout,
                         ..Default::default()
                     })
-                    .align(&scan2, &scan1, &mut profiler, None),
+                    .align(&scan2, &scan1, &mut profiler, &mut NullTrace),
                 )
             })
         });
@@ -574,7 +644,7 @@ fn bench_icp_batch_nn(c: &mut Criterion) {
                         threads,
                         ..Default::default()
                     })
-                    .align(&scan2, &scan1, &mut profiler, None),
+                    .align(&scan2, &scan1, &mut profiler, &mut NullTrace),
                 )
             })
         });
@@ -677,6 +747,7 @@ criterion_group!(
     bench_arm_planning,
     bench_symbolic,
     bench_control,
+    bench_characterization,
     bench_parallel,
     bench_ekf_dense_vs_sparse,
     bench_workspace,

@@ -10,6 +10,7 @@ use rtr_baselines::{CRobAstar, PRobAstar};
 use rtr_geom::{maps, Footprint};
 use rtr_harness::Profiler;
 use rtr_planning::{Pp2d, Pp2dConfig};
+use rtr_trace::NullTrace;
 
 fn bench_librarycomp(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig21-librarycomp");
@@ -40,7 +41,7 @@ fn bench_librarycomp(c: &mut Criterion) {
                         footprint: Footprint::new(map.resolution() * 0.5, map.resolution() * 0.5),
                         weight: 1.0,
                     })
-                    .plan(&map, &mut profiler, None),
+                    .plan(&map, &mut profiler, &mut NullTrace),
                 )
             })
         });

@@ -20,6 +20,7 @@ use rtr_harness::{Profiler, Table};
 use rtr_perception::{ParticleFilter, PflConfig, PflInit};
 use rtr_planning::{Pp3d, Pp3dConfig};
 use rtr_sim::SimRng;
+use rtr_trace::NullTrace;
 
 fn ablate_nn() {
     println!("--- ablation 1: k-d tree vs brute-force NN (5-D configurations) ---");
@@ -141,7 +142,7 @@ fn ablate_vldp_degree() {
         }
         let mut profiler = Profiler::timed();
         Pp3d::new(config.clone())
-            .plan(&map, &mut profiler, Some(&mut mem))
+            .plan(&map, &mut profiler, &mut mem)
             .expect("flyable");
         let report = mem.report();
         let misses = report.levels[1].misses;
@@ -184,7 +185,7 @@ fn ablate_particles() {
             },
             &map,
         );
-        let (result, elapsed) = time_once(|| filter.run(&steps, &mut profiler, None));
+        let (result, elapsed) = time_once(|| filter.run(&steps, &mut profiler, &mut NullTrace));
         table.row_owned(vec![
             particles.to_string(),
             format!("{:.3}", result.final_error.unwrap_or(f64::NAN)),

@@ -17,6 +17,7 @@
 use rtr_archsim::MemorySim;
 use rtr_harness::{Args, Profiler, Table};
 use rtr_planning::{ArmProblem, Prm, PrmConfig, Rrt, RrtConfig, RrtPp, RrtStar};
+use rtr_trace::NullTrace;
 
 #[derive(Default, Clone, Copy)]
 struct Acc {
@@ -69,7 +70,7 @@ fn run_seed(problem: &ArmProblem, seed: u64, threads: usize) -> Option<SeedRun> 
         roadmap.offline_collision_checks, roadmap.motion_free_evals
     );
     let online = std::time::Instant::now();
-    let prm_result = prm.query(problem, &roadmap, &mut prm_profiler)?;
+    let prm_result = prm.query(problem, &roadmap, &mut prm_profiler, &mut NullTrace)?;
     prm_profiler.freeze_total();
     let prm_run = (
         online.elapsed().as_secs_f64() * 1e3,
@@ -79,7 +80,7 @@ fn run_seed(problem: &ArmProblem, seed: u64, threads: usize) -> Option<SeedRun> 
 
     let mut rrt_profiler = Profiler::timed();
     let t = std::time::Instant::now();
-    let rrt = Rrt::new(config.clone()).plan(problem, &mut rrt_profiler, None)?;
+    let rrt = Rrt::new(config.clone()).plan(problem, &mut rrt_profiler, &mut NullTrace)?;
     rrt_profiler.freeze_total();
     let rrt_run = (t.elapsed().as_secs_f64() * 1e3, rrt.cost, rrt_profiler);
 
@@ -89,7 +90,7 @@ fn run_seed(problem: &ArmProblem, seed: u64, threads: usize) -> Option<SeedRun> 
         star_refine_factor: Some(4.0), // refinement bounded so the slowdown stays in the paper's "up to 8x" regime
         ..config.clone()
     })
-    .plan(problem, &mut star_profiler, None)?;
+    .plan(problem, &mut star_profiler, &mut NullTrace)?;
     star_profiler.freeze_total();
     let star_run = (
         t.elapsed().as_secs_f64() * 1e3,
@@ -99,7 +100,7 @@ fn run_seed(problem: &ArmProblem, seed: u64, threads: usize) -> Option<SeedRun> 
 
     let mut pp_profiler = Profiler::timed();
     let t = std::time::Instant::now();
-    let pp = RrtPp::new(config, 6).plan(problem, &mut pp_profiler, None)?;
+    let pp = RrtPp::new(config, 6).plan(problem, &mut pp_profiler, &mut NullTrace)?;
     pp_profiler.freeze_total();
     let pp_run = (t.elapsed().as_secs_f64() * 1e3, pp.base.cost, pp_profiler);
 
@@ -185,7 +186,7 @@ fn main() {
         goal_bias: 0.0, // grow the full tree, as a long-running query would
         ..Default::default()
     })
-    .plan(&problem, &mut profiler, Some(&mut mem));
+    .plan(&problem, &mut profiler, &mut mem);
     let report = mem.report();
     let nn_miss = report.levels[0].miss_ratio();
     println!(

@@ -10,13 +10,14 @@ use rtr_bench::sparkline;
 use rtr_control::dmp::wheeled_robot_demo;
 use rtr_control::{Dmp, DmpConfig};
 use rtr_harness::{Profiler, Table};
+use rtr_trace::NullTrace;
 
 fn main() {
     println!("EXP-F15: dynamic movement primitives (Fig. 15)\n");
     let (demo, duration) = wheeled_robot_demo(400);
     let dmp = Dmp::learn(&demo, duration, DmpConfig::default());
     let mut profiler = Profiler::timed();
-    let rollout = dmp.rollout(duration, &mut profiler);
+    let rollout = dmp.rollout(duration, &mut profiler, &mut NullTrace);
 
     // Fig. 15 left: trajectory (reference vs DMP) — sampled table.
     let mut table = Table::new(&["t (s)", "reference x (m)", "DMP x (m)", "DMP v (m/s)"]);

@@ -9,6 +9,7 @@
 use rtr_harness::{Profiler, Table};
 use rtr_perception::{EkfSlam, EkfSlamConfig};
 use rtr_sim::{SimRng, SlamWorld};
+use rtr_trace::NullTrace;
 
 fn main() {
     println!("EXP-F3: EKF-SLAM on the six-landmark loop (Fig. 3)\n");
@@ -18,7 +19,7 @@ fn main() {
 
     let mut ekf = EkfSlam::new(EkfSlamConfig::default());
     let mut profiler = Profiler::timed();
-    let result = ekf.run(&log, Some(world.landmarks()), &mut profiler);
+    let result = ekf.run(&log, Some(world.landmarks()), &mut profiler, &mut NullTrace);
     profiler.freeze_total();
 
     // Fig. 3-b: landmark estimates (green points) with uncertainty

@@ -19,6 +19,7 @@ use rtr_harness::{Args, Pool, Profiler, Table};
 use rtr_perception::{Icp, IcpConfig};
 use rtr_planning::{Pp2d, Pp2dConfig};
 use rtr_sim::{scene, SimRng};
+use rtr_trace::NullTrace;
 
 fn main() {
     let args = Args::parse_env().expect("valid arguments");
@@ -60,7 +61,7 @@ fn main() {
                 footprint: Footprint::new(map.resolution() * 0.5, map.resolution() * 0.5),
                 weight: 1.0,
             })
-            .plan(&map, &mut profiler, None)
+            .plan(&map, &mut profiler, &mut NullTrace)
         });
         assert!(
             p_res.is_some() && c_res.is_some() && r_res.is_some(),
@@ -131,7 +132,7 @@ fn spatial_comparison() {
                 threads,
                 ..Default::default()
             })
-            .align(&scan1, &scan2, &mut profiler, None)
+            .align(&scan1, &scan2, &mut profiler, &mut NullTrace)
         });
         let n = naive_t.as_secs_f64();
         let t = tuned_t.as_secs_f64().max(1e-9);

@@ -9,6 +9,7 @@
 
 use rtr_harness::{Profiler, Table};
 use rtr_planning::{movtar, MovingTarget, MovtarConfig};
+use rtr_trace::NullTrace;
 
 fn main() {
     println!("EXP-F7: moving-target interception — environment-size sweep\n");
@@ -29,7 +30,7 @@ fn main() {
             target_trajectory: trajectory,
             epsilon: 1.0,
         })
-        .plan(&field, &mut profiler) else {
+        .plan(&field, &mut profiler, &mut NullTrace) else {
             table.row_owned(vec![size.to_string(), "escaped".into()]);
             continue;
         };
@@ -72,7 +73,7 @@ fn main() {
             target_trajectory: trajectory.clone(),
             epsilon: eps,
         })
-        .plan(&field, &mut profiler)
+        .plan(&field, &mut profiler, &mut NullTrace)
         {
             sweep.row_owned(vec![
                 format!("{eps:.1}"),

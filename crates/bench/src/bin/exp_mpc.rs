@@ -10,13 +10,14 @@ use rtr_bench::sparkline;
 use rtr_control::mpc::winding_reference;
 use rtr_control::{Mpc, MpcConfig};
 use rtr_harness::{Profiler, Table};
+use rtr_trace::NullTrace;
 
 fn main() {
     println!("EXP-F16: model predictive control along a winding road\n");
     let reference = winding_reference(400); // a 200 m reference
     let config = MpcConfig::default();
     let mut profiler = Profiler::timed();
-    let result = Mpc::new(config).track(&reference, &mut profiler);
+    let result = Mpc::new(config).track(&reference, &mut profiler, &mut NullTrace);
     profiler.freeze_total();
 
     let mut table = Table::new(&["metric", "value"]);

@@ -10,6 +10,7 @@ use rtr_core::kernels::perception::PflKernel;
 use rtr_geom::maps;
 use rtr_harness::{Args, Profiler, Table};
 use rtr_perception::{ParticleFilter, PflConfig, PflInit};
+use rtr_trace::NullTrace;
 
 fn main() {
     let args = Args::parse_env().unwrap_or_default();
@@ -43,7 +44,7 @@ fn main() {
             },
             &map,
         );
-        let result = filter.run(&steps, &mut profiler, None);
+        let result = filter.run(&steps, &mut profiler, &mut NullTrace);
         profiler.freeze_total();
         let share = profiler.fraction("ray_casting");
         shares.push(share);

@@ -9,6 +9,7 @@
 use rtr_geom::maps;
 use rtr_harness::{Args, Profiler, Table};
 use rtr_planning::{Pp2d, Pp2dConfig};
+use rtr_trace::NullTrace;
 
 fn main() {
     let args = Args::parse_env().expect("valid arguments");
@@ -28,7 +29,7 @@ fn main() {
 
     let mut profiler = Profiler::timed();
     let result = Pp2d::new(Pp2dConfig::car(start, (goal, goal)))
-        .plan(&map, &mut profiler, None)
+        .plan(&map, &mut profiler, &mut NullTrace)
         .expect("city streets are connected");
     profiler.freeze_total();
 

@@ -12,6 +12,7 @@ use rtr_archsim::MemorySim;
 use rtr_geom::maps;
 use rtr_harness::{Args, Profiler, Table};
 use rtr_planning::{Pp3d, Pp3dConfig};
+use rtr_trace::NullTrace;
 
 fn main() {
     let args = Args::parse_env().expect("valid arguments");
@@ -27,7 +28,7 @@ fn main() {
     // Wall-clock characterization.
     let mut profiler = Profiler::timed();
     let result = Pp3d::new(config.clone())
-        .plan(&map, &mut profiler, None)
+        .plan(&map, &mut profiler, &mut NullTrace)
         .expect("airspace is connected");
     profiler.freeze_total();
     let mut table = Table::new(&["metric", "value"]);
@@ -57,7 +58,7 @@ fn main() {
         }
         let mut profiler = Profiler::timed();
         Pp3d::new(config.clone())
-            .plan(&map, &mut profiler, Some(&mut mem))
+            .plan(&map, &mut profiler, &mut mem)
             .expect("airspace is connected");
         mem.report()
     };

@@ -12,6 +12,7 @@ use rtr_bench::sparkline;
 use rtr_control::{BayesOpt, BoConfig, Cem, CemConfig};
 use rtr_harness::{Args, Profiler, Table};
 use rtr_sim::ThrowSim;
+use rtr_trace::NullTrace;
 
 fn main() {
     let args = Args::parse_env().unwrap_or_default();
@@ -29,7 +30,7 @@ fn main() {
         threads,
         ..Default::default()
     })
-    .learn(&sim, &mut p_cem);
+    .learn(&sim, &mut p_cem, &mut NullTrace);
     println!(
         "\nFig. 18 — CEM rewards over {} samples:",
         cem.reward_trace.len()
@@ -44,7 +45,7 @@ fn main() {
 
     // Fig. 19: BO, 45 iterations.
     let mut p_bo = Profiler::timed();
-    let bo = BayesOpt::new(BoConfig::default()).learn(&sim, &mut p_bo);
+    let bo = BayesOpt::new(BoConfig::default()).learn(&sim, &mut p_bo, &mut NullTrace);
     println!(
         "\nFig. 19 — BO rewards over {} evaluations:",
         bo.reward_trace.len()

@@ -12,6 +12,7 @@ use rtr_geom::{Point3, RigidTransform};
 use rtr_harness::{Args, Profiler, Table};
 use rtr_perception::{Icp, IcpConfig};
 use rtr_sim::{scene, SimRng};
+use rtr_trace::NullTrace;
 
 fn main() {
     let args = Args::parse_env().unwrap_or_default();
@@ -34,7 +35,7 @@ fn main() {
         threads,
         ..Default::default()
     })
-    .align(&scan2, &scan1, &mut profiler, None);
+    .align(&scan2, &scan1, &mut profiler, &mut NullTrace);
     profiler.freeze_total();
     println!(
         "\nreconstruction: mean correspondence error {:.4} m -> {:.4} m in {} iterations",
@@ -57,7 +58,7 @@ fn main() {
         max_iterations: 5,
         ..Default::default()
     })
-    .align(&scan2, &scan1, &mut profiler, Some(&mut mem));
+    .align(&scan2, &scan1, &mut profiler, &mut mem);
     let report = mem.report();
     println!("\ncache behaviour of the correspondence chase (i3-8109U model):");
     let mut cache = Table::new(&["level", "accesses", "miss ratio"]);

@@ -11,11 +11,12 @@
 use rtr_harness::{Profiler, Table};
 use rtr_planning::symbolic::expand_states_parallel;
 use rtr_planning::{blocks_world, firefight, Domain, SymbolicPlanner};
+use rtr_trace::NullTrace;
 
 fn characterize(name: &str, domain: &Domain) -> (f64, f64) {
     let mut profiler = Profiler::timed();
     let plan = SymbolicPlanner::new(1.0)
-        .solve(domain, &mut profiler)
+        .solve(domain, &mut profiler, &mut NullTrace)
         .expect("domain solvable");
     profiler.freeze_total();
     assert!(domain.validate_plan(&plan.actions), "invalid plan");

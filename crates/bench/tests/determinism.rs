@@ -16,6 +16,7 @@ use rtr_harness::Profiler;
 use rtr_perception::{Icp, IcpConfig, ParticleFilter, PflConfig, PflInit};
 use rtr_planning::{ArmProblem, Prm, PrmConfig};
 use rtr_sim::{scene, SimRng, ThrowSim};
+use rtr_trace::NullTrace;
 use std::sync::OnceLock;
 
 /// Strategy: one of the thread counts under test (1 is the legacy
@@ -60,7 +61,7 @@ proptest! {
                 ..Default::default()
             };
             let mut profiler = Profiler::new();
-            ParticleFilter::new(config, map).run(steps, &mut profiler, None)
+            ParticleFilter::new(config, map).run(steps, &mut profiler, &mut NullTrace)
         };
         let seq = run(1);
         let par = run(threads);
@@ -135,7 +136,7 @@ proptest! {
                 threads,
                 ..Default::default()
             })
-            .align(&scan2, &scan1, &mut profiler, None)
+            .align(&scan2, &scan1, &mut profiler, &mut NullTrace)
         };
         let seq = run(1);
         let par = run(threads);
@@ -183,7 +184,7 @@ proptest! {
                 threads,
                 ..Default::default()
             })
-            .learn(&sim, &mut profiler)
+            .learn(&sim, &mut profiler, &mut NullTrace)
         };
         let seq = run(1);
         let par = run(threads);
@@ -219,7 +220,7 @@ fn symbolic_planner_is_run_to_run_deterministic() {
         let solve = || {
             let mut profiler = Profiler::new();
             SymbolicPlanner::new(1.0)
-                .solve(&domain, &mut profiler)
+                .solve(&domain, &mut profiler, &mut NullTrace)
                 .unwrap_or_else(|| panic!("{name} should be solvable"))
         };
         let a = solve();

@@ -16,6 +16,7 @@ use rtr_harness::Profiler;
 use rtr_linalg::Workspace;
 use rtr_perception::{EkfSlam, EkfSlamConfig, EkfSlamResult, EkfUpdateMode};
 use rtr_sim::{SimRng, SlamWorld};
+use rtr_trace::NullTrace;
 
 fn bits(x: f64) -> u64 {
     x.to_bits()
@@ -46,7 +47,7 @@ fn run_ekf(
         ..Default::default()
     });
     let mut profiler = Profiler::new();
-    let result = ekf.run(&log, Some(world.landmarks()), &mut profiler);
+    let result = ekf.run(&log, Some(world.landmarks()), &mut profiler, &mut NullTrace);
     (ekf, result)
 }
 
@@ -144,7 +145,7 @@ proptest! {
                 use_workspace,
                 ..Default::default()
             })
-            .track(&reference, &mut profiler)
+            .track(&reference, &mut profiler, &mut NullTrace)
         };
         let ws = run(true);
         let legacy = run(false);

@@ -1,0 +1,128 @@
+//! Tracing must be observation-only, for every kernel in the registry.
+//!
+//! Each kernel crate pins bit-identity of its own outputs under a
+//! recording sink (`to_bits` comparisons, in the style of
+//! `determinism.rs`); this suite closes the loop at the registry level:
+//! running any kernel with `--trace` (with or without `--vldp`) must
+//! reproduce the untraced run's result metrics *exactly*, only appending
+//! the cache rows, and prefetching must never change the demand stream.
+
+use rtr_core::registry;
+use rtr_harness::Args;
+
+/// Small per-kernel arguments so the traced replays stay fast; mirrors
+/// the `exp_characterization` reduced inputset.
+fn small_args(kernel: &str) -> &'static [&'static str] {
+    match kernel {
+        "01.pfl" => &["--particles", "60"],
+        "02.ekfslam" => &["--steps", "40", "--landmarks", "4"],
+        "03.srec" => &["--points", "1500", "--iterations", "4"],
+        "04.pp2d" => &["--size", "96"],
+        "05.pp3d" => &["--size", "32", "--height", "6"],
+        "06.movtar" => &["--size", "32"],
+        "07.prm" => &["--roadmap", "150", "--neighbors", "6"],
+        "08.rrt" => &["--samples", "2000"],
+        "09.rrtstar" => &["--samples", "800"],
+        "10.rrtpp" => &["--samples", "800", "--passes", "2"],
+        "11.sym-blkw" => &["--blocks", "4"],
+        "13.dmp" => &["--duration", "0.25", "--basis", "12"],
+        "14.mpc" => &["--length", "40", "--iterations", "10"],
+        "15.cem" => &["--iterations", "3", "--samples", "8"],
+        "16.bo" => &["--iterations", "8", "--candidates", "60"],
+        _ => &[],
+    }
+}
+
+fn parse(extra: &[&str], trace: &[&str]) -> Args {
+    let mut tokens: Vec<&str> = extra.to_vec();
+    tokens.extend_from_slice(trace);
+    Args::parse_tokens(&tokens).expect("valid tokens")
+}
+
+#[test]
+fn tracing_is_observation_only_for_every_kernel() {
+    for kernel in registry() {
+        let extra = small_args(kernel.name());
+        let untraced = kernel
+            .run(&parse(extra, &[]))
+            .unwrap_or_else(|e| panic!("{} untraced: {e}", kernel.name()));
+        let traced = kernel
+            .run(&parse(extra, &["--trace"]))
+            .unwrap_or_else(|e| panic!("{} traced: {e}", kernel.name()));
+        let prefetched = kernel
+            .run(&parse(extra, &["--trace", "--vldp", "4"]))
+            .unwrap_or_else(|e| panic!("{} traced+vldp: {e}", kernel.name()));
+
+        assert!(
+            untraced.cache.is_none(),
+            "{}: untraced run must not attach the simulator",
+            kernel.name()
+        );
+
+        // The traced runs' metric tables must be the untraced table plus
+        // the appended cache rows — byte-for-byte on every shared row.
+        for report in [&traced, &prefetched] {
+            assert!(
+                report.metrics.len() > untraced.metrics.len(),
+                "{}: traced run should append cache rows",
+                kernel.name()
+            );
+            assert_eq!(
+                &report.metrics[..untraced.metrics.len()],
+                &untraced.metrics[..],
+                "{}: tracing perturbed the kernel's result metrics",
+                kernel.name()
+            );
+        }
+
+        // Profiler region structure is also invariant (values are wall
+        // clock and may differ, which also reorders the report; the set
+        // of regions may not change).
+        let regions = |r: &rtr_core::KernelReport| -> Vec<String> {
+            let mut names: Vec<String> = r.regions.iter().map(|reg| reg.name.clone()).collect();
+            names.sort();
+            names
+        };
+        assert_eq!(regions(&untraced), regions(&traced), "{}", kernel.name());
+
+        // The demand stream is deterministic and prefetch-independent.
+        let t = traced.cache.as_ref().expect("traced run has cache report");
+        let p = prefetched
+            .cache
+            .as_ref()
+            .expect("vldp run has cache report");
+        assert!(t.accesses > 0, "{}: no accesses traced", kernel.name());
+        assert_eq!(t.accesses, p.accesses, "{}", kernel.name());
+        assert_eq!(t.reads, p.reads, "{}", kernel.name());
+        assert_eq!(t.writes, p.writes, "{}", kernel.name());
+        assert!(p.prefetch.is_some(), "{}: vldp not attached", kernel.name());
+
+        // Every kernel now distinguishes loads from stores, and all but
+        // the read-only replays actually emit stores.
+        assert_eq!(t.accesses, t.reads + t.writes, "{}", kernel.name());
+    }
+}
+
+#[test]
+fn repeated_traced_runs_reproduce_the_same_cache_report() {
+    for kernel in registry() {
+        let extra = small_args(kernel.name());
+        let a = kernel.run(&parse(extra, &["--trace"])).unwrap();
+        let b = kernel.run(&parse(extra, &["--trace"])).unwrap();
+        let (a, b) = (a.cache.unwrap(), b.cache.unwrap());
+        assert_eq!(a.accesses, b.accesses, "{}", kernel.name());
+        assert_eq!(a.reads, b.reads, "{}", kernel.name());
+        assert_eq!(a.writes, b.writes, "{}", kernel.name());
+        assert_eq!(a.memory_accesses, b.memory_accesses, "{}", kernel.name());
+        assert_eq!(
+            a.memory_writebacks,
+            b.memory_writebacks,
+            "{}",
+            kernel.name()
+        );
+        for (la, lb) in a.levels.iter().zip(b.levels.iter()) {
+            assert_eq!(la.misses, lb.misses, "{}", kernel.name());
+            assert_eq!(la.accesses, lb.accesses, "{}", kernel.name());
+        }
+    }
+}

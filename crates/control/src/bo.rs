@@ -13,6 +13,15 @@
 use rtr_harness::Profiler;
 use rtr_linalg::Workspace;
 use rtr_sim::{SimRng, ThrowParams, ThrowSim};
+use rtr_trace::MemTrace;
+
+/// Synthetic address regions for the traced learner: the normalized
+/// training set (24 bytes per point), the GP's lower-triangular factor
+/// (row-major, 8 bytes per entry), and the per-candidate metadata rows
+/// (point, μ, σ², UCB — 32 bytes).
+const XS_REGION: u64 = 0;
+const K_REGION: u64 = 1 << 24;
+const CAND_REGION: u64 = 1 << 34;
 
 use crate::GaussianProcess;
 
@@ -78,7 +87,7 @@ pub struct BoResult {
 /// let sim = ThrowSim::new(2.0);
 /// let mut profiler = Profiler::new();
 /// let config = BoConfig { iterations: 10, ..Default::default() };
-/// let result = BayesOpt::new(config).learn(&sim, &mut profiler);
+/// let result = BayesOpt::new(config).learn(&sim, &mut profiler, &mut rtr_trace::NullTrace);
 /// assert!(result.best_reward > -2.0);
 /// ```
 #[derive(Debug, Clone)]
@@ -133,7 +142,19 @@ impl BayesOpt {
     /// `acquisition` (candidate scoring), `sort` (ranking candidates by
     /// UCB — the paper's heavier sort) and `simulate` (reward
     /// collection).
-    pub fn learn(&self, sim: &ThrowSim, profiler: &mut Profiler) -> BoResult {
+    ///
+    /// When a real [`MemTrace`] sink is attached, the refit emits the
+    /// training-set loads and triangular-factor stores of the Cholesky,
+    /// each scored candidate emits one load per training point (the
+    /// posterior conditions on every observation) plus its metadata
+    /// store, and the sort emits a load/store pass over the candidate
+    /// rows.
+    pub fn learn<T: MemTrace + ?Sized>(
+        &self,
+        sim: &ThrowSim,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) -> BoResult {
         let mut rng = SimRng::seed_from(self.config.seed);
         let mut xs_raw: Vec<[f64; 3]> = Vec::new();
         let mut xs: Vec<Vec<f64>> = Vec::new();
@@ -164,9 +185,19 @@ impl BayesOpt {
             reward_trace.push(reward);
         }
 
+        let tr = &mut *trace;
         for _ in 0..self.config.iterations {
             // Refit the GP on everything observed so far.
             let gp = profiler.time("gp_fit", || {
+                if tr.enabled() {
+                    let n = xs.len() as u64;
+                    for i in 0..n {
+                        tr.read(XS_REGION + i * 24);
+                        for j in 0..=i {
+                            tr.write(K_REGION + (i * n + j) * 8);
+                        }
+                    }
+                }
                 GaussianProcess::fit(&xs, &ys, self.config.length_scale, 1.0, self.config.noise)
                     .expect("jittered kernel is SPD")
             });
@@ -177,9 +208,17 @@ impl BayesOpt {
             let mut scored: Vec<([f64; 3], f64, f64, f64)> = profiler.time("acquisition", || {
                 let mut unit = [0.0; 3];
                 (0..self.config.candidates)
-                    .map(|_| {
+                    .map(|c| {
                         let x = sample_point(&mut rng);
                         normalize_into(&x, &mut unit);
+                        if tr.enabled() {
+                            // The posterior conditions on every training
+                            // point; the scored row is then stored.
+                            for j in 0..xs.len() as u64 {
+                                tr.read(XS_REGION + j * 24);
+                            }
+                            tr.write(CAND_REGION + c as u64 * 32);
+                        }
                         let (mu, var) = gp.predict_with(&unit, &mut ws);
                         candidates_scored += 1;
                         (x, mu, var, mu + self.config.kappa * var.sqrt())
@@ -189,6 +228,13 @@ impl BayesOpt {
 
             // Rank by acquisition value.
             profiler.time("sort", || {
+                if tr.enabled() {
+                    // The in-place sort reads and rewrites every row.
+                    for c in 0..scored.len() as u64 {
+                        tr.read(CAND_REGION + c * 32);
+                        tr.write(CAND_REGION + c * 32);
+                    }
+                }
                 scored.sort_by(|a, b| b.3.total_cmp(&a.3));
             });
 
@@ -219,6 +265,7 @@ impl BayesOpt {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_trace::{CountingTrace, NullTrace};
 
     fn run(seed: u64, iterations: usize) -> BoResult {
         let sim = ThrowSim::new(2.0);
@@ -228,7 +275,7 @@ mod tests {
             iterations,
             ..Default::default()
         })
-        .learn(&sim, &mut profiler)
+        .learn(&sim, &mut profiler, &mut NullTrace)
     }
 
     #[test]
@@ -284,8 +331,8 @@ mod tests {
             iterations: 20,
             ..Default::default()
         })
-        .learn(&sim, &mut p_bo);
-        Cem::new(CemConfig::default()).learn(&sim, &mut p_cem);
+        .learn(&sim, &mut p_bo, &mut NullTrace);
+        Cem::new(CemConfig::default()).learn(&sim, &mut p_cem, &mut NullTrace);
         let work = |p: &Profiler| {
             p.report()
                 .iter()
@@ -308,13 +355,51 @@ mod tests {
             iterations: 5,
             ..Default::default()
         })
-        .learn(&sim, &mut profiler);
+        .learn(&sim, &mut profiler, &mut NullTrace);
         for region in ["gp_fit", "acquisition", "sort", "simulate"] {
             assert!(
                 profiler.region_calls(region) >= 5,
                 "missing region {region}"
             );
         }
+    }
+
+    #[test]
+    fn traced_learn_is_bit_identical_and_scales_with_training_set() {
+        let sim = ThrowSim::new(2.0);
+        let config = BoConfig {
+            iterations: 4,
+            candidates: 40,
+            ..Default::default()
+        };
+
+        let mut p_null = Profiler::new();
+        let untraced = BayesOpt::new(config).learn(&sim, &mut p_null, &mut NullTrace);
+
+        let mut p_counted = Profiler::new();
+        let mut counts = CountingTrace::default();
+        let traced = BayesOpt::new(config).learn(&sim, &mut p_counted, &mut counts);
+
+        assert_eq!(untraced.reward_trace, traced.reward_trace);
+        assert_eq!(untraced.best_reward.to_bits(), traced.best_reward.to_bits());
+
+        // The training set grows by one point per iteration, so both the
+        // Cholesky refit and the per-candidate conditioning sweep grow
+        // with it.
+        let cands = config.candidates as u64;
+        let mut expect_reads = 0u64;
+        let mut expect_writes = 0u64;
+        for t in 0..config.iterations as u64 {
+            let n = config.seed_points as u64 + t;
+            expect_reads += n; // gp_fit training loads
+            expect_writes += n * (n + 1) / 2; // triangular factor stores
+            expect_reads += cands * n; // acquisition conditioning
+            expect_writes += cands; // candidate metadata stores
+            expect_reads += cands; // sort loads
+            expect_writes += cands; // sort stores
+        }
+        assert_eq!(counts.reads, expect_reads);
+        assert_eq!(counts.writes, expect_writes);
     }
 
     #[test]

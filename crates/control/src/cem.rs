@@ -10,6 +10,13 @@
 
 use rtr_harness::{Pool, Profiler};
 use rtr_sim::{SimRng, ThrowParams, ThrowSim};
+use rtr_trace::MemTrace;
+
+/// Synthetic address regions for the traced learner: the drawn population
+/// (three `f64` parameters per sample) and the scored array the elite sort
+/// permutes (reward + parameters per entry).
+const POP_REGION: u64 = 0;
+const SCORED_REGION: u64 = 1 << 20;
 
 /// Configuration for [`Cem`].
 #[derive(Debug, Clone, Copy)]
@@ -73,7 +80,7 @@ pub struct CemResult {
 ///
 /// let sim = ThrowSim::new(2.0);
 /// let mut profiler = Profiler::new();
-/// let result = Cem::new(CemConfig::default()).learn(&sim, &mut profiler);
+/// let result = Cem::new(CemConfig::default()).learn(&sim, &mut profiler, &mut rtr_trace::NullTrace);
 /// assert!(result.best_reward > -2.0);
 /// ```
 #[derive(Debug, Clone)]
@@ -106,7 +113,19 @@ impl Cem {
     /// Profiler regions: `sample` (drawing parameters), `simulate` (reward
     /// collection), `sort` (elite selection — the paper's bottleneck) and
     /// `update` (distribution refitting).
-    pub fn learn(&self, sim: &ThrowSim, profiler: &mut Profiler) -> CemResult {
+    ///
+    /// When a real [`MemTrace`] sink is attached, each phase emits its
+    /// array traffic: population stores while sampling, population loads
+    /// plus scored stores while simulating, a load/store pass over the
+    /// scored array for the elite sort, and two elite-prefix read sweeps
+    /// for the distribution refit. Emission is in draw order independent
+    /// of the rollout thread count.
+    pub fn learn<T: MemTrace + ?Sized>(
+        &self,
+        sim: &ThrowSim,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) -> CemResult {
         let pool = Pool::new(self.config.threads);
         let mut rng = SimRng::seed_from(self.config.seed);
         // Policy distribution: mean/std per parameter. Start centered on a
@@ -124,14 +143,20 @@ impl Cem {
         };
         let mut evaluations = 0u64;
 
+        let tr = &mut *trace;
         for _ in 0..self.config.iterations {
             // Draw the population.
             let population: Vec<ThrowParams> = profiler.time("sample", || {
                 (0..self.config.samples_per_iteration)
-                    .map(|_| ThrowParams {
-                        shoulder: rng.gaussian(mean[0], std[0]),
-                        elbow: rng.gaussian(mean[1], std[1]),
-                        speed: rng.gaussian(mean[2], std[2]).clamp(0.0, sim.max_speed()),
+                    .map(|i| {
+                        if tr.enabled() {
+                            tr.write(POP_REGION + i as u64 * 24);
+                        }
+                        ThrowParams {
+                            shoulder: rng.gaussian(mean[0], std[0]),
+                            elbow: rng.gaussian(mean[1], std[1]),
+                            speed: rng.gaussian(mean[2], std[2]).clamp(0.0, sim.max_speed()),
+                        }
                     })
                     .collect()
             });
@@ -142,6 +167,14 @@ impl Cem {
             let mut scored: Vec<(f64, ThrowParams)> = profiler.time("simulate", || {
                 pool.par_map(&population, |_, p| (sim.reward(p), *p))
             });
+            if tr.enabled() {
+                // Emitted after the (possibly pooled) rollouts, in draw
+                // order, so the stream is thread-count independent.
+                for i in 0..scored.len() as u64 {
+                    tr.read(POP_REGION + i * 24);
+                    tr.write(SCORED_REGION + i * 32);
+                }
+            }
             evaluations += scored.len() as u64;
             for (r, p) in &scored {
                 reward_trace.push(*r);
@@ -154,11 +187,26 @@ impl Cem {
 
             // Elite selection: the sort the paper singles out.
             profiler.time("sort", || {
+                if tr.enabled() {
+                    // The in-place sort reads and rewrites every entry.
+                    for i in 0..scored.len() as u64 {
+                        tr.read(SCORED_REGION + i * 32);
+                        tr.write(SCORED_REGION + i * 32);
+                    }
+                }
                 scored.sort_by(|a, b| b.0.total_cmp(&a.0));
             });
 
             // Refit the sampling distribution to the elites.
             profiler.time("update", || {
+                if tr.enabled() {
+                    // Mean pass then variance pass over the elite prefix.
+                    for _ in 0..2 {
+                        for i in 0..self.config.elites as u64 {
+                            tr.read(SCORED_REGION + i * 32);
+                        }
+                    }
+                }
                 let elites = &scored[..self.config.elites];
                 let n = elites.len() as f64;
                 let fields = |p: &ThrowParams| [p.shoulder, p.elbow, p.speed];
@@ -196,6 +244,7 @@ impl Cem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_trace::{CountingTrace, NullTrace};
 
     fn run(seed: u64, iterations: usize) -> CemResult {
         let sim = ThrowSim::new(2.0);
@@ -205,7 +254,7 @@ mod tests {
             iterations,
             ..Default::default()
         })
-        .learn(&sim, &mut profiler)
+        .learn(&sim, &mut profiler, &mut NullTrace)
     }
 
     #[test]
@@ -254,9 +303,36 @@ mod tests {
     fn profiler_records_sort_region() {
         let sim = ThrowSim::new(2.0);
         let mut profiler = Profiler::new();
-        Cem::new(CemConfig::default()).learn(&sim, &mut profiler);
+        Cem::new(CemConfig::default()).learn(&sim, &mut profiler, &mut NullTrace);
         assert_eq!(profiler.region_calls("sort"), 5);
         assert_eq!(profiler.region_calls("simulate"), 5);
+    }
+
+    #[test]
+    fn traced_learn_is_bit_identical_and_counts_phase_traffic() {
+        let sim = ThrowSim::new(2.0);
+        let config = CemConfig::default();
+
+        let mut p_null = Profiler::new();
+        let untraced = Cem::new(config).learn(&sim, &mut p_null, &mut NullTrace);
+
+        let mut p_counted = Profiler::new();
+        let mut counts = CountingTrace::default();
+        let traced = Cem::new(config).learn(&sim, &mut p_counted, &mut counts);
+
+        // Sampling, rollouts, sort and refit are all deterministic given
+        // the seed; the sink must not perturb any of it.
+        assert_eq!(untraced.reward_trace, traced.reward_trace);
+        assert_eq!(untraced.best_reward.to_bits(), traced.best_reward.to_bits());
+
+        // Per iteration: S population stores while sampling, S population
+        // loads + S scored stores while simulating, S load/store pairs in
+        // the sort, and two elite-prefix read sweeps in the refit.
+        let iters = config.iterations as u64;
+        let s = config.samples_per_iteration as u64;
+        let e = config.elites as u64;
+        assert_eq!(counts.writes, iters * 3 * s);
+        assert_eq!(counts.reads, iters * (2 * s + 2 * e));
     }
 
     #[test]

@@ -10,6 +10,17 @@
 //! loop.
 
 use rtr_harness::Profiler;
+use rtr_trace::MemTrace;
+
+/// Synthetic address regions for the traced rollout. The basis tables are
+/// small read-only arrays swept in full on every forcing evaluation;
+/// weights are laid out `[dim][basis]` row-major.
+const WIDTHS_REGION: u64 = 1 << 20;
+const WEIGHTS_REGION: u64 = 1 << 21;
+/// Integrator state `(y, z)` per dimension, 16 bytes each.
+const STATE_REGION: u64 = 1 << 24;
+/// Output rows `(pos, vel, acc)` per `(step, dim)`, 24 bytes each.
+const ROLLOUT_REGION: u64 = 1 << 30;
 
 /// Configuration for [`Dmp`].
 #[derive(Debug, Clone, Copy)]
@@ -75,7 +86,7 @@ struct DimensionModel {
 ///     .collect();
 /// let dmp = Dmp::learn(&demo, 1.0, DmpConfig::default());
 /// let mut profiler = Profiler::new();
-/// let rollout = dmp.rollout(1.0, &mut profiler);
+/// let rollout = dmp.rollout(1.0, &mut profiler, &mut rtr_trace::NullTrace);
 /// let end = rollout.position.last().unwrap()[0];
 /// assert!((end - 1.0).abs() < 0.05);
 /// ```
@@ -217,7 +228,18 @@ impl Dmp {
     /// Profiler region: `integration` — the serial Euler loop where each
     /// step's position/velocity/acceleration depends on the previous
     /// step's (the paper's low-ILP data dependency).
-    pub fn rollout(&self, duration: f64, profiler: &mut Profiler) -> DmpRollout {
+    ///
+    /// When a real [`MemTrace`] sink is attached, every forcing evaluation
+    /// emits its full basis-table sweep (centers, widths, and the
+    /// dimension's weight row) plus the state read/write and output-row
+    /// store of the Euler update.
+    pub fn rollout<T: MemTrace + ?Sized>(
+        &self,
+        duration: f64,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) -> DmpRollout {
+        let tr = &mut *trace;
         profiler.time("integration", || {
             let steps = (duration / self.config.dt).ceil() as usize;
             let ndim = self.dims.len();
@@ -240,6 +262,20 @@ impl Dmp {
                 let mut a_row = Vec::with_capacity(ndim);
                 let mut v_row = Vec::with_capacity(ndim);
                 for (d, model) in self.dims.iter().enumerate() {
+                    if tr.enabled() {
+                        // The forcing term sweeps every basis function:
+                        // center, width, and this dimension's weight.
+                        let nb = self.centers.len() as u64;
+                        for b in 0..nb {
+                            tr.read(b * 8);
+                            tr.read(WIDTHS_REGION + b * 8);
+                            tr.read(WEIGHTS_REGION + (d as u64 * nb + b) * 8);
+                        }
+                        tr.read(STATE_REGION + d as u64 * 16);
+                        tr.write(STATE_REGION + d as u64 * 16);
+                        let row = (step * ndim + d) as u64;
+                        tr.write(ROLLOUT_REGION + row * 24);
+                    }
                     let f = self.forcing(model, x);
                     // τ ż = αz(βz(g − y) − z) + f;  τ ẏ = z.
                     let zd = (self.config.alpha_z
@@ -290,6 +326,7 @@ pub fn wheeled_robot_demo(steps: usize) -> (Vec<Vec<f64>>, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_trace::{CountingTrace, NullTrace};
 
     fn minjerk_demo() -> (Vec<Vec<f64>>, f64) {
         let demo = (0..=200)
@@ -306,7 +343,7 @@ mod tests {
         let (demo, dur) = minjerk_demo();
         let dmp = Dmp::learn(&demo, dur, DmpConfig::default());
         let mut profiler = Profiler::new();
-        let rollout = dmp.rollout(dur * 1.5, &mut profiler);
+        let rollout = dmp.rollout(dur * 1.5, &mut profiler, &mut NullTrace);
         let end = rollout.position.last().unwrap()[0];
         assert!((end - 1.0).abs() < 0.02, "end {end}");
     }
@@ -316,7 +353,7 @@ mod tests {
         let (demo, dur) = minjerk_demo();
         let dmp = Dmp::learn(&demo, dur, DmpConfig::default());
         let mut profiler = Profiler::new();
-        let rollout = dmp.rollout(dur, &mut profiler);
+        let rollout = dmp.rollout(dur, &mut profiler, &mut NullTrace);
         // Compare positions at matching normalized times.
         let mut max_err: f64 = 0.0;
         for (i, p) in rollout.position.iter().enumerate() {
@@ -332,7 +369,7 @@ mod tests {
         let (demo, dur) = wheeled_robot_demo(300);
         let dmp = Dmp::learn(&demo, dur, DmpConfig::default());
         let mut profiler = Profiler::new();
-        let rollout = dmp.rollout(dur * 1.4, &mut profiler);
+        let rollout = dmp.rollout(dur * 1.4, &mut profiler, &mut NullTrace);
         assert!(rollout.velocity[0].iter().all(|v| v.abs() < 1e-9));
         let end_v = rollout.velocity.last().unwrap();
         assert!(
@@ -356,7 +393,7 @@ mod tests {
         let goals = dmp.goals();
         assert!((goals[0] - 15.0).abs() < 1e-9);
         let mut profiler = Profiler::new();
-        let rollout = dmp.rollout(dur * 1.5, &mut profiler);
+        let rollout = dmp.rollout(dur * 1.5, &mut profiler, &mut NullTrace);
         let end = rollout.position.last().unwrap();
         assert!((end[0] - 15.0).abs() < 0.3, "x end {}", end[0]);
         assert!(end[1].abs() < 0.2, "y end {}", end[1]);
@@ -367,7 +404,7 @@ mod tests {
         let (demo, dur) = minjerk_demo();
         let dmp = Dmp::learn(&demo, dur, DmpConfig::default());
         let mut profiler = Profiler::new();
-        dmp.rollout(dur, &mut profiler);
+        dmp.rollout(dur, &mut profiler, &mut NullTrace);
         assert_eq!(profiler.region_calls("integration"), 1);
         profiler.freeze_total();
         assert!(profiler.fraction("integration") > 0.5);
@@ -383,7 +420,7 @@ mod tests {
         }
         let dmp = Dmp::learn(&demo, dur, DmpConfig::default());
         let mut profiler = Profiler::new();
-        let rollout = dmp.rollout(dur * 1.5, &mut profiler);
+        let rollout = dmp.rollout(dur * 1.5, &mut profiler, &mut NullTrace);
         assert!((rollout.position.last().unwrap()[0] - 3.0).abs() < 0.06);
     }
 
@@ -391,5 +428,34 @@ mod tests {
     #[should_panic(expected = "at least 3 samples")]
     fn tiny_demo_panics() {
         let _ = Dmp::learn(&[vec![0.0], vec![1.0]], 1.0, DmpConfig::default());
+    }
+
+    #[test]
+    fn traced_rollout_is_bit_identical_and_sweeps_bases() {
+        let (demo, dur) = wheeled_robot_demo(300);
+        let config = DmpConfig::default();
+        let dmp = Dmp::learn(&demo, dur, config);
+
+        let mut p_null = Profiler::new();
+        let untraced = dmp.rollout(dur, &mut p_null, &mut NullTrace);
+
+        let mut p_counted = Profiler::new();
+        let mut counts = CountingTrace::default();
+        let traced = dmp.rollout(dur, &mut p_counted, &mut counts);
+
+        // The serial integration is deterministic: attaching a sink must
+        // not perturb a single bit of the trajectory.
+        assert_eq!(untraced.position, traced.position);
+        assert_eq!(untraced.velocity, traced.velocity);
+        assert_eq!(untraced.acceleration, traced.acceleration);
+
+        // Every (step, dim) forcing evaluation sweeps the whole basis
+        // table (3 arrays) and reads its integrator state; the Euler
+        // update stores the state and one rollout row.
+        let steps = (dur / config.dt).ceil() as u64;
+        let ndim = dmp.dimensions() as u64;
+        let nb = config.basis_count as u64;
+        assert_eq!(counts.reads, steps * ndim * (3 * nb + 1));
+        assert_eq!(counts.writes, steps * ndim * 2);
     }
 }

@@ -12,6 +12,14 @@
 use rtr_geom::{normalize_angle, Point2, Pose2};
 use rtr_harness::Profiler;
 use rtr_linalg::Workspace;
+use rtr_trace::MemTrace;
+
+/// Synthetic address regions for the traced solver. The control sequence
+/// and the gradient are horizon-length arrays of `(f64, f64)` pairs; the
+/// reference window holds one `Point2` per horizon slot.
+const CTRL_REGION: u64 = 0;
+const GRAD_REGION: u64 = 1 << 20;
+const REF_REGION: u64 = 1 << 24;
 
 /// Configuration for [`Mpc`].
 #[derive(Debug, Clone, Copy)]
@@ -109,7 +117,7 @@ struct SolveScratch {
 /// // A straight 20 m reference sampled at 0.5 m.
 /// let reference: Vec<Point2> = (0..40).map(|i| Point2::new(i as f64 * 0.5, 0.0)).collect();
 /// let mut profiler = Profiler::new();
-/// let result = Mpc::new(MpcConfig::default()).track(&reference, &mut profiler);
+/// let result = Mpc::new(MpcConfig::default()).track(&reference, &mut profiler, &mut rtr_trace::NullTrace);
 /// assert!(result.mean_tracking_error < 1.0);
 /// ```
 #[derive(Debug, Clone)]
@@ -154,7 +162,13 @@ impl Mpc {
 
     /// Solves the horizon problem by projected gradient descent with
     /// central-difference gradients, warm-started from `controls`.
-    fn optimize(&self, s0: CarState, controls: &mut Vec<(f64, f64)>, refs: &[Point2]) -> u64 {
+    fn optimize<T: MemTrace + ?Sized>(
+        &self,
+        s0: CarState,
+        controls: &mut Vec<(f64, f64)>,
+        refs: &[Point2],
+        trace: &mut T,
+    ) -> u64 {
         let h = 1e-4;
         let mut step_size = 0.4;
         let mut best = self.horizon_cost(s0, controls, refs);
@@ -164,6 +178,11 @@ impl Mpc {
             // Numerical gradient over the 2H control variables.
             let mut grad = vec![(0.0f64, 0.0f64); controls.len()];
             for k in 0..controls.len() {
+                if trace.enabled() {
+                    trace.read(CTRL_REGION + k as u64 * 16);
+                    trace.read(REF_REGION + k as u64 * 16);
+                    trace.write(GRAD_REGION + k as u64 * 16);
+                }
                 let orig = controls[k];
                 controls[k].0 = orig.0 + h;
                 let up = self.horizon_cost(s0, controls, refs);
@@ -193,6 +212,11 @@ impl Mpc {
             let cost = self.horizon_cost(s0, &proposal, refs);
             if cost < best {
                 best = cost;
+                if trace.enabled() {
+                    for k in 0..proposal.len() {
+                        trace.write(CTRL_REGION + k as u64 * 16);
+                    }
+                }
                 *controls = proposal;
             } else {
                 step_size *= 0.5;
@@ -209,12 +233,13 @@ impl Mpc {
     /// trajectory — but the gradient lives in a pooled flat buffer and the
     /// proposal in a reused tuple buffer, so after the first control step
     /// the loop never touches the heap.
-    fn optimize_ws(
+    fn optimize_ws<T: MemTrace + ?Sized>(
         &self,
         s0: CarState,
         controls: &mut [(f64, f64)],
         refs: &[Point2],
         scratch: &mut SolveScratch,
+        trace: &mut T,
     ) -> u64 {
         let h = 1e-4;
         let mut step_size = 0.4;
@@ -228,6 +253,11 @@ impl Mpc {
         for _ in 0..self.config.opt_iterations {
             iterations += 1;
             for k in 0..n {
+                if trace.enabled() {
+                    trace.read(CTRL_REGION + k as u64 * 16);
+                    trace.read(REF_REGION + k as u64 * 16);
+                    trace.write(GRAD_REGION + k as u64 * 16);
+                }
                 let orig = controls[k];
                 controls[k].0 = orig.0 + h;
                 let up = self.horizon_cost(s0, controls, refs);
@@ -259,6 +289,11 @@ impl Mpc {
             let cost = self.horizon_cost(s0, &scratch.proposal, refs);
             if cost < best {
                 best = cost;
+                if trace.enabled() {
+                    for k in 0..n {
+                        trace.write(CTRL_REGION + k as u64 * 16);
+                    }
+                }
                 controls.copy_from_slice(&scratch.proposal);
             } else {
                 step_size *= 0.5;
@@ -281,8 +316,22 @@ impl Mpc {
     /// # Panics
     ///
     /// Panics if `reference` has fewer than 2 points.
-    pub fn track(&self, reference: &[Point2], profiler: &mut Profiler) -> MpcResult {
+    ///
+    /// When a real [`MemTrace`] sink is attached, each optimizer iteration
+    /// emits the central-difference sweep over the horizon: per slot a
+    /// control-sequence load, a reference-window load, and a gradient
+    /// store, plus a control-sequence store per slot when a projected step
+    /// is accepted. The allocating and workspace solvers emit identical
+    /// streams (they are bit-identical twins).
+    pub fn track<T: MemTrace + ?Sized>(
+        &self,
+        reference: &[Point2],
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) -> MpcResult {
         assert!(reference.len() >= 2, "reference needs at least 2 points");
+        // Rebind before the realized-positions vec below shadows `trace`.
+        let tr = &mut *trace;
         let initial_heading = (reference[1] - reference[0]).angle();
         let mut state = CarState {
             pose: Pose2::new(reference[0].x, reference[0].y, initial_heading),
@@ -333,9 +382,9 @@ impl Mpc {
 
             opt_iterations += profiler.time("optimize", || {
                 if use_ws {
-                    self.optimize_ws(state, &mut controls, &window, &mut scratch)
+                    self.optimize_ws(state, &mut controls, &window, &mut scratch, &mut *tr)
                 } else {
-                    self.optimize(state, &mut controls, &window)
+                    self.optimize(state, &mut controls, &window, &mut *tr)
                 }
             });
 
@@ -392,12 +441,13 @@ pub fn winding_reference(n: usize) -> Vec<Point2> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_trace::{CountingTrace, NullTrace};
 
     #[test]
     fn tracks_straight_line() {
         let reference: Vec<Point2> = (0..60).map(|i| Point2::new(i as f64 * 0.5, 0.0)).collect();
         let mut profiler = Profiler::new();
-        let r = Mpc::new(MpcConfig::default()).track(&reference, &mut profiler);
+        let r = Mpc::new(MpcConfig::default()).track(&reference, &mut profiler, &mut NullTrace);
         assert!(
             r.mean_tracking_error < 0.5,
             "mean err {}",
@@ -412,7 +462,7 @@ mod tests {
     fn tracks_winding_road_within_bounds() {
         let reference = winding_reference(120);
         let mut profiler = Profiler::new();
-        let r = Mpc::new(MpcConfig::default()).track(&reference, &mut profiler);
+        let r = Mpc::new(MpcConfig::default()).track(&reference, &mut profiler, &mut NullTrace);
         assert!(
             r.mean_tracking_error < 1.0,
             "mean err {}",
@@ -426,7 +476,7 @@ mod tests {
     fn optimization_dominates_profile() {
         let reference = winding_reference(60);
         let mut profiler = Profiler::new();
-        Mpc::new(MpcConfig::default()).track(&reference, &mut profiler);
+        Mpc::new(MpcConfig::default()).track(&reference, &mut profiler, &mut NullTrace);
         profiler.freeze_total();
         let frac = profiler.fraction("optimize");
         assert!(frac > 0.8, "optimize fraction only {frac}");
@@ -442,7 +492,7 @@ mod tests {
             ..Default::default()
         };
         let mut profiler = Profiler::new();
-        let r = Mpc::new(config).track(&reference, &mut profiler);
+        let r = Mpc::new(config).track(&reference, &mut profiler, &mut NullTrace);
         assert!(r.max_speed <= 1.0 + 1e-9);
     }
 
@@ -455,7 +505,7 @@ mod tests {
                 opt_iterations: iters,
                 ..Default::default()
             })
-            .track(&reference, &mut profiler)
+            .track(&reference, &mut profiler, &mut NullTrace)
             .mean_tracking_error
         };
         let rough = run(3);
@@ -472,7 +522,7 @@ mod tests {
                 use_workspace,
                 ..Default::default()
             })
-            .track(&reference, &mut profiler)
+            .track(&reference, &mut profiler, &mut NullTrace)
         };
         let ws = run(true);
         let legacy = run(false);
@@ -501,7 +551,7 @@ mod tests {
         let run = |n: usize| {
             let mut profiler = Profiler::new();
             Mpc::new(MpcConfig::default())
-                .track(&winding_reference(n), &mut profiler)
+                .track(&winding_reference(n), &mut profiler, &mut NullTrace)
                 .workspace_allocations
         };
         let short = run(30);
@@ -516,6 +566,53 @@ mod tests {
     #[should_panic(expected = "at least 2 points")]
     fn short_reference_panics() {
         let mut profiler = Profiler::new();
-        let _ = Mpc::new(MpcConfig::default()).track(&[Point2::ORIGIN], &mut profiler);
+        let _ =
+            Mpc::new(MpcConfig::default()).track(&[Point2::ORIGIN], &mut profiler, &mut NullTrace);
+    }
+
+    #[test]
+    fn traced_track_is_bit_identical_and_solver_modes_emit_alike() {
+        let reference = winding_reference(60);
+        let run = |use_workspace: bool, counts: &mut CountingTrace| {
+            let mut profiler = Profiler::new();
+            Mpc::new(MpcConfig {
+                use_workspace,
+                ..Default::default()
+            })
+            .track(&reference, &mut profiler, counts)
+        };
+
+        let mut profiler = Profiler::new();
+        let untraced =
+            Mpc::new(MpcConfig::default()).track(&reference, &mut profiler, &mut NullTrace);
+
+        let mut ws_counts = CountingTrace::default();
+        let ws = run(true, &mut ws_counts);
+        let mut legacy_counts = CountingTrace::default();
+        let legacy = run(false, &mut legacy_counts);
+
+        // Attaching a sink must not perturb the controller.
+        assert_eq!(untraced.opt_iterations, ws.opt_iterations);
+        assert_eq!(
+            untraced.mean_tracking_error.to_bits(),
+            ws.mean_tracking_error.to_bits()
+        );
+        for (a, b) in untraced.trace.iter().zip(ws.trace.iter()) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+        }
+
+        // The bit-identical solver twins emit identical streams.
+        assert_eq!(ws_counts, legacy_counts);
+        assert_eq!(
+            ws.mean_tracking_error.to_bits(),
+            legacy.mean_tracking_error.to_bits()
+        );
+
+        // Every optimizer iteration sweeps the horizon: ctrl + ref loads
+        // and a gradient store per slot.
+        let horizon = MpcConfig::default().horizon as u64;
+        assert_eq!(ws_counts.reads, ws.opt_iterations * horizon * 2);
+        assert!(ws_counts.writes >= ws.opt_iterations * horizon);
     }
 }

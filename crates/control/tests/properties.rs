@@ -48,7 +48,7 @@ proptest! {
             .collect();
         let dmp = Dmp::learn(&demo, 1.0, DmpConfig::default());
         let mut profiler = Profiler::new();
-        let rollout = dmp.rollout(1.5, &mut profiler);
+        let rollout = dmp.rollout(1.5, &mut profiler, &mut rtr_trace::NullTrace);
         let got = rollout.position.last().unwrap()[0];
         prop_assert!((got - end).abs() < 0.12, "endpoint {got} vs goal {end}");
     }
@@ -65,7 +65,7 @@ proptest! {
                 iterations,
                 ..Default::default()
             })
-            .learn(&sim, &mut profiler)
+            .learn(&sim, &mut profiler, &mut rtr_trace::NullTrace)
             .best_reward
         };
         // Same seed: the first 3 iterations are a prefix of the first 6,
@@ -86,7 +86,7 @@ proptest! {
             elites: samples.min(3),
             ..Default::default()
         })
-        .learn(&sim, &mut profiler);
+        .learn(&sim, &mut profiler, &mut rtr_trace::NullTrace);
         prop_assert_eq!(result.reward_trace.len(), iterations * samples);
         prop_assert_eq!(result.evaluations as usize, iterations * samples);
     }

@@ -28,7 +28,7 @@ impl Kernel for DmpKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "basis",
                 help: "Gaussian basis functions per dimension",
@@ -41,7 +41,9 @@ impl Kernel for DmpKernel {
                 name: "duration",
                 help: "Rollout duration (seconds)",
             },
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -57,8 +59,9 @@ impl Kernel for DmpKernel {
         };
         let dmp = Dmp::learn(&demo, demo_duration, config);
         let mut profiler = Profiler::timed();
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
-        let rollout = dmp.rollout(duration, &mut profiler);
+        let rollout = dmp.rollout(duration, &mut profiler, session.sink());
         let roi_seconds = roi.exit().as_secs_f64();
 
         let end = rollout.position.last().cloned().unwrap_or_default();
@@ -88,6 +91,7 @@ impl Kernel for DmpKernel {
                     ),
                 ),
             ],
+            session,
         ))
     }
 }
@@ -110,7 +114,7 @@ impl Kernel for MpcKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "length",
                 help: "Reference trajectory samples",
@@ -123,7 +127,9 @@ impl Kernel for MpcKernel {
                 name: "iterations",
                 help: "Optimizer iterations per step",
             },
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -138,8 +144,9 @@ impl Kernel for MpcKernel {
             ..Default::default()
         };
         let mut profiler = Profiler::timed();
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
-        let result = Mpc::new(config).track(&reference, &mut profiler);
+        let result = Mpc::new(config).track(&reference, &mut profiler, session.sink());
         let roi_seconds = roi.exit().as_secs_f64();
 
         Ok(report(
@@ -163,6 +170,7 @@ impl Kernel for MpcKernel {
                 ),
                 ("opt iterations".into(), result.opt_iterations.to_string()),
             ],
+            session,
         ))
     }
 }
@@ -185,7 +193,7 @@ impl Kernel for CemKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "iterations",
                 help: "CEM iterations (paper: 5)",
@@ -203,7 +211,9 @@ impl Kernel for CemKernel {
                 help: "Random seed",
             },
             super::threads_option(),
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -216,8 +226,9 @@ impl Kernel for CemKernel {
         };
         let sim = ThrowSim::new(args.get_f64("goal", 2.0)?.max(0.1));
         let mut profiler = Profiler::timed();
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
-        let result = Cem::new(config).learn(&sim, &mut profiler);
+        let result = Cem::new(config).learn(&sim, &mut profiler, session.sink());
         let roi_seconds = roi.exit().as_secs_f64();
 
         Ok(report(
@@ -237,6 +248,7 @@ impl Kernel for CemKernel {
                     ),
                 ),
             ],
+            session,
         ))
     }
 }
@@ -259,7 +271,7 @@ impl Kernel for BoKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "iterations",
                 help: "BO iterations (paper: 45)",
@@ -280,7 +292,9 @@ impl Kernel for BoKernel {
                 name: "seed",
                 help: "Random seed",
             },
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -293,8 +307,9 @@ impl Kernel for BoKernel {
         };
         let sim = ThrowSim::new(args.get_f64("goal", 2.0)?.max(0.1));
         let mut profiler = Profiler::timed();
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
-        let result = BayesOpt::new(config).learn(&sim, &mut profiler);
+        let result = BayesOpt::new(config).learn(&sim, &mut profiler, session.sink());
         let roi_seconds = roi.exit().as_secs_f64();
 
         Ok(report(
@@ -310,6 +325,7 @@ impl Kernel for BoKernel {
                     result.candidates_scored.to_string(),
                 ),
             ],
+            session,
         ))
     }
 }

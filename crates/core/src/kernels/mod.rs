@@ -44,49 +44,35 @@ pub fn registry() -> Vec<Box<dyn Kernel>> {
     ]
 }
 
-/// Builds a [`KernelReport`] from a finished profiler and metric list.
+/// The shared `--trace`/`--vldp` CLI options every kernel accepts (the
+/// registry-level trace path lives in [`crate::trace`]).
+pub(crate) fn trace_options() -> [OptionSpec; 2] {
+    [crate::trace::trace_option(), crate::trace::vldp_option()]
+}
+
+/// Builds a [`KernelReport`] from a finished profiler, metric list and
+/// trace session; a traced session's cache statistics become both metric
+/// rows and the structured `cache` field.
 pub(crate) fn report(
     name: &'static str,
     stage: Stage,
     mut profiler: Profiler,
     roi_seconds: f64,
-    metrics: Vec<(String, String)>,
+    mut metrics: Vec<(String, String)>,
+    session: crate::TraceSession,
 ) -> KernelReport {
     profiler.freeze_total();
+    let cache = session.finish();
+    if let Some(cache_report) = &cache {
+        crate::trace::push_cache_metrics(&mut metrics, cache_report);
+    }
     KernelReport {
         name,
         stage,
         roi_seconds,
         regions: profiler.report(),
         metrics,
-    }
-}
-
-/// Builds an optional cache simulator from the shared `--trace` flag and,
-/// after the run, renders its report into metric rows.
-pub(crate) fn trace_sim(args: &Args) -> Option<rtr_archsim::MemorySim> {
-    args.get_flag("trace")
-        .then(rtr_archsim::MemorySim::i3_8109u)
-}
-
-/// Appends the traced-run cache statistics to a kernel's metric list.
-pub(crate) fn push_cache_metrics(
-    metrics: &mut Vec<(String, String)>,
-    mem: Option<rtr_archsim::MemorySim>,
-) {
-    if let Some(mem) = mem {
-        let report = mem.report();
-        metrics.push(("traced accesses".into(), report.accesses.to_string()));
-        for (name, level) in ["L1D", "L2", "LLC"].iter().zip(report.levels.iter()) {
-            metrics.push((
-                format!("{name} miss ratio"),
-                format!("{:.1}%", level.miss_ratio() * 100.0),
-            ));
-        }
-        metrics.push((
-            "memory access ratio".into(),
-            format!("{:.2}%", report.memory_access_ratio() * 100.0),
-        ));
+        cache,
     }
 }
 

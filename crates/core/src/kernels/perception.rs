@@ -67,7 +67,7 @@ impl Kernel for PflKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "particles",
                 help: "Number of particles",
@@ -84,12 +84,10 @@ impl Kernel for PflKernel {
                 name: "seed",
                 help: "Random seed",
             },
-            OptionSpec {
-                name: "trace",
-                help: "Feed grid probes to the cache simulator (flag)",
-            },
             super::threads_option(),
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -116,12 +114,12 @@ impl Kernel for PflKernel {
             },
             &map,
         );
-        let mut mem = super::trace_sim(args);
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
-        let result = pf.run(&steps, &mut profiler, mem.as_mut());
+        let result = pf.run(&steps, &mut profiler, session.sink());
         let roi_seconds = roi.exit().as_secs_f64();
 
-        let mut metrics = vec![
+        let metrics = vec![
             (
                 "final error (m)".into(),
                 format!("{:.3}", result.final_error.unwrap_or(f64::NAN)),
@@ -134,13 +132,13 @@ impl Kernel for PflKernel {
             ("cells probed".into(), result.cells_probed.to_string()),
             ("resamples".into(), result.resamples.to_string()),
         ];
-        super::push_cache_metrics(&mut metrics, mem);
         Ok(report(
             self.name(),
             self.stage(),
             profiler,
             roi_seconds,
             metrics,
+            session,
         ))
     }
 }
@@ -163,7 +161,7 @@ impl Kernel for EkfSlamKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "steps",
                 help: "Drive steps around the landmark loop",
@@ -176,7 +174,9 @@ impl Kernel for EkfSlamKernel {
                 name: "seed",
                 help: "Random seed",
             },
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -204,8 +204,9 @@ impl Kernel for EkfSlamKernel {
             ..Default::default()
         });
 
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
-        let result = ekf.run(&log, Some(world.landmarks()), &mut profiler);
+        let result = ekf.run(&log, Some(world.landmarks()), &mut profiler, session.sink());
         let roi_seconds = roi.exit().as_secs_f64();
 
         Ok(report(
@@ -228,6 +229,7 @@ impl Kernel for EkfSlamKernel {
                     format!("{:.4}", result.covariance_trace),
                 ),
             ],
+            session,
         ))
     }
 }
@@ -250,7 +252,7 @@ impl Kernel for SrecKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "points",
                 help: "Scene point-cloud size",
@@ -263,12 +265,10 @@ impl Kernel for SrecKernel {
                 name: "seed",
                 help: "Random seed",
             },
-            OptionSpec {
-                name: "trace",
-                help: "Feed k-d-tree visits to the cache simulator (flag)",
-            },
             super::threads_option(),
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -283,17 +283,17 @@ impl Kernel for SrecKernel {
         let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
 
         let mut profiler = Profiler::timed();
-        let mut mem = super::trace_sim(args);
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
         let result = Icp::new(IcpConfig {
             max_iterations: iterations,
             threads: super::threads_arg(args)?,
             ..Default::default()
         })
-        .align(&scan2, &scan1, &mut profiler, mem.as_mut());
+        .align(&scan2, &scan1, &mut profiler, session.sink());
         let roi_seconds = roi.exit().as_secs_f64();
 
-        let mut metrics = vec![
+        let metrics = vec![
             (
                 "error before (m)".into(),
                 format!("{:.4}", result.error_before),
@@ -305,13 +305,13 @@ impl Kernel for SrecKernel {
             ("iterations".into(), result.iterations.to_string()),
             ("NN queries".into(), result.nn_queries.to_string()),
         ];
-        super::push_cache_metrics(&mut metrics, mem);
         Ok(report(
             self.name(),
             self.stage(),
             profiler,
             roi_seconds,
             metrics,
+            session,
         ))
     }
 }

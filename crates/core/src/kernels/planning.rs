@@ -33,11 +33,7 @@ fn rrt_config(args: &Args, default_samples: usize) -> Result<RrtConfig, KernelEr
 }
 
 fn arm_options() -> Vec<OptionSpec> {
-    vec![
-        OptionSpec {
-            name: "trace",
-            help: "Feed k-d-tree visits to the cache simulator (flag)",
-        },
+    let mut options = vec![
         OptionSpec {
             name: "bias",
             help: "Random number generation bias",
@@ -62,7 +58,9 @@ fn arm_options() -> Vec<OptionSpec> {
             name: "seed",
             help: "Random seed",
         },
-    ]
+    ];
+    options.extend(super::trace_options());
+    options
 }
 
 /// `04.pp2d`: car path planning across the procedural city.
@@ -83,7 +81,7 @@ impl Kernel for Pp2dKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "size",
                 help: "City map side length in cells",
@@ -108,11 +106,9 @@ impl Kernel for Pp2dKernel {
                 name: "scen-index",
                 help: "Instance index within the .scen file",
             },
-            OptionSpec {
-                name: "trace",
-                help: "Feed expansions to the cache simulator (flag)",
-            },
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -158,14 +154,14 @@ impl Kernel for Pp2dKernel {
             ..Pp2dConfig::car(start, goal)
         };
         let mut profiler = Profiler::timed();
-        let mut mem = super::trace_sim(args);
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
         let result = Pp2d::new(config)
-            .plan(&map, &mut profiler, mem.as_mut())
+            .plan(&map, &mut profiler, session.sink())
             .ok_or(KernelError::Unsolvable("pp2d goal unreachable"))?;
         let roi_seconds = roi.exit().as_secs_f64();
 
-        let mut metrics = vec![
+        let metrics = vec![
             ("path cost (m)".into(), format!("{:.1}", result.cost)),
             ("expanded".into(), result.expanded.to_string()),
             (
@@ -174,13 +170,13 @@ impl Kernel for Pp2dKernel {
             ),
             ("cells probed".into(), result.cells_probed.to_string()),
         ];
-        super::push_cache_metrics(&mut metrics, mem);
         Ok(report(
             self.name(),
             self.stage(),
             profiler,
             roi_seconds,
             metrics,
+            session,
         ))
     }
 }
@@ -203,7 +199,7 @@ impl Kernel for Pp3dKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "size",
                 help: "Campus side length in cells",
@@ -220,15 +216,9 @@ impl Kernel for Pp3dKernel {
                 name: "seed",
                 help: "Map generation seed",
             },
-            OptionSpec {
-                name: "trace",
-                help: "Feed expansions to the cache simulator (flag)",
-            },
-            OptionSpec {
-                name: "vldp",
-                help: "Attach the VLDP prefetcher to the trace (flag)",
-            },
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -245,17 +235,14 @@ impl Kernel for Pp3dKernel {
             weight,
         };
         let mut profiler = Profiler::timed();
-        let mut mem = super::trace_sim(args);
-        if args.get_flag("vldp") {
-            mem = mem.map(|m| m.with_vldp(2));
-        }
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
         let result = Pp3d::new(config)
-            .plan(&map, &mut profiler, mem.as_mut())
+            .plan(&map, &mut profiler, session.sink())
             .ok_or(KernelError::Unsolvable("pp3d goal unreachable"))?;
         let roi_seconds = roi.exit().as_secs_f64();
 
-        let mut metrics = vec![
+        let metrics = vec![
             ("path cost (m)".into(), format!("{:.1}", result.cost)),
             ("expanded".into(), result.expanded.to_string()),
             ("generated".into(), result.generated.to_string()),
@@ -264,13 +251,13 @@ impl Kernel for Pp3dKernel {
                 result.collision_checks.to_string(),
             ),
         ];
-        super::push_cache_metrics(&mut metrics, mem);
         Ok(report(
             self.name(),
             self.stage(),
             profiler,
             roi_seconds,
             metrics,
+            session,
         ))
     }
 }
@@ -294,7 +281,7 @@ impl Kernel for MovtarKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "size",
                 help: "Environment side length in cells",
@@ -311,7 +298,9 @@ impl Kernel for MovtarKernel {
                 name: "seed",
                 help: "Environment seed",
             },
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -322,13 +311,14 @@ impl Kernel for MovtarKernel {
 
         let (field, start, trajectory) = movtar::synthetic_scenario(size, horizon, seed);
         let mut profiler = Profiler::timed();
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
         let result = MovingTarget::new(MovtarConfig {
             start,
             target_trajectory: trajectory,
             epsilon,
         })
-        .plan(&field, &mut profiler)
+        .plan(&field, &mut profiler, session.sink())
         .ok_or(KernelError::Unsolvable("target escaped the horizon"))?;
         let roi_seconds = roi.exit().as_secs_f64();
 
@@ -343,6 +333,7 @@ impl Kernel for MovtarKernel {
                 ("expanded".into(), result.expanded.to_string()),
                 ("heuristic cells".into(), result.heuristic_cells.to_string()),
             ],
+            session,
         ))
     }
 }
@@ -365,7 +356,7 @@ impl Kernel for PrmKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "map",
                 help: "Workspace (map-f | map-c)",
@@ -387,7 +378,9 @@ impl Kernel for PrmKernel {
                 help: "Build the roadmap with a k-d tree (flag)",
             },
             super::threads_option(),
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -402,9 +395,10 @@ impl Kernel for PrmKernel {
         let mut profiler = Profiler::timed();
         let prm = Prm::new(config);
         let roadmap = prm.build(&problem, &mut profiler);
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
         let result = prm
-            .query(&problem, &roadmap, &mut profiler)
+            .query(&problem, &roadmap, &mut profiler, session.sink())
             .ok_or(KernelError::Unsolvable("roadmap too sparse for query"))?;
         let roi_seconds = roi.exit().as_secs_f64();
 
@@ -419,6 +413,7 @@ impl Kernel for PrmKernel {
                 ("online expanded".into(), result.expanded.to_string()),
                 ("L2 evals".into(), result.l2_evals.to_string()),
             ],
+            session,
         ))
     }
 }
@@ -448,14 +443,14 @@ impl Kernel for RrtKernel {
         let problem = arm_problem(args)?;
         let config = rrt_config(args, 50_000)?;
         let mut profiler = Profiler::timed();
-        let mut mem = super::trace_sim(args);
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
         let result = Rrt::new(config)
-            .plan(&problem, &mut profiler, mem.as_mut())
+            .plan(&problem, &mut profiler, session.sink())
             .ok_or(KernelError::Unsolvable("rrt exhausted its samples"))?;
         let roi_seconds = roi.exit().as_secs_f64();
 
-        let mut metrics = vec![
+        let metrics = vec![
             ("path cost (rad)".into(), format!("{:.2}", result.cost)),
             ("samples".into(), result.samples.to_string()),
             ("tree size".into(), result.tree_size.to_string()),
@@ -465,13 +460,13 @@ impl Kernel for RrtKernel {
                 result.collision_checks.to_string(),
             ),
         ];
-        super::push_cache_metrics(&mut metrics, mem);
         Ok(report(
             self.name(),
             self.stage(),
             profiler,
             roi_seconds,
             metrics,
+            session,
         ))
     }
 }
@@ -501,14 +496,14 @@ impl Kernel for RrtStarKernel {
         let problem = arm_problem(args)?;
         let config = rrt_config(args, 8_000)?;
         let mut profiler = Profiler::timed();
-        let mut mem = super::trace_sim(args);
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
         let result = RrtStar::new(config)
-            .plan(&problem, &mut profiler, mem.as_mut())
+            .plan(&problem, &mut profiler, session.sink())
             .ok_or(KernelError::Unsolvable("rrtstar never connected the goal"))?;
         let roi_seconds = roi.exit().as_secs_f64();
 
-        let mut metrics = vec![
+        let metrics = vec![
             ("path cost (rad)".into(), format!("{:.2}", result.base.cost)),
             ("tree size".into(), result.base.tree_size.to_string()),
             ("rewirings".into(), result.rewirings.to_string()),
@@ -518,13 +513,13 @@ impl Kernel for RrtStarKernel {
             ),
             ("NN queries".into(), result.base.nn_queries.to_string()),
         ];
-        super::push_cache_metrics(&mut metrics, mem);
         Ok(report(
             self.name(),
             self.stage(),
             profiler,
             roi_seconds,
             metrics,
+            session,
         ))
     }
 }
@@ -560,14 +555,14 @@ impl Kernel for RrtPpKernel {
         let config = rrt_config(args, 50_000)?;
         let passes = args.get_usize("passes", 6)? as u32;
         let mut profiler = Profiler::timed();
-        let mut mem = super::trace_sim(args);
+        let mut session = crate::TraceSession::from_args(args)?;
         let roi = rtr_harness::Roi::enter(self.name());
         let result = RrtPp::new(config, passes)
-            .plan(&problem, &mut profiler, mem.as_mut())
+            .plan(&problem, &mut profiler, session.sink())
             .ok_or(KernelError::Unsolvable("rrt exhausted its samples"))?;
         let roi_seconds = roi.exit().as_secs_f64();
 
-        let mut metrics = vec![
+        let metrics = vec![
             ("raw cost (rad)".into(), format!("{:.2}", result.raw_cost)),
             (
                 "final cost (rad)".into(),
@@ -576,13 +571,13 @@ impl Kernel for RrtPpKernel {
             ("shortcuts".into(), result.shortcuts.to_string()),
             ("passes".into(), result.passes.to_string()),
         ];
-        super::push_cache_metrics(&mut metrics, mem);
         Ok(report(
             self.name(),
             self.stage(),
             profiler,
             roi_seconds,
             metrics,
+            session,
         ))
     }
 }
@@ -596,9 +591,10 @@ fn run_symbolic(
 ) -> Result<KernelReport, KernelError> {
     let weight = args.get_f64("weight", 1.0)?;
     let mut profiler = Profiler::timed();
+    let mut session = crate::TraceSession::from_args(args)?;
     let roi = rtr_harness::Roi::enter(kernel);
     let plan = SymbolicPlanner::new(weight)
-        .solve(&domain, &mut profiler)
+        .solve(&domain, &mut profiler, session.sink())
         .ok_or(KernelError::Unsolvable("no symbolic plan exists"))?;
     let roi_seconds = roi.exit().as_secs_f64();
     let valid = domain.validate_plan(&plan.actions);
@@ -618,6 +614,7 @@ fn run_symbolic(
             ),
             ("ground actions".into(), plan.ground_actions.to_string()),
         ],
+        session,
     ))
 }
 
@@ -639,7 +636,7 @@ impl Kernel for SymBlkwKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![
+        let mut options = vec![
             OptionSpec {
                 name: "blocks",
                 help: "Number of blocks",
@@ -648,7 +645,9 @@ impl Kernel for SymBlkwKernel {
                 name: "weight",
                 help: "Goal-count heuristic weight",
             },
-        ]
+        ];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
@@ -675,10 +674,12 @@ impl Kernel for SymFextKernel {
     }
 
     fn cli_options(&self) -> Vec<OptionSpec> {
-        vec![OptionSpec {
+        let mut options = vec![OptionSpec {
             name: "weight",
             help: "Goal-count heuristic weight",
-        }]
+        }];
+        options.extend(super::trace_options());
+        options
     }
 
     fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {

@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod kernels;
+pub mod trace;
 
 use std::fmt;
 
 pub use kernels::registry;
 use rtr_harness::{Args, CliError, OptionSpec, RegionReport};
+pub use trace::{CacheReport, TraceSession};
 
 /// The pipeline stage a kernel belongs to (the paper's Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +67,8 @@ pub struct KernelReport {
     /// Kernel-specific result metrics (e.g. path cost, RMSE), as
     /// `(label, value)` pairs for the report tables.
     pub metrics: Vec<(String, String)>,
+    /// Cache-hierarchy statistics when the run was traced (`--trace`).
+    pub cache: Option<CacheReport>,
 }
 
 impl KernelReport {

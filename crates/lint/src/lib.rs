@@ -16,6 +16,10 @@
 //!   `// SAFETY:` comment.
 //! - **R5 `par-rng`** — closures passed to `par_map`/`par_chunks_mut`
 //!   may only derive RNG state via `chunk_seed`.
+//! - **R6 `layering`** — the algorithm crates (and the kernel-adapter
+//!   subtree of `core`) never name `rtr_archsim`, in source or manifest:
+//!   kernels emit into the `MemTrace` sink and the simulator is wired up
+//!   once in `crates/core/src/trace.rs`.
 //!
 //! Findings can be suppressed with an annotation carrying a written
 //! reason:
@@ -36,4 +40,6 @@ pub mod rules;
 
 pub use lexer::{scrub, Allow, Scrubbed, Span};
 pub use report::{Finding, Json, Report};
-pub use rules::{crate_of, lint_source, CLOCK_CRATES, KERNEL_CRATES, RULES};
+pub use rules::{
+    crate_of, is_layered, lint_source, CLOCK_CRATES, KERNEL_CRATES, LAYERED_CRATES, RULES,
+};

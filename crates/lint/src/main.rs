@@ -1,6 +1,6 @@
-//! `rtr-lint` CLI: walks every `crates/*/src/**/*.rs` file, runs the
-//! rule engine, prints human-readable findings, and writes
-//! `LINT_report.json`.
+//! `rtr-lint` CLI: walks every `crates/*/src/**/*.rs` file and crate
+//! `Cargo.toml`, runs the rule engine, prints human-readable findings,
+//! and writes `LINT_report.json`.
 //!
 //! ```text
 //! rtr-lint [--root <dir>] [--report <path>] [--deny]
@@ -49,8 +49,9 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args { root, report, deny })
 }
 
-/// Collects every `.rs` file under `crates/*/src/`, sorted so output and
-/// the JSON report are stable across filesystems.
+/// Collects every `.rs` file under `crates/*/src/` plus each crate's
+/// `Cargo.toml` (the `layering` rule checks manifests too), sorted so
+/// output and the JSON report are stable across filesystems.
 fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let crates_dir = root.join("crates");
@@ -61,6 +62,10 @@ fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
         .collect();
     crate_dirs.sort();
     for dir in crate_dirs {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
         let src = dir.join("src");
         if src.is_dir() {
             walk(&src, &mut out)?;

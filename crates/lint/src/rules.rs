@@ -1,4 +1,4 @@
-//! The rule engine: five lexical rules, each the static form of a
+//! The rule engine: six lexical rules, each the static form of a
 //! ROADMAP contract, plus the `allow-syntax` meta rule.
 //!
 //! | id | contract |
@@ -8,10 +8,12 @@
 //! | `hot-alloc`      | `*_into` / `*Scratch` steady state is heap-free |
 //! | `unsafe-hygiene` | crate roots forbid `unsafe`; opt-outs justify |
 //! | `par-rng`        | parallel closures derive RNG via `chunk_seed` |
+//! | `layering`       | kernel-layer code never names the cache simulator |
 //!
 //! Rules are scoped by crate (see [`crate_of`]): `nondet-iter` guards the
 //! kernel crates, `wall-clock` everything except the measurement crates
-//! (`harness`, `bench`), the rest the whole workspace.
+//! (`harness`, `bench`), `layering` the algorithm crates plus the adapter
+//! subtree in `core` (see [`is_layered`]), the rest the whole workspace.
 
 use crate::lexer::{
     fn_spans, impl_spans, line_of, matching_delim, scrub, token_positions, Scrubbed, Span,
@@ -25,13 +27,19 @@ pub const KERNEL_CRATES: [&str; 6] = ["control", "core", "geom", "perception", "
 /// Crates that own measurement: the only places wall-clock reads live.
 pub const CLOCK_CRATES: [&str; 2] = ["bench", "harness"];
 
+/// Crates whose algorithm code is generic over the `MemTrace` sink and
+/// must never name the cache simulator directly (PR 5 layering
+/// inversion); `crates/core/src/kernels/` joins them via [`is_layered`].
+pub const LAYERED_CRATES: [&str; 5] = ["control", "geom", "perception", "planning", "sim"];
+
 /// All rule identifiers, as used in `allow(<rule>)` annotations.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "nondet-iter",
     "wall-clock",
     "hot-alloc",
     "unsafe-hygiene",
     "par-rng",
+    "layering",
 ];
 
 /// Extracts the crate name from a workspace-relative path like
@@ -39,6 +47,16 @@ pub const RULES: [&str; 5] = [
 pub fn crate_of(path: &str) -> Option<&str> {
     let rest = path.strip_prefix("crates/")?;
     rest.split('/').next()
+}
+
+/// Returns `true` when `path` belongs to the simulator-agnostic layer:
+/// the algorithm crates ([`LAYERED_CRATES`], sources and manifest alike)
+/// plus the kernel-adapter subtree of `core`. The only `core` module
+/// allowed to name `rtr_archsim` is `src/trace.rs`, which owns the
+/// `--trace` wiring.
+pub fn is_layered(path: &str) -> bool {
+    crate_of(path).is_some_and(|k| LAYERED_CRATES.contains(&k))
+        || path.starts_with("crates/core/src/kernels/")
 }
 
 /// Returns `true` when `path` is a crate root (`src/lib.rs` or
@@ -56,15 +74,23 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
     let krate = crate_of(path).unwrap_or("");
     let mut raw: Vec<Finding> = Vec::new();
 
-    if KERNEL_CRATES.contains(&krate) {
-        rule_nondet_iter(path, &scrubbed, &mut raw);
+    // Manifests (`Cargo.toml`) only participate in the layering rule;
+    // the Rust-syntax rules read `.rs` files.
+    let is_rust = path.ends_with(".rs");
+    if is_rust {
+        if KERNEL_CRATES.contains(&krate) {
+            rule_nondet_iter(path, &scrubbed, &mut raw);
+        }
+        if !CLOCK_CRATES.contains(&krate) {
+            rule_wall_clock(path, &scrubbed, &mut raw);
+        }
+        rule_hot_alloc(path, &scrubbed, &mut raw);
+        rule_unsafe_hygiene(path, &scrubbed, &mut raw);
+        rule_par_rng(path, &scrubbed, &mut raw);
     }
-    if !CLOCK_CRATES.contains(&krate) {
-        rule_wall_clock(path, &scrubbed, &mut raw);
+    if is_layered(path) {
+        rule_layering(path, &scrubbed, &mut raw);
     }
-    rule_hot_alloc(path, &scrubbed, &mut raw);
-    rule_unsafe_hygiene(path, &scrubbed, &mut raw);
-    rule_par_rng(path, &scrubbed, &mut raw);
 
     // Dedup overlapping-span double reports, then sort by line.
     raw.sort_by(|a, b| (a.line, &a.rule, &a.message).cmp(&(b.line, &b.rule, &b.message)));
@@ -334,6 +360,33 @@ fn rule_par_rng(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
     }
 }
 
+/// R6 — `layering`: the cache simulator named in the simulator-agnostic
+/// layer. Kernel code emits into the `MemTrace` sink from `rtr-trace`;
+/// only `crates/core/src/trace.rs` (and the measurement crates above it)
+/// may mention `rtr_archsim`. Applies to manifests too, so a kernel
+/// crate cannot even declare the dependency.
+fn rule_layering(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    for needle in ["rtr_archsim", "rtr-archsim"] {
+        let hits = if needle.contains('-') {
+            find_all(&s.text, needle)
+        } else {
+            token_positions(&s.text, needle)
+        };
+        for at in hits {
+            push(
+                out,
+                "layering",
+                path,
+                &s.text,
+                at,
+                format!(
+                    "{needle} named in the simulator-agnostic layer: emit into the MemTrace sink (rtr-trace); the simulator is wired up in crates/core/src/trace.rs"
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,5 +493,48 @@ mod tests {
     #[test]
     fn rng_outside_parallel_closures_is_fine() {
         assert!(kernel("let mut rng = SimRng::seed_from(self.config.seed);\n").is_empty());
+    }
+
+    #[test]
+    fn layering_scope_covers_kernel_crates_and_core_adapters() {
+        assert!(is_layered("crates/control/src/mpc.rs"));
+        assert!(is_layered("crates/perception/Cargo.toml"));
+        assert!(is_layered("crates/core/src/kernels/planning.rs"));
+        assert!(!is_layered("crates/core/src/trace.rs"));
+        assert!(!is_layered("crates/bench/src/lib.rs"));
+        assert!(!is_layered("crates/archsim/src/hierarchy.rs"));
+    }
+
+    #[test]
+    fn simulator_named_in_kernel_source_is_flagged() {
+        let src = "let report = rtr_archsim::MemorySim::i3_8109u().report();\n";
+        let f = kernel(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "layering");
+        assert!(lint_source("crates/core/src/trace.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn simulator_dependency_in_kernel_manifest_is_flagged() {
+        let toml = "[dependencies]\nrtr-trace.workspace = true\nrtr-archsim.workspace = true\n";
+        let f = lint_source("crates/planning/Cargo.toml", toml);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "layering");
+        assert_eq!(f[0].line, 3);
+        assert!(lint_source("crates/core/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn simulator_in_comments_or_core_adapter_subtree() {
+        // Comments are scrubbed before matching: prose pointers to the
+        // simulator remain legal in kernel crates.
+        assert!(kernel("// measured via rtr_archsim, see bench\n").is_empty());
+        let f = lint_source(
+            "crates/core/src/kernels/perception.rs",
+            "use rtr_archsim::MemorySim;\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "layering");
     }
 }

@@ -1,0 +1,11 @@
+//! A justified escape hatch: the annotation must carry a written reason,
+//! and prose references to the simulator (comments, strings are scrubbed
+//! before matching) are always fine — e.g. "miss ratios measured with
+//! rtr_archsim live in crates/bench".
+
+// rtr-lint: allow(layering) -- doc example compiled against the simulator API
+use rtr_archsim::MemorySim;
+
+pub fn sink<T: rtr_trace::MemTrace + ?Sized>(trace: &mut T) {
+    trace.read(0);
+}

@@ -1,0 +1,15 @@
+//! Seeded `layering` violations: kernel-layer code naming the cache
+//! simulator instead of staying generic over the `MemTrace` sink.
+
+use rtr_archsim::MemorySim;
+
+pub fn traced_run() -> u64 {
+    let mut sim = rtr_archsim::MemorySim::i3_8109u();
+    sim.read(0);
+    sim.report().accesses
+}
+
+pub fn typed(sim: &mut MemorySim) -> rtr_archsim::HierarchyReport {
+    sim.write(64);
+    sim.report()
+}

@@ -103,6 +103,39 @@ fn r5_bad_fixture_flags_non_chunk_seeded_rng() {
 }
 
 #[test]
+fn r6_bad_fixture_flags_simulator_naming() {
+    let f = kernel(include_str!("fixtures/r6_layering_bad.rs"));
+    let v = violations(&f);
+    assert_eq!(v.len(), 3, "use + ctor + type position: {f:?}");
+    assert!(v.iter().all(|x| x.rule == "layering"));
+    // The same file is legal one layer up.
+    assert!(lint_source(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/r6_layering_bad.rs")
+    )
+    .is_empty());
+}
+
+#[test]
+fn r6_allowed_fixture_passes_deny() {
+    let f = kernel(include_str!("fixtures/r6_layering_allowed.rs"));
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "layering");
+    assert!(f[0].allowed.is_some());
+    assert!(violations(&f).is_empty());
+}
+
+#[test]
+fn r6_flags_manifests_of_layered_crates() {
+    let toml = "[dependencies]\nrtr-archsim = { path = \"../archsim\" }\n";
+    let f = lint_source("crates/sim/Cargo.toml", toml);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "layering");
+    assert!(lint_source("crates/archsim/Cargo.toml", toml).is_empty());
+    assert!(lint_source("crates/core/Cargo.toml", toml).is_empty());
+}
+
+#[test]
 fn tokens_in_strings_and_comments_are_ignored() {
     let f = kernel(include_str!("fixtures/strings_and_comments_clean.rs"));
     assert!(f.is_empty(), "{f:?}");
@@ -114,11 +147,18 @@ fn fixture_findings_round_trip_through_the_report() {
     findings.extend(kernel(include_str!("fixtures/r1_nondet_iter_bad.rs")));
     findings.extend(kernel(include_str!("fixtures/r1_nondet_iter_allowed.rs")));
     findings.extend(kernel(include_str!("fixtures/r2_wall_clock_bad.rs")));
+    findings.extend(kernel(include_str!("fixtures/r6_layering_bad.rs")));
+    findings.extend(kernel(include_str!("fixtures/r6_layering_allowed.rs")));
     let report = Report {
         version: 1,
-        files_scanned: 3,
+        files_scanned: 5,
         findings,
     };
+    assert!(report.findings.iter().any(|f| f.rule == "layering"));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "layering" && f.allowed.is_some()));
     let parsed = Report::from_json(&report.to_json()).unwrap();
     assert_eq!(parsed, report);
     assert!(parsed.violations().count() > 0);

@@ -14,6 +14,7 @@ use rtr_geom::{normalize_angle, Point2, Pose2};
 use rtr_harness::Profiler;
 use rtr_linalg::{Matrix, Vector, Workspace};
 use rtr_sim::SlamStep;
+use rtr_trace::MemTrace;
 
 /// Selects the covariance-update implementation of [`EkfSlam`].
 ///
@@ -87,6 +88,23 @@ pub struct EkfSlamResult {
     pub updates: u64,
 }
 
+/// Mean-vector region of the synthetic trace address space; the
+/// covariance occupies row-major `dim × dim × 8` bytes from address 0.
+const STATE_REGION: u64 = 1 << 38;
+
+/// Emits one access per 64-byte line of the span `[base, base + bytes)`.
+fn trace_span<T: MemTrace + ?Sized>(trace: &mut T, base: u64, bytes: u64, is_write: bool) {
+    let mut off = 0;
+    while off < bytes {
+        if is_write {
+            trace.write(base + off);
+        } else {
+            trace.read(base + off);
+        }
+        off += 64;
+    }
+}
+
 /// The EKF-SLAM kernel.
 ///
 /// State layout: `[x, y, θ, m₀x, m₀y, m₁x, m₁y, …]`.
@@ -103,7 +121,12 @@ pub struct EkfSlamResult {
 /// let steps = world.simulate_circuit(50, &mut rng);
 /// let mut ekf = EkfSlam::new(EkfSlamConfig::default());
 /// let mut profiler = Profiler::new();
-/// let result = ekf.run(&steps, Some(world.landmarks()), &mut profiler);
+/// let result = ekf.run(
+///     &steps,
+///     Some(world.landmarks()),
+///     &mut profiler,
+///     &mut rtr_trace::NullTrace,
+/// );
 /// assert!(result.updates > 0);
 /// ```
 #[derive(Debug, Clone)]
@@ -182,7 +205,34 @@ impl EkfSlam {
     }
 
     /// EKF prediction with unicycle controls `(v, ω)`.
-    pub fn predict(&mut self, v: f64, omega: f64, profiler: &mut Profiler) {
+    ///
+    /// With a live `trace` sink, emits the covariance-row traffic of the
+    /// propagation: full read+write sweeps of the three pose rows and a
+    /// pose-prefix read+write per landmark row (the `F·P·Fᵀ` column
+    /// update). The stream is identical for both update modes, so it never
+    /// perturbs the dense-vs-sparse bit-identity contract.
+    pub fn predict<T: MemTrace + ?Sized>(
+        &mut self,
+        v: f64,
+        omega: f64,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) {
+        if trace.enabled() {
+            let dim = self.dim() as u64;
+            let row_bytes = dim * 8;
+            for i in 0..3u64 {
+                trace_span(trace, i * row_bytes, row_bytes, false);
+                trace_span(trace, i * row_bytes, row_bytes, true);
+            }
+            for i in 3..dim {
+                trace.read(i * row_bytes);
+                trace.write(i * row_bytes);
+            }
+            // Pose entries of the mean vector.
+            trace.read(STATE_REGION);
+            trace.write(STATE_REGION);
+        }
         let theta = self.state[2];
         // Mean propagation (cheap, scalar).
         self.state[0] += v * theta.cos();
@@ -250,10 +300,41 @@ impl EkfSlam {
     }
 
     /// EKF update with one range-bearing observation of landmark `id`.
-    pub fn update(&mut self, id: usize, range: f64, bearing: f64, profiler: &mut Profiler) {
+    ///
+    /// Traced covariance-row traffic: full-row reads of the five
+    /// `H`-active rows (pose + this landmark), a pose/landmark column pair
+    /// read per row for `P·Hᵀ`, and a full read+write sweep of every row
+    /// for the `(I − KH)·P` rebuild — the paper's ">85 % in matrix ops"
+    /// working set. Identical for both update modes.
+    pub fn update<T: MemTrace + ?Sized>(
+        &mut self,
+        id: usize,
+        range: f64,
+        bearing: f64,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) {
         assert!(id < self.config.max_landmarks, "landmark id out of range");
         let lx_idx = 3 + 2 * id;
         let ly_idx = lx_idx + 1;
+        if trace.enabled() {
+            let dim = self.dim() as u64;
+            let row_bytes = dim * 8;
+            trace.read(STATE_REGION);
+            trace.read(STATE_REGION + lx_idx as u64 * 8);
+            // H·P: the five active rows in full.
+            for &r in &[0usize, 1, 2, lx_idx, ly_idx] {
+                trace_span(trace, r as u64 * row_bytes, row_bytes, false);
+            }
+            for i in 0..dim {
+                // P·Hᵀ: pose and landmark columns of every row.
+                trace.read(i * row_bytes);
+                trace.read(i * row_bytes + lx_idx as u64 * 8);
+                // (I − KH)·P rebuild writes every row.
+                trace_span(trace, i * row_bytes, row_bytes, true);
+            }
+            trace_span(trace, STATE_REGION, dim * 8, true);
+        }
 
         if !self.seen[id] {
             // Initialize the landmark at the measured position.
@@ -550,17 +631,24 @@ impl EkfSlam {
 
     /// Runs the filter over a recorded drive; `true_landmarks` (when given)
     /// is used only to score the final map.
-    pub fn run(
+    pub fn run<T: MemTrace + ?Sized>(
         &mut self,
         steps: &[SlamStep],
         true_landmarks: Option<&[Point2]>,
         profiler: &mut Profiler,
+        trace: &mut T,
     ) -> EkfSlamResult {
         let mut pose_error_sum = 0.0;
         for step in steps {
-            self.predict(step.v, step.omega, profiler);
+            self.predict(step.v, step.omega, profiler, &mut *trace);
             for obs in &step.observations {
-                self.update(obs.landmark_id, obs.range, obs.bearing, profiler);
+                self.update(
+                    obs.landmark_id,
+                    obs.range,
+                    obs.bearing,
+                    profiler,
+                    &mut *trace,
+                );
             }
             pose_error_sum += self.pose().position().distance(step.true_pose.position());
         }
@@ -603,6 +691,38 @@ impl EkfSlam {
 mod tests {
     use super::*;
     use rtr_sim::{SimRng, SlamWorld};
+    use rtr_trace::{CountingTrace, NullTrace};
+
+    #[test]
+    fn traced_run_is_bit_identical_and_mode_independent() {
+        let world = SlamWorld::six_landmark_demo();
+        let mut rng = SimRng::seed_from(9);
+        let log = world.simulate_circuit(60, &mut rng);
+        let mut profiler = Profiler::new();
+
+        let mut plain_ekf = EkfSlam::new(EkfSlamConfig::default());
+        let plain = plain_ekf.run(&log, None, &mut profiler, &mut NullTrace);
+
+        let mut counts = CountingTrace::default();
+        let mut traced_ekf = EkfSlam::new(EkfSlamConfig::default());
+        let traced = traced_ekf.run(&log, None, &mut profiler, &mut counts);
+        assert_eq!(
+            traced.covariance_trace.to_bits(),
+            plain.covariance_trace.to_bits()
+        );
+        assert_eq!(traced.updates, plain.updates);
+        assert!(counts.reads > traced.updates);
+        assert!(counts.writes > traced.updates);
+
+        // Same stream regardless of the covariance-update implementation.
+        let mut sparse_counts = CountingTrace::default();
+        let mut sparse_ekf = EkfSlam::new(EkfSlamConfig {
+            update_mode: EkfUpdateMode::SparseWorkspace,
+            ..Default::default()
+        });
+        sparse_ekf.run(&log, None, &mut profiler, &mut sparse_counts);
+        assert_eq!(counts, sparse_counts);
+    }
 
     fn run_demo(steps: usize, seed: u64) -> (EkfSlamResult, Profiler, SlamWorld) {
         let world = SlamWorld::six_landmark_demo();
@@ -610,7 +730,7 @@ mod tests {
         let log = world.simulate_circuit(steps, &mut rng);
         let mut ekf = EkfSlam::new(EkfSlamConfig::default());
         let mut profiler = Profiler::new();
-        let result = ekf.run(&log, Some(world.landmarks()), &mut profiler);
+        let result = ekf.run(&log, Some(world.landmarks()), &mut profiler, &mut NullTrace);
         profiler.freeze_total();
         (result, profiler, world)
     }
@@ -642,12 +762,12 @@ mod tests {
         let log = world.simulate_circuit(100, &mut rng);
         let mut ekf = EkfSlam::new(EkfSlamConfig::default());
         let mut profiler = Profiler::new();
-        ekf.run(&log[..10], None, &mut profiler);
+        ekf.run(&log[..10], None, &mut profiler, &mut NullTrace);
         let early: f64 = (0..6)
             .filter_map(|id| ekf.landmark_covariance(id))
             .map(|c| c.trace())
             .sum();
-        ekf.run(&log[10..], None, &mut profiler);
+        ekf.run(&log[10..], None, &mut profiler, &mut NullTrace);
         let late: f64 = (0..6)
             .filter_map(|id| ekf.landmark_covariance(id))
             .map(|c| c.trace())
@@ -662,7 +782,7 @@ mod tests {
         let log = world.simulate_circuit(80, &mut rng);
         let mut ekf = EkfSlam::new(EkfSlamConfig::default());
         let mut profiler = Profiler::new();
-        ekf.run(&log, None, &mut profiler);
+        ekf.run(&log, None, &mut profiler, &mut NullTrace);
         assert!(ekf.cov.is_symmetric(1e-9));
         // All marginal landmark variances are positive.
         for id in 0..6 {
@@ -695,7 +815,7 @@ mod tests {
             ..Default::default()
         });
         let mut profiler = Profiler::new();
-        ekf.predict(1.0, 0.0, &mut profiler);
+        ekf.predict(1.0, 0.0, &mut profiler, &mut NullTrace);
         assert!((ekf.pose().x - 1.0).abs() < 1e-12);
         // Pose uncertainty grew.
         assert!(ekf.cov[(0, 0)] > 0.0);
@@ -715,8 +835,8 @@ mod tests {
             update_mode: EkfUpdateMode::SparseWorkspace,
             ..Default::default()
         });
-        dense.run(&log, None, &mut profiler);
-        sparse.run(&log, None, &mut profiler);
+        dense.run(&log, None, &mut profiler, &mut NullTrace);
+        sparse.run(&log, None, &mut profiler, &mut NullTrace);
         for (a, b) in dense.state.iter().zip(sparse.state.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
@@ -734,9 +854,9 @@ mod tests {
         let log = world.simulate_circuit(60, &mut rng);
         let mut profiler = Profiler::new();
         let mut ekf = EkfSlam::new(EkfSlamConfig::default());
-        ekf.run(&log[..5], None, &mut profiler);
+        ekf.run(&log[..5], None, &mut profiler, &mut NullTrace);
         let warm = ekf.workspace_allocations();
-        ekf.run(&log[5..], None, &mut profiler);
+        ekf.run(&log[5..], None, &mut profiler, &mut NullTrace);
         assert_eq!(
             ekf.workspace_allocations(),
             warm,

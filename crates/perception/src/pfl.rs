@@ -6,13 +6,13 @@
 //! re-weighted by matching ray-cast predictions against the sensed laser
 //! ranges, and resampled. Ray-casting is the measured bottleneck (67–78 %
 //! of execution time), so the measurement update is instrumented as its
-//! own profiler region and can optionally stream its grid probes into the
-//! cache simulator.
+//! own profiler region and streams its grid probes into any attached
+//! [`rtr_trace::MemTrace`] sink.
 
-use rtr_archsim::MemorySim;
 use rtr_geom::{cast_ray, cast_ray_with, GridMap2D, Pose2};
 use rtr_harness::{Pool, Profiler};
 use rtr_sim::{LidarScan, OdometryModel, OdometryReading, SimRng, TrajectoryStep};
+use rtr_trace::MemTrace;
 
 /// How the particle set is initialized.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -268,11 +268,10 @@ impl<'m> ParticleFilter<'m> {
     /// particle order, so results are bit-identical to the single-thread
     /// path for any thread count.
     ///
-    /// When `mem` is supplied, every grid-cell probe is replayed into the
-    /// cache simulator (one 1-byte cell per probe, row-major layout); the
-    /// simulator is shared mutable state, so the traced path always runs
-    /// sequentially.
-    pub fn measurement_update(&mut self, scan: &LidarScan, mem: Option<&mut MemorySim>) {
+    /// With a live `trace` sink, every grid-cell probe is emitted as a
+    /// read (one 1-byte cell per probe, row-major layout); the sink is
+    /// shared mutable state, so the traced path always runs sequentially.
+    pub fn measurement_update<T: MemTrace + ?Sized>(&mut self, scan: &LidarScan, trace: &mut T) {
         let sigma = self.config.sensor_sigma;
         let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
         let stride = self.config.beam_stride;
@@ -280,7 +279,7 @@ impl<'m> ParticleFilter<'m> {
         let width = self.map.width() as u64;
         let map = self.map;
 
-        if let Some(sim) = mem {
+        if trace.enabled() {
             for p in &mut self.particles {
                 let mut log_w = 0.0;
                 for (angle, range) in scan.angles.iter().zip(scan.ranges.iter()).step_by(stride) {
@@ -293,7 +292,7 @@ impl<'m> ParticleFilter<'m> {
                         |ix, iy| {
                             // Grid cells are 1 byte each in a row-major Vec.
                             let addr = (iy.max(0) as u64) * width + ix.max(0) as u64;
-                            sim.read(addr);
+                            trace.read(addr);
                         },
                     );
                     self.cells_probed += hit.cells_visited as u64;
@@ -403,11 +402,11 @@ impl<'m> ParticleFilter<'m> {
 
     /// Runs the full filter over a recorded trajectory, attributing time to
     /// the paper's regions: `motion_update`, `ray_casting`, `resample`.
-    pub fn run(
+    pub fn run<T: MemTrace + ?Sized>(
         &mut self,
         steps: &[TrajectoryStep],
         profiler: &mut Profiler,
-        mut mem: Option<&mut MemorySim>,
+        trace: &mut T,
     ) -> PflResult {
         let initial_spread = self.spread();
         for (i, step) in steps.iter().enumerate() {
@@ -418,7 +417,7 @@ impl<'m> ParticleFilter<'m> {
                 profiler.hot_add("motion_update", mu_start);
             }
             let start = profiler.hot_start();
-            self.measurement_update(&step.scan, mem.as_deref_mut());
+            self.measurement_update(&step.scan, &mut *trace);
             profiler.hot_add("ray_casting", start);
             let rs_start = profiler.hot_start();
             self.maybe_resample();
@@ -444,6 +443,7 @@ mod tests {
     use super::*;
     use rtr_geom::{maps, Point2};
     use rtr_sim::{DifferentialDrive, Lidar};
+    use rtr_trace::{CountingTrace, NullTrace};
 
     fn drive_log(map: &GridMap2D, seed: u64) -> Vec<TrajectoryStep> {
         let lidar = Lidar::new(36, std::f64::consts::PI, 10.0, 0.02);
@@ -501,7 +501,7 @@ mod tests {
             &map,
         );
         let mut profiler = Profiler::new();
-        let result = pf.run(&steps, &mut profiler, None);
+        let result = pf.run(&steps, &mut profiler, &mut NullTrace);
         assert!(result.resamples > 0, "expected at least one resample");
         let err = result.final_error.unwrap();
         assert!(err < 0.5, "estimate too far from truth: {err} m");
@@ -523,7 +523,7 @@ mod tests {
             &map,
         );
         let mut profiler = Profiler::new();
-        let result = pf.run(&steps, &mut profiler, None);
+        let result = pf.run(&steps, &mut profiler, &mut NullTrace);
         assert!(
             result.final_spread < result.initial_spread * 0.2,
             "spread should collapse: {} -> {}",
@@ -545,7 +545,7 @@ mod tests {
             &map,
         );
         let mut profiler = Profiler::timed();
-        pf.run(&steps, &mut profiler, None);
+        pf.run(&steps, &mut profiler, &mut NullTrace);
         profiler.freeze_total();
         let rc = profiler.fraction("ray_casting");
         assert!(rc > 0.5, "ray casting fraction only {rc}");
@@ -553,25 +553,31 @@ mod tests {
     }
 
     #[test]
-    fn traced_run_feeds_cache_simulator() {
+    fn traced_run_emits_one_read_per_probed_cell() {
+        // (The "L1 absorbs most probes" locality finding is asserted
+        // against the real cache simulator in the bench crate.)
         let map = maps::indoor_floor_plan(64, 0.1, 7);
         let steps = drive_log(&map, 5);
-        let mut pf = ParticleFilter::new(
-            PflConfig {
-                particles: 30,
-                seed: 2,
-                ..Default::default()
-            },
-            &map,
-        );
+        let config = PflConfig {
+            particles: 30,
+            seed: 2,
+            ..Default::default()
+        };
+        let mut pf = ParticleFilter::new(config.clone(), &map);
         let mut profiler = Profiler::new();
-        let mut mem = MemorySim::i3_8109u();
-        let result = pf.run(&steps[..5.min(steps.len())], &mut profiler, Some(&mut mem));
-        let report = mem.report();
-        assert!(report.accesses > 0);
-        assert_eq!(report.accesses, result.cells_probed);
-        // Ray casting is spatially local: L1 should absorb most probes.
-        assert!(report.levels[0].miss_ratio() < 0.5);
+        let mut counts = CountingTrace::default();
+        let result = pf.run(&steps[..5.min(steps.len())], &mut profiler, &mut counts);
+        assert!(counts.reads > 0);
+        assert_eq!(counts.reads, result.cells_probed);
+        assert_eq!(counts.writes, 0);
+        // Bit-identity against the untraced (pool) path.
+        let mut plain = ParticleFilter::new(config, &map);
+        let plain_result = plain.run(&steps[..5.min(steps.len())], &mut profiler, &mut NullTrace);
+        assert_eq!(
+            result.estimate.x.to_bits(),
+            plain_result.estimate.x.to_bits()
+        );
+        assert_eq!(result.cells_probed, plain_result.cells_probed);
     }
 
     #[test]
@@ -587,7 +593,7 @@ mod tests {
         let lidar = Lidar::new(18, std::f64::consts::PI, 10.0, 0.0);
         let mut rng = SimRng::seed_from(0);
         let scan = lidar.scan(&map, &Pose2::new(3.2, 3.2, 0.0), &mut rng);
-        pf.measurement_update(&scan, None);
+        pf.measurement_update(&scan, &mut NullTrace);
         let total: f64 = pf.particles.iter().map(|p| p.weight).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
@@ -608,7 +614,7 @@ mod tests {
         let lidar = Lidar::new(18, std::f64::consts::PI, 10.0, 0.0);
         let mut rng = SimRng::seed_from(0);
         let scan = lidar.scan(&map, &Pose2::new(3.2, 3.2, 0.0), &mut rng);
-        pf.measurement_update(&scan, None);
+        pf.measurement_update(&scan, &mut NullTrace);
 
         // Replay the pre-scratch algorithm on a clone (same RNG state).
         let mut legacy = pf.clone();
@@ -658,7 +664,7 @@ mod tests {
             &map,
         );
         let mut profiler = Profiler::new();
-        let result = pf.run(&steps, &mut profiler, None);
+        let result = pf.run(&steps, &mut profiler, &mut NullTrace);
         assert!(
             result.resamples > 1,
             "need repeated resampling to observe the plateau"

@@ -16,8 +16,9 @@ use std::collections::HashMap;
 
 use rtr_harness::Profiler;
 use rtr_sim::SimRng;
+use rtr_trace::MemTrace;
 
-use crate::search::{dijkstra_flood, weighted_astar, SearchSpace};
+use crate::search::{dijkstra_flood_traced, weighted_astar_traced, SearchSpace};
 
 /// A 2D cost field: obstacles are `f64::INFINITY`, free cells have a
 /// positive traversal cost.
@@ -169,7 +170,9 @@ impl SearchSpace for TimeSpace<'_> {
 /// let trajectory: Vec<(usize, usize)> = (0..16).map(|t| (15 - t.min(15), 8)).collect();
 /// let config = MovtarConfig { start: (0, 8), target_trajectory: trajectory, epsilon: 1.0 };
 /// let mut profiler = Profiler::new();
-/// let result = MovingTarget::new(config).plan(&field, &mut profiler).unwrap();
+/// let result = MovingTarget::new(config)
+///     .plan(&field, &mut profiler, &mut rtr_trace::NullTrace)
+///     .unwrap();
 /// assert!(result.catch_time <= 8);
 /// ```
 #[derive(Debug, Clone)]
@@ -196,8 +199,16 @@ impl MovingTarget {
     /// within its trajectory horizon.
     ///
     /// Profiler regions: `heuristic_calc` (backward Dijkstra) and
-    /// `graph_search` (the WA* phase).
-    pub fn plan(&self, field: &CostField, profiler: &mut Profiler) -> Option<MovtarResult> {
+    /// `graph_search` (the WA* phase). Both phases emit into `trace`: the
+    /// flood reads/writes 8 B cost-field cells (row-major from address 0)
+    /// and the WA* walks 16 B time-expanded node records above `1 << 32`;
+    /// pass [`rtr_trace::NullTrace`] for an untraced run.
+    pub fn plan<T: MemTrace + ?Sized>(
+        &self,
+        field: &CostField,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) -> Option<MovtarResult> {
         // Backward Dijkstra from every cell the target visits: costs are
         // symmetric here (cost of entering), so the backward graph uses the
         // same successor costs.
@@ -211,17 +222,24 @@ impl MovingTarget {
         if sources.is_empty() {
             return None;
         }
+        let w = field.width() as u64;
+        let h = field.height() as u64;
         let heuristic = profiler.time("heuristic_calc", || {
-            dijkstra_flood(&sources, |(x, y), out| {
-                for (dx, dy) in &MOVES[1..] {
-                    let nx = x + dx;
-                    let ny = y + dy;
-                    let c = field.cost(nx, ny);
-                    if c.is_finite() {
-                        out.push(((nx, ny), c));
+            dijkstra_flood_traced(
+                &sources,
+                |(x, y), out| {
+                    for (dx, dy) in &MOVES[1..] {
+                        let nx = x + dx;
+                        let ny = y + dy;
+                        let c = field.cost(nx, ny);
+                        if c.is_finite() {
+                            out.push(((nx, ny), c));
+                        }
                     }
-                }
-            })
+                },
+                trace,
+                &mut |&(x, y)| (y.max(0) as u64 * w + x.max(0) as u64) * 8,
+            )
         });
         let heuristic_cells = heuristic.len();
 
@@ -240,7 +258,16 @@ impl MovingTarget {
             return None;
         }
         let result = profiler.time("graph_search", || {
-            weighted_astar(&space, start, self.config.epsilon)
+            weighted_astar_traced(
+                &space,
+                start,
+                self.config.epsilon,
+                trace,
+                &mut |&(x, y, t)| {
+                    let cell = (t as u64 * h + y.max(0) as u64) * w + x.max(0) as u64;
+                    (1 << 32) + cell * 16
+                },
+            )
         })?;
 
         let path: Vec<(usize, usize, usize)> = result
@@ -334,6 +361,7 @@ pub fn synthetic_scenario(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_trace::{CountingTrace, NullTrace};
 
     #[test]
     fn catches_approaching_target() {
@@ -347,7 +375,7 @@ mod tests {
         };
         let mut profiler = Profiler::new();
         let r = MovingTarget::new(config)
-            .plan(&field, &mut profiler)
+            .plan(&field, &mut profiler, &mut NullTrace)
             .unwrap();
         let (x, y, t) = *r.path.last().unwrap();
         assert_eq!(trajectory[t], (x, y), "catch point must match target");
@@ -367,7 +395,7 @@ mod tests {
         };
         let mut profiler = Profiler::new();
         let r = MovingTarget::new(config)
-            .plan(&field, &mut profiler)
+            .plan(&field, &mut profiler, &mut NullTrace)
             .unwrap();
         // Diagonal distance is 10 moves.
         assert_eq!(r.catch_time, 10);
@@ -384,7 +412,7 @@ mod tests {
         };
         let mut profiler = Profiler::new();
         assert!(MovingTarget::new(config)
-            .plan(&field, &mut profiler)
+            .plan(&field, &mut profiler, &mut NullTrace)
             .is_none());
     }
 
@@ -403,7 +431,7 @@ mod tests {
         };
         let mut profiler = Profiler::new();
         let r = MovingTarget::new(config)
-            .plan(&field, &mut profiler)
+            .plan(&field, &mut profiler, &mut NullTrace)
             .unwrap();
         // The path should dodge the expensive band (visit y != 2).
         assert!(r.path.iter().any(|&(_, y, _)| y != 2));
@@ -419,7 +447,7 @@ mod tests {
                 target_trajectory: trajectory.clone(),
                 epsilon: eps,
             })
-            .plan(&field, &mut profiler)
+            .plan(&field, &mut profiler, &mut NullTrace)
             .expect("catchable")
         };
         let optimal = run(1.0);
@@ -440,7 +468,7 @@ mod tests {
                 target_trajectory: trajectory,
                 epsilon: 2.0,
             })
-            .plan(&field, &mut profiler)
+            .plan(&field, &mut profiler, &mut NullTrace)
             .expect("catchable");
             let h = profiler.region_total("heuristic_calc").as_secs_f64();
             let s = profiler.region_total("graph_search").as_secs_f64();
@@ -462,6 +490,29 @@ mod tests {
         for &(x, y) in &trajectory {
             assert!(field.is_free(x as i64, y as i64));
         }
+    }
+
+    #[test]
+    fn traced_plan_is_bit_identical_and_emits_both_phases() {
+        let (field, start, trajectory) = synthetic_scenario(32, 64, 1);
+        let config = MovtarConfig {
+            start,
+            target_trajectory: trajectory,
+            epsilon: 2.0,
+        };
+        let mut profiler = Profiler::new();
+        let mut counts = CountingTrace::default();
+        let traced = MovingTarget::new(config.clone())
+            .plan(&field, &mut profiler, &mut counts)
+            .unwrap();
+        let plain = MovingTarget::new(config)
+            .plan(&field, &mut profiler, &mut NullTrace)
+            .unwrap();
+        assert_eq!(traced.path, plain.path);
+        assert_eq!(traced.cost.to_bits(), plain.cost.to_bits());
+        // Flood writes every labeled cell at least once; WA* adds more.
+        assert!(counts.writes >= traced.heuristic_cells as u64);
+        assert!(counts.reads > 0);
     }
 
     #[test]

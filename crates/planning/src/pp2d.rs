@@ -10,9 +10,9 @@
 
 use std::cell::Cell;
 
-use rtr_archsim::MemorySim;
 use rtr_geom::{Footprint, GridMap2D, Pose2};
 use rtr_harness::{HotRegion, Profiler};
+use rtr_trace::MemTrace;
 
 use crate::search::{weighted_astar_traced, SearchResult, SearchSpace};
 
@@ -145,7 +145,9 @@ impl SearchSpace for CarSpace<'_> {
 ///     weight: 1.0,
 /// };
 /// let mut profiler = Profiler::new();
-/// let result = Pp2d::new(config).plan(&map, &mut profiler, None).unwrap();
+/// let result = Pp2d::new(config)
+///     .plan(&map, &mut profiler, &mut rtr_trace::NullTrace)
+///     .unwrap();
 /// assert_eq!(*result.path.last().unwrap(), (50, 50));
 /// ```
 #[derive(Debug, Clone)]
@@ -166,14 +168,15 @@ impl Pp2d {
     /// `graph_search` (everything else in the search loop). The per-check
     /// breakdown needs the hot-timing knob ([`Profiler::timed`]); with a
     /// plain [`Profiler::new`] the solve stays free of per-iteration
-    /// clock reads and the whole wall time lands in `graph_search`. When
-    /// `mem` is supplied, expanded nodes are replayed into the cache
-    /// simulator as row-major cell reads.
-    pub fn plan(
+    /// clock reads and the whole wall time lands in `graph_search`. The
+    /// search replays its open-list operations and row-major cell reads
+    /// (8 B per cell) into `trace`; pass [`rtr_trace::NullTrace`] for an
+    /// untraced run (the emission compiles away).
+    pub fn plan<T: MemTrace + ?Sized>(
         &self,
         map: &GridMap2D,
         profiler: &mut Profiler,
-        mut mem: Option<&mut MemorySim>,
+        trace: &mut T,
     ) -> Option<Pp2dResult> {
         let space = CarSpace {
             map,
@@ -191,10 +194,8 @@ impl Pp2d {
 
         let width = map.width() as u64;
         let (result, total): (Option<SearchResult<(i64, i64)>>, _) = profiler.span(|| {
-            weighted_astar_traced(&space, start, self.config.weight, &mut |n| {
-                if let Some(sim) = mem.as_deref_mut() {
-                    sim.read((n.1.max(0) as u64) * width + n.0.max(0) as u64);
-                }
+            weighted_astar_traced(&space, start, self.config.weight, trace, &mut |n| {
+                ((n.1.max(0) as u64) * width + n.0.max(0) as u64) * 8
             })
         });
         let collision = space.collision.total();
@@ -219,6 +220,7 @@ impl Pp2d {
 mod tests {
     use super::*;
     use rtr_geom::maps;
+    use rtr_trace::{NullTrace, RecordingTrace};
 
     fn small_footprint() -> Footprint {
         Footprint::new(1.0, 1.0)
@@ -234,7 +236,9 @@ mod tests {
             weight: 1.0,
         };
         let mut profiler = Profiler::new();
-        let r = Pp2d::new(config).plan(&map, &mut profiler, None).unwrap();
+        let r = Pp2d::new(config)
+            .plan(&map, &mut profiler, &mut NullTrace)
+            .unwrap();
         assert_eq!(r.path.first(), Some(&(5, 16)));
         assert_eq!(r.path.last(), Some(&(25, 16)));
         assert!((r.cost - 20.0).abs() < 1e-9);
@@ -253,7 +257,9 @@ mod tests {
             weight: 1.0,
         };
         let mut profiler = Profiler::new();
-        let r = Pp2d::new(config).plan(&map, &mut profiler, None).unwrap();
+        let r = Pp2d::new(config)
+            .plan(&map, &mut profiler, &mut NullTrace)
+            .unwrap();
         // Must climb above y=27 to clear the wall (footprint needs margin).
         assert!(r.path.iter().any(|&(_, y)| y >= 27));
         assert!(r.cost > 22.0);
@@ -272,7 +278,9 @@ mod tests {
             weight: 1.0,
         };
         let mut profiler = Profiler::new();
-        assert!(Pp2d::new(config).plan(&map, &mut profiler, None).is_none());
+        assert!(Pp2d::new(config)
+            .plan(&map, &mut profiler, &mut NullTrace)
+            .is_none());
     }
 
     #[test]
@@ -286,7 +294,9 @@ mod tests {
             weight: 1.0,
         };
         let mut profiler = Profiler::new();
-        assert!(Pp2d::new(config).plan(&map, &mut profiler, None).is_none());
+        assert!(Pp2d::new(config)
+            .plan(&map, &mut profiler, &mut NullTrace)
+            .is_none());
     }
 
     #[test]
@@ -305,9 +315,13 @@ mod tests {
             weight: 1.0,
         };
         let mut profiler = Profiler::new();
-        assert!(Pp2d::new(small).plan(&map, &mut profiler, None).is_some());
+        assert!(Pp2d::new(small)
+            .plan(&map, &mut profiler, &mut NullTrace)
+            .is_some());
         let car = Pp2dConfig::car((5, 19), (35, 19));
-        assert!(Pp2d::new(car).plan(&map, &mut profiler, None).is_none());
+        assert!(Pp2d::new(car)
+            .plan(&map, &mut profiler, &mut NullTrace)
+            .is_none());
     }
 
     #[test]
@@ -315,7 +329,7 @@ mod tests {
         let map = maps::city_blocks(256, 1.0, 3);
         let config = Pp2dConfig::car((4, 1), (241, 241));
         let mut profiler = Profiler::timed();
-        let r = Pp2d::new(config).plan(&map, &mut profiler, None);
+        let r = Pp2d::new(config).plan(&map, &mut profiler, &mut NullTrace);
         assert!(r.is_some(), "city map should be traversable on streets");
         profiler.freeze_total();
         let frac = profiler.fraction("collision_detection");
@@ -330,20 +344,20 @@ mod tests {
             weight: 1.0,
             ..Pp2dConfig::car((4, 1), (121, 121))
         })
-        .plan(&map, &mut profiler, None)
+        .plan(&map, &mut profiler, &mut NullTrace)
         .unwrap();
         let greedy = Pp2d::new(Pp2dConfig {
             weight: 3.0,
             ..Pp2dConfig::car((4, 1), (121, 121))
         })
-        .plan(&map, &mut profiler, None)
+        .plan(&map, &mut profiler, &mut NullTrace)
         .unwrap();
         assert!(greedy.expanded <= optimal.expanded);
         assert!(greedy.cost <= 3.0 * optimal.cost + 1e-9);
     }
 
     #[test]
-    fn traced_plan_reports_accesses() {
+    fn traced_plan_emits_cell_reads_and_open_list_writes() {
         let map = GridMap2D::new(64, 64, 1.0);
         let config = Pp2dConfig {
             start: (5, 5),
@@ -352,11 +366,25 @@ mod tests {
             weight: 1.0,
         };
         let mut profiler = Profiler::new();
-        let mut mem = MemorySim::i3_8109u();
-        let r = Pp2d::new(config)
-            .plan(&map, &mut profiler, Some(&mut mem))
+        let mut rec = RecordingTrace::default();
+        let r = Pp2d::new(config.clone())
+            .plan(&map, &mut profiler, &mut rec)
             .unwrap();
-        assert_eq!(mem.report().accesses, r.expanded);
+        // One row-major cell-record read (addresses < 1 << 40) per
+        // expansion, plus open-list and bookkeeping traffic on top.
+        let cell_reads = rec
+            .ops
+            .iter()
+            .filter(|op| !op.is_write && op.addr < (1 << 40))
+            .count() as u64;
+        assert_eq!(cell_reads, r.expanded);
+        assert!(rec.writes() > 0, "open-list pushes are stores");
+        // Tracing never changes the plan.
+        let plain = Pp2d::new(config)
+            .plan(&map, &mut profiler, &mut NullTrace)
+            .unwrap();
+        assert_eq!(plain.path, r.path);
+        assert_eq!(plain.cost.to_bits(), r.cost.to_bits());
     }
 
     #[test]
@@ -366,7 +394,9 @@ mod tests {
         let map = maps::city_blocks(128, 1.0, 9);
         let config = Pp2dConfig::car((4, 1), (121, 121));
         let mut profiler = Profiler::new();
-        let r = Pp2d::new(config).plan(&map, &mut profiler, None).unwrap();
+        let r = Pp2d::new(config)
+            .plan(&map, &mut profiler, &mut NullTrace)
+            .unwrap();
         for w in r.path.windows(2) {
             let dx = (w[1].0 as i64 - w[0].0 as i64).abs();
             let dy = (w[1].1 as i64 - w[0].1 as i64).abs();

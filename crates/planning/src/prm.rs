@@ -14,9 +14,10 @@ use std::cell::Cell;
 
 use rtr_harness::{Pool, Profiler};
 use rtr_sim::SimRng;
+use rtr_trace::MemTrace;
 
 use crate::rrt::{config_distance, ArmProblem, Config};
-use crate::search::{astar, SearchSpace};
+use crate::search::{astar_traced, SearchSpace};
 
 /// Configuration for [`Prm`].
 #[derive(Debug, Clone)]
@@ -168,7 +169,9 @@ impl SearchSpace for QuerySpace<'_> {
 /// let mut profiler = Profiler::new();
 /// let prm = Prm::new(PrmConfig { roadmap_size: 400, ..Default::default() });
 /// let roadmap = prm.build(&problem, &mut profiler);
-/// let result = prm.query(&problem, &roadmap, &mut profiler).expect("solvable");
+/// let result = prm
+///     .query(&problem, &roadmap, &mut profiler, &mut rtr_trace::NullTrace)
+///     .expect("solvable");
 /// assert!(problem.path_valid(&result.path));
 /// ```
 #[derive(Debug, Clone)]
@@ -338,11 +341,18 @@ impl Prm {
     /// Returns `None` when start/goal cannot be connected or no roadmap
     /// path exists (e.g. the roadmap is too sparse for `Map-C`'s narrow
     /// passages).
-    pub fn query(
+    ///
+    /// The online phase emits into `trace`: every k-NN candidate visit
+    /// during connection reads that vertex's 40 B configuration record
+    /// (five `f64` joints), and the A* over the roadmap replays its
+    /// open-list operations plus a record read per touched vertex. Pass
+    /// [`rtr_trace::NullTrace`] for an untraced query.
+    pub fn query<T: MemTrace + ?Sized>(
         &self,
         problem: &ArmProblem,
         roadmap: &Roadmap,
         profiler: &mut Profiler,
+        trace: &mut T,
     ) -> Option<PrmResult> {
         if roadmap.is_empty()
             || problem.in_collision(&problem.start)
@@ -352,13 +362,14 @@ impl Prm {
         }
         let l2_evals = Cell::new(0u64);
 
-        let connect = |config: &Config, l2: &Cell<u64>| -> Vec<(usize, f64)> {
+        let connect = |config: &Config, l2: &Cell<u64>, trace: &mut T| -> Vec<(usize, f64)> {
             let mut candidates: Vec<(usize, f64)> = roadmap
                 .nodes
                 .iter()
                 .enumerate()
                 .map(|(j, n)| {
                     l2.set(l2.get() + 1);
+                    trace.read(j as u64 * 40);
                     (j, config_distance(config, n))
                 })
                 .collect();
@@ -370,12 +381,15 @@ impl Prm {
                 .take(self.config.neighbors)
                 .collect()
         };
-        let (start_edges, goal_edges_rev) = profiler.time("online_connect", || {
-            (
-                connect(&problem.start, &l2_evals),
-                connect(&problem.goal, &l2_evals),
-            )
-        });
+        let (start_edges, goal_edges_rev) = {
+            let tr = &mut *trace;
+            profiler.time("online_connect", || {
+                (
+                    connect(&problem.start, &l2_evals, &mut *tr),
+                    connect(&problem.goal, &l2_evals, &mut *tr),
+                )
+            })
+        };
         if start_edges.is_empty() || goal_edges_rev.is_empty() {
             return None;
         }
@@ -388,7 +402,13 @@ impl Prm {
             goal: problem.goal,
             l2_evals: &l2_evals,
         };
-        let result = profiler.time("graph_search", || astar(&space, START_ID))?;
+        let result = profiler.time("graph_search", || {
+            astar_traced(&space, START_ID, trace, &mut |&id| match id {
+                START_ID => 1 << 36,
+                GOAL_ID => (1 << 36) + 40,
+                _ => id as u64 * 40,
+            })
+        })?;
 
         let path: Vec<Config> = result.path.iter().map(|&id| space.config_of(id)).collect();
         Some(PrmResult {
@@ -403,6 +423,7 @@ impl Prm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_trace::{NullTrace, RecordingTrace};
 
     #[test]
     fn builds_connected_roadmap_in_free_space() {
@@ -427,7 +448,7 @@ mod tests {
         });
         let roadmap = prm.build(&problem, &mut profiler);
         let r = prm
-            .query(&problem, &roadmap, &mut profiler)
+            .query(&problem, &roadmap, &mut profiler, &mut NullTrace)
             .expect("solvable");
         assert!(problem.path_valid(&r.path));
         assert!(r.l2_evals > 0);
@@ -445,7 +466,7 @@ mod tests {
             threads: 1,
         });
         let roadmap = prm.build(&problem, &mut profiler);
-        let r = prm.query(&problem, &roadmap, &mut profiler);
+        let r = prm.query(&problem, &roadmap, &mut profiler, &mut NullTrace);
         assert!(r.is_some(), "Map-C query failed with a 1200-node roadmap");
         assert!(problem.path_valid(&r.unwrap().path));
     }
@@ -459,10 +480,14 @@ mod tests {
             ..Default::default()
         });
         let roadmap = prm.build(&problem, &mut profiler);
-        let first = prm.query(&problem, &roadmap, &mut profiler).unwrap();
+        let first = prm
+            .query(&problem, &roadmap, &mut profiler, &mut NullTrace)
+            .unwrap();
         // New query on the same roadmap with swapped endpoints.
         std::mem::swap(&mut problem.start, &mut problem.goal);
-        let second = prm.query(&problem, &roadmap, &mut profiler).unwrap();
+        let second = prm
+            .query(&problem, &roadmap, &mut profiler, &mut NullTrace)
+            .unwrap();
         assert!((first.cost - second.cost).abs() < 1e-9, "symmetric query");
     }
 
@@ -477,7 +502,8 @@ mod tests {
             ..Default::default()
         });
         let roadmap = prm.build(&problem, &mut profiler);
-        prm.query(&problem, &roadmap, &mut profiler).unwrap();
+        prm.query(&problem, &roadmap, &mut profiler, &mut NullTrace)
+            .unwrap();
         let offline = profiler.region_total("offline_build");
         let online =
             profiler.region_total("online_connect") + profiler.region_total("graph_search");
@@ -515,8 +541,12 @@ mod tests {
             seed: 4,
             threads: 1,
         });
-        let a = prm.query(&problem, &brute, &mut profiler).unwrap();
-        let b = prm.query(&problem, &kd, &mut profiler).unwrap();
+        let a = prm
+            .query(&problem, &brute, &mut profiler, &mut NullTrace)
+            .unwrap();
+        let b = prm
+            .query(&problem, &kd, &mut profiler, &mut NullTrace)
+            .unwrap();
         assert!((a.cost - b.cost).abs() < 1e-9);
     }
 
@@ -601,8 +631,37 @@ mod tests {
         };
         let mut profiler = Profiler::new();
         assert!(Prm::new(PrmConfig::default())
-            .query(&problem, &roadmap, &mut profiler)
+            .query(&problem, &roadmap, &mut profiler, &mut NullTrace)
             .is_none());
+    }
+
+    #[test]
+    fn traced_query_reads_roadmap_records() {
+        let problem = ArmProblem::map_f(1);
+        let mut profiler = Profiler::new();
+        let prm = Prm::new(PrmConfig {
+            roadmap_size: 300,
+            ..Default::default()
+        });
+        let roadmap = prm.build(&problem, &mut profiler);
+        let mut rec = RecordingTrace::default();
+        let traced = prm
+            .query(&problem, &roadmap, &mut profiler, &mut rec)
+            .unwrap();
+        let plain = prm
+            .query(&problem, &roadmap, &mut profiler, &mut NullTrace)
+            .unwrap();
+        assert_eq!(traced.cost.to_bits(), plain.cost.to_bits());
+        assert_eq!(traced.expanded, plain.expanded);
+        assert_eq!(traced.l2_evals, plain.l2_evals);
+        // Connection scans every vertex for start and goal: at least
+        // 2 * |V| reads of 40 B records below the search regions.
+        let record_reads = rec
+            .ops
+            .iter()
+            .filter(|op| !op.is_write && op.addr < (1 << 36))
+            .count() as u64;
+        assert!(record_reads >= 2 * roadmap.len() as u64);
     }
 
     #[test]
@@ -614,7 +673,9 @@ mod tests {
             ..Default::default()
         });
         let roadmap = prm.build(&problem, &mut profiler);
-        let r = prm.query(&problem, &roadmap, &mut profiler).unwrap();
+        let r = prm
+            .query(&problem, &roadmap, &mut profiler, &mut NullTrace)
+            .unwrap();
         assert!(r.cost >= config_distance(&problem.start, &problem.goal) - 1e-9);
     }
 }

@@ -11,10 +11,10 @@
 
 use std::f64::consts::PI;
 
-use rtr_archsim::MemorySim;
 use rtr_geom::{maps, Aabb2, KdLayout, KdTree, Point2};
 use rtr_harness::Profiler;
 use rtr_sim::{PlanarArm, SimRng};
+use rtr_trace::MemTrace;
 
 /// Degrees of freedom of the paper's arm ("we model a 5-DoF arm
 /// manipulator").
@@ -290,7 +290,7 @@ impl Tree {
 /// let problem = ArmProblem::map_f(1);
 /// let mut profiler = Profiler::new();
 /// let result = Rrt::new(RrtConfig::default())
-///     .plan(&problem, &mut profiler, None)
+///     .plan(&problem, &mut profiler, &mut rtr_trace::NullTrace)
 ///     .expect("free workspace is solvable");
 /// assert!(problem.path_valid(&result.path));
 /// ```
@@ -309,15 +309,16 @@ impl Rrt {
     /// or the sample budget is exhausted.
     ///
     /// Profiler regions: `sampling`, `nn_search`, `collision_detection`.
-    /// When `mem` is supplied, k-d-tree node visits are replayed into the
-    /// cache simulator (40-byte configurations in an insertion-order
-    /// arena, "samples whose values are close could be allocated in
-    /// distant memory locations").
-    pub fn plan(
+    /// With a live `trace` sink, k-d-tree node visits during NN search are
+    /// emitted as reads of 40-byte configurations in an insertion-order
+    /// arena ("samples whose values are close could be allocated in
+    /// distant memory locations"), and each accepted extension writes its
+    /// new arena slot. Pass [`rtr_trace::NullTrace`] for an untraced run.
+    pub fn plan<T: MemTrace + ?Sized>(
         &self,
         problem: &ArmProblem,
         profiler: &mut Profiler,
-        mut mem: Option<&mut MemorySim>,
+        trace: &mut T,
     ) -> Option<RrtResult> {
         if problem.in_collision(&problem.start) || problem.in_collision(&problem.goal) {
             return None;
@@ -340,10 +341,10 @@ impl Rrt {
             // Nearest neighbor in the tree.
             let nn_start = profiler.hot_start();
             nn_queries += 1;
-            let (nearest_id, _) = if let Some(sim) = mem.as_deref_mut() {
+            let (nearest_id, _) = if trace.enabled() {
                 tree.index
                     .nearest_with(&target, |payload| {
-                        sim.read(payload as u64 * 40); // 5 × f64 per config
+                        trace.read(payload as u64 * 40); // 5 × f64 per config
                     })
                     .expect("tree is non-empty")
             } else {
@@ -361,6 +362,9 @@ impl Rrt {
                 continue;
             }
             let new_id = tree.add(new_config, nearest_id);
+            if trace.enabled() {
+                trace.write(new_id as u64 * 40);
+            }
 
             // Goal connection test.
             if config_distance(&new_config, &problem.goal) <= problem.goal_tolerance {
@@ -370,6 +374,9 @@ impl Rrt {
                 profiler.hot_add("collision_detection", col_start);
                 if free {
                     let goal_id = tree.add(problem.goal, new_id);
+                    if trace.enabled() {
+                        trace.write(goal_id as u64 * 40);
+                    }
                     let path = tree.path_to(goal_id);
                     return Some(RrtResult {
                         cost: problem.path_cost(&path),
@@ -389,13 +396,14 @@ impl Rrt {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_trace::{CountingTrace, NullTrace};
 
     #[test]
     fn solves_free_workspace() {
         let problem = ArmProblem::map_f(1);
         let mut profiler = Profiler::new();
         let r = Rrt::new(RrtConfig::default())
-            .plan(&problem, &mut profiler, None)
+            .plan(&problem, &mut profiler, &mut NullTrace)
             .expect("solvable");
         assert!(problem.path_valid(&r.path));
         assert!(r.cost >= config_distance(&problem.start, &problem.goal) - 1e-9);
@@ -409,7 +417,7 @@ mod tests {
             max_samples: 50_000,
             ..Default::default()
         })
-        .plan(&problem, &mut profiler, None)
+        .plan(&problem, &mut profiler, &mut NullTrace)
         .expect("map-c should be solvable");
         assert!(problem.path_valid(&r.path));
     }
@@ -420,10 +428,10 @@ mod tests {
         let mut p1 = Profiler::new();
         let mut p2 = Profiler::new();
         let a = Rrt::new(RrtConfig::default())
-            .plan(&problem, &mut p1, None)
+            .plan(&problem, &mut p1, &mut NullTrace)
             .unwrap();
         let b = Rrt::new(RrtConfig::default())
-            .plan(&problem, &mut p2, None)
+            .plan(&problem, &mut p2, &mut NullTrace)
             .unwrap();
         assert_eq!(a.samples, b.samples);
         assert_eq!(a.cost, b.cost);
@@ -438,7 +446,7 @@ mod tests {
             max_samples: 50_000,
             ..Default::default()
         })
-        .plan(&problem, &mut profiler, None)
+        .plan(&problem, &mut profiler, &mut NullTrace)
         .expect("solvable");
         profiler.freeze_total();
         let report = profiler.report();
@@ -459,7 +467,7 @@ mod tests {
         ));
         let mut profiler = Profiler::new();
         assert!(Rrt::new(RrtConfig::default())
-            .plan(&problem, &mut profiler, None)
+            .plan(&problem, &mut profiler, &mut NullTrace)
             .is_none());
     }
 
@@ -474,23 +482,29 @@ mod tests {
     }
 
     #[test]
-    fn traced_run_shows_elevated_miss_ratio() {
-        // The paper: NN search's irregular accesses produce a 12-22 % L1D
-        // miss ratio. With a large tree the arena exceeds L1 and the
-        // tree-order jumps miss.
+    fn traced_run_is_bit_identical_and_emits_nn_visits() {
+        // The paper's 12-22 % L1D miss-ratio finding for the NN search is
+        // asserted end-to-end in the bench crate's characterization tests;
+        // here we check the emission shape and the determinism contract.
         let problem = ArmProblem::map_c(6);
         let mut profiler = Profiler::new();
-        let mut mem = MemorySim::i3_8109u();
-        Rrt::new(RrtConfig {
-            max_samples: 60_000,
-            goal_bias: 0.0, // keep growing; never terminate early
+        let config = RrtConfig {
+            max_samples: 5_000,
             ..Default::default()
-        })
-        .plan(&problem, &mut profiler, Some(&mut mem));
-        let report = mem.report();
-        assert!(report.accesses > 100_000);
-        let miss = report.levels[0].miss_ratio();
-        assert!(miss > 0.02, "L1D miss ratio too low: {miss}");
+        };
+        let mut counts = CountingTrace::default();
+        let traced = Rrt::new(config.clone())
+            .plan(&problem, &mut profiler, &mut counts)
+            .expect("solvable");
+        let plain = Rrt::new(config)
+            .plan(&problem, &mut profiler, &mut NullTrace)
+            .expect("solvable");
+        assert_eq!(traced.cost.to_bits(), plain.cost.to_bits());
+        assert_eq!(traced.samples, plain.samples);
+        // Every accepted extension writes its arena slot (the root is
+        // never written), and NN visits dominate reads.
+        assert_eq!(counts.writes, traced.tree_size as u64 - 1);
+        assert!(counts.reads > traced.nn_queries);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! inequality). The paper finds the resulting computation and path cost
 //! "lie in between RRT* and the baseline RRT".
 
-use rtr_archsim::MemorySim;
 use rtr_harness::Profiler;
+use rtr_trace::MemTrace;
 
 use crate::rrt::{ArmProblem, Config, Rrt, RrtConfig, RrtResult};
 
@@ -36,7 +36,7 @@ pub struct RrtPpResult {
 /// let problem = ArmProblem::map_f(1);
 /// let mut profiler = Profiler::new();
 /// let result = RrtPp::new(RrtConfig::default(), 4)
-///     .plan(&problem, &mut profiler, None)
+///     .plan(&problem, &mut profiler, &mut rtr_trace::NullTrace)
 ///     .expect("solvable");
 /// assert!(result.base.cost <= result.raw_cost + 1e-9);
 /// ```
@@ -59,34 +59,39 @@ impl RrtPp {
     ///
     /// Profiler regions: the underlying RRT's (`sampling`, `nn_search`,
     /// `collision_detection`) plus `post_process` for the shortcut phase.
-    pub fn plan(
+    /// The trace stream is the underlying RRT's plus one 40-byte path-node
+    /// read per shortcut candidate pair examined.
+    pub fn plan<T: MemTrace + ?Sized>(
         &self,
         problem: &ArmProblem,
         profiler: &mut Profiler,
-        mem: Option<&mut MemorySim>,
+        trace: &mut T,
     ) -> Option<RrtPpResult> {
-        let mut base = Rrt::new(self.config.clone()).plan(problem, profiler, mem)?;
+        let mut base = Rrt::new(self.config.clone()).plan(problem, profiler, &mut *trace)?;
         let raw_cost = base.cost;
 
         // Once-per-solve coarse measurement: stays on even when the
         // per-iteration hot-loop timing knob is off.
-        let (path, shortcuts, passes, extra_checks) = profiler.time("post_process", || {
-            let mut path = base.path.clone();
-            let mut shortcuts = 0u64;
-            let mut passes = 0u32;
-            let mut extra_checks = 0u64;
-            for _ in 0..self.max_passes {
-                passes += 1;
-                let (next, cut, checks) = shortcut_pass(problem, &path);
-                extra_checks += checks;
-                path = next;
-                shortcuts += cut;
-                if cut == 0 {
-                    break; // Converged: no pair can be connected directly.
+        let (path, shortcuts, passes, extra_checks) = {
+            let tr = &mut *trace;
+            profiler.time("post_process", || {
+                let mut path = base.path.clone();
+                let mut shortcuts = 0u64;
+                let mut passes = 0u32;
+                let mut extra_checks = 0u64;
+                for _ in 0..self.max_passes {
+                    passes += 1;
+                    let (next, cut, checks) = shortcut_pass(problem, &path, &mut *tr);
+                    extra_checks += checks;
+                    path = next;
+                    shortcuts += cut;
+                    if cut == 0 {
+                        break; // Converged: no pair can be connected directly.
+                    }
                 }
-            }
-            (path, shortcuts, passes, extra_checks)
-        });
+                (path, shortcuts, passes, extra_checks)
+            })
+        };
 
         base.collision_checks += extra_checks;
         base.cost = problem.path_cost(&path);
@@ -103,7 +108,11 @@ impl RrtPp {
 /// One greedy shortcut sweep: from each node, jump to the farthest later
 /// node directly reachable without collision. Returns the new path, the
 /// number of shortcuts, and collision checks spent.
-fn shortcut_pass(problem: &ArmProblem, path: &[Config]) -> (Vec<Config>, u64, u64) {
+fn shortcut_pass<T: MemTrace + ?Sized>(
+    problem: &ArmProblem,
+    path: &[Config],
+    trace: &mut T,
+) -> (Vec<Config>, u64, u64) {
     if path.len() <= 2 {
         return (path.to_vec(), 0, 0);
     }
@@ -116,6 +125,10 @@ fn shortcut_pass(problem: &ArmProblem, path: &[Config]) -> (Vec<Config>, u64, u6
         let mut j = i + 1;
         for candidate in ((i + 2)..path.len()).rev() {
             checks += 1;
+            if trace.enabled() {
+                trace.read(i as u64 * 40);
+                trace.read(candidate as u64 * 40);
+            }
             if problem.motion_free(&path[i], &path[candidate]) {
                 j = candidate;
                 break;
@@ -135,6 +148,7 @@ mod tests {
     use super::*;
     use crate::rrt::config_distance;
     use crate::rrtstar::RrtStar;
+    use rtr_trace::{CountingTrace, NullTrace};
 
     #[test]
     fn shortcutting_never_increases_cost() {
@@ -146,7 +160,7 @@ mod tests {
                 max_samples: 50_000,
                 ..Default::default()
             };
-            if let Some(r) = RrtPp::new(config, 6).plan(&problem, &mut profiler, None) {
+            if let Some(r) = RrtPp::new(config, 6).plan(&problem, &mut profiler, &mut NullTrace) {
                 assert!(r.base.cost <= r.raw_cost + 1e-9);
                 assert!(problem.path_valid(&r.base.path));
             }
@@ -159,7 +173,7 @@ mod tests {
         let problem = ArmProblem::map_f(1);
         let mut profiler = Profiler::new();
         let r = RrtPp::new(RrtConfig::default(), 8)
-            .plan(&problem, &mut profiler, None)
+            .plan(&problem, &mut profiler, &mut NullTrace)
             .expect("solvable");
         assert_eq!(r.base.path.len(), 2, "free space should fully shortcut");
         let direct = config_distance(&problem.start, &problem.goal);
@@ -182,13 +196,13 @@ mod tests {
                 ..Default::default()
             };
             let (Some(rrt), Some(pp), Some(star)) = (
-                Rrt::new(base_config.clone()).plan(&problem, &mut p, None),
-                RrtPp::new(base_config.clone(), 6).plan(&problem, &mut p, None),
+                Rrt::new(base_config.clone()).plan(&problem, &mut p, &mut NullTrace),
+                RrtPp::new(base_config.clone(), 6).plan(&problem, &mut p, &mut NullTrace),
                 RrtStar::new(RrtConfig {
                     max_samples: 8_000,
                     ..base_config
                 })
-                .plan(&problem, &mut p, None),
+                .plan(&problem, &mut p, &mut NullTrace),
             ) else {
                 continue;
             };
@@ -219,16 +233,38 @@ mod tests {
             },
             4,
         )
-        .plan(&problem, &mut profiler, None)
+        .plan(&problem, &mut profiler, &mut NullTrace)
         .expect("solvable");
         assert!(profiler.region_calls("post_process") == 1);
+    }
+
+    #[test]
+    fn traced_plan_is_bit_identical_and_adds_shortcut_reads() {
+        let problem = ArmProblem::map_c(41);
+        let mut profiler = Profiler::new();
+        let config = RrtConfig {
+            max_samples: 50_000,
+            ..Default::default()
+        };
+        let mut counts = CountingTrace::default();
+        let traced = RrtPp::new(config.clone(), 4)
+            .plan(&problem, &mut profiler, &mut counts)
+            .expect("solvable");
+        let plain = RrtPp::new(config, 4)
+            .plan(&problem, &mut profiler, &mut NullTrace)
+            .expect("solvable");
+        assert_eq!(traced.base.cost.to_bits(), plain.base.cost.to_bits());
+        assert_eq!(traced.shortcuts, plain.shortcuts);
+        // RRT NN visits plus two reads per shortcut candidate pair.
+        assert!(counts.reads > 2 * traced.shortcuts);
+        assert!(counts.writes > 0);
     }
 
     #[test]
     fn trivial_paths_pass_through() {
         let problem = ArmProblem::map_f(2);
         let two = vec![problem.start, problem.goal];
-        let (out, cuts, _) = shortcut_pass(&problem, &two);
+        let (out, cuts, _) = shortcut_pass(&problem, &two, &mut NullTrace);
         assert_eq!(out.len(), 2);
         assert_eq!(cuts, 0);
     }

@@ -10,9 +10,9 @@
 //! share of execution growing to ~49 % because of the per-sample
 //! neighborhood queries.
 
-use rtr_archsim::MemorySim;
 use rtr_harness::Profiler;
 use rtr_sim::SimRng;
+use rtr_trace::MemTrace;
 
 use crate::rrt::{config_distance, steer, ArmProblem, Config, RrtConfig, RrtResult, Tree};
 
@@ -38,7 +38,7 @@ pub struct RrtStarResult {
 /// let problem = ArmProblem::map_f(1);
 /// let mut profiler = Profiler::new();
 /// let result = RrtStar::new(RrtConfig { max_samples: 4000, ..Default::default() })
-///     .plan(&problem, &mut profiler, None)
+///     .plan(&problem, &mut profiler, &mut rtr_trace::NullTrace)
 ///     .expect("solvable");
 /// assert!(problem.path_valid(&result.base.path));
 /// ```
@@ -58,12 +58,14 @@ impl RrtStar {
     ///
     /// Profiler regions: `sampling`, `nn_search` (nearest + neighborhood
     /// queries), `collision_detection` (extension, parent-choice and
-    /// rewiring checks).
-    pub fn plan(
+    /// rewiring checks). With a live `trace` sink, both NN query kinds
+    /// emit 40-byte configuration reads per visited node, and accepted
+    /// extensions/rewirings write the touched arena slots.
+    pub fn plan<T: MemTrace + ?Sized>(
         &self,
         problem: &ArmProblem,
         profiler: &mut Profiler,
-        mut mem: Option<&mut MemorySim>,
+        trace: &mut T,
     ) -> Option<RrtStarResult> {
         if problem.in_collision(&problem.start) || problem.in_collision(&problem.goal) {
             return None;
@@ -104,7 +106,7 @@ impl RrtStar {
             // Nearest node.
             let nn_start = profiler.hot_start();
             nn_queries += 1;
-            let (nearest_id, _) = nearest(&tree, &target, mem.as_deref_mut());
+            let (nearest_id, _) = nearest(&tree, &target, &mut *trace);
             profiler.hot_add("nn_search", nn_start);
 
             let new_config = steer(&tree.nodes[nearest_id], &target, self.config.epsilon);
@@ -124,7 +126,7 @@ impl RrtStar {
                 &tree,
                 &new_config,
                 self.config.neighbor_radius,
-                mem.as_deref_mut(),
+                &mut *trace,
                 &mut neighbors,
             );
             profiler.hot_add("nn_search", nn_start);
@@ -148,6 +150,9 @@ impl RrtStar {
                 }
             }
             let new_id = tree.add(new_config, parent);
+            if trace.enabled() {
+                trace.write(new_id as u64 * 40);
+            }
 
             // Rewire neighbors through the new node when cheaper.
             for &(neighbor, _) in &neighbors {
@@ -166,6 +171,10 @@ impl RrtStar {
                         tree.reparent(neighbor, new_id);
                         propagate_cost_reduction(&mut tree, neighbor, delta);
                         rewirings += 1;
+                        if trace.enabled() {
+                            // Parent-pointer update in the rewired node.
+                            trace.write(neighbor as u64 * 40);
+                        }
                     }
                 }
             }
@@ -209,30 +218,30 @@ impl RrtStar {
     }
 }
 
-fn nearest(tree: &Tree, target: &Config, mem: Option<&mut MemorySim>) -> (usize, f64) {
-    match mem {
-        Some(sim) => tree
-            .index
-            .nearest_with(target, |payload| sim.read(payload as u64 * 40))
-            .expect("tree non-empty"),
-        None => tree.index.nearest(target).expect("tree non-empty"),
+fn nearest<T: MemTrace + ?Sized>(tree: &Tree, target: &Config, trace: &mut T) -> (usize, f64) {
+    if trace.enabled() {
+        tree.index
+            .nearest_with(target, |payload| trace.read(payload as u64 * 40))
+            .expect("tree non-empty")
+    } else {
+        tree.index.nearest(target).expect("tree non-empty")
     }
 }
 
 /// Radius query into a caller-owned buffer (`out` is cleared first). The
 /// plan loop reuses one buffer across samples, so the per-sample `Vec`
 /// allocation the neighborhood query used to pay is gone after warmup.
-fn neighborhood_into(
+fn neighborhood_into<T: MemTrace + ?Sized>(
     tree: &Tree,
     center: &Config,
     radius: f64,
-    mem: Option<&mut MemorySim>,
+    trace: &mut T,
     out: &mut Vec<(usize, f64)>,
 ) {
     tree.index.within_radius_into(center, radius, out);
-    if let Some(sim) = mem {
+    if trace.enabled() {
         for &(payload, _) in out.iter() {
-            sim.read(payload as u64 * 40);
+            trace.read(payload as u64 * 40);
         }
     }
 }
@@ -277,6 +286,7 @@ fn propagate_cost_reduction_scan(parents: &[usize], costs: &mut [f64], root: usi
 mod tests {
     use super::*;
     use crate::rrt::Rrt;
+    use rtr_trace::{NullTrace, RecordingTrace};
 
     fn small_budget() -> RrtConfig {
         RrtConfig {
@@ -290,7 +300,7 @@ mod tests {
         let problem = ArmProblem::map_f(1);
         let mut profiler = Profiler::new();
         let r = RrtStar::new(small_budget())
-            .plan(&problem, &mut profiler, None)
+            .plan(&problem, &mut profiler, &mut NullTrace)
             .expect("solvable");
         assert!(problem.path_valid(&r.base.path));
         assert!(r.goal_connections >= 1);
@@ -308,14 +318,14 @@ mod tests {
                 seed,
                 ..Default::default()
             })
-            .plan(&problem, &mut p, None)
+            .plan(&problem, &mut p, &mut NullTrace)
             .expect("solvable");
             let star = RrtStar::new(RrtConfig {
                 seed,
                 max_samples: 4_000,
                 ..Default::default()
             })
-            .plan(&problem, &mut p, None)
+            .plan(&problem, &mut p, &mut NullTrace)
             .expect("solvable");
             star_total += star.base.cost;
             rrt_total += rrt.cost;
@@ -331,10 +341,10 @@ mod tests {
         let problem = ArmProblem::map_f(2);
         let mut p = Profiler::new();
         let rrt = Rrt::new(RrtConfig::default())
-            .plan(&problem, &mut p, None)
+            .plan(&problem, &mut p, &mut NullTrace)
             .unwrap();
         let star = RrtStar::new(small_budget())
-            .plan(&problem, &mut p, None)
+            .plan(&problem, &mut p, &mut NullTrace)
             .unwrap();
         assert!(star.base.collision_checks > rrt.collision_checks);
         assert!(star.base.nn_queries > rrt.nn_queries);
@@ -345,7 +355,7 @@ mod tests {
         let problem = ArmProblem::map_f(3);
         let mut p = Profiler::new();
         let r = RrtStar::new(small_budget())
-            .plan(&problem, &mut p, None)
+            .plan(&problem, &mut p, &mut NullTrace)
             .unwrap();
         assert!(r.rewirings > 0, "no rewiring in {} samples", r.base.samples);
     }
@@ -362,7 +372,7 @@ mod tests {
         };
         // Re-run the planner but inspect internals through the result: the
         // returned path cost must equal the recomputed edge-sum cost.
-        let r = RrtStar::new(config).plan(&problem, &mut p, None);
+        let r = RrtStar::new(config).plan(&problem, &mut p, &mut NullTrace);
         if let Some(r) = r {
             let recomputed = problem.path_cost(&r.base.path);
             assert!((recomputed - r.base.cost).abs() < 1e-9);
@@ -377,14 +387,14 @@ mod tests {
             max_samples: 5_000,
             ..Default::default()
         })
-        .plan(&problem, &mut p, None)
+        .plan(&problem, &mut p, &mut NullTrace)
         .expect("solvable");
         let bounded = RrtStar::new(RrtConfig {
             max_samples: 5_000,
             star_refine_factor: Some(4.0),
             ..Default::default()
         })
-        .plan(&problem, &mut p, None)
+        .plan(&problem, &mut p, &mut NullTrace)
         .expect("solvable");
         assert!(bounded.base.samples <= full.base.samples);
         assert!(bounded.base.collision_checks <= full.base.collision_checks);
@@ -462,14 +472,14 @@ mod tests {
             kd_layout: KdLayout::NodeLegacy,
             ..Default::default()
         })
-        .plan(&problem, &mut p, None)
+        .plan(&problem, &mut p, &mut NullTrace)
         .expect("solvable");
         let bucket = RrtStar::new(RrtConfig {
             max_samples: 2_000,
             kd_layout: KdLayout::BucketSoA,
             ..Default::default()
         })
-        .plan(&problem, &mut p, None)
+        .plan(&problem, &mut p, &mut NullTrace)
         .expect("solvable");
         assert_eq!(legacy.base.samples, bucket.base.samples);
         assert_eq!(legacy.base.cost.to_bits(), bucket.base.cost.to_bits());
@@ -507,7 +517,7 @@ mod tests {
         let mut buf: Vec<(usize, f64)> = Vec::new();
         // Warmup pass grows the buffer to the largest neighborhood seen.
         for q in &queries {
-            neighborhood_into(&tree, q, 2.0, None, &mut buf);
+            neighborhood_into(&tree, q, 2.0, &mut NullTrace, &mut buf);
         }
         assert!(!buf.is_empty(), "radius too small to exercise the buffer");
         let cap = buf.capacity();
@@ -515,7 +525,7 @@ mod tests {
         // result must match the allocating twin.
         for (i, q) in queries.iter().enumerate() {
             let expected = tree.index.within_radius(q, 2.0);
-            neighborhood_into(&tree, q, 2.0, None, &mut buf);
+            neighborhood_into(&tree, q, 2.0, &mut NullTrace, &mut buf);
             assert_eq!(buf, expected, "query {i} diverged from allocating twin");
         }
         assert_eq!(
@@ -526,6 +536,31 @@ mod tests {
     }
 
     #[test]
+    fn traced_plan_is_bit_identical_and_writes_rewired_slots() {
+        let problem = ArmProblem::map_f(8);
+        let mut p = Profiler::new();
+        let config = RrtConfig {
+            max_samples: 2_000,
+            ..Default::default()
+        };
+        let mut rec = RecordingTrace::default();
+        let traced = RrtStar::new(config.clone())
+            .plan(&problem, &mut p, &mut rec)
+            .expect("solvable");
+        let plain = RrtStar::new(config)
+            .plan(&problem, &mut p, &mut NullTrace)
+            .expect("solvable");
+        assert_eq!(traced.base.cost.to_bits(), plain.base.cost.to_bits());
+        assert_eq!(traced.rewirings, plain.rewirings);
+        // One arena write per added node plus one per rewiring.
+        assert_eq!(
+            rec.writes(),
+            traced.base.tree_size as u64 - 1 + traced.rewirings
+        );
+        assert!(rec.reads() > rec.writes());
+    }
+
+    #[test]
     fn solves_cluttered_map() {
         let problem = ArmProblem::map_c(5);
         let mut p = Profiler::new();
@@ -533,7 +568,7 @@ mod tests {
             max_samples: 12_000,
             ..Default::default()
         })
-        .plan(&problem, &mut p, None)
+        .plan(&problem, &mut p, &mut NullTrace)
         .expect("map-c solvable");
         assert!(problem.path_valid(&r.base.path));
     }

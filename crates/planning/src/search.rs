@@ -2,15 +2,73 @@
 //!
 //! The paper's grid planners (`04.pp2d`, `05.pp3d`, `06.movtar`), the PRM
 //! online phase and the symbolic planner all reduce to best-first search.
-//! The engine here is shared by all of them; it exposes an expansion hook
-//! so traced kernels can replay node accesses into the cache simulator,
-//! reproducing the "irregular traversal ... hard to parallelize" behaviour
-//! the paper highlights for graph search.
+//! The engine here is shared by all of them; its `*_traced` variants emit
+//! every open-list push/pop, bookkeeping probe and node-record read into a
+//! [`MemTrace`] sink, reproducing the "irregular traversal ... hard to
+//! parallelize" behaviour the paper highlights for graph search. With
+//! [`NullTrace`] (the default) the emission compiles to nothing.
 
 use std::cmp::Ordering;
 // rtr-lint: allow(nondet-iter) -- maps below are keyed-lookup only, never iterated
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
+
+use rtr_trace::{MemTrace, NullTrace};
+
+/// Synthetic base address of the open-list entry array (32 B entries).
+const OPEN_REGION: u64 = 1 << 40;
+/// Synthetic base address of the best/closed bookkeeping table.
+const BEST_REGION: u64 = 1 << 41;
+/// Bytes per open-list entry: f, g and a node id.
+const OPEN_ENTRY_BYTES: u64 = 32;
+/// Bytes per bookkeeping bucket: best g plus a parent id.
+const BEST_BUCKET_BYTES: u64 = 16;
+
+/// Maps a node's record address onto its bookkeeping bucket (a splitmix64
+/// finalizer over a fixed 2^20-bucket table), so best/closed probes scatter
+/// the way a hash table's do.
+#[inline]
+fn probe_addr(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    BEST_REGION + (z & ((1 << 20) - 1)) * BEST_BUCKET_BYTES
+}
+
+/// Replays a binary-heap push at slot `len`: the appended entry is written,
+/// then the parent chain is read on the way up (sift-up).
+#[inline]
+fn trace_heap_push<T: MemTrace + ?Sized>(trace: &mut T, len: usize) {
+    let mut idx = len as u64;
+    trace.write(OPEN_REGION + idx * OPEN_ENTRY_BYTES);
+    while idx > 0 {
+        idx = (idx - 1) / 2;
+        trace.read(OPEN_REGION + idx * OPEN_ENTRY_BYTES);
+    }
+}
+
+/// Replays a binary-heap pop with `len_after` entries remaining: the root is
+/// read, the tail entry moves into its slot, and the child chain is read on
+/// the way down (sift-down).
+#[inline]
+fn trace_heap_pop<T: MemTrace + ?Sized>(trace: &mut T, len_after: usize) {
+    trace.read(OPEN_REGION);
+    let len = len_after as u64;
+    if len == 0 {
+        return;
+    }
+    trace.read(OPEN_REGION + len * OPEN_ENTRY_BYTES);
+    trace.write(OPEN_REGION);
+    let mut k = 0u64;
+    while 2 * k + 1 < len {
+        trace.read(OPEN_REGION + (2 * k + 1) * OPEN_ENTRY_BYTES);
+        if 2 * k + 2 < len {
+            trace.read(OPEN_REGION + (2 * k + 2) * OPEN_ENTRY_BYTES);
+        }
+        k = 2 * k + 1;
+    }
+}
 
 /// A search problem over an implicitly defined graph.
 ///
@@ -83,9 +141,20 @@ pub fn astar<S: SearchSpace>(space: &S, start: S::Node) -> Option<SearchResult<S
     weighted_astar(space, start, 1.0)
 }
 
+/// A* search emitting its open-list, bookkeeping and node-record accesses
+/// into `trace`. See [`weighted_astar_traced`].
+pub fn astar_traced<S: SearchSpace, T: MemTrace + ?Sized>(
+    space: &S,
+    start: S::Node,
+    trace: &mut T,
+    node_addr: &mut dyn FnMut(&S::Node) -> u64,
+) -> Option<SearchResult<S::Node>> {
+    weighted_astar_impl(space, start, 1.0, trace, node_addr)
+}
+
 /// Dijkstra search (ignores the space's heuristic).
 pub fn dijkstra<S: SearchSpace>(space: &S, start: S::Node) -> Option<SearchResult<S::Node>> {
-    weighted_astar_impl(space, start, 0.0, &mut |_| {})
+    weighted_astar_impl(space, start, 0.0, &mut NullTrace, &mut |_| 0)
 }
 
 /// Weighted A*: node priority is `g + weight·h`.
@@ -126,25 +195,32 @@ pub fn weighted_astar<S: SearchSpace>(
     start: S::Node,
     weight: f64,
 ) -> Option<SearchResult<S::Node>> {
-    weighted_astar_impl(space, start, weight, &mut |_| {})
+    weighted_astar_impl(space, start, weight, &mut NullTrace, &mut |_| 0)
 }
 
-/// Like [`weighted_astar`], invoking `on_expand` with each node popped from
-/// the open list — the hook traced kernels use to feed the cache simulator.
-pub fn weighted_astar_traced<S: SearchSpace>(
+/// Like [`weighted_astar`], emitting the search's memory behaviour into a
+/// [`MemTrace`] sink: every open-list push/pop (sift chains included),
+/// best/closed bookkeeping probe, and a read of each touched node's record
+/// at the address `node_addr` assigns it (grid cell, roadmap vertex, …).
+///
+/// With [`NullTrace`] the emission folds away entirely and the search is
+/// the untraced one; results are bit-identical regardless of sink.
+pub fn weighted_astar_traced<S: SearchSpace, T: MemTrace + ?Sized>(
     space: &S,
     start: S::Node,
     weight: f64,
-    on_expand: &mut dyn FnMut(&S::Node),
+    trace: &mut T,
+    node_addr: &mut dyn FnMut(&S::Node) -> u64,
 ) -> Option<SearchResult<S::Node>> {
-    weighted_astar_impl(space, start, weight, on_expand)
+    weighted_astar_impl(space, start, weight, trace, node_addr)
 }
 
-fn weighted_astar_impl<S: SearchSpace>(
+fn weighted_astar_impl<S: SearchSpace, T: MemTrace + ?Sized>(
     space: &S,
     start: S::Node,
     weight: f64,
-    on_expand: &mut dyn FnMut(&S::Node),
+    trace: &mut T,
+    node_addr: &mut dyn FnMut(&S::Node) -> u64,
 ) -> Option<SearchResult<S::Node>> {
     assert!(weight >= 0.0, "heuristic weight must be non-negative");
 
@@ -161,6 +237,10 @@ fn weighted_astar_impl<S: SearchSpace>(
     let mut generated = 0u64;
 
     best.insert(start, (0.0, None));
+    if trace.enabled() {
+        trace.write(probe_addr(node_addr(&start)));
+        trace_heap_push(trace, 0);
+    }
     open.push(OpenEntry {
         f: weight * space.heuristic(start),
         g: 0.0,
@@ -168,6 +248,10 @@ fn weighted_astar_impl<S: SearchSpace>(
     });
 
     while let Some(OpenEntry { g, node, .. }) = open.pop() {
+        if trace.enabled() {
+            trace_heap_pop(trace, open.len());
+            trace.read(probe_addr(node_addr(&node)));
+        }
         // Skip stale entries (lazy decrease-key).
         match best.get(&node) {
             Some(&(best_g, _)) if g > best_g => continue,
@@ -178,7 +262,11 @@ fn weighted_astar_impl<S: SearchSpace>(
         }
         closed.insert(node, ());
         expanded += 1;
-        on_expand(&node);
+        if trace.enabled() {
+            let addr = node_addr(&node);
+            trace.write(probe_addr(addr)); // mark closed
+            trace.read(addr); // the node's own record (grid cell, vertex, …)
+        }
 
         if space.is_goal(node) {
             // Reconstruct the path.
@@ -202,6 +290,9 @@ fn weighted_astar_impl<S: SearchSpace>(
         for &(next, edge_cost) in &succ_buf {
             debug_assert!(edge_cost >= 0.0, "negative edge cost");
             generated += 1;
+            if trace.enabled() {
+                trace.read(probe_addr(node_addr(&next))); // closed/best probe
+            }
             if closed.contains_key(&next) {
                 continue;
             }
@@ -212,6 +303,10 @@ fn weighted_astar_impl<S: SearchSpace>(
             };
             if improved {
                 best.insert(next, (tentative, Some(node)));
+                if trace.enabled() {
+                    trace.write(probe_addr(node_addr(&next)));
+                    trace_heap_push(trace, open.len());
+                }
                 open.push(OpenEntry {
                     f: tentative + weight * space.heuristic(next),
                     g: tentative,
@@ -306,16 +401,39 @@ pub fn anytime_weighted_astar<S: SearchSpace>(
 /// seeded from the goal set, it labels the whole reachable space with exact
 /// goal distances in one sweep.
 // rtr-lint: allow(nondet-iter) -- callers read the table by key, never by order
-pub fn dijkstra_flood<N, F>(sources: &[N], mut successors: F) -> HashMap<N, f64>
+pub fn dijkstra_flood<N, F>(sources: &[N], successors: F) -> HashMap<N, f64>
 where
     N: Copy + Eq + Hash,
     F: FnMut(N, &mut Vec<(N, f64)>),
+{
+    dijkstra_flood_traced(sources, successors, &mut NullTrace, &mut |_| 0)
+}
+
+/// Like [`dijkstra_flood`], emitting the sweep's open-list operations and
+/// distance-table probes into a [`MemTrace`] sink (see
+/// [`weighted_astar_traced`] for the emission model).
+// rtr-lint: allow(nondet-iter) -- callers read the table by key, never by order
+pub fn dijkstra_flood_traced<N, F, T>(
+    sources: &[N],
+    mut successors: F,
+    trace: &mut T,
+    node_addr: &mut dyn FnMut(&N) -> u64,
+    // rtr-lint: allow(nondet-iter) -- callers read the table by key, never by order
+) -> HashMap<N, f64>
+where
+    N: Copy + Eq + Hash,
+    F: FnMut(N, &mut Vec<(N, f64)>),
+    T: MemTrace + ?Sized,
 {
     // rtr-lint: allow(nondet-iter) -- keyed get/insert only, order never observed
     let mut dist: HashMap<N, f64> = HashMap::new();
     let mut open = BinaryHeap::new();
     for &s in sources {
         dist.insert(s, 0.0);
+        if trace.enabled() {
+            trace.write(probe_addr(node_addr(&s)));
+            trace_heap_push(trace, open.len());
+        }
         open.push(OpenEntry {
             f: 0.0,
             g: 0.0,
@@ -324,6 +442,10 @@ where
     }
     let mut buf = Vec::new();
     while let Some(OpenEntry { g, node, .. }) = open.pop() {
+        if trace.enabled() {
+            trace_heap_pop(trace, open.len());
+            trace.read(probe_addr(node_addr(&node)));
+        }
         if let Some(&d) = dist.get(&node) {
             if g > d {
                 continue;
@@ -334,8 +456,15 @@ where
         for &(next, cost) in &buf {
             let tentative = g + cost;
             let improved = dist.get(&next).is_none_or(|&d| tentative < d);
+            if trace.enabled() {
+                trace.read(probe_addr(node_addr(&next)));
+            }
             if improved {
                 dist.insert(next, tentative);
+                if trace.enabled() {
+                    trace.write(probe_addr(node_addr(&next)));
+                    trace_heap_push(trace, open.len());
+                }
                 open.push(OpenEntry {
                     f: tentative,
                     g: tentative,
@@ -454,11 +583,53 @@ mod tests {
     }
 
     #[test]
-    fn traced_expansion_order_starts_at_start() {
-        let mut order = Vec::new();
-        weighted_astar_traced(&diamond(), 0, 1.0, &mut |n| order.push(*n));
-        assert_eq!(order[0], 0);
-        assert!(order.contains(&3));
+    fn traced_search_emits_node_reads_and_open_list_ops() {
+        use rtr_trace::RecordingTrace;
+
+        let mut rec = RecordingTrace::default();
+        let traced =
+            weighted_astar_traced(&diamond(), 0, 1.0, &mut rec, &mut |n| *n as u64 * 64).unwrap();
+        // The first node-record read (sub-OPEN_REGION address) is the start.
+        let first_record = rec
+            .ops
+            .iter()
+            .find(|op| !op.is_write && op.addr < OPEN_REGION)
+            .expect("expansions must read node records");
+        assert_eq!(first_record.addr, 0);
+        // The goal's record is read too, and the heap sees pushes (writes in
+        // the OPEN region) and bookkeeping writes (BEST region).
+        assert!(rec.ops.iter().any(|op| !op.is_write && op.addr == 3 * 64));
+        assert!(rec
+            .ops
+            .iter()
+            .any(|op| op.is_write && (OPEN_REGION..BEST_REGION).contains(&op.addr)));
+        assert!(rec
+            .ops
+            .iter()
+            .any(|op| op.is_write && op.addr >= BEST_REGION));
+        // Tracing is an observability knob: identical result either way.
+        let plain = weighted_astar(&diamond(), 0, 1.0).unwrap();
+        assert_eq!(traced.path, plain.path);
+        assert_eq!(traced.cost.to_bits(), plain.cost.to_bits());
+        assert_eq!(traced.expanded, plain.expanded);
+    }
+
+    #[test]
+    fn traced_flood_matches_untraced() {
+        use rtr_trace::CountingTrace;
+
+        let succ = |n: i64, out: &mut Vec<(i64, f64)>| {
+            for next in [n - 1, n + 1] {
+                if (0..=4).contains(&next) {
+                    out.push((next, 1.0));
+                }
+            }
+        };
+        let plain = dijkstra_flood(&[0i64, 4], succ);
+        let mut counts = CountingTrace::default();
+        let traced = dijkstra_flood_traced(&[0i64, 4], succ, &mut counts, &mut |n| *n as u64 * 8);
+        assert_eq!(plain, traced);
+        assert!(counts.reads > 0 && counts.writes > 0);
     }
 
     #[test]

@@ -21,8 +21,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use rtr_harness::{HotRegion, Profiler};
+use rtr_trace::{MemTrace, SharedTrace};
 
-use crate::search::{weighted_astar, SearchSpace};
+use crate::search::{weighted_astar_traced, SearchSpace};
 
 /// A ground fact, e.g. `On(A,B)`.
 pub type Fact = String;
@@ -190,10 +191,31 @@ pub struct Plan {
     pub ground_actions: usize,
 }
 
+/// Synthetic address regions for the interning trace (see [`MemTrace`]):
+/// arena slots sit at `id * 32` (an `Rc<State>` record per state), the
+/// interning index at [`IDS_REGION`] in 16 B tree nodes, and interned fact
+/// strings at [`FACT_REGION`] in 64 B cells keyed by FNV-1a.
+const IDS_REGION: u64 = 1 << 42;
+/// Interned-fact string storage (reads during state hashing).
+const FACT_REGION: u64 = 1 << 43;
+const ARENA_SLOT_BYTES: u64 = 32;
+const IDS_NODE_BYTES: u64 = 16;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// State-interning search space: states are arbitrary fact sets, but the
 /// search engine requires `Copy` nodes, so states live in an arena and the
-/// engine sees `usize` ids.
-struct SymbolicSpace<'a> {
+/// engine sees `usize` ids. Interning emits into the shared trace cell:
+/// a fact-string read per member fact, a tree-node read per index level,
+/// and (on a miss) arena-slot + index-node writes.
+struct SymbolicSpace<'a, 'c, 'd, T: MemTrace + ?Sized> {
     actions: &'a [GroundAction],
     goal: &'a [Fact],
     arena: RefCell<Vec<Rc<State>>>,
@@ -203,10 +225,17 @@ struct SymbolicSpace<'a> {
     strings: HotRegion,
     expansions: Cell<u64>,
     applicable_total: Cell<u64>,
+    trace: &'c RefCell<&'d mut T>,
 }
 
-impl<'a> SymbolicSpace<'a> {
-    fn new(actions: &'a [GroundAction], goal: &'a [Fact], init: State, timed: bool) -> Self {
+impl<'a, 'c, 'd, T: MemTrace + ?Sized> SymbolicSpace<'a, 'c, 'd, T> {
+    fn new(
+        actions: &'a [GroundAction],
+        goal: &'a [Fact],
+        init: State,
+        timed: bool,
+        trace: &'c RefCell<&'d mut T>,
+    ) -> Self {
         let init = Rc::new(init);
         let space = SymbolicSpace {
             actions,
@@ -216,6 +245,7 @@ impl<'a> SymbolicSpace<'a> {
             strings: HotRegion::timed(timed),
             expansions: Cell::new(0),
             applicable_total: Cell::new(0),
+            trace,
         };
         space.ids.borrow_mut().insert(init, 0);
         space
@@ -223,6 +253,22 @@ impl<'a> SymbolicSpace<'a> {
 
     fn intern(&self, state: State) -> usize {
         let state = Rc::new(state);
+        let traced = self.trace.borrow().enabled();
+        let mut h = 0u64;
+        if traced {
+            let mut t = self.trace.borrow_mut();
+            for fact in state.iter() {
+                let fh = fnv1a(fact.as_bytes());
+                t.read(FACT_REGION + (fh & 0xFFFF) * 64);
+                h = h.rotate_left(5) ^ fh;
+            }
+            // One 16 B node probe per level of the interning index.
+            let levels = u64::from(self.ids.borrow().len().max(1).ilog2()) + 1;
+            for lvl in 0..levels {
+                let node = h.rotate_left(7 * lvl as u32) & 0xF_FFFF;
+                t.read(IDS_REGION + node * IDS_NODE_BYTES);
+            }
+        }
         if let Some(&id) = self.ids.borrow().get(&state) {
             return id;
         }
@@ -230,6 +276,11 @@ impl<'a> SymbolicSpace<'a> {
         let id = arena.len();
         arena.push(state.clone());
         self.ids.borrow_mut().insert(state, id);
+        if traced {
+            let mut t = self.trace.borrow_mut();
+            t.write(id as u64 * ARENA_SLOT_BYTES);
+            t.write(IDS_REGION + (h & 0xF_FFFF) * IDS_NODE_BYTES);
+        }
         id
     }
 
@@ -238,7 +289,7 @@ impl<'a> SymbolicSpace<'a> {
     }
 }
 
-impl SearchSpace for SymbolicSpace<'_> {
+impl<T: MemTrace + ?Sized> SearchSpace for SymbolicSpace<'_, '_, '_, T> {
     type Node = usize;
 
     fn successors(&self, node: usize, out: &mut Vec<(usize, f64)>) {
@@ -279,7 +330,9 @@ impl SearchSpace for SymbolicSpace<'_> {
 ///
 /// let domain = blocks_world(3);
 /// let mut profiler = Profiler::new();
-/// let plan = SymbolicPlanner::new(1.0).solve(&domain, &mut profiler).expect("solvable");
+/// let plan = SymbolicPlanner::new(1.0)
+///     .solve(&domain, &mut profiler, &mut rtr_trace::NullTrace)
+///     .expect("solvable");
 /// assert!(domain.validate_plan(&plan.actions));
 /// ```
 #[derive(Debug, Clone)]
@@ -308,16 +361,33 @@ impl SymbolicPlanner {
     /// ([`Profiler::timed`]); a plain [`Profiler::new`] keeps the solve
     /// loop free of per-expansion clock reads and attributes the whole
     /// search wall time to `graph_search`.
-    pub fn solve(&self, domain: &Domain, profiler: &mut Profiler) -> Option<Plan> {
+    ///
+    /// With a live `trace` sink the solve additionally emits the state
+    /// interning traffic (fact-string reads, index probes, arena writes)
+    /// and the search engine's open-list stream; pass
+    /// [`rtr_trace::NullTrace`] for an untraced solve.
+    pub fn solve<T: MemTrace + ?Sized>(
+        &self,
+        domain: &Domain,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) -> Option<Plan> {
         let actions = profiler.time("grounding", || domain.ground());
+        let trace = RefCell::new(trace);
         let space = SymbolicSpace::new(
             &actions,
             &domain.goal,
             domain.initial_state(),
             profiler.hot_timing(),
+            &trace,
         );
 
-        let (result, total) = profiler.span(|| weighted_astar(&space, 0usize, self.weight));
+        let mut engine_trace = SharedTrace::new(&trace);
+        let (result, total) = profiler.span(|| {
+            weighted_astar_traced(&space, 0usize, self.weight, &mut engine_trace, &mut |&id| {
+                id as u64 * ARENA_SLOT_BYTES
+            })
+        });
         let strings = space.strings.total();
         space.strings.drain_into(profiler, "string_ops");
         profiler.add("graph_search", total.saturating_sub(strings));
@@ -587,13 +657,39 @@ pub fn firefight() -> Domain {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_trace::{NullTrace, RecordingTrace};
+
+    #[test]
+    fn traced_solve_is_bit_identical_and_emits_interning_traffic() {
+        let domain = blocks_world(4);
+        let mut profiler = Profiler::new();
+        let mut rec = RecordingTrace::default();
+        let traced = SymbolicPlanner::new(1.0)
+            .solve(&domain, &mut profiler, &mut rec)
+            .unwrap();
+        let plain = SymbolicPlanner::new(1.0)
+            .solve(&domain, &mut profiler, &mut NullTrace)
+            .unwrap();
+        assert_eq!(traced.actions, plain.actions);
+        assert_eq!(traced.expanded, plain.expanded);
+        // Fact-string reads, index probes and arena-slot writes all show up.
+        assert!(rec
+            .ops
+            .iter()
+            .any(|op| !op.is_write && op.addr >= FACT_REGION));
+        assert!(rec
+            .ops
+            .iter()
+            .any(|op| op.addr >= IDS_REGION && op.addr < FACT_REGION));
+        assert!(rec.ops.iter().any(|op| op.is_write && op.addr < (1 << 40)));
+    }
 
     #[test]
     fn three_block_world_matches_paper_sketch() {
         let domain = blocks_world(3);
         let mut profiler = Profiler::new();
         let plan = SymbolicPlanner::new(1.0)
-            .solve(&domain, &mut profiler)
+            .solve(&domain, &mut profiler, &mut NullTrace)
             .unwrap();
         assert!(domain.validate_plan(&plan.actions));
         // Stacking three table blocks takes exactly two moves.
@@ -605,7 +701,7 @@ mod tests {
         let domain = blocks_world(5);
         let mut profiler = Profiler::new();
         let plan = SymbolicPlanner::new(1.5)
-            .solve(&domain, &mut profiler)
+            .solve(&domain, &mut profiler, &mut NullTrace)
             .unwrap();
         assert!(domain.validate_plan(&plan.actions));
         assert!(plan.actions.len() >= 4);
@@ -616,7 +712,7 @@ mod tests {
         let domain = firefight();
         let mut profiler = Profiler::new();
         let plan = SymbolicPlanner::new(1.0)
-            .solve(&domain, &mut profiler)
+            .solve(&domain, &mut profiler, &mut NullTrace)
             .unwrap();
         assert!(domain.validate_plan(&plan.actions));
         let pours = plan
@@ -648,10 +744,10 @@ mod tests {
         // because it has more applicable actions per state.
         let mut profiler = Profiler::new();
         let blkw = SymbolicPlanner::new(1.0)
-            .solve(&blocks_world(3), &mut profiler)
+            .solve(&blocks_world(3), &mut profiler, &mut NullTrace)
             .unwrap();
         let fext = SymbolicPlanner::new(1.0)
-            .solve(&firefight(), &mut profiler)
+            .solve(&firefight(), &mut profiler, &mut NullTrace)
             .unwrap();
         assert!(
             fext.mean_branching > blkw.mean_branching,
@@ -675,7 +771,7 @@ mod tests {
         domain.goal.push("On(B1,B9)".to_owned()); // impossible fact
         let mut profiler = Profiler::new();
         assert!(SymbolicPlanner::new(1.0)
-            .solve(&domain, &mut profiler)
+            .solve(&domain, &mut profiler, &mut NullTrace)
             .is_none());
     }
 
@@ -712,7 +808,7 @@ mod tests {
         let domain = blocks_world(4);
         let mut profiler = Profiler::timed();
         SymbolicPlanner::new(1.0)
-            .solve(&domain, &mut profiler)
+            .solve(&domain, &mut profiler, &mut NullTrace)
             .unwrap();
         assert!(profiler.region_calls("grounding") == 1);
         assert!(profiler.region_total("string_ops") > std::time::Duration::ZERO);
@@ -723,7 +819,7 @@ mod tests {
         let domain = blocks_world(4);
         let mut profiler = Profiler::new();
         SymbolicPlanner::new(1.0)
-            .solve(&domain, &mut profiler)
+            .solve(&domain, &mut profiler, &mut NullTrace)
             .unwrap();
         assert_eq!(profiler.region_calls("string_ops"), 0);
         // Aggregate solve wall time is still attributed.
@@ -760,7 +856,7 @@ mod tests {
         };
         let mut profiler = Profiler::new();
         let plan = SymbolicPlanner::new(1.0)
-            .solve(&domain, &mut profiler)
+            .solve(&domain, &mut profiler, &mut NullTrace)
             .unwrap();
         // Must unlock before opening.
         assert_eq!(

@@ -119,7 +119,7 @@ proptest! {
         let domain = blocks_world(n);
         let mut profiler = Profiler::new();
         let plan = SymbolicPlanner::new(1.5)
-            .solve(&domain, &mut profiler)
+            .solve(&domain, &mut profiler, &mut rtr_trace::NullTrace)
             .expect("blocks world is always solvable");
         prop_assert!(domain.validate_plan(&plan.actions));
         // Building an n-tower from the table takes exactly n-1 moves when

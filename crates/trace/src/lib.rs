@@ -1,0 +1,294 @@
+//! The suite's memory-trace sink contract.
+//!
+//! Kernels *emit* a stream of synthetic memory accesses into a [`MemTrace`]
+//! sink; backends (the cache simulator in `rtr-archsim`, the counting and
+//! recording sinks here) *consume* the stream. The dependency points from
+//! the backend to this contract, never from a kernel to a backend: kernel
+//! crates depend only on `rtr-trace`, and `rtr-archsim::MemorySim`
+//! implements [`MemTrace`] to plug itself underneath them.
+//!
+//! The default sink is [`NullTrace`], whose methods are empty `#[inline]`
+//! bodies: a kernel generic over `T: MemTrace + ?Sized` monomorphizes the
+//! untraced path to exactly the code it had before tracing existed — no
+//! allocation, no branch, no call.
+//!
+//! # Example
+//!
+//! ```
+//! use rtr_trace::{CountingTrace, MemTrace, NullTrace};
+//!
+//! fn kernel<T: MemTrace + ?Sized>(trace: &mut T) {
+//!     for i in 0..4u64 {
+//!         trace.read(i * 64);
+//!     }
+//!     trace.write(0);
+//! }
+//!
+//! kernel(&mut NullTrace); // compiles to nothing
+//! let mut counts = CountingTrace::default();
+//! kernel(&mut counts);
+//! assert_eq!((counts.reads, counts.writes), (4, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A sink for a kernel's synthetic memory-access stream.
+///
+/// Addresses are byte addresses in a flat synthetic space; each kernel
+/// documents its own region layout (e.g. RRT reads `payload * 40` for a
+/// five-`f64` arm configuration). The trait is dyn-safe so harness code
+/// can hold a `&mut dyn MemTrace` chosen at runtime, while kernels stay
+/// generic (`T: MemTrace + ?Sized`) so the [`NullTrace`] path folds away.
+pub trait MemTrace {
+    /// Records a load of the line containing `addr`.
+    fn read(&mut self, addr: u64);
+
+    /// Records a store to the line containing `addr`.
+    fn write(&mut self, addr: u64);
+
+    /// `false` only for sinks that discard the stream ([`NullTrace`]).
+    ///
+    /// Kernels with a parallel untraced hot loop use this to select the
+    /// sequential emission path when a real sink is attached; outputs are
+    /// bit-identical either way (the suite's determinism contract).
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+impl<T: MemTrace + ?Sized> MemTrace for &mut T {
+    #[inline]
+    fn read(&mut self, addr: u64) {
+        (**self).read(addr);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64) {
+        (**self).write(addr);
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+/// The do-nothing sink: the default for untraced runs.
+///
+/// Every method is an empty `#[inline]` body and [`MemTrace::enabled`]
+/// returns `false`, so monomorphized call sites vanish entirely in
+/// release builds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTrace;
+
+impl MemTrace for NullTrace {
+    #[inline]
+    fn read(&mut self, _addr: u64) {}
+
+    #[inline]
+    fn write(&mut self, _addr: u64) {}
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that counts reads and writes; for tests and overhead probes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingTrace {
+    /// Number of `read` calls observed.
+    pub reads: u64,
+    /// Number of `write` calls observed.
+    pub writes: u64,
+}
+
+impl CountingTrace {
+    /// Total accesses observed.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl MemTrace for CountingTrace {
+    #[inline]
+    fn read(&mut self, _addr: u64) {
+        self.reads += 1;
+    }
+
+    #[inline]
+    fn write(&mut self, _addr: u64) {
+        self.writes += 1;
+    }
+}
+
+/// A [`Copy`] handle onto a sink parked in a [`RefCell`], for kernels
+/// whose emission sites sit behind `&self` (interior mutability).
+///
+/// Symbolic planning is the motivating case: the search space interns
+/// states from `successors(&self, ..)` while the search engine holds its
+/// own `&mut` sink. Both sides get a `SharedTrace` copy over the same
+/// cell; each op takes a short non-reentrant borrow.
+///
+/// [`RefCell`]: core::cell::RefCell
+pub struct SharedTrace<'a, 'b, T: MemTrace + ?Sized> {
+    inner: &'a core::cell::RefCell<&'b mut T>,
+}
+
+impl<'a, 'b, T: MemTrace + ?Sized> SharedTrace<'a, 'b, T> {
+    /// Wraps a cell holding the real sink.
+    pub fn new(inner: &'a core::cell::RefCell<&'b mut T>) -> Self {
+        SharedTrace { inner }
+    }
+}
+
+impl<T: MemTrace + ?Sized> Clone for SharedTrace<'_, '_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: MemTrace + ?Sized> Copy for SharedTrace<'_, '_, T> {}
+
+impl<T: MemTrace + ?Sized> MemTrace for SharedTrace<'_, '_, T> {
+    #[inline]
+    fn read(&mut self, addr: u64) {
+        self.inner.borrow_mut().read(addr);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64) {
+        self.inner.borrow_mut().write(addr);
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.inner.borrow().enabled()
+    }
+}
+
+/// One recorded access: the address and whether it was a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Byte address in the kernel's synthetic address space.
+    pub addr: u64,
+    /// `true` for a store, `false` for a load.
+    pub is_write: bool,
+}
+
+/// A sink that records the full ordered access stream; for bit-identity
+/// and emission-shape tests (not for hot loops — it allocates).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecordingTrace {
+    /// The ordered access stream as emitted by the kernel.
+    pub ops: Vec<TraceOp>,
+}
+
+impl RecordingTrace {
+    /// Number of recorded loads.
+    pub fn reads(&self) -> u64 {
+        self.ops.iter().filter(|op| !op.is_write).count() as u64
+    }
+
+    /// Number of recorded stores.
+    pub fn writes(&self) -> u64 {
+        self.ops.iter().filter(|op| op.is_write).count() as u64
+    }
+}
+
+impl MemTrace for RecordingTrace {
+    fn read(&mut self, addr: u64) {
+        self.ops.push(TraceOp {
+            addr,
+            is_write: false,
+        });
+    }
+
+    fn write(&mut self, addr: u64) {
+        self.ops.push(TraceOp {
+            addr,
+            is_write: true,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emit<T: MemTrace + ?Sized>(trace: &mut T) {
+        trace.read(0);
+        trace.read(64);
+        trace.write(128);
+    }
+
+    #[test]
+    fn null_trace_is_disabled() {
+        assert!(!NullTrace.enabled());
+        emit(&mut NullTrace); // must compile and do nothing
+    }
+
+    #[test]
+    fn counting_trace_counts_reads_and_writes() {
+        let mut t = CountingTrace::default();
+        emit(&mut t);
+        assert_eq!(t.reads, 2);
+        assert_eq!(t.writes, 1);
+        assert_eq!(t.total(), 3);
+        assert!(t.enabled());
+    }
+
+    #[test]
+    fn recording_trace_preserves_order_and_kind() {
+        let mut t = RecordingTrace::default();
+        emit(&mut t);
+        assert_eq!(
+            t.ops,
+            vec![
+                TraceOp {
+                    addr: 0,
+                    is_write: false
+                },
+                TraceOp {
+                    addr: 64,
+                    is_write: false
+                },
+                TraceOp {
+                    addr: 128,
+                    is_write: true
+                },
+            ]
+        );
+        assert_eq!(t.reads(), 2);
+        assert_eq!(t.writes(), 1);
+    }
+
+    #[test]
+    fn shared_trace_funnels_both_sides_into_one_sink() {
+        let mut counts = CountingTrace::default();
+        {
+            let cell = core::cell::RefCell::new(&mut counts);
+            let mut side_a = SharedTrace::new(&cell);
+            let mut side_b = side_a; // Copy
+            assert!(side_a.enabled());
+            side_a.read(0);
+            side_b.write(64);
+        }
+        assert_eq!((counts.reads, counts.writes), (1, 1));
+    }
+
+    #[test]
+    fn dyn_sink_and_reborrow_both_work() {
+        let mut counts = CountingTrace::default();
+        {
+            let dynamic: &mut dyn MemTrace = &mut counts;
+            emit(dynamic);
+        }
+        let mut borrowed = &mut counts;
+        emit(&mut borrowed);
+        assert_eq!(counts.total(), 6);
+        assert!(counts.enabled());
+    }
+}

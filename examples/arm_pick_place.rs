@@ -12,6 +12,7 @@
 
 use rtrbench::harness::Profiler;
 use rtrbench::planning::{ArmProblem, Prm, PrmConfig, Rrt, RrtConfig, RrtPp, RrtStar};
+use rtrbench::trace::NullTrace;
 
 fn main() {
     let problem = ArmProblem::map_c(2);
@@ -40,7 +41,7 @@ fn main() {
     let roadmap = prm.build(&problem, &mut profiler);
     let build_time = t0.elapsed();
     let t1 = std::time::Instant::now();
-    let prm_result = prm.query(&problem, &roadmap, &mut profiler);
+    let prm_result = prm.query(&problem, &roadmap, &mut profiler, &mut NullTrace);
     let query_time = t1.elapsed();
     match &prm_result {
         Some(r) => println!(
@@ -70,7 +71,7 @@ fn main() {
 
     run("RRT     ", &|p| {
         Rrt::new(config.clone())
-            .plan(&problem, p, None)
+            .plan(&problem, p, &mut NullTrace)
             .map(|r| (r.cost, r.collision_checks))
     });
     run("RRT*    ", &|p| {
@@ -78,12 +79,12 @@ fn main() {
             max_samples: 12_000,
             ..config.clone()
         })
-        .plan(&problem, p, None)
+        .plan(&problem, p, &mut NullTrace)
         .map(|r| (r.base.cost, r.base.collision_checks))
     });
     run("RRT+post", &|p| {
         RrtPp::new(config.clone(), 6)
-            .plan(&problem, p, None)
+            .plan(&problem, p, &mut NullTrace)
             .map(|r| (r.base.cost, r.base.collision_checks))
     });
 

@@ -11,6 +11,7 @@
 use rtrbench::control::{BayesOpt, BoConfig, Cem, CemConfig};
 use rtrbench::harness::Profiler;
 use rtrbench::sim::ThrowSim;
+use rtrbench::trace::NullTrace;
 
 /// Renders rewards (≤ 0, higher is better) as a coarse ASCII sparkline.
 fn sparkline(rewards: &[f64]) -> String {
@@ -33,7 +34,7 @@ fn main() {
 
     // --- CEM: 5 iterations x 15 samples (the paper's configuration).
     let mut cem_profiler = Profiler::new();
-    let cem = Cem::new(CemConfig::default()).learn(&sim, &mut cem_profiler);
+    let cem = Cem::new(CemConfig::default()).learn(&sim, &mut cem_profiler, &mut NullTrace);
     println!("CEM  (5 x 15 samples, Fig. 18):");
     println!("  rewards |{}|", sparkline(&cem.reward_trace));
     println!(
@@ -43,7 +44,7 @@ fn main() {
 
     // --- BO: 45 iterations with a GP + UCB (the paper's configuration).
     let mut bo_profiler = Profiler::new();
-    let bo = BayesOpt::new(BoConfig::default()).learn(&sim, &mut bo_profiler);
+    let bo = BayesOpt::new(BoConfig::default()).learn(&sim, &mut bo_profiler, &mut NullTrace);
     println!("\nBO   (45 iterations, Fig. 19):");
     println!("  rewards |{}|", sparkline(&bo.reward_trace));
     println!(

@@ -13,6 +13,7 @@
 use rtrbench::geom::maps;
 use rtrbench::harness::Profiler;
 use rtrbench::planning::{movtar, MovingTarget, MovtarConfig, Pp3d, Pp3dConfig};
+use rtrbench::trace::NullTrace;
 
 fn main() {
     let size = 96usize;
@@ -40,7 +41,7 @@ fn main() {
             goal: leg[1],
             weight: 1.5,
         })
-        .plan(&map, &mut profiler, None)
+        .plan(&map, &mut profiler, &mut NullTrace)
         .expect("campus airspace is connected");
         println!(
             "leg {:?} -> {:?}: {:.1} m, {} expansions",
@@ -58,7 +59,7 @@ fn main() {
         target_trajectory: trajectory,
         epsilon: 2.0,
     })
-    .plan(&field, &mut profiler)
+    .plan(&field, &mut profiler, &mut NullTrace)
     .expect("target catchable");
     println!(
         "intercepted target at t={} (path cost {:.1}, {} expansions, {} heuristic cells)",

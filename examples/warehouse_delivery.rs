@@ -17,6 +17,7 @@ use rtrbench::harness::Profiler;
 use rtrbench::perception::{ParticleFilter, PflConfig, PflInit};
 use rtrbench::planning::{Pp2d, Pp2dConfig};
 use rtrbench::sim::{DifferentialDrive, Lidar, OdometryModel, SimRng};
+use rtrbench::trace::NullTrace;
 
 fn main() {
     let map = maps::indoor_floor_plan(256, 0.1, 7);
@@ -57,7 +58,7 @@ fn main() {
         },
         &map,
     );
-    let loc = filter.run(&log, &mut profiler, None);
+    let loc = filter.run(&log, &mut profiler, &mut NullTrace);
     println!(
         "localized at {} (error {:.2} m, spread {:.2} m, {} rays cast)",
         loc.estimate,
@@ -77,7 +78,7 @@ fn main() {
         footprint: Footprint::new(0.6, 0.4), // a compact AGV
         weight: 1.5,
     })
-    .plan(&map, &mut profiler, None)
+    .plan(&map, &mut profiler, &mut NullTrace)
     .expect("dock reachable");
     println!(
         "planned {:.1} m route, {} cells, {} collision checks",
@@ -97,7 +98,7 @@ fn main() {
         v_max: 2.0,
         ..Default::default()
     })
-    .track(&reference, &mut profiler);
+    .track(&reference, &mut profiler, &mut NullTrace);
     println!(
         "tracked route: mean error {:.2} m, max speed {:.2} m/s, {} optimizer iterations",
         tracking.mean_tracking_error, tracking.max_speed, tracking.opt_iterations

@@ -47,3 +47,4 @@ pub use rtr_linalg as linalg;
 pub use rtr_perception as perception;
 pub use rtr_planning as planning;
 pub use rtr_sim as sim;
+pub use rtr_trace as trace;

@@ -11,6 +11,7 @@ use rtrbench::planning::{
     blocks_world, firefight, ArmProblem, Rrt, RrtConfig, RrtStar, SymbolicPlanner,
 };
 use rtrbench::sim::ThrowSim;
+use rtrbench::trace::NullTrace;
 
 #[test]
 fn rrtstar_pays_compute_for_shorter_paths() {
@@ -27,14 +28,14 @@ fn rrtstar_pays_compute_for_shorter_paths() {
             seed,
             ..Default::default()
         })
-        .plan(&problem, &mut p, None)
+        .plan(&problem, &mut p, &mut NullTrace)
         .expect("solvable");
         let star = RrtStar::new(RrtConfig {
             seed,
             max_samples: 3000,
             ..Default::default()
         })
-        .plan(&problem, &mut p, None)
+        .plan(&problem, &mut p, &mut NullTrace)
         .expect("solvable");
         star_cost += star.base.cost;
         rrt_cost += rrt.cost;
@@ -54,10 +55,10 @@ fn firefighting_domain_branches_wider_than_blocks_world() {
     // since it has more valid actions."
     let mut profiler = Profiler::new();
     let blkw = SymbolicPlanner::new(1.0)
-        .solve(&blocks_world(3), &mut profiler)
+        .solve(&blocks_world(3), &mut profiler, &mut NullTrace)
         .expect("solvable");
     let fext = SymbolicPlanner::new(1.0)
-        .solve(&firefight(), &mut profiler)
+        .solve(&firefight(), &mut profiler, &mut NullTrace)
         .expect("solvable");
     let ratio = fext.mean_branching / blkw.mean_branching;
     assert!(
@@ -73,12 +74,12 @@ fn bo_outworks_cem_and_its_sort_is_heavier() {
     let sim = ThrowSim::new(2.0);
     let mut p_cem = Profiler::new();
     let mut p_bo = Profiler::new();
-    Cem::new(CemConfig::default()).learn(&sim, &mut p_cem);
+    Cem::new(CemConfig::default()).learn(&sim, &mut p_cem, &mut NullTrace);
     BayesOpt::new(BoConfig {
         iterations: 20,
         ..Default::default()
     })
-    .learn(&sim, &mut p_bo);
+    .learn(&sim, &mut p_bo, &mut NullTrace);
 
     let work = |p: &Profiler| -> f64 { p.report().iter().map(|r| r.total.as_secs_f64()).sum() };
     assert!(work(&p_bo) > work(&p_cem) * 3.0);
@@ -90,14 +91,14 @@ fn learning_curves_improve() {
     // Figs. 18 & 19: reward improves over learning for both methods.
     let sim = ThrowSim::new(2.0);
     let mut p = Profiler::new();
-    let cem = Cem::new(CemConfig::default()).learn(&sim, &mut p);
+    let cem = Cem::new(CemConfig::default()).learn(&sim, &mut p, &mut NullTrace);
     assert!(cem.iteration_means.last().unwrap() > cem.iteration_means.first().unwrap());
 
     let bo = BayesOpt::new(BoConfig {
         iterations: 30,
         ..Default::default()
     })
-    .learn(&sim, &mut p);
+    .learn(&sim, &mut p, &mut NullTrace);
     let early = bo.reward_trace[..5].iter().sum::<f64>() / 5.0;
     let late_window = &bo.reward_trace[bo.reward_trace.len() - 5..];
     let late = late_window.iter().sum::<f64>() / 5.0;
@@ -120,7 +121,7 @@ fn traced_rrt_nn_search_misses_in_cache() {
         goal_bias: 0.0,
         ..Default::default()
     })
-    .plan(&problem, &mut profiler, Some(&mut mem));
+    .plan(&problem, &mut profiler, &mut mem);
     let report = mem.report();
     assert!(report.accesses > 50_000, "too few traced accesses");
     assert!(report.levels[0].miss_ratio() > 0.01);

@@ -7,6 +7,7 @@ use rtrbench::harness::Profiler;
 use rtrbench::perception::{ParticleFilter, PflConfig, PflInit};
 use rtrbench::planning::{Pp2d, Pp2dConfig};
 use rtrbench::sim::{DifferentialDrive, Lidar, OdometryModel, SimRng};
+use rtrbench::trace::NullTrace;
 
 #[test]
 fn perceive_plan_control_round_trip() {
@@ -42,7 +43,7 @@ fn perceive_plan_control_round_trip() {
         },
         &map,
     );
-    let loc = filter.run(&log, &mut profiler, None);
+    let loc = filter.run(&log, &mut profiler, &mut NullTrace);
     let error = loc.final_error.expect("ground truth available");
     assert!(error < 0.6, "localization error {error} m");
 
@@ -56,7 +57,7 @@ fn perceive_plan_control_round_trip() {
         footprint: Footprint::new(0.5, 0.4),
         weight: 1.5,
     })
-    .plan(&map, &mut profiler, None)
+    .plan(&map, &mut profiler, &mut NullTrace)
     .expect("goal reachable through doorways");
     assert_eq!(*plan.path.last().unwrap(), (110, 110));
     assert!(plan.cost > 5.0);
@@ -73,7 +74,7 @@ fn perceive_plan_control_round_trip() {
         opt_iterations: 15,
         ..Default::default()
     })
-    .track(&reference, &mut profiler);
+    .track(&reference, &mut profiler, &mut NullTrace);
     assert!(
         tracking.mean_tracking_error < 0.8,
         "tracking error {}",
