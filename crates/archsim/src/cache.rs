@@ -128,11 +128,15 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat allocation, set-major: set `s` occupies
+    /// `lines[s * ways .. (s + 1) * ways]`. Keeps a whole set on one or
+    /// two cache lines of the *host* machine during the way scan.
+    lines: Vec<Line>,
     clock: u64,
     stats: CacheStats,
     line_shift: u32,
     set_mask: u64,
+    set_bits: u32,
     /// Line address of the dirty victim evicted by the most recent fill,
     /// consumed by the hierarchy to propagate the write-back downward.
     pending_writeback: Option<u64>,
@@ -163,11 +167,12 @@ impl Cache {
         );
         Cache {
             config,
-            sets: vec![vec![Line::default(); config.ways]; sets],
+            lines: vec![Line::default(); sets * config.ways],
             clock: 0,
             stats: CacheStats::default(),
             line_shift: config.line_bytes.trailing_zeros(),
             set_mask: sets as u64 - 1,
+            set_bits: sets.trailing_zeros(),
             pending_writeback: None,
         }
     }
@@ -192,8 +197,15 @@ impl Cache {
         let line_addr = addr >> self.line_shift;
         (
             (line_addr & self.set_mask) as usize,
-            line_addr >> self.set_mask.count_ones(),
+            line_addr >> self.set_bits,
         )
+    }
+
+    /// The line address of `addr` under this level's geometry; the key the
+    /// hierarchy's batched fast path memoizes same-line runs on.
+    #[inline]
+    pub(crate) fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
     }
 
     /// A demand read. Returns `true` on hit; on miss the line is filled
@@ -215,8 +227,14 @@ impl Cache {
         self.stats.writes += is_write as u64;
         self.pending_writeback = None;
         let (set_idx, tag) = self.locate(addr);
-        let set = &mut self.sets[set_idx];
-        for line in set.iter_mut() {
+        let base = set_idx * self.config.ways;
+        let set = &mut self.lines[base..base + self.config.ways];
+        // Single pass: find the hit and the LRU victim together. Strict
+        // `<` keeps the first minimum, matching `min_by_key` tie-breaking
+        // (invalid ways key as 0 and so win over any valid way).
+        let mut victim = 0usize;
+        let mut victim_key = u64::MAX;
+        for (way, line) in set.iter_mut().enumerate() {
             if line.valid && line.tag == tag {
                 line.last_use = self.clock;
                 line.dirty |= is_write;
@@ -226,12 +244,83 @@ impl Cache {
                 }
                 return true;
             }
+            let key = if line.valid { line.last_use + 1 } else { 0 };
+            if key < victim_key {
+                victim_key = key;
+                victim = way;
+            }
         }
         self.stats.misses += 1;
         self.stats.write_misses += is_write as u64;
-        let victim = Self::fill(set, tag, self.clock, false, is_write);
-        self.note_victim(victim, set_idx);
+        let evicted = Self::fill(&mut set[victim], tag, self.clock, false, is_write);
+        self.note_victim(evicted, set_idx);
         false
+    }
+
+    /// Attempts a demand hit, committing the full hit bookkeeping (clock,
+    /// access/write counters, LRU touch, dirty and prefetched bits) and
+    /// returning the flat index of the hit line. On a miss **nothing
+    /// changes** — the caller replays the op through the ordinary
+    /// [`access`](Cache::access) path, which then observes exactly the
+    /// state an unbatched run would have. The hierarchy's batched fast
+    /// path uses this to skip the multi-level loop on L1 hits.
+    #[inline]
+    pub(crate) fn try_demand_hit(&mut self, addr: u64, is_write: bool) -> Option<usize> {
+        let line_addr = addr >> self.line_shift;
+        let set_idx = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_bits;
+        let base = set_idx * self.config.ways;
+        let clock = self.clock + 1;
+        let mut hit = None;
+        for idx in base..base + self.config.ways {
+            let line = &mut self.lines[idx];
+            if line.valid && line.tag == tag {
+                line.last_use = clock;
+                line.dirty |= is_write;
+                let was_prefetched = line.prefetched;
+                line.prefetched = false;
+                hit = Some((idx, was_prefetched));
+                break;
+            }
+        }
+        let (idx, was_prefetched) = hit?;
+        self.clock = clock;
+        self.stats.accesses += 1;
+        self.stats.writes += is_write as u64;
+        self.stats.prefetch_hits += was_prefetched as u64;
+        Some(idx)
+    }
+
+    /// Re-touches a line whose flat index came from a prior
+    /// [`try_demand_hit`](Cache::try_demand_hit) with no intervening fill
+    /// in this cache: the way scan is skipped entirely. The caller owns
+    /// the validity argument (in the hierarchy's batched loop the memo is
+    /// dropped on any L1 miss, and nothing else fills L1).
+    #[inline]
+    pub(crate) fn touch_resident(&mut self, idx: usize, is_write: bool) {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        self.stats.writes += is_write as u64;
+        let clock = self.clock;
+        let line = &mut self.lines[idx];
+        line.last_use = clock;
+        line.dirty |= is_write;
+    }
+
+    /// Commits a whole run of `count` consecutive hits (of which `writes`
+    /// are stores) on one resident line in a single step. State-identical
+    /// to `count` [`touch_resident`](Cache::touch_resident) calls: the
+    /// clock and counters advance by the run totals and the line ends at
+    /// the run's final `last_use`, dirty if any op in the run wrote.
+    #[inline]
+    pub(crate) fn touch_resident_run(&mut self, idx: usize, count: u64, writes: u64) {
+        self.clock += count;
+        self.stats.accesses += count;
+        self.stats.writes += writes;
+        let clock = self.clock;
+        let line = &mut self.lines[idx];
+        line.last_use = clock;
+        line.dirty |= writes > 0;
     }
 
     /// A prefetch fill: inserts the line without counting a demand access.
@@ -240,12 +329,22 @@ impl Cache {
         self.clock += 1;
         self.pending_writeback = None;
         let (set_idx, tag) = self.locate(addr);
-        let set = &mut self.sets[set_idx];
-        if set.iter().any(|l| l.valid && l.tag == tag) {
-            return true;
+        let base = set_idx * self.config.ways;
+        let set = &mut self.lines[base..base + self.config.ways];
+        let mut victim = 0usize;
+        let mut victim_key = u64::MAX;
+        for (way, line) in set.iter().enumerate() {
+            if line.valid && line.tag == tag {
+                return true;
+            }
+            let key = if line.valid { line.last_use + 1 } else { 0 };
+            if key < victim_key {
+                victim_key = key;
+                victim = way;
+            }
         }
-        let victim = Self::fill(set, tag, self.clock, true, false);
-        self.note_victim(victim, set_idx);
+        let evicted = Self::fill(&mut set[victim], tag, self.clock, true, false);
+        self.note_victim(evicted, set_idx);
         false
     }
 
@@ -255,7 +354,8 @@ impl Cache {
     /// further down and `false` is returned.
     pub fn absorb_writeback(&mut self, addr: u64) -> bool {
         let (set_idx, tag) = self.locate(addr);
-        for line in self.sets[set_idx].iter_mut() {
+        let base = set_idx * self.config.ways;
+        for line in self.lines[base..base + self.config.ways].iter_mut() {
             if line.valid && line.tag == tag {
                 line.dirty = true;
                 return true;
@@ -275,25 +375,23 @@ impl Cache {
     /// Returns `true` when the line containing `addr` is resident.
     pub fn contains(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.locate(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        let base = set_idx * self.config.ways;
+        self.lines[base..base + self.config.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     fn note_victim(&mut self, victim_tag: Option<u64>, set_idx: usize) {
         if let Some(tag) = victim_tag {
             self.stats.writebacks += 1;
-            let line_addr = (tag << self.set_mask.count_ones()) | set_idx as u64;
+            let line_addr = (tag << self.set_bits) | set_idx as u64;
             self.pending_writeback = Some(line_addr << self.line_shift);
         }
     }
 
-    /// Fills the line, returning the victim's tag when a dirty victim was
-    /// evicted (a write-back).
-    fn fill(set: &mut [Line], tag: u64, clock: u64, prefetched: bool, dirty: bool) -> Option<u64> {
-        // Prefer an invalid way; otherwise evict the LRU one.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.last_use + 1 } else { 0 })
-            .expect("cache set cannot be empty");
+    /// Replaces the chosen victim line, returning its tag when it was
+    /// valid and dirty (a write-back).
+    fn fill(victim: &mut Line, tag: u64, clock: u64, prefetched: bool, dirty: bool) -> Option<u64> {
         let wrote_back = (victim.valid && victim.dirty).then_some(victim.tag);
         *victim = Line {
             tag,

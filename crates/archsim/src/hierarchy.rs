@@ -3,7 +3,11 @@
 use crate::{Cache, CacheConfig, CacheStats, PrefetchStats, VldpPrefetcher};
 
 /// Summary of a traced run through the hierarchy.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq`/`Eq` so equivalence suites can assert that the
+/// batched/buffered transport paths reproduce the per-op path's report
+/// field-for-field.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HierarchyReport {
     /// Stats per level, L1 first.
     pub levels: Vec<CacheStats>,
@@ -68,6 +72,9 @@ pub struct MemorySim {
     writes: u64,
     memory_accesses: u64,
     memory_writebacks: u64,
+    /// Reused buffer for prefetch predictions; keeps the per-access
+    /// prefetch tail allocation-free.
+    prediction_scratch: Vec<u64>,
 }
 
 impl MemorySim {
@@ -85,6 +92,7 @@ impl MemorySim {
             writes: 0,
             memory_accesses: 0,
             memory_writebacks: 0,
+            prediction_scratch: Vec::new(),
         }
     }
 
@@ -140,6 +148,13 @@ impl MemorySim {
     fn access_inner(&mut self, addr: u64, is_write: bool) {
         self.accesses += 1;
         self.writes += is_write as u64;
+        self.access_levels(addr, is_write);
+    }
+
+    /// The per-level walk plus the prefetch tail; hierarchy-level access
+    /// counters are the caller's job (so the batched fast path can count
+    /// once and only fall in here on an L1 miss).
+    fn access_levels(&mut self, addr: u64, is_write: bool) {
         let mut hit = false;
         for i in 0..self.levels.len() {
             let level_hit = if is_write && i == 0 {
@@ -160,13 +175,24 @@ impl MemorySim {
         if !hit {
             self.memory_accesses += 1;
         }
+        self.prefetch_tail(addr);
+    }
 
-        // Prefetch into L2 and below, keyed off the demand stream.
-        let predictions = match &mut self.prefetcher {
-            Some(pf) => pf.observe(addr),
-            None => return,
-        };
-        for p in predictions {
+    /// Lets the prefetcher observe one demand access and issues its
+    /// predictions into L2 and below. Runs on *every* demand access — L1
+    /// hits included — so the delta histories a batched run trains are
+    /// identical to an unbatched run's.
+    fn prefetch_tail(&mut self, addr: u64) {
+        if self.prefetcher.is_none() {
+            return;
+        }
+        // Take the scratch buffer out of `self` so the prefetcher borrow
+        // ends before the level walk below needs `&mut self`.
+        let mut predictions = std::mem::take(&mut self.prediction_scratch);
+        if let Some(pf) = &mut self.prefetcher {
+            pf.observe_into(addr, &mut predictions);
+        }
+        for &p in &predictions {
             let mut redundant = true;
             for j in 1..self.levels.len() {
                 redundant &= self.levels[j].prefetch(p);
@@ -180,6 +206,7 @@ impl MemorySim {
                 }
             }
         }
+        self.prediction_scratch = predictions;
     }
 
     /// Forwards a dirty-eviction write-back starting at `level`, walking
@@ -228,6 +255,70 @@ impl rtr_trace::MemTrace for MemorySim {
     #[inline]
     fn write(&mut self, addr: u64) {
         MemorySim::write(self, addr);
+    }
+
+    /// The monomorphic fast path. Observable state after a batch is
+    /// identical to replaying each op through `read`/`write` (the
+    /// equivalence proptests pin this); only the work per op changes:
+    ///
+    /// - **L1-hit early-out**: `Cache::try_demand_hit` commits the hit
+    ///   bookkeeping and skips the per-level loop and writeback plumbing.
+    ///   On a miss it touches nothing, so the ordinary path replays the op
+    ///   against unmodified state.
+    /// - **Same-line memo**: consecutive ops to one L1 line skip even the
+    ///   way scan (`Cache::touch_resident`). Sound because L1 contents
+    ///   only change on an L1 demand miss (prefetches fill L2 and below;
+    ///   write-backs from above dirty resident lines in place), and the
+    ///   memo is dropped on every miss.
+    fn process_batch(&mut self, ops: &[rtr_trace::TraceOp]) {
+        let mut memo: Option<(u64, usize)> = None;
+        // With no prefetcher attached, a run of consecutive ops on the
+        // memoized line commits in one step (`touch_resident_run` is
+        // state-identical to the per-op replay). With VLDP attached the
+        // memo still skips the way scan but every op goes through
+        // `prefetch_tail` individually: the prefetcher observes each
+        // demand access, and repeated same-line observations are not
+        // idempotent (they re-walk the prediction tables).
+        let collapse_runs = self.prefetcher.is_none();
+        let mut i = 0;
+        while i < ops.len() {
+            let op = ops[i];
+            let line_addr = self.levels[0].line_addr(op.addr);
+            if let Some((memo_line, memo_idx)) = memo {
+                if memo_line == line_addr {
+                    if collapse_runs {
+                        let mut writes = op.is_write as u64;
+                        let mut j = i + 1;
+                        while j < ops.len() && self.levels[0].line_addr(ops[j].addr) == memo_line {
+                            writes += ops[j].is_write as u64;
+                            j += 1;
+                        }
+                        let count = (j - i) as u64;
+                        self.accesses += count;
+                        self.writes += writes;
+                        self.levels[0].touch_resident_run(memo_idx, count, writes);
+                        i = j;
+                    } else {
+                        self.accesses += 1;
+                        self.writes += op.is_write as u64;
+                        self.levels[0].touch_resident(memo_idx, op.is_write);
+                        self.prefetch_tail(op.addr);
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            self.accesses += 1;
+            self.writes += op.is_write as u64;
+            if let Some(idx) = self.levels[0].try_demand_hit(op.addr, op.is_write) {
+                memo = Some((line_addr, idx));
+                self.prefetch_tail(op.addr);
+            } else {
+                memo = None;
+                self.access_levels(op.addr, op.is_write);
+            }
+            i += 1;
+        }
     }
 }
 

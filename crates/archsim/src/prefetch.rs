@@ -8,7 +8,7 @@
 //! on each access the longest matching history predicts the next line
 //! delta(s) and the predicted lines are prefetched.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Counters describing prefetcher behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,12 +27,45 @@ const HISTORY_CAPACITY: usize = 4096;
 /// History length used by the deepest delta-prediction table.
 const MAX_HISTORY: usize = 3;
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct PageEntry {
     /// Last accessed line offset within the page.
     last_line: i64,
-    /// Most recent line-deltas, newest last.
-    deltas: Vec<i64>,
+    /// Most recent line-deltas, newest last; only `len` slots are live.
+    /// Fixed-size because deltas beyond [`MAX_HISTORY`] never train or
+    /// predict — keeping a `Vec` here put an allocation on every tracked
+    /// page for no reason.
+    deltas: [i64; MAX_HISTORY],
+    len: usize,
+}
+
+impl PageEntry {
+    /// Appends a delta, dropping the oldest once `MAX_HISTORY` are live.
+    fn push(&mut self, delta: i64) {
+        if self.len == MAX_HISTORY {
+            self.deltas.copy_within(1.., 0);
+            self.deltas[MAX_HISTORY - 1] = delta;
+        } else {
+            self.deltas[self.len] = delta;
+            self.len += 1;
+        }
+    }
+
+    /// The live suffix, oldest first.
+    fn history(&self) -> &[i64] {
+        &self.deltas[..self.len]
+    }
+}
+
+/// Right-aligns a history suffix into a fixed-size table key, zero-padded
+/// on the left. Unambiguous because recorded deltas are never zero (zero
+/// deltas neither train nor extend the history), so padding cannot
+/// collide with a real shorter history — and each table only holds keys
+/// of one length anyway.
+fn table_key(history: &[i64]) -> [i64; MAX_HISTORY] {
+    let mut key = [0i64; MAX_HISTORY];
+    key[MAX_HISTORY - history.len()..].copy_from_slice(history);
+    key
 }
 
 /// A multi-table delta prefetcher in the spirit of VLDP.
@@ -57,11 +90,12 @@ struct PageEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct VldpPrefetcher {
-    /// `history (up to MAX_HISTORY deltas) → predicted next delta`.
-    tables: Vec<HashMap<Vec<i64>, i64>>,
+    /// `history (exactly len deltas, right-aligned) → predicted next
+    /// delta`; `tables[len - 1]` holds the length-`len` histories.
+    tables: Vec<HashMap<[i64; MAX_HISTORY], i64>>,
     pages: HashMap<u64, PageEntry>,
-    /// Insertion order for page-entry eviction.
-    page_order: Vec<u64>,
+    /// Insertion order for page-entry eviction (oldest at the front).
+    page_order: VecDeque<u64>,
     degree: usize,
     stats: PrefetchStats,
     line_bytes: u64,
@@ -79,7 +113,7 @@ impl VldpPrefetcher {
         VldpPrefetcher {
             tables: vec![HashMap::new(); MAX_HISTORY],
             pages: HashMap::new(),
-            page_order: Vec::new(),
+            page_order: VecDeque::new(),
             degree,
             stats: PrefetchStats::default(),
             line_bytes: 64,
@@ -99,6 +133,16 @@ impl VldpPrefetcher {
 
     /// Observes a demand access and returns predicted prefetch addresses.
     pub fn observe(&mut self, addr: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.degree);
+        self.observe_into(addr, &mut out);
+        out
+    }
+
+    /// Like [`observe`](VldpPrefetcher::observe) but appends predictions
+    /// into a caller-owned buffer (cleared first), so a simulation loop
+    /// observing millions of accesses allocates nothing per access.
+    pub fn observe_into(&mut self, addr: u64, out: &mut Vec<u64>) {
+        out.clear();
         let page = addr / self.page_bytes;
         let line = ((addr % self.page_bytes) / self.line_bytes) as i64;
 
@@ -107,15 +151,14 @@ impl VldpPrefetcher {
             None => {
                 if self.pages.len() >= HISTORY_CAPACITY {
                     // Evict the oldest tracked page.
-                    if let Some(old) = self.page_order.first().copied() {
+                    if let Some(old) = self.page_order.pop_front() {
                         self.pages.remove(&old);
-                        self.page_order.remove(0);
                     }
                 }
-                self.page_order.push(page);
+                self.page_order.push_back(page);
                 self.pages.entry(page).or_insert_with(|| PageEntry {
                     last_line: line,
-                    deltas: Vec::new(),
+                    ..PageEntry::default()
                 })
             }
         };
@@ -125,27 +168,23 @@ impl VldpPrefetcher {
             // Train each table with the history that preceded this delta.
             for (len, table) in self.tables.iter_mut().enumerate() {
                 let len = len + 1;
-                if entry.deltas.len() >= len {
-                    let key = entry.deltas[entry.deltas.len() - len..].to_vec();
-                    table.insert(key, delta);
+                if entry.len >= len {
+                    table.insert(table_key(&entry.deltas[entry.len - len..entry.len]), delta);
                 }
             }
-            entry.deltas.push(delta);
-            if entry.deltas.len() > MAX_HISTORY {
-                entry.deltas.remove(0);
-            }
+            entry.push(delta);
             entry.last_line = line;
         }
 
         // Predict: walk forward `degree` steps using the longest history.
-        let mut history = entry.deltas.clone();
+        // PageEntry is all-inline (`Copy`), so this is a register copy.
+        let mut history = *entry;
         let mut predicted_line = line;
-        let mut out = Vec::with_capacity(self.degree);
         for _ in 0..self.degree {
             let mut next_delta = None;
-            for len in (1..=MAX_HISTORY.min(history.len())).rev() {
-                let key = &history[history.len() - len..];
-                if let Some(&d) = self.tables[len - 1].get(key) {
+            for len in (1..=history.len).rev() {
+                let key = table_key(&history.history()[history.len - len..]);
+                if let Some(&d) = self.tables[len - 1].get(&key) {
                     next_delta = Some(d);
                     break;
                 }
@@ -159,11 +198,7 @@ impl VldpPrefetcher {
             out.push(page * self.page_bytes + predicted_line as u64 * self.line_bytes);
             self.stats.issued += 1;
             history.push(d);
-            if history.len() > MAX_HISTORY {
-                history.remove(0);
-            }
         }
-        out
     }
 }
 

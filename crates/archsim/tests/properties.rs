@@ -4,6 +4,45 @@ use std::collections::VecDeque;
 
 use proptest::prelude::*;
 use rtr_archsim::{Cache, CacheConfig, MemorySim, VldpPrefetcher};
+use rtr_trace::{BufferedTrace, MemTrace, TraceOp};
+
+/// Builds the hierarchy variants the transport-equivalence tests sweep:
+/// the paper's i3-8109U shape (with and without VLDP) plus a tiny
+/// two-level shape whose sets thrash constantly, maximizing eviction and
+/// write-back traffic.
+fn hierarchy_variants() -> Vec<MemorySim> {
+    let tiny = &[
+        CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        },
+        CacheConfig {
+            size_bytes: 1024,
+            ways: 4,
+            line_bytes: 64,
+        },
+    ];
+    vec![
+        MemorySim::i3_8109u(),
+        MemorySim::i3_8109u().with_vldp(2),
+        MemorySim::new(tiny),
+        MemorySim::new(tiny).with_vldp(2),
+    ]
+}
+
+/// Replays `ops` through the legacy per-op dyn path.
+fn per_op_reference(mut sim: MemorySim, ops: &[TraceOp]) -> rtr_archsim::HierarchyReport {
+    let sink: &mut dyn MemTrace = &mut sim;
+    for op in ops {
+        if op.is_write {
+            sink.write(op.addr);
+        } else {
+            sink.read(op.addr);
+        }
+    }
+    sim.report()
+}
 
 /// A reference fully-software LRU model for one cache set-associative
 /// geometry: per set, a queue of tags in recency order.
@@ -127,6 +166,61 @@ proptest! {
             for p in pf.observe(addr) {
                 prop_assert_eq!(p / 4096, addr / 4096, "prediction crossed a page");
             }
+        }
+    }
+
+    #[test]
+    fn batched_and_buffered_reports_are_byte_identical(
+        addrs in prop::collection::vec(0u64..262_144, 1..500)
+    ) {
+        // Derive the op kind from the address bits so the mix is random
+        // but reproducible from one generated vector.
+        let ops: Vec<TraceOp> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| TraceOp { addr: a, is_write: (a ^ i as u64) & 1 == 1 })
+            .collect();
+        for reference in hierarchy_variants() {
+            let want = per_op_reference(reference.clone(), &ops);
+            // One-shot batch through the monomorphic fast path.
+            let mut batched = reference.clone();
+            batched.process_batch(&ops);
+            prop_assert_eq!(&batched.report(), &want);
+            // Buffered transport across flush-boundary-hostile capacities.
+            for cap in [1usize, 7, 4096] {
+                let mut buffered = BufferedTrace::with_capacity(reference.clone(), cap);
+                for op in &ops {
+                    if op.is_write {
+                        buffered.write(op.addr);
+                    } else {
+                        buffered.read(op.addr);
+                    }
+                }
+                prop_assert_eq!(&buffered.into_inner().report(), &want, "capacity {}", cap);
+            }
+        }
+    }
+
+    #[test]
+    fn same_line_runs_hit_the_memo_and_stay_identical(
+        lines in prop::collection::vec(0u64..2048, 1..200)
+    ) {
+        // Expand each generated line into a short same-line run (the shape
+        // the batched path memoizes) with a mixed read/write pattern.
+        let mut ops = Vec::new();
+        for (i, &line) in lines.iter().enumerate() {
+            for rep in 0..=(line & 3) {
+                ops.push(TraceOp {
+                    addr: line * 64 + rep * 8,
+                    is_write: (line + rep + i as u64) & 1 == 1,
+                });
+            }
+        }
+        for reference in hierarchy_variants() {
+            let want = per_op_reference(reference.clone(), &ops);
+            let mut batched = reference.clone();
+            batched.process_batch(&ops);
+            prop_assert_eq!(&batched.report(), &want);
         }
     }
 }

@@ -304,6 +304,84 @@ fn bench_characterization(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trace-transport throughput into the cache model: the op-at-a-time
+/// `&mut dyn MemTrace` path (what `TraceSession` shipped before the
+/// batched transport) against `process_batch` and the `BufferedTrace`
+/// adapter, on the same streaming workload. Every variant simulates the
+/// same access count per iteration, so `median_ns` ratios in
+/// `BENCH_kernels.json` read directly as accesses/sec ratios; CI guards
+/// the batched speedup.
+fn bench_archsim_throughput(c: &mut Criterion) {
+    use rtr_archsim::MemorySim;
+    use rtr_trace::{BufferedTrace, MemTrace, TraceOp};
+
+    let mut group = c.benchmark_group("archsim_throughput");
+    group.sample_size(10);
+
+    // A streaming scan: two byte-granular passes over a 256 KiB buffer
+    // (the shape of a parse/copy loop over an L2-resident point cloud).
+    // Each line is a 64-op same-line run — the batched path's memo
+    // collapses it — and the buffer exceeds L1, so every line's first
+    // touch still exercises the fill and writeback plumbing.
+    let lines = 4096u64; // 256 KiB at 64 B lines
+    let mut ops = Vec::new();
+    for pass in 0..2u64 {
+        for line in 0..lines {
+            for off in 0..64u64 {
+                ops.push(TraceOp {
+                    addr: line * 64 + off,
+                    is_write: off % 16 == 8 && pass == 0,
+                });
+            }
+        }
+    }
+
+    group.bench_function("per-op-dyn", |b| {
+        b.iter_batched_ref(
+            MemorySim::i3_8109u,
+            |sim| {
+                let sink: &mut dyn MemTrace = sim;
+                for op in &ops {
+                    if op.is_write {
+                        sink.write(op.addr);
+                    } else {
+                        sink.read(op.addr);
+                    }
+                }
+                black_box(sim.report())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("batched", |b| {
+        b.iter_batched_ref(
+            MemorySim::i3_8109u,
+            |sim| {
+                sim.process_batch(&ops);
+                black_box(sim.report())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("buffered-4096", |b| {
+        b.iter_batched(
+            || BufferedTrace::new(MemorySim::i3_8109u()),
+            |mut buffered| {
+                for op in &ops {
+                    if op.is_write {
+                        buffered.write(op.addr);
+                    } else {
+                        buffered.read(op.addr);
+                    }
+                }
+                black_box(buffered.into_inner().report())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
 /// Sequential-vs-parallel variants of the four parallelized hot loops.
 ///
 /// `seq` is the exact legacy path (`threads = 1`); `par4` runs the same
@@ -748,6 +826,7 @@ criterion_group!(
     bench_symbolic,
     bench_control,
     bench_characterization,
+    bench_archsim_throughput,
     bench_parallel,
     bench_ekf_dense_vs_sparse,
     bench_workspace,

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p rtr-bench --bin exp_characterization
-//! cargo run --release -p rtr-bench --bin exp_characterization -- --full --vldp 4
+//! cargo run --release -p rtr-bench --bin exp_characterization -- \
+//!     --full --vldp 4 --threads 8 --out CHAR_report.json
 //! ```
 //!
 //! By default each kernel runs on a reduced inputset so the traced replay
@@ -13,73 +14,22 @@
 //! Each row pairs a VLDP-off and a VLDP-on run (`--vldp` sets the degree
 //! of the "on" column) of the *same* deterministic access stream, so the
 //! off→on deltas isolate the prefetcher.
+//!
+//! Every cell is an isolated simulation, so the table shards over the
+//! deterministic harness pool: `--threads N` fans the kernel × {off, on}
+//! cells out without changing a single digit of the output (0 = one
+//! worker per core). `--out FILE` additionally writes the table as a
+//! machine-readable JSON artifact.
 
-use rtr_core::{registry, CacheReport, Kernel};
+use rtr_bench::characterization::{collect, CharReport};
 use rtr_harness::{Args, Table};
-
-/// Reduced per-kernel arguments used unless `--full` is passed: the same
-/// access patterns at a scale where the traced replay stays in seconds.
-fn small_args(kernel: &str) -> &'static [&'static str] {
-    match kernel {
-        "01.pfl" => &["--particles", "120"],
-        "02.ekfslam" => &["--steps", "60", "--landmarks", "4"],
-        "03.srec" => &["--points", "3000", "--iterations", "6"],
-        "04.pp2d" => &["--size", "128"],
-        "05.pp3d" => &["--size", "48", "--height", "8"],
-        "06.movtar" => &["--size", "48"],
-        "07.prm" => &["--roadmap", "300", "--neighbors", "8"],
-        "08.rrt" => &["--samples", "4000"],
-        "09.rrtstar" => &["--samples", "1500"],
-        "10.rrtpp" => &["--samples", "1500", "--passes", "3"],
-        "11.sym-blkw" => &["--blocks", "4"],
-        "13.dmp" => &["--duration", "0.5", "--basis", "20"],
-        "14.mpc" => &["--length", "60", "--iterations", "20"],
-        "16.bo" => &["--iterations", "15", "--candidates", "120"],
-        // 12.sym-fext and 15.cem are already small at their defaults.
-        _ => &[],
-    }
-}
-
-/// Runs one kernel traced and returns its cache report.
-fn traced_run(kernel: &dyn Kernel, full: bool, vldp: usize) -> Result<CacheReport, String> {
-    let mut tokens: Vec<String> = if full {
-        Vec::new()
-    } else {
-        small_args(kernel.name())
-            .iter()
-            .map(|t| (*t).to_string())
-            .collect()
-    };
-    tokens.push("--trace".into());
-    if vldp > 0 {
-        tokens.push("--vldp".into());
-        tokens.push(vldp.to_string());
-    }
-    let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
-    let args = Args::parse_tokens(&refs).map_err(|e| e.to_string())?;
-    let report = kernel.run(&args).map_err(|e| e.to_string())?;
-    report
-        .cache
-        .ok_or_else(|| "kernel ignored --trace".to_string())
-}
 
 /// Formats an off→on pair of percentages.
 fn pair(off: f64, on: f64) -> String {
     format!("{:>5.1}% → {:>5.1}%", off * 100.0, on * 100.0)
 }
 
-fn main() {
-    let args = Args::parse_env().unwrap_or_else(|e| {
-        eprintln!("exp_characterization: {e}");
-        std::process::exit(2);
-    });
-    let full = args.get_flag("full");
-    let vldp = args.get_usize("vldp", 4).unwrap_or(4).max(1);
-
-    println!(
-        "EXP-CHAR: suite-wide cache characterization ({} inputset, VLDP degree {vldp})\n",
-        if full { "full" } else { "small" }
-    );
+fn render(report: &CharReport) -> Table {
     let mut table = Table::new(&[
         "kernel",
         "accesses",
@@ -90,20 +40,16 @@ fn main() {
         "mem/KA (off → on)",
         "writebacks",
     ]);
-
-    for kernel in registry() {
-        let off = traced_run(kernel.as_ref(), full, 0);
-        let on = traced_run(kernel.as_ref(), full, vldp);
-        match (off, on) {
+    for row in &report.rows {
+        match (&row.off, &row.on) {
             (Ok(off), Ok(on)) => {
                 assert_eq!(
-                    off.accesses,
-                    on.accesses,
+                    off.accesses, on.accesses,
                     "{}: prefetching must not change the demand stream",
-                    kernel.name()
+                    row.kernel
                 );
                 table.row_owned(vec![
-                    kernel.name().to_owned(),
+                    row.kernel.clone(),
                     off.accesses.to_string(),
                     format!("{:.0}%", off.write_ratio() * 100.0),
                     pair(off.levels[0].miss_ratio(), on.levels[0].miss_ratio()),
@@ -118,21 +64,44 @@ fn main() {
                 ]);
             }
             (off, on) => {
-                let err = off.err().or(on.err()).unwrap_or_default();
-                table.row_owned(vec![
-                    kernel.name().to_owned(),
-                    format!("error: {err}"),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                ]);
+                let err = off
+                    .as_ref()
+                    .err()
+                    .or(on.as_ref().err())
+                    .cloned()
+                    .unwrap_or_default();
+                let mut cells = vec![row.kernel.clone(), format!("error: {err}")];
+                cells.resize(8, String::new());
+                table.row_owned(cells);
             }
         }
     }
-    print!("{table}");
+    table
+}
+
+fn main() {
+    let args = Args::parse_env().unwrap_or_else(|e| {
+        eprintln!("exp_characterization: {e}");
+        std::process::exit(2);
+    });
+    let full = args.get_flag("full");
+    let vldp = args.get_usize("vldp", 4).unwrap_or(4).max(1);
+    let threads = args.get_usize("threads", 0).unwrap_or(0);
+    let out = args.get_str("out", "");
+
+    println!(
+        "EXP-CHAR: suite-wide cache characterization ({} inputset, VLDP degree {vldp})\n",
+        if full { "full" } else { "small" }
+    );
+    let report = collect(full, vldp, threads);
+    print!("{}", render(&report));
+    if !out.is_empty() {
+        if let Err(e) = std::fs::write(&out, report.to_json()) {
+            eprintln!("exp_characterization: writing {out}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nWrote {out}");
+    }
     println!(
         "\nNotes: 'wr' is the store share of the demand stream; 'mem/KA' is\n\
          memory accesses per thousand demand accesses (the paper's MPKI\n\

@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod characterization;
+
 use std::time::{Duration, Instant};
 
 /// Times one closure invocation.

@@ -7,8 +7,14 @@
 //! reproduce the untraced run's result metrics *exactly*, only appending
 //! the cache rows, and prefetching must never change the demand stream.
 
+use rtr_archsim::MemorySim;
+use rtr_bench::characterization::collect_kernels;
+use rtr_control::dmp::wheeled_robot_demo;
+use rtr_control::mpc::winding_reference;
+use rtr_control::{Dmp, DmpConfig, Mpc, MpcConfig};
 use rtr_core::registry;
-use rtr_harness::Args;
+use rtr_harness::{Args, Profiler};
+use rtr_trace::{BufferedTrace, MemTrace};
 
 /// Small per-kernel arguments so the traced replays stay fast; mirrors
 /// the `exp_characterization` reduced inputset.
@@ -124,5 +130,69 @@ fn repeated_traced_runs_reproduce_the_same_cache_report() {
             assert_eq!(la.misses, lb.misses, "{}", kernel.name());
             assert_eq!(la.accesses, lb.accesses, "{}", kernel.name());
         }
+    }
+}
+
+/// Drives real kernel access streams (not synthetic proptest streams)
+/// through a per-op `&mut dyn MemTrace` simulator and through
+/// `BufferedTrace<MemorySim>` at several flush capacities: every report
+/// must be byte-identical. This is the end-to-end check behind routing
+/// `TraceSession` through the buffered transport.
+#[test]
+fn buffered_transport_matches_per_op_simulation_on_kernel_streams() {
+    let (demo, duration) = wheeled_robot_demo(200);
+    let dmp = Dmp::learn(&demo, duration, DmpConfig::default());
+    let reference = winding_reference(40);
+
+    let sims = || [MemorySim::i3_8109u(), MemorySim::i3_8109u().with_vldp(2)];
+    let drive = |label: &str, run: &dyn Fn(&mut dyn MemTrace)| {
+        for (variant, sim) in sims().into_iter().enumerate() {
+            // Reference: the op-at-a-time dynamic dispatch path.
+            let mut per_op = sim.clone();
+            run(&mut per_op);
+            let expected = per_op.report();
+            for capacity in [1usize, 7, 4096] {
+                let mut buffered = BufferedTrace::with_capacity(sim.clone(), capacity);
+                run(&mut buffered);
+                assert_eq!(
+                    buffered.into_inner().report(),
+                    expected,
+                    "{label}: variant {variant} diverged at capacity {capacity}"
+                );
+            }
+        }
+    };
+
+    drive("13.dmp", &|sink| {
+        let mut profiler = Profiler::new();
+        dmp.rollout(duration, &mut profiler, sink);
+    });
+    drive("14.mpc", &|sink| {
+        let mut profiler = Profiler::new();
+        Mpc::new(MpcConfig::default()).track(&reference, &mut profiler, sink);
+    });
+}
+
+/// The sharded characterization table must not depend on the worker
+/// count: `Pool::par_map` preserves cell order and every cell owns its
+/// simulator, so `--threads 1/2/4` assemble identical reports.
+#[test]
+fn sharded_characterization_table_is_thread_count_invariant() {
+    // A cheap slice of the registry keeps the three sweeps fast while
+    // still crossing kernel crates (planning, control).
+    let names: Vec<String> = ["11.sym-blkw", "13.dmp", "15.cem"]
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
+    let base = collect_kernels(&names, false, 2, 1);
+    for row in &base.rows {
+        assert!(row.off.is_ok() && row.on.is_ok(), "{}: {row:?}", row.kernel);
+    }
+    for threads in [2usize, 4] {
+        assert_eq!(
+            collect_kernels(&names, false, 2, threads),
+            base,
+            "table diverged at --threads {threads}"
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! |------------------|-----------------------------------------------|
 //! | `nondet-iter`    | kernel outputs never depend on hash iteration |
 //! | `wall-clock`     | kernels never read the wall clock directly    |
-//! | `hot-alloc`      | `*_into` / `*Scratch` steady state is heap-free |
+//! | `hot-alloc`      | `*_into` / `process_batch` / `flush` / `*Scratch` steady state is heap-free |
 //! | `unsafe-hygiene` | crate roots forbid `unsafe`; opt-outs justify |
 //! | `par-rng`        | parallel closures derive RNG via `chunk_seed` |
 //! | `layering`       | kernel-layer code never names the cache simulator |
@@ -209,15 +209,19 @@ const ALLOC_NEEDLES: [&str; 7] = [
     ".clone()",
 ];
 
-/// R3 — `hot-alloc`: allocation inside the span of a `*_into` function or
-/// a `*Scratch` impl. Constructors (`fn new`, `fn default`, `fn with_*`)
+/// R3 — `hot-alloc`: allocation inside the span of a `*_into` function,
+/// a `process_batch`/`flush` function (the batched trace transport: one
+/// of these runs per buffer flush on every traced access stream), or a
+/// `*Scratch` impl. Constructors (`fn new`, `fn default`, `fn with_*`)
 /// inside Scratch impls are exempt: warmup may allocate, steady state may
 /// not (ROADMAP workspace convention).
 fn rule_hot_alloc(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
-    let mut hot: Vec<Span> = fn_spans(&s.text, |n| n.ends_with("_into"))
-        .into_iter()
-        .map(|(_, span)| span)
-        .collect();
+    let mut hot: Vec<Span> = fn_spans(&s.text, |n| {
+        n.ends_with("_into") || n == "process_batch" || n == "flush"
+    })
+    .into_iter()
+    .map(|(_, span)| span)
+    .collect();
     let scratch_impls = impl_spans(&s.text, |header| {
         header
             .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
@@ -258,7 +262,8 @@ fn rule_hot_alloc(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
                     &s.text,
                     at,
                     format!(
-                        "{needle} inside an allocation-free hot span (*_into fn or *Scratch impl)"
+                        "{needle} inside an allocation-free hot span \
+                         (*_into/process_batch/flush fn or *Scratch impl)"
                     ),
                 );
             }

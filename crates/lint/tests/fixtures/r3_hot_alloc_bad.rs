@@ -1,5 +1,6 @@
-// Fixture: R3 must flag heap allocation inside *_into fns and *Scratch
-// impls, but not in cold code.
+// Fixture: R3 must flag heap allocation inside *_into fns, *Scratch
+// impls, and the batched trace transport (process_batch / flush fns),
+// but not in cold code.
 fn cold_setup() -> Vec<f64> {
     let v = vec![0.0; 128]; // fine: not a hot span
     v.to_vec() // fine: not a hot span
@@ -25,5 +26,26 @@ impl IcpScratch {
 
     fn step(&mut self, pts: &[f64]) {
         self.buf = pts.to_vec(); // flagged: steady state must reuse buf
+    }
+}
+
+struct LeakyTransport {
+    ops: Vec<u64>,
+}
+
+impl LeakyTransport {
+    fn process_batch(&mut self, ops: &[u64]) {
+        let staged = ops.to_vec(); // flagged: batch consumption is hot
+        self.ops = staged;
+    }
+
+    fn flush(&mut self) {
+        let drained: Vec<u64> = self.ops.iter().copied().collect(); // flagged (.collect::)
+        self.ops.clear();
+        let _ = drained;
+    }
+
+    fn describe(&self) -> Vec<u64> {
+        self.ops.to_vec() // fine: not a hot span
     }
 }

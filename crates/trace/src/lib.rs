@@ -56,6 +56,26 @@ pub trait MemTrace {
     fn enabled(&self) -> bool {
         true
     }
+
+    /// Consumes an ordered batch of recorded ops.
+    ///
+    /// The contract is strict equivalence: a sink's observable state after
+    /// `process_batch(ops)` must be identical to replaying each op through
+    /// [`read`](MemTrace::read)/[`write`](MemTrace::write) in order — the
+    /// default body does exactly that. Sinks with a cheaper bulk path
+    /// (bulk counters, a monomorphic simulation loop) override it; callers
+    /// like [`BufferedTrace`] use it to amortize virtual dispatch on a
+    /// `&mut dyn MemTrace` into one call per buffer.
+    #[inline]
+    fn process_batch(&mut self, ops: &[TraceOp]) {
+        for op in ops {
+            if op.is_write {
+                self.write(op.addr);
+            } else {
+                self.read(op.addr);
+            }
+        }
+    }
 }
 
 impl<T: MemTrace + ?Sized> MemTrace for &mut T {
@@ -72,6 +92,11 @@ impl<T: MemTrace + ?Sized> MemTrace for &mut T {
     #[inline]
     fn enabled(&self) -> bool {
         (**self).enabled()
+    }
+
+    #[inline]
+    fn process_batch(&mut self, ops: &[TraceOp]) {
+        (**self).process_batch(ops);
     }
 }
 
@@ -94,6 +119,9 @@ impl MemTrace for NullTrace {
     fn enabled(&self) -> bool {
         false
     }
+
+    #[inline]
+    fn process_batch(&mut self, _ops: &[TraceOp]) {}
 }
 
 /// A sink that counts reads and writes; for tests and overhead probes.
@@ -121,6 +149,13 @@ impl MemTrace for CountingTrace {
     #[inline]
     fn write(&mut self, _addr: u64) {
         self.writes += 1;
+    }
+
+    #[inline]
+    fn process_batch(&mut self, ops: &[TraceOp]) {
+        let writes = ops.iter().filter(|op| op.is_write).count() as u64;
+        self.writes += writes;
+        self.reads += ops.len() as u64 - writes;
     }
 }
 
@@ -167,6 +202,11 @@ impl<T: MemTrace + ?Sized> MemTrace for SharedTrace<'_, '_, T> {
     fn enabled(&self) -> bool {
         self.inner.borrow().enabled()
     }
+
+    #[inline]
+    fn process_batch(&mut self, ops: &[TraceOp]) {
+        self.inner.borrow_mut().process_batch(ops);
+    }
 }
 
 /// One recorded access: the address and whether it was a store.
@@ -180,26 +220,35 @@ pub struct TraceOp {
 
 /// A sink that records the full ordered access stream; for bit-identity
 /// and emission-shape tests (not for hot loops — it allocates).
+///
+/// Load/store tallies are kept as running counters so the per-assertion
+/// [`reads`](RecordingTrace::reads)/[`writes`](RecordingTrace::writes)
+/// calls in the kernel emission tests stay O(1) instead of re-scanning
+/// the stream. `ops` stays public for shape assertions; push through the
+/// [`MemTrace`] methods so the counters stay in sync.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RecordingTrace {
     /// The ordered access stream as emitted by the kernel.
     pub ops: Vec<TraceOp>,
+    read_count: u64,
+    write_count: u64,
 }
 
 impl RecordingTrace {
     /// Number of recorded loads.
     pub fn reads(&self) -> u64 {
-        self.ops.iter().filter(|op| !op.is_write).count() as u64
+        self.read_count
     }
 
     /// Number of recorded stores.
     pub fn writes(&self) -> u64 {
-        self.ops.iter().filter(|op| op.is_write).count() as u64
+        self.write_count
     }
 }
 
 impl MemTrace for RecordingTrace {
     fn read(&mut self, addr: u64) {
+        self.read_count += 1;
         self.ops.push(TraceOp {
             addr,
             is_write: false,
@@ -207,10 +256,139 @@ impl MemTrace for RecordingTrace {
     }
 
     fn write(&mut self, addr: u64) {
+        self.write_count += 1;
         self.ops.push(TraceOp {
             addr,
             is_write: true,
         });
+    }
+
+    fn process_batch(&mut self, ops: &[TraceOp]) {
+        let writes = ops.iter().filter(|op| op.is_write).count() as u64;
+        self.write_count += writes;
+        self.read_count += ops.len() as u64 - writes;
+        self.ops.extend_from_slice(ops);
+    }
+}
+
+/// A fixed-capacity buffering adapter that turns per-op `read`/`write`
+/// calls into one [`MemTrace::process_batch`] call per full buffer.
+///
+/// Harness code holds sinks as `&mut dyn MemTrace`, so every access pays
+/// a virtual dispatch; wrapping the sink in a `BufferedTrace` amortizes
+/// that to one dispatch per `capacity` ops. The buffer is allocated once
+/// at construction and never grows — the steady-state path is a bounds
+/// check, a push into reserved storage, and a branch.
+///
+/// Ops flow through strictly in emission order (the buffer is flushed,
+/// never reordered), so any sink sees the exact stream it would have
+/// seen unbuffered — only the call granularity changes. Call
+/// [`into_inner`](BufferedTrace::into_inner) (or `flush`) before reading
+/// results out of the wrapped sink, otherwise the tail of the stream is
+/// still pending.
+///
+/// # Example
+///
+/// ```
+/// use rtr_trace::{BufferedTrace, CountingTrace, MemTrace};
+///
+/// let mut buffered = BufferedTrace::with_capacity(CountingTrace::default(), 2);
+/// buffered.read(0);
+/// buffered.read(64); // buffer full: flushes one batch of 2
+/// buffered.write(128); // still pending
+/// let counts = buffered.into_inner(); // flushes the tail
+/// assert_eq!((counts.reads, counts.writes), (2, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BufferedTrace<S: MemTrace> {
+    inner: S,
+    buf: Vec<TraceOp>,
+    capacity: usize,
+}
+
+impl<S: MemTrace> BufferedTrace<S> {
+    /// Default buffer capacity in ops; large enough to amortize dispatch,
+    /// small enough to stay resident in L1D (4096 × 16 B = 64 KiB... of
+    /// which only the live prefix is touched between flushes).
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Wraps `inner` with the default buffer capacity.
+    pub fn new(inner: S) -> Self {
+        Self::with_capacity(inner, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Wraps `inner` with an explicit buffer capacity (ops per flush).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(inner: S, capacity: usize) -> Self {
+        assert!(capacity > 0, "BufferedTrace capacity must be non-zero");
+        BufferedTrace {
+            inner,
+            buf: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Ops buffered but not yet delivered to the inner sink.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Delivers all buffered ops to the inner sink as one batch.
+    pub fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.inner.process_batch(&self.buf);
+            self.buf.clear();
+        }
+    }
+
+    /// Flushes the tail and returns the inner sink.
+    pub fn into_inner(mut self) -> S {
+        self.flush();
+        self.inner
+    }
+
+    #[inline]
+    fn push(&mut self, op: TraceOp) {
+        self.buf.push(op);
+        if self.buf.len() == self.capacity {
+            self.flush();
+        }
+    }
+}
+
+impl<S: MemTrace> MemTrace for BufferedTrace<S> {
+    #[inline]
+    fn read(&mut self, addr: u64) {
+        self.push(TraceOp {
+            addr,
+            is_write: false,
+        });
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64) {
+        self.push(TraceOp {
+            addr,
+            is_write: true,
+        });
+    }
+
+    /// Delegates to the inner sink: buffering is a transport detail and
+    /// must not flip a kernel onto its traced emission path by itself.
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    #[inline]
+    fn process_batch(&mut self, ops: &[TraceOp]) {
+        // Preserve stream order: drain what's pending, then hand the
+        // caller's batch through without copying it into the buffer.
+        self.flush();
+        self.inner.process_batch(ops);
     }
 }
 
@@ -277,6 +455,86 @@ mod tests {
             side_b.write(64);
         }
         assert_eq!((counts.reads, counts.writes), (1, 1));
+    }
+
+    #[test]
+    fn process_batch_default_matches_per_op_replay() {
+        let ops = vec![
+            TraceOp {
+                addr: 0,
+                is_write: false,
+            },
+            TraceOp {
+                addr: 64,
+                is_write: true,
+            },
+            TraceOp {
+                addr: 0,
+                is_write: false,
+            },
+        ];
+        let mut batched = RecordingTrace::default();
+        batched.process_batch(&ops);
+        let mut per_op = RecordingTrace::default();
+        for op in &ops {
+            if op.is_write {
+                per_op.write(op.addr);
+            } else {
+                per_op.read(op.addr);
+            }
+        }
+        assert_eq!(batched, per_op);
+        assert_eq!((batched.reads(), batched.writes()), (2, 1));
+
+        let mut counts = CountingTrace::default();
+        counts.process_batch(&ops);
+        assert_eq!((counts.reads, counts.writes), (2, 1));
+    }
+
+    #[test]
+    fn buffered_trace_preserves_order_across_flush_boundaries() {
+        // Capacity 2 forces a flush mid-stream; the recorded stream must
+        // be indistinguishable from the unbuffered one.
+        let mut buffered = BufferedTrace::with_capacity(RecordingTrace::default(), 2);
+        emit(&mut buffered);
+        assert_eq!(buffered.pending(), 1); // 3 ops, one flush of 2
+        let recorded = buffered.into_inner();
+        let mut direct = RecordingTrace::default();
+        emit(&mut direct);
+        assert_eq!(recorded, direct);
+    }
+
+    #[test]
+    fn buffered_trace_flush_is_idempotent_and_batch_drains_first() {
+        let mut buffered = BufferedTrace::with_capacity(RecordingTrace::default(), 8);
+        buffered.read(0);
+        buffered.flush();
+        buffered.flush(); // empty flush must not emit a batch
+        buffered.process_batch(&[TraceOp {
+            addr: 64,
+            is_write: true,
+        }]);
+        assert_eq!(buffered.pending(), 0);
+        let recorded = buffered.into_inner();
+        assert_eq!(
+            recorded.ops,
+            vec![
+                TraceOp {
+                    addr: 0,
+                    is_write: false
+                },
+                TraceOp {
+                    addr: 64,
+                    is_write: true
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn buffered_trace_enabled_delegates_to_inner() {
+        assert!(!BufferedTrace::new(NullTrace).enabled());
+        assert!(BufferedTrace::new(CountingTrace::default()).enabled());
     }
 
     #[test]
