@@ -818,6 +818,53 @@ fn bench_linalg(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar vs lane-kernel fast paths on the three SoA hot loops the
+/// `SimdMode` knob gates: the bucketed k-d leaf distance scan
+/// (`squared_distances`), the matvec microkernel behind
+/// `mul_vector_simd_into` (`dot`), and the PFL weight loop (`sum`).
+/// CI holds the measured speedup floor over these medians: Lanes must
+/// stay ≥1.3× Scalar on at least two of the three.
+fn bench_simd_fastpaths(c: &mut Criterion) {
+    use rtr_simd::SimdMode;
+
+    let mut group = c.benchmark_group("simd_fastpaths");
+
+    // k-d leaf scan: the 64-slot leaf blocks, back to back.
+    let pts: Vec<f64> = (0..16_384 * 3)
+        .map(|i| (i as f64 * 0.13).sin() * 8.0)
+        .collect();
+    let query = [0.3, -0.8, 1.7];
+    let mut d2s = vec![0.0f64; 16_384];
+    for mode in [SimdMode::Scalar, SimdMode::Lanes] {
+        group.bench_function(format!("leaf_scan/{mode}"), |bch| {
+            bch.iter(|| {
+                rtr_simd::squared_distances::<3>(&pts, &query, &mut d2s, mode);
+                black_box(d2s[0])
+            })
+        });
+    }
+
+    // Matvec microkernel: one dense row dot per output element.
+    let xs: Vec<f64> = (0..16_384).map(|i| (i as f64 * 0.7).sin()).collect();
+    let ys: Vec<f64> = (0..16_384).map(|i| (i as f64 * 0.3).cos()).collect();
+    for mode in [SimdMode::Scalar, SimdMode::Lanes] {
+        group.bench_function(format!("matvec_dot/{mode}"), |bch| {
+            bch.iter(|| black_box(rtr_simd::dot(&xs, &ys, mode)))
+        });
+    }
+
+    // PFL weight loop: normalization totals over the particle weights.
+    let weights: Vec<f64> = (0..65_536)
+        .map(|i| 0.5 + (i as f64 * 0.11).sin().abs())
+        .collect();
+    for mode in [SimdMode::Scalar, SimdMode::Lanes] {
+        group.bench_function(format!("weight_sum/{mode}"), |bch| {
+            bch.iter(|| black_box(rtr_simd::sum(&weights, mode)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     bench_perception,
@@ -833,6 +880,7 @@ criterion_group!(
     bench_kdtree_layout,
     bench_icp_batch_nn,
     bench_rrtstar_neighborhood,
-    bench_linalg
+    bench_linalg,
+    bench_simd_fastpaths
 );
 criterion_main!(kernels);

@@ -29,6 +29,19 @@ fn pair(off: f64, on: f64) -> String {
     format!("{:>5.1}% → {:>5.1}%", off * 100.0, on * 100.0)
 }
 
+/// Formats the store share of the demand stream. Whole percents for the
+/// store-heavy kernels; sub-percent shares (the PFL weight stores under
+/// a ray-probe-dominated stream) keep two decimals instead of flooring
+/// to a misleading `0%`.
+fn write_share(ratio: f64) -> String {
+    let pct = ratio * 100.0;
+    if pct > 0.0 && pct < 1.0 {
+        format!("{pct:.2}%")
+    } else {
+        format!("{pct:.0}%")
+    }
+}
+
 fn render(report: &CharReport) -> Table {
     let mut table = Table::new(&[
         "kernel",
@@ -51,7 +64,7 @@ fn render(report: &CharReport) -> Table {
                 table.row_owned(vec![
                     row.kernel.clone(),
                     off.accesses.to_string(),
-                    format!("{:.0}%", off.write_ratio() * 100.0),
+                    write_share(off.write_ratio()),
                     pair(off.levels[0].miss_ratio(), on.levels[0].miss_ratio()),
                     pair(off.levels[1].miss_ratio(), on.levels[1].miss_ratio()),
                     pair(off.levels[2].miss_ratio(), on.levels[2].miss_ratio()),

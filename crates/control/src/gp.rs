@@ -7,6 +7,7 @@
 //! intensive" than CEM.
 
 use rtr_linalg::{Cholesky, LinalgError, Matrix, Vector, Workspace};
+use rtr_simd::SimdMode;
 
 /// An exact Gaussian-process regressor with an RBF (squared-exponential)
 /// kernel.
@@ -28,12 +29,19 @@ use rtr_linalg::{Cholesky, LinalgError, Matrix, Vector, Workspace};
 /// ```
 #[derive(Debug, Clone)]
 pub struct GaussianProcess {
-    train_x: Vec<Vec<f64>>,
+    /// Training inputs flattened point-major (`n × dim`), so the
+    /// posterior kernel row is a packed squared-distance scan.
+    train_flat: Vec<f64>,
+    dim: usize,
     alpha: Vector,
     chol: Cholesky,
     length_scale: f64,
     signal_variance: f64,
     y_mean: f64,
+    /// Lane-kernel mode for the `predict_with` kernel-row scan. Pure perf
+    /// knob: per-row distance accumulation preserves dimension order, so
+    /// every mode is bit-identical to [`GaussianProcess::predict`].
+    simd: SimdMode,
 }
 
 impl GaussianProcess {
@@ -80,24 +88,51 @@ impl GaussianProcess {
         let alpha = chol.solve(&centered)?;
 
         Ok(GaussianProcess {
-            train_x: xs.to_vec(),
+            train_flat: xs.iter().flat_map(|x| x.iter().copied()).collect(),
+            dim,
             alpha,
             chol,
             length_scale,
             signal_variance,
             y_mean,
+            simd: SimdMode::default(),
         })
+    }
+
+    /// Sets the lane-kernel mode used by [`GaussianProcess::predict_with`]
+    /// (builder form). Bit-identical across modes — see the field docs.
+    #[must_use]
+    pub fn with_simd(mut self, mode: SimdMode) -> Self {
+        self.simd = mode;
+        self
+    }
+
+    /// Sets the lane-kernel mode in place.
+    pub fn set_simd(&mut self, mode: SimdMode) {
+        self.simd = mode;
+    }
+
+    /// The lane-kernel mode currently used by
+    /// [`GaussianProcess::predict_with`].
+    pub fn simd_mode(&self) -> SimdMode {
+        self.simd
     }
 
     /// Number of training points.
     pub fn len(&self) -> usize {
-        self.train_x.len()
+        self.train_flat.len() / self.dim
     }
 
     /// Returns `true` when the GP holds no training data (never true for a
     /// successfully fitted model).
     pub fn is_empty(&self) -> bool {
-        self.train_x.is_empty()
+        self.train_flat.is_empty()
+    }
+
+    /// Training row `i` of the packed point-major input matrix.
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        &self.train_flat[i * self.dim..(i + 1) * self.dim]
     }
 
     fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
@@ -111,8 +146,8 @@ impl GaussianProcess {
     ///
     /// Panics if `x`'s dimension differs from the training inputs'.
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
-        assert_eq!(x.len(), self.train_x[0].len(), "query dimension mismatch");
-        let k_star = Vector::from_fn(self.train_x.len(), |i| self.kernel(&self.train_x[i], x));
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let k_star = Vector::from_fn(self.len(), |i| self.kernel(self.row(i), x));
         let mean = self.y_mean + k_star.dot(&self.alpha);
         let v = self
             .chol
@@ -129,17 +164,29 @@ impl GaussianProcess {
     /// evaluations, dot product and forward substitution — but a query
     /// loop over a fixed training set performs zero heap allocations after
     /// its first call (the acquisition loop in `16.bo` runs hundreds of
-    /// queries per refit).
+    /// queries per refit). The kernel row is a lane-kernel squared-distance
+    /// scan over the packed training matrix followed by a scalar `exp` map;
+    /// per-row accumulation preserves dimension order, so every
+    /// [`SimdMode`] reproduces `predict` bit for bit.
     ///
     /// # Panics
     ///
     /// Panics if `x`'s dimension differs from the training inputs'.
     pub fn predict_with(&self, x: &[f64], ws: &mut Workspace) -> (f64, f64) {
-        assert_eq!(x.len(), self.train_x[0].len(), "query dimension mismatch");
-        let n = self.train_x.len();
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let n = self.len();
         let mut k_star = ws.vector(n);
+        rtr_simd::squared_distances_dyn(
+            &self.train_flat,
+            self.dim,
+            x,
+            k_star.as_mut_slice(),
+            self.simd,
+        );
+        let l2 = self.length_scale * self.length_scale;
         for i in 0..n {
-            k_star[i] = self.kernel(&self.train_x[i], x);
+            // Same op order as `kernel` (mul, div, exp, mul) — bitwise.
+            k_star[i] = self.signal_variance * (-0.5 * k_star[i] / l2).exp();
         }
         let mean = self.y_mean + k_star.dot(&self.alpha);
         let mut v = ws.vector(n);

@@ -22,6 +22,29 @@ pub(crate) fn threads_arg(args: &Args) -> Result<usize, KernelError> {
     Ok(args.get_usize("threads", 0)?)
 }
 
+/// The shared `--simd` CLI option for kernels whose hot loop has a
+/// lane-kernel fast path (`01.pfl`, `03.srec`, `16.bo`).
+pub(crate) fn simd_option() -> OptionSpec {
+    OptionSpec {
+        name: "simd",
+        help: "Lane-kernel mode for the SoA hot loops: scalar|lanes|auto",
+    }
+}
+
+/// Parses `--simd` (default `auto`). A pure perf knob: every mode
+/// satisfies the `rtr-simd` equivalence contract, and the paths these
+/// kernels use are bit-identical across modes.
+pub(crate) fn simd_arg(args: &Args) -> Result<rtr_simd::SimdMode, KernelError> {
+    let raw = args.get_str("simd", "auto");
+    raw.parse::<rtr_simd::SimdMode>().map_err(|_| {
+        KernelError::Cli(rtr_harness::CliError::BadValue {
+            option: "simd".to_string(),
+            value: raw,
+            expected: "scalar|lanes|auto",
+        })
+    })
+}
+
 /// Returns all sixteen kernels in paper order (`01.pfl` … `16.bo`).
 pub fn registry() -> Vec<Box<dyn Kernel>> {
     vec![

@@ -85,6 +85,7 @@ impl Kernel for PflKernel {
                 help: "Random seed",
             },
             super::threads_option(),
+            super::simd_option(),
         ];
         options.extend(super::trace_options());
         options
@@ -105,6 +106,7 @@ impl Kernel for PflKernel {
                 seed,
                 beam_stride,
                 threads: super::threads_arg(args)?,
+                simd: super::simd_arg(args)?,
                 init: PflInit::AroundPose {
                     pose: steps[0].true_pose,
                     pos_std: 0.8,
@@ -266,6 +268,7 @@ impl Kernel for SrecKernel {
                 help: "Random seed",
             },
             super::threads_option(),
+            super::simd_option(),
         ];
         options.extend(super::trace_options());
         options
@@ -288,6 +291,7 @@ impl Kernel for SrecKernel {
         let result = Icp::new(IcpConfig {
             max_iterations: iterations,
             threads: super::threads_arg(args)?,
+            simd: super::simd_arg(args)?,
             ..Default::default()
         })
         .align(&scan2, &scan1, &mut profiler, session.sink());

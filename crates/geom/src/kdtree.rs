@@ -35,6 +35,7 @@
 //! thread count.
 
 use rtr_harness::Pool;
+use rtr_simd::SimdMode;
 
 /// Default number of points per [`KdLayout::BucketSoA`] leaf.
 ///
@@ -120,6 +121,10 @@ struct BucketLeaf {
 pub struct KdTree<const DIM: usize> {
     layout: KdLayout,
     bucket: usize,
+    /// Leaf-scan inner-loop mode — a pure performance knob like `layout`:
+    /// every query answers bit-identically under every mode (the lane
+    /// kernel keeps each point's per-dimension accumulation order).
+    simd: SimdMode,
     /// Insertion-order SoA arena shared by both layouts: point `i` lives
     /// at `coords[i * DIM..]` with payload `payloads[i]`.
     coords: Vec<f64>,
@@ -151,6 +156,7 @@ impl<const DIM: usize> KdTree<DIM> {
         KdTree {
             layout,
             bucket: KD_BUCKET,
+            simd: SimdMode::default(),
             coords: Vec::new(),
             payloads: Vec::new(),
             nodes: Vec::new(),
@@ -195,6 +201,28 @@ impl<const DIM: usize> KdTree<DIM> {
         );
         self.bucket = bucket;
         self
+    }
+
+    /// Sets the leaf-scan [`SimdMode`] (builder style). A pure performance
+    /// knob, settable at any time: every query answers bit-identically
+    /// under every mode, because the lane kernel computes each point's
+    /// distance with the same per-dimension accumulation order as the
+    /// scalar scan and the candidate selection still walks leaf-storage
+    /// order.
+    pub fn with_simd(mut self, mode: SimdMode) -> Self {
+        self.simd = mode;
+        self
+    }
+
+    /// Sets the leaf-scan [`SimdMode`] on a live tree (see
+    /// [`KdTree::with_simd`]).
+    pub fn set_simd(&mut self, mode: SimdMode) {
+        self.simd = mode;
+    }
+
+    /// Current leaf-scan [`SimdMode`].
+    pub fn simd_mode(&self) -> SimdMode {
+        self.simd
     }
 
     /// Builds a balanced default-layout tree from `(point, payload)` pairs
@@ -609,6 +637,43 @@ impl<const DIM: usize> KdTree<DIM> {
         }
     }
 
+    /// Walks one bucketed leaf, handing `(id, d²)` to `f` in leaf-storage
+    /// order. Under a vectorized [`SimdMode`] the distances for a block of
+    /// slots are computed by the lane kernel up front (into a stack
+    /// buffer, so `_into` query paths stay allocation-free); the kernel
+    /// preserves each point's per-dimension accumulation order, so every
+    /// `d²` — and therefore every downstream selection — is bit-identical
+    /// to the scalar scan.
+    #[inline]
+    fn scan_leaf(&self, leaf: &BucketLeaf, query: &[f64; DIM], mut f: impl FnMut(u32, f64)) {
+        /// Upper bound on slots distanced per lane-kernel call; leaves
+        /// larger than this (custom bucket sizes) are scanned in blocks.
+        const SCAN_BLOCK: usize = 64;
+        if self.simd.is_vectorized() {
+            let mut d2s = [0.0f64; SCAN_BLOCK];
+            let len = leaf.ids.len();
+            let mut base = 0usize;
+            while base < len {
+                let n = (len - base).min(SCAN_BLOCK);
+                rtr_simd::squared_distances::<DIM>(
+                    &leaf.pts[base * DIM..(base + n) * DIM],
+                    query,
+                    &mut d2s[..n],
+                    self.simd,
+                );
+                for (off, &id) in leaf.ids[base..base + n].iter().enumerate() {
+                    f(id, d2s[off]);
+                }
+                base += n;
+            }
+        } else {
+            for (slot, &id) in leaf.ids.iter().enumerate() {
+                let p = &leaf.pts[slot * DIM..slot * DIM + DIM];
+                f(id, squared_distance(p, query));
+            }
+        }
+    }
+
     fn bucket_nearest_rec(
         &self,
         node: BucketRef,
@@ -619,15 +684,13 @@ impl<const DIM: usize> KdTree<DIM> {
         match node {
             BucketRef::Leaf(l) => {
                 let leaf = &self.leaves[l as usize];
-                for (slot, &id) in leaf.ids.iter().enumerate() {
+                self.scan_leaf(leaf, query, |id, d2| {
                     let payload = self.payloads[id as usize];
                     visit(payload);
-                    let p = &leaf.pts[slot * DIM..slot * DIM + DIM];
-                    let d2 = squared_distance(p, query);
                     if closer(payload, d2, best) {
                         *best = (payload, d2);
                     }
-                }
+                });
             }
             BucketRef::Inner(i) => {
                 let n = &self.inners[i as usize];
@@ -729,11 +792,9 @@ impl<const DIM: usize> KdTree<DIM> {
         match node {
             BucketRef::Leaf(l) => {
                 let leaf = &self.leaves[l as usize];
-                for (slot, &id) in leaf.ids.iter().enumerate() {
-                    let p = &leaf.pts[slot * DIM..slot * DIM + DIM];
-                    let d2 = squared_distance(p, query);
+                self.scan_leaf(leaf, query, |id, d2| {
                     Self::offer_k(heap, k, self.payloads[id as usize], d2);
-                }
+                });
             }
             BucketRef::Inner(i) => {
                 let n = &self.inners[i as usize];
@@ -824,13 +885,11 @@ impl<const DIM: usize> KdTree<DIM> {
         match node {
             BucketRef::Leaf(l) => {
                 let leaf = &self.leaves[l as usize];
-                for (slot, &id) in leaf.ids.iter().enumerate() {
-                    let p = &leaf.pts[slot * DIM..slot * DIM + DIM];
-                    let d2 = squared_distance(p, query);
+                self.scan_leaf(leaf, query, |id, d2| {
                     if d2 <= r2 {
                         out.push((self.payloads[id as usize], d2));
                     }
-                }
+                });
             }
             BucketRef::Inner(i) => {
                 let n = &self.inners[i as usize];

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
+use rtr_simd::SimdMode;
+
 use crate::{Cholesky, LinalgError, Lu, Qr, Vector, Workspace};
 
 /// A heap-allocated, row-major matrix of `f64` elements.
@@ -288,11 +290,10 @@ impl Matrix {
                 if aik == 0.0 {
                     continue;
                 }
-                let rhs_row = rhs.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += aik * b;
-                }
+                // One multiply and one add per element in the same order
+                // as the historical loop: `axpy` is bit-identical across
+                // every `SimdMode`, so the lane kernel is always on here.
+                rtr_simd::axpy(out.row_mut(i), aik, rhs.row(k), SimdMode::Auto);
             }
         }
     }
@@ -329,20 +330,11 @@ impl Matrix {
                         let r1 = &rhs.row(k + 1)[jj..j_end];
                         let r2 = &rhs.row(k + 2)[jj..j_end];
                         let r3 = &rhs.row(k + 3)[jj..j_end];
-                        for ((((o, &b0), &b1), &b2), &b3) in out_seg
-                            .iter_mut()
-                            .zip(r0.iter())
-                            .zip(r1.iter())
-                            .zip(r2.iter())
-                            .zip(r3.iter())
-                        {
-                            let mut acc = *o;
-                            acc += a[0] * b0;
-                            acc += a[1] * b1;
-                            acc += a[2] * b2;
-                            acc += a[3] * b3;
-                            *o = acc;
-                        }
+                        // The lane microkernel performs the four stacked
+                        // adds in this exact order per element, so the
+                        // rounding matches the historical register-blocked
+                        // loop bit for bit.
+                        rtr_simd::axpy4(out_seg, a, r0, r1, r2, r3, SimdMode::Auto);
                     } else {
                         // A zero among the four: fall back to per-k passes
                         // so the skipped terms match the streaming kernel.
@@ -351,9 +343,7 @@ impl Matrix {
                                 continue;
                             }
                             let rhs_seg = &rhs.row(k + dk)[jj..j_end];
-                            for (o, &b) in out_seg.iter_mut().zip(rhs_seg.iter()) {
-                                *o += aik * b;
-                            }
+                            rtr_simd::axpy(out_seg, aik, rhs_seg, SimdMode::Auto);
                         }
                     }
                     k += 4;
@@ -363,9 +353,7 @@ impl Matrix {
                         continue;
                     }
                     let rhs_seg = &rhs.row(k)[jj..j_end];
-                    for (o, &b) in out_seg.iter_mut().zip(rhs_seg.iter()) {
-                        *o += aik * b;
-                    }
+                    rtr_simd::axpy(out_seg, aik, rhs_seg, SimdMode::Auto);
                 }
             }
         }
@@ -520,6 +508,39 @@ impl Matrix {
                 .zip(v.as_slice())
                 .map(|(a, b)| a * b)
                 .sum();
+        }
+        Ok(())
+    }
+
+    /// Matrix–vector product into a caller-provided output with an
+    /// explicit [`SimdMode`]: each output element is one row dot product,
+    /// evaluated by the lane-kernel [`rtr_simd::dot`].
+    ///
+    /// `SimdMode::Scalar` reproduces [`Matrix::mul_vector_into`] bit for
+    /// bit (same left-to-right multiply-add chain); the vector modes keep
+    /// [`rtr_simd::LANES`] partial sums per row and may differ from the
+    /// scalar oracle in final rounding — the divergence contract is
+    /// pinned by the simd equivalence suite in `crates/bench`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != v.len()`
+    /// or `out.len() != self.rows()`.
+    pub fn mul_vector_simd_into(
+        &self,
+        v: &Vector,
+        out: &mut Vector,
+        mode: SimdMode,
+    ) -> Result<(), LinalgError> {
+        if self.cols != v.len() || out.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matrix-vector multiply (simd into)",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        for r in 0..self.rows {
+            out[r] = rtr_simd::dot(self.row(r), v.as_slice(), mode);
         }
         Ok(())
     }
@@ -749,9 +770,9 @@ impl Matrix {
             rhs.shape(),
             "matrix add-scaled-assign: shape mismatch"
         );
-        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
-            *a += alpha * b;
-        }
+        // Element-wise map: the lane kernel is bit-identical to the
+        // historical loop for every `SimdMode`, so it is always on.
+        rtr_simd::axpy(&mut self.data, alpha, &rhs.data, SimdMode::Auto);
     }
 
     /// Consumes the matrix, returning the row-major element storage (the

@@ -32,6 +32,30 @@ pub const CLOCK_CRATES: [&str; 2] = ["bench", "harness"];
 /// inversion); `crates/core/src/kernels/` joins them via [`is_layered`].
 pub const LAYERED_CRATES: [&str; 5] = ["control", "geom", "perception", "planning", "sim"];
 
+/// Crates that may carry `unsafe` code at all — only the SIMD crate's
+/// optional `core::arch` intrinsics backend. Allowlisted crate roots may
+/// replace the unconditional `#![forbid(unsafe_code)]` with the
+/// feature-gated `#![cfg_attr(not(feature = "..."), forbid(unsafe_code))]`
+/// form; every `unsafe` block there still needs its `// SAFETY:` line.
+/// Everywhere else an `unsafe` token is itself a finding, SAFETY comment
+/// or not.
+pub const UNSAFE_ALLOWLIST: [&str; 1] = ["simd"];
+
+/// Lane-kernel entry points in `crates/simd` whose bodies `hot-alloc`
+/// scans like any `*_into` span: the SoA fast paths sit inside kernel
+/// inner loops and must be allocation-free.
+pub const SIMD_HOT_FNS: [&str; 9] = [
+    "sum",
+    "sum_sq",
+    "dot",
+    "axpy",
+    "axpy4",
+    "div_assign",
+    "squared_distances",
+    "squared_distances_dyn",
+    "combine_tail",
+];
+
 /// All rule identifiers, as used in `allow(<rule>)` annotations.
 pub const RULES: [&str; 6] = [
     "nondet-iter",
@@ -216,8 +240,15 @@ const ALLOC_NEEDLES: [&str; 7] = [
 /// inside Scratch impls are exempt: warmup may allocate, steady state may
 /// not (ROADMAP workspace convention).
 fn rule_hot_alloc(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    // In the SIMD crate the lane-kernel entry points (and their
+    // `_scalar`/`_lanes` twins) are hot spans too.
+    let simd_crate = crate_of(path) == Some("simd");
     let mut hot: Vec<Span> = fn_spans(&s.text, |n| {
-        n.ends_with("_into") || n == "process_batch" || n == "flush"
+        n.ends_with("_into")
+            || n == "process_batch"
+            || n == "flush"
+            || (simd_crate
+                && (SIMD_HOT_FNS.contains(&n) || n.ends_with("_scalar") || n.ends_with("_lanes")))
     })
     .into_iter()
     .map(|(_, span)| span)
@@ -284,13 +315,20 @@ fn find_all(text: &str, needle: &str) -> Vec<usize> {
 }
 
 /// R4 — `unsafe-hygiene`: every crate root carries
-/// `#![forbid(unsafe_code)]`; any `unsafe` block anywhere (possible only
-/// where that attribute was dropped, or in bin targets) needs a
-/// `// SAFETY:` comment on its own or the preceding line.
+/// `#![forbid(unsafe_code)]`, and any `unsafe` token outside the
+/// [`UNSAFE_ALLOWLIST`] is a finding outright. Allowlisted crates (the
+/// SIMD intrinsics backend) may gate the forbid behind a feature via
+/// `#![cfg_attr(..., forbid(unsafe_code))]`, but every `unsafe` block
+/// there still needs a `// SAFETY:` comment on its own or the preceding
+/// line.
 fn rule_unsafe_hygiene(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    let allowlisted = crate_of(path).is_some_and(|k| UNSAFE_ALLOWLIST.contains(&k));
     if is_crate_root(path) {
         let compact: String = s.text.chars().filter(|c| !c.is_whitespace()).collect();
-        if !compact.contains("#![forbid(unsafe_code)]") {
+        let unconditional = compact.contains("#![forbid(unsafe_code)]");
+        let feature_gated =
+            compact.contains("#![cfg_attr(") && compact.contains(",forbid(unsafe_code))]");
+        if !(unconditional || (allowlisted && feature_gated)) {
             out.push(Finding {
                 rule: "unsafe-hygiene".to_owned(),
                 file: path.to_owned(),
@@ -302,6 +340,17 @@ fn rule_unsafe_hygiene(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
     }
     let lines: Vec<&str> = s.original.lines().collect();
     for at in token_positions(&s.text, "unsafe") {
+        if !allowlisted {
+            push(
+                out,
+                "unsafe-hygiene",
+                path,
+                &s.text,
+                at,
+                "unsafe outside the allowlist (only the rtr-simd intrinsics backend may carry unsafe code)".to_owned(),
+            );
+            continue;
+        }
         let line = line_of(&s.text, at);
         let documented = [line, line.saturating_sub(1)]
             .iter()
@@ -476,12 +525,42 @@ mod tests {
     }
 
     #[test]
-    fn unsafe_needs_safety_comment() {
+    fn unsafe_needs_safety_comment_in_allowlisted_crate() {
         let bad = "#![forbid(unsafe_code)]\nfn f() { unsafe { g() } }\n";
-        let f = lint_source("crates/geom/src/lib.rs", bad);
+        let f = lint_source("crates/simd/src/lib.rs", bad);
         assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("SAFETY"));
         let good = "#![forbid(unsafe_code)]\n// SAFETY: g has no preconditions\nfn f() { unsafe { g() } }\n";
-        assert!(lint_source("crates/geom/src/lib.rs", good).is_empty());
+        assert!(lint_source("crates/simd/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_is_flagged_even_with_safety() {
+        let src = "#![forbid(unsafe_code)]\n// SAFETY: documented, but geom may not use unsafe at all\nfn f() { unsafe { g() } }\n";
+        let f = lint_source("crates/geom/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("allowlist"));
+    }
+
+    #[test]
+    fn gated_forbid_accepted_only_on_the_allowlist() {
+        let gated =
+            "#![cfg_attr(not(feature = \"intrinsics\"), forbid(unsafe_code))]\npub fn f() {}\n";
+        assert!(lint_source("crates/simd/src/lib.rs", gated).is_empty());
+        let f = lint_source("crates/geom/src/lib.rs", gated);
+        assert!(f.iter().any(|x| x.message.contains("forbid(unsafe_code)")));
+    }
+
+    #[test]
+    fn simd_lane_kernels_are_hot_alloc_spans() {
+        let src = "pub fn dot(xs: &[f64]) -> f64 { let v = xs.to_vec(); v[0] }\nfn sum_lanes(xs: &[f64]) -> f64 { let c = xs.to_vec(); c[0] }\nfn helper(xs: &[f64]) -> f64 { xs.to_vec()[0] }\n";
+        let f = lint_source("crates/simd/src/kernels.rs", src);
+        let hot: Vec<_> = f.iter().filter(|x| x.rule == "hot-alloc").collect();
+        assert_eq!(hot.len(), 2, "dot and sum_lanes, not helper: {f:?}");
+        // The same names outside the SIMD crate stay cold.
+        assert!(lint_source("crates/planning/src/x.rs", src)
+            .iter()
+            .all(|x| x.rule != "hot-alloc"));
     }
 
     #[test]

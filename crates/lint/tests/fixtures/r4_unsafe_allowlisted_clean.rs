@@ -1,0 +1,15 @@
+// Fixture: the one legal shape for unsafe code in the workspace — the
+// SIMD crate's feature-gated intrinsics backend. The crate root trades
+// the unconditional forbid for the cfg_attr form, and every unsafe block
+// carries a SAFETY line. Clean when linted as crates/simd/src/lib.rs;
+// flagged (allowlist + gated forbid) anywhere else.
+#![cfg_attr(not(feature = "intrinsics"), forbid(unsafe_code))]
+
+fn lane_load(p: *const f64) -> f64 {
+    // SAFETY: caller guarantees p points to a live, aligned f64.
+    unsafe { *p }
+}
+
+fn lane_load_inline(p: *const f64) -> f64 {
+    unsafe { *p } // SAFETY: same-line form is accepted too.
+}

@@ -85,8 +85,8 @@ fn r3_bad_fixture_flags_hot_spans_only() {
 #[test]
 fn r4_bad_fixture_flags_missing_forbid_and_undocumented_unsafe() {
     let src = include_str!("fixtures/r4_unsafe_bad.rs");
-    // Linted as a crate root so the forbid check applies.
-    let f = lint_source("crates/planning/src/lib.rs", src);
+    // Linted as the allowlisted crate's root: SAFETY comments decide.
+    let f = lint_source("crates/simd/src/lib.rs", src);
     let v = violations(&f);
     assert!(v
         .iter()
@@ -97,6 +97,43 @@ fn r4_bad_fixture_flags_missing_forbid_and_undocumented_unsafe() {
     // The documented unsafe block must not be flagged.
     assert!(!v.iter().any(|x| x.line == 10), "{v:?}");
     assert_eq!(v.len(), 2, "{v:?}");
+}
+
+#[test]
+fn r4_unsafe_outside_the_allowlist_is_flagged_outright() {
+    let src = include_str!("fixtures/r4_unsafe_bad.rs");
+    // In a non-allowlisted crate even the SAFETY-documented block (line
+    // 10) is a finding: only rtr-simd may carry unsafe code.
+    let f = lint_source("crates/planning/src/lib.rs", src);
+    let v = violations(&f);
+    assert!(v
+        .iter()
+        .any(|x| x.message.contains("forbid(unsafe_code)") && x.line == 1));
+    assert!(v
+        .iter()
+        .any(|x| x.message.contains("allowlist") && x.line == 5));
+    assert!(v
+        .iter()
+        .any(|x| x.message.contains("allowlist") && x.line == 10));
+    assert_eq!(v.len(), 3, "{v:?}");
+}
+
+#[test]
+fn r4_allowlisted_fixture_is_clean_only_in_the_simd_crate() {
+    let src = include_str!("fixtures/r4_unsafe_allowlisted_clean.rs");
+    assert!(
+        lint_source("crates/simd/src/lib.rs", src).is_empty(),
+        "gated forbid + SAFETY lines must pass in the allowlisted crate"
+    );
+    let f = lint_source("crates/geom/src/lib.rs", src);
+    let v = violations(&f);
+    // Missing unconditional forbid + two allowlist findings.
+    assert!(v.iter().any(|x| x.message.contains("forbid(unsafe_code)")));
+    assert_eq!(
+        v.iter().filter(|x| x.message.contains("allowlist")).count(),
+        2,
+        "{v:?}"
+    );
 }
 
 #[test]

@@ -12,7 +12,15 @@
 use rtr_geom::{cast_ray, cast_ray_with, GridMap2D, Pose2};
 use rtr_harness::{Pool, Profiler};
 use rtr_sim::{LidarScan, OdometryModel, OdometryReading, SimRng, TrajectoryStep};
+use rtr_simd::SimdMode;
 use rtr_trace::MemTrace;
+
+/// Synthetic trace address of `weights[0]`: the particle-weight scratch
+/// is an 8-byte-per-slot flat array placed in its own region, far above
+/// the occupancy grid's 1-byte row-major cells (which start at 0), so
+/// the cache characterization sees the two streams as distinct data
+/// structures.
+const WEIGHT_TRACE_BASE: u64 = 1 << 32;
 
 /// How the particle set is initialized.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +65,14 @@ pub struct PflConfig {
     /// is pure; weight application and normalization stay sequential in
     /// particle order).
     pub threads: usize,
+    /// Inner-loop mode for the flat weight reductions (normalization sum,
+    /// effective-sample-size sum of squares). [`SimdMode::Scalar`] is the
+    /// exact legacy fold; the vector modes keep [`rtr_simd::LANES`]
+    /// partial sums and may differ from it in final rounding (the
+    /// divergence contract pinned by the simd equivalence suite). For a
+    /// fixed mode the filter stays bit-identical across thread counts and
+    /// traced/untraced paths.
+    pub simd: SimdMode,
 }
 
 impl Default for PflConfig {
@@ -71,6 +87,7 @@ impl Default for PflConfig {
             resample_threshold: 0.5,
             seed: 0,
             threads: 1,
+            simd: SimdMode::default(),
         }
     }
 }
@@ -96,17 +113,11 @@ pub struct PflResult {
     pub resamples: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Particle {
-    pose: Pose2,
-    weight: f64,
-}
-
 /// Persistent buffers backing [`ParticleFilter::maybe_resample`].
 ///
 /// Low-variance resampling needs a cumulative-weight prefix array, the
-/// chosen source index per output slot, and a particle buffer to write the
-/// survivors into. All three are reused across calls (the particle buffer
+/// chosen source index per output slot, and a pose buffer to write the
+/// survivors into. All three are reused across calls (the pose buffer
 /// swaps with the live set each round), so steady-state resampling is
 /// allocation-free: `grows` counts the rounds where any buffer had to
 /// expand, which plateaus at 1 after the warmup round.
@@ -114,7 +125,7 @@ struct Particle {
 struct ResampleScratch {
     cumulative: Vec<f64>,
     indices: Vec<usize>,
-    next: Vec<Particle>,
+    next_poses: Vec<Pose2>,
     grows: u64,
 }
 
@@ -135,7 +146,12 @@ struct ResampleScratch {
 pub struct ParticleFilter<'m> {
     config: PflConfig,
     map: &'m GridMap2D,
-    particles: Vec<Particle>,
+    /// Particle poses, parallel to `weights` (structure-of-arrays: the
+    /// weight reductions run over a flat `f64` slice the lane kernels can
+    /// stream).
+    poses: Vec<Pose2>,
+    /// Normalized particle weights, parallel to `poses`.
+    weights: Vec<f64>,
     rng: SimRng,
     pool: Pool,
     rays_cast: u64,
@@ -159,9 +175,9 @@ impl<'m> ParticleFilter<'m> {
         let w = map.world_width();
         let h = map.world_height();
         let uniform = 1.0 / config.particles as f64;
-        let mut particles = Vec::with_capacity(config.particles);
+        let mut poses = Vec::with_capacity(config.particles);
         let mut attempts = 0usize;
-        while particles.len() < config.particles {
+        while poses.len() < config.particles {
             attempts += 1;
             assert!(
                 attempts < config.particles * 10_000,
@@ -184,17 +200,16 @@ impl<'m> ParticleFilter<'m> {
                 ),
             };
             if !map.is_occupied_world(pose.position()) {
-                particles.push(Particle {
-                    pose,
-                    weight: uniform,
-                });
+                poses.push(pose);
             }
         }
+        let weights = vec![uniform; poses.len()];
         let pool = Pool::new(config.threads);
         ParticleFilter {
             config,
             map,
-            particles,
+            poses,
+            weights,
             rng,
             pool,
             rays_cast: 0,
@@ -213,12 +228,18 @@ impl<'m> ParticleFilter<'m> {
 
     /// Number of particles.
     pub fn particle_count(&self) -> usize {
-        self.particles.len()
+        self.poses.len()
     }
 
     /// Current particle poses (for visualization / tests).
     pub fn poses(&self) -> Vec<Pose2> {
-        self.particles.iter().map(|p| p.pose).collect()
+        self.poses.clone()
+    }
+
+    /// Current particle weights as a flat slice (for tests and the weight
+    /// benchmarks).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
     }
 
     /// Weighted-mean pose estimate.
@@ -227,13 +248,13 @@ impl<'m> ParticleFilter<'m> {
         let mut y = 0.0;
         let mut sin = 0.0;
         let mut cos = 0.0;
-        let total: f64 = self.particles.iter().map(|p| p.weight).sum();
-        for p in &self.particles {
-            let w = p.weight / total;
-            x += w * p.pose.x;
-            y += w * p.pose.y;
-            sin += w * p.pose.theta.sin();
-            cos += w * p.pose.theta.cos();
+        let total = rtr_simd::sum(&self.weights, self.config.simd);
+        for (pose, &weight) in self.poses.iter().zip(self.weights.iter()) {
+            let w = weight / total;
+            x += w * pose.x;
+            y += w * pose.y;
+            sin += w * pose.theta.sin();
+            cos += w * pose.theta.cos();
         }
         Pose2::new(x, y, sin.atan2(cos))
     }
@@ -241,11 +262,12 @@ impl<'m> ParticleFilter<'m> {
     /// RMS distance of particles from the weighted mean.
     pub fn spread(&self) -> f64 {
         let est = self.estimate();
-        let total: f64 = self.particles.iter().map(|p| p.weight).sum();
+        let total = rtr_simd::sum(&self.weights, self.config.simd);
         let var: f64 = self
-            .particles
+            .poses
             .iter()
-            .map(|p| p.weight / total * p.pose.position().distance_squared(est.position()))
+            .zip(self.weights.iter())
+            .map(|(pose, &w)| w / total * pose.position().distance_squared(est.position()))
             .sum();
         var.sqrt()
     }
@@ -253,8 +275,8 @@ impl<'m> ParticleFilter<'m> {
     /// Applies one odometry reading to all particles.
     pub fn motion_update(&mut self, reading: &OdometryReading) {
         let motion = self.config.motion;
-        for p in &mut self.particles {
-            p.pose = motion.sample_motion(&p.pose, reading, &mut self.rng);
+        for pose in &mut self.poses {
+            *pose = motion.sample_motion(pose, reading, &mut self.rng);
         }
     }
 
@@ -269,8 +291,12 @@ impl<'m> ParticleFilter<'m> {
     /// path for any thread count.
     ///
     /// With a live `trace` sink, every grid-cell probe is emitted as a
-    /// read (one 1-byte cell per probe, row-major layout); the sink is
-    /// shared mutable state, so the traced path always runs sequentially.
+    /// read (one 1-byte cell per probe, row-major layout) and every
+    /// particle-weight store as a write into the 8-byte-per-slot weight
+    /// region — one per particle for the likelihood application and one
+    /// per particle for the normalization pass, so the `01.pfl` stream is
+    /// no longer read-only. The sink is shared mutable state, so the
+    /// traced path always runs sequentially.
     pub fn measurement_update<T: MemTrace + ?Sized>(&mut self, scan: &LidarScan, trace: &mut T) {
         let sigma = self.config.sensor_sigma;
         let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
@@ -280,14 +306,14 @@ impl<'m> ParticleFilter<'m> {
         let map = self.map;
 
         if trace.enabled() {
-            for p in &mut self.particles {
+            for (i, pose) in self.poses.iter().enumerate() {
                 let mut log_w = 0.0;
                 for (angle, range) in scan.angles.iter().zip(scan.ranges.iter()).step_by(stride) {
                     self.rays_cast += 1;
                     let hit = cast_ray_with(
                         map,
-                        p.pose.position(),
-                        p.pose.theta + angle,
+                        pose.position(),
+                        pose.theta + angle,
                         max_range,
                         |ix, iy| {
                             // Grid cells are 1 byte each in a row-major Vec.
@@ -301,39 +327,44 @@ impl<'m> ParticleFilter<'m> {
                 }
                 // Particles inside obstacles predict 0 for every beam and
                 // decay.
-                p.weight *= log_w.exp().max(1e-300);
+                self.weights[i] *= log_w.exp().max(1e-300);
+                trace.write(WEIGHT_TRACE_BASE + 8 * i as u64);
             }
         } else {
-            let scored = self.pool.par_map(&self.particles, |_, p| {
+            let scored = self.pool.par_map(&self.poses, |_, pose| {
                 let mut log_w = 0.0;
                 let mut rays = 0u64;
                 let mut cells = 0u64;
                 for (angle, range) in scan.angles.iter().zip(scan.ranges.iter()).step_by(stride) {
                     rays += 1;
-                    let hit = cast_ray(map, p.pose.position(), p.pose.theta + angle, max_range);
+                    let hit = cast_ray(map, pose.position(), pose.theta + angle, max_range);
                     cells += hit.cells_visited as u64;
                     let err = range - hit.distance;
                     log_w -= err * err * inv_two_sigma_sq;
                 }
                 (log_w, rays, cells)
             });
-            for (p, (log_w, rays, cells)) in self.particles.iter_mut().zip(scored) {
+            for (w, (log_w, rays, cells)) in self.weights.iter_mut().zip(scored) {
                 self.rays_cast += rays;
                 self.cells_probed += cells;
-                p.weight *= log_w.exp().max(1e-300);
+                *w *= log_w.exp().max(1e-300);
             }
         }
 
-        // Normalize.
-        let total: f64 = self.particles.iter().map(|p| p.weight).sum();
+        // Normalize. The total is the lane-kernel reduction (mode-pinned
+        // divergence contract vs the scalar fold); the per-weight division
+        // is an element-wise map, bit-identical under every mode.
+        let total = rtr_simd::sum(&self.weights, self.config.simd);
         if total <= 0.0 || !total.is_finite() {
-            let uniform = 1.0 / self.particles.len() as f64;
-            for p in &mut self.particles {
-                p.weight = uniform;
-            }
+            let uniform = 1.0 / self.weights.len() as f64;
+            self.weights.fill(uniform);
         } else {
-            for p in &mut self.particles {
-                p.weight /= total;
+            rtr_simd::div_assign(&mut self.weights, total, self.config.simd);
+        }
+        if trace.enabled() {
+            // Every weight is stored once more by the normalization pass.
+            for i in 0..self.weights.len() {
+                trace.write(WEIGHT_TRACE_BASE + 8 * i as u64);
             }
         }
     }
@@ -341,24 +372,21 @@ impl<'m> ParticleFilter<'m> {
     /// Low-variance resampling when the effective sample size drops below
     /// the configured threshold. Returns `true` when resampling happened.
     pub fn maybe_resample(&mut self) -> bool {
-        let ess: f64 = 1.0
-            / self
-                .particles
-                .iter()
-                .map(|p| p.weight * p.weight)
-                .sum::<f64>();
-        if ess >= self.config.resample_threshold * self.particles.len() as f64 {
+        // Effective sample size via the lane-kernel sum of squares (the
+        // scalar mode reproduces the legacy fold bit for bit).
+        let ess: f64 = 1.0 / rtr_simd::sum_sq(&self.weights, self.config.simd);
+        if ess >= self.config.resample_threshold * self.weights.len() as f64 {
             return false;
         }
         self.resamples += 1;
-        let n = self.particles.len();
+        let n = self.weights.len();
         let step = 1.0 / n as f64;
         let mut target = self.rng.uniform(0.0, step);
 
         let scratch = &mut self.resample_scratch;
         if scratch.cumulative.capacity() < n
             || scratch.indices.capacity() < n
-            || scratch.next.capacity() < n
+            || scratch.next_poses.capacity() < n
         {
             scratch.grows += 1;
         }
@@ -368,10 +396,10 @@ impl<'m> ParticleFilter<'m> {
         // prefix value — and therefore every `prefix < target` comparison
         // below — is bit-identical to the historical path.
         scratch.cumulative.clear();
-        let mut cumulative = self.particles[0].weight;
+        let mut cumulative = self.weights[0];
         scratch.cumulative.push(cumulative);
-        for p in &self.particles[1..] {
-            cumulative += p.weight;
+        for &w in &self.weights[1..] {
+            cumulative += w;
             scratch.cumulative.push(cumulative);
         }
 
@@ -386,17 +414,16 @@ impl<'m> ParticleFilter<'m> {
             target += step;
         }
 
-        // Gather survivors into the persistent particle buffer, then swap
-        // it with the live set; the retired set becomes next round's
-        // buffer, so steady-state resampling allocates nothing.
-        scratch.next.clear();
+        // Gather surviving poses into the persistent buffer, then swap it
+        // with the live set; the retired set becomes next round's buffer
+        // and the weight slice is reset uniform in place, so steady-state
+        // resampling allocates nothing.
+        scratch.next_poses.clear();
         scratch
-            .next
-            .extend(scratch.indices.iter().map(|&i| Particle {
-                pose: self.particles[i].pose,
-                weight: step,
-            }));
-        std::mem::swap(&mut self.particles, &mut scratch.next);
+            .next_poses
+            .extend(scratch.indices.iter().map(|&i| self.poses[i]));
+        std::mem::swap(&mut self.poses, &mut scratch.next_poses);
+        self.weights.fill(step);
         true
     }
 
@@ -566,13 +593,16 @@ mod tests {
         let mut pf = ParticleFilter::new(config.clone(), &map);
         let mut profiler = Profiler::new();
         let mut counts = CountingTrace::default();
-        let result = pf.run(&steps[..5.min(steps.len())], &mut profiler, &mut counts);
+        let steps_run = 5.min(steps.len()) as u64;
+        let result = pf.run(&steps[..steps_run as usize], &mut profiler, &mut counts);
         assert!(counts.reads > 0);
         assert_eq!(counts.reads, result.cells_probed);
-        assert_eq!(counts.writes, 0);
+        // One weight store per particle for the likelihood application
+        // plus one per particle for the normalization pass, every step.
+        assert_eq!(counts.writes, 2 * 30 * steps_run);
         // Bit-identity against the untraced (pool) path.
         let mut plain = ParticleFilter::new(config, &map);
-        let plain_result = plain.run(&steps[..5.min(steps.len())], &mut profiler, &mut NullTrace);
+        let plain_result = plain.run(&steps[..steps_run as usize], &mut profiler, &mut NullTrace);
         assert_eq!(
             result.estimate.x.to_bits(),
             plain_result.estimate.x.to_bits()
@@ -594,7 +624,7 @@ mod tests {
         let mut rng = SimRng::seed_from(0);
         let scan = lidar.scan(&map, &Pose2::new(3.2, 3.2, 0.0), &mut rng);
         pf.measurement_update(&scan, &mut NullTrace);
-        let total: f64 = pf.particles.iter().map(|p| p.weight).sum();
+        let total: f64 = pf.weights().iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 
@@ -618,31 +648,31 @@ mod tests {
 
         // Replay the pre-scratch algorithm on a clone (same RNG state).
         let mut legacy = pf.clone();
-        let n = legacy.particles.len();
+        let n = legacy.weights.len();
         let step = 1.0 / n as f64;
         let mut target = legacy.rng.uniform(0.0, step);
-        let mut cumulative = legacy.particles[0].weight;
+        let mut cumulative = legacy.weights[0];
         let mut idx = 0usize;
-        let mut next = Vec::with_capacity(n);
+        let mut next_poses = Vec::with_capacity(n);
         for _ in 0..n {
             while cumulative < target && idx + 1 < n {
                 idx += 1;
-                cumulative += legacy.particles[idx].weight;
+                cumulative += legacy.weights[idx];
             }
-            next.push(Particle {
-                pose: legacy.particles[idx].pose,
-                weight: step,
-            });
+            next_poses.push(legacy.poses[idx]);
             target += step;
         }
-        legacy.particles = next;
+        legacy.poses = next_poses;
+        legacy.weights = vec![step; n];
 
         assert!(pf.maybe_resample(), "threshold > 1 must always resample");
-        for (a, b) in pf.particles.iter().zip(legacy.particles.iter()) {
-            assert_eq!(a.pose.x.to_bits(), b.pose.x.to_bits());
-            assert_eq!(a.pose.y.to_bits(), b.pose.y.to_bits());
-            assert_eq!(a.pose.theta.to_bits(), b.pose.theta.to_bits());
-            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        for (a, b) in pf.poses.iter().zip(legacy.poses.iter()) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.theta.to_bits(), b.theta.to_bits());
+        }
+        for (a, b) in pf.weights.iter().zip(legacy.weights.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

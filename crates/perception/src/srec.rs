@@ -22,7 +22,14 @@
 use rtr_geom::{KdLayout, KdTree, Point3, PointCloud, RigidTransform};
 use rtr_harness::{Pool, Profiler};
 use rtr_linalg::{jacobi_eigen_in_place, symmetric_eigen, Matrix, Workspace};
+use rtr_simd::SimdMode;
 use rtr_trace::MemTrace;
+
+/// Synthetic trace address of the correspondence pair buffer: each
+/// accepted pair is two `Point3` records (48 bytes), stored in a region
+/// far above the target cloud's 32-byte point arena so the cache
+/// characterization sees the two streams as distinct data structures.
+const PAIR_TRACE_BASE: u64 = 1 << 32;
 
 /// Configuration for [`Icp`].
 #[derive(Debug, Clone)]
@@ -47,6 +54,10 @@ pub struct IcpConfig {
     /// Storage layout of the target k-d tree; a pure performance knob
     /// (both layouts answer queries bit-identically).
     pub kd_layout: KdLayout,
+    /// Leaf-scan [`SimdMode`] of the target k-d tree; a pure performance
+    /// knob (every mode answers queries bit-identically — the lane kernel
+    /// preserves each point's per-dimension accumulation order).
+    pub simd: SimdMode,
 }
 
 impl Default for IcpConfig {
@@ -58,6 +69,7 @@ impl Default for IcpConfig {
             threads: 1,
             use_workspace: true,
             kd_layout: KdLayout::default(),
+            simd: SimdMode::default(),
         }
     }
 }
@@ -168,7 +180,7 @@ impl Icp {
                 .enumerate()
                 .map(|(i, p)| (p.to_array(), i))
                 .collect();
-            KdTree::<3>::build_balanced_in(config.kd_layout, &items)
+            KdTree::<3>::build_balanced_in(config.kd_layout, &items).with_simd(config.simd)
         });
 
         let mut transform = RigidTransform::identity();
@@ -199,6 +211,12 @@ impl Icp {
                     let dist = d2.sqrt();
                     error_sum += dist;
                     if dist <= config.max_correspondence_distance {
+                        // Accepted correspondences are appended to the
+                        // pair buffer: one 48-byte store (two Point3
+                        // records) per accepted pair, in a region far
+                        // above the 32-byte point arena so the stream is
+                        // no longer read-only.
+                        trace.write(PAIR_TRACE_BASE + scratch.pairs.len() as u64 * 48);
                         scratch.pairs.push((*p, target.points()[idx]));
                     }
                 }
@@ -523,7 +541,12 @@ mod tests {
         };
         let mut counts = CountingTrace::default();
         let result = Icp::new(config.clone()).align(&scan2, &scan1, &mut profiler, &mut counts);
-        assert!(counts.reads > result.nn_queries); // multiple visits per query
+        // Reads: multiple tree visits per query. Writes: one pair-buffer
+        // store per accepted correspondence — with gating disabled (the
+        // default) every query accepts, so the write stream is exactly
+        // one store per nn query.
+        assert!(counts.reads > result.nn_queries);
+        assert_eq!(counts.writes, result.nn_queries);
         let plain = Icp::new(config).align(&scan2, &scan1, &mut profiler, &mut NullTrace);
         assert_eq!(
             result.transform.translation.x.to_bits(),

@@ -1,0 +1,115 @@
+//! `core::arch::x86_64` AVX2 backend (feature `intrinsics` only).
+//!
+//! Each routine mirrors its `*_lanes` sibling operation for operation:
+//! one 4-wide vector accumulator updated with separate multiply and add
+//! (never FMA — fusing would skip the intermediate rounding the safe
+//! loop performs), lanes extracted in order and combined the same way,
+//! remainder folded sequentially. That makes the backend **bit-identical
+//! to the Lanes path**, which the equivalence suite asserts whenever
+//! this feature is compiled in.
+
+use crate::{combine_tail, LANES};
+use std::arch::x86_64::{
+    __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_setzero_pd, _mm256_storeu_pd,
+};
+
+/// Runtime CPUID dispatch: `true` when the executing CPU supports AVX2.
+#[must_use]
+pub fn available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+fn extract(acc: __m256d) -> [f64; LANES] {
+    let mut lanes = [0.0f64; LANES];
+    // SAFETY: `lanes` is a 4-element f64 array — exactly the 32 bytes an unaligned __m256d store writes.
+    unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), acc) };
+    lanes
+}
+
+/// AVX2 [`crate::sum`]: bit-identical to the Lanes path.
+#[must_use]
+pub fn sum(xs: &[f64]) -> f64 {
+    let chunks = xs.chunks_exact(LANES);
+    let rest = chunks.remainder();
+    // SAFETY: the dispatcher's `available()` gate guarantees AVX2; each chunk is LANES contiguous f64 values, valid for an unaligned 256-bit load.
+    let acc = unsafe {
+        let mut acc = _mm256_setzero_pd();
+        for c in chunks {
+            acc = _mm256_add_pd(acc, _mm256_loadu_pd(c.as_ptr()));
+        }
+        acc
+    };
+    combine_tail(extract(acc), rest)
+}
+
+/// AVX2 [`crate::sum_sq`]: bit-identical to the Lanes path.
+#[must_use]
+pub fn sum_sq(xs: &[f64]) -> f64 {
+    let chunks = xs.chunks_exact(LANES);
+    let rest = chunks.remainder();
+    // SAFETY: the dispatcher's `available()` gate guarantees AVX2; each chunk is LANES contiguous f64 values, valid for an unaligned 256-bit load.
+    let acc = unsafe {
+        let mut acc = _mm256_setzero_pd();
+        for c in chunks {
+            let v = _mm256_loadu_pd(c.as_ptr());
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+        }
+        acc
+    };
+    let lanes = extract(acc);
+    let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &x in rest {
+        total += x * x;
+    }
+    total
+}
+
+/// AVX2 [`crate::dot`]: bit-identical to the Lanes path.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let ca = a.chunks_exact(LANES);
+    let cb = b.chunks_exact(LANES);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    // SAFETY: the dispatcher's `available()` gate guarantees AVX2; both chunk iterators yield LANES contiguous f64 values per step.
+    let acc = unsafe {
+        let mut acc = _mm256_setzero_pd();
+        for (xa, xb) in ca.zip(cb) {
+            let va = _mm256_loadu_pd(xa.as_ptr());
+            let vb = _mm256_loadu_pd(xb.as_ptr());
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+        }
+        acc
+    };
+    let lanes = extract(acc);
+    let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (&x, &y) in ra.iter().zip(rb.iter()) {
+        total += x * y;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::SimdMode;
+
+    #[test]
+    fn avx2_backend_matches_lane_kernels_bitwise() {
+        if !super::available() {
+            return; // nothing to compare on this CPU
+        }
+        let xs: Vec<f64> = (0..101).map(|i| (i as f64 * 0.23).sin() * 1e3).collect();
+        let ys: Vec<f64> = (0..101).map(|i| (i as f64 * 0.41).cos()).collect();
+        assert_eq!(
+            super::sum(&xs).to_bits(),
+            crate::sum(&xs, SimdMode::Lanes).to_bits()
+        );
+        assert_eq!(
+            super::sum_sq(&xs).to_bits(),
+            crate::sum_sq(&xs, SimdMode::Lanes).to_bits()
+        );
+        assert_eq!(
+            super::dot(&xs, &ys).to_bits(),
+            crate::dot(&xs, &ys, SimdMode::Lanes).to_bits()
+        );
+    }
+}
