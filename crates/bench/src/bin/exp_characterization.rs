@@ -20,8 +20,14 @@
 //! cells out without changing a single digit of the output (0 = one
 //! worker per core). `--out FILE` additionally writes the table as a
 //! machine-readable JSON artifact.
+//!
+//! `--telemetry ring` routes every cell's op stream through the lock-free
+//! SPSC ring to a collector-thread simulator instead of simulating
+//! inline; the artifact is byte-identical either way (CI asserts this),
+//! the knob only moves where the simulation time is spent.
 
-use rtr_bench::characterization::{collect, CharReport};
+use rtr_bench::characterization::{collect_with, CharReport};
+use rtr_core::Telemetry;
 use rtr_harness::{Args, Table};
 
 /// Formats an off→on pair of percentages.
@@ -101,12 +107,16 @@ fn main() {
     let vldp = args.get_usize("vldp", 4).unwrap_or(4).max(1);
     let threads = args.get_usize("threads", 0).unwrap_or(0);
     let out = args.get_str("out", "");
+    let telemetry = Telemetry::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("exp_characterization: {e}");
+        std::process::exit(2);
+    });
 
     println!(
         "EXP-CHAR: suite-wide cache characterization ({} inputset, VLDP degree {vldp})\n",
         if full { "full" } else { "small" }
     );
-    let report = collect(full, vldp, threads);
+    let report = collect_with(full, vldp, threads, telemetry);
     print!("{}", render(&report));
     if !out.is_empty() {
         if let Err(e) = std::fs::write(&out, report.to_json()) {

@@ -30,7 +30,7 @@ use std::fmt;
 
 pub use kernels::registry;
 use rtr_harness::{Args, CliError, OptionSpec, RegionReport};
-pub use trace::{CacheReport, TraceSession};
+pub use trace::{CacheReport, Telemetry, TraceSession};
 
 /// The pipeline stage a kernel belongs to (the paper's Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

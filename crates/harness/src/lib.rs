@@ -19,6 +19,10 @@
 //!   loops: fixed chunk decomposition, order-preserving `par_map`, and
 //!   per-chunk seed streams, so parallel runs stay bit-identical to
 //!   sequential runs at any thread count.
+//! - [`Collector`] — the consumer thread of the lock-free telemetry
+//!   transport: drains an `rtr-trace` SPSC ring into an owned
+//!   [`RingConsumer`](rtr_trace::ring::RingConsumer) (the cache
+//!   simulator, a metric map) off the hot thread.
 //!
 //! # Example
 //!
@@ -35,12 +39,14 @@
 #![warn(missing_docs)]
 
 mod cli;
+mod collector;
 mod pool;
 mod profiler;
 mod roi;
 mod table;
 
 pub use cli::{Args, CliError, OptionSpec};
+pub use collector::Collector;
 pub use pool::{chunk_boundaries, chunk_seed, Pool};
 pub use profiler::{HotRegion, Profiler, RegionReport};
 pub use roi::Roi;

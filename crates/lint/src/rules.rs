@@ -4,16 +4,17 @@
 //! | id | contract |
 //! |------------------|-----------------------------------------------|
 //! | `nondet-iter`    | kernel outputs never depend on hash iteration |
-//! | `wall-clock`     | kernels never read the wall clock directly    |
-//! | `hot-alloc`      | `*_into` / `process_batch` / `flush` / `*Scratch` steady state is heap-free |
+//! | `wall-clock`     | kernels never read the wall clock directly; collector `consume_batch` callbacks never do, even in the measurement crates |
+//! | `hot-alloc`      | `*_into` / `process_batch` / `flush` / ring-producer (`push`/`push_batch`/`publish`) / `*Scratch` steady state is heap-free |
 //! | `unsafe-hygiene` | crate roots forbid `unsafe`; opt-outs justify |
 //! | `par-rng`        | parallel closures derive RNG via `chunk_seed` |
 //! | `layering`       | kernel-layer code never names the cache simulator |
 //!
 //! Rules are scoped by crate (see [`crate_of`]): `nondet-iter` guards the
 //! kernel crates, `wall-clock` everything except the measurement crates
-//! (`harness`, `bench`), `layering` the algorithm crates plus the adapter
-//! subtree in `core` (see [`is_layered`]), the rest the whole workspace.
+//! (`harness`, `bench`) — where only `consume_batch` spans are scanned —
+//! `layering` the algorithm crates plus the adapter subtree in `core`
+//! (see [`is_layered`]), the rest the whole workspace.
 
 use crate::lexer::{
     fn_spans, impl_spans, line_of, matching_delim, scrub, token_positions, Scrubbed, Span,
@@ -54,6 +55,23 @@ pub const SIMD_HOT_FNS: [&str; 9] = [
     "squared_distances",
     "squared_distances_dyn",
     "combine_tail",
+];
+
+/// Ring-producer entry points in `crates/trace` whose bodies `hot-alloc`
+/// scans like any `*_into` span: they run once per telemetry record (or
+/// per batch) on the kernel's hot thread, and the transport's whole
+/// point is that this path never touches the allocator.
+pub const RING_HOT_FNS: [&str; 8] = [
+    "push",
+    "try_push",
+    "push_batch",
+    "try_push_batch",
+    "publish",
+    // RingTrace's amortized fast/slow split and the producer internals
+    // they lean on run on the same hot thread as the entry points.
+    "push_unpublished",
+    "push_slow",
+    "refresh_free",
 ];
 
 /// All rule identifiers, as used in `allow(<rule>)` annotations.
@@ -107,6 +125,8 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
         }
         if !CLOCK_CRATES.contains(&krate) {
             rule_wall_clock(path, &scrubbed, &mut raw);
+        } else {
+            rule_wall_clock_consumer(path, &scrubbed, &mut raw);
         }
         rule_hot_alloc(path, &scrubbed, &mut raw);
         rule_unsafe_hygiene(path, &scrubbed, &mut raw);
@@ -220,6 +240,33 @@ fn rule_wall_clock(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
     }
 }
 
+/// R2b — `wall-clock` inside the measurement crates: the crates are
+/// exempt as a whole (they own timing), but `consume_batch` bodies are
+/// not — a `RingConsumer` callback runs on the collector thread, where
+/// the telemetry contract is "producer times, collector aggregates". A
+/// clock read there would silently re-time records that were already
+/// timed at the source.
+fn rule_wall_clock_consumer(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    for (_, span) in fn_spans(&s.text, |n| n == "consume_batch") {
+        let body = &s.text[span.start..span.end];
+        for needle in ["Instant::now", "SystemTime"] {
+            for rel in token_positions(body, needle) {
+                push(
+                    out,
+                    "wall-clock",
+                    path,
+                    &s.text,
+                    span.start + rel,
+                    format!(
+                        "{needle} inside a consume_batch collector callback: \
+                         timing belongs to the producer side of the ring"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// Heap-allocating expressions forbidden inside hot spans. Each entry is
 /// `(needle, ident_boundary_matters)` — dotted needles carry their own
 /// boundary.
@@ -235,18 +282,23 @@ const ALLOC_NEEDLES: [&str; 7] = [
 
 /// R3 — `hot-alloc`: allocation inside the span of a `*_into` function,
 /// a `process_batch`/`flush` function (the batched trace transport: one
-/// of these runs per buffer flush on every traced access stream), or a
+/// of these runs per buffer flush on every traced access stream), a
+/// ring-producer entry point in `crates/trace` ([`RING_HOT_FNS`]: the
+/// telemetry publish path runs on the kernel's hot thread), or a
 /// `*Scratch` impl. Constructors (`fn new`, `fn default`, `fn with_*`)
 /// inside Scratch impls are exempt: warmup may allocate, steady state may
 /// not (ROADMAP workspace convention).
 fn rule_hot_alloc(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
     // In the SIMD crate the lane-kernel entry points (and their
-    // `_scalar`/`_lanes` twins) are hot spans too.
+    // `_scalar`/`_lanes` twins) are hot spans too; in the trace crate,
+    // the ring-producer entry points.
     let simd_crate = crate_of(path) == Some("simd");
+    let trace_crate = crate_of(path) == Some("trace");
     let mut hot: Vec<Span> = fn_spans(&s.text, |n| {
         n.ends_with("_into")
             || n == "process_batch"
             || n == "flush"
+            || (trace_crate && RING_HOT_FNS.contains(&n))
             || (simd_crate
                 && (SIMD_HOT_FNS.contains(&n) || n.ends_with("_scalar") || n.ends_with("_lanes")))
     })
@@ -561,6 +613,35 @@ mod tests {
         assert!(lint_source("crates/planning/src/x.rs", src)
             .iter()
             .all(|x| x.rule != "hot-alloc"));
+    }
+
+    #[test]
+    fn ring_producer_fns_are_hot_alloc_spans_in_trace_crate() {
+        let src = "pub fn push_batch(&mut self, items: &[T]) -> usize { let v = items.to_vec(); v.len() }\npub fn publish(&mut self, id: u32, v: u64) -> bool { let b = Box::new(v); true }\nfn helper(items: &[u64]) -> Vec<u64> { items.to_vec() }\n";
+        let f = lint_source("crates/trace/src/ring.rs", src);
+        let hot: Vec<_> = f.iter().filter(|x| x.rule == "hot-alloc").collect();
+        assert_eq!(hot.len(), 2, "push_batch and publish, not helper: {f:?}");
+        // The same names outside the trace crate stay cold.
+        assert!(lint_source("crates/harness/src/x.rs", src)
+            .iter()
+            .all(|x| x.rule != "hot-alloc"));
+    }
+
+    #[test]
+    fn consume_batch_clock_reads_flagged_even_in_clock_crates() {
+        let bad = "fn consume_batch(&mut self, batch: &[TraceOp]) { let t = Instant::now(); }\n";
+        let f = lint_source("crates/harness/src/collector.rs", bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "wall-clock");
+        assert!(f[0].message.contains("consume_batch"));
+        // Clock reads elsewhere in the measurement crates stay legal...
+        let ok = "fn drain(&mut self) { let t = Instant::now(); }\n";
+        assert!(lint_source("crates/harness/src/collector.rs", ok).is_empty());
+        // ...and consume_batch in a non-clock crate is already covered by
+        // the blanket rule (exactly one finding, not two).
+        let f = lint_source("crates/archsim/src/x.rs", bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "wall-clock");
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! R3 ring-producer fixture: in the trace crate, the SPSC ring's
+//! producer-side entry points (`push`, `push_batch`, `try_push_batch`,
+//! `publish`) are hot spans — any heap allocation inside them is a
+//! violation. The same function names outside `crates/trace` stay cold.
+
+pub struct Producer {
+    staged: Vec<u64>,
+}
+
+impl Producer {
+    pub fn push(&mut self, item: u64) -> bool {
+        let boxed = Box::new(item);
+        self.staged.push(*boxed);
+        true
+    }
+
+    pub fn push_batch(&mut self, items: &[u64]) -> usize {
+        let staged = items.to_vec();
+        staged.len()
+    }
+
+    pub fn try_push_batch(&mut self, items: &[u64]) -> usize {
+        let copies: Vec<u64> = items.iter().copied().collect();
+        copies.len()
+    }
+
+    pub fn publish(&mut self, id: u32, value: u64) -> bool {
+        let label = vec![id as u64, value];
+        !label.is_empty()
+    }
+
+    /// Cold helper: allocation here is fine even in the trace crate.
+    pub fn drain_names(&self) -> Vec<u64> {
+        self.staged.to_vec()
+    }
+}

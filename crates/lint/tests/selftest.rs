@@ -55,6 +55,30 @@ fn r2_fixtures_are_clean_in_measurement_crates() {
 }
 
 #[test]
+fn r2_consumer_clock_fixture_is_flagged_in_measurement_crates() {
+    let src = include_str!("fixtures/r2_consumer_clock_bad.rs");
+    for path in [
+        "crates/harness/src/fixture.rs",
+        "crates/bench/src/fixture.rs",
+    ] {
+        let f = lint_source(path, src);
+        let v = violations(&f);
+        assert_eq!(v.len(), 1, "{path}: {f:?}");
+        assert_eq!(v[0].rule, "wall-clock");
+        assert_eq!(v[0].line, 15, "only the consume_batch body: {v:?}");
+        assert!(v[0].message.contains("consume_batch"));
+        // wall_deadline's Instant::now (line 22) stays legal here.
+        assert!(!v.iter().any(|x| x.line == 22), "{v:?}");
+    }
+    // In a kernel crate the blanket rule owns the file: both clock
+    // reads are findings, with no double count on the callback line.
+    let f = kernel(src);
+    let v = violations(&f);
+    assert_eq!(v.len(), 2, "{f:?}");
+    assert!(v.iter().all(|x| x.rule == "wall-clock"));
+}
+
+#[test]
 fn r2_allowed_fixture_passes_deny() {
     let f = kernel(include_str!("fixtures/r2_wall_clock_allowed.rs"));
     assert_eq!(f.len(), 1);
@@ -80,6 +104,24 @@ fn r3_bad_fixture_flags_hot_spans_only() {
     assert!(v.iter().any(|x| x.line == 43), "flush: {v:?}");
     // ...but ordinary methods on the same type stay cold.
     assert!(!v.iter().any(|x| x.line == 49), "describe is cold: {v:?}");
+}
+
+#[test]
+fn r3_ring_producer_fixture_is_flagged_only_in_the_trace_crate() {
+    let src = include_str!("fixtures/r3_ring_producer_bad.rs");
+    let f = lint_source("crates/trace/src/fixture.rs", src);
+    let v = violations(&f);
+    assert!(v.iter().all(|x| x.rule == "hot-alloc"), "{f:?}");
+    // push: Box::new; push_batch: .to_vec(); try_push_batch: .collect();
+    // publish: vec![...].
+    assert_eq!(v.len(), 4, "{v:?}");
+    for line in [12, 18, 23, 28] {
+        assert!(v.iter().any(|x| x.line == line), "line {line}: {v:?}");
+    }
+    // The cold helper's .to_vec() (line 34) is legal.
+    assert!(!v.iter().any(|x| x.line == 34), "{v:?}");
+    // Outside the trace crate these fn names are not ring producers.
+    assert!(kernel(src).is_empty(), "only hot in crates/trace");
 }
 
 #[test]

@@ -33,6 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metric;
+pub mod ring;
+pub mod sync;
+
+pub use metric::{metric_channel, Histogram, Metric, MetricMap, MetricPublisher, MetricRecord};
+pub use ring::{ring, RingConsumer, RingItem, RingProducer, RingReader, RingTrace};
+pub use sync::CachePadded;
+
 /// A sink for a kernel's synthetic memory-access stream.
 ///
 /// Addresses are byte addresses in a flat synthetic space; each kernel
