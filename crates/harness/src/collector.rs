@@ -95,11 +95,12 @@ impl<C> Collector<C> {
                         consumer.consume_batch(&batch);
                         continue;
                     }
+                    // ORDERING: Acquire — pairs with finish()'s Release
+                    // store of the stop flag.
                     if stop_flag.load(Ordering::Acquire) {
-                        // Stop observed (its Release pairs with this
-                        // Acquire, so every record published before
-                        // `finish()` is already visible): drain the
-                        // residue, then exit.
+                        // Stop observed (so every record published
+                        // before `finish()` is already visible): drain
+                        // the residue, then exit.
                         loop {
                             batch.clear();
                             if reader.pop_batch(&mut batch, DRAIN_BATCH) == 0 {
@@ -128,6 +129,9 @@ impl<C> Collector<C> {
     ///
     /// Panics if the collector thread itself panicked (a consumer bug).
     pub fn finish(self) -> C {
+        // ORDERING: Release — pairs with the collector thread's Acquire
+        // load of the stop flag: everything the caller published before
+        // finish() is visible to the final drain.
         self.stop.store(true, Ordering::Release);
         self.handle.join().expect("rtr-collector thread panicked")
     }

@@ -1,0 +1,207 @@
+//! Phase 2 of the interprocedural analysis: transitive facts over the
+//! call graph.
+//!
+//! Three boolean facts are computed per workspace fn — `allocates`,
+//! `reads-clock`, `touches-nondet-iter` — each seeded by token patterns
+//! in the fn's own body (the same needles the lexical rules use) and
+//! propagated caller-ward over resolved call edges to a fixpoint: a fn
+//! holds a fact iff its body matches a seed or any resolved callee holds
+//! it. Every derived fact keeps a *witness* (the seeding token, or the
+//! call site + callee it came through), so a finding can print the full
+//! offending chain (`a_into -> helper -> Vec::new`). Witnesses form a
+//! DAG by construction — a `Via` witness always points at a fn whose
+//! fact was established strictly earlier — so chain reconstruction
+//! terminates.
+
+use crate::callgraph::CallGraph;
+use crate::index::{FnId, WorkspaceIndex};
+
+/// Why a fn holds a fact.
+#[derive(Debug, Clone)]
+pub enum Origin {
+    /// The fn's own body contains the needle at `offset`.
+    Direct {
+        /// Absolute byte offset of the needle in the file's text.
+        offset: usize,
+        /// The matched token pattern.
+        needle: &'static str,
+    },
+    /// Inherited from `callee` through the call at `site_offset`.
+    Via {
+        /// Absolute byte offset of the inheriting call site.
+        site_offset: usize,
+        /// The callee the fact came through.
+        callee: FnId,
+    },
+}
+
+/// One fact lattice: `Some(origin)` iff the fn holds the fact.
+pub type Fact = Vec<Option<Origin>>;
+
+/// Needle lists seeding each fact; kept as parameters so the rule layer
+/// owns the single source of truth for token patterns.
+pub struct Seeds<'a> {
+    /// Token patterns seeding the `allocates` fact.
+    pub alloc: &'a [&'static str],
+    /// Token patterns seeding the `reads-clock` fact.
+    pub clock: &'a [&'static str],
+    /// Token patterns seeding the `touches-nondet-iter` fact.
+    pub nondet: &'a [&'static str],
+}
+
+/// The computed transitive facts for every workspace fn.
+pub struct Facts {
+    /// Fn may allocate on the heap, directly or through a callee.
+    pub allocates: Fact,
+    /// Fn may read the wall clock, directly or through a callee.
+    pub reads_clock: Fact,
+    /// Fn may touch a hash-ordered container, directly or transitively.
+    pub nondet_iter: Fact,
+}
+
+impl Facts {
+    /// Computes all three facts over the resolved call graph.
+    pub fn compute(index: &WorkspaceIndex, graph: &CallGraph, seeds: &Seeds) -> Facts {
+        Facts {
+            allocates: propagate(index, graph, seeds.alloc),
+            reads_clock: propagate(index, graph, seeds.clock),
+            nondet_iter: propagate(index, graph, seeds.nondet),
+        }
+    }
+}
+
+/// Seeds one fact from body tokens, then iterates the edge list to a
+/// fixpoint. Facts only ever flip `None` → `Some` and the edge order is
+/// fixed, so the result (including witnesses) is deterministic.
+fn propagate(index: &WorkspaceIndex, graph: &CallGraph, needles: &[&'static str]) -> Fact {
+    let mut fact: Fact = vec![None; index.fns.len()];
+    for (id, info) in index.fns.iter().enumerate() {
+        let body = &index.files[info.file].scrubbed.text[info.body_start..info.span.end];
+        let mut best: Option<(usize, &'static str)> = None;
+        for needle in needles {
+            if let Some(pos) = body.find(needle) {
+                let abs = info.body_start + pos;
+                if best.is_none_or(|(b, _)| abs < b) {
+                    best = Some((abs, needle));
+                }
+            }
+        }
+        if let Some((offset, needle)) = best {
+            fact[id] = Some(Origin::Direct { offset, needle });
+        }
+    }
+    loop {
+        let mut changed = false;
+        for edge in &graph.edges {
+            if fact[edge.caller].is_none() && fact[edge.callee].is_some() {
+                let site = &index.calls[edge.caller][edge.site];
+                fact[edge.caller] = Some(Origin::Via {
+                    site_offset: site.offset,
+                    callee: edge.callee,
+                });
+                changed = true;
+            }
+        }
+        if !changed {
+            return fact;
+        }
+    }
+}
+
+/// Renders a needle for chain evidence: `"Vec::new("` → `Vec::new`,
+/// `".clone()"` → `clone()`.
+pub fn pretty_needle(needle: &str) -> String {
+    let s = needle.trim_start_matches('.');
+    let s = s.strip_suffix("::<").unwrap_or(s);
+    let s = if s.ends_with('(') && !s.ends_with("()") {
+        &s[..s.len() - 1]
+    } else {
+        s
+    };
+    s.trim_end_matches('!').to_owned()
+}
+
+/// The offending call chain from `start` down to the seeding token:
+/// qualified fn names, ending with the pretty-printed needle. `start`
+/// must hold the fact.
+pub fn chain(index: &WorkspaceIndex, fact: &Fact, start: FnId) -> Vec<String> {
+    let mut out = vec![index.fns[start].qualified_name()];
+    let mut cur = start;
+    // Witnesses are acyclic, but cap the walk defensively.
+    for _ in 0..64 {
+        match &fact[cur] {
+            Some(Origin::Direct { needle, .. }) => {
+                out.push(pretty_needle(needle));
+                return out;
+            }
+            Some(Origin::Via { callee, .. }) => {
+                out.push(index.fns[*callee].qualified_name());
+                cur = *callee;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::FileAnalysis;
+
+    const ALLOC: [&str; 3] = ["Vec::new(", "vec!", ".clone()"];
+    const CLOCK: [&str; 2] = ["Instant::now", "SystemTime"];
+    const NONDET: [&str; 2] = ["HashMap", "HashSet"];
+
+    fn facts_for(src: &str) -> (WorkspaceIndex, Facts) {
+        let idx = WorkspaceIndex::build(vec![FileAnalysis::new("crates/geom/src/x.rs", src)]);
+        let graph = CallGraph::build(&idx);
+        let seeds = Seeds {
+            alloc: &ALLOC,
+            clock: &CLOCK,
+            nondet: &NONDET,
+        };
+        let facts = Facts::compute(&idx, &graph, &seeds);
+        (idx, facts)
+    }
+    use crate::callgraph::CallGraph;
+
+    #[test]
+    fn two_hop_chain_is_reconstructed() {
+        let src = "fn entry() { middle(); }\nfn middle() { leaf(); }\nfn leaf() -> Vec<u32> { Vec::new() }\n";
+        let (idx, facts) = facts_for(src);
+        let entry = idx.fns.iter().position(|f| f.name == "entry").unwrap();
+        assert!(facts.allocates[entry].is_some());
+        assert_eq!(
+            chain(&idx, &facts.allocates, entry),
+            ["entry", "middle", "leaf", "Vec::new"]
+        );
+    }
+
+    #[test]
+    fn facts_do_not_leak_without_edges() {
+        let src = "fn clean(x: u32) -> u32 { x + 1 }\nfn dirty() { std::time::Instant::now(); }\n";
+        let (idx, facts) = facts_for(src);
+        let clean = idx.fns.iter().position(|f| f.name == "clean").unwrap();
+        let dirty = idx.fns.iter().position(|f| f.name == "dirty").unwrap();
+        assert!(facts.reads_clock[clean].is_none());
+        assert!(facts.reads_clock[dirty].is_some());
+    }
+
+    #[test]
+    fn recursive_fns_terminate() {
+        let src = "fn a() { b(); }\nfn b() { a(); vec![1]; }\n";
+        let (idx, facts) = facts_for(src);
+        let a = idx.fns.iter().position(|f| f.name == "a").unwrap();
+        assert_eq!(chain(&idx, &facts.allocates, a), ["a", "b", "vec"]);
+    }
+
+    #[test]
+    fn needles_render_cleanly() {
+        assert_eq!(pretty_needle("Vec::new("), "Vec::new");
+        assert_eq!(pretty_needle(".clone()"), "clone()");
+        assert_eq!(pretty_needle(".collect::<"), "collect");
+        assert_eq!(pretty_needle("vec!"), "vec");
+        assert_eq!(pretty_needle("Instant::now"), "Instant::now");
+    }
+}

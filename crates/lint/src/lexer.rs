@@ -312,22 +312,67 @@ fn ident_at(text: &str, at: usize) -> (String, usize) {
     (text[start..j].to_owned(), j)
 }
 
-/// Brace-matched spans of every `fn` item whose name satisfies `select`,
-/// paired with the function name.
+/// `true` when a parameter list's first token sequence is a `self`
+/// receiver: `self`, `mut self`, `&self`, `&mut self`, `&'a self`,
+/// `self: Pin<..>` — i.e. the function is a method.
+fn first_param_is_self(params: &str) -> bool {
+    let mut rest = params.trim_start();
+    rest = rest.strip_prefix('&').unwrap_or(rest).trim_start();
+    if let Some(tail) = rest.strip_prefix('\'') {
+        // Skip the lifetime name.
+        let end = tail
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(tail.len());
+        rest = tail[end..].trim_start();
+    }
+    rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    rest.strip_prefix("self")
+        .is_some_and(|t| t.is_empty() || t.starts_with([',', ':', ')', ' ']))
+}
+
+/// One `fn` item with a body, as enumerated by [`all_fns`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Span from the `fn` keyword to one past the closing brace.
+    pub span: Span,
+    /// Byte offset of the body's opening `{` — call extraction and guard
+    /// analysis scan from here so the signature never matches.
+    pub body_start: usize,
+    /// `true` when the first parameter is a `self` receiver (the index's
+    /// method-vs-free-function distinction).
+    pub has_self: bool,
+}
+
+/// One `impl` block, as enumerated by [`all_impls`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplItem {
+    /// Header text between `impl` and the opening brace (generics, the
+    /// trait, the implemented type).
+    pub header: String,
+    /// Span from the `impl` keyword to one past the closing brace.
+    pub span: Span,
+}
+
+/// Enumerates every `fn` item that has a body, in source order.
 ///
 /// Signatures without bodies (trait method declarations) are skipped.
-pub fn fn_spans(text: &str, select: impl Fn(&str) -> bool) -> Vec<(String, Span)> {
+/// This is the single lex-derived item walk the whole rule engine shares:
+/// per-rule span selections ([`fn_spans`]) and the interprocedural index
+/// are both filters over its result.
+pub fn all_fns(text: &str) -> Vec<FnItem> {
     let mut out = Vec::new();
+    let bytes = text.as_bytes();
     for at in token_positions(text, "fn") {
         let (name, after) = ident_at(text, at + 2);
-        if name.is_empty() || !select(&name) {
+        if name.is_empty() {
             continue;
         }
         // Scan from the end of the name to the body's `{`, or `;` for a
         // bodiless declaration. Parens/brackets in the signature (args,
         // where-clauses) never contain braces, so the first `{` at this
         // level opens the body.
-        let bytes = text.as_bytes();
         let mut j = after;
         while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
             j += 1;
@@ -335,22 +380,36 @@ pub fn fn_spans(text: &str, select: impl Fn(&str) -> bool) -> Vec<(String, Span)
         if j >= bytes.len() || bytes[j] == b';' {
             continue;
         }
+        let has_self = text[after..j]
+            .find('(')
+            .is_some_and(|p| first_param_is_self(&text[after + p + 1..j]));
         if let Some(close) = matching_delim(text, j, b'{', b'}') {
-            out.push((
+            out.push(FnItem {
                 name,
-                Span {
+                span: Span {
                     start: at,
                     end: close + 1,
                 },
-            ));
+                body_start: j,
+                has_self,
+            });
         }
     }
     out
 }
 
-/// Brace-matched spans of every `impl` block whose header (the text
-/// between `impl` and `{`) satisfies `select`.
-pub fn impl_spans(text: &str, select: impl Fn(&str) -> bool) -> Vec<Span> {
+/// Brace-matched spans of every `fn` item whose name satisfies `select`,
+/// paired with the function name. Filter over [`all_fns`].
+pub fn fn_spans(text: &str, select: impl Fn(&str) -> bool) -> Vec<(String, Span)> {
+    all_fns(text)
+        .into_iter()
+        .filter(|f| select(&f.name))
+        .map(|f| (f.name, f.span))
+        .collect()
+}
+
+/// Enumerates every `impl` block, in source order.
+pub fn all_impls(text: &str) -> Vec<ImplItem> {
     let mut out = Vec::new();
     let bytes = text.as_bytes();
     for at in token_positions(text, "impl") {
@@ -361,17 +420,27 @@ pub fn impl_spans(text: &str, select: impl Fn(&str) -> bool) -> Vec<Span> {
         if j >= bytes.len() || bytes[j] == b';' {
             continue;
         }
-        if !select(&text[at + 4..j]) {
-            continue;
-        }
         if let Some(close) = matching_delim(text, j, b'{', b'}') {
-            out.push(Span {
-                start: at,
-                end: close + 1,
+            out.push(ImplItem {
+                header: text[at + 4..j].to_owned(),
+                span: Span {
+                    start: at,
+                    end: close + 1,
+                },
             });
         }
     }
     out
+}
+
+/// Brace-matched spans of every `impl` block whose header (the text
+/// between `impl` and `{`) satisfies `select`. Filter over [`all_impls`].
+pub fn impl_spans(text: &str, select: impl Fn(&str) -> bool) -> Vec<Span> {
+    all_impls(text)
+        .into_iter()
+        .filter(|i| select(&i.header))
+        .map(|i| i.span)
+        .collect()
 }
 
 #[cfg(test)]

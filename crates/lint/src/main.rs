@@ -1,31 +1,40 @@
 //! `rtr-lint` CLI: walks every `crates/*/src/**/*.rs` file and crate
-//! `Cargo.toml`, runs the rule engine, prints human-readable findings,
-//! and writes `LINT_report.json`.
+//! `Cargo.toml`, runs the workspace rule engine (one lex per file,
+//! interprocedural phase included), prints human-readable findings, and
+//! writes `LINT_report.json`.
 //!
 //! ```text
-//! rtr-lint [--root <dir>] [--report <path>] [--deny]
+//! rtr-lint [--root <dir>] [--report <path>] [--baseline <path>] [--deny]
+//! rtr-lint --explain <rule>
 //! ```
 //!
 //! `--deny` turns any un-allowed finding into a non-zero exit (the CI
 //! gate). Allowed findings are always reported with their reasons but
-//! never fail the run.
+//! never fail the run. `--baseline <path>` byte-compares the freshly
+//! generated report against a committed one (ignoring the volatile
+//! `elapsed_ms` line) and fails on any difference — so new findings
+//! *and* silently vanished coverage both break the build. `--explain`
+//! prints a rule's one-paragraph spec and exits.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use rtr_lint::{lint_source, Finding, Report};
+use rtr_lint::{explain, lint_workspace, Report};
 
 struct Args {
     root: PathBuf,
     report: Option<PathBuf>,
+    baseline: Option<PathBuf>,
     deny: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut root = PathBuf::from(".");
     let mut report = None;
+    let mut baseline = None;
     let mut deny = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -38,15 +47,47 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or("--report needs a path argument")?,
                 ));
             }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline needs a path argument")?,
+                ));
+            }
+            "--explain" => {
+                let rule = it.next().ok_or("--explain needs a rule name")?;
+                match explain(&rule) {
+                    Some(spec) => {
+                        println!("{spec}");
+                        println!();
+                        println!(
+                            "suppress with: // rtr-lint: allow({rule}) -- <reason> \
+                             (covers its own line and the next non-attribute line)"
+                        );
+                        std::process::exit(0);
+                    }
+                    None => {
+                        return Err(format!(
+                            "unknown rule {rule:?}; known rules: {}",
+                            rtr_lint::RULES.join(", ")
+                        ))
+                    }
+                }
+            }
             "--deny" => deny = true,
             "--help" | "-h" => {
-                println!("usage: rtr-lint [--root <dir>] [--report <path>] [--deny]");
+                println!(
+                    "usage: rtr-lint [--root <dir>] [--report <path>] [--baseline <path>] [--deny]\n       rtr-lint --explain <rule>"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(Args { root, report, deny })
+    Ok(Args {
+        root,
+        report,
+        baseline,
+        deny,
+    })
 }
 
 /// Collects every `.rs` file under `crates/*/src/` plus each crate's
@@ -87,6 +128,48 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Strips the volatile timing line so two reports from different runs
+/// over identical sources compare byte-equal.
+fn strip_elapsed(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.contains("\"elapsed_ms\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Byte-compares the fresh report against the committed baseline,
+/// printing the first few differing lines on mismatch.
+fn baseline_matches(fresh: &str, baseline: &str) -> bool {
+    let fresh = strip_elapsed(fresh);
+    let baseline = strip_elapsed(baseline);
+    if fresh == baseline {
+        return true;
+    }
+    eprintln!("rtr-lint: report differs from the committed baseline:");
+    let f: Vec<&str> = fresh.lines().collect();
+    let b: Vec<&str> = baseline.lines().collect();
+    let mut shown = 0;
+    for i in 0..f.len().max(b.len()) {
+        let fl = f.get(i).copied().unwrap_or("<missing>");
+        let bl = b.get(i).copied().unwrap_or("<missing>");
+        if fl != bl {
+            eprintln!("  line {}:", i + 1);
+            eprintln!("    baseline: {bl}");
+            eprintln!("    fresh:    {fl}");
+            shown += 1;
+            if shown >= 5 {
+                eprintln!("  ... (further differences elided)");
+                break;
+            }
+        }
+    }
+    eprintln!(
+        "rtr-lint: if the change is intentional, regenerate the baseline with \
+         `cargo run -p rtr-lint` and commit LINT_report.json"
+    );
+    false
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -96,6 +179,7 @@ fn main() -> ExitCode {
         }
     };
 
+    let started = Instant::now();
     let files = match collect_sources(&args.root) {
         Ok(f) => f,
         Err(e) => {
@@ -104,8 +188,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut scanned = 0u64;
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -119,24 +202,28 @@ fn main() -> ExitCode {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        scanned += 1;
-        findings.extend(lint_source(&rel, &source));
+        sources.push((rel, source));
     }
 
+    let findings = lint_workspace(&sources);
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+
     let report = Report {
-        version: 1,
-        files_scanned: scanned,
+        version: 2,
+        files_scanned: sources.len() as u64,
+        elapsed_ms,
         findings,
     };
 
     let violations = report.violations().count();
     let allowed = report.allowed().count();
+    let scanned = report.files_scanned;
 
     for f in &report.findings {
         println!("{f}");
     }
     println!(
-        "rtr-lint: {scanned} files scanned, {violations} violation{}, {allowed} allowed",
+        "rtr-lint: {scanned} files scanned in {elapsed_ms} ms, {violations} violation{}, {allowed} allowed",
         if violations == 1 { "" } else { "s" }
     );
     if allowed > 0 {
@@ -152,14 +239,32 @@ fn main() -> ExitCode {
         }
     }
 
+    let json = report.to_json();
     let report_path = args
         .report
         .unwrap_or_else(|| args.root.join("LINT_report.json"));
-    if let Err(e) = std::fs::write(&report_path, report.to_json()) {
+    if let Err(e) = std::fs::write(&report_path, &json) {
         eprintln!("rtr-lint: cannot write {}: {e}", report_path.display());
         return ExitCode::from(2);
     }
     println!("report written to {}", report_path.display());
+
+    if let Some(baseline_path) = &args.baseline {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!(
+                    "rtr-lint: cannot read baseline {}: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        if !baseline_matches(&json, &baseline) {
+            return ExitCode::FAILURE;
+        }
+        println!("baseline match: {}", baseline_path.display());
+    }
 
     if args.deny && violations > 0 {
         eprintln!("rtr-lint: --deny set and {violations} un-allowed finding(s) present");

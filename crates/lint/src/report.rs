@@ -17,6 +17,10 @@ pub struct Finding {
     /// `Some(reason)` when an `rtr-lint: allow` annotation covers the
     /// finding; such findings are reported but never fail `--deny`.
     pub allowed: Option<String>,
+    /// For transitive findings, the offending call chain from the hot
+    /// entry point down to the seeding token
+    /// (`["a_into", "helper", "Vec::new"]`); empty for lexical findings.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Finding {
@@ -43,6 +47,10 @@ pub struct Report {
     pub version: u64,
     /// Number of files scanned.
     pub files_scanned: u64,
+    /// Wall time of the lint pass in milliseconds. Volatile between
+    /// runs: the `--baseline` comparison strips it (see `main.rs`), so
+    /// it never invalidates the committed baseline.
+    pub elapsed_ms: u64,
     /// Every finding, violations and allowed ones alike.
     pub findings: Vec<Finding>,
 }
@@ -59,17 +67,45 @@ impl Report {
         self.findings.iter().filter(|f| f.allowed.is_some())
     }
 
+    /// Per-rule `(rule, violations, allowed)` counts over every known
+    /// rule (plus the `allow-syntax` meta rule), zero-count rules
+    /// included — the summary block doubles as coverage evidence: a rule
+    /// silently vanishing from the engine would change the baseline.
+    pub fn rule_summary(&self) -> Vec<(&'static str, usize, usize)> {
+        crate::rules::RULES
+            .iter()
+            .copied()
+            .chain(std::iter::once("allow-syntax"))
+            .map(|rule| {
+                let viol = self.violations().filter(|f| f.rule == rule).count();
+                let allow = self.allowed().filter(|f| f.rule == rule).count();
+                (rule, viol, allow)
+            })
+            .collect()
+    }
+
     /// Serializes the report to its canonical JSON form.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"version\": {},\n", self.version));
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"elapsed_ms\": {},\n", self.elapsed_ms));
         out.push_str(&format!(
             "  \"violations\": {},\n",
             self.violations().count()
         ));
         out.push_str(&format!("  \"allowed\": {},\n", self.allowed().count()));
+        out.push_str("  \"rules\": [\n");
+        let summary = self.rule_summary();
+        for (i, (rule, viol, allow)) in summary.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"violations\": {viol}, \"allowed\": {allow}}}{}\n",
+                json_string(rule),
+                if i + 1 < summary.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
@@ -80,6 +116,10 @@ impl Report {
             out.push_str(&format!("\"file\": {}, ", json_string(&f.file)));
             out.push_str(&format!("\"line\": {}, ", f.line));
             out.push_str(&format!("\"message\": {}, ", json_string(&f.message)));
+            if !f.chain.is_empty() {
+                let links: Vec<String> = f.chain.iter().map(|c| json_string(c)).collect();
+                out.push_str(&format!("\"chain\": [{}], ", links.join(", ")));
+            }
             match &f.allowed {
                 Some(r) => out.push_str(&format!("\"allowed\": {}", json_string(r))),
                 None => out.push_str("\"allowed\": null"),
@@ -100,6 +140,8 @@ impl Report {
         let obj = value.as_object().ok_or("report must be a JSON object")?;
         let version = get_u64(obj, "version")?;
         let files_scanned = get_u64(obj, "files_scanned")?;
+        // Reports older than version 2 predate the timing field.
+        let elapsed_ms = get_u64(obj, "elapsed_ms").unwrap_or(0);
         let findings_value = field(obj, "findings")?;
         let Json::Array(items) = findings_value else {
             return Err("\"findings\" must be an array".to_owned());
@@ -117,11 +159,23 @@ impl Report {
                     Json::String(s) => Some(s.clone()),
                     _ => return Err("\"allowed\" must be a string or null".to_owned()),
                 },
+                chain: match field(o, "chain") {
+                    Err(_) => Vec::new(),
+                    Ok(Json::Array(items)) => items
+                        .iter()
+                        .map(|v| match v {
+                            Json::String(s) => Ok(s.clone()),
+                            _ => Err("\"chain\" entries must be strings".to_owned()),
+                        })
+                        .collect::<Result<Vec<String>, String>>()?,
+                    Ok(_) => return Err("\"chain\" must be an array".to_owned()),
+                },
             });
         }
         Ok(Report {
             version,
             files_scanned,
+            elapsed_ms,
             findings,
         })
     }
@@ -346,8 +400,9 @@ mod tests {
 
     fn sample() -> Report {
         Report {
-            version: 1,
+            version: 2,
             files_scanned: 42,
+            elapsed_ms: 17,
             findings: vec![
                 Finding {
                     rule: "wall-clock".to_owned(),
@@ -355,6 +410,11 @@ mod tests {
                     line: 105,
                     message: "Instant::now in a kernel crate".to_owned(),
                     allowed: None,
+                    chain: vec![
+                        "plan_into".to_owned(),
+                        "stamp".to_owned(),
+                        "Instant::now".to_owned(),
+                    ],
                 },
                 Finding {
                     rule: "nondet-iter".to_owned(),
@@ -362,6 +422,7 @@ mod tests {
                     line: 152,
                     message: "HashMap \"quoted\" and \\ escaped".to_owned(),
                     allowed: Some("keyed lookups only".to_owned()),
+                    chain: Vec::new(),
                 },
             ],
         }
@@ -379,8 +440,9 @@ mod tests {
     #[test]
     fn empty_report_round_trips() {
         let report = Report {
-            version: 1,
+            version: 2,
             files_scanned: 0,
+            elapsed_ms: 0,
             findings: vec![],
         };
         let parsed = Report::from_json(&report.to_json()).unwrap();
@@ -395,6 +457,37 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"violations\": 1"));
         assert!(json.contains("\"allowed\": 1"));
+        assert!(json.contains("\"elapsed_ms\": 17"));
+    }
+
+    #[test]
+    fn summary_covers_every_rule_including_zero_counts() {
+        let r = sample();
+        let summary = r.rule_summary();
+        assert_eq!(summary.len(), crate::rules::RULES.len() + 1);
+        let wall = summary
+            .iter()
+            .find(|(rule, _, _)| *rule == "wall-clock")
+            .unwrap();
+        assert_eq!((wall.1, wall.2), (1, 0));
+        let hot = summary
+            .iter()
+            .find(|(rule, _, _)| *rule == "hot-alloc")
+            .unwrap();
+        assert_eq!((hot.1, hot.2), (0, 0));
+        let json = r.to_json();
+        assert!(json.contains("{\"rule\": \"trace-gated\", \"violations\": 0, \"allowed\": 0}"));
+    }
+
+    #[test]
+    fn chain_round_trips_and_is_omitted_when_empty() {
+        let r = sample();
+        let json = r.to_json();
+        assert!(json.contains("\"chain\": [\"plan_into\", \"stamp\", \"Instant::now\"]"));
+        // The chain-free finding's object carries no chain key.
+        let nondet_obj = json.lines().find(|l| l.contains("nondet-iter")).unwrap();
+        assert!(!nondet_obj.contains("chain"));
+        assert_eq!(Report::from_json(&json).unwrap(), r);
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//! An allow comment must reach past attribute lines to the item they
+//! decorate: the annotation sits above `#[inline]`, the violation two
+//! lines further down.
+
+// rtr-lint: allow(nondet-iter) -- keys are sorted into a Vec before any iteration
+#[inline]
+#[allow(clippy::implicit_hasher)]
+pub fn lookup(m: &std::collections::HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

@@ -7,5 +7,7 @@
 use rtr_archsim::MemorySim;
 
 pub fn sink<T: rtr_trace::MemTrace + ?Sized>(trace: &mut T) {
-    trace.read(0);
+    if trace.enabled() {
+        trace.read(0);
+    }
 }

@@ -1,0 +1,20 @@
+//! Rationale-carrying orderings are clean; the one `SeqCst` needs an
+//! explicit, reasoned allow on top of its rationale.
+
+impl Ring {
+    fn load_tail(&self) -> u64 {
+        // ORDERING: Acquire pairs with the producer's Release store of tail.
+        self.tail.load(Ordering::Acquire)
+    }
+
+    fn bump_dropped(&self) {
+        // ORDERING: Relaxed — a monotonic statistic, never synchronizes.
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shutdown(&self) {
+        // ORDERING: cold shutdown path; the full barrier keeps the pairing proof trivial.
+        // rtr-lint: allow(atomic-ordering) -- shutdown runs once, clarity over cycles
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}

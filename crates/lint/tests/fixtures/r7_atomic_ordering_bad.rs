@@ -1,0 +1,18 @@
+//! Ordering tokens in the audited concurrency files must sit in a fn
+//! that carries a `// ORDERING:` rationale — and `SeqCst` is denied
+//! even when one is present.
+
+impl Ring {
+    fn load_tail(&self) -> u64 {
+        self.tail.load(Ordering::Acquire)
+    }
+
+    fn bump_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shutdown(&self) {
+        // ORDERING: full barrier keeps the shutdown proof trivial.
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,35 @@
+//! Every gating idiom the rule must accept — positive block, negated
+//! early return, bound guard variable, fully-guarded helper — plus one
+//! justified allow for a genuinely cold path.
+
+impl Grid {
+    pub fn step(&mut self, trace: &mut T) {
+        if !trace.enabled() {
+            return;
+        }
+        trace.read(self.addr);
+        trace.write(self.addr);
+    }
+
+    pub fn probe(&mut self, t: &mut T) {
+        let traced = self.tracer.enabled();
+        if traced {
+            t.read(self.addr);
+        }
+    }
+
+    pub fn scan(&mut self, trace: &mut T) {
+        if trace.enabled() {
+            self.emit(trace);
+        }
+    }
+
+    fn emit(&mut self, trace: &mut T) {
+        trace.write(self.addr);
+    }
+
+    pub fn finale(&mut self, trace: &mut T) {
+        // rtr-lint: allow(trace-gated) -- cold: runs once per episode at shutdown
+        trace.write(self.addr);
+    }
+}

@@ -1,0 +1,23 @@
+//! Ungated trace emission in kernel code: a direct ungated call, and a
+//! helper reachable from one unguarded caller (one guarded caller is
+//! not enough — every path in must be gated).
+
+impl Grid {
+    pub fn step(&mut self, trace: &mut T) {
+        trace.read(self.addr);
+    }
+
+    pub fn scan(&mut self, trace: &mut T) {
+        if trace.enabled() {
+            self.emit(trace);
+        }
+    }
+
+    pub fn sloppy(&mut self, trace: &mut T) {
+        self.emit(trace);
+    }
+
+    fn emit(&mut self, trace: &mut T) {
+        trace.write(self.addr);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the lint lexer's `scrub` pass.
+//!
+//! The scrubber underpins every rule: it blanks comments, string
+//! literals, and char literals so token scans never match prose, while
+//! preserving byte offsets so findings map back to real source lines.
+//! These tests assemble adversarial sources from fragments that mix the
+//! lexer's hard cases — raw strings containing `//`, nested block
+//! comments containing `"`, char-literal-vs-lifetime ambiguity inside
+//! macro bodies — and assert the two invariants everything downstream
+//! relies on:
+//!
+//! 1. blanked output has exactly the source's byte length, and
+//! 2. every newline survives at its original offset (line structure).
+//!
+//! A third check pins the scrub direction: identifiers in code position
+//! survive, while quoted/commented decoys never leak into the output.
+
+use proptest::prelude::*;
+use rtr_lint::lexer::{line_of, scrub};
+
+/// Adversarial source fragments. Each is valid-enough Rust for the
+/// lexer's purposes and contains the decoy `ZDECOYZ` only inside
+/// comment/string/char territory, never in code position.
+const FRAGMENTS: &[&str] = &[
+    // Raw strings containing line-comment and block-comment markers.
+    "let a = r\"ZDECOYZ // not a comment\";\n",
+    "let b = r#\"ZDECOYZ /* still a string */ \"quoted\" \"#;\n",
+    "let c = r##\"nested \"# hash \"## ; // trailing ZDECOYZ\n",
+    // Nested block comments containing quotes and comment openers.
+    "/* ZDECOYZ \" /* inner \" */ still out */ fn live() {}\n",
+    "/* level1 /* level2 // ZDECOYZ */ \"deep\" */ let d = 1;\n",
+    // Line comments swallowing string openers.
+    "// \" ZDECOYZ r\" r#\" unterminated-looking\n",
+    // Char literal vs lifetime inside macro bodies.
+    "vec!['a', 'b', '\\'', 'Z'];\n",
+    "fn lt<'a>(x: &'a str) -> &'a str { x }\n",
+    "matches!(tok, 'x' | 'y');\n",
+    "let e: &'static str = \"ZDECOYZ\"; let f = '\\n';\n",
+    // Strings containing escapes and comment markers.
+    "let g = \"esc \\\" ZDECOYZ // /* */ \";\n",
+    "let h = \"multi\\nline-escape\"; // ZDECOYZ\n",
+    // Plain code (control group — must survive scrubbing verbatim).
+    "pub fn survivor(n: usize) -> usize { n + 1 }\n",
+    "struct Keeper { field: u64 }\n",
+];
+
+/// Byte offsets of every `\n` in `s`.
+fn newline_offsets(s: &str) -> Vec<usize> {
+    s.bytes()
+        .enumerate()
+        .filter_map(|(i, b)| (b == b'\n').then_some(i))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scrub_preserves_byte_length_and_line_structure(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 1..24),
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let scrubbed = scrub(&src);
+
+        prop_assert_eq!(
+            scrubbed.text.len(),
+            src.len(),
+            "blanked output must be byte-for-byte the same length"
+        );
+        prop_assert_eq!(&scrubbed.original, &src, "original must be kept verbatim");
+        prop_assert_eq!(
+            newline_offsets(&scrubbed.text),
+            newline_offsets(&src),
+            "every newline must survive at its original offset"
+        );
+        // Line numbering built on the blanked text must agree with the
+        // source for every byte, not just newline positions.
+        prop_assert_eq!(line_of(&scrubbed.text, src.len()), line_of(&src, src.len()));
+
+        // Decoys live only inside comments/strings/chars and must be gone.
+        prop_assert!(
+            !scrubbed.text.contains("ZDECOYZ"),
+            "quoted/commented text leaked into the blanked output:\n{}",
+            scrubbed.text
+        );
+        // Code-position identifiers must survive wherever they occur.
+        for name in ["survivor", "Keeper", "live"] {
+            if picks.iter().any(|&p| FRAGMENTS[p].contains(name)) {
+                prop_assert!(
+                    scrubbed.text.contains(name),
+                    "code identifier `{}` was wrongly blanked",
+                    name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scrub_is_idempotent_on_blanked_output(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 1..12),
+    ) {
+        // Scrubbing already-blanked text must be a no-op: blanks contain
+        // no comment/string openers, so a second pass changes nothing.
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let once = scrub(&src);
+        let twice = scrub(&once.text);
+        prop_assert_eq!(&twice.text, &once.text);
+    }
+}

@@ -235,8 +235,9 @@ fn fixture_findings_round_trip_through_the_report() {
     findings.extend(kernel(include_str!("fixtures/r6_layering_bad.rs")));
     findings.extend(kernel(include_str!("fixtures/r6_layering_allowed.rs")));
     let report = Report {
-        version: 1,
+        version: 2,
         files_scanned: 5,
+        elapsed_ms: 3,
         findings,
     };
     assert!(report.findings.iter().any(|f| f.rule == "layering"));
@@ -248,4 +249,163 @@ fn fixture_findings_round_trip_through_the_report() {
     assert_eq!(parsed, report);
     assert!(parsed.violations().count() > 0);
     assert!(parsed.allowed().count() > 0);
+}
+
+#[test]
+fn transitive_two_hop_fixture_is_flagged_with_full_chains() {
+    let f = kernel(include_str!("fixtures/transitive_two_hop_bad.rs"));
+    let v = violations(&f);
+    // Transitive hot-alloc + transitive wall-clock at the hot entries,
+    // plus the leaf's own direct clock read.
+    assert_eq!(v.len(), 3, "{f:?}");
+    let alloc = v.iter().find(|x| x.rule == "hot-alloc").unwrap();
+    assert_eq!(alloc.line, 6, "finding sits on the entry's call site");
+    assert_eq!(alloc.chain, ["mul_into", "stage", "grow", "Vec::new"]);
+    assert!(alloc
+        .message
+        .contains("mul_into -> stage -> grow -> Vec::new"));
+    let clock = v
+        .iter()
+        .find(|x| x.rule == "wall-clock" && !x.chain.is_empty())
+        .unwrap();
+    assert_eq!(clock.line, 18);
+    assert_eq!(
+        clock.chain,
+        ["step_into", "refresh", "stamp", "Instant::now"]
+    );
+}
+
+#[test]
+fn transitive_two_hop_allowed_fixture_passes_deny() {
+    let f = kernel(include_str!("fixtures/transitive_two_hop_allowed.rs"));
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "hot-alloc");
+    assert!(!f[0].chain.is_empty(), "still carries the chain evidence");
+    assert!(violations(&f).is_empty(), "{f:?}");
+}
+
+#[test]
+fn r7_bad_fixture_flags_missing_rationale_and_seqcst() {
+    let src = include_str!("fixtures/r7_atomic_ordering_bad.rs");
+    let f = lint_source("crates/trace/src/ring.rs", src);
+    let v = violations(&f);
+    assert_eq!(v.len(), 3, "{f:?}");
+    assert!(v.iter().all(|x| x.rule == "atomic-ordering"));
+    assert!(v
+        .iter()
+        .any(|x| x.line == 7 && x.message.contains("ORDERING:")));
+    assert!(v.iter().any(|x| x.line == 11));
+    // SeqCst is flagged despite the fn's rationale comment.
+    assert!(v
+        .iter()
+        .any(|x| x.line == 16 && x.message.contains("SeqCst")));
+    // Outside the audited files the same code is not this rule's business.
+    assert!(lint_source("crates/harness/src/roi.rs", src)
+        .iter()
+        .all(|x| x.rule != "atomic-ordering"));
+}
+
+#[test]
+fn r7_allowed_fixture_passes_deny_in_every_audited_file() {
+    let src = include_str!("fixtures/r7_atomic_ordering_allowed.rs");
+    for path in [
+        "crates/trace/src/ring.rs",
+        "crates/trace/src/sync.rs",
+        "crates/harness/src/collector.rs",
+    ] {
+        let f = lint_source(path, src);
+        assert_eq!(f.len(), 1, "{path}: {f:?}");
+        assert!(f[0].message.contains("SeqCst"));
+        assert!(f[0].allowed.is_some(), "{path}: {f:?}");
+    }
+}
+
+#[test]
+fn r8_bad_fixture_flags_ungated_and_partially_guarded_emission() {
+    let f = kernel(include_str!("fixtures/r8_trace_gated_bad.rs"));
+    let v = violations(&f);
+    assert_eq!(v.len(), 2, "{f:?}");
+    assert!(v.iter().all(|x| x.rule == "trace-gated"));
+    // step's direct ungated read...
+    assert!(v.iter().any(|x| x.line == 7), "{v:?}");
+    // ...and emit's write: one guarded caller (scan) does not excuse the
+    // unguarded one (sloppy).
+    assert!(v.iter().any(|x| x.line == 21), "{v:?}");
+}
+
+#[test]
+fn r8_allowed_fixture_passes_deny() {
+    let f = kernel(include_str!("fixtures/r8_trace_gated_allowed.rs"));
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "trace-gated");
+    assert!(f[0].allowed.is_some());
+    assert!(violations(&f).is_empty(), "{f:?}");
+}
+
+#[test]
+fn allow_comment_reaches_past_attribute_lines() {
+    let f = kernel(include_str!("fixtures/allow_attr_skip.rs"));
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "nondet-iter");
+    assert_eq!(f[0].line, 8, "the HashMap token two attributes below");
+    assert!(f[0].allowed.is_some(), "{f:?}");
+}
+
+/// Satellite guard: one full workspace pass (lex + index + call graph +
+/// fixpoint + every rule) must stay interactive. The 5 s budget is far
+/// above the observed ~0.6 s debug-build time but low enough to catch
+/// an accidental quadratic blowup in the resolver or fixpoint.
+#[test]
+fn full_workspace_pass_stays_under_the_latency_guard() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &root, &mut files);
+    assert!(files.len() > 50, "workspace walk broke: {}", files.len());
+    // Instant::now is legal here: crates/lint is a measurement crate.
+    let start = std::time::Instant::now();
+    let findings = rtr_lint::lint_workspace(&files);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "full pass took {elapsed:?} over {} files",
+        files.len()
+    );
+    // The committed workspace is clean under --deny.
+    assert!(
+        findings.iter().all(|f| f.allowed.is_some()),
+        "workspace has unallowed violations: {:?}",
+        findings
+            .iter()
+            .filter(|f| f.allowed.is_none())
+            .collect::<Vec<_>>()
+    );
+}
+
+fn collect_rs(dir: &std::path::Path, root: &std::path::Path, out: &mut Vec<(String, String)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            // Match the CLI walk: crate `src/` trees only — never
+            // tests/, benches/, or fixture corpora.
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            let under_crates = dir.file_name().is_some_and(|n| n == "crates");
+            if under_crates || name == "src" || dir.to_str().is_some_and(|s| s.contains("/src")) {
+                collect_rs(&path, root, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs")
+            && path.to_str().is_some_and(|s| s.contains("/src/"))
+        {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap()
+                .to_string_lossy()
+                .into_owned();
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                out.push((rel, text));
+            }
+        }
+    }
 }

@@ -369,7 +369,9 @@ impl Prm {
                 .enumerate()
                 .map(|(j, n)| {
                     l2.set(l2.get() + 1);
-                    trace.read(j as u64 * 40);
+                    if trace.enabled() {
+                        trace.read(j as u64 * 40);
+                    }
                     (j, config_distance(config, n))
                 })
                 .collect();

@@ -194,6 +194,8 @@ impl<T: RingItem> RingProducer<T> {
 
     /// Records dropped so far by the count-and-drop entry points.
     pub fn dropped(&self) -> u64 {
+        // ORDERING: Relaxed — the drop counter is a monotonic statistic;
+        // no other memory is published through it.
         self.shared.dropped.load(Ordering::Relaxed)
     }
 
@@ -209,6 +211,10 @@ impl<T: RingItem> RingProducer<T> {
     #[inline]
     pub fn publish(&mut self) {
         if self.published != self.tail {
+            // ORDERING: Release — pairs with the consumer's Acquire load
+            // of tail in pop_batch/is_empty; it orders the Relaxed slot
+            // stores before the tail becomes visible, which is the only
+            // thing handing slot contents to the other thread.
             self.shared.tail.store(self.tail, Ordering::Release);
             self.published = self.tail;
         }
@@ -222,6 +228,9 @@ impl<T: RingItem> RingProducer<T> {
     #[inline(never)]
     fn still_full_after_refresh(&mut self) -> bool {
         self.publish();
+        // ORDERING: Acquire — pairs with the consumer's Release store of
+        // head in pop_batch: slots the consumer freed are only reused
+        // after its reads of them are complete.
         self.cached_head = self.shared.head.load(Ordering::Acquire);
         self.tail.wrapping_sub(self.cached_head) == self.capacity
     }
@@ -255,6 +264,10 @@ impl<T: RingItem> RingProducer<T> {
             self.tail.wrapping_sub(self.cached_head) < self.capacity,
             "push_unpublished requires established free space"
         );
+        // ORDERING: Relaxed slot stores throughout — the Release store
+        // of tail in `publish` is the sole synchronization point handing
+        // these words to the consumer; ordering individual slot writes
+        // against each other buys nothing in an SPSC ring.
         let mut scratch = [0u64; MAX_ITEM_WORDS];
         item.encode(&mut scratch[..T::WORDS]);
         if T::WORDS == 1 {
@@ -294,6 +307,9 @@ impl<T: RingItem> RingProducer<T> {
     /// slots the producer may now write without another check.
     #[inline]
     pub(crate) fn refresh_free(&mut self) -> usize {
+        // ORDERING: Acquire — pairs with the consumer's Release store of
+        // head; freed slots may only be rewritten after the consumer's
+        // reads of them have completed.
         self.cached_head = self.shared.head.load(Ordering::Acquire);
         self.capacity - self.tail.wrapping_sub(self.cached_head)
     }
@@ -309,6 +325,10 @@ impl<T: RingItem> RingProducer<T> {
         if free < items.len() {
             // Publish before (possibly) reporting the ring full, so a
             // retrying caller's consumer always has work to drain.
+            // ORDERING: the Acquire head load pairs with the consumer's
+            // Release store in pop_batch (slot reuse); the Relaxed slot
+            // stores below are handed over by the Release tail store at
+            // the end of this fn.
             self.publish();
             self.cached_head = self.shared.head.load(Ordering::Acquire);
             free = cap - self.tail.wrapping_sub(self.cached_head);
@@ -349,6 +369,8 @@ impl<T: RingItem> RingProducer<T> {
         let n = self.try_push_batch(items);
         let rejected = items.len() - n;
         if rejected > 0 {
+            // ORDERING: Relaxed — the drop counter is a statistic; no
+            // memory is published through it.
             self.shared
                 .dropped
                 .fetch_add(rejected as u64, Ordering::Relaxed);
@@ -393,6 +415,7 @@ impl<T: RingItem> RingReader<T> {
 
     /// Records dropped so far on the producer side.
     pub fn dropped(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic statistic, publishes no memory.
         self.shared.dropped.load(Ordering::Relaxed)
     }
 
@@ -403,6 +426,9 @@ impl<T: RingItem> RingReader<T> {
     /// it once and clears it between drains, so the steady-state drain
     /// path performs no heap allocation.
     pub fn pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        // ORDERING: the Acquire tail load pairs with the producer's
+        // Release tail store (publish): it makes the Relaxed slot stores
+        // behind it visible before we read them below.
         let mut available = self.cached_tail.wrapping_sub(self.head);
         if available == 0 {
             self.cached_tail = self.shared.tail.load(Ordering::Acquire);
@@ -429,8 +455,9 @@ impl<T: RingItem> RingReader<T> {
             popped += run;
         }
         self.head = self.head.wrapping_add(n);
-        // Release: the producer's acquire load of the head must also see
-        // our slot reads as completed before it overwrites them.
+        // ORDERING: Release — the producer's Acquire load of head must
+        // also see our slot reads as completed before it overwrites
+        // them.
         self.shared.head.store(self.head, Ordering::Release);
         n
     }
@@ -440,6 +467,8 @@ impl<T: RingItem> RingReader<T> {
         if self.cached_tail.wrapping_sub(self.head) > 0 {
             return false;
         }
+        // ORDERING: Acquire — pairs with the producer's Release tail
+        // store, same contract as the refresh in pop_batch.
         self.cached_tail = self.shared.tail.load(Ordering::Acquire);
         self.cached_tail == self.head
     }
