@@ -1015,6 +1015,34 @@ fn bench_simd_fastpaths(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scenario_tick(c: &mut Criterion) {
+    use rtr_scenario::{LocalizerKind, ScenarioConfig, ScenarioState};
+
+    let mut group = c.benchmark_group("scenario_tick");
+    group.sample_size(10);
+
+    // One iteration = one closed-loop tick (sense → localize → plan →
+    // control). When a run reaches its goal the state is rebuilt, so the
+    // (re)begin cost is amortized over the ~150 ticks each episode lasts.
+    for localizer in [LocalizerKind::Pfl, LocalizerKind::EkfSlam] {
+        let config = ScenarioConfig {
+            localizer,
+            particles: 300,
+            ..ScenarioConfig::default()
+        };
+        let mut state = ScenarioState::begin(&config).expect("default scenario is solvable");
+        group.bench_function(format!("{}_loop", localizer.label()), |bch| {
+            bch.iter(|| {
+                if !state.step() {
+                    state = ScenarioState::begin(&config).expect("default scenario is solvable");
+                }
+                black_box(state.ticks())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     bench_perception,
@@ -1032,6 +1060,7 @@ criterion_group!(
     bench_icp_batch_nn,
     bench_rrtstar_neighborhood,
     bench_linalg,
-    bench_simd_fastpaths
+    bench_simd_fastpaths,
+    bench_scenario_tick
 );
 criterion_main!(kernels);

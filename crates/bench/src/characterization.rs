@@ -8,7 +8,7 @@
 //! preserves input order, the assembled rows are byte-identical for any
 //! `--threads` value (the trace-identity suite pins this).
 
-use rtr_core::{registry, CacheReport, Telemetry};
+use rtr_core::{registry, registry_lookup, CacheReport, Telemetry};
 use rtr_harness::{Args, Pool};
 
 /// Reduced per-kernel arguments used unless `--full` is passed: the same
@@ -59,11 +59,7 @@ pub fn traced_run_with(
     vldp: usize,
     telemetry: Telemetry,
 ) -> Result<CacheReport, String> {
-    let kernels = registry();
-    let k = kernels
-        .iter()
-        .find(|k| k.name() == kernel)
-        .ok_or_else(|| format!("unknown kernel {kernel}"))?;
+    let k = registry_lookup(kernel).map_err(|e| e.to_string())?;
     let mut tokens: Vec<String> = if full {
         Vec::new()
     } else {

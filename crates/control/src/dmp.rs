@@ -71,6 +71,35 @@ struct DimensionModel {
     goal: f64,
 }
 
+/// Loop state of one stepped rollout.
+///
+/// Created by [`Dmp::begin_rollout`], advanced one Euler step at a time
+/// by [`Dmp::integrate_step`], and turned into a [`DmpRollout`] by
+/// [`Dmp::finish_rollout`]. The integrator state `(y, z, x)` lives here;
+/// the output rows accumulate into the pre-reserved rollout buffers.
+#[derive(Debug)]
+pub struct RolloutRun {
+    y: Vec<f64>,
+    z: Vec<f64>,
+    x: f64,
+    /// Next step index (1-based; row 0 is the initial state).
+    step: usize,
+    steps: usize,
+    rollout: DmpRollout,
+}
+
+impl RolloutRun {
+    /// Current position per dimension.
+    pub fn position(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Euler steps executed so far (excluding the initial row).
+    pub fn steps_done(&self) -> usize {
+        self.step - 1
+    }
+}
+
 /// The DMP kernel: learn from one demonstration, then generate smooth
 /// trajectories toward (possibly new) goals.
 ///
@@ -241,67 +270,113 @@ impl Dmp {
     ) -> DmpRollout {
         let tr = &mut *trace;
         profiler.time("integration", || {
-            let steps = (duration / self.config.dt).ceil() as usize;
-            let ndim = self.dims.len();
-            let mut t_axis = Vec::with_capacity(steps + 1);
-            let mut pos = Vec::with_capacity(steps + 1);
-            let mut vel = Vec::with_capacity(steps + 1);
-            let mut acc = Vec::with_capacity(steps + 1);
+            let mut run = self.begin_rollout(duration);
+            while self.step_inner(&mut run, &mut *tr) {}
+            run.rollout
+        })
+    }
 
-            let mut y: Vec<f64> = self.dims.iter().map(|d| d.y0).collect();
-            let mut z: Vec<f64> = vec![0.0; ndim];
-            let mut x = 1.0;
+    /// Starts a stepped rollout: sizes the output buffers, seeds the
+    /// integrator at the demonstration start, and records the initial
+    /// row. Drive the returned [`RolloutRun`] with
+    /// [`Dmp::integrate_step`] until it returns `false`, then call
+    /// [`Dmp::finish_rollout`]; that sequence produces the same
+    /// trajectory as [`Dmp::rollout`], bit for bit (the monolith differs
+    /// only in wrapping the whole loop in a single `integration` region
+    /// instead of one per step).
+    pub fn begin_rollout(&self, duration: f64) -> RolloutRun {
+        let steps = (duration / self.config.dt).ceil() as usize;
+        let ndim = self.dims.len();
+        let mut t_axis = Vec::with_capacity(steps + 1);
+        let mut pos = Vec::with_capacity(steps + 1);
+        let mut vel = Vec::with_capacity(steps + 1);
+        let mut acc = Vec::with_capacity(steps + 1);
 
-            t_axis.push(0.0);
-            pos.push(y.clone());
-            vel.push(vec![0.0; ndim]);
-            acc.push(vec![0.0; ndim]);
+        let y: Vec<f64> = self.dims.iter().map(|d| d.y0).collect();
+        t_axis.push(0.0);
+        pos.push(y.clone());
+        vel.push(vec![0.0; ndim]);
+        acc.push(vec![0.0; ndim]);
 
-            for step in 1..=steps {
-                let dt = self.config.dt;
-                let mut a_row = Vec::with_capacity(ndim);
-                let mut v_row = Vec::with_capacity(ndim);
-                for (d, model) in self.dims.iter().enumerate() {
-                    if tr.enabled() {
-                        // The forcing term sweeps every basis function:
-                        // center, width, and this dimension's weight.
-                        let nb = self.centers.len() as u64;
-                        for b in 0..nb {
-                            tr.read(b * 8);
-                            tr.read(WIDTHS_REGION + b * 8);
-                            tr.read(WEIGHTS_REGION + (d as u64 * nb + b) * 8);
-                        }
-                        tr.read(STATE_REGION + d as u64 * 16);
-                        tr.write(STATE_REGION + d as u64 * 16);
-                        let row = (step * ndim + d) as u64;
-                        tr.write(ROLLOUT_REGION + row * 24);
-                    }
-                    let f = self.forcing(model, x);
-                    // τ ż = αz(βz(g − y) − z) + f;  τ ẏ = z.
-                    let zd = (self.config.alpha_z
-                        * (self.config.beta_z * (model.goal - y[d]) - z[d])
-                        + f)
-                        / self.tau;
-                    z[d] += zd * dt;
-                    let yd = z[d] / self.tau;
-                    y[d] += yd * dt;
-                    v_row.push(yd);
-                    a_row.push(zd / self.tau);
-                }
-                x += -self.config.alpha_x * x / self.tau * dt;
-                t_axis.push(step as f64 * dt);
-                pos.push(y.clone());
-                vel.push(v_row);
-                acc.push(a_row);
-            }
-
-            DmpRollout {
+        RolloutRun {
+            y,
+            z: vec![0.0; ndim],
+            x: 1.0,
+            step: 1,
+            steps,
+            rollout: DmpRollout {
                 t: t_axis,
                 position: pos,
                 velocity: vel,
                 acceleration: acc,
+            },
+        }
+    }
+
+    /// One Euler step of the transformation and canonical systems, with
+    /// no profiler region (shared by the monolithic and stepped drivers).
+    fn step_inner<T: MemTrace + ?Sized>(&self, run: &mut RolloutRun, tr: &mut T) -> bool {
+        if run.step > run.steps {
+            return false;
+        }
+        let step = run.step;
+        run.step += 1;
+        let ndim = self.dims.len();
+        let dt = self.config.dt;
+        let mut a_row = Vec::with_capacity(ndim);
+        let mut v_row = Vec::with_capacity(ndim);
+        for (d, model) in self.dims.iter().enumerate() {
+            if tr.enabled() {
+                // The forcing term sweeps every basis function:
+                // center, width, and this dimension's weight.
+                let nb = self.centers.len() as u64;
+                for b in 0..nb {
+                    tr.read(b * 8);
+                    tr.read(WIDTHS_REGION + b * 8);
+                    tr.read(WEIGHTS_REGION + (d as u64 * nb + b) * 8);
+                }
+                tr.read(STATE_REGION + d as u64 * 16);
+                tr.write(STATE_REGION + d as u64 * 16);
+                let row = (step * ndim + d) as u64;
+                tr.write(ROLLOUT_REGION + row * 24);
             }
-        })
+            let f = self.forcing(model, run.x);
+            // τ ż = αz(βz(g − y) − z) + f;  τ ẏ = z.
+            let zd = (self.config.alpha_z
+                * (self.config.beta_z * (model.goal - run.y[d]) - run.z[d])
+                + f)
+                / self.tau;
+            run.z[d] += zd * dt;
+            let yd = run.z[d] / self.tau;
+            run.y[d] += yd * dt;
+            v_row.push(yd);
+            a_row.push(zd / self.tau);
+        }
+        run.x += -self.config.alpha_x * run.x / self.tau * dt;
+        run.rollout.t.push(step as f64 * dt);
+        run.rollout.position.push(run.y.clone());
+        run.rollout.velocity.push(v_row);
+        run.rollout.acceleration.push(a_row);
+        true
+    }
+
+    /// Advances a stepped rollout by one Euler step under its own
+    /// `integration` region. Returns `true` while steps remain. The
+    /// appended output rows are fresh per-row vectors — they are the
+    /// rollout's result, sized by the run, not reusable scratch.
+    pub fn integrate_step<T: MemTrace + ?Sized>(
+        &self,
+        run: &mut RolloutRun,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) -> bool {
+        let tr = &mut *trace;
+        profiler.time("integration", || self.step_inner(run, &mut *tr))
+    }
+
+    /// Completes a stepped rollout, yielding the accumulated trajectory.
+    pub fn finish_rollout(&self, run: RolloutRun) -> DmpRollout {
+        run.rollout
     }
 }
 

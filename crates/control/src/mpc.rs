@@ -105,6 +105,61 @@ struct SolveScratch {
     growths: usize,
 }
 
+/// Loop state of one receding-horizon tracking run.
+///
+/// Created by [`Mpc::begin_track`], advanced one control step at a time
+/// by [`Mpc::tick`], and turned into an [`MpcResult`] by
+/// [`Mpc::finish_track`]. After the first tick warms the solver scratch,
+/// further ticks are allocation-free on the default workspace path (the
+/// realized-trajectory and error buffers are pre-reserved for the whole
+/// run in `begin_track`).
+#[derive(Debug)]
+pub struct TrackRun {
+    state: CarState,
+    controls: Vec<(f64, f64)>,
+    trace: Vec<Point2>,
+    errors: Vec<f64>,
+    max_speed: f64,
+    max_accel: f64,
+    opt_iterations: u64,
+    scratch: SolveScratch,
+    window: Vec<Point2>,
+    window_growths: usize,
+    /// Progress along the reference: the window starts just past this.
+    ref_idx: usize,
+    steps_done: usize,
+    max_steps: usize,
+}
+
+impl TrackRun {
+    /// The car's current position.
+    pub fn position(&self) -> Point2 {
+        self.state.pose.position()
+    }
+
+    /// The car's current pose — what a sensor rigidly mounted on the car
+    /// observes the world from.
+    pub fn pose(&self) -> Pose2 {
+        self.state.pose
+    }
+
+    /// The car's current longitudinal speed (m/s).
+    pub fn speed(&self) -> f64 {
+        self.state.v
+    }
+
+    /// Control steps executed so far.
+    pub fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+
+    /// Scratch-buffer growths performed by the workspace solver so far
+    /// (see [`MpcResult::workspace_allocations`]).
+    pub fn workspace_allocations(&self) -> usize {
+        self.scratch.ws.allocations() + self.scratch.growths + self.window_growths
+    }
+}
+
 /// The MPC kernel.
 ///
 /// # Example
@@ -329,97 +384,147 @@ impl Mpc {
         profiler: &mut Profiler,
         trace: &mut T,
     ) -> MpcResult {
+        let mut run = self.begin_track(reference);
+        while self.tick(&mut run, reference, profiler, &mut *trace) {}
+        self.finish_track(run)
+    }
+
+    /// Starts a stepped tracking run from the first reference point.
+    /// Drive the returned [`TrackRun`] with [`Mpc::tick`] until it
+    /// returns `false`, then call [`Mpc::finish_track`]; that sequence is
+    /// exactly [`Mpc::track`], bit for bit. The realized-trajectory and
+    /// error buffers are reserved up front for the run's step budget, so
+    /// ticking never grows them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` has fewer than 2 points.
+    pub fn begin_track(&self, reference: &[Point2]) -> TrackRun {
         assert!(reference.len() >= 2, "reference needs at least 2 points");
-        // Rebind before the realized-positions vec below shadows `trace`.
-        let tr = &mut *trace;
         let initial_heading = (reference[1] - reference[0]).angle();
-        let mut state = CarState {
+        let state = CarState {
             pose: Pose2::new(reference[0].x, reference[0].y, initial_heading),
             v: 0.0,
         };
-        let mut controls: Vec<(f64, f64)> = vec![(0.0, 0.0); self.config.horizon];
-        let mut trace = vec![state.pose.position()];
-        let mut errors = Vec::new();
-        let mut max_speed: f64 = 0.0;
-        let mut max_accel: f64 = 0.0;
-        let mut opt_iterations = 0u64;
-        let use_ws = self.config.use_workspace;
-        let mut scratch = SolveScratch::default();
-        let mut window: Vec<Point2> = Vec::new();
-        let mut window_growths = 0usize;
-
-        // Progress along the reference: advance the window to the closest
-        // reference point ahead of the car.
-        let mut ref_idx = 0usize;
         let max_steps = reference.len() * 4;
-        for _ in 0..max_steps {
-            // Find the local window of the reference.
-            while ref_idx + 1 < reference.len()
-                && reference[ref_idx].distance(state.pose.position())
-                    > reference[ref_idx + 1].distance(state.pose.position())
-            {
-                ref_idx += 1;
-            }
-            if ref_idx + 1 >= reference.len()
-                && state.pose.position().distance(*reference.last().unwrap()) < 1.0
-            {
-                break;
-            }
-            if use_ws {
-                if window.capacity() < self.config.horizon {
-                    window_growths += 1;
-                }
-                window.clear();
-                window.extend(
-                    (0..self.config.horizon)
-                        .map(|k| reference[(ref_idx + 1 + k).min(reference.len() - 1)]),
-                );
-            } else {
-                window = (0..self.config.horizon)
-                    .map(|k| reference[(ref_idx + 1 + k).min(reference.len() - 1)])
-                    .collect();
-            }
+        let mut trace = Vec::with_capacity(max_steps + 1);
+        trace.push(state.pose.position());
+        TrackRun {
+            state,
+            controls: vec![(0.0, 0.0); self.config.horizon],
+            trace,
+            errors: Vec::with_capacity(max_steps),
+            max_speed: 0.0,
+            max_accel: 0.0,
+            opt_iterations: 0,
+            scratch: SolveScratch::default(),
+            window: Vec::new(),
+            window_growths: 0,
+            ref_idx: 0,
+            steps_done: 0,
+            max_steps,
+        }
+    }
 
-            opt_iterations += profiler.time("optimize", || {
-                if use_ws {
-                    self.optimize_ws(state, &mut controls, &window, &mut scratch, &mut *tr)
-                } else {
-                    self.optimize(state, &mut controls, &window, &mut *tr)
-                }
-            });
-
-            let (a, omega) = controls[0];
-            profiler.time("simulate", || {
-                state = self.step(state, a, omega);
-                trace.push(state.pose.position());
-                let nearest = reference
-                    .iter()
-                    .map(|r| r.distance(state.pose.position()))
-                    .fold(f64::INFINITY, f64::min);
-                errors.push(nearest);
-                max_speed = max_speed.max(state.v);
-                max_accel = max_accel.max(a.abs());
-                // Shift the warm start.
-                controls.rotate_left(1);
-                let last = controls.len() - 1;
-                controls[last] = (0.0, 0.0);
-            });
+    /// Advances a stepped tracking run by one control step: advances the
+    /// reference window to the closest point ahead of the car, solves the
+    /// horizon problem (the `optimize` region), and applies the first
+    /// control to the plant (`simulate`). Returns `true` while the run
+    /// continues — `false` once the end of the reference is approached or
+    /// the step budget is spent.
+    pub fn tick<T: MemTrace + ?Sized>(
+        &self,
+        run: &mut TrackRun,
+        reference: &[Point2],
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) -> bool {
+        if run.steps_done >= run.max_steps {
+            return false;
+        }
+        let tr = &mut *trace;
+        let use_ws = self.config.use_workspace;
+        // Find the local window of the reference.
+        while run.ref_idx + 1 < reference.len()
+            && reference[run.ref_idx].distance(run.state.pose.position())
+                > reference[run.ref_idx + 1].distance(run.state.pose.position())
+        {
+            run.ref_idx += 1;
+        }
+        if run.ref_idx + 1 >= reference.len()
+            && run
+                .state
+                .pose
+                .position()
+                .distance(*reference.last().unwrap())
+                < 1.0
+        {
+            return false;
+        }
+        run.steps_done += 1;
+        if use_ws {
+            if run.window.capacity() < self.config.horizon {
+                run.window_growths += 1;
+            }
+            run.window.clear();
+            run.window.extend(
+                (0..self.config.horizon)
+                    .map(|k| reference[(run.ref_idx + 1 + k).min(reference.len() - 1)]),
+            );
+        } else {
+            run.window = (0..self.config.horizon)
+                .map(|k| reference[(run.ref_idx + 1 + k).min(reference.len() - 1)])
+                .collect();
         }
 
-        let mean = if errors.is_empty() {
+        let state = run.state;
+        let controls = &mut run.controls;
+        let window = &run.window;
+        let scratch = &mut run.scratch;
+        run.opt_iterations += profiler.time("optimize", || {
+            if use_ws {
+                self.optimize_ws(state, controls, window, scratch, &mut *tr)
+            } else {
+                self.optimize(state, controls, window, &mut *tr)
+            }
+        });
+
+        let (a, omega) = run.controls[0];
+        profiler.time("simulate", || {
+            run.state = self.step(run.state, a, omega);
+            run.trace.push(run.state.pose.position());
+            let nearest = reference
+                .iter()
+                .map(|r| r.distance(run.state.pose.position()))
+                .fold(f64::INFINITY, f64::min);
+            run.errors.push(nearest);
+            run.max_speed = run.max_speed.max(run.state.v);
+            run.max_accel = run.max_accel.max(a.abs());
+            // Shift the warm start.
+            run.controls.rotate_left(1);
+            let last = run.controls.len() - 1;
+            run.controls[last] = (0.0, 0.0);
+        });
+        true
+    }
+
+    /// Completes a stepped tracking run: reduces the per-step error
+    /// series and assembles the result.
+    pub fn finish_track(&self, run: TrackRun) -> MpcResult {
+        let mean = if run.errors.is_empty() {
             0.0
         } else {
-            errors.iter().sum::<f64>() / errors.len() as f64
+            run.errors.iter().sum::<f64>() / run.errors.len() as f64
         };
         MpcResult {
-            trace,
+            trace: run.trace,
             mean_tracking_error: mean,
-            max_tracking_error: errors.iter().copied().fold(0.0, f64::max),
-            max_speed,
-            max_accel,
-            opt_iterations,
-            workspace_allocations: if use_ws {
-                scratch.ws.allocations() + scratch.growths + window_growths
+            max_tracking_error: run.errors.iter().copied().fold(0.0, f64::max),
+            max_speed: run.max_speed,
+            max_accel: run.max_accel,
+            opt_iterations: run.opt_iterations,
+            workspace_allocations: if self.config.use_workspace {
+                run.scratch.ws.allocations() + run.scratch.growths + run.window_growths
             } else {
                 0
             },

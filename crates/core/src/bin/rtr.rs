@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 
-use rtr_core::{registry, Kernel};
+use rtr_core::{registry, registry_lookup};
 use rtr_harness::{Args, Table};
 
 fn print_global_usage() {
@@ -31,13 +31,6 @@ fn print_list() {
         ]);
     }
     print!("{table}");
-}
-
-/// Finds a kernel by exact id (`08.rrt`) or bare suffix (`rrt`).
-fn find_kernel(name: &str) -> Option<Box<dyn Kernel>> {
-    registry()
-        .into_iter()
-        .find(|k| k.name() == name || k.name().split_once('.').map(|(_, n)| n) == Some(name))
 }
 
 /// Minimal JSON escaping for our metric/region strings.
@@ -113,9 +106,12 @@ fn main() -> ExitCode {
         print_global_usage();
         return ExitCode::SUCCESS;
     }
-    let Some(kernel) = find_kernel(selector) else {
-        eprintln!("unknown kernel {selector:?}; `rtr --list` shows all kernels");
-        return ExitCode::FAILURE;
+    let kernel = match registry_lookup(selector) {
+        Ok(kernel) => kernel,
+        Err(err) => {
+            eprintln!("{err}; `rtr --list` shows all kernels");
+            return ExitCode::FAILURE;
+        }
     };
 
     let tokens: Vec<&str> = argv[1..].iter().map(String::as_str).collect();

@@ -2,13 +2,15 @@
 
 use rtr_control::{
     dmp::wheeled_robot_demo, mpc::winding_reference, BayesOpt, BoConfig, Cem, CemConfig, Dmp,
-    DmpConfig, Mpc, MpcConfig,
+    DmpConfig, Mpc, MpcConfig, RolloutRun, TrackRun,
 };
+use rtr_geom::Point2;
 use rtr_harness::{Args, OptionSpec, Profiler};
 use rtr_sim::ThrowSim;
+use rtr_trace::MemTrace;
 
-use super::report;
-use crate::{Kernel, KernelError, KernelReport, Stage};
+use super::{report, OneShotInstance};
+use crate::{Kernel, KernelError, KernelInstance, KernelReport, Stage, StepStatus, TraceSession};
 
 /// `13.dmp`: dynamic movement primitives from a wheeled-robot demo.
 #[derive(Debug, Clone, Copy, Default)]
@@ -46,7 +48,7 @@ impl Kernel for DmpKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let basis = args.get_usize("basis", 30)?.max(2);
         let dt = args.get_f64("dt", 0.0005)?;
         let duration = args.get_f64("duration", 2.0)?;
@@ -57,24 +59,58 @@ impl Kernel for DmpKernel {
             dt,
             ..Default::default()
         };
+        // Learning from the demonstration is the offline phase; only the
+        // rollout integration runs inside the region of interest.
         let dmp = Dmp::learn(&demo, demo_duration, config);
-        let mut profiler = Profiler::timed();
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let rollout = dmp.rollout(duration, &mut profiler, session.sink());
-        let roi_seconds = roi.exit().as_secs_f64();
+        let run = dmp.begin_rollout(duration);
+        Ok(Box::new(DmpInstance {
+            dmp,
+            run: Some(run),
+            profiler: Profiler::timed(),
+        }))
+    }
+}
 
+/// Stepped lifecycle state for `13.dmp`: each step advances the rollout by
+/// one Euler integration tick, so a closed-loop driver can interleave the
+/// primitive with sensing and planning at its own control rate.
+struct DmpInstance {
+    dmp: Dmp,
+    run: Option<RolloutRun>,
+    profiler: Profiler,
+}
+
+impl KernelInstance for DmpInstance {
+    fn step(&mut self, trace: &mut dyn MemTrace) -> Result<StepStatus, KernelError> {
+        let run = self.run.as_mut().expect("step called after finish");
+        // rtr-lint: allow(hot-alloc) -- step_inner's basis-weight clone is the DMP kernel's own measured behavior; the stepped adapter must stay bit-identical to the monolithic run
+        let more = self.dmp.integrate_step(run, &mut self.profiler, trace);
+        Ok(if more {
+            StepStatus::Running
+        } else {
+            StepStatus::Done
+        })
+    }
+
+    fn finish(
+        mut self: Box<Self>,
+        roi_seconds: f64,
+        session: TraceSession,
+    ) -> Result<KernelReport, KernelError> {
+        let run = self.run.take().expect("finish called twice");
+        let rollout = self.dmp.finish_rollout(run);
         let end = rollout.position.last().cloned().unwrap_or_default();
-        let goal_error = dmp
+        let goal_error = self
+            .dmp
             .goals()
             .iter()
             .zip(end.iter())
             .map(|(g, e)| (g - e).abs())
             .fold(0.0f64, f64::max);
         Ok(report(
-            self.name(),
-            self.stage(),
-            profiler,
+            "13.dmp",
+            Stage::Control,
+            self.profiler,
             roi_seconds,
             vec![
                 ("steps".into(), rollout.t.len().to_string()),
@@ -132,7 +168,7 @@ impl Kernel for MpcKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let length = args.get_usize("length", 200)?.max(2);
         let horizon = args.get_usize("horizon", 12)?.max(1);
         let iterations = args.get_usize("iterations", 40)?.max(1);
@@ -143,16 +179,52 @@ impl Kernel for MpcKernel {
             opt_iterations: iterations,
             ..Default::default()
         };
-        let mut profiler = Profiler::timed();
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = Mpc::new(config).track(&reference, &mut profiler, session.sink());
-        let roi_seconds = roi.exit().as_secs_f64();
+        let mpc = Mpc::new(config);
+        let run = mpc.begin_track(&reference);
+        Ok(Box::new(MpcInstance {
+            mpc,
+            reference,
+            run: Some(run),
+            profiler: Profiler::timed(),
+        }))
+    }
+}
 
+/// Stepped lifecycle state for `14.mpc`: each step runs one control tick —
+/// window advance, horizon optimization, and one plant update — which is
+/// exactly the unit a closed-loop scenario interleaves with perception.
+struct MpcInstance {
+    mpc: Mpc,
+    reference: Vec<Point2>,
+    run: Option<TrackRun>,
+    profiler: Profiler,
+}
+
+impl KernelInstance for MpcInstance {
+    fn step(&mut self, trace: &mut dyn MemTrace) -> Result<StepStatus, KernelError> {
+        let run = self.run.as_mut().expect("step called after finish");
+        let more = self
+            .mpc
+            // rtr-lint: allow(hot-alloc) -- chain is Mpc::tick's legacy non-workspace branch; the adapter runs whichever mode the config selects and must stay bit-identical to the monolithic run
+            .tick(run, &self.reference, &mut self.profiler, trace);
+        Ok(if more {
+            StepStatus::Running
+        } else {
+            StepStatus::Done
+        })
+    }
+
+    fn finish(
+        mut self: Box<Self>,
+        roi_seconds: f64,
+        session: TraceSession,
+    ) -> Result<KernelReport, KernelError> {
+        let run = self.run.take().expect("finish called twice");
+        let result = self.mpc.finish_track(run);
         Ok(report(
-            self.name(),
-            self.stage(),
-            profiler,
+            "14.mpc",
+            Stage::Control,
+            self.profiler,
             roi_seconds,
             vec![
                 (
@@ -216,7 +288,7 @@ impl Kernel for CemKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let config = CemConfig {
             iterations: args.get_usize("iterations", 5)?.max(1),
             samples_per_iteration: args.get_usize("samples", 15)?.max(1),
@@ -225,30 +297,25 @@ impl Kernel for CemKernel {
             ..Default::default()
         };
         let sim = ThrowSim::new(args.get_f64("goal", 2.0)?.max(0.1));
-        let mut profiler = Profiler::timed();
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = Cem::new(config).learn(&sim, &mut profiler, session.sink());
-        let roi_seconds = roi.exit().as_secs_f64();
-
-        Ok(report(
+        Ok(OneShotInstance::boxed(
             self.name(),
             self.stage(),
-            profiler,
-            roi_seconds,
-            vec![
-                ("best reward".into(), format!("{:.3}", result.best_reward)),
-                ("evaluations".into(), result.evaluations.to_string()),
-                (
-                    "first/last iter mean".into(),
-                    format!(
-                        "{:.3} / {:.3}",
-                        result.iteration_means.first().copied().unwrap_or(f64::NAN),
-                        result.iteration_means.last().copied().unwrap_or(f64::NAN)
+            Profiler::timed(),
+            move |profiler, trace| {
+                let result = Cem::new(config).learn(&sim, profiler, trace);
+                Ok(vec![
+                    ("best reward".into(), format!("{:.3}", result.best_reward)),
+                    ("evaluations".into(), result.evaluations.to_string()),
+                    (
+                        "first/last iter mean".into(),
+                        format!(
+                            "{:.3} / {:.3}",
+                            result.iteration_means.first().copied().unwrap_or(f64::NAN),
+                            result.iteration_means.last().copied().unwrap_or(f64::NAN)
+                        ),
                     ),
-                ),
-            ],
-            session,
+                ])
+            },
         ))
     }
 }
@@ -298,7 +365,7 @@ impl Kernel for BoKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let config = BoConfig {
             iterations: args.get_usize("iterations", 45)?.max(1),
             candidates: args.get_usize("candidates", 500)?.max(1),
@@ -308,26 +375,21 @@ impl Kernel for BoKernel {
             ..Default::default()
         };
         let sim = ThrowSim::new(args.get_f64("goal", 2.0)?.max(0.1));
-        let mut profiler = Profiler::timed();
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = BayesOpt::new(config).learn(&sim, &mut profiler, session.sink());
-        let roi_seconds = roi.exit().as_secs_f64();
-
-        Ok(report(
+        Ok(OneShotInstance::boxed(
             self.name(),
             self.stage(),
-            profiler,
-            roi_seconds,
-            vec![
-                ("best reward".into(), format!("{:.3}", result.best_reward)),
-                ("evaluations".into(), result.evaluations.to_string()),
-                (
-                    "candidates scored".into(),
-                    result.candidates_scored.to_string(),
-                ),
-            ],
-            session,
+            Profiler::timed(),
+            move |profiler, trace| {
+                let result = BayesOpt::new(config).learn(&sim, profiler, trace);
+                Ok(vec![
+                    ("best reward".into(), format!("{:.3}", result.best_reward)),
+                    ("evaluations".into(), result.evaluations.to_string()),
+                    (
+                        "candidates scored".into(),
+                        result.candidates_scored.to_string(),
+                    ),
+                ])
+            },
         ))
     }
 }

@@ -4,8 +4,9 @@ pub mod control;
 pub mod perception;
 pub mod planning;
 
-use crate::{Kernel, KernelError, KernelReport, Stage};
+use crate::{Kernel, KernelError, KernelInstance, KernelReport, Stage, StepStatus, TraceSession};
 use rtr_harness::{Args, OptionSpec, Profiler};
+use rtr_trace::MemTrace;
 
 /// The shared `--threads` CLI option for kernels with a deterministic
 /// parallel hot loop (`01.pfl`, `03.srec`, `07.prm`, `15.cem`).
@@ -67,6 +68,68 @@ pub fn registry() -> Vec<Box<dyn Kernel>> {
     ]
 }
 
+/// Looks a kernel up by `selector`: either the full paper id
+/// (`09.rrtstar`) or the bare suffix (`rrtstar`). On a miss the error
+/// carries a did-you-mean suggestion when some registered name is a
+/// plausible typo (edit distance ≤ 2 against the id or its suffix).
+///
+/// Every binary that takes a kernel name on its command line routes
+/// through this, so the matching rules and the error text stay uniform.
+///
+/// # Errors
+///
+/// Returns [`KernelError::UnknownKernel`] when no registered kernel
+/// matches `selector`.
+pub fn registry_lookup(selector: &str) -> Result<Box<dyn Kernel>, KernelError> {
+    let kernels = registry();
+    if let Some(at) = kernels
+        .iter()
+        .position(|k| selector_matches(k.name(), selector))
+    {
+        return Ok(kernels.into_iter().nth(at).expect("position in range"));
+    }
+    let suggestion = kernels
+        .iter()
+        .map(|k| {
+            let full = edit_distance(selector, k.name());
+            let bare = k
+                .name()
+                .split_once('.')
+                .map_or(usize::MAX, |(_, n)| edit_distance(selector, n));
+            (full.min(bare), k.name())
+        })
+        .min()
+        .filter(|&(d, _)| d <= 2)
+        .map(|(_, name)| name);
+    Err(KernelError::UnknownKernel {
+        name: selector.to_string(),
+        suggestion,
+    })
+}
+
+/// `04.pp2d` matches both `04.pp2d` and `pp2d`.
+fn selector_matches(name: &str, selector: &str) -> bool {
+    name == selector || name.split_once('.').map(|(_, n)| n) == Some(selector)
+}
+
+/// Levenshtein distance, O(a·b) with two rolling rows — the registry has
+/// sixteen short names, so simplicity beats cleverness here.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 /// The shared `--trace`/`--vldp`/`--telemetry` CLI options every kernel
 /// accepts (the registry-level trace path lives in [`crate::trace`]).
 pub(crate) fn trace_options() -> [OptionSpec; 3] {
@@ -100,6 +163,71 @@ pub(crate) fn report(
         regions: profiler.report(),
         metrics,
         cache,
+    }
+}
+
+/// The solve closure a [`OneShotInstance`] runs in its single step:
+/// everything the one-shot path put inside the region of interest,
+/// returning the metric rows.
+type SolveBody =
+    Box<dyn FnOnce(&mut Profiler, &mut dyn MemTrace) -> Result<Vec<(String, String)>, KernelError>>;
+
+/// Stepped adapter for kernels whose algorithm has no natural resumable
+/// increment (the graph/symbolic planners, CEM, BO): the entire solve
+/// runs in the first [`step`](KernelInstance::step) call — inside the
+/// region of interest, exactly where the one-shot path put it — and
+/// `finish` assembles the report. Inputs and any offline phase are
+/// captured by the closure at instantiation time, outside the ROI.
+pub(crate) struct OneShotInstance {
+    name: &'static str,
+    stage: Stage,
+    profiler: Profiler,
+    body: Option<SolveBody>,
+    metrics: Option<Vec<(String, String)>>,
+}
+
+impl OneShotInstance {
+    /// Wraps `body` as a single-step instance.
+    pub(crate) fn boxed(
+        name: &'static str,
+        stage: Stage,
+        profiler: Profiler,
+        body: impl FnOnce(&mut Profiler, &mut dyn MemTrace) -> Result<Vec<(String, String)>, KernelError>
+            + 'static,
+    ) -> Box<Self> {
+        Box::new(OneShotInstance {
+            name,
+            stage,
+            profiler,
+            body: Some(Box::new(body)),
+            metrics: None,
+        })
+    }
+}
+
+impl KernelInstance for OneShotInstance {
+    fn step(&mut self, trace: &mut dyn MemTrace) -> Result<StepStatus, KernelError> {
+        let body = self.body.take().expect("step called again after Done");
+        self.metrics = Some(body(&mut self.profiler, trace)?);
+        Ok(StepStatus::Done)
+    }
+
+    fn finish(
+        self: Box<Self>,
+        roi_seconds: f64,
+        session: TraceSession,
+    ) -> Result<KernelReport, KernelError> {
+        let metrics = self
+            .metrics
+            .expect("finish called before step reached Done");
+        Ok(report(
+            self.name,
+            self.stage,
+            self.profiler,
+            roi_seconds,
+            metrics,
+            session,
+        ))
     }
 }
 
@@ -149,6 +277,45 @@ mod tests {
         assert_eq!(stage_of("12.sym-fext"), Stage::Planning);
         assert_eq!(stage_of("13.dmp"), Stage::Control);
         assert_eq!(stage_of("16.bo"), Stage::Control);
+    }
+
+    #[test]
+    fn registry_lookup_accepts_full_ids_and_bare_suffixes() {
+        assert_eq!(registry_lookup("09.rrtstar").unwrap().name(), "09.rrtstar");
+        assert_eq!(registry_lookup("rrtstar").unwrap().name(), "09.rrtstar");
+        assert_eq!(registry_lookup("pfl").unwrap().name(), "01.pfl");
+        assert_eq!(registry_lookup("sym-blkw").unwrap().name(), "11.sym-blkw");
+    }
+
+    #[test]
+    fn registry_lookup_suggests_near_misses() {
+        match registry_lookup("rttstar") {
+            Err(KernelError::UnknownKernel { name, suggestion }) => {
+                assert_eq!(name, "rttstar");
+                assert_eq!(suggestion, Some("09.rrtstar"));
+            }
+            other => panic!("expected UnknownKernel, got {other:?}"),
+        }
+        match registry_lookup("mpx") {
+            Err(KernelError::UnknownKernel { suggestion, .. }) => {
+                assert_eq!(suggestion, Some("14.mpc"));
+            }
+            other => panic!("expected UnknownKernel, got {other:?}"),
+        }
+        // Nothing within distance 2: no suggestion at all.
+        match registry_lookup("quicksort") {
+            Err(KernelError::UnknownKernel { suggestion, .. }) => {
+                assert_eq!(suggestion, None);
+            }
+            other => panic!("expected UnknownKernel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edit_distance_is_levenshtein() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("pfl", "pfl"), 0);
     }
 
     #[test]

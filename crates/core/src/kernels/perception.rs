@@ -1,12 +1,15 @@
 //! Perception-stage kernel adapters.
 
-use rtr_geom::{maps, Point2, Point3, Pose2, RigidTransform};
+use rtr_geom::{maps, Point2, Point3, PointCloud, Pose2, RigidTransform};
 use rtr_harness::{Args, OptionSpec, Profiler};
-use rtr_perception::{EkfSlam, EkfSlamConfig, Icp, IcpConfig, ParticleFilter, PflConfig, PflInit};
-use rtr_sim::{scene, DifferentialDrive, Lidar, OdometryModel, SimRng, SlamWorld};
+use rtr_perception::{
+    EkfSlam, EkfSlamConfig, Icp, IcpConfig, IcpRun, ParticleFilter, PflConfig, PflInit,
+};
+use rtr_sim::{scene, DifferentialDrive, Lidar, OdometryModel, SimRng, SlamStep, SlamWorld};
+use rtr_trace::MemTrace;
 
 use super::report;
-use crate::{Kernel, KernelError, KernelReport, Stage};
+use crate::{Kernel, KernelError, KernelInstance, KernelReport, Stage, StepStatus, TraceSession};
 
 /// `01.pfl`: particle-filter localization in the procedural indoor map.
 #[derive(Debug, Clone, Copy, Default)]
@@ -91,7 +94,7 @@ impl Kernel for PflKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let particles = args.get_usize("particles", 500)?;
         let region = args.get_usize("region", 0)?;
         let beam_stride = (60 / args.get_usize("beams", 60)?.clamp(1, 60)).max(1);
@@ -99,8 +102,7 @@ impl Kernel for PflKernel {
 
         let map = maps::indoor_floor_plan(256, 0.1, 7);
         let steps = Self::drive_region(&map, region, seed);
-        let mut profiler = Profiler::timed();
-        let mut pf = ParticleFilter::new(
+        let pf = ParticleFilter::with_owned_map(
             PflConfig {
                 particles,
                 seed,
@@ -114,13 +116,54 @@ impl Kernel for PflKernel {
                 },
                 ..Default::default()
             },
-            &map,
+            map,
         );
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = pf.run(&steps, &mut profiler, session.sink());
-        let roi_seconds = roi.exit().as_secs_f64();
+        let initial_spread = pf.spread();
+        Ok(Box::new(PflInstance {
+            pf,
+            steps,
+            profiler: Profiler::timed(),
+            initial_spread,
+            index: 0,
+        }))
+    }
+}
 
+/// Stepped lifecycle state for `01.pfl`: each step consumes one lidar
+/// scan (motion update, ray-casting measurement update, resampling).
+struct PflInstance {
+    pf: ParticleFilter<'static>,
+    steps: Vec<rtr_sim::TrajectoryStep>,
+    profiler: Profiler,
+    initial_spread: f64,
+    index: usize,
+}
+
+impl KernelInstance for PflInstance {
+    fn step(&mut self, trace: &mut dyn MemTrace) -> Result<StepStatus, KernelError> {
+        if self.index >= self.steps.len() {
+            return Ok(StepStatus::Done);
+        }
+        self.pf.step_scan(
+            self.index,
+            &self.steps[self.index],
+            &mut self.profiler,
+            trace,
+        );
+        self.index += 1;
+        Ok(if self.index < self.steps.len() {
+            StepStatus::Running
+        } else {
+            StepStatus::Done
+        })
+    }
+
+    fn finish(
+        self: Box<Self>,
+        roi_seconds: f64,
+        session: TraceSession,
+    ) -> Result<KernelReport, KernelError> {
+        let result = self.pf.result(self.steps.last(), self.initial_spread);
         let metrics = vec![
             (
                 "final error (m)".into(),
@@ -135,9 +178,9 @@ impl Kernel for PflKernel {
             ("resamples".into(), result.resamples.to_string()),
         ];
         Ok(report(
-            self.name(),
-            self.stage(),
-            profiler,
+            "01.pfl",
+            Stage::Perception,
+            self.profiler,
             roi_seconds,
             metrics,
             session,
@@ -181,7 +224,7 @@ impl Kernel for EkfSlamKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let steps = args.get_usize("steps", 300)?;
         let n_landmarks = args.get_usize("landmarks", 6)?;
         let seed = args.get_u64("seed", 0)?;
@@ -200,21 +243,62 @@ impl Kernel for EkfSlamKernel {
         };
         let mut rng = SimRng::seed_from(seed);
         let log = world.simulate_circuit(steps, &mut rng);
-        let mut profiler = Profiler::timed();
-        let mut ekf = EkfSlam::new(EkfSlamConfig {
+        let ekf = EkfSlam::new(EkfSlamConfig {
             max_landmarks: n_landmarks,
             ..Default::default()
         });
+        let true_landmarks = world.landmarks().to_vec();
+        Ok(Box::new(EkfSlamInstance {
+            ekf,
+            log,
+            true_landmarks,
+            profiler: Profiler::timed(),
+            pose_error_sum: 0.0,
+            index: 0,
+        }))
+    }
+}
 
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = ekf.run(&log, Some(world.landmarks()), &mut profiler, session.sink());
-        let roi_seconds = roi.exit().as_secs_f64();
+/// Stepped lifecycle state for `02.ekfslam`: each step runs one EKF
+/// predict/update cycle over one drive step's observations.
+struct EkfSlamInstance {
+    ekf: EkfSlam,
+    log: Vec<SlamStep>,
+    true_landmarks: Vec<Point2>,
+    profiler: Profiler,
+    pose_error_sum: f64,
+    index: usize,
+}
 
+impl KernelInstance for EkfSlamInstance {
+    fn step(&mut self, trace: &mut dyn MemTrace) -> Result<StepStatus, KernelError> {
+        if self.index >= self.log.len() {
+            return Ok(StepStatus::Done);
+        }
+        self.pose_error_sum += self
+            .ekf
+            // rtr-lint: allow(hot-alloc) -- chain is the legacy dense-covariance branch; the adapter must call the same entry point as the monolithic run (bit-identity), and the dense mode's per-step allocation is the kernel's own measured behavior
+            .process_step(&self.log[self.index], &mut self.profiler, trace);
+        self.index += 1;
+        Ok(if self.index < self.log.len() {
+            StepStatus::Running
+        } else {
+            StepStatus::Done
+        })
+    }
+
+    fn finish(
+        self: Box<Self>,
+        roi_seconds: f64,
+        session: TraceSession,
+    ) -> Result<KernelReport, KernelError> {
+        let result = self
+            .ekf
+            .result(Some(&self.true_landmarks), self.pose_error_sum, self.index);
         Ok(report(
-            self.name(),
-            self.stage(),
-            profiler,
+            "02.ekfslam",
+            Stage::Perception,
+            self.profiler,
             roi_seconds,
             vec![
                 (
@@ -274,7 +358,7 @@ impl Kernel for SrecKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let points = args.get_usize("points", 40_000)?;
         let iterations = args.get_usize("iterations", 30)?;
         let seed = args.get_u64("seed", 6)?;
@@ -286,17 +370,59 @@ impl Kernel for SrecKernel {
         let scan2 = scene::scan_from(&room, &motion, 0.5, 0.002, &mut rng);
 
         let mut profiler = Profiler::timed();
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = Icp::new(IcpConfig {
+        let mut icp = Icp::new(IcpConfig {
             max_iterations: iterations,
             threads: super::threads_arg(args)?,
             simd: super::simd_arg(args)?,
             ..Default::default()
-        })
-        .align(&scan2, &scan1, &mut profiler, session.sink());
-        let roi_seconds = roi.exit().as_secs_f64();
+        });
+        let run = icp.begin(&scan2, &scan1, &mut profiler);
+        Ok(Box::new(SrecInstance {
+            icp,
+            run,
+            scan1,
+            scan2,
+            profiler,
+        }))
+    }
+}
 
+/// Stepped lifecycle state for `03.srec`: each step is one ICP iteration
+/// (correspondence search + Horn transform update). The target k-d tree
+/// is built at instantiation, before the region of interest.
+struct SrecInstance {
+    icp: Icp,
+    run: IcpRun,
+    /// Target scan (the tree's source).
+    scan1: PointCloud,
+    /// Source scan aligned onto the target.
+    scan2: PointCloud,
+    profiler: Profiler,
+}
+
+impl KernelInstance for SrecInstance {
+    fn step(&mut self, trace: &mut dyn MemTrace) -> Result<StepStatus, KernelError> {
+        // rtr-lint: allow(hot-alloc) -- best_rigid_transform's per-iteration correspondence collect is the ICP kernel's own measured behavior; the stepped adapter must stay bit-identical to the monolithic run
+        let more = self.icp.iterate(
+            &mut self.run,
+            &self.scan2,
+            &self.scan1,
+            &mut self.profiler,
+            trace,
+        );
+        Ok(if more {
+            StepStatus::Running
+        } else {
+            StepStatus::Done
+        })
+    }
+
+    fn finish(
+        mut self: Box<Self>,
+        roi_seconds: f64,
+        session: TraceSession,
+    ) -> Result<KernelReport, KernelError> {
+        let result = self.icp.finish_run(&mut self.run, &self.scan2);
         let metrics = vec![
             (
                 "error before (m)".into(),
@@ -310,9 +436,9 @@ impl Kernel for SrecKernel {
             ("NN queries".into(), result.nn_queries.to_string()),
         ];
         Ok(report(
-            self.name(),
-            self.stage(),
-            profiler,
+            "03.srec",
+            Stage::Perception,
+            self.profiler,
             roi_seconds,
             metrics,
             session,

@@ -7,8 +7,11 @@ use rtr_planning::{
     Pp3d, Pp3dConfig, Prm, PrmConfig, Rrt, RrtConfig, RrtPp, RrtStar, SymbolicPlanner,
 };
 
-use super::report;
-use crate::{Kernel, KernelError, KernelReport, Stage};
+use rtr_planning::RrtStarRun;
+use rtr_trace::MemTrace;
+
+use super::{report, OneShotInstance};
+use crate::{Kernel, KernelError, KernelInstance, KernelReport, Stage, StepStatus, TraceSession};
 
 /// Parses the paper's `--map` option (`map-f` or `map-c`) into an arm
 /// problem.
@@ -111,7 +114,7 @@ impl Kernel for Pp2dKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let size = args.get_usize("size", 512)?.max(64);
         let weight = args.get_f64("weight", 1.0)?;
         let seed = args.get_u64("seed", 3)?;
@@ -153,30 +156,24 @@ impl Kernel for Pp2dKernel {
             weight,
             ..Pp2dConfig::car(start, goal)
         };
-        let mut profiler = Profiler::timed();
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = Pp2d::new(config)
-            .plan(&map, &mut profiler, session.sink())
-            .ok_or(KernelError::Unsolvable("pp2d goal unreachable"))?;
-        let roi_seconds = roi.exit().as_secs_f64();
-
-        let metrics = vec![
-            ("path cost (m)".into(), format!("{:.1}", result.cost)),
-            ("expanded".into(), result.expanded.to_string()),
-            (
-                "collision checks".into(),
-                result.collision_checks.to_string(),
-            ),
-            ("cells probed".into(), result.cells_probed.to_string()),
-        ];
-        Ok(report(
+        Ok(OneShotInstance::boxed(
             self.name(),
             self.stage(),
-            profiler,
-            roi_seconds,
-            metrics,
-            session,
+            Profiler::timed(),
+            move |profiler, trace| {
+                let result = Pp2d::new(config)
+                    .plan(&map, profiler, trace)
+                    .ok_or(KernelError::Unsolvable("pp2d goal unreachable"))?;
+                Ok(vec![
+                    ("path cost (m)".into(), format!("{:.1}", result.cost)),
+                    ("expanded".into(), result.expanded.to_string()),
+                    (
+                        "collision checks".into(),
+                        result.collision_checks.to_string(),
+                    ),
+                    ("cells probed".into(), result.cells_probed.to_string()),
+                ])
+            },
         ))
     }
 }
@@ -221,7 +218,7 @@ impl Kernel for Pp3dKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let size = args.get_usize("size", 128)?.max(16);
         let height = args.get_usize("height", 16)?.max(4);
         let weight = args.get_f64("weight", 1.0)?;
@@ -234,30 +231,24 @@ impl Kernel for Pp3dKernel {
             goal: (size - 2, size - 2, cruise),
             weight,
         };
-        let mut profiler = Profiler::timed();
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = Pp3d::new(config)
-            .plan(&map, &mut profiler, session.sink())
-            .ok_or(KernelError::Unsolvable("pp3d goal unreachable"))?;
-        let roi_seconds = roi.exit().as_secs_f64();
-
-        let metrics = vec![
-            ("path cost (m)".into(), format!("{:.1}", result.cost)),
-            ("expanded".into(), result.expanded.to_string()),
-            ("generated".into(), result.generated.to_string()),
-            (
-                "collision checks".into(),
-                result.collision_checks.to_string(),
-            ),
-        ];
-        Ok(report(
+        Ok(OneShotInstance::boxed(
             self.name(),
             self.stage(),
-            profiler,
-            roi_seconds,
-            metrics,
-            session,
+            Profiler::timed(),
+            move |profiler, trace| {
+                let result = Pp3d::new(config)
+                    .plan(&map, profiler, trace)
+                    .ok_or(KernelError::Unsolvable("pp3d goal unreachable"))?;
+                Ok(vec![
+                    ("path cost (m)".into(), format!("{:.1}", result.cost)),
+                    ("expanded".into(), result.expanded.to_string()),
+                    ("generated".into(), result.generated.to_string()),
+                    (
+                        "collision checks".into(),
+                        result.collision_checks.to_string(),
+                    ),
+                ])
+            },
         ))
     }
 }
@@ -303,37 +294,32 @@ impl Kernel for MovtarKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let size = args.get_usize("size", 96)?.max(8);
         let horizon = args.get_usize("horizon", size * 2)?;
         let epsilon = args.get_f64("epsilon", 2.0)?.max(1.0);
         let seed = args.get_u64("seed", 3)?;
 
         let (field, start, trajectory) = movtar::synthetic_scenario(size, horizon, seed);
-        let mut profiler = Profiler::timed();
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = MovingTarget::new(MovtarConfig {
-            start,
-            target_trajectory: trajectory,
-            epsilon,
-        })
-        .plan(&field, &mut profiler, session.sink())
-        .ok_or(KernelError::Unsolvable("target escaped the horizon"))?;
-        let roi_seconds = roi.exit().as_secs_f64();
-
-        Ok(report(
+        Ok(OneShotInstance::boxed(
             self.name(),
             self.stage(),
-            profiler,
-            roi_seconds,
-            vec![
-                ("catch time (steps)".into(), result.catch_time.to_string()),
-                ("path cost".into(), format!("{:.1}", result.cost)),
-                ("expanded".into(), result.expanded.to_string()),
-                ("heuristic cells".into(), result.heuristic_cells.to_string()),
-            ],
-            session,
+            Profiler::timed(),
+            move |profiler, trace| {
+                let result = MovingTarget::new(MovtarConfig {
+                    start,
+                    target_trajectory: trajectory,
+                    epsilon,
+                })
+                .plan(&field, profiler, trace)
+                .ok_or(KernelError::Unsolvable("target escaped the horizon"))?;
+                Ok(vec![
+                    ("catch time (steps)".into(), result.catch_time.to_string()),
+                    ("path cost".into(), format!("{:.1}", result.cost)),
+                    ("expanded".into(), result.expanded.to_string()),
+                    ("heuristic cells".into(), result.heuristic_cells.to_string()),
+                ])
+            },
         ))
     }
 }
@@ -383,7 +369,7 @@ impl Kernel for PrmKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let problem = arm_problem(args)?;
         let config = PrmConfig {
             roadmap_size: args.get_usize("roadmap", 1200)?,
@@ -392,28 +378,26 @@ impl Kernel for PrmKernel {
             kdtree_build: args.get_flag("kdtree"),
             threads: super::threads_arg(args)?,
         };
+        // The offline roadmap construction runs at instantiation, outside
+        // the region of interest — only the online query is measured.
         let mut profiler = Profiler::timed();
         let prm = Prm::new(config);
         let roadmap = prm.build(&problem, &mut profiler);
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = prm
-            .query(&problem, &roadmap, &mut profiler, session.sink())
-            .ok_or(KernelError::Unsolvable("roadmap too sparse for query"))?;
-        let roi_seconds = roi.exit().as_secs_f64();
-
-        Ok(report(
+        Ok(OneShotInstance::boxed(
             self.name(),
             self.stage(),
             profiler,
-            roi_seconds,
-            vec![
-                ("path cost (rad)".into(), format!("{:.2}", result.cost)),
-                ("roadmap edges".into(), roadmap.edge_count.to_string()),
-                ("online expanded".into(), result.expanded.to_string()),
-                ("L2 evals".into(), result.l2_evals.to_string()),
-            ],
-            session,
+            move |profiler, trace| {
+                let result = prm
+                    .query(&problem, &roadmap, profiler, trace)
+                    .ok_or(KernelError::Unsolvable("roadmap too sparse for query"))?;
+                Ok(vec![
+                    ("path cost (rad)".into(), format!("{:.2}", result.cost)),
+                    ("roadmap edges".into(), roadmap.edge_count.to_string()),
+                    ("online expanded".into(), result.expanded.to_string()),
+                    ("L2 evals".into(), result.l2_evals.to_string()),
+                ])
+            },
         ))
     }
 }
@@ -439,34 +423,28 @@ impl Kernel for RrtKernel {
         arm_options()
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let problem = arm_problem(args)?;
         let config = rrt_config(args, 50_000)?;
-        let mut profiler = Profiler::timed();
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = Rrt::new(config)
-            .plan(&problem, &mut profiler, session.sink())
-            .ok_or(KernelError::Unsolvable("rrt exhausted its samples"))?;
-        let roi_seconds = roi.exit().as_secs_f64();
-
-        let metrics = vec![
-            ("path cost (rad)".into(), format!("{:.2}", result.cost)),
-            ("samples".into(), result.samples.to_string()),
-            ("tree size".into(), result.tree_size.to_string()),
-            ("NN queries".into(), result.nn_queries.to_string()),
-            (
-                "collision checks".into(),
-                result.collision_checks.to_string(),
-            ),
-        ];
-        Ok(report(
+        Ok(OneShotInstance::boxed(
             self.name(),
             self.stage(),
-            profiler,
-            roi_seconds,
-            metrics,
-            session,
+            Profiler::timed(),
+            move |profiler, trace| {
+                let result = Rrt::new(config)
+                    .plan(&problem, profiler, trace)
+                    .ok_or(KernelError::Unsolvable("rrt exhausted its samples"))?;
+                Ok(vec![
+                    ("path cost (rad)".into(), format!("{:.2}", result.cost)),
+                    ("samples".into(), result.samples.to_string()),
+                    ("tree size".into(), result.tree_size.to_string()),
+                    ("NN queries".into(), result.nn_queries.to_string()),
+                    (
+                        "collision checks".into(),
+                        result.collision_checks.to_string(),
+                    ),
+                ])
+            },
         ))
     }
 }
@@ -492,17 +470,55 @@ impl Kernel for RrtStarKernel {
         arm_options()
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let problem = arm_problem(args)?;
         let config = rrt_config(args, 8_000)?;
-        let mut profiler = Profiler::timed();
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = RrtStar::new(config)
-            .plan(&problem, &mut profiler, session.sink())
-            .ok_or(KernelError::Unsolvable("rrtstar never connected the goal"))?;
-        let roi_seconds = roi.exit().as_secs_f64();
+        let star = RrtStar::new(config);
+        let run = star.begin(&problem);
+        Ok(Box::new(RrtStarInstance {
+            star,
+            run: Some(run),
+            problem,
+            profiler: Profiler::timed(),
+        }))
+    }
+}
 
+/// Stepped lifecycle state for `09.rrtstar`: each step draws one sample
+/// and runs the full extend/parent-choice/rewire iteration. The search
+/// is anytime — an external driver may stop stepping early and still
+/// harvest the best plan found so far.
+struct RrtStarInstance {
+    star: RrtStar,
+    run: Option<RrtStarRun>,
+    problem: ArmProblem,
+    profiler: Profiler,
+}
+
+impl KernelInstance for RrtStarInstance {
+    fn step(&mut self, trace: &mut dyn MemTrace) -> Result<StepStatus, KernelError> {
+        let run = self.run.as_mut().expect("step called after finish");
+        let more = self
+            .star
+            // rtr-lint: allow(hot-alloc) -- rewiring's cost propagation snapshots the children list per accepted sample; tree growth is the RRT* kernel's own measured behavior
+            .sample_step(run, &self.problem, &mut self.profiler, trace);
+        Ok(if more {
+            StepStatus::Running
+        } else {
+            StepStatus::Done
+        })
+    }
+
+    fn finish(
+        mut self: Box<Self>,
+        roi_seconds: f64,
+        session: TraceSession,
+    ) -> Result<KernelReport, KernelError> {
+        let run = self.run.take().expect("finish called twice");
+        let result = self
+            .star
+            .finish_plan(run, &self.problem)
+            .ok_or(KernelError::Unsolvable("rrtstar never connected the goal"))?;
         let metrics = vec![
             ("path cost (rad)".into(), format!("{:.2}", result.base.cost)),
             ("tree size".into(), result.base.tree_size.to_string()),
@@ -514,9 +530,9 @@ impl Kernel for RrtStarKernel {
             ("NN queries".into(), result.base.nn_queries.to_string()),
         ];
         Ok(report(
-            self.name(),
-            self.stage(),
-            profiler,
+            "09.rrtstar",
+            Stage::Planning,
+            self.profiler,
             roi_seconds,
             metrics,
             session,
@@ -550,71 +566,61 @@ impl Kernel for RrtPpKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let problem = arm_problem(args)?;
         let config = rrt_config(args, 50_000)?;
         let passes = args.get_usize("passes", 6)? as u32;
-        let mut profiler = Profiler::timed();
-        let mut session = crate::TraceSession::from_args(args)?;
-        let roi = rtr_harness::Roi::enter(self.name());
-        let result = RrtPp::new(config, passes)
-            .plan(&problem, &mut profiler, session.sink())
-            .ok_or(KernelError::Unsolvable("rrt exhausted its samples"))?;
-        let roi_seconds = roi.exit().as_secs_f64();
-
-        let metrics = vec![
-            ("raw cost (rad)".into(), format!("{:.2}", result.raw_cost)),
-            (
-                "final cost (rad)".into(),
-                format!("{:.2}", result.base.cost),
-            ),
-            ("shortcuts".into(), result.shortcuts.to_string()),
-            ("passes".into(), result.passes.to_string()),
-        ];
-        Ok(report(
+        Ok(OneShotInstance::boxed(
             self.name(),
             self.stage(),
-            profiler,
-            roi_seconds,
-            metrics,
-            session,
+            Profiler::timed(),
+            move |profiler, trace| {
+                let result = RrtPp::new(config, passes)
+                    .plan(&problem, profiler, trace)
+                    .ok_or(KernelError::Unsolvable("rrt exhausted its samples"))?;
+                Ok(vec![
+                    ("raw cost (rad)".into(), format!("{:.2}", result.raw_cost)),
+                    (
+                        "final cost (rad)".into(),
+                        format!("{:.2}", result.base.cost),
+                    ),
+                    ("shortcuts".into(), result.shortcuts.to_string()),
+                    ("passes".into(), result.passes.to_string()),
+                ])
+            },
         ))
     }
 }
 
-/// Shared implementation for the two symbolic kernels.
-fn run_symbolic(
+/// Shared stepped adapter for the two symbolic kernels: the whole graph
+/// search is one indivisible step, so both ride [`OneShotInstance`].
+fn symbolic_instance(
     kernel: &'static str,
     stage: Stage,
     domain: rtr_planning::Domain,
     args: &Args,
-) -> Result<KernelReport, KernelError> {
+) -> Result<Box<dyn KernelInstance>, KernelError> {
     let weight = args.get_f64("weight", 1.0)?;
-    let mut profiler = Profiler::timed();
-    let mut session = crate::TraceSession::from_args(args)?;
-    let roi = rtr_harness::Roi::enter(kernel);
-    let plan = SymbolicPlanner::new(weight)
-        .solve(&domain, &mut profiler, session.sink())
-        .ok_or(KernelError::Unsolvable("no symbolic plan exists"))?;
-    let roi_seconds = roi.exit().as_secs_f64();
-    let valid = domain.validate_plan(&plan.actions);
-
-    Ok(report(
+    Ok(OneShotInstance::boxed(
         kernel,
         stage,
-        profiler,
-        roi_seconds,
-        vec![
-            ("plan length".into(), plan.actions.len().to_string()),
-            ("plan valid".into(), valid.to_string()),
-            ("expanded".into(), plan.expanded.to_string()),
-            (
-                "mean branching".into(),
-                format!("{:.2}", plan.mean_branching),
-            ),
-            ("ground actions".into(), plan.ground_actions.to_string()),
-        ],
-        session,
+        Profiler::timed(),
+        move |profiler, trace| {
+            let plan = SymbolicPlanner::new(weight)
+                .solve(&domain, profiler, trace)
+                .ok_or(KernelError::Unsolvable("no symbolic plan exists"))?;
+            let valid = domain.validate_plan(&plan.actions);
+            Ok(vec![
+                ("plan length".into(), plan.actions.len().to_string()),
+                ("plan valid".into(), valid.to_string()),
+                ("expanded".into(), plan.expanded.to_string()),
+                (
+                    "mean branching".into(),
+                    format!("{:.2}", plan.mean_branching),
+                ),
+                ("ground actions".into(), plan.ground_actions.to_string()),
+            ])
+        },
     ))
 }
 
@@ -650,9 +656,9 @@ impl Kernel for SymBlkwKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
         let blocks = args.get_usize("blocks", 6)?.max(1);
-        run_symbolic(self.name(), self.stage(), blocks_world(blocks), args)
+        symbolic_instance(self.name(), self.stage(), blocks_world(blocks), args)
     }
 }
 
@@ -682,7 +688,7 @@ impl Kernel for SymFextKernel {
         options
     }
 
-    fn run(&self, args: &Args) -> Result<KernelReport, KernelError> {
-        run_symbolic(self.name(), self.stage(), firefight(), args)
+    fn instantiate(&self, args: &Args) -> Result<Box<dyn KernelInstance>, KernelError> {
+        symbolic_instance(self.name(), self.stage(), firefight(), args)
     }
 }

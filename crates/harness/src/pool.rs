@@ -139,6 +139,37 @@ impl Pool {
         }
     }
 
+    /// [`Pool::par_map`] into a caller-owned buffer: `out` is cleared,
+    /// resized to `items.len()` with `U::default()` placeholders, and
+    /// every slot is overwritten with `f(index, &item)`.
+    ///
+    /// Outputs are element-for-element identical to [`Pool::par_map`]
+    /// (same `f`, same order), but the buffer is reused across calls, so
+    /// a steady-state caller that keeps `out` alive allocates nothing
+    /// once the buffer has grown to its high-water length — the workspace
+    /// convention the stepped kernel instances rely on.
+    pub fn par_map_into<T, U, F>(&self, items: &[T], out: &mut Vec<U>, f: F)
+    where
+        T: Sync,
+        U: Send + Default,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        out.clear();
+        out.resize_with(items.len(), U::default);
+        if self.threads == 1 || items.len() <= 1 {
+            for (i, (slot, item)) in out.iter_mut().zip(items).enumerate() {
+                *slot = f(i, item);
+            }
+            return;
+        }
+        self.par_chunks_mut(out, |_, start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let i = start + off;
+                *slot = f(i, &items[i]);
+            }
+        });
+    }
+
     /// Runs `f` over disjoint mutable chunks of `data` in parallel.
     ///
     /// The decomposition comes from [`chunk_boundaries`]`(data.len(),
@@ -229,6 +260,26 @@ mod tests {
         assert_eq!(pool.par_map(&[] as &[i32], |_, x| *x), Vec::<i32>::new());
         assert_eq!(pool.par_map(&[5], |i, x| x + i as i32), vec![5]);
         assert_eq!(pool.par_map(&[1, 2], |_, x| x * 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn par_map_into_matches_par_map_and_reuses_the_buffer() {
+        let items: Vec<f64> = (0..257).map(|i| (i as f64).cos()).collect();
+        for threads in [1usize, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            let reference = pool.par_map(&items, |i, x| x * 2.0 - i as f64);
+            let mut out = Vec::new();
+            pool.par_map_into(&items, &mut out, |i, x| x * 2.0 - i as f64);
+            assert_eq!(out, reference, "threads = {threads}");
+            let cap = out.capacity();
+            pool.par_map_into(&items, &mut out, |i, x| x * 2.0 - i as f64);
+            assert_eq!(out.capacity(), cap, "steady state must not regrow");
+            assert_eq!(out, reference);
+            // Shrinking inputs reuse the same buffer.
+            pool.par_map_into(&items[..3], &mut out, |i, x| x * 2.0 - i as f64);
+            assert_eq!(out.len(), 3);
+            assert_eq!(out.capacity(), cap);
+        }
     }
 
     #[test]

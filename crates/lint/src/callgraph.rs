@@ -18,8 +18,12 @@ use std::collections::BTreeMap;
 /// Std/prelude method names that never resolve into the workspace:
 /// resolving `.len()` or `.clone()` by name alone would wire unrelated
 /// types together and poison the transitive facts.
-const COMMON_METHODS: [&str; 54] = [
+const COMMON_METHODS: [&str; 55] = [
     "abs",
+    // `add` collides across the workspace itself (Profiler::add,
+    // Tree::add) besides std's ops::Add; name-only resolution would wire
+    // the profiler's publish path to the RRT tree.
+    "add",
     "as_bytes",
     "as_mut",
     "as_ref",

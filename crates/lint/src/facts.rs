@@ -38,6 +38,33 @@ pub enum Origin {
 /// One fact lattice: `Some(origin)` iff the fn holds the fact.
 pub type Fact = Vec<Option<Origin>>;
 
+/// A structural barrier: fns matching one of these never *hold* the
+/// fact — their body tokens are not seeded and the fixpoint never
+/// assigns them an inherited origin, so nothing propagates through them
+/// to callers. Barriers express "this fn's needle hits are machinery,
+/// not steady-state work": the thread-pool fan-out that clones a range
+/// and collects join handles once per parallel region, or the profiler
+/// types that *are* the sanctioned timing channel. A barrier masks the
+/// whole fn, including any genuinely-hot callees below it, so keep the
+/// list short and the match as specific as possible.
+pub struct Barrier {
+    /// Workspace crate the fn must live in (`crate_of` name).
+    pub krate: &'static str,
+    /// Required `impl` type, or `None` to match free fns and any impl.
+    pub impl_type: Option<&'static str>,
+    /// Required fn name, or `None` to match every fn of the impl.
+    pub name: Option<&'static str>,
+}
+
+impl Barrier {
+    /// Does this barrier cover `info` (a fn in crate `krate`)?
+    fn matches(&self, krate: &str, impl_type: Option<&str>, name: &str) -> bool {
+        self.krate == krate
+            && self.impl_type.is_none_or(|t| impl_type == Some(t))
+            && self.name.is_none_or(|n| name == n)
+    }
+}
+
 /// Needle lists seeding each fact; kept as parameters so the rule layer
 /// owns the single source of truth for token patterns.
 pub struct Seeds<'a> {
@@ -47,6 +74,10 @@ pub struct Seeds<'a> {
     pub clock: &'a [&'static str],
     /// Token patterns seeding the `touches-nondet-iter` fact.
     pub nondet: &'a [&'static str],
+    /// Structural barriers for the `allocates` fact.
+    pub alloc_barriers: &'a [Barrier],
+    /// Structural barriers for the `reads-clock` fact.
+    pub clock_barriers: &'a [Barrier],
 }
 
 /// The computed transitive facts for every workspace fn.
@@ -63,19 +94,39 @@ impl Facts {
     /// Computes all three facts over the resolved call graph.
     pub fn compute(index: &WorkspaceIndex, graph: &CallGraph, seeds: &Seeds) -> Facts {
         Facts {
-            allocates: propagate(index, graph, seeds.alloc),
-            reads_clock: propagate(index, graph, seeds.clock),
-            nondet_iter: propagate(index, graph, seeds.nondet),
+            allocates: propagate(index, graph, seeds.alloc, seeds.alloc_barriers),
+            reads_clock: propagate(index, graph, seeds.clock, seeds.clock_barriers),
+            nondet_iter: propagate(index, graph, seeds.nondet, &[]),
         }
     }
 }
 
 /// Seeds one fact from body tokens, then iterates the edge list to a
 /// fixpoint. Facts only ever flip `None` → `Some` and the edge order is
-/// fixed, so the result (including witnesses) is deterministic.
-fn propagate(index: &WorkspaceIndex, graph: &CallGraph, needles: &[&'static str]) -> Fact {
+/// fixed, so the result (including witnesses) is deterministic. Fns
+/// covered by a [`Barrier`] are held at `None` throughout: not seeded,
+/// never assigned by the fixpoint, hence opaque to their callers.
+fn propagate(
+    index: &WorkspaceIndex,
+    graph: &CallGraph,
+    needles: &[&'static str],
+    barriers: &[Barrier],
+) -> Fact {
+    let barred: Vec<bool> = index
+        .fns
+        .iter()
+        .map(|info| {
+            let krate = index.files[info.file].krate.as_str();
+            barriers
+                .iter()
+                .any(|b| b.matches(krate, info.impl_type.as_deref(), &info.name))
+        })
+        .collect();
     let mut fact: Fact = vec![None; index.fns.len()];
     for (id, info) in index.fns.iter().enumerate() {
+        if barred[id] {
+            continue;
+        }
         let body = &index.files[info.file].scrubbed.text[info.body_start..info.span.end];
         let mut best: Option<(usize, &'static str)> = None;
         for needle in needles {
@@ -93,7 +144,7 @@ fn propagate(index: &WorkspaceIndex, graph: &CallGraph, needles: &[&'static str]
     loop {
         let mut changed = false;
         for edge in &graph.edges {
-            if fact[edge.caller].is_none() && fact[edge.callee].is_some() {
+            if !barred[edge.caller] && fact[edge.caller].is_none() && fact[edge.callee].is_some() {
                 let site = &index.calls[edge.caller][edge.site];
                 fact[edge.caller] = Some(Origin::Via {
                     site_offset: site.offset,
@@ -153,16 +204,22 @@ mod tests {
     const CLOCK: [&str; 2] = ["Instant::now", "SystemTime"];
     const NONDET: [&str; 2] = ["HashMap", "HashSet"];
 
-    fn facts_for(src: &str) -> (WorkspaceIndex, Facts) {
+    fn facts_with_barriers(src: &str, alloc_barriers: &[Barrier]) -> (WorkspaceIndex, Facts) {
         let idx = WorkspaceIndex::build(vec![FileAnalysis::new("crates/geom/src/x.rs", src)]);
         let graph = CallGraph::build(&idx);
         let seeds = Seeds {
             alloc: &ALLOC,
             clock: &CLOCK,
             nondet: &NONDET,
+            alloc_barriers,
+            clock_barriers: &[],
         };
         let facts = Facts::compute(&idx, &graph, &seeds);
         (idx, facts)
+    }
+
+    fn facts_for(src: &str) -> (WorkspaceIndex, Facts) {
+        facts_with_barriers(src, &[])
     }
     use crate::callgraph::CallGraph;
 
@@ -194,6 +251,48 @@ mod tests {
         let (idx, facts) = facts_for(src);
         let a = idx.fns.iter().position(|f| f.name == "a").unwrap();
         assert_eq!(chain(&idx, &facts.allocates, a), ["a", "b", "vec"]);
+    }
+
+    #[test]
+    fn barred_fns_never_hold_or_propagate_the_fact() {
+        let src = "impl Pool {\n  fn fan_out(&self) { self.spawn_all(); }\n}\nimpl Pool {\n  fn spawn_all(&self) { let h = self.handles.clone(); }\n}\n";
+        let (idx, plain) = facts_with_barriers(src, &[]);
+        let fan_out = idx.fns.iter().position(|f| f.name == "fan_out").unwrap();
+        let spawn_all = idx.fns.iter().position(|f| f.name == "spawn_all").unwrap();
+        assert!(plain.allocates[fan_out].is_some());
+        assert!(plain.allocates[spawn_all].is_some());
+
+        let barrier = [Barrier {
+            krate: "geom",
+            impl_type: Some("Pool"),
+            name: Some("spawn_all"),
+        }];
+        let (idx, barred) = facts_with_barriers(src, &barrier);
+        let fan_out = idx.fns.iter().position(|f| f.name == "fan_out").unwrap();
+        let spawn_all = idx.fns.iter().position(|f| f.name == "spawn_all").unwrap();
+        assert!(barred.allocates[spawn_all].is_none(), "seeding masked");
+        assert!(barred.allocates[fan_out].is_none(), "nothing to inherit");
+    }
+
+    #[test]
+    fn barriers_match_crate_impl_and_name_exactly() {
+        let b = Barrier {
+            krate: "harness",
+            impl_type: Some("Pool"),
+            name: Some("par_chunks_mut"),
+        };
+        assert!(b.matches("harness", Some("Pool"), "par_chunks_mut"));
+        assert!(!b.matches("geom", Some("Pool"), "par_chunks_mut"));
+        assert!(!b.matches("harness", None, "par_chunks_mut"));
+        assert!(!b.matches("harness", Some("Pool"), "par_map"));
+        let whole_impl = Barrier {
+            krate: "harness",
+            impl_type: Some("Profiler"),
+            name: None,
+        };
+        assert!(whole_impl.matches("harness", Some("Profiler"), "hot_start"));
+        assert!(whole_impl.matches("harness", Some("Profiler"), "span"));
+        assert!(!whole_impl.matches("harness", Some("Roi"), "enter"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! |------------------|-----------------------------------------------|
 //! | `nondet-iter`    | kernel outputs never depend on hash iteration |
 //! | `wall-clock`     | kernels never read the wall clock directly; collector `consume_batch` callbacks never do, even in the measurement crates |
-//! | `hot-alloc`      | `*_into` / `process_batch` / `flush` / ring-producer (`push`/`push_batch`/`publish`) / `*Scratch` steady state is heap-free |
+//! | `hot-alloc`      | `*_into` / `process_batch` / `flush` / ring-producer (`push`/`push_batch`/`publish`) / `*Scratch` / `step` on `*Instance`/`*State` steady state is heap-free |
 //! | `unsafe-hygiene` | crate roots forbid `unsafe`; opt-outs justify |
 //! | `par-rng`        | parallel closures derive RNG via `chunk_seed` |
 //! | `layering`       | kernel-layer code never names the cache simulator |
@@ -15,10 +15,11 @@
 //!
 //! Rules are scoped by crate (see [`crate_of`]): `nondet-iter` guards the
 //! kernel crates, `wall-clock` everything except the measurement crates
-//! (`harness`, `bench`, and `lint` itself, which times its own pass) —
-//! where only `consume_batch` spans are scanned — `layering` the
-//! algorithm crates plus the adapter subtree in `core` (see
-//! [`is_layered`]), the rest the whole workspace.
+//! (`harness`, `bench`, `scenario` — which times its pipeline stages —
+//! and `lint` itself, which times its own pass) — where only
+//! `consume_batch` spans are scanned — `layering` the algorithm crates
+//! plus the adapter subtree in `core` (see [`is_layered`]), the rest the
+//! whole workspace.
 //!
 //! `hot-alloc` and `wall-clock` additionally fire *transitively*: a hot
 //! entry point whose resolved callees allocate or read the clock is a
@@ -28,24 +29,43 @@
 //! wrapping it in a single-file workspace.
 
 use crate::callgraph::CallGraph;
-use crate::facts::{chain, Facts, Seeds};
+use crate::facts::{chain, Barrier, Facts, Seeds};
 use crate::index::{FileAnalysis, FnId, WorkspaceIndex};
 use crate::lexer::{line_of, matching_delim, token_positions, Span};
 use crate::report::Finding;
 
 /// Crates whose outputs are benchmark kernel results: hash-iteration
 /// order must never reach them (ROADMAP determinism contract).
-pub const KERNEL_CRATES: [&str; 6] = ["control", "core", "geom", "perception", "planning", "sim"];
+/// `scenario` is here because its golden replay is the same contract at
+/// closed-loop scale: byte-identical at any thread count.
+pub const KERNEL_CRATES: [&str; 7] = [
+    "control",
+    "core",
+    "geom",
+    "perception",
+    "planning",
+    "scenario",
+    "sim",
+];
 
 /// Crates that own measurement: the only places wall-clock reads live.
 /// `lint` is here because `rtr-lint` times its own workspace pass and
-/// reports the wall time in `LINT_report.json`.
-pub const CLOCK_CRATES: [&str; 3] = ["bench", "harness", "lint"];
+/// reports the wall time in `LINT_report.json`; `scenario` because the
+/// closed-loop runner times its pipeline stages at the harness layer
+/// (per-tick latencies streamed through the metric channel).
+pub const CLOCK_CRATES: [&str; 4] = ["bench", "harness", "lint", "scenario"];
 
 /// Crates whose algorithm code is generic over the `MemTrace` sink and
 /// must never name the cache simulator directly (PR 5 layering
 /// inversion); `crates/core/src/kernels/` joins them via [`is_layered`].
-pub const LAYERED_CRATES: [&str; 5] = ["control", "geom", "perception", "planning", "sim"];
+pub const LAYERED_CRATES: [&str; 6] = [
+    "control",
+    "geom",
+    "perception",
+    "planning",
+    "scenario",
+    "sim",
+];
 
 /// Crates that may carry `unsafe` code at all — only the SIMD crate's
 /// optional `core::arch` intrinsics backend. Allowlisted crate roots may
@@ -115,6 +135,42 @@ pub const ALLOC_NEEDLES: [&str; 7] = [
 /// Wall-clock reads; these also seed the transitive `reads-clock` fact.
 pub const CLOCK_NEEDLES: [&str; 2] = ["Instant::now", "SystemTime"];
 
+/// Structural barriers for the transitive `allocates` fact.
+/// `Pool::par_chunks_mut` is fan-out machinery: its needle hits (the
+/// chunk-range `.clone()` and the join-handle `.collect()`) run once per
+/// parallel region, not per item, and the per-item work it executes is
+/// the caller's own closure — which the caller's span is scanned for
+/// directly. Without the barrier every `par_map_into` caller would
+/// inherit a phantom "allocates" fact from the scaffolding.
+pub const ALLOC_BARRIERS: [Barrier; 1] = [Barrier {
+    krate: "harness",
+    impl_type: Some("Pool"),
+    name: Some("par_chunks_mut"),
+}];
+
+/// Structural barriers for the transitive `reads-clock` fact: the
+/// harness profiler types *are* the sanctioned timing channel the
+/// wall-clock rule tells kernels to route through, so a hot entry that
+/// calls `Profiler::hot_start`/`HotRegion`/`Roi` must not inherit a
+/// clock fact from them.
+pub const CLOCK_BARRIERS: [Barrier; 3] = [
+    Barrier {
+        krate: "harness",
+        impl_type: Some("Profiler"),
+        name: None,
+    },
+    Barrier {
+        krate: "harness",
+        impl_type: Some("HotRegion"),
+        name: None,
+    },
+    Barrier {
+        krate: "harness",
+        impl_type: Some("Roi"),
+        name: None,
+    },
+];
+
 /// Hash-ordered containers; seed of the `touches-nondet-iter` fact.
 pub const NONDET_NEEDLES: [&str; 2] = ["HashMap", "HashSet"];
 
@@ -176,6 +232,8 @@ pub fn lint_workspace(files: &[(String, String)]) -> Vec<Finding> {
         alloc: &ALLOC_NEEDLES,
         clock: &CLOCK_NEEDLES,
         nondet: &NONDET_NEEDLES,
+        alloc_barriers: &ALLOC_BARRIERS,
+        clock_barriers: &CLOCK_BARRIERS,
     };
     let facts = Facts::compute(&index, &graph, &seeds);
     rule_transitive(&index, &graph, &facts, &mut raw);
@@ -353,10 +411,12 @@ fn rule_wall_clock_consumer(fa: &FileAnalysis, out: &mut Vec<Finding>) {
 /// a `process_batch`/`flush` function (the batched trace transport: one
 /// of these runs per buffer flush on every traced access stream), a
 /// ring-producer entry point in `crates/trace` ([`RING_HOT_FNS`]: the
-/// telemetry publish path runs on the kernel's hot thread), or a
-/// `*Scratch` impl. Constructors (`fn new`, `fn default`, `fn with_*`)
-/// inside Scratch impls are exempt: warmup may allocate, steady state may
-/// not (ROADMAP workspace convention).
+/// telemetry publish path runs on the kernel's hot thread), a
+/// `*Scratch` impl, or a `step` fn on a `*Instance`/`*State` impl (the
+/// stepped kernel lifecycle: `step` is the per-tick hot path; the
+/// `instantiate`/`finish` ends may allocate). Constructors (`fn new`,
+/// `fn default`, `fn with_*`) inside Scratch impls are exempt: warmup
+/// may allocate, steady state may not (ROADMAP workspace convention).
 fn rule_hot_alloc(fa: &FileAnalysis, out: &mut Vec<Finding>) {
     let text = &fa.scrubbed.text;
     // In the SIMD crate the lane-kernel entry points (and their
@@ -394,6 +454,22 @@ fn rule_hot_alloc(fa: &FileAnalysis, out: &mut Vec<Finding>) {
         }
         hot.push(imp.span);
     }
+    // Stepped-lifecycle impls: only the `step` fn joins the hot set —
+    // `instantiate` allocates the instance and `finish` builds the
+    // report, both off the per-tick path.
+    for imp in fa.impls.iter().filter(|imp| {
+        imp.header
+            .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .any(|word| !word.is_empty() && (word.ends_with("Instance") || word.ends_with("State")))
+    }) {
+        for f in fa
+            .fns
+            .iter()
+            .filter(|f| f.name == "step" && imp.span.contains(f.span.start))
+        {
+            hot.push(f.span);
+        }
+    }
 
     for span in &hot {
         let body = &text[span.start..span.end];
@@ -414,8 +490,9 @@ fn rule_hot_alloc(fa: &FileAnalysis, out: &mut Vec<Finding>) {
                     fa,
                     at,
                     format!(
-                        "{needle} inside an allocation-free hot span \
-                         (*_into/process_batch/flush fn or *Scratch impl)"
+                        "{needle} inside an allocation-free hot span (*_into/\
+                         process_batch/flush fn, *Scratch impl, or step fn \
+                         on a *Instance/*State impl)"
                     ),
                 );
             }
@@ -656,7 +733,12 @@ fn is_alloc_hot_entry(index: &WorkspaceIndex, f: FnId) -> bool {
         .as_deref()
         .is_some_and(|t| t.ends_with("Scratch"))
         && !is_ctor(n);
-    name_hot || scratch_hot
+    let step_hot = n == "step"
+        && info
+            .impl_type
+            .as_deref()
+            .is_some_and(|t| t.ends_with("Instance") || t.ends_with("State"));
+    name_hot || scratch_hot || step_hot
 }
 
 /// True when the wall-clock contract applies transitively to `f`. In the
@@ -931,8 +1013,8 @@ fn guard_spans(text: &str, info: &crate::index::FnInfo) -> Vec<Span> {
 pub fn explain(rule: &str) -> Option<&'static str> {
     Some(match rule {
         "nondet-iter" => "nondet-iter: HashMap/HashSet tokens in a kernel crate (control, core, geom, perception, planning, sim). Hash-seed randomization makes iteration order differ run to run, which would leak nondeterminism into benchmark outputs. Use BTreeMap/BTreeSet, or carry `// rtr-lint: allow(nondet-iter) -- <reason>` proving the container is never iterated.",
-        "wall-clock" => "wall-clock: Instant::now/SystemTime outside the measurement crates (bench, harness, lint), and inside consume_batch collector callbacks anywhere. Kernels take timing through the harness profiler hooks. Fires transitively: a hot entry point whose resolved callees read the clock is flagged with the call chain (a_into -> helper -> Instant::now).",
-        "hot-alloc" => "hot-alloc: heap allocation (Vec::new, vec!, .to_vec(), .collect(), Box::new, .clone()) inside a hot span: *_into/process_batch/flush fns, ring-producer fns in crates/trace, lane kernels in crates/simd, and *Scratch impls (constructors new/default/with_* exempt). Fires transitively: a hot entry point whose resolved callees allocate is flagged with the call chain.",
+        "wall-clock" => "wall-clock: Instant::now/SystemTime outside the measurement crates (bench, harness, lint, scenario), and inside consume_batch collector callbacks anywhere. Kernels take timing through the harness profiler hooks. Fires transitively: a hot entry point whose resolved callees read the clock is flagged with the call chain (a_into -> helper -> Instant::now); the harness profiler types themselves are barriers (they are the sanctioned channel).",
+        "hot-alloc" => "hot-alloc: heap allocation (Vec::new, vec!, .to_vec(), .collect(), Box::new, .clone()) inside a hot span: *_into/process_batch/flush fns, ring-producer fns in crates/trace, lane kernels in crates/simd, *Scratch impls (constructors new/default/with_* exempt), and step fns on *Instance/*State impls (the stepped kernel lifecycle's per-tick path; instantiate/finish may allocate). Fires transitively: a hot entry point whose resolved callees allocate is flagged with the call chain. Pool::par_chunks_mut is a barrier: its clones/collects are per-region fan-out scaffolding, not per-item work.",
         "unsafe-hygiene" => "unsafe-hygiene: crate roots must carry #![forbid(unsafe_code)]; any unsafe token outside the allowlist (crates/simd) is a finding outright; allowlisted unsafe blocks need a // SAFETY: comment on the same or preceding line.",
         "par-rng" => "par-rng: inside par_map/par_chunks_mut argument spans, RNG constructors (seed_from, thread_rng, from_entropy) must derive their seed via chunk_seed so parallel runs stay bit-identical at any thread count.",
         "layering" => "layering: the cache simulator (rtr_archsim) named in the simulator-agnostic layer (algorithm crates, their manifests, and crates/core/src/kernels/). Kernel code emits into the MemTrace sink; only crates/core/src/trace.rs wires the simulator up.",
@@ -976,6 +1058,8 @@ mod tests {
         assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
         assert!(lint_source("crates/harness/src/x.rs", src).is_empty());
         assert!(lint_source("crates/lint/src/timing.rs", src).is_empty());
+        // The scenario runner times its pipeline stages directly.
+        assert!(lint_source("crates/scenario/src/runner.rs", src).is_empty());
     }
 
     #[test]
@@ -1227,6 +1311,66 @@ mod tests {
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "hot-alloc");
         assert_eq!(f[0].chain, ["PfScratch::resample", "build", "Vec::new"]);
+    }
+
+    #[test]
+    fn instance_step_fns_are_hot_alloc_spans() {
+        let src = "impl PflInstance {\n  fn instantiate() -> Self { Self { v: Vec::new() } }\n  fn step(&mut self) { self.v = x.to_vec(); }\n  fn finish(self) -> Vec<f64> { self.v.clone() }\n}\n";
+        let f = kernel(src);
+        assert_eq!(f.len(), 1, "only the step body: {f:?}");
+        assert_eq!(f[0].rule, "hot-alloc");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains(".to_vec()"));
+    }
+
+    #[test]
+    fn state_step_fns_are_hot_alloc_spans() {
+        let src = "impl ScenarioState {\n  fn step(&mut self) -> bool { let v = vec![1]; true }\n  fn reset(&mut self) { self.v = vec![1]; }\n}\n";
+        let f = kernel(src);
+        assert_eq!(f.len(), 1, "step hot, reset cold: {f:?}");
+        assert_eq!(f[0].line, 2);
+        // `step` on an unrelated impl type stays cold.
+        let other = "impl Planner {\n  fn step(&mut self) { let v = vec![1]; }\n}\n";
+        assert!(kernel(other).is_empty());
+    }
+
+    #[test]
+    fn instance_step_bodies_are_transitively_checked() {
+        let src = "impl SrecInstance {\n  fn step(&mut self) { self.buf = build(); }\n}\nfn build() -> Vec<f64> { Vec::new() }\n";
+        let f = kernel(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "hot-alloc");
+        assert_eq!(f[0].chain, ["SrecInstance::step", "build", "Vec::new"]);
+    }
+
+    #[test]
+    fn pool_fanout_barrier_masks_the_structural_clone() {
+        let src = "impl Pool {\n  pub fn par_map_into(&self, o: &mut V) { self.par_chunks_mut(o); }\n  pub fn par_chunks_mut(&self, o: &mut V) { let f = job.clone(); }\n}\n";
+        let f = lint_source("crates/harness/src/pool.rs", src);
+        assert!(f.is_empty(), "barrier masks the fan-out clone: {f:?}");
+        // The same shape on a non-barrier type is still a finding.
+        let src = "impl Worker {\n  pub fn par_map_into(&self, o: &mut V) { self.fan_out(o); }\n  pub fn fan_out(&self, o: &mut V) { let f = job.clone(); }\n}\n";
+        let f = lint_source("crates/harness/src/pool.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "hot-alloc");
+        assert!(f[0].message.contains("transitive"));
+    }
+
+    #[test]
+    fn profiler_barrier_keeps_the_sanctioned_timing_channel_legal() {
+        let files = vec![
+            (
+                "crates/harness/src/profiler.rs".to_owned(),
+                "impl Profiler {\n  pub fn hot_start(&mut self) { self.t = Instant::now(); }\n}\n"
+                    .to_owned(),
+            ),
+            (
+                "crates/geom/src/hot.rs".to_owned(),
+                "pub fn icp_into(o: &mut V, p: &mut Profiler) { p.hot_start(); }\n".to_owned(),
+            ),
+        ];
+        let f = lint_workspace(&files);
+        assert!(f.is_empty(), "profiler calls from hot entries: {f:?}");
     }
 
     #[test]

@@ -1,0 +1,36 @@
+// Seeded violations for the stepped-lifecycle hot-alloc extension:
+// `step` fns on `*Instance`/`*State` impls are per-tick hot spans; the
+// lifecycle ends (`instantiate`, `finish`) stay cold.
+
+pub struct PflInstance {
+    buf: Vec<f64>,
+}
+
+impl PflInstance {
+    pub fn instantiate() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    pub fn step(&mut self) {
+        let staged = self.buf.to_vec();
+        self.buf.copy_from_slice(&staged);
+    }
+
+    pub fn finish(self) -> Vec<f64> {
+        self.buf.clone()
+    }
+}
+
+impl TrackerState {
+    pub fn step(&mut self) {
+        refill(self);
+    }
+
+    pub fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+fn refill(s: &mut TrackerState) {
+    s.scratch = Vec::new();
+}

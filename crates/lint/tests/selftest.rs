@@ -107,6 +107,24 @@ fn r3_bad_fixture_flags_hot_spans_only() {
 }
 
 #[test]
+fn r3_instance_step_fixture_flags_step_bodies_only() {
+    let f = kernel(include_str!("fixtures/r3_instance_step_bad.rs"));
+    let v = violations(&f);
+    assert!(v.iter().all(|x| x.rule == "hot-alloc"), "{f:?}");
+    assert_eq!(v.len(), 2, "{v:?}");
+    // PflInstance::step's direct .to_vec()...
+    assert!(v.iter().any(|x| x.line == 15), "{v:?}");
+    // ...and TrackerState::step's transitive reach into refill.
+    let trans = v.iter().find(|x| x.line == 26).expect("transitive");
+    assert_eq!(trans.chain, ["TrackerState::step", "refill", "Vec::new"]);
+    // The lifecycle ends and ordinary methods stay cold: instantiate's
+    // Vec::new (line 11), finish's .clone() (line 20), describe (30).
+    for cold in [11, 20, 30] {
+        assert!(!v.iter().any(|x| x.line == cold), "line {cold}: {v:?}");
+    }
+}
+
+#[test]
 fn r3_ring_producer_fixture_is_flagged_only_in_the_trace_crate() {
     let src = include_str!("fixtures/r3_ring_producer_bad.rs");
     let f = lint_source("crates/trace/src/fixture.rs", src);

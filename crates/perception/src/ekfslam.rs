@@ -629,30 +629,42 @@ impl EkfSlam {
         self.ws.recycle_matrix(gain);
     }
 
-    /// Runs the filter over a recorded drive; `true_landmarks` (when given)
-    /// is used only to score the final map.
-    pub fn run<T: MemTrace + ?Sized>(
+    /// Advances the filter by one recorded [`SlamStep`]: one prediction
+    /// plus an update per observation the step carries. Returns the
+    /// post-step position error against the step's ground truth — the
+    /// quantity [`EkfSlam::run`] accumulates into `mean_pose_error`.
+    /// Calling this for every step in order is exactly the one-shot run,
+    /// bit for bit. Steady-state calls are allocation-free in the
+    /// default [`EkfUpdateMode::SparseWorkspace`] mode (workspace
+    /// buffers recycle after warmup).
+    pub fn process_step<T: MemTrace + ?Sized>(
         &mut self,
-        steps: &[SlamStep],
-        true_landmarks: Option<&[Point2]>,
+        step: &SlamStep,
         profiler: &mut Profiler,
         trace: &mut T,
-    ) -> EkfSlamResult {
-        let mut pose_error_sum = 0.0;
-        for step in steps {
-            self.predict(step.v, step.omega, profiler, &mut *trace);
-            for obs in &step.observations {
-                self.update(
-                    obs.landmark_id,
-                    obs.range,
-                    obs.bearing,
-                    profiler,
-                    &mut *trace,
-                );
-            }
-            pose_error_sum += self.pose().position().distance(step.true_pose.position());
+    ) -> f64 {
+        self.predict(step.v, step.omega, profiler, &mut *trace);
+        for obs in &step.observations {
+            self.update(
+                obs.landmark_id,
+                obs.range,
+                obs.bearing,
+                profiler,
+                &mut *trace,
+            );
         }
+        self.pose().position().distance(step.true_pose.position())
+    }
 
+    /// Assembles the run result from the filter's current state.
+    /// `pose_error_sum` is the sum of [`EkfSlam::process_step`] returns
+    /// over the `steps_processed` steps driven so far.
+    pub fn result(
+        &self,
+        true_landmarks: Option<&[Point2]>,
+        pose_error_sum: f64,
+        steps_processed: usize,
+    ) -> EkfSlamResult {
         let landmarks: Vec<(usize, Point2)> = (0..self.config.max_landmarks)
             .filter_map(|id| self.landmark(id).map(|p| (id, p)))
             .collect();
@@ -676,14 +688,30 @@ impl EkfSlam {
             pose: self.pose(),
             landmarks,
             landmark_rmse,
-            mean_pose_error: if steps.is_empty() {
+            mean_pose_error: if steps_processed == 0 {
                 None
             } else {
-                Some(pose_error_sum / steps.len() as f64)
+                Some(pose_error_sum / steps_processed as f64)
             },
             covariance_trace: self.cov.trace(),
             updates: self.updates,
         }
+    }
+
+    /// Runs the filter over a recorded drive; `true_landmarks` (when given)
+    /// is used only to score the final map.
+    pub fn run<T: MemTrace + ?Sized>(
+        &mut self,
+        steps: &[SlamStep],
+        true_landmarks: Option<&[Point2]>,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) -> EkfSlamResult {
+        let mut pose_error_sum = 0.0;
+        for step in steps {
+            pose_error_sum += self.process_step(step, profiler, &mut *trace);
+        }
+        self.result(true_landmarks, pose_error_sum, steps.len())
     }
 }
 

@@ -26,4 +26,4 @@ pub mod srec;
 
 pub use ekfslam::{EkfSlam, EkfSlamConfig, EkfSlamResult, EkfUpdateMode};
 pub use pfl::{ParticleFilter, PflConfig, PflInit, PflResult};
-pub use srec::{Icp, IcpConfig, IcpResult};
+pub use srec::{Icp, IcpConfig, IcpResult, IcpRun};

@@ -145,7 +145,9 @@ struct ResampleScratch {
 #[derive(Debug, Clone)]
 pub struct ParticleFilter<'m> {
     config: PflConfig,
-    map: &'m GridMap2D,
+    /// The known map, borrowed in the common case; an owned copy lets a
+    /// boxed stepped instance carry filter and map together.
+    map: std::borrow::Cow<'m, GridMap2D>,
     /// Particle poses, parallel to `weights` (structure-of-arrays: the
     /// weight reductions run over a flat `f64` slice the lane kernels can
     /// stream).
@@ -158,6 +160,10 @@ pub struct ParticleFilter<'m> {
     cells_probed: u64,
     resamples: u64,
     resample_scratch: ResampleScratch,
+    /// Persistent `(log_w, rays, cells)` output buffer for the parallel
+    /// scoring pass, so steady-state measurement updates allocate
+    /// nothing.
+    scores: Vec<(f64, u64, u64)>,
 }
 
 impl<'m> ParticleFilter<'m> {
@@ -169,6 +175,17 @@ impl<'m> ParticleFilter<'m> {
     /// Panics if `particles == 0`, `beam_stride == 0`, or the map has no
     /// free cells.
     pub fn new(config: PflConfig, map: &'m GridMap2D) -> Self {
+        Self::from_map(config, std::borrow::Cow::Borrowed(map))
+    }
+
+    /// [`ParticleFilter::new`] over an owned map: the returned filter has
+    /// no borrowed state, so it can live inside a boxed stepped kernel
+    /// instance.
+    pub fn with_owned_map(config: PflConfig, map: GridMap2D) -> ParticleFilter<'static> {
+        ParticleFilter::from_map(config, std::borrow::Cow::Owned(map))
+    }
+
+    fn from_map(config: PflConfig, map: std::borrow::Cow<'m, GridMap2D>) -> Self {
         assert!(config.particles > 0, "need at least one particle");
         assert!(config.beam_stride > 0, "beam stride must be positive");
         let mut rng = SimRng::seed_from(config.seed);
@@ -216,6 +233,7 @@ impl<'m> ParticleFilter<'m> {
             cells_probed: 0,
             resamples: 0,
             resample_scratch: ResampleScratch::default(),
+            scores: Vec::new(),
         }
     }
 
@@ -303,7 +321,7 @@ impl<'m> ParticleFilter<'m> {
         let stride = self.config.beam_stride;
         let max_range = self.config.max_range;
         let width = self.map.width() as u64;
-        let map = self.map;
+        let map = self.map.as_ref();
 
         if trace.enabled() {
             for (i, pose) in self.poses.iter().enumerate() {
@@ -331,7 +349,11 @@ impl<'m> ParticleFilter<'m> {
                 trace.write(WEIGHT_TRACE_BASE + 8 * i as u64);
             }
         } else {
-            let scored = self.pool.par_map(&self.poses, |_, pose| {
+            // The scoring pass writes into the persistent `scores` buffer
+            // (values identical to a `par_map` collect), so the steady
+            // state never touches the allocator.
+            let mut scores = std::mem::take(&mut self.scores);
+            self.pool.par_map_into(&self.poses, &mut scores, |_, pose| {
                 let mut log_w = 0.0;
                 let mut rays = 0u64;
                 let mut cells = 0u64;
@@ -344,11 +366,12 @@ impl<'m> ParticleFilter<'m> {
                 }
                 (log_w, rays, cells)
             });
-            for (w, (log_w, rays, cells)) in self.weights.iter_mut().zip(scored) {
+            for (w, &(log_w, rays, cells)) in self.weights.iter_mut().zip(scores.iter()) {
                 self.rays_cast += rays;
                 self.cells_probed += cells;
                 *w *= log_w.exp().max(1e-300);
             }
+            self.scores = scores;
         }
 
         // Normalize. The total is the lane-kernel reduction (mode-pinned
@@ -427,6 +450,52 @@ impl<'m> ParticleFilter<'m> {
         true
     }
 
+    /// Advances the filter by one recorded trajectory step: motion update
+    /// (skipped at `index == 0`, whose odometry is the placeholder
+    /// reading), measurement update, and conditional resampling —
+    /// attributing time to the paper's regions (`motion_update`,
+    /// `ray_casting`, `resample`). Calling this for `index = 0..n` in
+    /// order is exactly [`ParticleFilter::run`]'s loop body, so a stepped
+    /// driver reproduces the one-shot run bit for bit. Steady-state calls
+    /// are allocation-free (persistent scoring and resampling scratch).
+    pub fn step_scan<T: MemTrace + ?Sized>(
+        &mut self,
+        index: usize,
+        step: &TrajectoryStep,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) {
+        if index > 0 {
+            let reading = step.odometry;
+            let mu_start = profiler.hot_start();
+            self.motion_update(&reading);
+            profiler.hot_add("motion_update", mu_start);
+        }
+        let start = profiler.hot_start();
+        self.measurement_update(&step.scan, &mut *trace);
+        profiler.hot_add("ray_casting", start);
+        let rs_start = profiler.hot_start();
+        self.maybe_resample();
+        profiler.hot_add("resample", rs_start);
+    }
+
+    /// Assembles the run result from the filter's current state.
+    /// `final_truth` is the last trajectory step's ground truth (for the
+    /// error metric); `initial_spread` is the [`ParticleFilter::spread`]
+    /// sampled before the first update.
+    pub fn result(&self, final_truth: Option<&TrajectoryStep>, initial_spread: f64) -> PflResult {
+        let estimate = self.estimate();
+        PflResult {
+            estimate,
+            final_spread: self.spread(),
+            initial_spread,
+            final_error: final_truth.map(|s| s.true_pose.position().distance(estimate.position())),
+            rays_cast: self.rays_cast,
+            cells_probed: self.cells_probed,
+            resamples: self.resamples,
+        }
+    }
+
     /// Runs the full filter over a recorded trajectory, attributing time to
     /// the paper's regions: `motion_update`, `ray_casting`, `resample`.
     pub fn run<T: MemTrace + ?Sized>(
@@ -437,31 +506,9 @@ impl<'m> ParticleFilter<'m> {
     ) -> PflResult {
         let initial_spread = self.spread();
         for (i, step) in steps.iter().enumerate() {
-            if i > 0 {
-                let reading = step.odometry;
-                let mu_start = profiler.hot_start();
-                self.motion_update(&reading);
-                profiler.hot_add("motion_update", mu_start);
-            }
-            let start = profiler.hot_start();
-            self.measurement_update(&step.scan, &mut *trace);
-            profiler.hot_add("ray_casting", start);
-            let rs_start = profiler.hot_start();
-            self.maybe_resample();
-            profiler.hot_add("resample", rs_start);
+            self.step_scan(i, step, profiler, &mut *trace);
         }
-        let estimate = self.estimate();
-        PflResult {
-            estimate,
-            final_spread: self.spread(),
-            initial_spread,
-            final_error: steps
-                .last()
-                .map(|s| s.true_pose.position().distance(estimate.position())),
-            rays_cast: self.rays_cast,
-            cells_probed: self.cells_probed,
-            resamples: self.resamples,
-        }
+        self.result(steps.last(), initial_spread)
     }
 }
 

@@ -106,6 +106,22 @@ struct IcpScratch {
     ws: Workspace,
 }
 
+/// Loop state of one stepped ICP alignment: the target k-d tree (owned —
+/// [`KdTree`] copies the points at build time) plus the per-iteration
+/// accumulators. Created by [`Icp::begin`], advanced one iteration at a
+/// time by [`Icp::iterate`], and turned into an [`IcpResult`] by
+/// [`Icp::finish_run`].
+#[derive(Debug)]
+pub struct IcpRun {
+    tree: KdTree<3>,
+    transform: RigidTransform,
+    nn_queries: u64,
+    error_before: Option<f64>,
+    last_error: f64,
+    iterations: usize,
+    max_iterations: usize,
+}
+
 /// The ICP scene-reconstruction kernel.
 ///
 /// # Example
@@ -167,12 +183,28 @@ impl Icp {
         profiler: &mut Profiler,
         trace: &mut T,
     ) -> IcpResult {
+        let mut run = self.begin(source, target, profiler);
+        while self.iterate(&mut run, source, target, profiler, &mut *trace) {}
+        self.finish_run(&mut run, source)
+    }
+
+    /// Starts a stepped alignment: builds the target k-d tree (the
+    /// `kdtree_build` region) and initializes the iteration state. Drive
+    /// the returned [`IcpRun`] with [`Icp::iterate`] until it returns
+    /// `false`, then call [`Icp::finish_run`]; that sequence is exactly
+    /// [`Icp::align`], bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cloud is empty.
+    pub fn begin(
+        &mut self,
+        source: &PointCloud,
+        target: &PointCloud,
+        profiler: &mut Profiler,
+    ) -> IcpRun {
         assert!(!source.is_empty() && !target.is_empty(), "empty cloud");
-
-        let config = self.config.clone();
-        let pool = self.pool;
-        let scratch = &mut self.scratch;
-
+        let config = &self.config;
         let tree = profiler.time("kdtree_build", || {
             let items: Vec<([f64; 3], usize)> = target
                 .points()
@@ -182,98 +214,129 @@ impl Icp {
                 .collect();
             KdTree::<3>::build_balanced_in(config.kd_layout, &items).with_simd(config.simd)
         });
+        IcpRun {
+            tree,
+            transform: RigidTransform::identity(),
+            nn_queries: 0,
+            error_before: None,
+            last_error: f64::INFINITY,
+            iterations: 0,
+            max_iterations: config.max_iterations,
+        }
+    }
 
-        let mut transform = RigidTransform::identity();
-        let mut nn_queries = 0u64;
-        let mut error_before = None;
-        let mut last_error = f64::INFINITY;
-        let mut iterations = 0usize;
+    /// Advances a stepped alignment by one ICP iteration: correspondence
+    /// search (the `nn_search` region), convergence check, and Horn
+    /// transform update (`matrix_ops`). Returns `true` while more
+    /// iterations remain — `false` once converged, starved of pairs, or
+    /// out of iterations. Steady-state calls are allocation-free on the
+    /// default workspace path (persistent scratch, recycled Horn
+    /// buffers).
+    pub fn iterate<T: MemTrace + ?Sized>(
+        &mut self,
+        run: &mut IcpRun,
+        source: &PointCloud,
+        target: &PointCloud,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) -> bool {
+        if run.iterations >= run.max_iterations {
+            return false;
+        }
+        let config = &self.config;
+        let pool = self.pool;
+        let scratch = &mut self.scratch;
+        let tree = &run.tree;
+        run.iterations += 1;
+        source.transform_into(&run.transform, &mut scratch.moved);
 
-        for _ in 0..config.max_iterations {
-            iterations += 1;
-            source.transform_into(&transform, &mut scratch.moved);
-
-            // Correspondence search: irregular tree chases.
-            let start = profiler.hot_start();
-            scratch.pairs.clear();
-            let mut error_sum = 0.0;
-            if trace.enabled() {
-                // Traced runs share one sink and must replay point visits
-                // in query order, so they stay sequential.
-                for p in scratch.moved.iter() {
-                    nn_queries += 1;
-                    let found = tree.nearest_with(&p.to_array(), |payload| {
-                        // Point records are ~32 bytes in an
-                        // insertion-order arena.
-                        trace.read(payload as u64 * 32);
-                    });
-                    let (idx, d2) = found.expect("target cloud is non-empty");
-                    let dist = d2.sqrt();
-                    error_sum += dist;
-                    if dist <= config.max_correspondence_distance {
-                        // Accepted correspondences are appended to the
-                        // pair buffer: one 48-byte store (two Point3
-                        // records) per accepted pair, in a region far
-                        // above the 32-byte point arena so the stream is
-                        // no longer read-only.
-                        trace.write(PAIR_TRACE_BASE + scratch.pairs.len() as u64 * 48);
-                        scratch.pairs.push((*p, target.points()[idx]));
-                    }
+        // Correspondence search: irregular tree chases.
+        let start = profiler.hot_start();
+        scratch.pairs.clear();
+        let mut error_sum = 0.0;
+        if trace.enabled() {
+            // Traced runs share one sink and must replay point visits
+            // in query order, so they stay sequential.
+            for p in scratch.moved.iter() {
+                run.nn_queries += 1;
+                let found = tree.nearest_with(&p.to_array(), |payload| {
+                    // Point records are ~32 bytes in an
+                    // insertion-order arena.
+                    trace.read(payload as u64 * 32);
+                });
+                let (idx, d2) = found.expect("target cloud is non-empty");
+                let dist = d2.sqrt();
+                error_sum += dist;
+                if dist <= config.max_correspondence_distance {
+                    // Accepted correspondences are appended to the
+                    // pair buffer: one 48-byte store (two Point3
+                    // records) per accepted pair, in a region far
+                    // above the 32-byte point arena so the stream is
+                    // no longer read-only.
+                    trace.write(PAIR_TRACE_BASE + scratch.pairs.len() as u64 * 48);
+                    scratch.pairs.push((*p, target.points()[idx]));
                 }
-            } else {
-                // Pure per-point lookups fan out over the pool into the
-                // persistent result buffer (inline when `threads == 1`);
-                // the error reduction and pair assembly stay sequential in
-                // point order, so the result is bit-identical to the
-                // legacy loop for every thread count.
-                scratch.queries.clear();
-                scratch
-                    .queries
-                    .extend(scratch.moved.iter().map(|p| p.to_array()));
-                tree.batch_nearest_into(&scratch.queries, &pool, &mut scratch.nn);
-                for (p, found) in scratch.moved.iter().zip(&scratch.nn) {
-                    nn_queries += 1;
-                    let (idx, d2) = found.expect("target cloud is non-empty");
-                    let dist = d2.sqrt();
-                    error_sum += dist;
-                    if dist <= config.max_correspondence_distance {
-                        scratch.pairs.push((*p, target.points()[idx]));
-                    }
+            }
+        } else {
+            // Pure per-point lookups fan out over the pool into the
+            // persistent result buffer (inline when `threads == 1`);
+            // the error reduction and pair assembly stay sequential in
+            // point order, so the result is bit-identical to the
+            // legacy loop for every thread count.
+            scratch.queries.clear();
+            scratch
+                .queries
+                .extend(scratch.moved.iter().map(|p| p.to_array()));
+            tree.batch_nearest_into(&scratch.queries, &pool, &mut scratch.nn);
+            for (p, found) in scratch.moved.iter().zip(&scratch.nn) {
+                run.nn_queries += 1;
+                let (idx, d2) = found.expect("target cloud is non-empty");
+                let dist = d2.sqrt();
+                error_sum += dist;
+                if dist <= config.max_correspondence_distance {
+                    scratch.pairs.push((*p, target.points()[idx]));
                 }
             }
-            profiler.hot_add("nn_search", start);
+        }
+        profiler.hot_add("nn_search", start);
 
-            let mean_error = error_sum / scratch.moved.len() as f64;
-            if error_before.is_none() {
-                error_before = Some(mean_error);
-            }
-            if (last_error - mean_error).abs() < config.convergence_epsilon {
-                break;
-            }
-            last_error = mean_error;
-            if scratch.pairs.len() < 3 {
-                break; // Not enough constraints to estimate a transform.
-            }
-
-            // Closed-form rigid alignment (Horn): the matrix-op bottleneck.
-            let mo_start = profiler.hot_start();
-            let delta = if config.use_workspace {
-                best_rigid_transform_ws(&scratch.pairs, &mut scratch.ws)
-            } else {
-                best_rigid_transform(&scratch.pairs)
-            };
-            profiler.hot_add("matrix_ops", mo_start);
-            transform = delta.compose(&transform);
+        let mean_error = error_sum / scratch.moved.len() as f64;
+        if run.error_before.is_none() {
+            run.error_before = Some(mean_error);
+        }
+        if (run.last_error - mean_error).abs() < config.convergence_epsilon {
+            return false;
+        }
+        run.last_error = mean_error;
+        if scratch.pairs.len() < 3 {
+            return false; // Not enough constraints to estimate a transform.
         }
 
-        // Final error with the converged transform (sequential sum keeps
-        // the reduction order fixed).
-        source.transform_into(&transform, &mut scratch.moved);
+        // Closed-form rigid alignment (Horn): the matrix-op bottleneck.
+        let mo_start = profiler.hot_start();
+        let delta = if config.use_workspace {
+            best_rigid_transform_ws(&scratch.pairs, &mut scratch.ws)
+        } else {
+            best_rigid_transform(&scratch.pairs)
+        };
+        profiler.hot_add("matrix_ops", mo_start);
+        run.transform = delta.compose(&run.transform);
+        true
+    }
+
+    /// Completes a stepped alignment: one final correspondence pass with
+    /// the converged transform (sequential sum keeps the reduction order
+    /// fixed) and result assembly.
+    pub fn finish_run(&mut self, run: &mut IcpRun, source: &PointCloud) -> IcpResult {
+        let pool = self.pool;
+        let scratch = &mut self.scratch;
+        source.transform_into(&run.transform, &mut scratch.moved);
         scratch.queries.clear();
         scratch
             .queries
             .extend(scratch.moved.iter().map(|p| p.to_array()));
-        tree.batch_nearest_into(&scratch.queries, &pool, &mut scratch.nn);
+        run.tree
+            .batch_nearest_into(&scratch.queries, &pool, &mut scratch.nn);
         let mut error_sum = 0.0;
         for found in &scratch.nn {
             let (_, d2) = found.expect("target cloud is non-empty");
@@ -282,11 +345,11 @@ impl Icp {
         let error_after = error_sum / scratch.moved.len() as f64;
 
         IcpResult {
-            transform,
-            error_before: error_before.unwrap_or(error_after),
+            transform: run.transform,
+            error_before: run.error_before.unwrap_or(error_after),
             error_after,
-            iterations,
-            nn_queries,
+            iterations: run.iterations,
+            nn_queries: run.nn_queries,
             workspace_allocations: scratch.ws.allocations(),
         }
     }

@@ -39,7 +39,7 @@ pub use pp3d::{Pp3d, Pp3dConfig, Pp3dResult};
 pub use prm::{Prm, PrmConfig, PrmResult};
 pub use rrt::{ArmProblem, Rrt, RrtConfig, RrtResult};
 pub use rrtpp::{RrtPp, RrtPpResult};
-pub use rrtstar::{RrtStar, RrtStarResult};
+pub use rrtstar::{RrtStar, RrtStarResult, RrtStarRun};
 pub use search::{
     anytime_weighted_astar, astar, dijkstra, weighted_astar, AnytimeSolution, SearchResult,
     SearchSpace,

@@ -218,6 +218,7 @@ pub struct RrtResult {
     pub collision_checks: u64,
 }
 
+#[derive(Debug)]
 pub(crate) struct Tree {
     pub nodes: Vec<Config>,
     pub parents: Vec<usize>,

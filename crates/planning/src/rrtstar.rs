@@ -27,6 +27,48 @@ pub struct RrtStarResult {
     pub goal_connections: u64,
 }
 
+/// Loop state of one anytime RRT* search over a fixed [`ArmProblem`].
+///
+/// Created by [`RrtStar::begin`], advanced one sample at a time by
+/// [`RrtStar::sample_step`], and turned into an [`RrtStarResult`] by
+/// [`RrtStar::finish_plan`]. The search is *anytime*: after the first
+/// goal connection every further step can only shorten the best path, so
+/// a caller may stop early at any point and still harvest a valid plan.
+#[derive(Debug)]
+pub struct RrtStarRun {
+    rng: SimRng,
+    tree: Tree,
+    /// Per-sample neighborhood results land in this reused buffer; after
+    /// a few samples its capacity plateaus and the ~49 %-of-time NN
+    /// region runs allocation-free.
+    neighbors: Vec<(usize, f64)>,
+    nn_queries: u64,
+    collision_checks: u64,
+    rewirings: u64,
+    goal_connections: u64,
+    /// Best goal attachment: (tree node holding the goal config's
+    /// parent, cost through it).
+    best_goal: Option<(usize, f64)>,
+    first_connection: Option<usize>,
+    samples_used: usize,
+    sample_idx: usize,
+    /// Start or goal began in collision: the search never runs.
+    blocked: bool,
+}
+
+impl RrtStarRun {
+    /// `true` once at least one goal connection exists — stopping now
+    /// yields a valid (if not yet fully refined) plan.
+    pub fn has_plan(&self) -> bool {
+        self.best_goal.is_some()
+    }
+
+    /// Samples consumed so far.
+    pub fn samples_used(&self) -> usize {
+        self.samples_used
+    }
+}
+
 /// The RRT* kernel.
 ///
 /// # Example
@@ -67,153 +109,185 @@ impl RrtStar {
         profiler: &mut Profiler,
         trace: &mut T,
     ) -> Option<RrtStarResult> {
-        if problem.in_collision(&problem.start) || problem.in_collision(&problem.goal) {
-            return None;
+        let mut run = self.begin(problem);
+        while self.sample_step(&mut run, problem, profiler, &mut *trace) {}
+        self.finish_plan(run, problem)
+    }
+
+    /// Starts an anytime search: seeds the RNG, roots the tree at the
+    /// start configuration, and zeroes the counters. Drive the returned
+    /// [`RrtStarRun`] with [`RrtStar::sample_step`] until it returns
+    /// `false` (or stop early once [`RrtStarRun::has_plan`]), then call
+    /// [`RrtStar::finish_plan`]; the full sequence is exactly
+    /// [`RrtStar::plan`], bit for bit.
+    pub fn begin(&self, problem: &ArmProblem) -> RrtStarRun {
+        let blocked = problem.in_collision(&problem.start) || problem.in_collision(&problem.goal);
+        RrtStarRun {
+            rng: SimRng::seed_from(self.config.seed),
+            tree: Tree::new_in(self.config.kd_layout, problem.start),
+            neighbors: Vec::new(),
+            nn_queries: 0,
+            collision_checks: 0,
+            rewirings: 0,
+            goal_connections: 0,
+            best_goal: None,
+            first_connection: None,
+            samples_used: 0,
+            sample_idx: 0,
+            blocked,
         }
-        let mut rng = SimRng::seed_from(self.config.seed);
-        let mut tree = Tree::new_in(self.config.kd_layout, problem.start);
-        // Per-sample neighborhood results land in this reused buffer;
-        // after a few samples its capacity plateaus and the ~49 %-of-time
-        // NN region runs allocation-free.
-        let mut neighbors: Vec<(usize, f64)> = Vec::new();
-        let mut nn_queries = 0u64;
-        let mut collision_checks = 0u64;
-        let mut rewirings = 0u64;
-        let mut goal_connections = 0u64;
-        // Best goal attachment: (tree node holding the goal config's
-        // parent, cost through it).
-        let mut best_goal: Option<(usize, f64)> = None;
-        let mut first_connection: Option<usize> = None;
-        let mut samples_used = 0usize;
+    }
 
-        for sample_idx in 0..self.config.max_samples {
-            if let (Some(factor), Some(first)) = (self.config.star_refine_factor, first_connection)
-            {
-                let budget = ((first as f64 * factor) as usize).max(first + 50);
-                if sample_idx >= budget {
-                    break;
-                }
+    /// Advances an anytime search by one sample: sampling, nearest and
+    /// neighborhood queries, parent choice, rewiring, and goal tracking —
+    /// the full Fig. 11 iteration. Returns `true` while budget remains,
+    /// `false` once the sample budget (or the refine budget after the
+    /// first goal connection) is exhausted. Steady-state calls are
+    /// allocation-free after the neighborhood buffer plateaus.
+    pub fn sample_step<T: MemTrace + ?Sized>(
+        &self,
+        run: &mut RrtStarRun,
+        problem: &ArmProblem,
+        profiler: &mut Profiler,
+        trace: &mut T,
+    ) -> bool {
+        if run.blocked || run.sample_idx >= self.config.max_samples {
+            return false;
+        }
+        if let (Some(factor), Some(first)) = (self.config.star_refine_factor, run.first_connection)
+        {
+            let budget = ((first as f64 * factor) as usize).max(first + 50);
+            if run.sample_idx >= budget {
+                return false;
             }
-            samples_used = sample_idx + 1;
-            let sample_start = profiler.hot_start();
-            let target = if rng.chance(self.config.goal_bias) {
-                problem.goal
-            } else {
-                problem.sample(&mut rng)
-            };
-            profiler.hot_add("sampling", sample_start);
+        }
+        let sample_idx = run.sample_idx;
+        run.sample_idx += 1;
+        run.samples_used = sample_idx + 1;
+        let tree = &mut run.tree;
+        let sample_start = profiler.hot_start();
+        let target = if run.rng.chance(self.config.goal_bias) {
+            problem.goal
+        } else {
+            problem.sample(&mut run.rng)
+        };
+        profiler.hot_add("sampling", sample_start);
 
-            // Nearest node.
-            let nn_start = profiler.hot_start();
-            nn_queries += 1;
-            let (nearest_id, _) = nearest(&tree, &target, &mut *trace);
-            profiler.hot_add("nn_search", nn_start);
+        // Nearest node.
+        let nn_start = profiler.hot_start();
+        run.nn_queries += 1;
+        let (nearest_id, _) = nearest(tree, &target, &mut *trace);
+        profiler.hot_add("nn_search", nn_start);
 
-            let new_config = steer(&tree.nodes[nearest_id], &target, self.config.epsilon);
+        let new_config = steer(&tree.nodes[nearest_id], &target, self.config.epsilon);
 
-            let col_start = profiler.hot_start();
-            collision_checks += 1;
-            let free = problem.motion_free(&tree.nodes[nearest_id], &new_config);
-            profiler.hot_add("collision_detection", col_start);
-            if !free {
-                continue;
-            }
+        let col_start = profiler.hot_start();
+        run.collision_checks += 1;
+        let free = problem.motion_free(&tree.nodes[nearest_id], &new_config);
+        profiler.hot_add("collision_detection", col_start);
+        if !free {
+            return true;
+        }
 
-            // Neighborhood query (the paper's yellow circle).
-            let nn_start = profiler.hot_start();
-            nn_queries += 1;
-            neighborhood_into(
-                &tree,
-                &new_config,
-                self.config.neighbor_radius,
-                &mut *trace,
-                &mut neighbors,
-            );
-            profiler.hot_add("nn_search", nn_start);
+        // Neighborhood query (the paper's yellow circle).
+        let nn_start = profiler.hot_start();
+        run.nn_queries += 1;
+        neighborhood_into(
+            tree,
+            &new_config,
+            self.config.neighbor_radius,
+            &mut *trace,
+            &mut run.neighbors,
+        );
+        profiler.hot_add("nn_search", nn_start);
 
-            // Choose the cheapest collision-free parent among neighbors.
-            let mut parent = nearest_id;
-            let mut parent_cost =
-                tree.costs[nearest_id] + config_distance(&tree.nodes[nearest_id], &new_config);
-            for &(candidate, _) in &neighbors {
-                let through =
-                    tree.costs[candidate] + config_distance(&tree.nodes[candidate], &new_config);
-                if through < parent_cost {
-                    let col_start = profiler.hot_start();
-                    collision_checks += 1;
-                    let free = problem.motion_free(&tree.nodes[candidate], &new_config);
-                    profiler.hot_add("collision_detection", col_start);
-                    if free {
-                        parent = candidate;
-                        parent_cost = through;
-                    }
-                }
-            }
-            let new_id = tree.add(new_config, parent);
-            if trace.enabled() {
-                trace.write(new_id as u64 * 40);
-            }
-
-            // Rewire neighbors through the new node when cheaper.
-            for &(neighbor, _) in &neighbors {
-                if neighbor == parent {
-                    continue;
-                }
-                let through =
-                    tree.costs[new_id] + config_distance(&new_config, &tree.nodes[neighbor]);
-                if through + 1e-12 < tree.costs[neighbor] {
-                    let col_start = profiler.hot_start();
-                    collision_checks += 1;
-                    let free = problem.motion_free(&new_config, &tree.nodes[neighbor]);
-                    profiler.hot_add("collision_detection", col_start);
-                    if free {
-                        let delta = tree.costs[neighbor] - through;
-                        tree.reparent(neighbor, new_id);
-                        propagate_cost_reduction(&mut tree, neighbor, delta);
-                        rewirings += 1;
-                        if trace.enabled() {
-                            // Parent-pointer update in the rewired node.
-                            trace.write(neighbor as u64 * 40);
-                        }
-                    }
-                }
-            }
-
-            // Track the best goal connection but keep optimizing.
-            if config_distance(&new_config, &problem.goal) <= problem.goal_tolerance {
+        // Choose the cheapest collision-free parent among neighbors.
+        let mut parent = nearest_id;
+        let mut parent_cost =
+            tree.costs[nearest_id] + config_distance(&tree.nodes[nearest_id], &new_config);
+        for &(candidate, _) in &run.neighbors {
+            let through =
+                tree.costs[candidate] + config_distance(&tree.nodes[candidate], &new_config);
+            if through < parent_cost {
                 let col_start = profiler.hot_start();
-                collision_checks += 1;
-                let free = problem.motion_free(&new_config, &problem.goal);
+                run.collision_checks += 1;
+                let free = problem.motion_free(&tree.nodes[candidate], &new_config);
                 profiler.hot_add("collision_detection", col_start);
                 if free {
-                    goal_connections += 1;
-                    if first_connection.is_none() {
-                        first_connection = Some(sample_idx + 1);
-                    }
-                    let cost = tree.costs[new_id] + config_distance(&new_config, &problem.goal);
-                    if best_goal.is_none_or(|(_, c)| cost < c) {
-                        best_goal = Some((new_id, cost));
+                    parent = candidate;
+                    parent_cost = through;
+                }
+            }
+        }
+        let new_id = tree.add(new_config, parent);
+        if trace.enabled() {
+            trace.write(new_id as u64 * 40);
+        }
+
+        // Rewire neighbors through the new node when cheaper.
+        for &(neighbor, _) in &run.neighbors {
+            if neighbor == parent {
+                continue;
+            }
+            let through = tree.costs[new_id] + config_distance(&new_config, &tree.nodes[neighbor]);
+            if through + 1e-12 < tree.costs[neighbor] {
+                let col_start = profiler.hot_start();
+                run.collision_checks += 1;
+                let free = problem.motion_free(&new_config, &tree.nodes[neighbor]);
+                profiler.hot_add("collision_detection", col_start);
+                if free {
+                    let delta = tree.costs[neighbor] - through;
+                    tree.reparent(neighbor, new_id);
+                    propagate_cost_reduction(tree, neighbor, delta);
+                    run.rewirings += 1;
+                    if trace.enabled() {
+                        // Parent-pointer update in the rewired node.
+                        trace.write(neighbor as u64 * 40);
                     }
                 }
             }
         }
 
-        let (attach_id, _) = best_goal?;
+        // Track the best goal connection but keep optimizing.
+        if config_distance(&new_config, &problem.goal) <= problem.goal_tolerance {
+            let col_start = profiler.hot_start();
+            run.collision_checks += 1;
+            let free = problem.motion_free(&new_config, &problem.goal);
+            profiler.hot_add("collision_detection", col_start);
+            if free {
+                run.goal_connections += 1;
+                if run.first_connection.is_none() {
+                    run.first_connection = Some(sample_idx + 1);
+                }
+                let cost = tree.costs[new_id] + config_distance(&new_config, &problem.goal);
+                if run.best_goal.is_none_or(|(_, c)| cost < c) {
+                    run.best_goal = Some((new_id, cost));
+                }
+            }
+        }
+        true
+    }
+
+    /// Completes an anytime search: extracts the best goal path found so
+    /// far (or `None` if the goal was never connected) and assembles the
+    /// result.
+    pub fn finish_plan(&self, run: RrtStarRun, problem: &ArmProblem) -> Option<RrtStarResult> {
+        let (attach_id, _) = run.best_goal?;
         // Re-derive the final cost from the tree: rewiring may have
         // improved the attachment node's cost-to-come since recording.
-        let mut path = tree.path_to(attach_id);
+        let mut path = run.tree.path_to(attach_id);
         path.push(problem.goal);
         Some(RrtStarResult {
             base: RrtResult {
                 cost: problem.path_cost(&path),
                 path,
-                samples: samples_used,
-                tree_size: tree.nodes.len(),
-                nn_queries,
-                collision_checks,
+                samples: run.samples_used,
+                tree_size: run.tree.nodes.len(),
+                nn_queries: run.nn_queries,
+                collision_checks: run.collision_checks,
             },
-            rewirings,
-            goal_connections,
+            rewirings: run.rewirings,
+            goal_connections: run.goal_connections,
         })
     }
 }

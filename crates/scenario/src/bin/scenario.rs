@@ -1,0 +1,107 @@
+//! Closed-loop scenario runner.
+//!
+//! Composes the stepped kernels into the sense → localize → plan → track
+//! loop, streams per-tick stage latencies to an off-thread collector,
+//! and prints the human summary, the latency percentile table, and the
+//! byte-stable golden. `--golden FILE` additionally writes the golden to
+//! `FILE` (CI byte-compares runs at different `--threads` settings).
+
+use std::process::ExitCode;
+
+use rtr_harness::{Args, Collector, OptionSpec};
+use rtr_scenario::{latency_table, LocalizerKind, ScenarioConfig, ScenarioState};
+use rtr_trace::{metric_channel, MetricMap};
+
+const OPTIONS: &[OptionSpec] = &[
+    OptionSpec {
+        name: "localizer",
+        help: "Localization kernel in the loop: pfl|ekfslam",
+    },
+    OptionSpec {
+        name: "ticks",
+        help: "Control-tick budget (the run also ends at the goal)",
+    },
+    OptionSpec {
+        name: "seed",
+        help: "Seed for the map and every noise source",
+    },
+    OptionSpec {
+        name: "particles",
+        help: "Particle count for the pfl localizer",
+    },
+    OptionSpec {
+        name: "threads",
+        help: "PFL ray-casting threads (0 = all; never changes outputs)",
+    },
+    OptionSpec {
+        name: "simd",
+        help: "Lane-kernel mode for PFL reductions: scalar|lanes|auto",
+    },
+    OptionSpec {
+        name: "golden",
+        help: "Also write the byte-stable golden to this file",
+    },
+];
+
+fn main() -> ExitCode {
+    let args = match Args::parse_env() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.wants_help() {
+        println!("{}", Args::usage("scenario", OPTIONS));
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scenario: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let localizer_raw = args.get_str("localizer", "pfl");
+    let localizer: LocalizerKind = localizer_raw
+        .parse()
+        .map_err(|()| format!("unknown localizer {localizer_raw:?} (expected pfl|ekfslam)"))?;
+    let simd_raw = args.get_str("simd", "scalar");
+    let simd = simd_raw
+        .parse()
+        .map_err(|_| format!("unknown simd mode {simd_raw:?} (expected scalar|lanes|auto)"))?;
+    let config = ScenarioConfig {
+        max_ticks: args.get_usize("ticks", 600)?,
+        seed: args.get_u64("seed", 7)?,
+        localizer,
+        particles: args.get_usize("particles", 300)?,
+        threads: args.get_usize("threads", 1)?,
+        simd,
+    };
+
+    let mut state = ScenarioState::begin(&config)?;
+    let (publisher, reader) = metric_channel(1 << 14);
+    let collector = Collector::spawn(reader, MetricMap::new());
+    state.publish_to(publisher);
+
+    while state.step() {}
+
+    let (report, publisher) = state.finish();
+    let names = publisher.map(|p| p.into_names()).unwrap_or_default();
+    let metrics = collector.finish();
+
+    print!("{}", report.summary());
+    println!();
+    print!("{}", latency_table(&metrics, &names));
+    println!();
+    print!("{}", report.golden());
+
+    let golden_path = args.get_str("golden", "");
+    if !golden_path.is_empty() {
+        std::fs::write(&golden_path, report.golden())?;
+    }
+    Ok(())
+}

@@ -108,15 +108,35 @@ impl Lidar {
 
     /// Produces a noisy scan from `pose` in `map`.
     pub fn scan(&self, map: &GridMap2D, pose: &Pose2, rng: &mut SimRng) -> LidarScan {
-        let angles = self.beam_angles();
-        let ranges = angles
-            .iter()
-            .map(|&a| {
-                let hit = cast_ray(map, pose.position(), pose.theta + a, self.max_range);
-                (hit.distance + rng.gaussian(0.0, self.noise_std)).clamp(0.0, self.max_range)
-            })
-            .collect();
-        LidarScan { angles, ranges }
+        let mut out = LidarScan {
+            angles: Vec::new(),
+            ranges: Vec::new(),
+        };
+        self.scan_into(map, pose, rng, &mut out);
+        out
+    }
+
+    /// [`Lidar::scan`] into a caller-owned scan, reusing its buffers.
+    /// After the first call the buffers hold one slot per beam, so a
+    /// closed-loop tick that rescans every frame never reallocates.
+    /// Results are bit-identical to the allocating twin.
+    pub fn scan_into(&self, map: &GridMap2D, pose: &Pose2, rng: &mut SimRng, out: &mut LidarScan) {
+        out.angles.clear();
+        if self.beam_count == 1 {
+            out.angles.push(0.0);
+        } else {
+            let start = -self.fov * 0.5;
+            let step = self.fov / (self.beam_count - 1) as f64;
+            out.angles
+                .extend((0..self.beam_count).map(|i| start + step * i as f64));
+        }
+        out.ranges.clear();
+        for i in 0..out.angles.len() {
+            let a = out.angles[i];
+            let hit = cast_ray(map, pose.position(), pose.theta + a, self.max_range);
+            let r = (hit.distance + rng.gaussian(0.0, self.noise_std)).clamp(0.0, self.max_range);
+            out.ranges.push(r);
+        }
     }
 
     /// Produces the noiseless ground-truth ranges from `pose` — the ideal
@@ -215,5 +235,31 @@ mod tests {
     #[should_panic(expected = "at least one beam")]
     fn zero_beams_panics() {
         let _ = Lidar::new(0, PI, 5.0, 0.0);
+    }
+
+    #[test]
+    fn scan_into_matches_scan_and_reuses_buffers() {
+        let map = walled_map();
+        let lidar = Lidar::new(37, PI, 20.0, 0.4);
+        let pose = Pose2::new(3.0, 5.0, 0.2);
+        let mut rng_a = SimRng::seed_from(7);
+        let mut rng_b = SimRng::seed_from(7);
+        let mut reused = LidarScan {
+            angles: Vec::new(),
+            ranges: Vec::new(),
+        };
+        lidar.scan_into(&map, &pose, &mut rng_a, &mut reused);
+        let caps = (reused.angles.capacity(), reused.ranges.capacity());
+        assert_eq!(reused, lidar.scan(&map, &pose, &mut rng_b));
+        for step in 0..8 {
+            let pose = Pose2::new(3.0 + step as f64 * 0.1, 5.0, 0.2);
+            lidar.scan_into(&map, &pose, &mut rng_a, &mut reused);
+            assert_eq!(reused, lidar.scan(&map, &pose, &mut rng_b));
+        }
+        assert_eq!(
+            (reused.angles.capacity(), reused.ranges.capacity()),
+            caps,
+            "rescanning must reuse the buffers"
+        );
     }
 }

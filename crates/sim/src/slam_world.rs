@@ -106,24 +106,32 @@ impl SlamWorld {
 
     /// Observations of all landmarks within sensor range from `pose`.
     pub fn observe(&self, pose: &Pose2, rng: &mut SimRng) -> Vec<RangeBearing> {
-        self.landmarks
-            .iter()
-            .enumerate()
-            .filter_map(|(id, lm)| {
-                let offset = *lm - pose.position();
-                let range = offset.norm();
-                if range > self.sensor_range {
-                    return None;
-                }
-                Some(RangeBearing {
-                    landmark_id: id,
-                    range: (range + rng.gaussian(0.0, self.range_noise)).max(0.0),
-                    bearing: normalize_angle(
-                        offset.angle() - pose.theta + rng.gaussian(0.0, self.bearing_noise),
-                    ),
-                })
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.observe_into(pose, rng, &mut out);
+        out
+    }
+
+    /// [`SlamWorld::observe`] into a caller-owned buffer (`out` is
+    /// cleared first). A closed-loop tick that observes every frame
+    /// reuses one buffer, so its capacity plateaus at the largest visible
+    /// set and the per-tick observation step stops allocating. Results
+    /// are bit-identical to the allocating twin.
+    pub fn observe_into(&self, pose: &Pose2, rng: &mut SimRng, out: &mut Vec<RangeBearing>) {
+        out.clear();
+        for (id, lm) in self.landmarks.iter().enumerate() {
+            let offset = *lm - pose.position();
+            let range = offset.norm();
+            if range > self.sensor_range {
+                continue;
+            }
+            out.push(RangeBearing {
+                landmark_id: id,
+                range: (range + rng.gaussian(0.0, self.range_noise)).max(0.0),
+                bearing: normalize_angle(
+                    offset.angle() - pose.theta + rng.gaussian(0.0, self.bearing_noise),
+                ),
+            });
+        }
     }
 
     /// Simulates `steps` steps of a circular drive through the landmark
@@ -207,6 +215,30 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "unseen landmarks: {seen:?}");
+    }
+
+    #[test]
+    fn observe_into_matches_observe_and_reuses_buffer() {
+        let world = SlamWorld::six_landmark_demo();
+        let mut rng_a = SimRng::seed_from(11);
+        let mut rng_b = SimRng::seed_from(11);
+        let mut reused: Vec<RangeBearing> = Vec::new();
+        let mut pose = Pose2::new(7.0, 5.5, 0.0);
+        world.observe_into(&pose, &mut rng_a, &mut reused);
+        assert_eq!(reused, world.observe(&pose, &mut rng_b));
+        // Warm the buffer over a partial circuit, then pin its capacity.
+        for _ in 0..50 {
+            pose = pose.compose(0.25, 0.0, 0.1);
+            world.observe_into(&pose, &mut rng_a, &mut reused);
+            assert_eq!(reused, world.observe(&pose, &mut rng_b));
+        }
+        let cap = reused.capacity();
+        for _ in 0..50 {
+            pose = pose.compose(0.25, 0.0, 0.1);
+            world.observe_into(&pose, &mut rng_a, &mut reused);
+            assert_eq!(reused, world.observe(&pose, &mut rng_b));
+        }
+        assert_eq!(cap, reused.capacity(), "replay must reuse the buffer");
     }
 
     #[test]
